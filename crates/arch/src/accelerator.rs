@@ -1,0 +1,128 @@
+//! The discrete RSU accelerator: memory-bandwidth-bound analysis (§8.2).
+//!
+//! A discrete accelerator strips away all GPU constraints and consumes
+//! data at full DRAM bandwidth, so its execution time follows exactly from
+//! the workload's byte traffic:
+//!
+//! ```text
+//! t = pixels · iterations · bytes_per_pixel / bandwidth
+//! #units = bandwidth / frequency / bytes_consumed_per_unit_per_cycle
+//! ```
+//!
+//! With the Titan X's 336 GB/s, a 1 GHz clock, and 1 B/cycle per RSU-G1,
+//! the paper's 336-unit design point falls out, along with upper-bound
+//! speedups over the baseline GPU of 39/21 (segmentation small/HD) and
+//! 84/54 (motion small/HD).
+
+use crate::gpu::GpuModel;
+use crate::kernel::KernelVariant;
+use crate::workload::Workload;
+
+/// The discrete accelerator model.
+///
+/// ```
+/// use mogs_arch::accelerator::Accelerator;
+///
+/// let acc = Accelerator::paper_design();
+/// assert_eq!(acc.units_required(), 336); // §8.2's unit count
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accelerator {
+    /// DRAM bandwidth in bytes/s.
+    pub bandwidth: f64,
+    /// Clock frequency in Hz.
+    pub frequency: f64,
+    /// Bytes each RSU-G unit consumes per cycle.
+    pub bytes_per_unit_per_cycle: f64,
+}
+
+impl Accelerator {
+    /// The paper's design point: 336 GB/s, 1 GHz, 1 B/unit/cycle.
+    pub fn paper_design() -> Self {
+        Accelerator { bandwidth: 336e9, frequency: 1e9, bytes_per_unit_per_cycle: 1.0 }
+    }
+
+    /// Execution time (seconds) of a workload — purely bandwidth-bound.
+    pub fn execution_time(&self, workload: &Workload) -> f64 {
+        workload.total_bytes() / self.bandwidth
+    }
+
+    /// RSU-G units needed to consume data at full bandwidth (§8.2).
+    pub fn units_required(&self) -> usize {
+        (self.bandwidth / self.frequency / self.bytes_per_unit_per_cycle).round() as usize
+    }
+
+    /// Upper-bound speedup over the baseline GPU kernel (Table 2's GPU
+    /// column).
+    pub fn speedup_over_gpu(&self, gpu: &GpuModel, workload: &Workload) -> f64 {
+        gpu.execution_time(workload, KernelVariant::Baseline) / self.execution_time(workload)
+    }
+
+    /// Speedup over an RSU-augmented GPU of the given width.
+    pub fn speedup_over_rsu_gpu(&self, gpu: &GpuModel, workload: &Workload, width: u8) -> f64 {
+        gpu.execution_time(workload, KernelVariant::rsu(width)) / self.execution_time(workload)
+    }
+}
+
+impl Default for Accelerator {
+    fn default() -> Self {
+        Accelerator::paper_design()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ImageSize;
+
+    #[test]
+    fn paper_unit_count() {
+        assert_eq!(Accelerator::paper_design().units_required(), 336);
+    }
+
+    #[test]
+    fn paper_upper_bound_speedups() {
+        // §8.2: 39 and 84 for 320×320, 21 and 54 for HD.
+        let acc = Accelerator::paper_design();
+        let gpu = GpuModel::calibrated();
+        let cases = [
+            (Workload::segmentation(ImageSize::SMALL), 39.0),
+            (Workload::segmentation(ImageSize::HD), 21.0),
+            (Workload::motion(ImageSize::SMALL), 84.0),
+            (Workload::motion(ImageSize::HD), 54.0),
+        ];
+        for (w, paper) in cases {
+            let s = acc.speedup_over_gpu(&gpu, &w);
+            let rel = (s - paper).abs() / paper;
+            assert!(rel < 0.03, "{} {}: {s:.1} vs paper {paper}", w.app.name(), w.size.label());
+        }
+    }
+
+    #[test]
+    fn speedup_over_rsu_g4_motion_hd_matches_paper() {
+        // §8.2: "The discrete accelerator achieves speedup of only 1.55x
+        // over the RSU-G4 augmented GPU for motion estimation of HD
+        // images".
+        let acc = Accelerator::paper_design();
+        let gpu = GpuModel::calibrated();
+        let s = acc.speedup_over_rsu_gpu(&gpu, &Workload::motion(ImageSize::HD), 4);
+        assert!((s - 1.55).abs() < 0.25, "speedup {s:.2} vs paper 1.55");
+    }
+
+    #[test]
+    fn execution_time_scales_inversely_with_bandwidth() {
+        let base = Accelerator::paper_design();
+        let double = Accelerator { bandwidth: 2.0 * base.bandwidth, ..base };
+        let w = Workload::motion(ImageSize::HD);
+        assert!((base.execution_time(&w) / double.execution_time(&w) - 2.0).abs() < 1e-12);
+        // And the unit count scales linearly with bandwidth (§8.2).
+        assert_eq!(double.units_required(), 672);
+    }
+
+    #[test]
+    fn segmentation_hd_time_matches_hand_calculation() {
+        // 2,073,600 px · 5000 iters · 5 B / 336 GB/s ≈ 0.154 s.
+        let t = Accelerator::paper_design().execution_time(&Workload::segmentation(ImageSize::HD));
+        assert!((t - 0.1543).abs() < 0.001, "t = {t}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Single-core CPU model (the paper's E5-2640 data points).
+//!
+//! The paper runs sequential segmentation and stereo on one core of an
+//! Intel E5-2640 and reports that an RSU-G1-augmented processor achieves a
+//! speedup **over 100** (§8.2), while noting the GPU is the fairer
+//! comparison. The cost model here is built from the paper's own
+//! measurements: ~100 cycles to parameterize a distribution (§2.2) and
+//! Table 1's hundreds of cycles per library sample.
+
+use crate::workload::Workload;
+
+/// Per-pixel-update cycle costs of the sequential MCMC inner loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuCosts {
+    /// Cycles to compute the clique energies for one candidate label.
+    pub energy_per_label: f64,
+    /// Cycles for `exp()` per label (softmax weight).
+    pub exp_per_label: f64,
+    /// Cycles for the RNG draw + CDF selection per pixel (Table 1 scale:
+    /// one library sample costs ~600 cycles).
+    pub sample_per_pixel: f64,
+    /// Remaining loop overhead per pixel (loads, stores, control).
+    pub overhead_per_pixel: f64,
+}
+
+impl Default for CpuCosts {
+    fn default() -> Self {
+        CpuCosts {
+            energy_per_label: 20.0,
+            exp_per_label: 40.0,
+            sample_per_pixel: 600.0,
+            overhead_per_pixel: 50.0,
+        }
+    }
+}
+
+/// A single-core CPU with an optional RSU-G unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Clock frequency in Hz (E5-2640: 2.5 GHz).
+    pub frequency: f64,
+    /// Inner-loop costs.
+    pub costs: CpuCosts,
+}
+
+impl CpuModel {
+    /// The paper's E5-2640 point.
+    pub fn e5_2640() -> Self {
+        CpuModel { frequency: 2.5e9, costs: CpuCosts::default() }
+    }
+
+    /// Cycles per pixel update for the sequential baseline.
+    pub fn baseline_cycles_per_update(&self, labels: u8) -> f64 {
+        let m = f64::from(labels);
+        m * (self.costs.energy_per_label + self.costs.exp_per_label)
+            + self.costs.sample_per_pixel
+            + self.costs.overhead_per_pixel
+    }
+
+    /// Cycles per pixel update with an RSU-G1: the core writes the control
+    /// registers (~6 instructions) and the M-cycle evaluation overlaps the
+    /// next pixel's setup via software pipelining (§6.1), leaving
+    /// `max(M, issue)` cycles of occupancy.
+    pub fn rsu_cycles_per_update(&self, labels: u8) -> f64 {
+        f64::from(labels).max(6.0)
+    }
+
+    /// Sequential baseline execution time for a workload (seconds).
+    pub fn baseline_time(&self, workload: &Workload) -> f64 {
+        workload.pixel_updates() * self.baseline_cycles_per_update(workload.app.labels())
+            / self.frequency
+    }
+
+    /// RSU-augmented execution time for a workload (seconds).
+    pub fn rsu_time(&self, workload: &Workload) -> f64 {
+        workload.pixel_updates() * self.rsu_cycles_per_update(workload.app.labels())
+            / self.frequency
+    }
+
+    /// Speedup of the RSU-augmented core over the sequential baseline.
+    pub fn rsu_speedup(&self, workload: &Workload) -> f64 {
+        self.baseline_time(workload) / self.rsu_time(workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ImageSize, VisionApp};
+
+    #[test]
+    fn cpu_rsu_speedup_exceeds_100_for_segmentation() {
+        // §8.2: "The achieved speedup of an RSU-G1 augmented processor was
+        // over 100".
+        let cpu = CpuModel::e5_2640();
+        let w = Workload::segmentation(ImageSize::SMALL);
+        let s = cpu.rsu_speedup(&w);
+        assert!(s > 100.0, "speedup {s}");
+    }
+
+    #[test]
+    fn stereo_speedup_also_exceeds_100() {
+        let cpu = CpuModel::e5_2640();
+        let w = Workload { app: VisionApp::StereoVision, size: ImageSize::SMALL };
+        assert!(cpu.rsu_speedup(&w) > 100.0);
+    }
+
+    #[test]
+    fn baseline_cycles_scale_with_labels() {
+        let cpu = CpuModel::e5_2640();
+        assert!(
+            cpu.baseline_cycles_per_update(49) > 2.0 * cpu.baseline_cycles_per_update(5)
+        );
+    }
+
+    #[test]
+    fn rsu_occupancy_floor_is_issue_cost() {
+        let cpu = CpuModel::e5_2640();
+        // With very few labels the 6-instruction issue sequence dominates.
+        assert_eq!(cpu.rsu_cycles_per_update(2), 6.0);
+        assert_eq!(cpu.rsu_cycles_per_update(49), 49.0);
+    }
+
+    #[test]
+    fn sequential_hd_segmentation_takes_minutes() {
+        // Sanity: a single core at ~950 cycles/update over 10.4e9 updates
+        // lands in the minutes range — the reason the paper prefers the
+        // GPU comparison.
+        let cpu = CpuModel::e5_2640();
+        let t = cpu.baseline_time(&Workload::segmentation(ImageSize::HD));
+        assert!(t > 60.0 && t < 7200.0, "t = {t}");
+    }
+}

@@ -1,0 +1,230 @@
+//! The calibrated GPU timing model (GTX Titan X class, §8.1–§8.2).
+//!
+//! Execution time of a kernel variant is the compute-roofline /
+//! memory-roofline maximum:
+//!
+//! ```text
+//! t = max( pixel_updates · work / throughput(app, size),
+//!          total_bytes / effective_bandwidth )
+//! ```
+//!
+//! `throughput(app, size)` is calibrated **once, from the paper's baseline
+//! GPU column of Table 2** (four constants); the per-(app, size) spread
+//! encodes occupancy effects the paper describes (320×320 images do not
+//! saturate the GPU; motion's divergent loads run less efficiently than
+//! segmentation's). `effective_bandwidth` reflects that real kernels
+//! achieve ~65% of the Titan X's 336 GB/s peak — which is what makes the
+//! paper's RSU-G4 motion kernel "nearly saturate memory BW".
+
+use crate::kernel::{work_per_pixel_update, KernelVariant};
+use crate::workload::{ImageSize, VisionApp, Workload};
+
+/// Paper Table 2: baseline GPU execution times (seconds), used for
+/// calibration.
+pub const PAPER_BASELINE_SECONDS: [(VisionApp, ImageSize, f64); 4] = [
+    (VisionApp::Segmentation, ImageSize::SMALL, 0.3),
+    (VisionApp::Segmentation, ImageSize::HD, 3.2),
+    (VisionApp::MotionEstimation, ImageSize::SMALL, 0.55),
+    (VisionApp::MotionEstimation, ImageSize::HD, 7.17),
+];
+
+/// GTX Titan X peak DRAM bandwidth in bytes/s.
+pub const PEAK_BANDWIDTH: f64 = 336e9;
+
+/// Fraction of peak bandwidth real kernels achieve.
+pub const BANDWIDTH_EFFICIENCY: f64 = 0.65;
+
+/// The calibrated GPU model.
+///
+/// ```
+/// use mogs_arch::gpu::GpuModel;
+/// use mogs_arch::kernel::KernelVariant;
+/// use mogs_arch::workload::{ImageSize, Workload};
+///
+/// let gpu = GpuModel::calibrated();
+/// let motion = Workload::motion(ImageSize::HD);
+/// let speedup = gpu.speedup_over_baseline(&motion, KernelVariant::rsu(1));
+/// assert!(speedup > 10.0, "motion estimation gains over 10x");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    /// Effective throughput (work units/s) per calibration point.
+    throughput: Vec<(VisionApp, ImageSize, f64)>,
+    /// Effective memory bandwidth in bytes/s.
+    effective_bandwidth: f64,
+}
+
+impl GpuModel {
+    /// The model calibrated against the paper's Table 2 baselines.
+    pub fn calibrated() -> Self {
+        let throughput = PAPER_BASELINE_SECONDS
+            .iter()
+            .map(|&(app, size, seconds)| {
+                let w = Workload { app, size };
+                let work = work_per_pixel_update(app, KernelVariant::Baseline);
+                (app, size, w.pixel_updates() * work / seconds)
+            })
+            .collect();
+        GpuModel { throughput, effective_bandwidth: PEAK_BANDWIDTH * BANDWIDTH_EFFICIENCY }
+    }
+
+    /// Effective throughput for a workload, in work units per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics for workloads outside the calibrated set (the paper's GPU
+    /// evaluation covers segmentation and motion at two sizes).
+    pub fn throughput(&self, workload: &Workload) -> f64 {
+        self.throughput
+            .iter()
+            .find(|(app, size, _)| *app == workload.app && *size == workload.size)
+            .map(|(_, _, t)| *t)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no calibration point for {} at {}",
+                    workload.app.name(),
+                    workload.size.label()
+                )
+            })
+    }
+
+    /// The effective memory bandwidth in bytes/s.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.effective_bandwidth
+    }
+
+    /// Execution time (seconds) of a kernel variant on a workload.
+    pub fn execution_time(&self, workload: &Workload, variant: KernelVariant) -> f64 {
+        let work = work_per_pixel_update(workload.app, variant);
+        let compute = workload.pixel_updates() * work / self.throughput(workload);
+        let memory = workload.total_bytes() / self.effective_bandwidth;
+        compute.max(memory)
+    }
+
+    /// Whether a kernel variant is memory-bandwidth-bound on a workload.
+    pub fn is_memory_bound(&self, workload: &Workload, variant: KernelVariant) -> bool {
+        let work = work_per_pixel_update(workload.app, variant);
+        let compute = workload.pixel_updates() * work / self.throughput(workload);
+        let memory = workload.total_bytes() / self.effective_bandwidth;
+        memory > compute
+    }
+
+    /// Speedup of `variant` over the baseline GPU kernel.
+    pub fn speedup_over_baseline(&self, workload: &Workload, variant: KernelVariant) -> f64 {
+        self.execution_time(workload, KernelVariant::Baseline)
+            / self.execution_time(workload, variant)
+    }
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(got: f64, paper: f64, tolerance: f64, what: &str) {
+        let rel = (got - paper).abs() / paper;
+        assert!(
+            rel < tolerance,
+            "{what}: model {got:.3} vs paper {paper:.3} ({:.1}% off)",
+            rel * 100.0
+        );
+    }
+
+    #[test]
+    fn baselines_reproduce_exactly() {
+        let gpu = GpuModel::calibrated();
+        for (app, size, seconds) in PAPER_BASELINE_SECONDS {
+            let t = gpu.execution_time(&Workload { app, size }, KernelVariant::Baseline);
+            assert!((t - seconds).abs() < 1e-9, "{} {}", app.name(), size.label());
+        }
+    }
+
+    #[test]
+    fn table2_optimized_column_within_tolerance() {
+        let gpu = GpuModel::calibrated();
+        let cases = [
+            (Workload::segmentation(ImageSize::SMALL), 0.23),
+            (Workload::segmentation(ImageSize::HD), 2.6),
+            (Workload::motion(ImageSize::SMALL), 0.27),
+            (Workload::motion(ImageSize::HD), 3.35),
+        ];
+        for (w, paper) in cases {
+            let t = gpu.execution_time(&w, KernelVariant::OptimizedSingleton);
+            assert_close(t, paper, 0.12, &format!("opt {} {}", w.app.name(), w.size.label()));
+        }
+    }
+
+    #[test]
+    fn table2_rsu_g1_column_within_tolerance() {
+        let gpu = GpuModel::calibrated();
+        let cases = [
+            (Workload::segmentation(ImageSize::SMALL), 0.09),
+            (Workload::segmentation(ImageSize::HD), 1.1),
+            (Workload::motion(ImageSize::SMALL), 0.04),
+            (Workload::motion(ImageSize::HD), 0.45),
+        ];
+        for (w, paper) in cases {
+            let t = gpu.execution_time(&w, KernelVariant::rsu(1));
+            assert_close(t, paper, 0.15, &format!("RSU-G1 {} {}", w.app.name(), w.size.label()));
+        }
+    }
+
+    #[test]
+    fn table2_rsu_g4_column_within_tolerance() {
+        let gpu = GpuModel::calibrated();
+        let cases = [
+            (Workload::segmentation(ImageSize::SMALL), 0.09),
+            (Workload::segmentation(ImageSize::HD), 1.1),
+            (Workload::motion(ImageSize::SMALL), 0.02),
+            (Workload::motion(ImageSize::HD), 0.21),
+        ];
+        for (w, paper) in cases {
+            let t = gpu.execution_time(&w, KernelVariant::rsu(4));
+            assert_close(t, paper, 0.15, &format!("RSU-G4 {} {}", w.app.name(), w.size.label()));
+        }
+    }
+
+    #[test]
+    fn rsu_g4_motion_hd_nearly_saturates_bandwidth() {
+        // §8.2: "RSU-G4 nearly saturates memory BW" for motion at HD.
+        let gpu = GpuModel::calibrated();
+        let w = Workload::motion(ImageSize::HD);
+        let t = gpu.execution_time(&w, KernelVariant::rsu(4));
+        let mem = w.total_bytes() / gpu.effective_bandwidth();
+        assert!(mem / t > 0.85, "memory time {mem:.3} vs total {t:.3}");
+    }
+
+    #[test]
+    fn g4_does_not_help_segmentation() {
+        // Paper: segmentation's M = 5 leaves nothing for a wider unit.
+        let gpu = GpuModel::calibrated();
+        let w = Workload::segmentation(ImageSize::HD);
+        let g1 = gpu.execution_time(&w, KernelVariant::rsu(1));
+        let g4 = gpu.execution_time(&w, KernelVariant::rsu(4));
+        assert!((g1 - g4) / g1 < 0.05, "G1 {g1} vs G4 {g4}");
+    }
+
+    #[test]
+    fn baselines_are_compute_bound() {
+        let gpu = GpuModel::calibrated();
+        for (app, size, _) in PAPER_BASELINE_SECONDS {
+            assert!(!gpu.is_memory_bound(&Workload { app, size }, KernelVariant::Baseline));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no calibration point")]
+    fn uncalibrated_workload_panics() {
+        let gpu = GpuModel::calibrated();
+        let odd = Workload {
+            app: VisionApp::StereoVision,
+            size: ImageSize::SMALL,
+        };
+        gpu.execution_time(&odd, KernelVariant::Baseline);
+    }
+}

@@ -1,0 +1,172 @@
+//! Kernel work models: effective instruction costs per pixel update.
+//!
+//! Each kernel variant's cost per pixel update is `per_pixel + M ·
+//! per_label` *work units* (effective issue slots, folding instruction
+//! count and average memory behaviour together). The decompositions below
+//! are engineering estimates documented term by term; their job is to
+//! carry the *ratios* between kernel variants — absolute scale cancels
+//! against the calibrated GPU throughput.
+
+use crate::workload::VisionApp;
+
+/// The kernel variants compared in Table 2 / Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelVariant {
+    /// Standard MCMC: compute all clique energies, `exp`, CDF sampling.
+    Baseline,
+    /// Optimized MCMC: per-(pixel, label) singleton energies precomputed
+    /// once and loaded each iteration (§8.1 — costs memory capacity and
+    /// does not scale to large images and label sets).
+    OptimizedSingleton,
+    /// RSU-augmented kernel with RSU-G`K` units.
+    Rsu {
+        /// RSU width `K`.
+        width: u8,
+    },
+}
+
+impl KernelVariant {
+    /// The RSU variant of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64`.
+    pub fn rsu(width: u8) -> Self {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        KernelVariant::Rsu { width }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            KernelVariant::Baseline => "GPU".to_owned(),
+            KernelVariant::OptimizedSingleton => "Opt GPU".to_owned(),
+            KernelVariant::Rsu { width } => format!("RSU-G{width}"),
+        }
+    }
+}
+
+/// Per-pixel-update work (in work units) of a kernel variant for an
+/// application.
+///
+/// Cost decompositions (work units):
+///
+/// **Baseline, per pixel**: RNG state + uniform draw 25, neighbour loads
+/// and result store 15, CDF scan and select 10 → 50.
+/// **Baseline, per label**: doubleton (4 squared diffs + sum) 12,
+/// `exp()` 20, CDF accumulate 2, plus the singleton —
+/// segmentation/stereo compute it from register data (12); motion must
+/// *load a displaced destination pixel* (uncoalesced, 40) and then compute
+/// (12).
+///
+/// **Optimized**: the singleton column is replaced by a load of the
+/// precomputed value — 2 for segmentation/stereo (a 5-entry-per-pixel
+/// table that stays cache-resident) and 6 for motion (49 entries per
+/// pixel stream from DRAM); everything else unchanged.
+///
+/// **RSU**: energy computation, `exp`, RNG and CDF all disappear into the
+/// unit. What remains per pixel is the residual memory/control work
+/// (neighbour loads, result store, RSU control-register writes, occupancy
+/// effects): 85. Per label: one RSU issue slot, `1/K` with a `K`-wide
+/// unit; motion additionally streams the 49 destination pixels into
+/// `DATA2` (3 more units per label, also divided by `K` because wide units
+/// consume packed vector loads).
+pub fn work_per_pixel_update(app: VisionApp, variant: KernelVariant) -> f64 {
+    let m = f64::from(app.labels());
+    match variant {
+        KernelVariant::Baseline => {
+            let singleton = match app {
+                VisionApp::MotionEstimation => 40.0 + 12.0,
+                VisionApp::Segmentation | VisionApp::StereoVision => 12.0,
+            };
+            50.0 + m * (12.0 + 20.0 + 2.0 + singleton)
+        }
+        KernelVariant::OptimizedSingleton => {
+            let singleton_load = match app {
+                VisionApp::MotionEstimation => 6.0,
+                VisionApp::Segmentation | VisionApp::StereoVision => 2.0,
+            };
+            50.0 + m * (12.0 + 20.0 + 2.0 + singleton_load)
+        }
+        KernelVariant::Rsu { width } => {
+            let k = f64::from(width);
+            let per_label = match app {
+                VisionApp::MotionEstimation => (1.0 + 3.0) / k,
+                VisionApp::Segmentation | VisionApp::StereoVision => 1.0 / k,
+            };
+            85.0 + m * per_label
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_work_values() {
+        // Segmentation: 50 + 5·46 = 280; motion: 50 + 49·86 = 4264.
+        assert_eq!(
+            work_per_pixel_update(VisionApp::Segmentation, KernelVariant::Baseline),
+            280.0
+        );
+        assert_eq!(
+            work_per_pixel_update(VisionApp::MotionEstimation, KernelVariant::Baseline),
+            4264.0
+        );
+    }
+
+    #[test]
+    fn optimized_work_values() {
+        // Segmentation: 50 + 5·36 = 230; motion: 50 + 49·40 = 2010.
+        assert_eq!(
+            work_per_pixel_update(VisionApp::Segmentation, KernelVariant::OptimizedSingleton),
+            230.0
+        );
+        assert_eq!(
+            work_per_pixel_update(VisionApp::MotionEstimation, KernelVariant::OptimizedSingleton),
+            2010.0
+        );
+    }
+
+    #[test]
+    fn rsu_work_values() {
+        assert_eq!(
+            work_per_pixel_update(VisionApp::Segmentation, KernelVariant::rsu(1)),
+            90.0
+        );
+        assert_eq!(
+            work_per_pixel_update(VisionApp::MotionEstimation, KernelVariant::rsu(1)),
+            281.0
+        );
+        assert_eq!(
+            work_per_pixel_update(VisionApp::MotionEstimation, KernelVariant::rsu(4)),
+            134.0
+        );
+    }
+
+    #[test]
+    fn rsu_beats_optimized_beats_baseline() {
+        for app in [VisionApp::Segmentation, VisionApp::MotionEstimation] {
+            let b = work_per_pixel_update(app, KernelVariant::Baseline);
+            let o = work_per_pixel_update(app, KernelVariant::OptimizedSingleton);
+            let r = work_per_pixel_update(app, KernelVariant::rsu(1));
+            assert!(b > o && o > r, "{app:?}: {b} > {o} > {r}");
+        }
+    }
+
+    #[test]
+    fn wider_rsu_reduces_motion_work_but_not_fixed_cost() {
+        let g1 = work_per_pixel_update(VisionApp::MotionEstimation, KernelVariant::rsu(1));
+        let g64 = work_per_pixel_update(VisionApp::MotionEstimation, KernelVariant::rsu(64));
+        assert!(g64 < g1);
+        assert!(g64 > 85.0, "fixed residual work remains");
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(KernelVariant::Baseline.name(), "GPU");
+        assert_eq!(KernelVariant::OptimizedSingleton.name(), "Opt GPU");
+        assert_eq!(KernelVariant::rsu(4).name(), "RSU-G4");
+    }
+}

@@ -1,0 +1,135 @@
+//! Bandwidth and staging scaling studies (§8.2's closing remarks).
+//!
+//! The paper notes two scaling directions for the discrete accelerator:
+//! the number of RSU-G units "scales linearly with available memory
+//! bandwidth", and "further speedups are possible by using on-chip storage
+//! to increase memory bandwidth and staging image frames". This module
+//! quantifies both: a DRAM-bandwidth sweep, and an on-chip staging model
+//! where a fraction of the per-pixel traffic is served from SRAM.
+
+use crate::accelerator::Accelerator;
+use crate::workload::Workload;
+
+/// One point of the bandwidth sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthPoint {
+    /// DRAM bandwidth (bytes/s).
+    pub bandwidth: f64,
+    /// RSU-G1 units needed to consume it.
+    pub units: usize,
+    /// Execution time for the workload (s).
+    pub seconds: f64,
+}
+
+/// Sweeps the accelerator design across DRAM bandwidths.
+pub fn bandwidth_sweep(workload: &Workload, bandwidths: &[f64]) -> Vec<BandwidthPoint> {
+    bandwidths
+        .iter()
+        .map(|&bandwidth| {
+            let acc = Accelerator { bandwidth, ..Accelerator::paper_design() };
+            BandwidthPoint {
+                bandwidth,
+                units: acc.units_required(),
+                seconds: acc.execution_time(workload),
+            }
+        })
+        .collect()
+}
+
+/// An accelerator with an on-chip staging buffer: a fraction of each
+/// pixel's per-iteration traffic (the label exchanges between neighbouring
+/// sites, and re-read frame data) hits SRAM instead of DRAM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagedAccelerator {
+    /// The underlying DRAM-bound design.
+    pub base: Accelerator,
+    /// Fraction of per-pixel traffic served on-chip, in `[0, 1)`.
+    pub on_chip_fraction: f64,
+}
+
+impl StagedAccelerator {
+    /// Creates a staged design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is outside `[0, 1)`.
+    pub fn new(base: Accelerator, on_chip_fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&on_chip_fraction),
+            "staging fraction must be in [0, 1)"
+        );
+        StagedAccelerator { base, on_chip_fraction }
+    }
+
+    /// The label traffic an iteration-stationary tiling can keep on chip:
+    /// 4 of segmentation's 5 bytes (neighbour labels) and 4 of motion's 54
+    /// are inter-site exchanges; staged frames additionally keep the data
+    /// bytes resident across iterations.
+    pub fn execution_time(&self, workload: &Workload) -> f64 {
+        workload.total_bytes() * (1.0 - self.on_chip_fraction) / self.base.bandwidth
+    }
+
+    /// Speedup over the unstaged design.
+    pub fn staging_gain(&self, workload: &Workload) -> f64 {
+        self.base.execution_time(workload) / self.execution_time(workload)
+    }
+
+    /// SRAM bytes needed to stage one full frame of per-pixel state
+    /// (labels plus data) for this workload.
+    pub fn sram_bytes(&self, workload: &Workload) -> usize {
+        // One label byte plus the app's data bytes per pixel.
+        workload.size.pixels() * (1 + workload.app.bytes_per_pixel())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::ImageSize;
+
+    #[test]
+    fn units_scale_linearly_with_bandwidth() {
+        let w = Workload::segmentation(ImageSize::HD);
+        let points = bandwidth_sweep(&w, &[168e9, 336e9, 672e9, 1344e9]);
+        assert_eq!(points[0].units, 168);
+        assert_eq!(points[1].units, 336);
+        assert_eq!(points[2].units, 672);
+        assert_eq!(points[3].units, 1344);
+    }
+
+    #[test]
+    fn time_scales_inversely_with_bandwidth() {
+        let w = Workload::motion(ImageSize::HD);
+        let points = bandwidth_sweep(&w, &[336e9, 672e9]);
+        assert!((points[0].seconds / points[1].seconds - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staging_four_fifths_of_segmentation_traffic() {
+        // Segmentation moves 5 B/px; 4 are neighbour labels that a tiled
+        // schedule keeps on chip: 5x less DRAM traffic.
+        let w = Workload::segmentation(ImageSize::HD);
+        let staged = StagedAccelerator::new(Accelerator::paper_design(), 4.0 / 5.0);
+        assert!((staged.staging_gain(&w) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hd_frame_staging_fits_reasonable_sram() {
+        // Motion HD: (1 + 54) B/px × 2.07 MPx ≈ 114 MB — too big, which is
+        // why the paper stages *frames* (tiles), not whole images; the
+        // model exposes the requirement for the designer to tile against.
+        let w = Workload::motion(ImageSize::HD);
+        let staged = StagedAccelerator::new(Accelerator::paper_design(), 0.5);
+        let bytes = staged.sram_bytes(&w);
+        assert!(bytes > 100_000_000, "full-frame staging is {bytes} B");
+        // Segmentation at small size is SRAM-friendly.
+        let small = Workload::segmentation(ImageSize::SMALL);
+        assert!(staged.sram_bytes(&small) < 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "staging fraction must be in [0, 1)")]
+    fn full_staging_rejected() {
+        StagedAccelerator::new(Accelerator::paper_design(), 1.0);
+    }
+}

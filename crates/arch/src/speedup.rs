@@ -1,0 +1,163 @@
+//! Table 2 and Figure 8 regeneration.
+//!
+//! These functions produce the exact row/series structures the paper
+//! reports, from the calibrated models — the `repro table2` and
+//! `repro fig8` harness commands print them.
+
+use crate::gpu::GpuModel;
+use crate::kernel::KernelVariant;
+use crate::workload::{ImageSize, VisionApp, Workload};
+
+/// One row of Table 2: execution times in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// The application.
+    pub app: VisionApp,
+    /// The image size.
+    pub size: ImageSize,
+    /// Baseline GPU time (calibrated).
+    pub gpu: f64,
+    /// Optimized (precomputed singleton) GPU time.
+    pub opt_gpu: f64,
+    /// RSU-G1-augmented GPU time.
+    pub rsu_g1: f64,
+    /// RSU-G4-augmented GPU time.
+    pub rsu_g4: f64,
+}
+
+/// Regenerates Table 2 (four rows: two applications × two sizes).
+pub fn table2(gpu: &GpuModel) -> Vec<Table2Row> {
+    let mut rows = Vec::new();
+    for app in [VisionApp::Segmentation, VisionApp::MotionEstimation] {
+        for size in [ImageSize::SMALL, ImageSize::HD] {
+            let w = Workload { app, size };
+            rows.push(Table2Row {
+                app,
+                size,
+                gpu: gpu.execution_time(&w, KernelVariant::Baseline),
+                opt_gpu: gpu.execution_time(&w, KernelVariant::OptimizedSingleton),
+                rsu_g1: gpu.execution_time(&w, KernelVariant::rsu(1)),
+                rsu_g4: gpu.execution_time(&w, KernelVariant::rsu(4)),
+            });
+        }
+    }
+    rows
+}
+
+/// One bar group of Figure 8: speedups of an RSU variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure8Row {
+    /// The application.
+    pub app: VisionApp,
+    /// The image size.
+    pub size: ImageSize,
+    /// RSU width (1 or 4 in the paper).
+    pub rsu_width: u8,
+    /// Speedup over the baseline GPU.
+    pub over_gpu: f64,
+    /// Speedup over the optimized GPU.
+    pub over_opt_gpu: f64,
+}
+
+/// Regenerates Figure 8 (RSU-G1 and RSU-G4 speedups over both baselines,
+/// both applications, both sizes).
+pub fn figure8(gpu: &GpuModel) -> Vec<Figure8Row> {
+    let mut rows = Vec::new();
+    for width in [1u8, 4] {
+        for app in [VisionApp::Segmentation, VisionApp::MotionEstimation] {
+            for size in [ImageSize::SMALL, ImageSize::HD] {
+                let w = Workload { app, size };
+                let rsu = gpu.execution_time(&w, KernelVariant::rsu(width));
+                rows.push(Figure8Row {
+                    app,
+                    size,
+                    rsu_width: width,
+                    over_gpu: gpu.execution_time(&w, KernelVariant::Baseline) / rsu,
+                    over_opt_gpu: gpu.execution_time(&w, KernelVariant::OptimizedSingleton)
+                        / rsu,
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_four_rows_in_paper_order() {
+        let rows = table2(&GpuModel::calibrated());
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].app, VisionApp::Segmentation);
+        assert_eq!(rows[0].size, ImageSize::SMALL);
+        assert_eq!(rows[3].app, VisionApp::MotionEstimation);
+        assert_eq!(rows[3].size, ImageSize::HD);
+    }
+
+    #[test]
+    fn table2_orderings_match_paper() {
+        // In every row: GPU ≥ Opt GPU ≥ RSU-G1 ≥ RSU-G4.
+        for row in table2(&GpuModel::calibrated()) {
+            assert!(row.gpu >= row.opt_gpu && row.opt_gpu >= row.rsu_g1);
+            assert!(row.rsu_g1 >= row.rsu_g4 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn figure8_headline_speedups() {
+        let rows = figure8(&GpuModel::calibrated());
+        // RSU-G1 segmentation small ≈ 3.2 over GPU.
+        let seg_small = rows
+            .iter()
+            .find(|r| {
+                r.app == VisionApp::Segmentation
+                    && r.size == ImageSize::SMALL
+                    && r.rsu_width == 1
+            })
+            .unwrap();
+        assert!((seg_small.over_gpu - 3.2).abs() < 0.4, "{}", seg_small.over_gpu);
+        // RSU-G1 motion HD ≈ 16 over GPU.
+        let motion_hd = rows
+            .iter()
+            .find(|r| {
+                r.app == VisionApp::MotionEstimation
+                    && r.size == ImageSize::HD
+                    && r.rsu_width == 1
+            })
+            .unwrap();
+        assert!((motion_hd.over_gpu - 16.0).abs() < 2.0, "{}", motion_hd.over_gpu);
+        // RSU-G4 motion HD ≈ 34 over GPU.
+        let g4_hd = rows
+            .iter()
+            .find(|r| {
+                r.app == VisionApp::MotionEstimation
+                    && r.size == ImageSize::HD
+                    && r.rsu_width == 4
+            })
+            .unwrap();
+        assert!((g4_hd.over_gpu - 34.0).abs() < 4.0, "{}", g4_hd.over_gpu);
+    }
+
+    #[test]
+    fn motion_benefits_more_than_segmentation() {
+        // The paper's central shape: M = 49 gains far more than M = 5.
+        let rows = figure8(&GpuModel::calibrated());
+        let get = |app, width| {
+            rows.iter()
+                .find(|r| r.app == app && r.size == ImageSize::HD && r.rsu_width == width)
+                .unwrap()
+                .over_gpu
+        };
+        assert!(get(VisionApp::MotionEstimation, 1) > 3.0 * get(VisionApp::Segmentation, 1));
+    }
+
+    #[test]
+    fn speedup_over_opt_is_smaller_than_over_baseline() {
+        for row in figure8(&GpuModel::calibrated()) {
+            assert!(row.over_opt_gpu <= row.over_gpu);
+            assert!(row.over_opt_gpu >= 1.0, "RSU never loses to Opt GPU");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Workload descriptors for the paper's evaluation (§8.1).
+
+/// Image dimensions used in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ImageSize {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+}
+
+impl ImageSize {
+    /// The paper's small test size: 320×320.
+    pub const SMALL: ImageSize = ImageSize { width: 320, height: 320 };
+
+    /// The paper's HD test size: 1080×1920.
+    pub const HD: ImageSize = ImageSize { width: 1920, height: 1080 };
+
+    /// Total pixel count.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Display label, e.g. `320x320`.
+    pub fn label(&self) -> String {
+        format!("{}x{}", self.width, self.height)
+    }
+}
+
+/// The vision applications evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VisionApp {
+    /// Image segmentation: 5 labels, 5000 MCMC iterations, 5 B per pixel
+    /// per iteration (1 intensity + 4 neighbour labels).
+    Segmentation,
+    /// Dense motion estimation: 49 labels (7×7 window), 400 iterations,
+    /// 54 B per pixel per iteration (49 destination intensities + 1 source
+    /// + 4 neighbour labels).
+    MotionEstimation,
+    /// Stereo vision: 5 labels; evaluated on the CPU in the paper.
+    StereoVision,
+}
+
+impl VisionApp {
+    /// Labels per random variable.
+    pub fn labels(&self) -> u8 {
+        match self {
+            VisionApp::Segmentation | VisionApp::StereoVision => 5,
+            VisionApp::MotionEstimation => 49,
+        }
+    }
+
+    /// MCMC iterations the paper runs (§8.1).
+    pub fn iterations(&self) -> usize {
+        match self {
+            VisionApp::Segmentation => 5000,
+            VisionApp::MotionEstimation => 400,
+            VisionApp::StereoVision => 5000,
+        }
+    }
+
+    /// Bytes that must move from DRAM per pixel per iteration (§8.2).
+    pub fn bytes_per_pixel(&self) -> usize {
+        match self {
+            VisionApp::Segmentation | VisionApp::StereoVision => 5,
+            VisionApp::MotionEstimation => 54,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VisionApp::Segmentation => "image segmentation",
+            VisionApp::MotionEstimation => "dense motion estimation",
+            VisionApp::StereoVision => "stereo vision",
+        }
+    }
+}
+
+/// A complete workload: application × image size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Workload {
+    /// The application.
+    pub app: VisionApp,
+    /// The image size.
+    pub size: ImageSize,
+}
+
+impl Workload {
+    /// Segmentation at the given size.
+    pub fn segmentation(size: ImageSize) -> Self {
+        Workload { app: VisionApp::Segmentation, size }
+    }
+
+    /// Motion estimation at the given size.
+    pub fn motion(size: ImageSize) -> Self {
+        Workload { app: VisionApp::MotionEstimation, size }
+    }
+
+    /// Total pixel updates over the whole run.
+    pub fn pixel_updates(&self) -> f64 {
+        self.size.pixels() as f64 * self.app.iterations() as f64
+    }
+
+    /// Total DRAM traffic over the whole run, in bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.pixel_updates() * self.app.bytes_per_pixel() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes() {
+        assert_eq!(ImageSize::SMALL.pixels(), 102_400);
+        assert_eq!(ImageSize::HD.pixels(), 2_073_600);
+    }
+
+    #[test]
+    fn paper_workload_parameters() {
+        assert_eq!(VisionApp::Segmentation.labels(), 5);
+        assert_eq!(VisionApp::Segmentation.iterations(), 5000);
+        assert_eq!(VisionApp::Segmentation.bytes_per_pixel(), 5);
+        assert_eq!(VisionApp::MotionEstimation.labels(), 49);
+        assert_eq!(VisionApp::MotionEstimation.iterations(), 400);
+        assert_eq!(VisionApp::MotionEstimation.bytes_per_pixel(), 54);
+    }
+
+    #[test]
+    fn workload_totals() {
+        let w = Workload::segmentation(ImageSize::SMALL);
+        assert_eq!(w.pixel_updates(), 102_400.0 * 5000.0);
+        assert_eq!(w.total_bytes(), 102_400.0 * 5000.0 * 5.0);
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(ImageSize::SMALL.label(), "320x320");
+        assert_eq!(ImageSize::HD.label(), "1920x1080");
+    }
+}

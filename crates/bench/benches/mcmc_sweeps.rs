@@ -1,0 +1,66 @@
+//! Criterion benches of full MCMC sweeps: sequential vs
+//! checkerboard-parallel, software Gibbs vs the RSU-G hardware model.
+//!
+//! These back Figure 8's qualitative claim in software terms: the RSU-G
+//! quantization chain replaces the exp/CDF math of the exact sampler, and
+//! the checkerboard schedule exposes the parallelism the hardware designs
+//! exploit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mogs_core::rsu_g::RsuGSampler;
+use mogs_gibbs::sweep::{checkerboard_sweep, sequential_sweep};
+use mogs_gibbs::SoftmaxGibbs;
+use mogs_mrf::precision::EnergyQuantizer;
+use mogs_vision::segmentation::{Segmentation, SegmentationConfig};
+use mogs_vision::synthetic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sweeps(c: &mut Criterion) {
+    let scene = synthetic::region_scene(64, 64, 5, 8.0, 1);
+    let app = Segmentation::new(scene.image, SegmentationConfig::default());
+    let mrf = app.mrf();
+    let mut group = c.benchmark_group("segmentation_sweep_64x64");
+    group.sample_size(20);
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut gibbs = SoftmaxGibbs::new();
+    let mut labels = mrf.uniform_labeling();
+    group.bench_function("sequential_softmax", |b| {
+        b.iter(|| {
+            sequential_sweep(mrf, &mut labels, &mut gibbs, 4.0, &mut rng);
+            black_box(labels[0])
+        })
+    });
+
+    let mut rsu = RsuGSampler::new(EnergyQuantizer::new(8.0), 4.0);
+    let mut labels = mrf.uniform_labeling();
+    group.bench_function("sequential_rsu_model", |b| {
+        b.iter(|| {
+            sequential_sweep(mrf, &mut labels, &mut rsu, 4.0, &mut rng);
+            black_box(labels[0])
+        })
+    });
+
+    for threads in [2usize, 4] {
+        let sampler = SoftmaxGibbs::new();
+        let mut labels = mrf.uniform_labeling();
+        let mut seed = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new("checkerboard_softmax", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    seed += 1;
+                    checkerboard_sweep(mrf, &mut labels, &sampler, 4.0, t, seed);
+                    black_box(labels[0])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches of the RET physics substrate: exciton Gillespie
+//! walks, phase-type analytics, and circuit-level TTF sampling at both
+//! fidelities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mogs_ret::circuit::{Fidelity, RetCircuit, RetCircuitConfig};
+use mogs_ret::ctmc::simulate_exciton;
+use mogs_ret::network::RetNetwork;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_gillespie(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exciton_gillespie");
+    let mut rng = StdRng::seed_from_u64(1);
+    for (name, network) in [
+        ("donor_acceptor", RetNetwork::donor_acceptor(4.0)),
+        ("cascade", RetNetwork::cascade(3.0)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &network, |b, net| {
+            b.iter(|| black_box(simulate_exciton(net, 0, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_phase_type(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_type");
+    let network = RetNetwork::cascade(3.0);
+    let ph = network.ttf_distribution(0).expect("node 0");
+    group.bench_function("cdf", |b| b.iter(|| black_box(ph.cdf(1.5))));
+    group.bench_function("mean", |b| b.iter(|| black_box(ph.mean())));
+    let mut rng = StdRng::seed_from_u64(2);
+    group.bench_function("sample", |b| b.iter(|| black_box(ph.sample(&mut rng))));
+    group.finish();
+}
+
+fn bench_circuit_fidelity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit_ttf");
+    let mut rng = StdRng::seed_from_u64(3);
+    for (name, fidelity) in [("ideal", Fidelity::Ideal), ("physics", Fidelity::Physics)] {
+        let mut circuit =
+            RetCircuit::new(RetCircuitConfig { fidelity, ..RetCircuitConfig::default() });
+        circuit.set_intensity_code(10);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| black_box(circuit.sample_ttf(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gillespie, bench_phase_type, bench_circuit_fidelity);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches of the RSU-G unit model itself: per-site sampling at
+//! the paper's two label counts, the first-to-fire primitive, and the
+//! cycle-accurate pipeline simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mogs_core::pipeline::{simulate_site, PipelineConfig};
+use mogs_core::rsu_g::{RsuG, RsuGConfig, SiteInputs};
+use mogs_ret::exponential::first_to_fire;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_sample_site(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsu_g_sample_site");
+    let mut rng = StdRng::seed_from_u64(1);
+    for m in [5u8, 49] {
+        let mut rsu = RsuG::new(RsuGConfig::for_labels(m, 24.0));
+        let inputs = SiteInputs {
+            neighbors: [Some(1), Some(2), Some(1), Some(0)],
+            data1: 20,
+            data2: (0..m).map(|i| i % 64).collect(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(rsu.sample_site(&inputs, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_first_to_fire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("first_to_fire");
+    let mut rng = StdRng::seed_from_u64(2);
+    for m in [2usize, 5, 49, 64] {
+        let rates: Vec<f64> = (0..m).map(|i| 0.1 + i as f64 * 0.05).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(first_to_fire(&rates, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_simulation");
+    for replicas in [1u32, 4] {
+        let config = PipelineConfig { replicas_per_lane: replicas, ..PipelineConfig::default() };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(replicas),
+            &replicas,
+            |b, _| b.iter(|| black_box(simulate_site(&config, 64))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_site, bench_first_to_fire, bench_pipeline_sim);
+criterion_main!(benches);

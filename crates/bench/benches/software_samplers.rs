@@ -1,0 +1,55 @@
+//! Criterion benches backing Table 1: cost per sample of the software
+//! distribution samplers, plus the label samplers they feed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mogs_core::rsu_g::RsuGSampler;
+use mogs_gibbs::dist::{Exponential, Gamma, Normal};
+use mogs_gibbs::{LabelSampler, Metropolis, SoftmaxGibbs};
+use mogs_mrf::precision::EnergyQuantizer;
+use mogs_mrf::Label;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_distributions");
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let exp = Exponential::new(1.0);
+    group.bench_function("exponential", |b| b.iter(|| black_box(exp.sample(&mut rng))));
+
+    let mut normal = Normal::standard();
+    group.bench_function("normal", |b| b.iter(|| black_box(normal.sample(&mut rng))));
+
+    let gamma = Gamma::new(2.0, 1.0);
+    group.bench_function("gamma", |b| b.iter(|| black_box(gamma.sample(&mut rng))));
+    group.finish();
+}
+
+fn bench_label_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_samplers");
+    let mut rng = StdRng::seed_from_u64(2);
+    for m in [5usize, 49] {
+        let energies: Vec<f64> = (0..m).map(|i| i as f64 * 2.0).collect();
+        let mut gibbs = SoftmaxGibbs::new();
+        group.bench_with_input(BenchmarkId::new("softmax_gibbs", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(gibbs.sample_label(&energies, 4.0, Label::new(0), &mut rng))
+            })
+        });
+        let mut metropolis = Metropolis::new();
+        group.bench_with_input(BenchmarkId::new("metropolis", m), &m, |b, _| {
+            b.iter(|| {
+                black_box(metropolis.sample_label(&energies, 4.0, Label::new(0), &mut rng))
+            })
+        });
+        let mut rsu = RsuGSampler::new(EnergyQuantizer::new(8.0), 4.0);
+        group.bench_with_input(BenchmarkId::new("rsu_g_model", m), &m, |b, _| {
+            b.iter(|| black_box(rsu.sample_label(&energies, 4.0, Label::new(0), &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributions, bench_label_samplers);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage: `repro <experiment> [out_dir]`, or `repro all [out_dir]`.
+//!
+//! Experiments (see DESIGN.md §5 for the index):
+//!
+//! | id | paper artifact |
+//! |---|---|
+//! | `table1` | cycles to sample Exp/Normal/Gamma |
+//! | `table2` | application execution times |
+//! | `table3` | RSU-G1 power |
+//! | `table4` | RSU-G1 area |
+//! | `fig7` | prototype 50×67 segmentation (writes PGMs with out_dir) |
+//! | `fig8` | RSU speedups over GPU baselines |
+//! | `proto-ratio` | §7 ratio parameterization sweep |
+//! | `accel` | §8.2 discrete-accelerator analysis |
+//! | `ablate-precision` | A1: quantization-fidelity sweep |
+//! | `ablate-circuits` | A2: RET-circuit replication |
+//! | `quality` | A3: solution quality per sampler |
+//! | `wearout` | A4: photobleaching lifetime |
+//! | `width-sweep` | A5: RSU-Gk width trade-offs |
+//! | `energy` | A6: energy per inference run |
+//! | `restore` | A7: image restoration quality |
+//! | `converge` | A8: multi-chain R-hat + cycle-level accelerator sim |
+//! | `anneal` | A9: temperature-schedule ablation |
+
+use mogs_bench::experiments::{
+    ablation, anneal, convergence, energy, fig7, paper_tables, proto_ratio, quality, restore,
+    table1, wearout,
+};
+use mogs_bench::report::render_table;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const EXPERIMENTS: [&str; 17] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig7",
+    "fig8",
+    "proto-ratio",
+    "accel",
+    "ablate-precision",
+    "ablate-circuits",
+    "quality",
+    "wearout",
+    "width-sweep",
+    "energy",
+    "restore",
+    "converge",
+    "anneal",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(experiment) = args.first() else {
+        eprintln!("usage: repro <experiment|all> [out_dir]");
+        eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+        return ExitCode::FAILURE;
+    };
+    let out_dir: Option<PathBuf> = args.get(1).map(PathBuf::from);
+    if experiment == "all" {
+        for id in EXPERIMENTS {
+            println!("==================== {id} ====================");
+            if let Err(e) = run(id, out_dir.as_deref()) {
+                eprintln!("{id} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!();
+        }
+        if let Some(dir) = &out_dir {
+            println!("artifacts written under {}", dir.display());
+        }
+        return ExitCode::SUCCESS;
+    }
+    match run(experiment, out_dir.as_deref()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{experiment} failed: {e}");
+            eprintln!("experiments: {}", EXPERIMENTS.join(", "));
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(experiment: &str, out_dir: Option<&Path>) -> Result<(), String> {
+    let emit = |text: String| -> Result<(), String> {
+        println!("{text}");
+        if let Some(dir) = out_dir {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            std::fs::write(dir.join(format!("{experiment}.txt")), text)
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    };
+    match experiment {
+        "table1" => {
+            let rows = table1::measure(1_000_000);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.distribution.to_owned(),
+                        format!("{:.1}", r.ns_per_sample),
+                        format!("{:.0}", r.cycles),
+                        format!("{:.0}", r.paper_cycles),
+                    ]
+                })
+                .collect();
+            println!(
+                "Table 1: cycles to sample (this machine, converted at 2.5 GHz nominal)\n"
+            );
+            println!(
+                "{}",
+                render_table(
+                    &["distribution", "ns/sample", "cycles", "paper (E5-2640)"],
+                    &table
+                )
+            );
+        }
+        "table2" => emit(paper_tables::render_table2())?,
+        "table3" => emit(paper_tables::render_table3())?,
+        "table4" => emit(paper_tables::render_table4())?,
+        "fig8" => emit(paper_tables::render_fig8())?,
+        "accel" => emit(paper_tables::render_accelerator())?,
+        "fig7" => {
+            let result = fig7::run(out_dir, 7).map_err(|e| e.to_string())?;
+            println!("{}", fig7::render(&result));
+            if let Some(dir) = out_dir {
+                println!("PGMs written to {}", dir.display());
+            }
+        }
+        "proto-ratio" => {
+            let points = proto_ratio::run(60_000, 42);
+            emit(proto_ratio::render(&points))?;
+        }
+        "ablate-precision" => {
+            // A representative 5-label conditional-energy vector at the
+            // segmentation design point.
+            let energies = [0.0, 8.0, 16.0, 24.0, 40.0];
+            let points = ablation::precision_sweep(&energies, 24.0, 60_000, 1);
+            emit(ablation::render_precision(&points))?;
+        }
+        "ablate-circuits" => emit(ablation::render_replicas())?,
+        "quality" => {
+            let cells = quality::run(60, 5);
+            emit(quality::render(&cells))?;
+        }
+        "wearout" => emit(wearout::render(&wearout::sweep()))?,
+        "width-sweep" => emit(ablation::render_width_sweep())?,
+        "energy" => emit(energy::render())?,
+        "restore" => {
+            let rows = restore::run(50, 3);
+            emit(restore::render(&rows))?;
+        }
+        "converge" => {
+            let mut text = convergence::render_r_hat(9);
+            text.push('\n');
+            text.push_str(&convergence::render_accel_sim());
+            text.push('\n');
+            text.push_str(&convergence::render_tempering(3));
+            text.push('\n');
+            text.push_str(&convergence::render_pyramid(4));
+            emit(text)?;
+        }
+        "anneal" => {
+            let rows = anneal::run(80, 7);
+            emit(anneal::render(&rows))?;
+        }
+        other => return Err(format!("unknown experiment '{other}'")),
+    }
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! A6: energy-per-run analysis (derived from §8.3 power × Table 2 time).
+
+use crate::report::render_table;
+use mogs_arch::energy::EnergyModel;
+use mogs_arch::kernel::KernelVariant;
+use mogs_arch::workload::{ImageSize, Workload};
+
+/// Renders the energy table for both applications at HD.
+pub fn render() -> String {
+    let model = EnergyModel::paper_design();
+    let mut rows = Vec::new();
+    for w in [Workload::segmentation(ImageSize::HD), Workload::motion(ImageSize::HD)] {
+        for variant in [
+            KernelVariant::Baseline,
+            KernelVariant::OptimizedSingleton,
+            KernelVariant::rsu(1),
+            KernelVariant::rsu(4),
+        ] {
+            let run = model.gpu_run(&w, variant);
+            rows.push(vec![
+                w.app.name().to_owned(),
+                variant.name(),
+                format!("{:.0}", run.watts),
+                format!("{:.2}", run.seconds),
+                format!("{:.0}", run.joules),
+                format!("{:.1}x", model.gpu_efficiency_gain(&w, variant)),
+            ]);
+        }
+        let run = model.accelerator_run(&w);
+        rows.push(vec![
+            w.app.name().to_owned(),
+            "accelerator".to_owned(),
+            format!("{:.0}", run.watts),
+            format!("{:.2}", run.seconds),
+            format!("{:.0}", run.joules),
+            format!("{:.1}x", model.accelerator_efficiency_gain(&w)),
+        ]);
+    }
+    let mut s = String::from(
+        "A6: energy per complete HD inference run (250 W GPU board; RSU array \
+         adds 12 W; accelerator = 336 units + DRAM + control)\n\n",
+    );
+    s.push_str(&render_table(
+        &["application", "system", "power (W)", "time (s)", "energy (J)", "gain"],
+        &rows,
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_covers_all_systems() {
+        let s = render();
+        for name in ["GPU", "Opt GPU", "RSU-G1", "RSU-G4", "accelerator"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

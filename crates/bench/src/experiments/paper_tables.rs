@@ -1,0 +1,169 @@
+//! Tables 2–4, Figure 8 and the §8.2 accelerator analysis, rendered.
+
+use crate::report::{fmt, render_table};
+use mogs_arch::accelerator::Accelerator;
+use mogs_arch::gpu::GpuModel;
+use mogs_arch::speedup::{figure8, table2};
+use mogs_arch::workload::{ImageSize, Workload};
+use mogs_core::area::AreaModel;
+use mogs_core::power::{PowerModel, TechNode};
+
+/// Paper Table 2 reference cells (seconds), for side-by-side printing:
+/// (app, size, gpu, opt, rsu_g1, rsu_g4).
+pub const PAPER_TABLE2: [(&str, &str, f64, f64, f64, f64); 4] = [
+    ("image segmentation", "320x320", 0.3, 0.23, 0.09, 0.09),
+    ("image segmentation", "1920x1080", 3.2, 2.6, 1.1, 1.1),
+    ("dense motion estimation", "320x320", 0.55, 0.27, 0.04, 0.02),
+    ("dense motion estimation", "1920x1080", 7.17, 3.35, 0.45, 0.21),
+];
+
+/// Renders Table 2 with model vs paper cells.
+pub fn render_table2() -> String {
+    let rows = table2(&GpuModel::calibrated());
+    let mut out: Vec<Vec<String>> = Vec::new();
+    for (row, paper) in rows.iter().zip(PAPER_TABLE2) {
+        out.push(vec![
+            row.app.name().to_owned(),
+            row.size.label(),
+            format!("{} ({})", fmt(row.gpu), fmt(paper.2)),
+            format!("{} ({})", fmt(row.opt_gpu), fmt(paper.3)),
+            format!("{} ({})", fmt(row.rsu_g1), fmt(paper.4)),
+            format!("{} ({})", fmt(row.rsu_g4), fmt(paper.5)),
+        ]);
+    }
+    let mut s = String::from(
+        "Table 2: application execution time in seconds — model (paper)\n\n",
+    );
+    s.push_str(&render_table(
+        &["application", "size", "GPU", "Opt GPU", "RSU-G1", "RSU-G4"],
+        &out,
+    ));
+    s
+}
+
+/// Renders Table 3 (power) for both nodes, plus the derived system
+/// figures.
+pub fn render_table3() -> String {
+    let mut rows = Vec::new();
+    for (node, label) in [(TechNode::N45, "45nm (590MHz)"), (TechNode::N15, "15nm (1GHz)")] {
+        let p = PowerModel::new(node).rsu_g1();
+        rows.push(vec![
+            label.to_owned(),
+            format!("{:.2}", p.logic_mw),
+            format!("{:.2}", p.ret_mw),
+            format!("{:.2}", p.lut_mw),
+            format!("{:.2}", p.total_mw()),
+        ]);
+    }
+    let model15 = PowerModel::new(TechNode::N15);
+    let mut s = String::from("Table 3: power for a single RSU-G1 (mW)\n\n");
+    s.push_str(&render_table(&["node", "logic", "RET circuit", "LUT", "total"], &rows));
+    s.push_str(&format!(
+        "\nDerived: GPU with 3072 units: {:.1} W; accelerator with 336 units: {:.2} W\n",
+        model15.system_watts(3072),
+        model15.system_watts(336)
+    ));
+    s
+}
+
+/// Renders Table 4 (area) for both nodes.
+pub fn render_table4() -> String {
+    let mut rows = Vec::new();
+    for (node, label) in [(TechNode::N45, "45nm"), (TechNode::N15, "15nm")] {
+        let a = AreaModel::new(node).rsu_g1();
+        rows.push(vec![
+            label.to_owned(),
+            format!("{:.0}", a.logic_um2),
+            format!("{:.0}", a.ret_um2),
+            format!("{:.0}", a.lut_um2),
+            format!("{:.0}", a.total_um2()),
+        ]);
+    }
+    let mut s = String::from("Table 4: area for a single RSU-G1 (um^2)\n\n");
+    s.push_str(&render_table(&["node", "logic", "RET circuit", "LUT", "total"], &rows));
+    s.push_str(&format!(
+        "\nDerived: one RSU-G1 at 15nm: {:.4} mm^2 (optics {:.4}, CMOS {:.4})\n",
+        AreaModel::new(TechNode::N15).rsu_g1().total_mm2(),
+        AreaModel::new(TechNode::N15).rsu_g1().ret_um2 / 1e6,
+        (AreaModel::new(TechNode::N15).rsu_g1().logic_um2
+            + AreaModel::new(TechNode::N15).rsu_g1().lut_um2)
+            / 1e6,
+    ));
+    s
+}
+
+/// Renders Figure 8's bar values: speedups over GPU and Opt GPU.
+pub fn render_fig8() -> String {
+    let rows = figure8(&GpuModel::calibrated());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("RSU-G{}", r.rsu_width),
+                r.app.name().to_owned(),
+                r.size.label(),
+                format!("{:.1}", r.over_gpu),
+                format!("{:.1}", r.over_opt_gpu),
+            ]
+        })
+        .collect();
+    let mut s = String::from("Figure 8: RSU speedup over GPU baselines\n\n");
+    s.push_str(&render_table(
+        &["unit", "application", "size", "over GPU", "over Opt GPU"],
+        &table,
+    ));
+    s.push_str(
+        "\nPaper reference: seg G1 3.2/3.0 over GPU (2.5/2.4 over Opt);\n\
+         motion G1 12.8/16.1 over GPU (6.4/7.5 over Opt); motion G4 23/34 over GPU\n",
+    );
+    s
+}
+
+/// Renders the §8.2 discrete-accelerator analysis.
+pub fn render_accelerator() -> String {
+    let acc = Accelerator::paper_design();
+    let gpu = GpuModel::calibrated();
+    let mut rows = Vec::new();
+    let cases = [
+        (Workload::segmentation(ImageSize::SMALL), 39.0),
+        (Workload::segmentation(ImageSize::HD), 21.0),
+        (Workload::motion(ImageSize::SMALL), 84.0),
+        (Workload::motion(ImageSize::HD), 54.0),
+    ];
+    for (w, paper) in cases {
+        rows.push(vec![
+            w.app.name().to_owned(),
+            w.size.label(),
+            format!("{:.4}", acc.execution_time(&w)),
+            format!("{:.1} ({})", acc.speedup_over_gpu(&gpu, &w), paper),
+        ]);
+    }
+    let mut s = String::from(
+        "Discrete accelerator (336 GB/s DRAM bound) — model (paper)\n\n",
+    );
+    s.push_str(&render_table(
+        &["application", "size", "time (s)", "speedup over GPU"],
+        &rows,
+    ));
+    s.push_str(&format!(
+        "\nRSU-G1 units required: {} (paper: 336)\n\
+         Speedup over RSU-G4 GPU, motion HD: {:.2} (paper: 1.55)\n",
+        acc.units_required(),
+        acc.speedup_over_rsu_gpu(&gpu, &Workload::motion(ImageSize::HD), 4)
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_contain_key_figures() {
+        assert!(render_table2().contains("image segmentation"));
+        assert!(render_table3().contains("3.91"));
+        assert!(render_table4().contains("2898"));
+        assert!(render_fig8().contains("RSU-G4"));
+        assert!(render_accelerator().contains("336"));
+    }
+}

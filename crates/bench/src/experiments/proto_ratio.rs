@@ -1,0 +1,48 @@
+//! §7 ratio-parameterization experiment rendering.
+
+use crate::report::render_table;
+use mogs_proto::experiments::{ratio_sweep, standard_targets, RatioPoint};
+use mogs_proto::rig::PrototypeRig;
+
+/// Runs the standard sweep.
+pub fn run(trials: usize, seed: u64) -> Vec<RatioPoint> {
+    let mut rig = PrototypeRig::default();
+    ratio_sweep(&mut rig, &standard_targets(), trials, seed)
+}
+
+/// Renders the sweep with the paper's error bands annotated.
+pub fn render(points: &[RatioPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let band = if p.target <= 30.0 { "<=10% (paper)" } else { "~24% (paper)" };
+            vec![
+                format!("{:.0}", p.target),
+                format!("{:.1}", p.measured),
+                format!("{:.1}%", p.relative_error * 100.0),
+                band.to_owned(),
+            ]
+        })
+        .collect();
+    let mut s = String::from(
+        "Prototype ratio parameterization (paper: <=10% error below ratio 30, ~24% above)\n\n",
+    );
+    s.push_str(&render_table(
+        &["target ratio", "measured", "error", "expected band"],
+        &rows,
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_renders_all_targets() {
+        let points = run(5_000, 3);
+        let text = render(&points);
+        assert!(text.contains("255"));
+        assert_eq!(points.len(), 11);
+    }
+}

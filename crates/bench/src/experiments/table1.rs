@@ -1,0 +1,105 @@
+//! Table 1: cycles to sample from different distributions.
+//!
+//! The paper measures the C++11 `<random>` exponential, normal and gamma
+//! samplers on a 2.5 GHz Intel E5-2640 (588 / 633 / 800 cycles per
+//! sample). We time our from-scratch implementations of the same textbook
+//! algorithms and convert to cycles at the E5-2640's nominal clock. The
+//! claim being reproduced is the *shape* — hundreds of cycles, ordered
+//! exponential < normal < gamma — not the exact figures of a different
+//! CPU, compiler, and library.
+
+use mogs_gibbs::dist::{Exponential, Gamma, Normal};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Nominal clock used for the cycles conversion (E5-2640: 2.5 GHz).
+pub const NOMINAL_CLOCK_HZ: f64 = 2.5e9;
+
+/// Paper Table 1 values, for comparison in output.
+pub const PAPER_CYCLES: [(&str, f64); 3] =
+    [("Exponential", 588.0), ("Normal", 633.0), ("Gamma", 800.0)];
+
+/// One measured row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Distribution name.
+    pub distribution: &'static str,
+    /// Average nanoseconds per sample.
+    pub ns_per_sample: f64,
+    /// Equivalent cycles at [`NOMINAL_CLOCK_HZ`].
+    pub cycles: f64,
+    /// The paper's measured cycles, for side-by-side output.
+    pub paper_cycles: f64,
+}
+
+/// Runs the measurement with `n` samples per distribution.
+///
+/// A black-box accumulator keeps the optimizer honest; timings use a warm
+/// RNG. Cycle counts on a modern machine will differ from a 2012-era
+/// E5-2640 — the ordering and the order of magnitude are the claims.
+pub fn measure(n: usize) -> Vec<Table1Row> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut sink = 0.0f64;
+
+    let exponential = Exponential::new(1.0);
+    let start = Instant::now();
+    for _ in 0..n {
+        sink += exponential.sample(&mut rng);
+    }
+    let exp_ns = start.elapsed().as_nanos() as f64 / n as f64;
+
+    let mut normal = Normal::standard();
+    let start = Instant::now();
+    for _ in 0..n {
+        sink += normal.sample(&mut rng);
+    }
+    let normal_ns = start.elapsed().as_nanos() as f64 / n as f64;
+
+    let gamma = Gamma::new(2.0, 1.0);
+    let start = Instant::now();
+    for _ in 0..n {
+        sink += gamma.sample(&mut rng);
+    }
+    let gamma_ns = start.elapsed().as_nanos() as f64 / n as f64;
+
+    std::hint::black_box(sink);
+    let row = |name: &'static str, ns: f64, paper: f64| Table1Row {
+        distribution: name,
+        ns_per_sample: ns,
+        cycles: ns * 1e-9 * NOMINAL_CLOCK_HZ,
+        paper_cycles: paper,
+    };
+    vec![
+        row("Exponential", exp_ns, PAPER_CYCLES[0].1),
+        row("Normal", normal_ns, PAPER_CYCLES[1].1),
+        row("Gamma", gamma_ns, PAPER_CYCLES[2].1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_costs_most() {
+        let rows = measure(200_000);
+        let get = |name: &str| rows.iter().find(|r| r.distribution == name).unwrap().cycles;
+        assert!(
+            get("Gamma") > get("Exponential"),
+            "gamma {} vs exponential {}",
+            get("Gamma"),
+            get("Exponential")
+        );
+    }
+
+    #[test]
+    fn all_samplers_cost_many_cycles() {
+        // The motivation for hardware sampling: tens-to-hundreds of cycles
+        // per sample even for the cheapest distribution.
+        for row in measure(200_000) {
+            assert!(row.cycles > 5.0, "{}: {} cycles", row.distribution, row.cycles);
+            assert!(row.cycles < 10_000.0, "{}: {} cycles", row.distribution, row.cycles);
+        }
+    }
+}

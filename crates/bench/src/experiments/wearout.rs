@@ -1,0 +1,91 @@
+//! A4: chromophore wear-out study (paper §9).
+//!
+//! The paper names two mitigations for photobleaching — more RET networks
+//! per circuit and oxygen encapsulation. This experiment quantifies both:
+//! usable lifetime (sustained sampling at full rate) versus ensemble size
+//! and encapsulation factor.
+
+use crate::report::render_table;
+use mogs_ret::wearout::EnsembleWearout;
+
+/// One lifetime row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearoutPoint {
+    /// Networks in the ensemble.
+    pub ensemble_size: usize,
+    /// Encapsulation lifetime multiplier.
+    pub encapsulation: f64,
+    /// Usable seconds at a sustained 0.6 excitations/ns (a fully driven
+    /// RSU-G1 lane) before the ensemble drops below 80% photoactive.
+    pub usable_seconds: f64,
+}
+
+/// Sweeps ensemble size × encapsulation factor.
+pub fn sweep() -> Vec<WearoutPoint> {
+    let mut out = Vec::new();
+    for ensemble_size in [16usize, 64, 256, 1024] {
+        for encapsulation in [1.0, 10.0, 100.0] {
+            let model = EnsembleWearout::new(ensemble_size, 1e6, encapsulation);
+            out.push(WearoutPoint {
+                ensemble_size,
+                encapsulation,
+                usable_seconds: model.usable_seconds(0.6, 0.8),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the sweep.
+pub fn render(points: &[WearoutPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.ensemble_size.to_string(),
+                format!("{:.0}x", p.encapsulation),
+                if p.usable_seconds >= 1.0 {
+                    format!("{:.1} s", p.usable_seconds)
+                } else {
+                    format!("{:.1} ms", p.usable_seconds * 1000.0)
+                },
+            ]
+        })
+        .collect();
+    let mut s = String::from(
+        "A4: usable lifetime at sustained full-rate sampling before the \
+         ensemble drops below 80% photoactive (mean 1e6 excitations per \
+         network)\n\n",
+    );
+    s.push_str(&render_table(&["ensemble size", "encapsulation", "usable lifetime"], &rows));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifetime_grows_with_both_knobs() {
+        let points = sweep();
+        let get = |n: usize, e: f64| {
+            points
+                .iter()
+                .find(|p| p.ensemble_size == n && p.encapsulation == e)
+                .unwrap()
+                .usable_seconds
+        };
+        assert!(get(256, 1.0) > get(16, 1.0));
+        assert!(get(64, 100.0) > get(64, 1.0));
+        // Encapsulation is multiplicative.
+        assert!((get(64, 100.0) / get(64, 1.0) - 100.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn render_mentions_all_sizes() {
+        let s = render(&sweep());
+        for n in ["16", "64", "256", "1024"] {
+            assert!(s.contains(n));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders rows of cells as an aligned text table with a header rule.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "every row must match the header");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!("{cell:<w$}  "));
+        }
+        line.trim_end().to_owned()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with 3 significant-ish decimals, trimming noise.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn fmt_scales() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.6), "1235");
+        assert_eq!(fmt(3.456), "3.46");
+        assert_eq!(fmt(0.0123), "0.0123");
+    }
+
+    #[test]
+    #[should_panic(expected = "every row must match the header")]
+    fn ragged_rows_panic() {
+        render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,127 @@
+//! RSU-G area model (paper Table 4 and §8.3).
+//!
+//! The RET circuit's footprint is dominated by its optics: the SPAD is
+//! ~1 µm², each of the four QD-LEDs is ~16×25 µm² (400 µm² per circuit),
+//! and the RET-network ensemble volume (~N·20·20·2 nm³) is negligible and
+//! sits in a layer above the SPAD. Four replicated circuits give
+//! 1600 µm² per RSU-G1 — constant across CMOS nodes, because optics do not
+//! shrink with the transistor pitch. The CMOS logic and LUT areas come from
+//! synthesis/Cacti at 45 nm and theoretical scaling to 15 nm.
+
+use crate::power::TechNode;
+use crate::variants::RsuVariant;
+
+/// Area of one RET circuit (SPAD + QD-LEDs) in µm².
+pub const RET_CIRCUIT_AREA_UM2: f64 = 400.0;
+
+/// Per-component area breakdown of one RSU-G unit, in µm².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// CMOS pipeline logic.
+    pub logic_um2: f64,
+    /// RET circuits (4 replicas × 400 µm²).
+    pub ret_um2: f64,
+    /// Intensity-map lookup table.
+    pub lut_um2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total unit area in µm².
+    pub fn total_um2(&self) -> f64 {
+        self.logic_um2 + self.ret_um2 + self.lut_um2
+    }
+
+    /// Total unit area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.total_um2() / 1e6
+    }
+}
+
+/// The RSU-G area model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AreaModel {
+    node: TechNode,
+}
+
+impl AreaModel {
+    /// A model at the given technology node.
+    pub fn new(node: TechNode) -> Self {
+        AreaModel { node }
+    }
+
+    /// The technology node.
+    pub fn node(&self) -> TechNode {
+        self.node
+    }
+
+    /// Per-component area of a single RSU-G1 (paper Table 4).
+    pub fn rsu_g1(&self) -> AreaBreakdown {
+        let ret_um2 = 4.0 * RET_CIRCUIT_AREA_UM2;
+        match self.node {
+            TechNode::N45 => AreaBreakdown { logic_um2: 2275.0, ret_um2, lut_um2: 1798.0 },
+            TechNode::N15 => AreaBreakdown { logic_um2: 642.0, ret_um2, lut_um2: 656.0 },
+        }
+    }
+
+    /// Extrapolated area of a `K`-wide variant (per-lane replication, as in
+    /// [`crate::power::PowerModel::variant`]).
+    pub fn variant(&self, variant: RsuVariant) -> AreaBreakdown {
+        let base = self.rsu_g1();
+        let k = f64::from(variant.width());
+        AreaBreakdown {
+            logic_um2: base.logic_um2 * k,
+            ret_um2: f64::from(variant.ret_circuits()) * RET_CIRCUIT_AREA_UM2,
+            lut_um2: base.lut_um2 * k,
+        }
+    }
+
+    /// Total area of `units` RSU-G1 units in mm².
+    pub fn system_mm2(&self, units: usize) -> f64 {
+        self.rsu_g1().total_mm2() * units as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_totals_match_paper() {
+        let a45 = AreaModel::new(TechNode::N45).rsu_g1();
+        assert_eq!(a45.total_um2(), 5673.0);
+        let a15 = AreaModel::new(TechNode::N15).rsu_g1();
+        assert_eq!(a15.total_um2(), 2898.0);
+    }
+
+    #[test]
+    fn ret_area_is_constant_across_nodes() {
+        let a45 = AreaModel::new(TechNode::N45).rsu_g1();
+        let a15 = AreaModel::new(TechNode::N15).rsu_g1();
+        assert_eq!(a45.ret_um2, 1600.0);
+        assert_eq!(a15.ret_um2, 1600.0);
+    }
+
+    #[test]
+    fn abstract_totals_match_intro_numbers() {
+        // Abstract: optics 0.0016 mm², CMOS 0.0013 mm², total 0.0029 mm²
+        // at 15 nm.
+        let a = AreaModel::new(TechNode::N15).rsu_g1();
+        assert!((a.ret_um2 / 1e6 - 0.0016).abs() < 1e-9);
+        assert!(((a.logic_um2 + a.lut_um2) / 1e6 - 0.0013).abs() < 1e-4);
+        assert!((a.total_mm2() - 0.0029).abs() < 1e-4);
+    }
+
+    #[test]
+    fn g64_ret_area_uses_256_circuits() {
+        let a = AreaModel::new(TechNode::N15).variant(RsuVariant::g64());
+        assert_eq!(a.ret_um2, 256.0 * RET_CIRCUIT_AREA_UM2);
+    }
+
+    #[test]
+    fn system_area_scales_linearly() {
+        let m = AreaModel::new(TechNode::N15);
+        assert!((m.system_mm2(336) - 336.0 * m.rsu_g1().total_mm2()).abs() < 1e-12);
+        // 336 units are well under 1 mm² of optics+CMOS.
+        assert!(m.system_mm2(336) < 1.0);
+    }
+}

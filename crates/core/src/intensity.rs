@@ -1,0 +1,178 @@
+//! The energy→intensity lookup table (pipeline stage 3, paper §5.2).
+//!
+//! The RSU-G maps each 8-bit energy to a 4-bit QD-LED intensity code so
+//! that the exponential sampler's rate is (approximately) proportional to
+//! the Boltzmann weight `exp(−E/T)`. The table has 256 entries × 4 bits =
+//! 128 bytes and is initialized once per application (§6.1).
+//!
+//! With only 16 intensity levels the representable dynamic range of
+//! relative probabilities is 15:1, so the table construction picks a
+//! temperature-scaled mapping and clamps: energies beyond the range map to
+//! code 0 — LEDs off, "practically never wins" (it can still be selected
+//! only if *every* candidate is off, in which case the selection stage
+//! falls back to the current label).
+
+/// Number of LUT entries (one per 8-bit energy).
+pub const LUT_ENTRIES: usize = 256;
+
+/// Maximum intensity code (4 bits).
+pub const CODE_MAX: u8 = 15;
+
+/// The 256-entry × 4-bit intensity map.
+///
+/// ```
+/// use mogs_core::intensity::IntensityMap;
+///
+/// let map = IntensityMap::boltzmann(32.0);
+/// assert_eq!(map.lookup(0), 15);           // lowest energy: brightest
+/// assert!(map.lookup(64) < map.lookup(16)); // monotone decay
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntensityMap {
+    table: [u8; LUT_ENTRIES],
+}
+
+impl IntensityMap {
+    /// Builds the Boltzmann map for 8-bit-domain temperature `t8`:
+    /// `code(e) = round(15 · exp(−e / t8))`.
+    ///
+    /// `t8` is the temperature *measured in quantized energy units*; if the
+    /// application quantizes model energies with scale `s`, then
+    /// `t8 = T_model · s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t8` is not strictly positive and finite.
+    pub fn boltzmann(t8: f64) -> Self {
+        assert!(t8.is_finite() && t8 > 0.0, "temperature must be positive");
+        let mut table = [0u8; LUT_ENTRIES];
+        for (e, slot) in table.iter_mut().enumerate() {
+            let w = (-(e as f64) / t8).exp();
+            *slot = (f64::from(CODE_MAX) * w).round() as u8;
+        }
+        IntensityMap { table }
+    }
+
+    /// Builds a map from explicit entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry exceeds 4 bits.
+    pub fn from_entries(table: [u8; LUT_ENTRIES]) -> Self {
+        assert!(table.iter().all(|&c| c <= CODE_MAX), "entries must fit in 4 bits");
+        IntensityMap { table }
+    }
+
+    /// Looks up the intensity code for an energy.
+    pub fn lookup(&self, energy: u8) -> u8 {
+        self.table[usize::from(energy)]
+    }
+
+    /// The raw table.
+    pub fn entries(&self) -> &[u8; LUT_ENTRIES] {
+        &self.table
+    }
+
+    /// Packs the table into the 16 × 64-bit words written through the
+    /// `MAP_TABLE_HI`/`MAP_TABLE_LO` control registers (16 nibbles per
+    /// word).
+    pub fn pack(&self) -> [u64; 16] {
+        let mut words = [0u64; 16];
+        for (i, &code) in self.table.iter().enumerate() {
+            words[i / 16] |= u64::from(code) << ((i % 16) * 4);
+        }
+        words
+    }
+
+    /// Rebuilds a map from its packed representation.
+    pub fn unpack(words: &[u64; 16]) -> Self {
+        let mut table = [0u8; LUT_ENTRIES];
+        for (i, slot) in table.iter_mut().enumerate() {
+            *slot = ((words[i / 16] >> ((i % 16) * 4)) & 0xF) as u8;
+        }
+        IntensityMap { table }
+    }
+
+    /// The largest energy whose code is still non-zero — the effective
+    /// dynamic range of the map.
+    pub fn cutoff_energy(&self) -> u8 {
+        self.table
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boltzmann_starts_at_max_and_decays() {
+        let map = IntensityMap::boltzmann(40.0);
+        assert_eq!(map.lookup(0), CODE_MAX);
+        let mut last = CODE_MAX;
+        for e in 0..=255u8 {
+            let c = map.lookup(e);
+            assert!(c <= last, "codes must be non-increasing in energy");
+            last = c;
+        }
+        assert_eq!(map.lookup(255), 0);
+    }
+
+    #[test]
+    fn temperature_widens_dynamic_range() {
+        let cold = IntensityMap::boltzmann(10.0);
+        let hot = IntensityMap::boltzmann(80.0);
+        assert!(hot.cutoff_energy() > cold.cutoff_energy());
+    }
+
+    #[test]
+    fn codes_approximate_boltzmann_ratio() {
+        let t8 = 30.0;
+        let map = IntensityMap::boltzmann(t8);
+        // At e and e' the code ratio should approximate exp(-(e-e')/t8)
+        // within quantization.
+        let c0 = f64::from(map.lookup(0));
+        let c30 = f64::from(map.lookup(30));
+        let ideal = (-(30.0) / t8).exp();
+        assert!((c30 / c0 - ideal).abs() < 0.1, "{} vs {}", c30 / c0, ideal);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let map = IntensityMap::boltzmann(25.0);
+        let packed = map.pack();
+        let restored = IntensityMap::unpack(&packed);
+        assert_eq!(map, restored);
+    }
+
+    #[test]
+    fn from_entries_validates() {
+        let mut t = [0u8; LUT_ENTRIES];
+        t[3] = 15;
+        let map = IntensityMap::from_entries(t);
+        assert_eq!(map.lookup(3), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "entries must fit in 4 bits")]
+    fn oversized_entry_rejected() {
+        let mut t = [0u8; LUT_ENTRIES];
+        t[0] = 16;
+        IntensityMap::from_entries(t);
+    }
+
+    #[test]
+    fn cutoff_tracks_half_life() {
+        // code drops to 0 when 15·exp(-e/t8) < 0.5, i.e. e > t8·ln(30).
+        let t8 = 20.0;
+        let map = IntensityMap::boltzmann(t8);
+        let expect = (t8 * 30.0_f64.ln()).floor() as u8;
+        let got = map.cutoff_energy();
+        assert!(
+            (i16::from(got) - i16::from(expect)).abs() <= 1,
+            "cutoff {got} vs {expect}"
+        );
+    }
+}

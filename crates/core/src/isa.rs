@@ -1,0 +1,385 @@
+//! The RSU instruction interface and context-switch support (paper §6.1).
+//!
+//! Processor integration adds a single instruction,
+//! `RSU op, regsrc, regdest`: the 3-bit `op` selects one of six control
+//! registers (map table hi/lo, down counter, neighbours 0–3 packed,
+//! singleton A, singleton D) and one bit selects reading the result. A
+//! result read **stalls** until the evaluation completes and resets the
+//! unit for the next one.
+//!
+//! For context switches on a general-purpose core, the paper identifies the
+//! per-variable evaluation as an idempotent region: intermediate selection
+//! state can be discarded and the evaluation restarted, so only the
+//! per-application state (map table, down-counter initial value) must be
+//! saved.
+
+use crate::intensity::IntensityMap;
+use crate::rsu_g::{RsuG, SiteInputs, SiteSample};
+use rand::Rng;
+
+/// The RSU-G control registers addressed by the instruction's `op` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlReg {
+    /// Upper half of the intensity-map initialization stream.
+    MapTableHi,
+    /// Lower half of the intensity-map initialization stream.
+    MapTableLo,
+    /// Down-counter initial value (`M − 1`).
+    DownCounter,
+    /// Neighbour labels 0–3, packed four 6-bit values to a register.
+    Neighbors,
+    /// Singleton `DATA1` value.
+    SingletonA,
+    /// Singleton `DATA2` value (may be rewritten per label).
+    SingletonD,
+}
+
+impl ControlReg {
+    /// The register's 3-bit `op` encoding (§6.1: "3 bits to specify one of
+    /// 6 control registers").
+    pub fn encode(self) -> u8 {
+        match self {
+            ControlReg::MapTableHi => 0,
+            ControlReg::MapTableLo => 1,
+            ControlReg::DownCounter => 2,
+            ControlReg::Neighbors => 3,
+            ControlReg::SingletonA => 4,
+            ControlReg::SingletonD => 5,
+        }
+    }
+
+    /// Decodes a 3-bit `op` value.
+    pub fn decode(op: u8) -> Option<ControlReg> {
+        match op {
+            0 => Some(ControlReg::MapTableHi),
+            1 => Some(ControlReg::MapTableLo),
+            2 => Some(ControlReg::DownCounter),
+            3 => Some(ControlReg::Neighbors),
+            4 => Some(ControlReg::SingletonA),
+            5 => Some(ControlReg::SingletonD),
+            _ => None,
+        }
+    }
+}
+
+/// One `RSU op, regsrc, regdest` instruction (§6.1): a 3-bit control
+/// register selector, a read-result bit, and two 5-bit architectural
+/// register specifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RsuInstruction {
+    /// Write the source register's value into an RSU control register.
+    Write {
+        /// The target control register.
+        reg: ControlReg,
+        /// The architectural source register (5-bit specifier).
+        src: u8,
+    },
+    /// Read the evaluation result into the destination register (stalls
+    /// until complete, then resets the unit).
+    ReadResult {
+        /// The architectural destination register (5-bit specifier).
+        dst: u8,
+    },
+}
+
+impl RsuInstruction {
+    /// Bit layout of the 16-bit encoding: `[15:12]` reserved, `[11]` read
+    /// bit, `[10:8]` op, `[7:5]` reserved, `[4:0]` src/dst specifier.
+    pub fn encode(self) -> u16 {
+        match self {
+            RsuInstruction::Write { reg, src } => {
+                assert!(src < 32, "register specifiers are 5-bit");
+                (u16::from(reg.encode()) << 8) | u16::from(src)
+            }
+            RsuInstruction::ReadResult { dst } => {
+                assert!(dst < 32, "register specifiers are 5-bit");
+                (1 << 11) | u16::from(dst)
+            }
+        }
+    }
+
+    /// Decodes a 16-bit instruction word.
+    ///
+    /// Returns `None` for malformed words (unknown op, set reserved bits).
+    pub fn decode(word: u16) -> Option<RsuInstruction> {
+        if word & 0xF0E0 != 0 {
+            return None; // reserved bits must be clear
+        }
+        let spec = (word & 0x1F) as u8;
+        if word & (1 << 11) != 0 {
+            if word & 0x0700 != 0 {
+                return None; // read ignores the op field; require zero
+            }
+            Some(RsuInstruction::ReadResult { dst: spec })
+        } else {
+            let reg = ControlReg::decode(((word >> 8) & 0x7) as u8)?;
+            Some(RsuInstruction::Write { reg, src: spec })
+        }
+    }
+}
+
+/// State captured across a context switch: only the per-application state,
+/// thanks to idempotent per-variable restart.
+#[derive(Debug, Clone)]
+pub struct RsuContext {
+    map: IntensityMap,
+    down_counter_init: u8,
+}
+
+/// One RSU-G unit behind its architectural register interface.
+#[derive(Debug, Clone)]
+pub struct RsuDevice {
+    rsu: RsuG,
+    neighbors: [Option<u8>; 4],
+    data1: u8,
+    data2: Vec<u8>,
+    /// Cycles of initialization charged so far (paper: 3 total).
+    init_cycles: u32,
+    /// Completed evaluation awaiting a result read.
+    pending: Option<SiteSample>,
+}
+
+impl RsuDevice {
+    /// Wraps an RSU-G unit.
+    pub fn new(rsu: RsuG) -> Self {
+        RsuDevice {
+            rsu,
+            neighbors: [None; 4],
+            data1: 0,
+            data2: Vec::new(),
+            init_cycles: 0,
+            pending: None,
+        }
+    }
+
+    /// Initializes the intensity map. Architecturally two `RSU` writes
+    /// (`MapTableHi`, `MapTableLo`); returns the cycles charged (2).
+    pub fn load_map(&mut self, map: IntensityMap) -> u32 {
+        self.rsu.config_mut().map = map;
+        self.init_cycles += 2;
+        2
+    }
+
+    /// Initializes the down counter (`M − 1` for `M` labels). One write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is outside `1..=64`.
+    pub fn load_down_counter(&mut self, labels: u8) -> u32 {
+        assert!((1..=64).contains(&labels), "label count must be in 1..=64");
+        self.rsu.config_mut().labels = labels;
+        self.init_cycles += 1;
+        1
+    }
+
+    /// Total initialization cycles charged so far (paper: 3 per
+    /// application).
+    pub fn init_cycles(&self) -> u32 {
+        self.init_cycles
+    }
+
+    /// Writes the packed neighbour register: four 6-bit labels in the low
+    /// 24 bits, with a 4-bit validity mask in bits 24–27 (boundary sites).
+    pub fn write_neighbors(&mut self, packed: u32) {
+        for i in 0..4 {
+            let valid = (packed >> (24 + i)) & 1 == 1;
+            let value = ((packed >> (6 * i)) & 0x3F) as u8;
+            self.neighbors[i] = valid.then_some(value);
+        }
+    }
+
+    /// Writes the `DATA1` singleton register (6-bit).
+    pub fn write_singleton_a(&mut self, value: u8) {
+        self.data1 = value & 0x3F;
+    }
+
+    /// Writes the `DATA2` per-label stream (one entry per label, or one
+    /// broadcast entry).
+    pub fn write_singleton_d(&mut self, values: Vec<u8>) {
+        self.data2 = values.into_iter().map(|v| v & 0x3F).collect();
+    }
+
+    /// Launches the evaluation with the currently latched inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `DATA2` was never written.
+    pub fn start<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        assert!(!self.data2.is_empty(), "DATA2 must be written before starting");
+        let inputs = SiteInputs {
+            neighbors: self.neighbors,
+            data1: self.data1,
+            data2: self.data2.clone(),
+        };
+        self.pending = Some(self.rsu.sample_site(&inputs, rng));
+    }
+
+    /// Reads the result. Returns `(label, stall_cycles)`: the instruction
+    /// stalls for the remaining evaluation latency, then resets the unit
+    /// for the next evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no evaluation was started.
+    pub fn read_result(&mut self) -> (u8, u32) {
+        let sample = self.pending.take().expect("read_result without a started evaluation");
+        (sample.label.value(), sample.cycles)
+    }
+
+    /// Whether an evaluation is in flight.
+    pub fn busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Captures the per-application state for a context switch. Any
+    /// in-flight evaluation is dropped (idempotent restart boundary).
+    pub fn save_context(&mut self) -> RsuContext {
+        self.pending = None;
+        RsuContext {
+            map: self.rsu.config().map.clone(),
+            down_counter_init: self.rsu.config().labels,
+        }
+    }
+
+    /// Restores a previously saved context.
+    pub fn restore_context(&mut self, context: RsuContext) {
+        self.rsu.config_mut().map = context.map;
+        self.rsu.config_mut().labels = context.down_counter_init;
+        self.pending = None;
+    }
+}
+
+/// Packs four neighbour labels (with validity) into the register format
+/// accepted by [`RsuDevice::write_neighbors`].
+pub fn pack_neighbors(neighbors: [Option<u8>; 4]) -> u32 {
+    let mut packed = 0u32;
+    for (i, n) in neighbors.into_iter().enumerate() {
+        if let Some(v) = n {
+            packed |= u32::from(v & 0x3F) << (6 * i);
+            packed |= 1 << (24 + i);
+        }
+    }
+    packed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsu_g::RsuGConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn device() -> RsuDevice {
+        RsuDevice::new(RsuG::new(RsuGConfig::for_labels(5, 32.0)))
+    }
+
+    #[test]
+    fn instruction_encoding_round_trips() {
+        let all = [
+            RsuInstruction::Write { reg: ControlReg::MapTableHi, src: 0 },
+            RsuInstruction::Write { reg: ControlReg::MapTableLo, src: 31 },
+            RsuInstruction::Write { reg: ControlReg::DownCounter, src: 7 },
+            RsuInstruction::Write { reg: ControlReg::Neighbors, src: 12 },
+            RsuInstruction::Write { reg: ControlReg::SingletonA, src: 1 },
+            RsuInstruction::Write { reg: ControlReg::SingletonD, src: 2 },
+            RsuInstruction::ReadResult { dst: 19 },
+        ];
+        for instr in all {
+            assert_eq!(RsuInstruction::decode(instr.encode()), Some(instr));
+        }
+    }
+
+    #[test]
+    fn malformed_words_rejected() {
+        assert_eq!(RsuInstruction::decode(0x0600), None); // op 6: no register
+        assert_eq!(RsuInstruction::decode(0x8000), None); // reserved bit set
+        assert_eq!(RsuInstruction::decode(0x0B00), None); // read with op bits
+        assert_eq!(RsuInstruction::decode(0x00E5), None); // reserved [7:5]
+    }
+
+    #[test]
+    fn op_field_is_three_bits() {
+        for reg in [
+            ControlReg::MapTableHi,
+            ControlReg::MapTableLo,
+            ControlReg::DownCounter,
+            ControlReg::Neighbors,
+            ControlReg::SingletonA,
+            ControlReg::SingletonD,
+        ] {
+            assert!(reg.encode() < 8, "§6.1: 3 bits select the register");
+            assert_eq!(ControlReg::decode(reg.encode()), Some(reg));
+        }
+        assert_eq!(ControlReg::decode(6), None);
+        assert_eq!(ControlReg::decode(7), None);
+    }
+
+    #[test]
+    fn initialization_costs_three_cycles() {
+        let mut d = device();
+        let c = d.load_map(IntensityMap::boltzmann(24.0)) + d.load_down_counter(5);
+        assert_eq!(c, 3);
+        assert_eq!(d.init_cycles(), 3);
+    }
+
+    #[test]
+    fn neighbor_packing_round_trips() {
+        let neighbors = [Some(63), Some(0), None, Some(17)];
+        let mut d = device();
+        d.write_neighbors(pack_neighbors(neighbors));
+        assert_eq!(d.neighbors, neighbors);
+    }
+
+    #[test]
+    fn full_evaluation_flow() {
+        let mut d = device();
+        let mut rng = StdRng::seed_from_u64(1);
+        d.write_neighbors(pack_neighbors([Some(1); 4]));
+        d.write_singleton_a(10);
+        d.write_singleton_d(vec![10, 12, 14, 16, 18]);
+        assert!(!d.busy());
+        d.start(&mut rng);
+        assert!(d.busy());
+        let (label, stall) = d.read_result();
+        assert!(label < 5);
+        assert_eq!(stall, 7 + 4);
+        assert!(!d.busy());
+    }
+
+    #[test]
+    fn context_switch_preserves_application_state_only() {
+        let mut d = device();
+        let mut rng = StdRng::seed_from_u64(2);
+        d.write_singleton_d(vec![0]);
+        d.start(&mut rng);
+        let ctx = d.save_context();
+        assert!(!d.busy(), "in-flight evaluation dropped at the idempotent boundary");
+        let mut other = device();
+        other.load_down_counter(9);
+        other.restore_context(ctx);
+        assert_eq!(other.rsu.config().labels, 5);
+    }
+
+    #[test]
+    fn data_registers_mask_to_six_bits() {
+        let mut d = device();
+        d.write_singleton_a(0xFF);
+        assert_eq!(d.data1, 0x3F);
+        d.write_singleton_d(vec![0xFF, 0x40]);
+        assert_eq!(d.data2, vec![0x3F, 0x00]);
+    }
+
+    #[test]
+    #[should_panic(expected = "read_result without a started evaluation")]
+    fn read_without_start_panics() {
+        device().read_result();
+    }
+
+    #[test]
+    #[should_panic(expected = "DATA2 must be written")]
+    fn start_without_data_panics() {
+        let mut d = device();
+        let mut rng = StdRng::seed_from_u64(3);
+        d.start(&mut rng);
+    }
+}

@@ -1,0 +1,141 @@
+//! RSU-G power model (paper Table 3 and §8.3).
+//!
+//! The paper reports per-component power from Synopsys synthesis (logic),
+//! Cacti (LUT), and first principles (RET circuit), at two technology
+//! points: 45 nm / 590 MHz and a predictive 15 nm / 1 GHz process. We
+//! encode those per-component numbers and *derive* every system-level
+//! figure (GPU with 3072 units ⇒ ≈12 W, accelerator with 336 units ⇒
+//! ≈1.3 W) from them, so the composition is checkable rather than pasted.
+
+use crate::variants::RsuVariant;
+
+/// A CMOS technology point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TechNode {
+    /// 45 nm at 590 MHz (synthesized).
+    N45,
+    /// 15 nm at 1 GHz (predictive PDK, LUT theoretically scaled).
+    N15,
+}
+
+impl TechNode {
+    /// Operating frequency in MHz.
+    pub fn frequency_mhz(&self) -> f64 {
+        match self {
+            TechNode::N45 => 590.0,
+            TechNode::N15 => 1000.0,
+        }
+    }
+}
+
+/// Per-component power breakdown of one RSU-G unit, in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// CMOS pipeline logic.
+    pub logic_mw: f64,
+    /// RET circuits (QD-LEDs + SPADs); not scaled across nodes.
+    pub ret_mw: f64,
+    /// Intensity-map lookup table.
+    pub lut_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total unit power in mW.
+    pub fn total_mw(&self) -> f64 {
+        self.logic_mw + self.ret_mw + self.lut_mw
+    }
+}
+
+/// The RSU-G power model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PowerModel {
+    node: TechNode,
+}
+
+impl PowerModel {
+    /// A model at the given technology node.
+    pub fn new(node: TechNode) -> Self {
+        PowerModel { node }
+    }
+
+    /// The technology node.
+    pub fn node(&self) -> TechNode {
+        self.node
+    }
+
+    /// Per-component power of a single RSU-G1 (paper Table 3).
+    pub fn rsu_g1(&self) -> PowerBreakdown {
+        match self.node {
+            TechNode::N45 => PowerBreakdown { logic_mw: 7.20, ret_mw: 0.16, lut_mw: 3.92 },
+            TechNode::N15 => PowerBreakdown { logic_mw: 2.33, ret_mw: 0.16, lut_mw: 1.42 },
+        }
+    }
+
+    /// Extrapolated power of a `K`-wide variant: every component is
+    /// replicated per lane (each lane carries its own energy datapath, LUT
+    /// port, and 4 RET circuits), plus a selection tree folded into logic.
+    pub fn variant(&self, variant: RsuVariant) -> PowerBreakdown {
+        let base = self.rsu_g1();
+        let k = f64::from(variant.width());
+        PowerBreakdown {
+            logic_mw: base.logic_mw * k,
+            ret_mw: base.ret_mw * k,
+            lut_mw: base.lut_mw * k,
+        }
+    }
+
+    /// Total power of `units` active RSU-G1 units, in watts — the paper's
+    /// GPU-integration (3072 units ⇒ ≈12 W) and accelerator (336 units ⇒
+    /// ≈1.3 W) figures.
+    pub fn system_watts(&self, units: usize) -> f64 {
+        self.rsu_g1().total_mw() * units as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_totals_match_paper() {
+        let p45 = PowerModel::new(TechNode::N45).rsu_g1();
+        assert!((p45.total_mw() - 11.28).abs() < 1e-9, "45 nm total {}", p45.total_mw());
+        let p15 = PowerModel::new(TechNode::N15).rsu_g1();
+        assert!((p15.total_mw() - 3.91).abs() < 1e-9, "15 nm total {}", p15.total_mw());
+    }
+
+    #[test]
+    fn ret_power_not_scaled_across_nodes() {
+        let p45 = PowerModel::new(TechNode::N45).rsu_g1();
+        let p15 = PowerModel::new(TechNode::N15).rsu_g1();
+        assert_eq!(p45.ret_mw, p15.ret_mw);
+    }
+
+    #[test]
+    fn gpu_integration_is_about_12_watts() {
+        // Paper §8.3: 3072 RSU-G units on a GPU consume 12 W when active.
+        let w = PowerModel::new(TechNode::N15).system_watts(3072);
+        assert!((w - 12.0).abs() < 0.05, "GPU units consume {w} W");
+    }
+
+    #[test]
+    fn accelerator_is_about_1_3_watts() {
+        // Paper §8.3: 336 units bounded by 336 GB/s DRAM consume 1.3 W.
+        let w = PowerModel::new(TechNode::N15).system_watts(336);
+        assert!((w - 1.3).abs() < 0.02, "accelerator units consume {w} W");
+    }
+
+    #[test]
+    fn variant_power_scales_with_width() {
+        let model = PowerModel::new(TechNode::N15);
+        let g4 = model.variant(RsuVariant::g4());
+        let g1 = model.variant(RsuVariant::g1());
+        assert!((g4.total_mw() - 4.0 * g1.total_mw()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_frequencies() {
+        assert_eq!(TechNode::N45.frequency_mhz(), 590.0);
+        assert_eq!(TechNode::N15.frequency_mhz(), 1000.0);
+    }
+}

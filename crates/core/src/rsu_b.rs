@@ -1,0 +1,161 @@
+//! RSU-B: a Bernoulli RSU — the smallest useful instance of the generic
+//! three-stage RSU (paper §3, and the elementary sampler of reference
+//! [42] that composes into everything else).
+//!
+//! The application supplies a success probability as 8-bit fixed point
+//! (`p = input/256`); the CMOS front end programs two intensity codes in
+//! the ratio `p : 1−p`; the RET stage races the two circuits; the output
+//! stage reports which fired first. The 4-bit intensity DAC quantizes the
+//! achievable probabilities — [`RsuB::realized_p`] exposes the exact value
+//! a given input actually realizes, mirroring the prototype's measured
+//! ratio accuracy (§7).
+
+use crate::rsu::{MapOutput, Parameterize, RetSample, Rsu};
+use rand::Rng;
+
+/// The CMOS parameterization stage: probability → two intensity codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbToCodes;
+
+impl Parameterize for ProbToCodes {
+    type Input = u8; // p ≈ input/256
+    type Control = [u8; 2];
+
+    fn parameterize(&self, input: &u8) -> [u8; 2] {
+        let p = f64::from(*input) / 256.0;
+        // Codes in ratio p : (1-p), scaled into 1..=15 with the larger
+        // side pinned at 15 for maximum dynamic range.
+        let (hi, lo) = if p >= 0.5 { (p, 1.0 - p) } else { (1.0 - p, p) };
+        let hi_code = 15u8;
+        let lo_code = ((lo / hi) * 15.0).round().clamp(1.0, 15.0) as u8;
+        if p >= 0.5 {
+            [hi_code, lo_code]
+        } else {
+            [lo_code, hi_code]
+        }
+    }
+}
+
+/// The RET stage: race the two coded circuits; emit the winner index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BernoulliRace {
+    /// Rate per intensity-code unit (ns⁻¹).
+    pub base_rate_per_code: f64,
+}
+
+impl RetSample for BernoulliRace {
+    type Control = [u8; 2];
+    type Observation = usize;
+
+    fn sample<R: Rng + ?Sized>(&mut self, control: &[u8; 2], rng: &mut R) -> usize {
+        let draw = |code: u8, rng: &mut R| -> f64 {
+            let rate = f64::from(code) * self.base_rate_per_code;
+            -(1.0 - rng.gen::<f64>()).ln() / rate
+        };
+        let t0 = draw(control[0], rng);
+        let t1 = draw(control[1], rng);
+        usize::from(t1 < t0)
+    }
+}
+
+/// The output stage: winner index → success bit (channel 0 = success).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WinnerToBit;
+
+impl MapOutput for WinnerToBit {
+    type Observation = usize;
+    type Output = bool;
+
+    fn map_output(&self, observation: &usize) -> bool {
+        *observation == 0
+    }
+}
+
+/// A complete Bernoulli RSU.
+#[derive(Debug, Clone)]
+pub struct RsuB {
+    inner: Rsu<ProbToCodes, BernoulliRace, WinnerToBit>,
+}
+
+impl RsuB {
+    /// An RSU-B with the default base rate.
+    pub fn new() -> Self {
+        RsuB {
+            inner: Rsu::new(ProbToCodes, BernoulliRace { base_rate_per_code: 0.04 }, WinnerToBit),
+        }
+    }
+
+    /// Draws one Bernoulli outcome for `p ≈ p_fixed/256`.
+    pub fn sample<R: Rng + ?Sized>(&mut self, p_fixed: u8, rng: &mut R) -> bool {
+        self.inner.sample(&p_fixed, rng)
+    }
+
+    /// The success probability the 4-bit DAC actually realizes for an
+    /// input — the quantized version of `p_fixed/256`.
+    pub fn realized_p(&self, p_fixed: u8) -> f64 {
+        let codes = ProbToCodes.parameterize(&p_fixed);
+        f64::from(codes[0]) / (f64::from(codes[0]) + f64::from(codes[1]))
+    }
+}
+
+impl Default for RsuB {
+    fn default() -> Self {
+        RsuB::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frequency(rsu: &mut RsuB, p_fixed: u8, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).filter(|_| rsu.sample(p_fixed, &mut rng)).count() as f64 / n as f64
+    }
+
+    #[test]
+    fn frequency_tracks_realized_probability() {
+        let mut rsu = RsuB::new();
+        for p_fixed in [32u8, 128, 200, 240] {
+            let freq = frequency(&mut rsu, p_fixed, 40_000, u64::from(p_fixed));
+            let realized = rsu.realized_p(p_fixed);
+            assert!(
+                (freq - realized).abs() < 0.01,
+                "p_fixed {p_fixed}: freq {freq} vs realized {realized}"
+            );
+        }
+    }
+
+    #[test]
+    fn realized_p_quantizes_toward_requested() {
+        let rsu = RsuB::new();
+        for p_fixed in [16u8, 64, 128, 192, 230] {
+            let requested = f64::from(p_fixed) / 256.0;
+            let realized = rsu.realized_p(p_fixed);
+            // 4-bit codes bound the error: the worst case is near the
+            // extremes where the weak channel rounds to code 1.
+            assert!(
+                (realized - requested).abs() < 0.05,
+                "p_fixed {p_fixed}: realized {realized} vs requested {requested}"
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_input_is_a_fair_coin() {
+        let mut rsu = RsuB::new();
+        let freq = frequency(&mut rsu, 128, 40_000, 9);
+        assert!((freq - 0.5).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn extreme_inputs_respect_dac_floor() {
+        // The weak channel cannot go below code 1, so the achievable
+        // probability floors at 1/16.
+        let rsu = RsuB::new();
+        assert!(rsu.realized_p(1) >= 1.0 / 16.0 - 1e-12);
+        assert!(rsu.realized_p(255) <= 15.0 / 16.0 + 1e-12);
+    }
+}

@@ -1,0 +1,212 @@
+//! RSU-E: an exponential-distribution RSU (paper §3's generic concept,
+//! instantiated for the distribution the RET substrate provides natively).
+//!
+//! The application supplies a desired rate as 8.8 fixed point (rates in
+//! `[1/256, 255]` ns⁻¹); the CMOS front end picks the nearest 4-bit
+//! intensity code, the RET circuit produces a TTF, and the CMOS back end
+//! rescales the quantized reading by the code-vs-requested rate mismatch so
+//! the *output* is distributed `Exp(requested rate)` up to register
+//! quantization. The rescale step is what distribution parameterization
+//! "in CMOS" buys: a 16-level optical knob serves a 16-bit rate space.
+
+use crate::rsu::{MapOutput, Parameterize, RetSample, Rsu};
+use crate::ttf::{TtfReading, TtfRegister};
+use rand::Rng;
+
+/// Fixed-point scale of rates and samples: 8 fraction bits.
+pub const FIXED_ONE: u32 = 256;
+
+/// The CMOS parameterization stage: fixed-point rate → intensity code plus
+/// a rescale factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateToCode {
+    /// Rate contributed by one intensity-code unit (ns⁻¹).
+    pub base_rate_per_code: f64,
+}
+
+/// The control word handed to the RET stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpControl {
+    /// 4-bit intensity code (≥ 1; a zero rate is rejected upstream).
+    pub code: u8,
+    /// The rate the code realizes (ns⁻¹).
+    pub realized_rate: f64,
+    /// The rate the application asked for (ns⁻¹).
+    pub requested_rate: f64,
+}
+
+impl Parameterize for RateToCode {
+    type Input = u32; // 8.8 fixed-point rate in ns⁻¹
+    type Control = ExpControl;
+
+    fn parameterize(&self, input: &u32) -> ExpControl {
+        assert!(*input > 0, "rate must be positive");
+        let requested_rate = f64::from(*input) / f64::from(FIXED_ONE);
+        let code = (requested_rate / self.base_rate_per_code).round().clamp(1.0, 15.0) as u8;
+        ExpControl {
+            code,
+            realized_rate: f64::from(code) * self.base_rate_per_code,
+            requested_rate,
+        }
+    }
+}
+
+/// The RET sampling stage: one exponential TTF at the coded intensity,
+/// captured by the 8-bit register.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpRetStage {
+    /// The capture register.
+    pub ttf: TtfRegister,
+}
+
+impl RetSample for ExpRetStage {
+    type Control = ExpControl;
+    type Observation = (TtfReading, ExpControl);
+
+    fn sample<R: Rng + ?Sized>(&mut self, control: &ExpControl, rng: &mut R) -> Self::Observation {
+        let t = -(1.0 - rng.gen::<f64>()).ln() / control.realized_rate;
+        (self.ttf.capture(Some(t)), *control)
+    }
+}
+
+/// The CMOS output stage: rescale the reading from the realized rate to
+/// the requested rate, in fixed point. Saturated readings (no photon in
+/// the window) return the maximum sample value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleToRate {
+    /// Tick duration of the capture register (ns).
+    pub tick_ns: f64,
+}
+
+impl MapOutput for ScaleToRate {
+    type Observation = (TtfReading, ExpControl);
+    type Output = u32; // 8.8 fixed-point sample in ns
+
+    fn map_output(&self, observation: &Self::Observation) -> u32 {
+        let (reading, control) = observation;
+        match reading {
+            TtfReading::Saturated => u32::MAX,
+            TtfReading::Ticks(t) => {
+                // An Exp(λ_real) sample scaled by λ_real/λ_req is an
+                // Exp(λ_req) sample.
+                let ns = f64::from(*t) * self.tick_ns * control.realized_rate
+                    / control.requested_rate;
+                (ns * f64::from(FIXED_ONE)).round() as u32
+            }
+        }
+    }
+}
+
+/// A complete exponential-distribution RSU.
+#[derive(Debug, Clone)]
+pub struct RsuE {
+    inner: Rsu<RateToCode, ExpRetStage, ScaleToRate>,
+}
+
+impl RsuE {
+    /// An RSU-E with the default hardware parameters (1 GHz register,
+    /// 0.04 ns⁻¹ per code unit — the RSU-G defaults).
+    pub fn new() -> Self {
+        let ttf = TtfRegister::at_1ghz();
+        RsuE {
+            inner: Rsu::new(
+                RateToCode { base_rate_per_code: 0.04 },
+                ExpRetStage { ttf },
+                ScaleToRate { tick_ns: ttf.tick_ns() },
+            ),
+        }
+    }
+
+    /// Draws one exponential sample for an 8.8 fixed-point rate (ns⁻¹),
+    /// returned as 8.8 fixed-point nanoseconds (`u32::MAX` = the register
+    /// saturated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_fixed` is zero.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rate_fixed: u32, rng: &mut R) -> u32 {
+        self.inner.sample(&rate_fixed, rng)
+    }
+
+    /// Convenience: sample with an `f64` rate, returning `f64` ns
+    /// (`f64::INFINITY` for saturation).
+    pub fn sample_f64<R: Rng + ?Sized>(&mut self, rate: f64, rng: &mut R) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        let fixed = ((rate * f64::from(FIXED_ONE)).round() as u32).max(1);
+        match self.sample(fixed, rng) {
+            u32::MAX => f64::INFINITY,
+            v => f64::from(v) / f64::from(FIXED_ONE),
+        }
+    }
+}
+
+impl Default for RsuE {
+    fn default() -> Self {
+        RsuE::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn finite_mean(rsu: &mut RsuE, rate: f64, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut total = 0.0;
+        let mut hits = 0usize;
+        for _ in 0..n {
+            let s = rsu.sample_f64(rate, &mut rng);
+            if s.is_finite() {
+                total += s;
+                hits += 1;
+            }
+        }
+        total / hits as f64
+    }
+
+    #[test]
+    fn rescaled_mean_matches_requested_rate() {
+        let mut rsu = RsuE::new();
+        // 0.1 ns⁻¹ is not a code multiple (codes realize k·0.04): the
+        // rescale stage must still deliver mean ≈ 10 ns.
+        let mean = finite_mean(&mut rsu, 0.1, 40_000, 1);
+        // Window truncation clips the tail, so the finite-sample mean sits
+        // slightly below 1/λ; allow 15%.
+        assert!((mean - 10.0).abs() / 10.0 < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn higher_rates_give_shorter_samples() {
+        let mut rsu = RsuE::new();
+        let slow = finite_mean(&mut rsu, 0.08, 20_000, 2);
+        let fast = finite_mean(&mut rsu, 0.5, 20_000, 2);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn extreme_rates_clamp_to_code_range() {
+        let stage = RateToCode { base_rate_per_code: 0.04 };
+        assert_eq!(stage.parameterize(&1).code, 1); // tiny rate → code 1
+        assert_eq!(stage.parameterize(&(100 * FIXED_ONE)).code, 15); // huge → 15
+    }
+
+    #[test]
+    fn saturation_reports_max() {
+        let mut rsu = RsuE::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        // At code-1 realized rate 0.04/ns over a 32 ns window, ~28% of
+        // draws saturate; find one.
+        let saturated = (0..200).any(|_| rsu.sample_f64(0.04, &mut rng).is_infinite());
+        assert!(saturated, "low rates must occasionally saturate the register");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let mut rsu = RsuE::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        rsu.sample(0, &mut rng);
+    }
+}

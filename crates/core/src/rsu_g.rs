@@ -1,0 +1,539 @@
+//! The RSU-G: a Gibbs sampling unit for first-order MRFs (paper §4–§5).
+//!
+//! [`RsuG`] is the bit-level functional model: 6-bit inputs in, one 6-bit
+//! label out, with the exact quantization chain of the hardware —
+//! 8-bit saturating energies → 4-bit intensity codes → exponential TTFs
+//! captured in an 8-bit register → first-to-fire selection.
+//!
+//! [`RsuGSampler`] adapts the same chain to the
+//! [`mogs_gibbs::LabelSampler`] interface, so any MCMC chain in the
+//! workspace can run on the "hardware" sampler and be compared against the
+//! exact software Gibbs sampler — the fidelity and quality experiments of
+//! DESIGN.md (A1, A3).
+
+use crate::energy_unit::{EnergyUnit, EnergyUnitConfig};
+use crate::intensity::IntensityMap;
+use crate::ttf::{TtfReading, TtfRegister};
+use crate::variants::RsuVariant;
+use mogs_gibbs::LabelSampler;
+use mogs_mrf::precision::EnergyQuantizer;
+use mogs_mrf::Label;
+use mogs_ret::circuit::{RetCircuit, RetCircuitConfig};
+use rand::Rng;
+
+/// How the unit's RET stage produces TTF samples.
+#[derive(Debug, Clone, Default)]
+pub enum RetBackend {
+    /// Draw from the matched exponential directly (fast; the default).
+    #[default]
+    Ideal,
+    /// Drive a simulated [`RetCircuit`] per label evaluation — the full
+    /// optical path with SPAD efficiency, dark counts, and the circuit's
+    /// nonlinear code→rate curve. Used for substrate-fidelity studies.
+    Circuit(RetCircuitConfig),
+}
+
+/// Configuration of an RSU-G unit.
+#[derive(Debug, Clone)]
+pub struct RsuGConfig {
+    /// Number of labels `M` (1..=64); the down-counter's initial value is
+    /// `M − 1`.
+    pub labels: u8,
+    /// Width variant (how many labels are evaluated per cycle).
+    pub variant: RsuVariant,
+    /// Energy datapath configuration.
+    pub energy: EnergyUnitConfig,
+    /// The energy→intensity lookup table.
+    pub map: IntensityMap,
+    /// TTF capture register (sets the clock and window).
+    pub ttf: TtfRegister,
+    /// Exponential rate contributed by one intensity-code unit (ns⁻¹):
+    /// a circuit at code `c` fires at rate `c · base_rate_per_code`.
+    ///
+    /// The default (0.04) balances the two 8-bit-register quantization
+    /// artifacts: higher rates make same-tick ties (broken toward the
+    /// lower label) more likely; lower rates push weak labels past the
+    /// 32 ns capture window.
+    pub base_rate_per_code: f64,
+    /// The RET sampling stage's physical fidelity.
+    pub backend: RetBackend,
+}
+
+impl RsuGConfig {
+    /// A standard RSU-G1 configuration for `labels` labels with a Boltzmann
+    /// intensity map at 8-bit-domain temperature `t8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is outside `1..=64` or `t8` is not positive.
+    pub fn for_labels(labels: u8, t8: f64) -> Self {
+        assert!((1..=64).contains(&labels), "label count must be in 1..=64");
+        RsuGConfig {
+            labels,
+            variant: RsuVariant::g1(),
+            energy: EnergyUnitConfig::default(),
+            map: IntensityMap::boltzmann(t8),
+            ttf: TtfRegister::at_1ghz(),
+            base_rate_per_code: 0.04,
+            backend: RetBackend::Ideal,
+        }
+    }
+}
+
+/// The per-site inputs of an RSU-G sampling operation (§6: four neighbour
+/// labels, the site's data value, and a per-label comparison data stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteInputs {
+    /// Current labels of the four neighbours; `None` marks an absent
+    /// (image-boundary) neighbour, which contributes zero doubleton energy.
+    pub neighbors: [Option<u8>; 4],
+    /// `DATA1`: the site's 6-bit observation.
+    pub data1: u8,
+    /// `DATA2` stream: the per-label 6-bit comparison value. A single
+    /// entry is broadcast to every label; otherwise the length must be `M`.
+    pub data2: Vec<u8>,
+}
+
+impl SiteInputs {
+    /// The `DATA2` value for label `m`.
+    fn data2_for(&self, m: usize) -> u8 {
+        if self.data2.len() == 1 {
+            self.data2[0]
+        } else {
+            self.data2[m]
+        }
+    }
+}
+
+/// The result of one site evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteSample {
+    /// The winning label (the site's new value).
+    pub label: Label,
+    /// Latency of the operation in unit cycles (variant formula, §5.1).
+    pub cycles: u32,
+    /// The winning TTF reading (saturated when no circuit fired).
+    pub ttf: TtfReading,
+}
+
+/// The RSU-G functional unit.
+#[derive(Debug, Clone)]
+pub struct RsuG {
+    config: RsuGConfig,
+    energy_unit: EnergyUnit,
+    /// Instantiated when the backend is [`RetBackend::Circuit`].
+    circuit: Option<RetCircuit>,
+}
+
+impl RsuG {
+    /// Creates a unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count is outside `1..=64` or the base rate is
+    /// not strictly positive and finite.
+    pub fn new(config: RsuGConfig) -> Self {
+        assert!((1..=64).contains(&config.labels), "label count must be in 1..=64");
+        assert!(
+            config.base_rate_per_code.is_finite() && config.base_rate_per_code > 0.0,
+            "base rate must be positive"
+        );
+        let energy_unit = EnergyUnit::new(config.energy);
+        let circuit = match &config.backend {
+            RetBackend::Ideal => None,
+            RetBackend::Circuit(circuit_config) => {
+                Some(RetCircuit::new(circuit_config.clone()))
+            }
+        };
+        RsuG { config, energy_unit, circuit }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RsuGConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (the ISA layer rewrites the map
+    /// and down counter through control-register writes).
+    pub(crate) fn config_mut(&mut self) -> &mut RsuGConfig {
+        &mut self.config
+    }
+
+    /// The 8-bit energies of every candidate label for these inputs
+    /// (pipeline stage 2 output, one per down-counter step).
+    pub fn energies(&self, inputs: &SiteInputs) -> Vec<u8> {
+        (0..usize::from(self.config.labels))
+            .map(|m| {
+                self.energy_unit.energy(
+                    m as u8,
+                    inputs.neighbors,
+                    inputs.data1,
+                    inputs.data2_for(m),
+                )
+            })
+            .collect()
+    }
+
+    /// The intensity codes after the LUT (pipeline stage 3 output).
+    pub fn intensity_codes(&self, inputs: &SiteInputs) -> Vec<u8> {
+        self.energies(inputs).iter().map(|&e| self.config.map.lookup(e)).collect()
+    }
+
+    /// Ideal (quantization-free) win probabilities implied by the intensity
+    /// codes: `P(m) = code_m / Σ codes`. The TTF register adds further
+    /// quantization on top; tests measure the residual gap.
+    ///
+    /// Returns a uniform-over-`M` vector when every code is zero.
+    pub fn ideal_win_probabilities(&self, inputs: &SiteInputs) -> Vec<f64> {
+        let codes = self.intensity_codes(inputs);
+        let total: f64 = codes.iter().map(|&c| f64::from(c)).sum();
+        if total == 0.0 {
+            let m = codes.len() as f64;
+            return vec![1.0 / m; codes.len()];
+        }
+        codes.into_iter().map(|c| f64::from(c) / total).collect()
+    }
+
+    /// Performs one complete sampling operation: evaluates all `M` labels
+    /// and returns the first-to-fire winner with its latency.
+    ///
+    /// Hardware tie behaviour: the selection stage keeps the *earlier*
+    /// evaluated label on an exact tick tie, and if no circuit fires within
+    /// the window, label 0's (saturated) reading survives — the returned
+    /// label is then 0. Both behaviours match a strict-less-than
+    /// compare-and-update (§5.2 Selection).
+    pub fn sample_site<R: Rng + ?Sized>(&mut self, inputs: &SiteInputs, rng: &mut R) -> SiteSample {
+        if self.data2_len_invalid(inputs) {
+            panic!(
+                "DATA2 stream must have 1 or M={} entries, got {}",
+                self.config.labels,
+                inputs.data2.len()
+            );
+        }
+        let mut best_label = 0u8;
+        let mut best = TtfReading::Saturated;
+        let mut first = true;
+        for m in 0..self.config.labels {
+            let e = self.energy_unit.energy(
+                m,
+                inputs.neighbors,
+                inputs.data1,
+                inputs.data2_for(usize::from(m)),
+            );
+            let code = self.config.map.lookup(e);
+            let ttf = self.draw_ttf(code, rng);
+            let reading = self.config.ttf.capture(ttf);
+            if first || reading < best {
+                best = reading;
+                best_label = m;
+                first = false;
+            }
+        }
+        SiteSample {
+            label: Label::new(best_label),
+            cycles: self.config.variant.latency_cycles(self.config.labels),
+            ttf: best,
+        }
+    }
+
+    fn data2_len_invalid(&self, inputs: &SiteInputs) -> bool {
+        inputs.data2.len() != 1 && inputs.data2.len() != usize::from(self.config.labels)
+    }
+
+    /// Draws a physical TTF (ns) for an intensity code, or `None` when the
+    /// LEDs are off (or, on the circuit backend, when no photon arrives in
+    /// the observation window).
+    fn draw_ttf<R: Rng + ?Sized>(&mut self, code: u8, rng: &mut R) -> Option<f64> {
+        if code == 0 {
+            return None;
+        }
+        match &mut self.circuit {
+            Some(circuit) => {
+                circuit.set_intensity_code(code);
+                circuit.sample_ttf(rng)
+            }
+            None => {
+                let rate = f64::from(code) * self.config.base_rate_per_code;
+                Some(-(1.0 - rng.gen::<f64>()).ln() / rate)
+            }
+        }
+    }
+}
+
+/// Adapter running the RSU-G quantization chain behind the
+/// [`mogs_gibbs::LabelSampler`] interface.
+///
+/// Model-level (f64) conditional energies are min-shifted (software
+/// pre-conditioning: the Boltzmann distribution is shift-invariant and the
+/// paper pre-factors application scaling into the data), quantized to 8
+/// bits, mapped through the LUT, and submitted to the first-to-fire
+/// tournament. The chain's runtime temperature argument is **ignored**:
+/// hardware bakes the temperature into the intensity map at initialization.
+#[derive(Debug, Clone)]
+pub struct RsuGSampler {
+    quantizer: EnergyQuantizer,
+    map: IntensityMap,
+    ttf: TtfRegister,
+    base_rate_per_code: f64,
+}
+
+impl RsuGSampler {
+    /// Creates a sampler whose LUT realizes temperature `t_model` for
+    /// model energies quantized with `quantizer`.
+    pub fn new(quantizer: EnergyQuantizer, t_model: f64) -> Self {
+        RsuGSampler {
+            map: IntensityMap::boltzmann(t_model * quantizer.scale()),
+            quantizer,
+            ttf: TtfRegister::at_1ghz(),
+            base_rate_per_code: 0.04,
+        }
+    }
+
+    /// Overrides the TTF register (clock/window ablations).
+    pub fn with_ttf(mut self, ttf: TtfRegister) -> Self {
+        self.ttf = ttf;
+        self
+    }
+
+    /// Overrides the intensity map (precision ablations).
+    pub fn with_map(mut self, map: IntensityMap) -> Self {
+        self.map = map;
+        self
+    }
+
+    /// The intensity codes this sampler would assign to a set of model
+    /// energies (exposed for fidelity analysis).
+    pub fn codes(&self, energies: &[f64]) -> Vec<u8> {
+        let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
+        energies
+            .iter()
+            .map(|e| self.map.lookup(self.quantizer.quantize(e - min)))
+            .collect()
+    }
+}
+
+impl LabelSampler for RsuGSampler {
+    fn sample_label<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        _temperature: f64,
+        current: Label,
+        rng: &mut R,
+    ) -> Label {
+        let mut best_label = current;
+        let mut best = TtfReading::Saturated;
+        let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
+        for (m, e) in energies.iter().enumerate() {
+            let q = self.quantizer.quantize(e - min);
+            let code = self.map.lookup(q);
+            if code == 0 {
+                continue;
+            }
+            let rate = f64::from(code) * self.base_rate_per_code;
+            let ttf = -(1.0 - rng.gen::<f64>()).ln() / rate;
+            let reading = self.ttf.capture(Some(ttf));
+            if reading < best {
+                best = reading;
+                best_label = Label::new(m as u8);
+            }
+        }
+        best_label
+    }
+
+    fn name(&self) -> &'static str {
+        "rsu-g"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogs_gibbs::SoftmaxGibbs;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn flat_inputs(m: u8) -> SiteInputs {
+        SiteInputs { neighbors: [Some(0); 4], data1: 0, data2: vec![0; usize::from(m)] }
+    }
+
+    #[test]
+    fn latency_matches_paper_formula() {
+        let mut rsu = RsuG::new(RsuGConfig::for_labels(5, 32.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = rsu.sample_site(&flat_inputs(5), &mut rng);
+        assert_eq!(s.cycles, 7 + 4); // 7 + (M − 1)
+    }
+
+    #[test]
+    fn energies_follow_datapath() {
+        let rsu = RsuG::new(RsuGConfig::for_labels(4, 32.0));
+        let inputs = SiteInputs {
+            neighbors: [Some(1), Some(1), None, None],
+            data1: 0,
+            data2: vec![0; 4],
+        };
+        // Scalar doubletons to two neighbours at label 1: 2·(m−1)².
+        assert_eq!(rsu.energies(&inputs), vec![2, 0, 2, 8]);
+    }
+
+    #[test]
+    fn winner_distribution_tracks_boltzmann() {
+        // Distinct energies via DATA2; compare empirical wins with the
+        // exact softmax over the *quantized* energies.
+        let t8 = 24.0;
+        let mut rsu = RsuG::new(RsuGConfig::for_labels(3, t8));
+        let inputs = SiteInputs {
+            neighbors: [None; 4],
+            data1: 0,
+            data2: vec![0, 20, 28], // singleton energies 0, 25, 49 (shift 4)
+        };
+        let energies = rsu.energies(&inputs);
+        let expect = SoftmaxGibbs::probabilities(
+            &energies.iter().map(|&e| f64::from(e)).collect::<Vec<_>>(),
+            t8,
+        );
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 40_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[usize::from(rsu.sample_site(&inputs, &mut rng).label.value())] += 1;
+        }
+        for (m, c) in counts.iter().enumerate() {
+            let p = *c as f64 / n as f64;
+            // 4-bit codes + 8-bit TTF (tick ties break toward lower
+            // labels) leave a few percent of quantization error; the
+            // distribution shape must still track Boltzmann.
+            assert!((p - expect[m]).abs() < 0.06, "label {m}: {p} vs {}", expect[m]);
+        }
+    }
+
+    #[test]
+    fn ideal_win_probabilities_normalize() {
+        let rsu = RsuG::new(RsuGConfig::for_labels(5, 32.0));
+        let p = rsu.ideal_win_probabilities(&flat_inputs(5));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_codes_zero_returns_label_zero() {
+        // A cold map sends all non-zero energies to code 0.
+        let mut rsu = RsuG::new(RsuGConfig::for_labels(3, 0.1));
+        let inputs = SiteInputs {
+            neighbors: [Some(7); 4],
+            data1: 63,
+            data2: vec![0, 0, 0],
+        };
+        assert!(rsu.intensity_codes(&inputs).iter().all(|&c| c == 0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = rsu.sample_site(&inputs, &mut rng);
+        assert_eq!(s.label, Label::new(0));
+        assert_eq!(s.ttf, TtfReading::Saturated);
+    }
+
+    #[test]
+    fn broadcast_data2_is_accepted() {
+        let mut rsu = RsuG::new(RsuGConfig::for_labels(4, 32.0));
+        let inputs = SiteInputs { neighbors: [None; 4], data1: 5, data2: vec![5] };
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = rsu.sample_site(&inputs, &mut rng);
+        assert!(s.label.value() < 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "DATA2 stream")]
+    fn wrong_data2_length_panics() {
+        let mut rsu = RsuG::new(RsuGConfig::for_labels(4, 32.0));
+        let inputs = SiteInputs { neighbors: [None; 4], data1: 5, data2: vec![1, 2] };
+        let mut rng = StdRng::seed_from_u64(3);
+        rsu.sample_site(&inputs, &mut rng);
+    }
+
+    #[test]
+    fn circuit_backend_tracks_ideal_backend() {
+        use mogs_ret::circuit::{RetCircuitConfig, SpadConfig};
+        let t8 = 24.0;
+        let inputs = SiteInputs {
+            neighbors: [None; 4],
+            data1: 0,
+            data2: vec![0, 20, 28],
+        };
+        let mut ideal = RsuG::new(RsuGConfig::for_labels(3, t8));
+        let mut physical = RsuG::new(RsuGConfig {
+            backend: RetBackend::Circuit(RetCircuitConfig {
+                spad: SpadConfig { dark_rate_per_ns: 0.0, ..SpadConfig::default() },
+                ..RetCircuitConfig::default()
+            }),
+            ..RsuGConfig::for_labels(3, t8)
+        });
+        let mut rng = StdRng::seed_from_u64(19);
+        let n = 30_000;
+        let mut ideal_counts = [0usize; 3];
+        let mut circuit_counts = [0usize; 3];
+        for _ in 0..n {
+            ideal_counts[usize::from(ideal.sample_site(&inputs, &mut rng).label.value())] += 1;
+            circuit_counts
+                [usize::from(physical.sample_site(&inputs, &mut rng).label.value())] += 1;
+        }
+        // The circuit's code→rate curve is affine (exciton transit adds a
+        // fixed delay), not purely proportional, so the circuit-backed
+        // distribution follows the *effective* rates, slightly compressed
+        // relative to the ideal code-proportional model.
+        let probe = mogs_ret::circuit::RetCircuit::new(RetCircuitConfig {
+            spad: SpadConfig { dark_rate_per_ns: 0.0, ..SpadConfig::default() },
+            ..RetCircuitConfig::default()
+        });
+        let codes = physical.intensity_codes(&inputs);
+        let rates: Vec<f64> = codes.iter().map(|&c| probe.effective_rate(c)).collect();
+        let total: f64 = rates.iter().sum();
+        for m in 0..3 {
+            let pc = circuit_counts[m] as f64 / n as f64;
+            let expect = rates[m] / total;
+            assert!(
+                (pc - expect).abs() < 0.03,
+                "label {m}: circuit {pc} vs effective-rate prediction {expect}"
+            );
+            let pi = ideal_counts[m] as f64 / n as f64;
+            // The compression vs the ideal backend is visible but bounded.
+            assert!((pi - pc).abs() < 0.15, "label {m}: ideal {pi} vs circuit {pc}");
+        }
+    }
+
+    #[test]
+    fn sampler_adapter_tracks_softmax() {
+        let quantizer = EnergyQuantizer::new(8.0);
+        let mut sampler = RsuGSampler::new(quantizer, 4.0);
+        let energies = [0.0, 2.0, 6.0];
+        let expect = SoftmaxGibbs::probabilities(&energies, 4.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 40_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let l = sampler.sample_label(&energies, 4.0, Label::new(0), &mut rng);
+            counts[usize::from(l.value())] += 1;
+        }
+        for (m, c) in counts.iter().enumerate() {
+            let p = *c as f64 / n as f64;
+            assert!((p - expect[m]).abs() < 0.06, "label {m}: {p} vs {}", expect[m]);
+        }
+    }
+
+    #[test]
+    fn sampler_keeps_current_label_when_all_off() {
+        let quantizer = EnergyQuantizer::new(1.0);
+        let mut sampler = RsuGSampler::new(quantizer, 1.0).with_map(IntensityMap::from_entries(
+            [0u8; crate::intensity::LUT_ENTRIES],
+        ));
+        let mut rng = StdRng::seed_from_u64(5);
+        let l = sampler.sample_label(&[1.0, 2.0], 1.0, Label::new(1), &mut rng);
+        assert_eq!(l, Label::new(1));
+    }
+
+    #[test]
+    fn sampler_is_shift_invariant() {
+        // Adding a constant to all energies must not change the codes.
+        let sampler = RsuGSampler::new(EnergyQuantizer::new(4.0), 8.0);
+        let a = sampler.codes(&[0.0, 3.0, 9.0]);
+        let b = sampler.codes(&[100.0, 103.0, 109.0]);
+        assert_eq!(a, b);
+    }
+}

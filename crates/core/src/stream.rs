@@ -1,0 +1,120 @@
+//! Multi-site streaming timing: software-pipelined RSU-G operation (§6.1).
+//!
+//! A single site costs `depth + (issue_steps − 1)` cycles, but §6.1's
+//! execution model overlaps the *next* pixel's control-register writes with
+//! the tail of the current evaluation ("staged to begin executing the next
+//! pixel as soon as possible, for example by using software pipelining").
+//! In steady state the unit therefore produces one sample every
+//! `max(issue_steps, setup_issue)` cycles, not every `latency` cycles.
+//! This module models a stream of site evaluations and exposes both the
+//! pipelined and the naive (non-overlapped) schedules, quantifying what
+//! the software-pipelining requirement is worth.
+
+use crate::variants::RsuVariant;
+
+/// Cost (in issue slots) of the per-site control-register writes: packed
+/// neighbours, `DATA1`, and the result read (§6.1's "remaining values").
+pub const SITE_SETUP_SLOTS: u32 = 3;
+
+/// Timing of a stream of site evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamTiming {
+    /// Total cycles for the whole stream.
+    pub total_cycles: u64,
+    /// Steady-state cycles between successive samples.
+    pub interval_cycles: u32,
+}
+
+/// Streaming schedule for `sites` evaluations of `m`-label variables on a
+/// `variant`-width unit, with per-pixel setup overlapped into the previous
+/// evaluation (the §6.1 model).
+///
+/// # Panics
+///
+/// Panics if `sites` or `m` is zero.
+pub fn pipelined_stream(variant: RsuVariant, m: u8, sites: u64) -> StreamTiming {
+    assert!(sites > 0, "need at least one site");
+    assert!(m > 0, "need at least one label");
+    let interval = variant.sample_interval(m).max(SITE_SETUP_SLOTS);
+    let latency = u64::from(variant.latency_cycles(m)) + u64::from(SITE_SETUP_SLOTS);
+    StreamTiming {
+        // First result pays full latency; each further site one interval.
+        total_cycles: latency + (sites - 1) * u64::from(interval),
+        interval_cycles: interval,
+    }
+}
+
+/// The naive schedule: setup, evaluate, read, repeat — no overlap.
+///
+/// # Panics
+///
+/// Panics if `sites` or `m` is zero.
+pub fn naive_stream(variant: RsuVariant, m: u8, sites: u64) -> StreamTiming {
+    assert!(sites > 0, "need at least one site");
+    assert!(m > 0, "need at least one label");
+    let per_site = variant.latency_cycles(m) + SITE_SETUP_SLOTS;
+    StreamTiming { total_cycles: sites * u64::from(per_site), interval_cycles: per_site }
+}
+
+/// Speedup of the pipelined over the naive schedule for a long stream.
+pub fn pipelining_gain(variant: RsuVariant, m: u8) -> f64 {
+    let sites = 1_000_000;
+    naive_stream(variant, m, sites).total_cycles as f64
+        / pipelined_stream(variant, m, sites).total_cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_interval_is_issue_bound() {
+        // RSU-G1, M=5: one sample every 5 cycles, not every 11+3.
+        let t = pipelined_stream(RsuVariant::g1(), 5, 1000);
+        assert_eq!(t.interval_cycles, 5);
+        // RSU-G64, M=64: the 3-slot setup becomes the bottleneck.
+        let t = pipelined_stream(RsuVariant::g64(), 64, 1000);
+        assert_eq!(t.interval_cycles, 3);
+    }
+
+    #[test]
+    fn first_sample_pays_full_latency() {
+        let t = pipelined_stream(RsuVariant::g1(), 5, 1);
+        assert_eq!(t.total_cycles, u64::from(RsuVariant::g1().latency_cycles(5)) + 3);
+    }
+
+    #[test]
+    fn pipelining_gain_matches_latency_over_interval() {
+        // For G1/M=49: naive 55+3 = 58 cycles/site, pipelined 49 ⇒ ~1.18x.
+        let gain = pipelining_gain(RsuVariant::g1(), 49);
+        assert!((gain - 58.0 / 49.0).abs() < 0.01, "gain {gain}");
+        // For G64/M=64: naive 15, pipelined 3 ⇒ 5x — wide units *need*
+        // software pipelining to pay off.
+        let gain = pipelining_gain(RsuVariant::g64(), 64);
+        assert!((gain - 5.0).abs() < 0.05, "gain {gain}");
+    }
+
+    #[test]
+    fn naive_schedule_scales_linearly() {
+        let a = naive_stream(RsuVariant::g1(), 5, 10).total_cycles;
+        let b = naive_stream(RsuVariant::g1(), 5, 20).total_cycles;
+        assert_eq!(b, 2 * a);
+    }
+
+    #[test]
+    fn paper_throughput_claim_m_cycles_per_variable() {
+        // §5.3: RSU-G1 sustains "one label sample per cycle (requiring M
+        // cycles for a single random variable)" — i.e. the pipelined
+        // interval equals M once M exceeds the setup slots.
+        for m in [5u8, 16, 49, 64] {
+            let t = pipelined_stream(RsuVariant::g1(), m, 100);
+            assert_eq!(t.interval_cycles, u32::from(m).max(SITE_SETUP_SLOTS));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one site")]
+    fn empty_stream_rejected() {
+        pipelined_stream(RsuVariant::g1(), 5, 0);
+    }
+}

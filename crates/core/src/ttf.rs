@@ -1,0 +1,141 @@
+//! The time-to-fluorescence capture register (pipeline stage 4, §5.2).
+//!
+//! The TTF is recorded by an 8-bit shift register clocked **8× faster than
+//! the system clock**: at 1 GHz that is 8 GHz, a 125 ps resolution, and a
+//! 256-tick (32 ns) capture window. A photon that never arrives inside the
+//! window reads as the saturated value, which can only win the selection
+//! tournament if every competitor also saturated.
+
+/// Number of fast-clock ticks the register can count (8 bits).
+pub const TTF_TICKS: u16 = 256;
+
+/// Fast-clock multiplier over the system clock.
+pub const TTF_CLOCK_MULTIPLIER: u32 = 8;
+
+/// A quantized TTF observation.
+///
+/// Ordered: shorter TTFs compare smaller. `Saturated` (no detection in the
+/// window) is the maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TtfReading {
+    /// Detection at the given fast-clock tick (0..=254).
+    Ticks(u8),
+    /// No detection within the window.
+    Saturated,
+}
+
+impl TtfReading {
+    /// The raw register value: tick count, with saturation encoded as 255.
+    pub fn raw(self) -> u8 {
+        match self {
+            TtfReading::Ticks(t) => t,
+            TtfReading::Saturated => u8::MAX,
+        }
+    }
+}
+
+/// The capture register: quantizes physical TTFs (ns) to fast-clock ticks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TtfRegister {
+    /// System clock period in ns.
+    system_period_ns: f64,
+}
+
+impl TtfRegister {
+    /// A register for the given system clock period (ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `system_period_ns` is not strictly positive and finite.
+    pub fn new(system_period_ns: f64) -> Self {
+        assert!(
+            system_period_ns.is_finite() && system_period_ns > 0.0,
+            "clock period must be positive"
+        );
+        TtfRegister { system_period_ns }
+    }
+
+    /// The register for a 1 GHz system clock (the paper's 15 nm design
+    /// point): 125 ps ticks, 32 ns window.
+    pub fn at_1ghz() -> Self {
+        TtfRegister::new(1.0)
+    }
+
+    /// Fast-clock tick duration in ns.
+    pub fn tick_ns(&self) -> f64 {
+        self.system_period_ns / f64::from(TTF_CLOCK_MULTIPLIER)
+    }
+
+    /// Capture window in ns (256 ticks).
+    pub fn window_ns(&self) -> f64 {
+        self.tick_ns() * f64::from(TTF_TICKS)
+    }
+
+    /// Quantizes a TTF observation. `None` (no photon) and times beyond the
+    /// window read as [`TtfReading::Saturated`]; tick 255 is reserved as
+    /// the saturation encoding.
+    pub fn capture(&self, ttf_ns: Option<f64>) -> TtfReading {
+        match ttf_ns {
+            None => TtfReading::Saturated,
+            Some(t) => {
+                debug_assert!(t >= 0.0, "TTF must be non-negative");
+                let ticks = (t / self.tick_ns()).floor();
+                if ticks >= f64::from(TTF_TICKS - 1) {
+                    TtfReading::Saturated
+                } else {
+                    TtfReading::Ticks(ticks as u8)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_at_1ghz_is_125ps() {
+        let r = TtfRegister::at_1ghz();
+        assert!((r.tick_ns() - 0.125).abs() < 1e-12);
+        assert!((r.window_ns() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capture_quantizes_down() {
+        let r = TtfRegister::at_1ghz();
+        assert_eq!(r.capture(Some(0.0)), TtfReading::Ticks(0));
+        assert_eq!(r.capture(Some(0.124)), TtfReading::Ticks(0));
+        assert_eq!(r.capture(Some(0.125)), TtfReading::Ticks(1));
+        assert_eq!(r.capture(Some(1.0)), TtfReading::Ticks(8));
+    }
+
+    #[test]
+    fn late_or_missing_photons_saturate() {
+        let r = TtfRegister::at_1ghz();
+        assert_eq!(r.capture(None), TtfReading::Saturated);
+        assert_eq!(r.capture(Some(32.0)), TtfReading::Saturated);
+        assert_eq!(r.capture(Some(31.875)), TtfReading::Saturated); // tick 255 reserved
+        assert_eq!(r.capture(Some(31.7)), TtfReading::Ticks(253));
+    }
+
+    #[test]
+    fn readings_order_correctly() {
+        assert!(TtfReading::Ticks(3) < TtfReading::Ticks(4));
+        assert!(TtfReading::Ticks(254) < TtfReading::Saturated);
+        assert_eq!(TtfReading::Saturated.raw(), 255);
+        assert_eq!(TtfReading::Ticks(9).raw(), 9);
+    }
+
+    #[test]
+    fn slower_clock_widens_window() {
+        let slow = TtfRegister::new(1.0 / 0.59); // 590 MHz (45 nm point)
+        assert!(slow.window_ns() > TtfRegister::at_1ghz().window_ns());
+    }
+
+    #[test]
+    #[should_panic(expected = "clock period must be positive")]
+    fn zero_period_rejected() {
+        TtfRegister::new(0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! RSU-G width variants: RSU-G1 … RSU-G64 (paper §5.1).
+//!
+//! An RSU-G with `K` RET-circuit lanes evaluates `K` candidate labels per
+//! cycle, taking `⌈M/K⌉` issue steps plus the pipeline depth. The paper
+//! pins both endpoints: RSU-G1 takes `7 + (M−1)` cycles per variable, and
+//! RSU-G64 evaluates 64 labels in 12 cycles using 256 RET circuits (4
+//! replicas per lane to cover the 4-cycle quiescence hazard, §5.3). We
+//! interpolate the intermediate widths with a selection-tree term that
+//! grows logarithmically in `K` and is consistent with both endpoints.
+
+/// Replicated RET circuits per lane required to hide the quiescence hazard
+/// (quiescence is 4 cycles, initiation interval 1 cycle).
+pub const REPLICAS_PER_LANE: u32 = 4;
+
+/// An RSU-G width variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RsuVariant {
+    width: u8,
+}
+
+impl RsuVariant {
+    /// The `K`-wide variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64`.
+    pub fn new(width: u8) -> Self {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        RsuVariant { width }
+    }
+
+    /// RSU-G1: one label evaluation per cycle.
+    pub fn g1() -> Self {
+        RsuVariant::new(1)
+    }
+
+    /// RSU-G4: four label evaluations per cycle.
+    pub fn g4() -> Self {
+        RsuVariant::new(4)
+    }
+
+    /// RSU-G64: up to 64 labels in a single issue step.
+    pub fn g64() -> Self {
+        RsuVariant::new(64)
+    }
+
+    /// The width `K`.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Issue steps needed for `m` labels: `⌈M/K⌉`.
+    pub fn issue_steps(&self, m: u8) -> u32 {
+        u32::from(m).div_ceil(u32::from(self.width))
+    }
+
+    /// Latency in cycles to produce one random-variable sample for `m`
+    /// labels in steady state.
+    ///
+    /// `K = 1` reproduces the paper's `7 + (M−1)`; `K = 64, M = 64` gives
+    /// the paper's 12 cycles; intermediate widths add a
+    /// `⌈log₂K⌉ − 1` selection-tree term.
+    pub fn latency_cycles(&self, m: u8) -> u32 {
+        let tree = if self.width > 1 {
+            u32::from(self.width).next_power_of_two().trailing_zeros().saturating_sub(1)
+        } else {
+            0
+        };
+        7 + tree + (self.issue_steps(m) - 1)
+    }
+
+    /// Steady-state initiation interval in cycles between successive
+    /// random-variable samples (one per issue sequence).
+    pub fn sample_interval(&self, m: u8) -> u32 {
+        self.issue_steps(m)
+    }
+
+    /// Total RET circuits in the unit: 4 replicas per lane (§5.3); 256 for
+    /// RSU-G64 as the paper states.
+    pub fn ret_circuits(&self) -> u32 {
+        u32::from(self.width) * REPLICAS_PER_LANE
+    }
+
+    /// Display name, e.g. `RSU-G4`.
+    pub fn name(&self) -> String {
+        format!("RSU-G{}", self.width)
+    }
+}
+
+impl Default for RsuVariant {
+    fn default() -> Self {
+        RsuVariant::g1()
+    }
+}
+
+impl std::fmt::Display for RsuVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RSU-G{}", self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g1_latency_is_paper_formula() {
+        let v = RsuVariant::g1();
+        for m in 1..=64u8 {
+            assert_eq!(v.latency_cycles(m), 7 + u32::from(m) - 1);
+        }
+    }
+
+    #[test]
+    fn g64_latency_matches_paper_twelve_cycles() {
+        assert_eq!(RsuVariant::g64().latency_cycles(64), 12);
+    }
+
+    #[test]
+    fn g64_uses_256_ret_circuits() {
+        assert_eq!(RsuVariant::g64().ret_circuits(), 256);
+        assert_eq!(RsuVariant::g1().ret_circuits(), 4);
+    }
+
+    #[test]
+    fn issue_steps_round_up() {
+        let v = RsuVariant::g4();
+        assert_eq!(v.issue_steps(49), 13); // motion estimation: 49 labels
+        assert_eq!(v.issue_steps(4), 1);
+        assert_eq!(v.issue_steps(5), 2);
+    }
+
+    #[test]
+    fn wider_units_are_never_slower_up_to_label_count() {
+        // Widening helps while K ≤ M; past that the deeper selection tree
+        // only adds latency, so the monotonicity claim stops there.
+        for m in [5u8, 49, 64] {
+            let mut last = u32::MAX;
+            for k in [1u8, 2, 4, 8, 16, 32, 64].into_iter().filter(|&k| k <= m) {
+                let cycles = RsuVariant::new(k).latency_cycles(m);
+                assert!(cycles <= last, "K={k} M={m}: {cycles} > {last}");
+                last = cycles;
+            }
+        }
+    }
+
+    #[test]
+    fn overwide_units_pay_tree_latency() {
+        // K = 16 for M = 5 has the same single issue step as K = 8 but a
+        // deeper selection tree.
+        assert!(
+            RsuVariant::new(16).latency_cycles(5) > RsuVariant::new(8).latency_cycles(5)
+        );
+    }
+
+    #[test]
+    fn sample_interval_is_issue_steps() {
+        assert_eq!(RsuVariant::g1().sample_interval(49), 49);
+        assert_eq!(RsuVariant::g4().sample_interval(49), 13);
+        assert_eq!(RsuVariant::g64().sample_interval(49), 1);
+    }
+
+    #[test]
+    fn display_name() {
+        assert_eq!(RsuVariant::g4().to_string(), "RSU-G4");
+        assert_eq!(RsuVariant::g4().name(), "RSU-G4");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=64")]
+    fn zero_width_rejected() {
+        RsuVariant::new(0);
+    }
+}

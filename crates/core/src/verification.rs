@@ -1,0 +1,194 @@
+//! Bit-level verification vectors for the CMOS datapaths.
+//!
+//! The paper verified its synthesized Verilog in Modelsim; this module is
+//! the equivalent artifact for the Rust models: explicit input→output
+//! vectors for every CMOS block (energy datapath, intensity LUT, TTF
+//! capture, neighbour packing, instruction encoding), written as data so a
+//! future RTL implementation can consume the same tables.
+
+use crate::energy_unit::{EnergyUnit, EnergyUnitConfig};
+use crate::intensity::IntensityMap;
+use crate::isa::pack_neighbors;
+use crate::ttf::{TtfReading, TtfRegister};
+use mogs_mrf::label::LabelKind;
+
+/// One energy-datapath vector: inputs and the expected 8-bit energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnergyVector {
+    /// Candidate label (6-bit).
+    pub label: u8,
+    /// Neighbour labels (`None` = boundary).
+    pub neighbors: [Option<u8>; 4],
+    /// `DATA1` input.
+    pub data1: u8,
+    /// `DATA2` input.
+    pub data2: u8,
+    /// Expected output energy.
+    pub expected: u8,
+}
+
+/// Golden vectors for the default scalar datapath (doubleton shift 0,
+/// singleton shift 4).
+pub const SCALAR_ENERGY_VECTORS: [EnergyVector; 8] = [
+    // All-zero: zero energy.
+    EnergyVector { label: 0, neighbors: [Some(0); 4], data1: 0, data2: 0, expected: 0 },
+    // Pure singleton: (63-0)² >> 4 = 248.
+    EnergyVector { label: 0, neighbors: [Some(0); 4], data1: 63, data2: 0, expected: 248 },
+    // Pure doubletons: 4 × (7-0)² = 196.
+    EnergyVector { label: 0, neighbors: [Some(7); 4], data1: 0, data2: 0, expected: 196 },
+    // Saturation: 248 + 196 clamps to 255.
+    EnergyVector { label: 0, neighbors: [Some(7); 4], data1: 63, data2: 0, expected: 255 },
+    // Boundary mask: two valid neighbours only.
+    EnergyVector {
+        label: 0,
+        neighbors: [Some(7), Some(7), None, None],
+        data1: 0,
+        data2: 0,
+        expected: 98,
+    },
+    // Scalar interpretation ignores the high 3 bits: 9 ⊕ 1 share low bits.
+    EnergyVector { label: 9, neighbors: [Some(1); 4], data1: 0, data2: 0, expected: 0 },
+    // Mixed: singleton (20-10)²>>4 = 6, doubletons 4×(3-1)² = 16.
+    EnergyVector { label: 3, neighbors: [Some(1); 4], data1: 20, data2: 10, expected: 22 },
+    // Asymmetric neighbours: (2-0)²+(2-4)²+(2-7)²+(2-2)² = 4+4+25+0 = 33.
+    EnergyVector {
+        label: 2,
+        neighbors: [Some(0), Some(4), Some(7), Some(2)],
+        data1: 0,
+        data2: 0,
+        expected: 33,
+    },
+];
+
+/// One vector-datapath vector (3+3-bit components).
+pub const VECTOR_ENERGY_VECTORS: [EnergyVector; 3] = [
+    // (1,2) candidate vs four (4,6) neighbours: 4 × (9+16) = 100.
+    EnergyVector {
+        label: 0b010_001,
+        neighbors: [Some(0b110_100); 4],
+        data1: 0,
+        data2: 0,
+        expected: 100,
+    },
+    // Identical vectors: zero.
+    EnergyVector {
+        label: 0b101_011,
+        neighbors: [Some(0b101_011); 4],
+        data1: 0,
+        data2: 0,
+        expected: 0,
+    },
+    // Max component distance: 4 × (49+49) = 392 → clamps to 255.
+    EnergyVector {
+        label: 0b000_000,
+        neighbors: [Some(0b111_111); 4],
+        data1: 0,
+        data2: 0,
+        expected: 255,
+    },
+];
+
+/// Checks every scalar and vector energy vector against the model.
+///
+/// Returns the first failing vector, or `None` when all pass (the form an
+/// RTL testbench would report).
+pub fn check_energy_vectors() -> Option<EnergyVector> {
+    let scalar = EnergyUnit::new(EnergyUnitConfig::default());
+    for v in SCALAR_ENERGY_VECTORS {
+        if scalar.energy(v.label, v.neighbors, v.data1, v.data2) != v.expected {
+            return Some(v);
+        }
+    }
+    let vector = EnergyUnit::new(EnergyUnitConfig {
+        kind: LabelKind::Vector2,
+        ..EnergyUnitConfig::default()
+    });
+    VECTOR_ENERGY_VECTORS.into_iter().find(|&v| vector.energy(v.label, v.neighbors, v.data1, v.data2) != v.expected)
+}
+
+/// Golden LUT spot checks for the Boltzmann map at t8 = 32:
+/// `(energy, expected 4-bit code)`.
+pub const LUT_VECTORS_T32: [(u8, u8); 6] =
+    [(0, 15), (8, 12), (16, 9), (32, 6), (64, 2), (128, 0)];
+
+/// Checks the LUT vectors.
+pub fn check_lut_vectors() -> Option<(u8, u8, u8)> {
+    let map = IntensityMap::boltzmann(32.0);
+    for (energy, expected) in LUT_VECTORS_T32 {
+        let got = map.lookup(energy);
+        if got != expected {
+            return Some((energy, expected, got));
+        }
+    }
+    None
+}
+
+/// Golden TTF capture vectors at 1 GHz: `(time ns, expected raw reading)`.
+pub const TTF_VECTORS_1GHZ: [(f64, u8); 6] = [
+    (0.0, 0),
+    (0.124, 0),
+    (0.125, 1),
+    (1.0, 8),
+    (31.7, 253),
+    (32.0, 255), // saturation
+];
+
+/// Checks the TTF vectors.
+pub fn check_ttf_vectors() -> Option<(f64, u8, u8)> {
+    let reg = TtfRegister::at_1ghz();
+    for (t, expected) in TTF_VECTORS_1GHZ {
+        let got = match reg.capture(Some(t)) {
+            TtfReading::Ticks(v) => v,
+            TtfReading::Saturated => u8::MAX,
+        };
+        if got != expected {
+            return Some((t, expected, got));
+        }
+    }
+    None
+}
+
+/// Golden neighbour-packing vectors: `(neighbours, packed word)`.
+pub fn check_packing_vectors() -> Option<u32> {
+    let cases: [([Option<u8>; 4], u32); 3] = [
+        ([None; 4], 0),
+        ([Some(0); 4], 0x0F00_0000),
+        (
+            [Some(63), Some(1), None, Some(32)],
+            // 63 | 1<<6 | 32<<18 + valid bits 0,1,3.
+            (63) | (1 << 6) | (32 << 18) | (0b1011 << 24),
+        ),
+    ];
+    for (neighbors, expected) in cases {
+        let got = pack_neighbors(neighbors);
+        if got != expected {
+            return Some(got);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_energy_vectors_pass() {
+        assert_eq!(check_energy_vectors(), None);
+    }
+
+    #[test]
+    fn all_lut_vectors_pass() {
+        assert_eq!(check_lut_vectors(), None);
+    }
+
+    #[test]
+    fn all_ttf_vectors_pass() {
+        assert_eq!(check_ttf_vectors(), None);
+    }
+
+    #[test]
+    fn all_packing_vectors_pass() {
+        assert_eq!(check_packing_vectors(), None);
+    }
+}

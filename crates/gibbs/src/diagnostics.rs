@@ -1,0 +1,226 @@
+//! Convergence diagnostics for MCMC traces.
+//!
+//! MCMC "converges to an exact result" only in the limit; these utilities
+//! quantify how close a finite chain is: autocorrelation of the energy
+//! trace, integrated autocorrelation time, effective sample size, and a
+//! Geweke-style mean-stability z-score. They back the quality experiments
+//! (DESIGN.md A3) comparing software Gibbs against the RSU-G sampler.
+
+/// Sample mean of a series.
+pub fn mean(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        return f64::NAN;
+    }
+    series.iter().sum::<f64>() / series.len() as f64
+}
+
+/// Unbiased sample variance.
+pub fn variance(series: &[f64]) -> f64 {
+    if series.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(series);
+    series.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (series.len() - 1) as f64
+}
+
+/// Normalized autocorrelation of the series at the given lag, in `[-1, 1]`.
+///
+/// Returns 0 for lags at or beyond the series length, or if the series has
+/// no variance.
+pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    let n = series.len();
+    if lag >= n || n < 2 {
+        return if lag == 0 { 1.0 } else { 0.0 };
+    }
+    let m = mean(series);
+    let denom: f64 = series.iter().map(|x| (x - m) * (x - m)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = series[..n - lag]
+        .iter()
+        .zip(&series[lag..])
+        .map(|(a, b)| (a - m) * (b - m))
+        .sum();
+    num / denom
+}
+
+/// Integrated autocorrelation time `τ = 1 + 2 Σ ρ(k)`, summing with
+/// Geyer's initial-positive-sequence truncation (stop at the first
+/// non-positive autocorrelation).
+pub fn integrated_autocorrelation_time(series: &[f64]) -> f64 {
+    let mut tau = 1.0;
+    for lag in 1..series.len() {
+        let rho = autocorrelation(series, lag);
+        if rho <= 0.0 {
+            break;
+        }
+        tau += 2.0 * rho;
+    }
+    tau
+}
+
+/// Effective sample size `n / τ`.
+pub fn effective_sample_size(series: &[f64]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    series.len() as f64 / integrated_autocorrelation_time(series)
+}
+
+/// Geweke-style stability z-score: compares the mean of the first
+/// `early_frac` of the series against the last `late_frac`, normalized by
+/// their pooled standard error. |z| ≲ 2 is consistent with stationarity.
+///
+/// # Panics
+///
+/// Panics if the fractions are outside `(0, 1)` or overlap.
+pub fn geweke_z(series: &[f64], early_frac: f64, late_frac: f64) -> f64 {
+    assert!(early_frac > 0.0 && early_frac < 1.0, "early fraction in (0, 1)");
+    assert!(late_frac > 0.0 && late_frac < 1.0, "late fraction in (0, 1)");
+    assert!(early_frac + late_frac <= 1.0, "windows must not overlap");
+    let n = series.len();
+    let n_early = ((n as f64) * early_frac).max(2.0) as usize;
+    let n_late = ((n as f64) * late_frac).max(2.0) as usize;
+    let early = &series[..n_early.min(n)];
+    let late = &series[n - n_late.min(n)..];
+    let se = (variance(early) / early.len() as f64 + variance(late) / late.len() as f64).sqrt();
+    if se == 0.0 {
+        return 0.0;
+    }
+    (mean(early) - mean(late)) / se
+}
+
+/// Gelman–Rubin potential scale reduction factor `R̂` over parallel
+/// chains' scalar traces (e.g. total energy).
+///
+/// Values near 1 indicate the chains have mixed into the same
+/// distribution; `R̂ > 1.1` is the conventional "not converged" flag.
+///
+/// # Panics
+///
+/// Panics with fewer than two chains, chains of differing lengths, or
+/// chains shorter than two samples.
+pub fn potential_scale_reduction(chains: &[Vec<f64>]) -> f64 {
+    assert!(chains.len() >= 2, "need at least two chains");
+    let n = chains[0].len();
+    assert!(n >= 2, "chains need at least two samples");
+    assert!(chains.iter().all(|c| c.len() == n), "chains must have equal length");
+    let m = chains.len() as f64;
+    let nf = n as f64;
+    let chain_means: Vec<f64> = chains.iter().map(|c| mean(c)).collect();
+    let grand_mean = mean(&chain_means);
+    // Between-chain variance B and within-chain variance W.
+    let b = nf / (m - 1.0)
+        * chain_means.iter().map(|x| (x - grand_mean) * (x - grand_mean)).sum::<f64>();
+    let w = chains.iter().map(|c| variance(c)).sum::<f64>() / m;
+    if w == 0.0 {
+        return 1.0;
+    }
+    let var_plus = (nf - 1.0) / nf * w + b / nf;
+    (var_plus / w).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<f64>() - 0.5).collect()
+    }
+
+    fn ar1(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = 0.0;
+        (0..n)
+            .map(|_| {
+                x = phi * x + (rng.gen::<f64>() - 0.5);
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn autocorrelation_at_zero_is_one() {
+        let s = white_noise(500, 1);
+        assert!((autocorrelation(&s, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn white_noise_decorrelates_quickly() {
+        let s = white_noise(5000, 2);
+        assert!(autocorrelation(&s, 1).abs() < 0.05);
+        let ess = effective_sample_size(&s);
+        assert!(ess > 0.8 * s.len() as f64, "ESS {ess} of {}", s.len());
+    }
+
+    #[test]
+    fn ar1_has_predictable_autocorrelation() {
+        let phi = 0.8;
+        let s = ar1(20_000, phi, 3);
+        let rho1 = autocorrelation(&s, 1);
+        assert!((rho1 - phi).abs() < 0.05, "lag-1 autocorr {rho1} vs {phi}");
+    }
+
+    #[test]
+    fn correlated_chain_has_smaller_ess() {
+        let fast = white_noise(2000, 4);
+        let slow = ar1(2000, 0.9, 5);
+        assert!(effective_sample_size(&slow) < effective_sample_size(&fast) / 2.0);
+    }
+
+    #[test]
+    fn geweke_flags_trend() {
+        let stationary = white_noise(2000, 6);
+        let trending: Vec<f64> =
+            (0..2000).map(|i| i as f64 * 0.01 + stationary[i]).collect();
+        assert!(geweke_z(&stationary, 0.1, 0.5).abs() < 3.0);
+        assert!(geweke_z(&trending, 0.1, 0.5).abs() > 5.0);
+    }
+
+    #[test]
+    fn constant_series_edge_cases() {
+        let s = vec![3.0; 100];
+        assert_eq!(autocorrelation(&s, 1), 0.0);
+        assert_eq!(geweke_z(&s, 0.1, 0.5), 0.0);
+    }
+
+    #[test]
+    fn empty_series_behaviour() {
+        assert!(mean(&[]).is_nan());
+        assert_eq!(effective_sample_size(&[]), 0.0);
+    }
+
+    #[test]
+    fn psrf_near_one_for_identical_distributions() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|i| white_noise(2000, 10 + i)).collect();
+        let r = potential_scale_reduction(&chains);
+        assert!(r < 1.05, "R-hat {r}");
+    }
+
+    #[test]
+    fn psrf_flags_disagreeing_chains() {
+        let mut a = white_noise(2000, 20);
+        let b = white_noise(2000, 21);
+        for x in &mut a {
+            *x += 5.0; // chain a has a different mean: not mixed
+        }
+        let r = potential_scale_reduction(&[a, b]);
+        assert!(r > 1.5, "R-hat {r}");
+    }
+
+    #[test]
+    fn psrf_constant_chains_is_one() {
+        let chains = vec![vec![2.0; 100], vec![2.0; 100]];
+        assert_eq!(potential_scale_reduction(&chains), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two chains")]
+    fn psrf_rejects_single_chain() {
+        potential_scale_reduction(&[vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,417 @@
+//! From-scratch continuous distribution samplers (the Table 1 baselines).
+//!
+//! The paper's Table 1 measures the cost of drawing one sample from the
+//! C++11 `<random>` exponential, normal, and gamma distributions on an
+//! Intel E5-2640 (588 / 633 / 800 cycles) to motivate hardware sampling.
+//! This module reimplements the standard algorithms behind those library
+//! facilities — inverse transform, Marsaglia's polar method, and
+//! Marsaglia–Tsang squeeze — so the benchmark harness can regenerate the
+//! table's shape on any machine.
+
+use rand::Rng;
+
+/// Exponential distribution sampled by inverse transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// An exponential with the given rate `λ > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Exponential { rate }
+    }
+
+    /// The rate `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 1 - u ∈ (0, 1]: log is finite.
+        -(1.0 - rng.gen::<f64>()).ln() / self.rate
+    }
+}
+
+/// Normal distribution sampled by Marsaglia's polar method.
+///
+/// The polar method produces samples in pairs; the spare is cached, so the
+/// sampler is stateful (mirroring `std::normal_distribution`'s behaviour).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// A normal with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is not strictly positive and finite or `mean` is
+    /// not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite");
+        assert!(std_dev.is_finite() && std_dev > 0.0, "std dev must be positive");
+        Normal { mean, std_dev, spare: None }
+    }
+
+    /// The standard normal.
+    pub fn standard() -> Self {
+        Normal::new(0.0, 1.0)
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return self.mean + self.std_dev * z;
+        }
+        loop {
+            let u = 2.0 * rng.gen::<f64>() - 1.0;
+            let v = 2.0 * rng.gen::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return self.mean + self.std_dev * (u * factor);
+            }
+        }
+    }
+}
+
+/// Gamma distribution sampled by the Marsaglia–Tsang (2000) squeeze method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// A gamma with shape `k > 0` and scale `θ > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive and finite.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape.is_finite() && shape > 0.0, "shape must be positive");
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        Gamma { shape, scale }
+    }
+
+    /// The shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `θ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.shape < 1.0 {
+            // Boost: Gamma(k) = Gamma(k+1) · U^(1/k).
+            let boosted = Gamma { shape: self.shape + 1.0, scale: self.scale };
+            let u: f64 = 1.0 - rng.gen::<f64>();
+            return boosted.sample(rng) * u.powf(1.0 / self.shape);
+        }
+        let d = self.shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        let mut normal = Normal::standard();
+        loop {
+            let x = normal.sample(rng);
+            let t = 1.0 + c * x;
+            if t <= 0.0 {
+                continue;
+            }
+            let v = t * t * t;
+            let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+            let x2 = x * x;
+            // Squeeze step accepts the vast majority without the log.
+            if u < 1.0 - 0.0331 * x2 * x2 || u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+                return d * v * self.scale;
+            }
+        }
+    }
+}
+
+/// Poisson distribution: Knuth's product method for small means, the
+/// PTRS transformed-rejection method's simpler cousin (normal
+/// approximation with correction) for large means.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    mean: f64,
+}
+
+impl Poisson {
+    /// A Poisson with the given mean `λ > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        Poisson { mean }
+    }
+
+    /// The mean `λ`.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.mean < 30.0 {
+            // Knuth: count exponential arrivals within unit time.
+            let limit = (-self.mean).exp();
+            let mut product: f64 = rng.gen();
+            let mut count = 0u64;
+            while product > limit {
+                product *= rng.gen::<f64>();
+                count += 1;
+            }
+            count
+        } else {
+            // Split λ recursively: λ = 16 + (λ − 16); the recursion keeps
+            // every base draw in the accurate small-mean regime and the
+            // sum of independent Poissons is Poisson.
+            let head = Poisson::new(16.0).sample(rng);
+            let tail = Poisson::new(self.mean - 16.0).sample(rng);
+            head + tail
+        }
+    }
+}
+
+/// Walker's alias method: O(1) sampling from a fixed discrete
+/// distribution after O(n) setup — the classical answer when the *same*
+/// distribution is drawn from many times (contrast with Gibbs
+/// conditionals, which change per site and are what the RSU-G
+/// accelerates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table for the given non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, has a negative/non-finite entry, or
+    /// sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one outcome");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = (0..n).filter(|&i| prob[i] < 1.0).collect();
+        let mut large: Vec<usize> = (0..n).filter(|&i| prob[i] >= 1.0).collect();
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers pin to probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index in O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 60_000;
+
+    fn moments(samples: impl Iterator<Item = f64>) -> (f64, f64) {
+        let xs: Vec<f64> = samples.collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let d = Exponential::new(2.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mean, var) = moments((0..N).map(|_| d.sample(&mut rng)));
+        assert!((mean - 0.4).abs() < 0.005, "mean {mean}");
+        assert!((var - 0.16).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let d = Exponential::new(0.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..10_000).all(|_| d.sample(&mut rng) >= 0.0));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut d = Normal::new(3.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mean, var) = moments((0..N).map(|_| d.sample(&mut rng)));
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn normal_tail_symmetry() {
+        let mut d = Normal::standard();
+        let mut rng = StdRng::seed_from_u64(4);
+        let above = (0..N).filter(|_| d.sample(&mut rng) > 0.0).count();
+        let frac = above as f64 / N as f64;
+        assert!((frac - 0.5).abs() < 0.01, "P(X>0) = {frac}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let d = Gamma::new(4.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mean, var) = moments((0..N).map(|_| d.sample(&mut rng)));
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}"); // kθ
+        assert!((var - 1.0).abs() < 0.05, "var {var}"); // kθ²
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let d = Gamma::new(0.5, 2.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let (mean, var) = moments((0..N).map(|_| d.sample(&mut rng)));
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 2.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn gamma_shape_one_is_exponential() {
+        // Gamma(1, θ) ≡ Exponential(1/θ): compare empirical CDF at median.
+        let g = Gamma::new(1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let below = (0..N).filter(|_| g.sample(&mut rng) < std::f64::consts::LN_2).count();
+        let frac = below as f64 / N as f64;
+        assert!((frac - 0.5).abs() < 0.01, "median check {frac}");
+    }
+
+    #[test]
+    fn poisson_small_mean_moments() {
+        let d = Poisson::new(3.5);
+        let mut rng = StdRng::seed_from_u64(8);
+        let (mean, var) = moments((0..N).map(|_| d.sample(&mut rng) as f64));
+        assert!((mean - 3.5).abs() < 0.04, "mean {mean}");
+        assert!((var - 3.5).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_mean_moments() {
+        let d = Poisson::new(120.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (mean, var) = moments((0..N).map(|_| d.sample(&mut rng) as f64));
+        assert!((mean - 120.0).abs() < 0.3, "mean {mean}");
+        assert!((var - 120.0).abs() < 3.0, "var {var}");
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let table = AliasTable::new(&[1.0, 2.0, 0.0, 5.0]);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut counts = [0usize; 4];
+        for _ in 0..N {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[2], 0, "zero-weight outcome never drawn");
+        for (i, expect) in [(0usize, 0.125), (1, 0.25), (3, 0.625)] {
+            let p = counts[i] as f64 / N as f64;
+            assert!((p - expect).abs() < 0.01, "outcome {i}: {p} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn alias_table_uniform_case() {
+        let table = AliasTable::new(&[1.0; 7]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 7];
+        for _ in 0..N {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            let p = c as f64 / N as f64;
+            assert!((p - 1.0 / 7.0).abs() < 0.01, "{p}");
+        }
+    }
+
+    #[test]
+    fn alias_single_outcome() {
+        let table = AliasTable::new(&[2.0]);
+        let mut rng = StdRng::seed_from_u64(12);
+        assert_eq!(table.sample(&mut rng), 0);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn alias_rejects_zero_weights() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn poisson_rejects_zero_mean() {
+        Poisson::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn gamma_rejects_zero_shape() {
+        Gamma::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "std dev must be positive")]
+    fn normal_rejects_zero_std() {
+        Normal::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Multi-chain MCMC: independent replicas and convergence assessment.
+//!
+//! MCMC "converges to an exact result" only asymptotically (§1); the
+//! standard practical check runs several independent chains from the same
+//! initialization family and compares their between- and within-chain
+//! variances (Gelman–Rubin R̂, in [`crate::diagnostics`]). This module
+//! runs the replicas — optionally on OS threads, since chains are
+//! embarrassingly parallel — and packages the verdict.
+
+use crate::chain::{ChainConfig, ChainResult, McmcChain};
+use crate::diagnostics::potential_scale_reduction;
+use crate::sampler::LabelSampler;
+use mogs_mrf::energy::SingletonPotential;
+use mogs_mrf::MarkovRandomField;
+
+/// Result of a multi-chain run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiChainResult {
+    /// Per-chain results, in seed order.
+    pub chains: Vec<ChainResult>,
+    /// Gelman–Rubin R̂ over the post-burn-in energy traces.
+    pub r_hat: f64,
+}
+
+impl MultiChainResult {
+    /// Conventional convergence verdict: `R̂ < threshold` (1.1 is the
+    /// usual choice).
+    pub fn converged(&self, threshold: f64) -> bool {
+        self.r_hat < threshold
+    }
+}
+
+/// Runs `replicas` independent chains for `iterations` sweeps each, on
+/// separate OS threads, and computes R̂ over their post-burn-in energy
+/// traces.
+///
+/// Chain `k` uses `config.seed + k` as its seed; all other configuration
+/// is shared. The `burn_in` prefix of each energy trace is discarded
+/// before computing R̂.
+///
+/// # Panics
+///
+/// Panics if `replicas < 2` or `iterations <= config.burn_in`.
+pub fn run_chains<S, L>(
+    mrf: &MarkovRandomField<S>,
+    sampler: &L,
+    config: ChainConfig,
+    replicas: usize,
+    iterations: usize,
+) -> MultiChainResult
+where
+    S: SingletonPotential + Sync,
+    L: LabelSampler + Clone + Send + Sync,
+{
+    assert!(replicas >= 2, "convergence assessment needs at least two chains");
+    assert!(
+        iterations > config.burn_in,
+        "iterations must exceed burn-in to leave samples for R-hat"
+    );
+    let mut results: Vec<ChainResult> = Vec::new();
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..replicas)
+            .map(|k| {
+                let sampler = sampler.clone();
+                let chain_config = ChainConfig {
+                    seed: config.seed.wrapping_add(k as u64),
+                    ..config
+                };
+                scope.spawn(move |_| {
+                    let mut chain = McmcChain::new(mrf, sampler, chain_config);
+                    chain.run(iterations);
+                    chain.result()
+                })
+            })
+            .collect();
+        results = handles.into_iter().map(|h| h.join().expect("chain worker")).collect();
+    })
+    .expect("scoped threads");
+    let traces: Vec<Vec<f64>> = results
+        .iter()
+        .map(|r| r.energy_trace[config.burn_in..].to_vec())
+        .collect();
+    let r_hat = potential_scale_reduction(&traces);
+    MultiChainResult { chains: results, r_hat }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::SoftmaxGibbs;
+    use mogs_mrf::{Grid2D, Label, LabelSpace, SmoothnessPrior};
+
+    fn easy_mrf() -> MarkovRandomField<impl SingletonPotential> {
+        // Strong data term: chains mix essentially immediately.
+        MarkovRandomField::builder(Grid2D::new(8, 8), LabelSpace::scalar(2))
+            .prior(SmoothnessPrior::potts(0.3))
+            .singleton(|site: usize, label: Label| {
+                let want = u8::from(site.is_multiple_of(2));
+                if label.value() == want {
+                    0.0
+                } else {
+                    4.0
+                }
+            })
+            .build()
+    }
+
+    #[test]
+    fn well_mixed_chains_pass_r_hat() {
+        let mrf = easy_mrf();
+        let config = ChainConfig { burn_in: 10, seed: 1, ..ChainConfig::default() };
+        let result = run_chains(&mrf, &SoftmaxGibbs::new(), config, 4, 60);
+        assert_eq!(result.chains.len(), 4);
+        assert!(result.converged(1.1), "R-hat {}", result.r_hat);
+    }
+
+    #[test]
+    fn chains_differ_by_seed() {
+        let mrf = easy_mrf();
+        let config = ChainConfig { burn_in: 0, seed: 7, ..ChainConfig::default() };
+        let result = run_chains(&mrf, &SoftmaxGibbs::new(), config, 2, 5);
+        assert_ne!(
+            result.chains[0].energy_trace, result.chains[1].energy_trace,
+            "independent chains must explore differently"
+        );
+    }
+
+    #[test]
+    fn frozen_cold_chains_flag_nonconvergence() {
+        // At a tiny temperature from distinct random inits, chains freeze
+        // into different local minima of a pure-prior model: R̂ must blow
+        // up. Use a frustrated model (no data term, weak coupling) so the
+        // energy depends strongly on the initial basin.
+        let mrf = MarkovRandomField::builder(Grid2D::new(8, 8), LabelSpace::scalar(8))
+            .prior(SmoothnessPrior::squared_difference(0.02))
+            .singleton(mogs_mrf::energy::ZeroSingleton)
+            .build();
+        let config = ChainConfig {
+            burn_in: 2,
+            seed: 3,
+            schedule: crate::schedule::TemperatureSchedule::constant(5.0),
+            ..ChainConfig::default()
+        };
+        // A hot sampler mixes; with tiny coupling each chain's energy
+        // wanders around a chain-specific level only slowly, so short
+        // chains disagree more than their within-chain noise.
+        let short = run_chains(&mrf, &SoftmaxGibbs::new(), config, 3, 8);
+        let long = run_chains(&mrf, &SoftmaxGibbs::new(), config, 3, 120);
+        assert!(
+            long.r_hat < short.r_hat || long.r_hat < 1.1,
+            "longer chains must not look worse: short {} long {}",
+            short.r_hat,
+            long.r_hat
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two chains")]
+    fn single_replica_rejected() {
+        let mrf = easy_mrf();
+        run_chains(&mrf, &SoftmaxGibbs::new(), ChainConfig::default(), 1, 10);
+    }
+}

@@ -1,0 +1,128 @@
+//! Temperature schedules for annealed MCMC.
+//!
+//! Gibbs sampling at fixed temperature draws from the posterior; annealing
+//! the temperature toward zero turns the chain into a stochastic optimizer
+//! (simulated annealing, Geman & Geman 1984 — the paper's image
+//! segmentation reference). Both modes are useful: fixed `T` for marginal
+//! MAP via mode tracking, annealing for direct energy minimization.
+
+/// A temperature schedule `T(iteration)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TemperatureSchedule {
+    /// Constant temperature (pure posterior sampling).
+    Constant {
+        /// The fixed temperature.
+        temperature: f64,
+    },
+    /// Geometric annealing: `T(k) = max(t0 · factor^k, floor)`.
+    Geometric {
+        /// Starting temperature.
+        t0: f64,
+        /// Per-iteration multiplier in `(0, 1]`.
+        factor: f64,
+        /// Lower bound the temperature never crosses.
+        floor: f64,
+    },
+    /// Logarithmic annealing `T(k) = c / ln(k + 2)` — the classical
+    /// guaranteed-convergence schedule (slow in practice).
+    Logarithmic {
+        /// Numerator constant `c`.
+        c: f64,
+    },
+}
+
+impl TemperatureSchedule {
+    /// A constant schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temperature` is not strictly positive and finite.
+    pub fn constant(temperature: f64) -> Self {
+        assert!(
+            temperature.is_finite() && temperature > 0.0,
+            "temperature must be positive"
+        );
+        TemperatureSchedule::Constant { temperature }
+    }
+
+    /// A geometric schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive `t0`/`floor` or `factor` outside `(0, 1]`.
+    pub fn geometric(t0: f64, factor: f64, floor: f64) -> Self {
+        assert!(t0.is_finite() && t0 > 0.0, "t0 must be positive");
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        assert!(floor.is_finite() && floor > 0.0, "floor must be positive");
+        TemperatureSchedule::Geometric { t0, factor, floor }
+    }
+
+    /// The temperature at `iteration` (0-based).
+    pub fn temperature(&self, iteration: usize) -> f64 {
+        match *self {
+            TemperatureSchedule::Constant { temperature } => temperature,
+            TemperatureSchedule::Geometric { t0, factor, floor } => {
+                (t0 * factor.powi(iteration as i32)).max(floor)
+            }
+            TemperatureSchedule::Logarithmic { c } => c / ((iteration + 2) as f64).ln(),
+        }
+    }
+}
+
+impl Default for TemperatureSchedule {
+    fn default() -> Self {
+        TemperatureSchedule::Constant { temperature: 1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = TemperatureSchedule::constant(2.5);
+        assert_eq!(s.temperature(0), 2.5);
+        assert_eq!(s.temperature(1000), 2.5);
+    }
+
+    #[test]
+    fn geometric_decays_to_floor() {
+        let s = TemperatureSchedule::geometric(4.0, 0.5, 0.1);
+        assert_eq!(s.temperature(0), 4.0);
+        assert_eq!(s.temperature(1), 2.0);
+        assert_eq!(s.temperature(2), 1.0);
+        assert_eq!(s.temperature(100), 0.1);
+    }
+
+    #[test]
+    fn logarithmic_decreases_slowly() {
+        let s = TemperatureSchedule::Logarithmic { c: 1.0 };
+        assert!(s.temperature(0) > s.temperature(10));
+        assert!(s.temperature(10) > s.temperature(1000));
+        assert!(s.temperature(1000) > 0.0);
+    }
+
+    #[test]
+    fn schedules_are_monotone_nonincreasing() {
+        for s in [
+            TemperatureSchedule::constant(1.0),
+            TemperatureSchedule::geometric(2.0, 0.9, 0.05),
+            TemperatureSchedule::Logarithmic { c: 3.0 },
+        ] {
+            let mut last = f64::INFINITY;
+            for k in 0..200 {
+                let t = s.temperature(k);
+                assert!(t <= last + 1e-12);
+                assert!(t > 0.0);
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in (0, 1]")]
+    fn geometric_rejects_growing_factor() {
+        TemperatureSchedule::geometric(1.0, 1.5, 0.1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based invariants of the MCMC engine.
+
+use mogs_gibbs::diagnostics::{autocorrelation, effective_sample_size};
+use mogs_gibbs::dist::AliasTable;
+use mogs_gibbs::sampler::{LabelSampler, Metropolis, SoftmaxGibbs};
+use mogs_gibbs::schedule::TemperatureSchedule;
+use mogs_mrf::Label;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Softmax probabilities are a valid distribution for any finite
+    /// energy vector and temperature, including extreme magnitudes.
+    #[test]
+    fn softmax_is_a_distribution(
+        energies in prop::collection::vec(-1e6f64..1e6, 1..16),
+        t in 0.01f64..100.0,
+    ) {
+        let p = SoftmaxGibbs::probabilities(&energies, t);
+        prop_assert_eq!(p.len(), energies.len());
+        for v in &p {
+            prop_assert!((0.0..=1.0).contains(v), "probability {}", v);
+            prop_assert!(v.is_finite());
+        }
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// Lower-energy labels never have lower softmax probability.
+    #[test]
+    fn softmax_orders_by_energy(
+        energies in prop::collection::vec(0.0f64..50.0, 2..8),
+        t in 0.1f64..20.0,
+    ) {
+        let p = SoftmaxGibbs::probabilities(&energies, t);
+        for i in 0..energies.len() {
+            for j in 0..energies.len() {
+                if energies[i] < energies[j] {
+                    prop_assert!(p[i] >= p[j] - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Both samplers always return an in-range label.
+    #[test]
+    fn samplers_are_total(
+        energies in prop::collection::vec(0.0f64..100.0, 1..16),
+        t in 0.1f64..10.0,
+        seed in 0u64..1000,
+        current_pick in 0usize..16,
+    ) {
+        let current = Label::new((current_pick % energies.len()) as u8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = energies.len() as u8;
+        let mut gibbs = SoftmaxGibbs::new();
+        prop_assert!(gibbs.sample_label(&energies, t, current, &mut rng).value() < m);
+        let mut metropolis = Metropolis::new();
+        prop_assert!(metropolis.sample_label(&energies, t, current, &mut rng).value() < m);
+    }
+
+    /// Temperature schedules are positive and non-increasing for all
+    /// parameters in range.
+    #[test]
+    fn schedules_positive_nonincreasing(
+        t0 in 0.1f64..50.0,
+        factor in 0.5f64..1.0,
+        floor_frac in 0.01f64..0.5,
+    ) {
+        let schedule = TemperatureSchedule::geometric(t0, factor, t0 * floor_frac);
+        let mut last = f64::INFINITY;
+        for k in 0..100 {
+            let t = schedule.temperature(k);
+            prop_assert!(t > 0.0);
+            prop_assert!(t <= last + 1e-12);
+            last = t;
+        }
+    }
+
+    /// Alias tables assign zero frequency to zero weights and build for
+    /// any valid weight vector.
+    #[test]
+    fn alias_respects_support(
+        mut weights in prop::collection::vec(0.0f64..10.0, 2..12),
+        seed in 0u64..100,
+    ) {
+        // Ensure at least one positive weight.
+        weights[0] += 1.0;
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..500 {
+            let i = table.sample(&mut rng);
+            prop_assert!(weights[i] > 0.0, "outcome {} has zero weight", i);
+        }
+    }
+
+    /// ESS never exceeds the sample count (up to truncation noise) and
+    /// lag-0 autocorrelation is one.
+    #[test]
+    fn diagnostics_bounds(series in prop::collection::vec(-10.0f64..10.0, 10..200)) {
+        prop_assert!((autocorrelation(&series, 0) - 1.0).abs() < 1e-9);
+        let ess = effective_sample_size(&series);
+        prop_assert!(ess >= 0.0);
+        // Geyer truncation can slightly exceed n on pathological series;
+        // allow 2x slack.
+        prop_assert!(ess <= 2.0 * series.len() as f64);
+    }
+}

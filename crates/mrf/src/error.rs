@@ -1,0 +1,75 @@
+//! Error type for MRF construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building MRF models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrfError {
+    /// A label value exceeded the 6-bit hardware representation.
+    LabelTooLarge {
+        /// The offending value.
+        value: u16,
+    },
+    /// A label space was requested with zero or more than 64 labels.
+    InvalidLabelCount {
+        /// The offending count.
+        count: u16,
+    },
+    /// A vector label space's window does not fit 3-bit components.
+    WindowTooLarge {
+        /// Window width requested.
+        width: u8,
+        /// Window height requested.
+        height: u8,
+    },
+    /// A labeling's length does not match the grid size.
+    LabelingSizeMismatch {
+        /// Expected number of sites.
+        expected: usize,
+        /// Actual labeling length.
+        actual: usize,
+    },
+    /// Grid dimensions were zero.
+    EmptyGrid,
+}
+
+impl fmt::Display for MrfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrfError::LabelTooLarge { value } => {
+                write!(f, "label value {value} does not fit in 6 bits")
+            }
+            MrfError::InvalidLabelCount { count } => {
+                write!(f, "label count {count} outside the supported range 1..=64")
+            }
+            MrfError::WindowTooLarge { width, height } => {
+                write!(f, "window {width}x{height} has components beyond 3-bit range")
+            }
+            MrfError::LabelingSizeMismatch { expected, actual } => {
+                write!(f, "labeling has {actual} entries but the grid has {expected} sites")
+            }
+            MrfError::EmptyGrid => write!(f, "grid dimensions must be non-zero"),
+        }
+    }
+}
+
+impl Error for MrfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        for e in [
+            MrfError::LabelTooLarge { value: 100 },
+            MrfError::InvalidLabelCount { count: 0 },
+            MrfError::WindowTooLarge { width: 9, height: 9 },
+            MrfError::LabelingSizeMismatch { expected: 4, actual: 5 },
+            MrfError::EmptyGrid,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The proprietary laser-controller interface, emulated (paper §7).
+//!
+//! The bench prototype's wall-clock time is dominated not by optics but by
+//! the serial command interface of the proprietary laser controller —
+//! 60 seconds per image iteration against ~2 µs of actual sampling per
+//! pixel. This module models that interface as a command queue with
+//! per-command latencies, so experiment scripts can be *costed* before
+//! they are run (the paper's team learned this the slow way) and so the
+//! gap closed by electro-optical CMOS integration is derived rather than
+//! asserted.
+
+use std::time::Duration;
+
+/// One command to the bench controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Set a channel's laser power code (slow: serial protocol + settle).
+    SetIntensity {
+        /// Channel index (0 or 1).
+        channel: u8,
+        /// 8-bit power code.
+        code: u8,
+    },
+    /// Arm the FPGA timestamp capture.
+    Arm,
+    /// Read back a captured timestamp pair.
+    ReadTimestamps,
+}
+
+/// Per-command latencies of the bench interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerLatency {
+    /// Seconds per intensity write (serial protocol, power settle).
+    pub set_intensity_s: f64,
+    /// Seconds per arm command.
+    pub arm_s: f64,
+    /// Seconds per timestamp readback.
+    pub read_s: f64,
+}
+
+impl Default for ControllerLatency {
+    fn default() -> Self {
+        // Calibrated so a 50×67 image iteration (one SetIntensity pair +
+        // Arm + Read per pixel) costs the paper's ~60 s.
+        ControllerLatency { set_intensity_s: 8.0e-3, arm_s: 0.45e-3, read_s: 0.45e-3 }
+    }
+}
+
+/// A costed command session against the bench controller.
+#[derive(Debug, Clone, Default)]
+pub struct ControllerSession {
+    commands: Vec<Command>,
+}
+
+impl ControllerSession {
+    /// Starts an empty session.
+    pub fn new() -> Self {
+        ControllerSession { commands: Vec::new() }
+    }
+
+    /// Queues one command.
+    pub fn push(&mut self, command: Command) -> &mut Self {
+        self.commands.push(command);
+        self
+    }
+
+    /// Queues the per-pixel sequence of the Figure 7 experiment: program
+    /// both channels for the pixel's label distribution, arm, read.
+    pub fn push_pixel_evaluation(&mut self, code0: u8, code1: u8) -> &mut Self {
+        self.push(Command::SetIntensity { channel: 0, code: code0 })
+            .push(Command::SetIntensity { channel: 1, code: code1 })
+            .push(Command::Arm)
+            .push(Command::ReadTimestamps)
+    }
+
+    /// Commands queued so far.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Whether the session is empty.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Total interface time of the session under the given latencies.
+    pub fn duration(&self, latency: &ControllerLatency) -> Duration {
+        let seconds: f64 = self
+            .commands
+            .iter()
+            .map(|c| match c {
+                Command::SetIntensity { .. } => latency.set_intensity_s,
+                Command::Arm => latency.arm_s,
+                Command::ReadTimestamps => latency.read_s,
+            })
+            .sum();
+        Duration::from_secs_f64(seconds)
+    }
+
+    /// Convenience: the session for one full image iteration of
+    /// `pixels` pixel evaluations.
+    pub fn image_iteration(pixels: usize) -> Self {
+        let mut session = ControllerSession::new();
+        for _ in 0..pixels {
+            session.push_pixel_evaluation(255, 128);
+        }
+        session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_iteration_costs_about_sixty_seconds() {
+        let session = ControllerSession::image_iteration(50 * 67);
+        let t = session.duration(&ControllerLatency::default()).as_secs_f64();
+        assert!((55.0..65.0).contains(&t), "iteration interface time {t} s");
+    }
+
+    #[test]
+    fn intensity_writes_dominate() {
+        let latency = ControllerLatency::default();
+        let mut only_reads = ControllerSession::new();
+        let mut only_sets = ControllerSession::new();
+        for _ in 0..1000 {
+            only_reads.push(Command::ReadTimestamps);
+            only_sets.push(Command::SetIntensity { channel: 0, code: 1 });
+        }
+        assert!(only_sets.duration(&latency) > 10 * only_reads.duration(&latency));
+    }
+
+    #[test]
+    fn pixel_evaluation_is_four_commands() {
+        let mut s = ControllerSession::new();
+        s.push_pixel_evaluation(255, 3);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn integration_would_remove_the_interface() {
+        // An integrated RSU-G2 evaluates the same pixel in ~8 cycles at
+        // 1 GHz; the bench interface is ~9 ms per pixel: a >10⁵ gap — the
+        // §7 argument for electro-optical CMOS integration, derived.
+        let bench_per_pixel = ControllerSession::image_iteration(1)
+            .duration(&ControllerLatency::default())
+            .as_secs_f64();
+        let integrated_per_pixel = 8e-9;
+        assert!(bench_per_pixel / integrated_per_pixel > 1e5);
+    }
+}

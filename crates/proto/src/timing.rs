@@ -1,0 +1,70 @@
+//! Prototype timing facts (§7).
+//!
+//! The paper is explicit that the macro prototype's performance is
+//! meaningless — discrete components and a proprietary laser-controller
+//! interface dominate — but the numbers are still worth carrying: they
+//! motivate the integrated design and quantify the gap electro-optical
+//! CMOS integration closes.
+
+/// Timing parameters of the bench prototype.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrototypeTiming {
+    /// Worst-case sampling time per pixel in microseconds (§7: "no longer
+    /// than ~2 µs per pixel").
+    pub per_pixel_sample_us: f64,
+    /// Proprietary laser-controller interface delay per image iteration,
+    /// in seconds (§7: 60 s/image-iteration).
+    pub controller_delay_s: f64,
+}
+
+impl Default for PrototypeTiming {
+    fn default() -> Self {
+        PrototypeTiming { per_pixel_sample_us: 2.0, controller_delay_s: 60.0 }
+    }
+}
+
+impl PrototypeTiming {
+    /// Wall-clock seconds for one MCMC iteration over an image.
+    pub fn iteration_seconds(&self, pixels: usize) -> f64 {
+        self.controller_delay_s + pixels as f64 * self.per_pixel_sample_us * 1e-6
+    }
+
+    /// Wall-clock seconds for the Figure 7 demonstration (10 iterations of
+    /// a 50×67 image).
+    pub fn figure7_seconds(&self) -> f64 {
+        10.0 * self.iteration_seconds(50 * 67)
+    }
+
+    /// How many times faster an integrated RSU-G1 samples one pixel than
+    /// the bench prototype, given the integrated per-pixel latency in ns.
+    pub fn integration_gain(&self, integrated_ns_per_pixel: f64) -> f64 {
+        self.per_pixel_sample_us * 1000.0 / integrated_ns_per_pixel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_dominates_iteration_time() {
+        let t = PrototypeTiming::default();
+        let iter = t.iteration_seconds(50 * 67);
+        assert!(iter > 60.0 && iter < 61.0, "iteration {iter}");
+        // The sampling itself is under 7 ms of those 60 s.
+        assert!((iter - 60.0) < 0.01);
+    }
+
+    #[test]
+    fn figure7_takes_about_ten_minutes() {
+        let t = PrototypeTiming::default().figure7_seconds();
+        assert!(t > 600.0 && t < 620.0, "fig 7 demo {t} s");
+    }
+
+    #[test]
+    fn integration_closes_three_orders_of_magnitude() {
+        // An RSU-G1 samples a 5-label pixel in 11 cycles ≈ 11 ns at 1 GHz.
+        let gain = PrototypeTiming::default().integration_gain(11.0);
+        assert!(gain > 100.0, "gain {gain}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Chromophore photophysics.
+//!
+//! A chromophore is an optically active molecule characterized by its
+//! absorption and emission bands, excited-state lifetime, and fluorescence
+//! quantum yield. RET networks are built by placing chromophores a few
+//! nanometres apart so that excitons hop between them.
+
+use crate::error::RetError;
+use crate::spectra::GaussianBand;
+
+/// An optically active molecule participating in a RET network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chromophore {
+    name: String,
+    absorption: GaussianBand,
+    emission: GaussianBand,
+    /// Excited-state (fluorescence) lifetime in nanoseconds.
+    lifetime_ns: f64,
+    /// Fluorescence quantum yield in `[0, 1]`: probability an excited
+    /// molecule emits a photon rather than decaying non-radiatively.
+    quantum_yield: f64,
+}
+
+impl Chromophore {
+    /// Creates a chromophore from its photophysical parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetError::InvalidChromophore`] if `lifetime_ns` is not
+    /// strictly positive and finite or `quantum_yield` is outside `[0, 1]`.
+    pub fn new(
+        name: impl Into<String>,
+        absorption: GaussianBand,
+        emission: GaussianBand,
+        lifetime_ns: f64,
+        quantum_yield: f64,
+    ) -> Result<Self, RetError> {
+        if !(lifetime_ns.is_finite() && lifetime_ns > 0.0) {
+            return Err(RetError::InvalidChromophore { what: "lifetime must be positive" });
+        }
+        if !(0.0..=1.0).contains(&quantum_yield) {
+            return Err(RetError::InvalidChromophore { what: "quantum yield must be in [0, 1]" });
+        }
+        Ok(Chromophore {
+            name: name.into(),
+            absorption,
+            emission,
+            lifetime_ns,
+            quantum_yield,
+        })
+    }
+
+    /// A typical cyanine-family donor dye (Cy3-like): absorbs ~550 nm,
+    /// emits ~570 nm, lifetime ≈ 1.5 ns.
+    pub fn cy3_like() -> Self {
+        Chromophore::new(
+            "Cy3",
+            GaussianBand::new(550.0, 20.0),
+            GaussianBand::new(570.0, 30.0),
+            1.5,
+            0.25,
+        )
+        .expect("library dye parameters are valid")
+    }
+
+    /// A typical cyanine-family acceptor dye (Cy5-like): absorbs ~650 nm,
+    /// emits ~670 nm, lifetime ≈ 1.0 ns.
+    pub fn cy5_like() -> Self {
+        Chromophore::new(
+            "Cy5",
+            GaussianBand::new(650.0, 25.0),
+            GaussianBand::new(670.0, 30.0),
+            1.0,
+            0.30,
+        )
+        .expect("library dye parameters are valid")
+    }
+
+    /// An intermediate relay dye (Cy3.5-like) used in longer cascades.
+    pub fn cy35_like() -> Self {
+        Chromophore::new(
+            "Cy3.5",
+            GaussianBand::new(590.0, 20.0),
+            GaussianBand::new(610.0, 30.0),
+            1.3,
+            0.28,
+        )
+        .expect("library dye parameters are valid")
+    }
+
+    /// The chromophore's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Absorption band.
+    pub fn absorption(&self) -> &GaussianBand {
+        &self.absorption
+    }
+
+    /// Emission band.
+    pub fn emission(&self) -> &GaussianBand {
+        &self.emission
+    }
+
+    /// Excited-state lifetime in nanoseconds.
+    pub fn lifetime_ns(&self) -> f64 {
+        self.lifetime_ns
+    }
+
+    /// Total excited-state decay rate `1/τ` in ns⁻¹ (radiative plus
+    /// non-radiative).
+    pub fn decay_rate(&self) -> f64 {
+        1.0 / self.lifetime_ns
+    }
+
+    /// Radiative (photon-emitting) decay rate in ns⁻¹: `Φ/τ`.
+    pub fn radiative_rate(&self) -> f64 {
+        self.quantum_yield / self.lifetime_ns
+    }
+
+    /// Non-radiative decay rate in ns⁻¹: `(1-Φ)/τ`.
+    pub fn nonradiative_rate(&self) -> f64 {
+        (1.0 - self.quantum_yield) / self.lifetime_ns
+    }
+
+    /// Fluorescence quantum yield.
+    pub fn quantum_yield(&self) -> f64 {
+        self.quantum_yield
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_partition_total_decay() {
+        let c = Chromophore::cy3_like();
+        let total = c.radiative_rate() + c.nonradiative_rate();
+        assert!((total - c.decay_rate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn library_dyes_are_stokes_shifted() {
+        for c in [Chromophore::cy3_like(), Chromophore::cy5_like(), Chromophore::cy35_like()] {
+            assert!(
+                c.emission().peak_nm > c.absorption().peak_nm,
+                "{} must emit red-shifted from absorption",
+                c.name()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_lifetime_rejected() {
+        let band = GaussianBand::new(550.0, 20.0);
+        let err = Chromophore::new("bad", band, band, 0.0, 0.5).unwrap_err();
+        assert!(matches!(err, RetError::InvalidChromophore { .. }));
+        let err = Chromophore::new("bad", band, band, f64::NAN, 0.5).unwrap_err();
+        assert!(matches!(err, RetError::InvalidChromophore { .. }));
+    }
+
+    #[test]
+    fn invalid_quantum_yield_rejected() {
+        let band = GaussianBand::new(550.0, 20.0);
+        assert!(Chromophore::new("bad", band, band, 1.0, -0.1).is_err());
+        assert!(Chromophore::new("bad", band, band, 1.0, 1.1).is_err());
+        assert!(Chromophore::new("ok", band, band, 1.0, 1.0).is_ok());
+        assert!(Chromophore::new("ok", band, band, 1.0, 0.0).is_ok());
+    }
+}

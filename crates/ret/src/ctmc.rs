@@ -1,0 +1,164 @@
+//! Gillespie (exact stochastic) simulation of exciton trajectories.
+//!
+//! Where [`crate::phase_type`] computes TTF distributions analytically, this
+//! module *simulates* individual excitons hopping through a
+//! [`RetNetwork`](crate::network::RetNetwork): at each step the holding time
+//! is exponential in the total exit rate and the destination is chosen in
+//! proportion to the competing rates. This is the physics-fidelity path used
+//! by [`crate::circuit`] and the hardware prototype emulation.
+
+use crate::network::{Outcome, RetNetwork, Transition};
+use crate::phase_type::sample_exp;
+use rand::Rng;
+
+/// A simulated exciton trajectory: where it ended and when.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Trajectory {
+    /// Terminal event.
+    pub outcome: Outcome,
+    /// Time of the terminal event in ns, measured from excitation.
+    pub elapsed_ns: f64,
+    /// Number of inter-chromophore hops taken.
+    pub hops: usize,
+}
+
+/// Simulates one exciton through `network`, starting on node `initial`.
+///
+/// # Panics
+///
+/// Panics if `initial` is out of range (use
+/// [`RetNetwork::ttf_distribution`] for a checked entry point; simulation
+/// loops are hot paths and keep the unchecked-index contract explicit).
+pub fn simulate_exciton<R: Rng + ?Sized>(
+    network: &RetNetwork,
+    initial: usize,
+    rng: &mut R,
+) -> Trajectory {
+    assert!(initial < network.len(), "initial node {initial} out of range");
+    let mut node = initial;
+    let mut elapsed_ns = 0.0;
+    let mut hops = 0;
+    loop {
+        let transitions = network.transitions_from(node);
+        let total: f64 = transitions.iter().map(|(_, r)| r).sum();
+        debug_assert!(total > 0.0, "every chromophore has a positive decay rate");
+        elapsed_ns += sample_exp(rng, total);
+        let mut u = rng.gen::<f64>() * total;
+        let mut chosen = transitions[transitions.len() - 1].0;
+        for (t, r) in &transitions {
+            if u < *r {
+                chosen = *t;
+                break;
+            }
+            u -= r;
+        }
+        match chosen {
+            Transition::Hop(j) => {
+                node = j;
+                hops += 1;
+            }
+            Transition::Emit => {
+                return Trajectory { outcome: Outcome::Emitted(node), elapsed_ns, hops };
+            }
+            Transition::Quench => {
+                return Trajectory { outcome: Outcome::Quenched, elapsed_ns, hops };
+            }
+        }
+    }
+}
+
+/// Simulates excitons until one *emits*, returning the emission trajectory
+/// and how many excitons were consumed (quenched ones produce no photon).
+///
+/// `max_attempts` bounds the loop for pathological networks; `None` is
+/// returned if it is exhausted.
+pub fn simulate_until_emission<R: Rng + ?Sized>(
+    network: &RetNetwork,
+    initial: usize,
+    max_attempts: usize,
+    rng: &mut R,
+) -> Option<(Trajectory, usize)> {
+    for attempt in 1..=max_attempts {
+        let t = simulate_exciton(network, initial, rng);
+        if matches!(t.outcome, Outcome::Emitted(_)) {
+            return Some((t, attempt));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simulated_emission_split_matches_analytic() {
+        let net = RetNetwork::donor_acceptor(4.0);
+        let analytic = net.emission_probabilities(0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 40_000;
+        let mut emitted = vec![0usize; net.len()];
+        let mut quenched = 0usize;
+        for _ in 0..n {
+            match simulate_exciton(&net, 0, &mut rng).outcome {
+                Outcome::Emitted(k) => emitted[k] += 1,
+                Outcome::Quenched => quenched += 1,
+            }
+        }
+        for (k, count) in emitted.iter().enumerate() {
+            let p = *count as f64 / n as f64;
+            assert!(
+                (p - analytic.per_node[k]).abs() < 0.01,
+                "node {k}: simulated {p} vs analytic {}",
+                analytic.per_node[k]
+            );
+        }
+        let pq = quenched as f64 / n as f64;
+        assert!((pq - (1.0 - analytic.total)).abs() < 0.01);
+    }
+
+    #[test]
+    fn simulated_ttf_mean_matches_phase_type() {
+        let net = RetNetwork::cascade(3.0);
+        let ph = net.ttf_distribution(0).unwrap();
+        // Phase-type mean is over *all* absorption (emit or quench); compare
+        // against simulated absorption time regardless of outcome.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 30_000;
+        let mean: f64 =
+            (0..n).map(|_| simulate_exciton(&net, 0, &mut rng).elapsed_ns).sum::<f64>() / n as f64;
+        assert!(
+            (mean - ph.mean()).abs() / ph.mean() < 0.03,
+            "simulated {mean} vs analytic {}",
+            ph.mean()
+        );
+    }
+
+    #[test]
+    fn until_emission_skips_quenches() {
+        let net = RetNetwork::donor_acceptor(4.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (traj, attempts) = simulate_until_emission(&net, 0, 10_000, &mut rng).unwrap();
+        assert!(matches!(traj.outcome, Outcome::Emitted(_)));
+        assert!(attempts >= 1);
+    }
+
+    #[test]
+    fn hop_count_positive_for_strong_transfer() {
+        // At 3 nm the Cy3→Cy5 transfer dominates, so most trajectories hop.
+        let net = RetNetwork::donor_acceptor(3.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let hops: usize = (0..2000).map(|_| simulate_exciton(&net, 0, &mut rng).hops).sum();
+        assert!(hops > 1000, "expected mostly hopping trajectories, got {hops} hops");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_initial_node_panics() {
+        let net = RetNetwork::donor_acceptor(4.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        simulate_exciton(&net, 7, &mut rng);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for RET network construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or simulating RET networks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetError {
+    /// A network was constructed with no chromophores.
+    EmptyNetwork,
+    /// Two chromophores were placed closer than the physical contact
+    /// distance (nm), where Förster theory breaks down.
+    ChromophoresTooClose {
+        /// Index of the first chromophore.
+        a: usize,
+        /// Index of the second chromophore.
+        b: usize,
+        /// Their separation in nanometres.
+        distance_nm: f64,
+    },
+    /// A chromophore parameter was out of physical range
+    /// (e.g. negative lifetime, quantum yield outside `[0, 1]`).
+    InvalidChromophore {
+        /// Which parameter was invalid.
+        what: &'static str,
+    },
+    /// A node index referenced a chromophore that does not exist.
+    NodeOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of chromophores in the network.
+        len: usize,
+    },
+    /// A phase-type distribution was given inconsistent dimensions.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for RetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetError::EmptyNetwork => write!(f, "RET network has no chromophores"),
+            RetError::ChromophoresTooClose { a, b, distance_nm } => write!(
+                f,
+                "chromophores {a} and {b} are {distance_nm:.3} nm apart, below the contact limit"
+            ),
+            RetError::InvalidChromophore { what } => {
+                write!(f, "invalid chromophore parameter: {what}")
+            }
+            RetError::NodeOutOfRange { index, len } => {
+                write!(f, "node index {index} out of range for network of {len} chromophores")
+            }
+            RetError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for RetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            RetError::EmptyNetwork,
+            RetError::ChromophoresTooClose { a: 0, b: 1, distance_nm: 0.1 },
+            RetError::InvalidChromophore { what: "lifetime" },
+            RetError::NodeOutOfRange { index: 5, len: 2 },
+            RetError::DimensionMismatch { expected: 3, actual: 2 },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "no trailing punctuation: {s}");
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(RetError::EmptyNetwork);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,133 @@
+//! Exponential samplers and the first-to-fire composition.
+//!
+//! The RSU-G builds a discrete Gibbs draw out of `M` competing exponential
+//! samplers (paper §4.3): each possible label `i` gets an exponential with
+//! rate `λᵢ ∝ exp(−Eᵢ/T)`; the label whose sample (time to fluorescence) is
+//! **smallest** wins. Because `P(argmin = k) = λₖ / Σᵢ λᵢ`, the winner is
+//! distributed exactly as the normalized discrete distribution — no explicit
+//! normalization hardware needed.
+
+use crate::phase_type::sample_exp;
+use rand::Rng;
+
+/// A source of exponentially distributed samples with a settable rate.
+///
+/// Implemented by the ideal software sampler below and (behaviourally) by
+/// [`crate::circuit::RetCircuit`]; the RSU pipeline in `mogs-core` is generic
+/// over this trait so it can run on either.
+pub trait ExponentialSampler {
+    /// Draws one sample with the given rate (ns⁻¹). Returns `None` when the
+    /// rate is zero/off (the sampler would never fire).
+    fn sample<R: Rng + ?Sized>(&mut self, rate: f64, rng: &mut R) -> Option<f64>;
+}
+
+/// The ideal exponential sampler: inverse-transform draws, no quantization,
+/// no window truncation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealExponential;
+
+impl IdealExponential {
+    /// Creates the sampler.
+    pub fn new() -> Self {
+        IdealExponential
+    }
+}
+
+impl ExponentialSampler for IdealExponential {
+    fn sample<R: Rng + ?Sized>(&mut self, rate: f64, rng: &mut R) -> Option<f64> {
+        if rate <= 0.0 {
+            None
+        } else {
+            Some(sample_exp(rng, rate))
+        }
+    }
+}
+
+/// Runs a first-to-fire tournament over the given rates and returns the
+/// winning index, or `None` if every rate is zero (no sampler would fire).
+///
+/// The winner is distributed as `P(i) = rates[i] / Σ rates`.
+///
+/// # Panics
+///
+/// Panics if any rate is negative or non-finite.
+pub fn first_to_fire<R: Rng + ?Sized>(rates: &[f64], rng: &mut R) -> Option<usize> {
+    let mut sampler = IdealExponential::new();
+    first_to_fire_with(&mut sampler, rates, rng).map(|(i, _)| i)
+}
+
+/// As [`first_to_fire`] but using a caller-supplied sampler; also returns
+/// the winning TTF so hardware models can quantize/inspect it.
+pub fn first_to_fire_with<S: ExponentialSampler, R: Rng + ?Sized>(
+    sampler: &mut S,
+    rates: &[f64],
+    rng: &mut R,
+) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &rate) in rates.iter().enumerate() {
+        assert!(rate.is_finite() && rate >= 0.0, "rates must be finite and non-negative");
+        if let Some(t) = sampler.sample(rate, rng) {
+            if best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((i, t));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn winner_frequencies_match_normalized_rates() {
+        let rates = [1.0, 2.0, 5.0, 0.5];
+        let total: f64 = rates.iter().sum();
+        let mut rng = StdRng::seed_from_u64(100);
+        let n = 60_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[first_to_fire(&rates, &mut rng).unwrap()] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            let p = *c as f64 / n as f64;
+            let expect = rates[i] / total;
+            assert!((p - expect).abs() < 0.01, "label {i}: {p} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn zero_rate_labels_never_win() {
+        let rates = [0.0, 3.0, 0.0];
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            assert_eq!(first_to_fire(&rates, &mut rng), Some(1));
+        }
+    }
+
+    #[test]
+    fn all_zero_rates_yield_none() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(first_to_fire(&[0.0, 0.0], &mut rng), None);
+        assert_eq!(first_to_fire(&[], &mut rng), None);
+    }
+
+    #[test]
+    fn ideal_sampler_mean() {
+        let mut s = IdealExponential::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 30_000;
+        let mean: f64 =
+            (0..n).map(|_| s.sample(4.0, &mut rng).unwrap()).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.005);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        first_to_fire(&[1.0, -1.0], &mut rng);
+    }
+}

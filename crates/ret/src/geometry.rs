@@ -1,0 +1,179 @@
+//! DNA-scaffold geometry helpers (paper §2.3).
+//!
+//! RET networks are fabricated by hierarchical DNA self-assembly (LaBoda,
+//! Duschl & Dwyer 2014; Pistol & Dwyer 2007): chromophores attach to
+//! staple strands at addressable sites on a DNA grid with sub-nanometre
+//! precision. This module models that placement substrate — an addressable
+//! lattice with the geometry constants of DNA origami — and provides
+//! builders that turn site assignments into [`RetNetwork`]s.
+
+use crate::chromophore::Chromophore;
+use crate::error::RetError;
+use crate::network::RetNetwork;
+
+/// Distance between adjacent helix axes in a DNA origami raster (nm).
+pub const INTER_HELIX_NM: f64 = 2.5;
+
+/// Rise per base pair along a helix (nm).
+pub const BASE_RISE_NM: f64 = 0.34;
+
+/// Addressable attachment sites repeat roughly every 16 bases (~5.4 nm)
+/// along a helix in common origami designs.
+pub const SITE_PITCH_BASES: usize = 16;
+
+/// An addressable DNA-scaffold grid: attachment sites indexed by
+/// `(helix, site)` with fixed physical pitch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DnaScaffold {
+    helices: usize,
+    sites_per_helix: usize,
+}
+
+impl DnaScaffold {
+    /// A scaffold with the given number of helices and sites per helix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(helices: usize, sites_per_helix: usize) -> Self {
+        assert!(helices > 0 && sites_per_helix > 0, "scaffold must have sites");
+        DnaScaffold { helices, sites_per_helix }
+    }
+
+    /// Number of helices.
+    pub fn helices(&self) -> usize {
+        self.helices
+    }
+
+    /// Addressable sites along each helix.
+    pub fn sites_per_helix(&self) -> usize {
+        self.sites_per_helix
+    }
+
+    /// Physical position (nm) of the site `(helix, site)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetError::NodeOutOfRange`] if the address is off the
+    /// scaffold.
+    pub fn position(&self, helix: usize, site: usize) -> Result<[f64; 3], RetError> {
+        if helix >= self.helices {
+            return Err(RetError::NodeOutOfRange { index: helix, len: self.helices });
+        }
+        if site >= self.sites_per_helix {
+            return Err(RetError::NodeOutOfRange { index: site, len: self.sites_per_helix });
+        }
+        Ok([
+            site as f64 * SITE_PITCH_BASES as f64 * BASE_RISE_NM,
+            helix as f64 * INTER_HELIX_NM,
+            0.0,
+        ])
+    }
+
+    /// Pitch between adjacent sites along a helix (nm).
+    pub fn site_pitch_nm(&self) -> f64 {
+        SITE_PITCH_BASES as f64 * BASE_RISE_NM
+    }
+
+    /// Builds a [`RetNetwork`] from `(helix, site, chromophore)`
+    /// assignments.
+    ///
+    /// # Errors
+    ///
+    /// Returns address errors from [`DnaScaffold::position`] or network
+    /// construction errors (e.g. two chromophores on the same site).
+    pub fn assemble(
+        &self,
+        placements: Vec<(usize, usize, Chromophore)>,
+    ) -> Result<RetNetwork, RetError> {
+        let mut nodes = Vec::with_capacity(placements.len());
+        for (helix, site, chromophore) in placements {
+            nodes.push((chromophore, self.position(helix, site)?));
+        }
+        RetNetwork::new(nodes)
+    }
+
+    /// A donor→acceptor pair on one helix, `sites_apart` attachment sites
+    /// apart — the standard two-dye exponential-sampler assembly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pair does not fit on the scaffold.
+    pub fn donor_acceptor_pair(&self, sites_apart: usize) -> Result<RetNetwork, RetError> {
+        self.assemble(vec![
+            (0, 0, Chromophore::cy3_like()),
+            (0, sites_apart, Chromophore::cy5_like()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_follow_origami_pitch() {
+        let s = DnaScaffold::new(4, 8);
+        let p = s.position(2, 3).unwrap();
+        assert!((p[0] - 3.0 * 16.0 * 0.34).abs() < 1e-12);
+        assert!((p[1] - 2.0 * 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_addresses_rejected() {
+        let s = DnaScaffold::new(2, 4);
+        assert!(s.position(2, 0).is_err());
+        assert!(s.position(0, 4).is_err());
+    }
+
+    #[test]
+    fn adjacent_sites_are_within_forster_range() {
+        // One site pitch (5.44 nm) is close to the Cy3→Cy5 R0, so adjacent
+        // placement yields a usable (if partial) transfer link.
+        let s = DnaScaffold::new(1, 4);
+        let net = s.donor_acceptor_pair(1).unwrap();
+        let eff = {
+            let rate = net.transfer_rate(0, 1).unwrap();
+            let decay = net.chromophores()[0].decay_rate();
+            rate / (rate + decay)
+        };
+        assert!(eff > 0.1 && eff < 0.9, "transfer efficiency {eff}");
+    }
+
+    #[test]
+    fn distant_sites_decouple() {
+        let s = DnaScaffold::new(1, 16);
+        let near = s.donor_acceptor_pair(1).unwrap();
+        let far = s.donor_acceptor_pair(8).unwrap();
+        assert!(
+            near.transfer_rate(0, 1).unwrap() > 1000.0 * far.transfer_rate(0, 1).unwrap()
+        );
+    }
+
+    #[test]
+    fn same_site_double_occupancy_rejected() {
+        let s = DnaScaffold::new(2, 2);
+        let err = s
+            .assemble(vec![
+                (0, 0, Chromophore::cy3_like()),
+                (0, 0, Chromophore::cy5_like()),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, RetError::ChromophoresTooClose { .. }));
+    }
+
+    #[test]
+    fn cross_helix_assembly() {
+        let s = DnaScaffold::new(3, 3);
+        let net = s
+            .assemble(vec![
+                (0, 0, Chromophore::cy3_like()),
+                (1, 0, Chromophore::cy35_like()),
+                (2, 0, Chromophore::cy5_like()),
+            ])
+            .unwrap();
+        assert_eq!(net.len(), 3);
+        // Adjacent helices are 2.5 nm apart: strong coupling.
+        assert!(net.transfer_rate(0, 1).unwrap() > 1.0);
+    }
+}

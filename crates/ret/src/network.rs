@@ -1,0 +1,407 @@
+//! RET networks: chromophores at fixed positions and their exciton CTMC.
+//!
+//! A RET network is a set of chromophores placed in a physical geometry (in
+//! practice on a DNA scaffold with sub-nanometre precision). Once one
+//! chromophore is excited, the exciton performs a continuous-time random
+//! walk: from chromophore `i` it hops to `j` with the Förster rate
+//! `k(i→j)`, emits a photon with the radiative rate `Φᵢ/τᵢ`, or is lost
+//! non-radiatively with rate `(1-Φᵢ)/τᵢ`. The walk is a CTMC whose
+//! absorption time at a radiative state is the network's **time to
+//! fluorescence** — a phase-type random variable.
+
+use crate::chromophore::Chromophore;
+use crate::error::RetError;
+use crate::forster::ForsterPair;
+use crate::linalg::Matrix;
+use crate::phase_type::PhaseType;
+
+/// Minimum physical separation (nm) below which Förster theory (point
+/// dipoles) is no longer meaningful.
+pub const CONTACT_LIMIT_NM: f64 = 0.5;
+
+/// A chromophore network with fixed 3-D geometry and its exciton kinetics.
+///
+/// ```
+/// use mogs_ret::network::RetNetwork;
+///
+/// let net = RetNetwork::donor_acceptor(4.0);
+/// let split = net.emission_probabilities(0)?;
+/// assert!(split.per_node[1] > split.per_node[0], "acceptor dominates at 4 nm");
+/// # Ok::<(), mogs_ret::RetError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetNetwork {
+    chromophores: Vec<Chromophore>,
+    positions: Vec<[f64; 3]>,
+    /// Pairwise transfer rates, row-major `n × n`, zero diagonal (ns⁻¹).
+    transfer: Vec<f64>,
+}
+
+/// Where an exciton trajectory ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// A photon was emitted by the chromophore with this index.
+    Emitted(usize),
+    /// The exciton decayed non-radiatively (no photon).
+    Quenched,
+}
+
+impl RetNetwork {
+    /// Builds a network from chromophores and their positions (nm).
+    ///
+    /// # Errors
+    ///
+    /// * [`RetError::EmptyNetwork`] if no chromophores are given.
+    /// * [`RetError::ChromophoresTooClose`] if any pair is closer than
+    ///   [`CONTACT_LIMIT_NM`].
+    pub fn new(nodes: Vec<(Chromophore, [f64; 3])>) -> Result<Self, RetError> {
+        if nodes.is_empty() {
+            return Err(RetError::EmptyNetwork);
+        }
+        let (chromophores, positions): (Vec<_>, Vec<_>) = nodes.into_iter().unzip();
+        let n = chromophores.len();
+        let mut transfer = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let d = distance(&positions[i], &positions[j]);
+                if d < CONTACT_LIMIT_NM {
+                    return Err(RetError::ChromophoresTooClose { a: i, b: j, distance_nm: d });
+                }
+                transfer[i * n + j] =
+                    ForsterPair::evaluate(&chromophores[i], &chromophores[j], d).rate;
+            }
+        }
+        Ok(RetNetwork { chromophores, positions, transfer })
+    }
+
+    /// A canonical two-node donor→acceptor relay (Cy3 → Cy5) at the given
+    /// separation, the workhorse network of the RSU-G exponential sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance_nm` is below [`CONTACT_LIMIT_NM`] (library misuse).
+    pub fn donor_acceptor(distance_nm: f64) -> Self {
+        RetNetwork::new(vec![
+            (Chromophore::cy3_like(), [0.0, 0.0, 0.0]),
+            (Chromophore::cy5_like(), [distance_nm, 0.0, 0.0]),
+        ])
+        .expect("two-node relay with valid spacing")
+    }
+
+    /// A linear cascade Cy3 → Cy3.5 → Cy5 with uniform spacing, used to
+    /// shape longer (more Erlang-like) TTF distributions.
+    pub fn cascade(spacing_nm: f64) -> Self {
+        RetNetwork::new(vec![
+            (Chromophore::cy3_like(), [0.0, 0.0, 0.0]),
+            (Chromophore::cy35_like(), [spacing_nm, 0.0, 0.0]),
+            (Chromophore::cy5_like(), [2.0 * spacing_nm, 0.0, 0.0]),
+        ])
+        .expect("three-node cascade with valid spacing")
+    }
+
+    /// A light-harvesting funnel: `donors` Cy3 donors arranged on a circle
+    /// of the given radius around one central Cy5 acceptor. Extra donors
+    /// raise the absorption cross-section (more signal per LED photon)
+    /// without changing the emission wavelength — the antenna pattern used
+    /// to boost RET-circuit brightness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `donors == 0` or the ring packs donors below the contact
+    /// limit (library misuse; use [`RetNetwork::new`] for a checked build).
+    pub fn funnel(donors: usize, radius_nm: f64) -> Self {
+        assert!(donors > 0, "funnel needs at least one donor");
+        let mut nodes = vec![(Chromophore::cy5_like(), [0.0, 0.0, 0.0])];
+        for k in 0..donors {
+            let angle = 2.0 * std::f64::consts::PI * k as f64 / donors as f64;
+            nodes.push((
+                Chromophore::cy3_like(),
+                [radius_nm * angle.cos(), radius_nm * angle.sin(), 0.0],
+            ));
+        }
+        RetNetwork::new(nodes).expect("funnel ring with valid spacing")
+    }
+
+    /// Number of chromophores.
+    pub fn len(&self) -> usize {
+        self.chromophores.len()
+    }
+
+    /// Whether the network is empty (never true for a constructed network).
+    pub fn is_empty(&self) -> bool {
+        self.chromophores.is_empty()
+    }
+
+    /// The chromophores in index order.
+    pub fn chromophores(&self) -> &[Chromophore] {
+        &self.chromophores
+    }
+
+    /// Positions (nm) in index order.
+    pub fn positions(&self) -> &[[f64; 3]] {
+        &self.positions
+    }
+
+    /// Förster transfer rate `i → j` in ns⁻¹.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetError::NodeOutOfRange`] for invalid indices.
+    pub fn transfer_rate(&self, i: usize, j: usize) -> Result<f64, RetError> {
+        let n = self.len();
+        for idx in [i, j] {
+            if idx >= n {
+                return Err(RetError::NodeOutOfRange { index: idx, len: n });
+            }
+        }
+        Ok(self.transfer[i * n + j])
+    }
+
+    /// Total rate out of node `i` (transfers + radiative + non-radiative).
+    fn exit_rate(&self, i: usize) -> f64 {
+        let n = self.len();
+        let hops: f64 = (0..n).map(|j| self.transfer[i * n + j]).sum();
+        hops + self.chromophores[i].decay_rate()
+    }
+
+    /// The sub-generator over transient states (exciton on node `i`).
+    pub(crate) fn sub_generator(&self) -> Matrix {
+        let n = self.len();
+        let mut s = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s.set(i, j, self.transfer[i * n + j]);
+                }
+            }
+            s.set(i, i, -self.exit_rate(i));
+        }
+        s
+    }
+
+    /// Phase-type distribution of the time to photon emission, starting
+    /// with the exciton on `initial`, *conditioned on emission occurring*
+    /// (quench paths produce no photon and hence no TTF).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetError::NodeOutOfRange`] if `initial` is invalid.
+    pub fn ttf_distribution(&self, initial: usize) -> Result<PhaseType, RetError> {
+        let n = self.len();
+        if initial >= n {
+            return Err(RetError::NodeOutOfRange { index: initial, len: n });
+        }
+        let mut alpha = vec![0.0; n];
+        alpha[initial] = 1.0;
+        PhaseType::new(alpha, self.sub_generator())
+    }
+
+    /// Probability that an exciton starting on `initial` eventually emits a
+    /// photon (rather than quenching), with the per-node emission split.
+    ///
+    /// Solves the first-step equations `(-S) p = r` where `r` holds the
+    /// radiative exit rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetError::NodeOutOfRange`] if `initial` is invalid.
+    pub fn emission_probabilities(&self, initial: usize) -> Result<EmissionSplit, RetError> {
+        let n = self.len();
+        if initial >= n {
+            return Err(RetError::NodeOutOfRange { index: initial, len: n });
+        }
+        let s = self.sub_generator();
+        // neg_s = -S
+        let mut neg_s = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                neg_s.set(i, j, -s.get(i, j));
+            }
+        }
+        let mut per_node = vec![0.0; n];
+        for emitter in 0..n {
+            let mut r = vec![0.0; n];
+            r[emitter] = self.chromophores[emitter].radiative_rate();
+            let p = neg_s.solve(&r);
+            per_node[emitter] = p[initial];
+        }
+        let total = per_node.iter().sum();
+        Ok(EmissionSplit { per_node, total })
+    }
+
+    /// Mean time to photon emission, *conditioned on emission occurring*,
+    /// for an exciton starting on `initial`.
+    ///
+    /// Computed exactly from the CTMC:
+    /// `E[T·1{emit}] = α (-S)⁻² r` and `P(emit) = α (-S)⁻¹ r`, where `r`
+    /// is the vector of radiative exit rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetError::NodeOutOfRange`] if `initial` is invalid, or
+    /// [`RetError::InvalidChromophore`] if the network can never emit.
+    pub fn mean_emission_time(&self, initial: usize) -> Result<f64, RetError> {
+        let n = self.len();
+        if initial >= n {
+            return Err(RetError::NodeOutOfRange { index: initial, len: n });
+        }
+        let s = self.sub_generator();
+        let mut neg_s = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                neg_s.set(i, j, -s.get(i, j));
+            }
+        }
+        let r: Vec<f64> = self.chromophores.iter().map(Chromophore::radiative_rate).collect();
+        let v1 = neg_s.solve(&r); // (-S)⁻¹ r : P(emit | start = i)
+        let v2 = neg_s.solve(&v1); // (-S)⁻² r : E[T·1{emit} | start = i]
+        if v1[initial] <= 0.0 {
+            return Err(RetError::InvalidChromophore { what: "network can never emit" });
+        }
+        Ok(v2[initial] / v1[initial])
+    }
+
+    /// Gillespie rates out of node `i`: `(targets, rates)` where targets are
+    /// `Ok(j)` for a hop, or the two absorbing outcomes.
+    pub(crate) fn transitions_from(&self, i: usize) -> Vec<(Transition, f64)> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n + 1);
+        for j in 0..n {
+            let r = self.transfer[i * n + j];
+            if r > 0.0 {
+                out.push((Transition::Hop(j), r));
+            }
+        }
+        out.push((Transition::Emit, self.chromophores[i].radiative_rate()));
+        out.push((Transition::Quench, self.chromophores[i].nonradiative_rate()));
+        out
+    }
+}
+
+/// One CTMC transition out of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Transition {
+    Hop(usize),
+    Emit,
+    Quench,
+}
+
+/// Result of [`RetNetwork::emission_probabilities`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmissionSplit {
+    /// Probability the photon is emitted by each node.
+    pub per_node: Vec<f64>,
+    /// Total emission probability (vs quenching).
+    pub total: f64,
+}
+
+fn distance(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_network_rejected() {
+        assert_eq!(RetNetwork::new(vec![]).unwrap_err(), RetError::EmptyNetwork);
+    }
+
+    #[test]
+    fn contact_limit_enforced() {
+        let err = RetNetwork::new(vec![
+            (Chromophore::cy3_like(), [0.0, 0.0, 0.0]),
+            (Chromophore::cy5_like(), [0.1, 0.0, 0.0]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, RetError::ChromophoresTooClose { .. }));
+    }
+
+    #[test]
+    fn donor_acceptor_rates_directional() {
+        let net = RetNetwork::donor_acceptor(4.0);
+        let fwd = net.transfer_rate(0, 1).unwrap();
+        let back = net.transfer_rate(1, 0).unwrap();
+        assert!(fwd > 0.0);
+        assert!(fwd > 10.0 * back);
+    }
+
+    #[test]
+    fn transfer_rate_bounds_checked() {
+        let net = RetNetwork::donor_acceptor(4.0);
+        assert!(matches!(net.transfer_rate(0, 2), Err(RetError::NodeOutOfRange { .. })));
+    }
+
+    #[test]
+    fn emission_split_sums_below_one() {
+        let net = RetNetwork::donor_acceptor(4.0);
+        let split = net.emission_probabilities(0).unwrap();
+        assert!(split.total > 0.0 && split.total < 1.0);
+        let sum: f64 = split.per_node.iter().sum();
+        assert!((sum - split.total).abs() < 1e-12);
+        // With strong forward transfer the acceptor should dominate emission.
+        assert!(split.per_node[1] > split.per_node[0]);
+    }
+
+    #[test]
+    fn close_donor_acceptor_transfers_more() {
+        let near = RetNetwork::donor_acceptor(3.0).emission_probabilities(0).unwrap();
+        let far = RetNetwork::donor_acceptor(8.0).emission_probabilities(0).unwrap();
+        assert!(near.per_node[1] > far.per_node[1]);
+        // At 8 nm (beyond R0) the donor mostly emits itself.
+        assert!(far.per_node[0] > far.per_node[1]);
+    }
+
+    #[test]
+    fn funnel_routes_energy_to_the_acceptor() {
+        let net = RetNetwork::funnel(4, 3.5);
+        assert_eq!(net.len(), 5);
+        // An exciton starting on any donor mostly ends at the acceptor.
+        for donor in 1..5 {
+            let split = net.emission_probabilities(donor).unwrap();
+            assert!(
+                split.per_node[0] > split.per_node[donor],
+                "donor {donor}: acceptor share {} vs donor {}",
+                split.per_node[0],
+                split.per_node[donor]
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_funnels_keep_the_acceptor_dominant() {
+        for donors in [2usize, 4, 6] {
+            let net = RetNetwork::funnel(donors, 3.5);
+            let split = net.emission_probabilities(1).unwrap();
+            let donor_total: f64 = split.per_node[1..].iter().sum();
+            assert!(
+                split.per_node[0] > donor_total,
+                "{donors} donors: acceptor {} vs donors {donor_total}",
+                split.per_node[0]
+            );
+        }
+    }
+
+    #[test]
+    fn sub_generator_rows_sum_to_negative_exit() {
+        let net = RetNetwork::cascade(3.5);
+        let s = net.sub_generator();
+        let sums = s.row_sums();
+        for (i, sum) in sums.iter().enumerate() {
+            // Row sum = -(radiative + nonradiative) = -decay rate.
+            let expect = -net.chromophores()[i].decay_rate();
+            assert!((sum - expect).abs() < 1e-10, "row {i}: {sum} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn ttf_distribution_bounds_checked() {
+        let net = RetNetwork::donor_acceptor(4.0);
+        assert!(net.ttf_distribution(5).is_err());
+        assert!(net.ttf_distribution(0).is_ok());
+    }
+}

@@ -1,0 +1,300 @@
+//! Phase-type distributions: absorption times of finite CTMCs.
+//!
+//! Wang, Lebeck & Dwyer (IEEE Micro 2015) show RET networks can sample from
+//! phase-type distributions, which are dense in the space of positive
+//! distributions — the theoretical basis for "virtually arbitrary
+//! probabilistic behavior". A phase-type distribution `PH(α, S)` is the time
+//! to absorption of a CTMC with transient sub-generator `S` started from the
+//! distribution `α`:
+//!
+//! * survival  `F̄(t) = α · exp(St) · 1`
+//! * density   `f(t) = α · exp(St) · s⁰` with exit-rate vector `s⁰ = -S·1`
+//! * mean      `E[T] = α · (-S)⁻¹ · 1`
+
+use crate::error::RetError;
+use crate::linalg::Matrix;
+use rand::Rng;
+
+const EXPM_TOL: f64 = 1e-12;
+
+/// A phase-type distribution `PH(α, S)`.
+///
+/// Constructed either directly ([`PhaseType::exponential`],
+/// [`PhaseType::erlang`]) or from a RET network via
+/// [`crate::network::RetNetwork::ttf_distribution`].
+///
+/// ```
+/// use mogs_ret::phase_type::PhaseType;
+///
+/// let erlang = PhaseType::erlang(3, 2.0);
+/// assert!((erlang.mean() - 1.5).abs() < 1e-12);
+/// assert!(erlang.cdf(10.0) > 0.999);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhaseType {
+    alpha: Vec<f64>,
+    s: Matrix,
+    /// Exit rates `s⁰ = -S·1` per transient state.
+    exit: Vec<f64>,
+}
+
+impl PhaseType {
+    /// Creates `PH(α, S)`.
+    ///
+    /// `alpha` may sum to less than one (the deficit is instantaneous
+    /// absorption / atom at zero); entries must be non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetError::DimensionMismatch`] if `alpha.len()` differs from
+    /// the generator dimension.
+    pub(crate) fn new(alpha: Vec<f64>, s: Matrix) -> Result<Self, RetError> {
+        if alpha.len() != s.n() {
+            return Err(RetError::DimensionMismatch { expected: s.n(), actual: alpha.len() });
+        }
+        let exit = s.row_sums().iter().map(|r| -r).collect();
+        Ok(PhaseType { alpha, s, exit })
+    }
+
+    /// The exponential distribution with the given rate (ns⁻¹) as a 1-state
+    /// phase type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn exponential(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        let mut s = Matrix::zeros(1);
+        s.set(0, 0, -rate);
+        PhaseType::new(vec![1.0], s).expect("1-state dimensions always match")
+    }
+
+    /// The Erlang-`k` distribution (sum of `k` iid exponentials of the given
+    /// rate) as a `k`-state chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `rate` is not strictly positive and finite.
+    pub fn erlang(k: usize, rate: f64) -> Self {
+        assert!(k > 0, "erlang needs at least one stage");
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        let mut s = Matrix::zeros(k);
+        for i in 0..k {
+            s.set(i, i, -rate);
+            if i + 1 < k {
+                s.set(i, i + 1, rate);
+            }
+        }
+        let mut alpha = vec![0.0; k];
+        alpha[0] = 1.0;
+        PhaseType::new(alpha, s).expect("dimensions match by construction")
+    }
+
+    /// Number of transient states.
+    pub fn order(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Survival function `P(T > t)`.
+    pub fn survival(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 1.0;
+        }
+        let ones = vec![1.0; self.order()];
+        let v = self.s.expm_action(t, &ones, EXPM_TOL);
+        dot(&self.alpha, &v).clamp(0.0, 1.0)
+    }
+
+    /// Cumulative distribution function `P(T ≤ t)`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        1.0 - self.survival(t)
+    }
+
+    /// Probability density at `t`.
+    pub fn pdf(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        let v = self.s.expm_action(t, &self.exit, EXPM_TOL);
+        dot(&self.alpha, &v).max(0.0)
+    }
+
+    /// Mean `E[T] = α (-S)⁻¹ 1`.
+    pub fn mean(&self) -> f64 {
+        let m = self.moment_vector(1);
+        dot(&self.alpha, &m)
+    }
+
+    /// Variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        // E[T²] = 2 α (-S)⁻² 1.
+        let m1 = self.moment_vector(1);
+        let neg_s = self.negated();
+        let m2 = neg_s.solve(&m1);
+        let second = 2.0 * dot(&self.alpha, &m2);
+        let mean = self.mean();
+        (second - mean * mean).max(0.0)
+    }
+
+    /// Draws one sample by simulating the embedded jump chain.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let n = self.order();
+        // Pick initial state (deficit mass = absorb immediately).
+        let mut u: f64 = rng.gen();
+        let mut state = usize::MAX;
+        for (i, a) in self.alpha.iter().enumerate() {
+            if u < *a {
+                state = i;
+                break;
+            }
+            u -= a;
+        }
+        if state == usize::MAX {
+            return 0.0;
+        }
+        let mut t = 0.0;
+        loop {
+            let total_exit = -self.s.get(state, state);
+            if total_exit <= 0.0 {
+                // Absorbing-in-practice state: never leaves. Treat as +inf,
+                // but return a very large time instead to stay total.
+                return f64::INFINITY;
+            }
+            t += sample_exp(rng, total_exit);
+            // Choose next: transient j with prob S[state][j]/total, else absorb.
+            let mut v: f64 = rng.gen::<f64>() * total_exit;
+            let mut next = None;
+            for j in 0..n {
+                if j == state {
+                    continue;
+                }
+                let r = self.s.get(state, j);
+                if v < r {
+                    next = Some(j);
+                    break;
+                }
+                v -= r;
+            }
+            match next {
+                Some(j) => state = j,
+                None => return t,
+            }
+        }
+    }
+
+    fn negated(&self) -> Matrix {
+        let n = self.order();
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, -self.s.get(i, j));
+            }
+        }
+        m
+    }
+
+    /// `(-S)⁻ᵏ · 1` computed by repeated solves.
+    fn moment_vector(&self, k: usize) -> Vec<f64> {
+        let neg_s = self.negated();
+        let mut v = vec![1.0; self.order()];
+        for _ in 0..k {
+            v = neg_s.solve(&v);
+        }
+        v
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Inverse-transform exponential sample with the given rate.
+pub(crate) fn sample_exp<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    // 1 - gen() is in (0, 1]; ln of it is finite and non-positive.
+    -((1.0 - rng.gen::<f64>()).ln()) / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_cdf_matches_closed_form() {
+        let ph = PhaseType::exponential(2.0);
+        for t in [0.0f64, 0.1, 0.5, 1.0, 3.0] {
+            let expect = 1.0 - (-2.0 * t).exp();
+            assert!((ph.cdf(t) - expect).abs() < 1e-9, "t={t}");
+        }
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let ph = PhaseType::exponential(4.0);
+        assert!((ph.mean() - 0.25).abs() < 1e-12);
+        assert!((ph.variance() - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_moments() {
+        let ph = PhaseType::erlang(3, 2.0);
+        assert!((ph.mean() - 1.5).abs() < 1e-12);
+        assert!((ph.variance() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let ph = PhaseType::erlang(2, 1.5);
+        // Trapezoid integral of pdf over [0, 4] vs cdf(4).
+        let n = 2000;
+        let h = 4.0 / n as f64;
+        let mut integral = 0.0;
+        for i in 0..n {
+            let a = ph.pdf(i as f64 * h);
+            let b = ph.pdf((i + 1) as f64 * h);
+            integral += 0.5 * (a + b) * h;
+        }
+        assert!((integral - ph.cdf(4.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let ph = PhaseType::erlang(2, 3.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| ph.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - ph.mean()).abs() < 0.02, "sample mean {mean} vs {}", ph.mean());
+    }
+
+    #[test]
+    fn sample_distribution_matches_cdf() {
+        let ph = PhaseType::exponential(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| ph.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        // Kolmogorov–Smirnov-ish check at a few quantiles.
+        for q in [0.1, 0.5, 0.9] {
+            let x = samples[(q * n as f64) as usize];
+            assert!((ph.cdf(x) - q).abs() < 0.02, "q={q}: cdf({x})={}", ph.cdf(x));
+        }
+    }
+
+    #[test]
+    fn survival_monotone_nonincreasing() {
+        let ph = PhaseType::erlang(4, 2.0);
+        let mut last = 1.0;
+        for i in 0..50 {
+            let s = ph.survival(i as f64 * 0.1);
+            assert!(s <= last + 1e-12);
+            last = s;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_nonpositive_rate() {
+        PhaseType::exponential(0.0);
+    }
+}

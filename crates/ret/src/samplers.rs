@@ -1,0 +1,279 @@
+//! Composable RET-based samplers beyond the exponential (paper §2.3).
+//!
+//! Wang, Lebeck & Dwyer (IEEE Micro 2015) — the paper's reference [42] —
+//! outline a family of elementary RET samplers (Bernoulli, exponential)
+//! that *compose* into samplers for general distributions; the RSU-G's
+//! first-to-fire discrete sampler is one such composition. This module
+//! provides the other elementary units and two classic compositions, each
+//! expressed through the same intensity-parameterized race that physical
+//! RET circuits implement:
+//!
+//! * [`BernoulliSampler`] — a two-channel race; `P(success) = λ₁/(λ₁+λ₂)`
+//!   is set by the intensity ratio.
+//! * [`UniformBits`] — a chain of balanced Bernoulli races producing
+//!   uniform random words (the RET analogue of a TRNG).
+//! * [`GeometricSampler`] — repeated Bernoulli trials.
+//! * [`CategoricalSampler`] — the general M-way first-to-fire (the RSU-G's
+//!   core), exposed directly for non-MRF uses.
+
+use crate::exponential::{first_to_fire_with, ExponentialSampler, IdealExponential};
+use rand::Rng;
+
+/// A Bernoulli sampler implemented as a two-exponential race.
+///
+/// The physical realization is two RET circuits with intensity ratio
+/// `p : (1 − p)`; the success channel firing first is the "1" outcome.
+#[derive(Debug, Clone)]
+pub struct BernoulliSampler<S = IdealExponential> {
+    sampler: S,
+    /// Rate of the success channel (ns⁻¹).
+    success_rate: f64,
+    /// Rate of the failure channel (ns⁻¹).
+    failure_rate: f64,
+}
+
+impl BernoulliSampler<IdealExponential> {
+    /// A Bernoulli with success probability `p`, realized with unit total
+    /// rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1` (degenerate coins need no optics).
+    pub fn new(p: f64) -> Self {
+        Self::with_sampler(IdealExponential::new(), p)
+    }
+}
+
+impl<S: ExponentialSampler> BernoulliSampler<S> {
+    /// As [`BernoulliSampler::new`] with a caller-supplied exponential
+    /// back end (e.g. a physics-fidelity RET circuit).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn with_sampler(sampler: S, p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1)");
+        BernoulliSampler { sampler, success_rate: p, failure_rate: 1.0 - p }
+    }
+
+    /// The programmed success probability.
+    pub fn p(&self) -> f64 {
+        self.success_rate / (self.success_rate + self.failure_rate)
+    }
+
+    /// Draws one Bernoulli outcome.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        let rates = [self.success_rate, self.failure_rate];
+        matches!(first_to_fire_with(&mut self.sampler, &rates, rng), Some((0, _)))
+    }
+}
+
+/// Uniform random words from a chain of balanced Bernoulli races — the
+/// RET analogue of a hardware TRNG (contrast with the Intel DRNG the paper
+/// compares against in §2.4, which needs AES conditioning).
+#[derive(Debug, Clone)]
+pub struct UniformBits {
+    coin: BernoulliSampler,
+}
+
+impl UniformBits {
+    /// Creates the generator.
+    pub fn new() -> Self {
+        UniformBits { coin: BernoulliSampler::new(0.5) }
+    }
+
+    /// Draws `bits` uniform bits into the low end of a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or exceeds 64.
+    pub fn sample<R: Rng + ?Sized>(&mut self, bits: u32, rng: &mut R) -> u64 {
+        assert!((1..=64).contains(&bits), "bits must be in 1..=64");
+        let mut word = 0u64;
+        for _ in 0..bits {
+            word = (word << 1) | u64::from(self.coin.sample(rng));
+        }
+        word
+    }
+}
+
+impl Default for UniformBits {
+    fn default() -> Self {
+        UniformBits::new()
+    }
+}
+
+/// A geometric sampler: the number of failed Bernoulli races before the
+/// first success (support `0, 1, 2, …`).
+#[derive(Debug, Clone)]
+pub struct GeometricSampler {
+    coin: BernoulliSampler,
+}
+
+impl GeometricSampler {
+    /// A geometric with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        GeometricSampler { coin: BernoulliSampler::new(p) }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        let mut failures = 0;
+        while !self.coin.sample(rng) {
+            failures += 1;
+        }
+        failures
+    }
+}
+
+/// A general M-way categorical sampler by first-to-fire: outcome `i` wins
+/// with probability `weights[i] / Σ weights`. This is the RSU-G's core
+/// operation without the MRF energy front end.
+#[derive(Debug, Clone)]
+pub struct CategoricalSampler<S = IdealExponential> {
+    sampler: S,
+    weights: Vec<f64>,
+}
+
+impl CategoricalSampler<IdealExponential> {
+    /// A categorical over the given non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative/non-finite entry,
+    /// or sums to zero.
+    pub fn new(weights: Vec<f64>) -> Self {
+        Self::with_sampler(IdealExponential::new(), weights)
+    }
+}
+
+impl<S: ExponentialSampler> CategoricalSampler<S> {
+    /// As [`CategoricalSampler::new`] with a caller-supplied exponential
+    /// back end.
+    ///
+    /// # Panics
+    ///
+    /// See [`CategoricalSampler::new`].
+    pub fn with_sampler(sampler: S, weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "need at least one outcome");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        assert!(weights.iter().sum::<f64>() > 0.0, "weights must not all be zero");
+        CategoricalSampler { sampler, weights }
+    }
+
+    /// The normalized outcome probabilities.
+    pub fn probabilities(&self) -> Vec<f64> {
+        let total: f64 = self.weights.iter().sum();
+        self.weights.iter().map(|w| w / total).collect()
+    }
+
+    /// Draws one outcome index.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        first_to_fire_with(&mut self.sampler, &self.weights, rng)
+            .map(|(i, _)| i)
+            .expect("at least one weight is positive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernoulli_frequency_matches_p() {
+        for p in [0.1, 0.5, 0.85] {
+            let mut coin = BernoulliSampler::new(p);
+            let mut rng = StdRng::seed_from_u64(p.to_bits());
+            let n = 40_000;
+            let hits = (0..n).filter(|_| coin.sample(&mut rng)).count();
+            let freq = hits as f64 / n as f64;
+            assert!((freq - p).abs() < 0.01, "p={p}: {freq}");
+        }
+    }
+
+    #[test]
+    fn uniform_bits_are_balanced_and_independent_ish() {
+        let mut gen = UniformBits::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mut ones = 0u64;
+        let mut transitions = 0u64;
+        let mut last = 0u64;
+        for i in 0..n {
+            let b = gen.sample(1, &mut rng);
+            ones += b;
+            if i > 0 && b != last {
+                transitions += 1;
+            }
+            last = b;
+        }
+        let bias = ones as f64 / n as f64;
+        assert!((bias - 0.5).abs() < 0.015, "bit bias {bias}");
+        // Independent bits flip ~half the time.
+        let flip = transitions as f64 / (n - 1) as f64;
+        assert!((flip - 0.5).abs() < 0.015, "transition rate {flip}");
+    }
+
+    #[test]
+    fn uniform_words_cover_the_range() {
+        let mut gen = UniformBits::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[gen.sample(3, &mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "3-bit words must cover 0..8");
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        let p = 0.25;
+        let mut g = GeometricSampler::new(p);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 30_000;
+        let mean: f64 = (0..n).map(|_| g.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let expect = (1.0 - p) / p; // failures before success
+        assert!((mean - expect).abs() < 0.08, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn categorical_matches_weights() {
+        let mut c = CategoricalSampler::new(vec![1.0, 0.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 40_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[c.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight outcome never drawn");
+        let p0 = counts[0] as f64 / n as f64;
+        assert!((p0 - 0.25).abs() < 0.01, "p0 {p0}");
+    }
+
+    #[test]
+    fn categorical_probabilities_normalize() {
+        let c = CategoricalSampler::new(vec![2.0, 6.0]);
+        assert_eq!(c.probabilities(), vec![0.25, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in (0, 1)")]
+    fn degenerate_bernoulli_rejected() {
+        BernoulliSampler::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn all_zero_categorical_rejected() {
+        CategoricalSampler::new(vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Simplified optical spectra and overlap integrals.
+//!
+//! Real chromophore spectra are tabulated; for the purposes of a
+//! computer-architecture-scale simulator a single-Gaussian model captures
+//! what matters for Förster transfer: *where* a band sits, *how wide* it is,
+//! and therefore *how much* a donor's emission overlaps an acceptor's
+//! absorption (the spectral overlap integral `J`, which enters the Förster
+//! radius as `R0^6 ∝ J`).
+
+/// A Gaussian spectral band: a normalized line shape over wavelength.
+///
+/// The band is `exp(-(λ - peak)² / (2σ²))` scaled so that it integrates
+/// to one over wavelength (units: nm⁻¹).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianBand {
+    /// Peak wavelength in nanometres.
+    pub peak_nm: f64,
+    /// Standard deviation (band width) in nanometres.
+    pub sigma_nm: f64,
+}
+
+impl GaussianBand {
+    /// Creates a band with the given peak and width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_nm` is not strictly positive or either argument is
+    /// not finite.
+    pub fn new(peak_nm: f64, sigma_nm: f64) -> Self {
+        assert!(peak_nm.is_finite() && sigma_nm.is_finite(), "band parameters must be finite");
+        assert!(sigma_nm > 0.0, "band width must be positive");
+        GaussianBand { peak_nm, sigma_nm }
+    }
+
+    /// Normalized line-shape value at wavelength `lambda_nm` (units nm⁻¹).
+    pub fn density(&self, lambda_nm: f64) -> f64 {
+        let z = (lambda_nm - self.peak_nm) / self.sigma_nm;
+        (-0.5 * z * z).exp() / (self.sigma_nm * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Overlap integral `∫ f(λ) g(λ) dλ` of two normalized Gaussian bands.
+    ///
+    /// For Gaussians this has the closed form of a Gaussian evaluated at the
+    /// peak separation with combined variance, which we use directly instead
+    /// of numerical quadrature.
+    pub fn overlap(&self, other: &GaussianBand) -> f64 {
+        let var = self.sigma_nm * self.sigma_nm + other.sigma_nm * other.sigma_nm;
+        let d = self.peak_nm - other.peak_nm;
+        (-0.5 * d * d / var).exp() / ((2.0 * std::f64::consts::PI * var).sqrt())
+    }
+}
+
+/// Relative spectral overlap between a donor's emission and an acceptor's
+/// absorption, normalized so that perfectly coincident equal-width bands
+/// give 1.0.
+///
+/// This dimensionless factor scales the Förster radius:
+/// `R0^6 = R0_ref^6 · overlap_factor`.
+pub fn overlap_factor(donor_emission: &GaussianBand, acceptor_absorption: &GaussianBand) -> f64 {
+    let j = donor_emission.overlap(acceptor_absorption);
+    // Self-overlap of a band with itself when both have the donor's width:
+    // the maximum achievable for these widths.
+    let self_overlap = GaussianBand::new(0.0, donor_emission.sigma_nm)
+        .overlap(&GaussianBand::new(0.0, acceptor_absorption.sigma_nm));
+    if self_overlap == 0.0 {
+        0.0
+    } else {
+        j / self_overlap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integrate(band: &GaussianBand, lo: f64, hi: f64, n: usize) -> f64 {
+        let h = (hi - lo) / n as f64;
+        (0..n).map(|i| band.density(lo + (i as f64 + 0.5) * h) * h).sum()
+    }
+
+    #[test]
+    fn band_integrates_to_one() {
+        let b = GaussianBand::new(550.0, 20.0);
+        let total = integrate(&b, 400.0, 700.0, 4000);
+        assert!((total - 1.0).abs() < 1e-6, "integral was {total}");
+    }
+
+    #[test]
+    fn overlap_closed_form_matches_quadrature() {
+        let f = GaussianBand::new(520.0, 18.0);
+        let g = GaussianBand::new(560.0, 25.0);
+        let h = 0.05;
+        let numeric: f64 = (0..12000)
+            .map(|i| {
+                let l = 300.0 + (i as f64 + 0.5) * h;
+                f.density(l) * g.density(l) * h
+            })
+            .sum();
+        assert!((f.overlap(&g) - numeric).abs() < 1e-8);
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let f = GaussianBand::new(500.0, 15.0);
+        let g = GaussianBand::new(540.0, 30.0);
+        assert!((f.overlap(&g) - g.overlap(&f)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overlap_factor_is_one_for_coincident_bands() {
+        let f = GaussianBand::new(550.0, 20.0);
+        assert!((overlap_factor(&f, &f) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_factor_decays_with_separation() {
+        let d = GaussianBand::new(520.0, 20.0);
+        let near = GaussianBand::new(530.0, 20.0);
+        let far = GaussianBand::new(620.0, 20.0);
+        assert!(overlap_factor(&d, &near) > overlap_factor(&d, &far));
+        assert!(overlap_factor(&d, &far) < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "band width must be positive")]
+    fn zero_width_rejected() {
+        GaussianBand::new(500.0, 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Chromophore photobleaching and ensemble-lifetime modelling (paper §9).
+//!
+//! In the presence of oxygen a chromophore survives only a finite number of
+//! excitation cycles before photobleaching — a wear-out process. The paper
+//! proposes two mitigations: replicate many RET networks per circuit, and
+//! encapsulate the chromophores to keep oxygen out. This module models both:
+//! an ensemble of `n` networks where each network independently survives a
+//! geometric number of excitations, and an encapsulation factor that scales
+//! the mean excitations-to-failure.
+
+/// Wear-out model for an ensemble of identical RET networks.
+///
+/// ```
+/// use mogs_ret::wearout::EnsembleWearout;
+///
+/// let bare = EnsembleWearout::new(64, 1e6, 1.0);
+/// let sealed = EnsembleWearout::new(64, 1e6, 100.0);
+/// assert_eq!(sealed.usable_budget(0.5), 100 * bare.usable_budget(0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleWearout {
+    /// Networks in the ensemble at time zero.
+    pub ensemble_size: usize,
+    /// Mean excitations a single network survives *without* encapsulation.
+    pub mean_excitations_to_failure: f64,
+    /// Multiplier on lifetime from oxygen encapsulation (1.0 = none).
+    pub encapsulation_factor: f64,
+}
+
+impl Default for EnsembleWearout {
+    fn default() -> Self {
+        // Organic dyes typically survive 1e5–1e7 excitation cycles in air;
+        // use 1e6 as a representative midpoint.
+        EnsembleWearout {
+            ensemble_size: 64,
+            mean_excitations_to_failure: 1e6,
+            encapsulation_factor: 1.0,
+        }
+    }
+}
+
+impl EnsembleWearout {
+    /// Creates a wear-out model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble is empty or either factor is not strictly
+    /// positive.
+    pub fn new(
+        ensemble_size: usize,
+        mean_excitations_to_failure: f64,
+        encapsulation_factor: f64,
+    ) -> Self {
+        assert!(ensemble_size > 0, "ensemble must be non-empty");
+        assert!(mean_excitations_to_failure > 0.0, "lifetime must be positive");
+        assert!(encapsulation_factor > 0.0, "encapsulation factor must be positive");
+        EnsembleWearout { ensemble_size, mean_excitations_to_failure, encapsulation_factor }
+    }
+
+    /// Effective mean excitations-to-failure per network, including
+    /// encapsulation.
+    pub fn effective_lifetime(&self) -> f64 {
+        self.mean_excitations_to_failure * self.encapsulation_factor
+    }
+
+    /// Expected fraction of the ensemble still photoactive after the
+    /// ensemble as a whole has absorbed `total_excitations`.
+    ///
+    /// Excitations are spread uniformly over the *surviving* population, so
+    /// per-network dose accrues faster as networks die; the survival
+    /// fraction `s` solves `dose_per_network = ∫ dN / (n·s)`. With
+    /// exponential per-network lifetimes this yields
+    /// `s = exp(-W(x))`-free closed form: the surviving fraction after a
+    /// total dose `D` satisfies `s = exp(-(D / (n·L)) / s̄)`; we integrate
+    /// numerically instead of approximating.
+    pub fn alive_fraction(&self, total_excitations: u64) -> f64 {
+        let life = self.effective_lifetime();
+        let n = self.ensemble_size as f64;
+        // Integrate dD = n·s dτ where τ is per-network dose and
+        // s(τ) = exp(-τ/L): D(τ) = n·L·(1 - exp(-τ/L)).
+        // Invert: s = 1 - D/(n·L), floored at 0 (all dead).
+        let d = total_excitations as f64;
+        (1.0 - d / (n * life)).max(0.0)
+    }
+
+    /// Total excitations the ensemble can absorb before fewer than
+    /// `min_fraction` of networks remain photoactive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_fraction` is outside `(0, 1]`.
+    pub fn usable_budget(&self, min_fraction: f64) -> u64 {
+        assert!(min_fraction > 0.0 && min_fraction <= 1.0, "fraction must be in (0, 1]");
+        let n = self.ensemble_size as f64;
+        (n * self.effective_lifetime() * (1.0 - min_fraction)) as u64
+    }
+
+    /// Usable wall-clock lifetime in seconds at a sustained excitation rate
+    /// (excitations/ns) before falling below `min_fraction`.
+    pub fn usable_seconds(&self, excitation_rate_per_ns: f64, min_fraction: f64) -> f64 {
+        assert!(excitation_rate_per_ns > 0.0, "excitation rate must be positive");
+        self.usable_budget(min_fraction) as f64 / excitation_rate_per_ns * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ensemble_is_fully_alive() {
+        let w = EnsembleWearout::default();
+        assert!((w.alive_fraction(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alive_fraction_monotone_in_dose() {
+        let w = EnsembleWearout::default();
+        let mut last = 1.0;
+        for d in (0..20).map(|i| i * 5_000_000) {
+            let s = w.alive_fraction(d);
+            assert!(s <= last);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn bigger_ensembles_last_longer() {
+        let small = EnsembleWearout::new(16, 1e6, 1.0);
+        let large = EnsembleWearout::new(256, 1e6, 1.0);
+        assert!(large.usable_budget(0.5) > small.usable_budget(0.5));
+        // Budget scales linearly with ensemble size.
+        let ratio = large.usable_budget(0.5) as f64 / small.usable_budget(0.5) as f64;
+        assert!((ratio - 16.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn encapsulation_extends_lifetime() {
+        let bare = EnsembleWearout::new(64, 1e6, 1.0);
+        let sealed = EnsembleWearout::new(64, 1e6, 100.0);
+        assert_eq!(sealed.usable_budget(0.5), 100 * bare.usable_budget(0.5));
+    }
+
+    #[test]
+    fn usable_seconds_scales_inversely_with_rate() {
+        let w = EnsembleWearout::default();
+        let slow = w.usable_seconds(0.1, 0.5);
+        let fast = w.usable_seconds(1.0, 0.5);
+        assert!((slow / fast - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_ensemble_reports_zero() {
+        let w = EnsembleWearout::new(4, 100.0, 1.0);
+        assert_eq!(w.alive_fraction(1_000_000), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0, 1]")]
+    fn zero_min_fraction_rejected() {
+        EnsembleWearout::default().usable_budget(0.0);
+    }
+}

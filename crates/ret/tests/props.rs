@@ -1,0 +1,106 @@
+//! Property-based invariants of the RET physics substrate.
+
+use mogs_ret::chromophore::Chromophore;
+use mogs_ret::forster::ForsterPair;
+use mogs_ret::network::RetNetwork;
+use mogs_ret::phase_type::PhaseType;
+use mogs_ret::spectra::GaussianBand;
+use proptest::prelude::*;
+
+fn arb_chromophore() -> impl Strategy<Value = Chromophore> {
+    (
+        450.0f64..700.0, // absorption peak
+        10.0f64..40.0,   // absorption width
+        5.0f64..40.0,    // Stokes shift
+        10.0f64..40.0,   // emission width
+        0.3f64..3.0,     // lifetime
+        0.05f64..0.95,   // quantum yield
+    )
+        .prop_map(|(abs_peak, abs_w, stokes, em_w, tau, qy)| {
+            Chromophore::new(
+                "dye",
+                GaussianBand::new(abs_peak, abs_w),
+                GaussianBand::new(abs_peak + stokes, em_w),
+                tau,
+                qy,
+            )
+            .expect("generated parameters are valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Förster rate falls strictly with distance for any coupled pair.
+    #[test]
+    fn rate_monotone_in_distance(
+        donor in arb_chromophore(),
+        acceptor in arb_chromophore(),
+        d1 in 1.0f64..6.0,
+        delta in 0.5f64..4.0,
+    ) {
+        let near = ForsterPair::evaluate(&donor, &acceptor, d1);
+        let far = ForsterPair::evaluate(&donor, &acceptor, d1 + delta);
+        if near.rate > 0.0 {
+            prop_assert!(far.rate < near.rate);
+        }
+    }
+
+    /// Transfer efficiency is a probability for every geometry.
+    #[test]
+    fn efficiency_is_a_probability(
+        donor in arb_chromophore(),
+        acceptor in arb_chromophore(),
+        d in 1.0f64..10.0,
+    ) {
+        let pair = ForsterPair::evaluate(&donor, &acceptor, d);
+        let eff = pair.efficiency(donor.decay_rate());
+        prop_assert!((0.0..=1.0).contains(&eff), "efficiency {}", eff);
+    }
+
+    /// Every two-dye network's emission probabilities form a
+    /// sub-distribution and its conditional mean emission time is positive.
+    #[test]
+    fn network_emission_probabilities_valid(
+        donor in arb_chromophore(),
+        acceptor in arb_chromophore(),
+        d in 1.0f64..10.0,
+    ) {
+        let net = RetNetwork::new(vec![
+            (donor, [0.0, 0.0, 0.0]),
+            (acceptor, [d, 0.0, 0.0]),
+        ])
+        .expect("valid spacing");
+        let split = net.emission_probabilities(0).expect("node 0");
+        prop_assert!(split.total > 0.0 && split.total <= 1.0 + 1e-12);
+        for p in &split.per_node {
+            prop_assert!(*p >= -1e-12 && *p <= 1.0 + 1e-12);
+        }
+        let mean = net.mean_emission_time(0).expect("emits");
+        prop_assert!(mean > 0.0 && mean.is_finite());
+    }
+
+    /// Phase-type CDFs are monotone and bounded for exponential and Erlang
+    /// families across their parameter ranges.
+    #[test]
+    fn phase_type_cdf_monotone(rate in 0.05f64..20.0, k in 1usize..6) {
+        let ph = PhaseType::erlang(k, rate);
+        let mut last = 0.0;
+        for i in 0..30 {
+            let t = i as f64 * 0.3 / rate;
+            let c = ph.cdf(t);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prop_assert!(c + 1e-9 >= last, "CDF must be non-decreasing");
+            last = c;
+        }
+    }
+
+    /// Erlang moments match the closed form for all parameters.
+    #[test]
+    fn erlang_moments_closed_form(rate in 0.1f64..10.0, k in 1usize..8) {
+        let ph = PhaseType::erlang(k, rate);
+        let kf = k as f64;
+        prop_assert!((ph.mean() - kf / rate).abs() < 1e-9 * (kf / rate));
+        prop_assert!((ph.variance() - kf / (rate * rate)).abs() < 1e-8 * kf / (rate * rate));
+    }
+}

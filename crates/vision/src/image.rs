@@ -1,0 +1,245 @@
+//! Grayscale images and PGM I/O.
+//!
+//! The applications work on 8-bit grayscale images. For the RSU-G data
+//! path, intensities are reduced to the unit's 6-bit inputs with
+//! [`GrayImage::to_6bit`]. Binary (`P5`) and ASCII (`P2`) PGM are supported
+//! so inputs and results can be inspected with any image viewer.
+
+use std::fmt;
+use std::io::{self, BufRead, Read, Write};
+
+/// An 8-bit grayscale image in row-major layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// An image filled with a constant value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn filled(width: usize, height: usize, value: u8) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        GrayImage { width, height, pixels: vec![value; width * height] }
+    }
+
+    /// Builds an image by evaluating `f(x, y)` at every pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                pixels.push(f(x, y));
+            }
+        }
+        GrayImage { width, height, pixels }
+    }
+
+    /// Wraps existing pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height` or a dimension is zero.
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        assert_eq!(pixels.len(), width * height, "pixel buffer must match dimensions");
+        GrayImage { width, height, pixels }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total pixel count.
+    pub fn len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Whether the image has no pixels (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.pixels.is_empty()
+    }
+
+    /// The raw pixel buffer.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "({x}, {y}) out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Pixel at `(x, y)` with coordinates clamped to the image border
+    /// (the standard boundary policy for window searches).
+    pub fn get_clamped(&self, x: isize, y: isize) -> u8 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.pixels[cy * self.width + cx]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+        assert!(x < self.width && y < self.height, "({x}, {y}) out of bounds");
+        self.pixels[y * self.width + x] = value;
+    }
+
+    /// The image with every pixel reduced to the RSU-G's 6-bit data range
+    /// (`value >> 2`).
+    pub fn to_6bit(&self) -> GrayImage {
+        GrayImage {
+            width: self.width,
+            height: self.height,
+            pixels: self.pixels.iter().map(|p| p >> 2).collect(),
+        }
+    }
+
+    /// Writes binary (`P5`) PGM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_pgm<W: Write>(&self, mut w: W) -> io::Result<()> {
+        write!(w, "P5\n{} {}\n255\n", self.width, self.height)?;
+        w.write_all(&self.pixels)
+    }
+
+    /// Reads binary (`P5`) PGM with a 255 maxval.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for malformed headers or truncated pixel data.
+    pub fn read_pgm<R: Read + BufRead>(mut r: R) -> io::Result<Self> {
+        let mut header = String::new();
+        // Read "P5", width, height, maxval tokens, skipping comments.
+        let mut tokens = Vec::new();
+        while tokens.len() < 4 {
+            header.clear();
+            if r.read_line(&mut header)? == 0 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated PGM header"));
+            }
+            let line = header.split('#').next().unwrap_or("");
+            tokens.extend(line.split_whitespace().map(str::to_owned));
+        }
+        if tokens[0] != "P5" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a binary PGM (P5)"));
+        }
+        let parse = |s: &str| {
+            s.parse::<usize>()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad PGM dimension"))
+        };
+        let (width, height, maxval) = (parse(&tokens[1])?, parse(&tokens[2])?, parse(&tokens[3])?);
+        if maxval != 255 || width == 0 || height == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported PGM format"));
+        }
+        let mut pixels = vec![0u8; width * height];
+        r.read_exact(&mut pixels)?;
+        Ok(GrayImage { width, height, pixels })
+    }
+
+    /// Renders the image as coarse ASCII art (useful for terminal output of
+    /// small results, e.g. the prototype's 50×67 segmentation).
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = usize::from(self.get(x, y));
+                out.push(RAMP[v * (RAMP.len() - 1) / 255] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for GrayImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} grayscale image", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn from_fn_layout() {
+        let img = GrayImage::from_fn(3, 2, |x, y| (x + 10 * y) as u8);
+        assert_eq!(img.get(2, 1), 12);
+        assert_eq!(img.pixels(), &[0, 1, 2, 10, 11, 12]);
+    }
+
+    #[test]
+    fn clamped_access() {
+        let img = GrayImage::from_fn(4, 4, |x, y| (x * 4 + y) as u8);
+        assert_eq!(img.get_clamped(-3, -3), img.get(0, 0));
+        assert_eq!(img.get_clamped(10, 1), img.get(3, 1));
+    }
+
+    #[test]
+    fn six_bit_reduction() {
+        let img = GrayImage::from_pixels(2, 1, vec![255, 3]);
+        assert_eq!(img.to_6bit().pixels(), &[63, 0]);
+    }
+
+    #[test]
+    fn pgm_round_trip() {
+        let img = GrayImage::from_fn(5, 3, |x, y| (x * 50 + y * 10) as u8);
+        let mut buf = Vec::new();
+        img.write_pgm(&mut buf).unwrap();
+        let restored = GrayImage::read_pgm(Cursor::new(buf)).unwrap();
+        assert_eq!(img, restored);
+    }
+
+    #[test]
+    fn pgm_rejects_garbage() {
+        assert!(GrayImage::read_pgm(Cursor::new(b"P3\n2 2\n255\nxxxx".to_vec())).is_err());
+        assert!(GrayImage::read_pgm(Cursor::new(b"P5\n2 2\n255\nx".to_vec())).is_err());
+        assert!(GrayImage::read_pgm(Cursor::new(Vec::new())).is_err());
+    }
+
+    #[test]
+    fn pgm_skips_comments() {
+        let data = b"P5\n# a comment\n2 1\n255\nAB".to_vec();
+        let img = GrayImage::read_pgm(Cursor::new(data)).unwrap();
+        assert_eq!(img.pixels(), b"AB");
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let img = GrayImage::filled(4, 2, 255);
+        let art = img.to_ascii();
+        assert_eq!(art, "@@@@\n@@@@\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel buffer must match dimensions")]
+    fn bad_buffer_size_panics() {
+        GrayImage::from_pixels(2, 2, vec![0; 3]);
+    }
+}

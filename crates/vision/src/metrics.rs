@@ -1,0 +1,134 @@
+//! Quality metrics for the vision applications.
+//!
+//! The paper verifies its applications functionally against MATLAB and by
+//! eye; with synthetic ground truth we can do better and report numeric
+//! quality, which the fidelity experiments (software Gibbs vs RSU-G) need.
+
+use mogs_mrf::Label;
+
+/// Fraction of sites whose predicted label equals the ground truth.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn label_accuracy(predicted: &[Label], truth: &[Label]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "labelings must align");
+    assert!(!predicted.is_empty(), "labelings must be non-empty");
+    let correct = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    correct as f64 / predicted.len() as f64
+}
+
+/// Mean Euclidean distance between each predicted flow vector and a
+/// constant ground-truth displacement.
+///
+/// # Panics
+///
+/// Panics if `flow` is empty.
+pub fn mean_endpoint_error(flow: &[(i32, i32)], truth: (i32, i32)) -> f64 {
+    assert!(!flow.is_empty(), "flow field must be non-empty");
+    let total: f64 = flow
+        .iter()
+        .map(|&(dx, dy)| {
+            let ex = f64::from(dx - truth.0);
+            let ey = f64::from(dy - truth.1);
+            (ex * ex + ey * ey).sqrt()
+        })
+        .sum();
+    total / flow.len() as f64
+}
+
+/// Mean Euclidean distance between a predicted flow field and a per-pixel
+/// ground-truth field.
+///
+/// # Panics
+///
+/// Panics if the fields differ in length or are empty.
+pub fn mean_endpoint_error_field(flow: &[(i32, i32)], truth: &[(i32, i32)]) -> f64 {
+    assert_eq!(flow.len(), truth.len(), "flow fields must align");
+    assert!(!flow.is_empty(), "flow field must be non-empty");
+    let total: f64 = flow
+        .iter()
+        .zip(truth)
+        .map(|(&(dx, dy), &(tx, ty))| {
+            let ex = f64::from(dx - tx);
+            let ey = f64::from(dy - ty);
+            (ex * ex + ey * ey).sqrt()
+        })
+        .sum();
+    total / flow.len() as f64
+}
+
+/// Mean absolute label difference (useful for ordered label spaces such as
+/// disparity and intensity classes, where "off by one" is better than
+/// "off by four").
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn mean_absolute_label_error(predicted: &[Label], truth: &[Label]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "labelings must align");
+    assert!(!predicted.is_empty(), "labelings must be non-empty");
+    let total: f64 = predicted
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| f64::from(p.value().abs_diff(t.value())))
+        .sum();
+    total / predicted.len() as f64
+}
+
+/// Total variation distance between two discrete distributions.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must align");
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(values: &[u8]) -> Vec<Label> {
+        values.iter().map(|&v| Label::new(v)).collect()
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let acc = label_accuracy(&labels(&[0, 1, 2, 3]), &labels(&[0, 1, 0, 3]));
+        assert_eq!(acc, 0.75);
+    }
+
+    #[test]
+    fn perfect_accuracy_is_one() {
+        let l = labels(&[5, 6, 7]);
+        assert_eq!(label_accuracy(&l, &l), 1.0);
+    }
+
+    #[test]
+    fn endpoint_error_is_euclidean() {
+        let err = mean_endpoint_error(&[(1, 1), (4, 5)], (1, 1));
+        assert!((err - (0.0 + 5.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absolute_error_respects_ordering() {
+        let e = mean_absolute_label_error(&labels(&[0, 2]), &labels(&[1, 2]));
+        assert_eq!(e, 0.5);
+    }
+
+    #[test]
+    fn total_variation_bounds() {
+        assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert_eq!(total_variation(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        let tv = total_variation(&[0.7, 0.3], &[0.5, 0.5]);
+        assert!((tv - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "labelings must align")]
+    fn mismatched_lengths_panic() {
+        label_accuracy(&labels(&[0]), &labels(&[0, 1]));
+    }
+}

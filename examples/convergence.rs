@@ -1,0 +1,84 @@
+//! MCMC convergence diagnostics in practice: energy traces, effective
+//! sample size, and the multi-chain Gelman–Rubin statistic over a
+//! segmentation posterior — plus how annealing changes the picture.
+//!
+//! Run with: `cargo run --release --example convergence`
+
+use mogs_gibbs::chain::{ChainConfig, McmcChain};
+use mogs_gibbs::diagnostics::{effective_sample_size, integrated_autocorrelation_time};
+use mogs_gibbs::multichain::run_chains;
+use mogs_gibbs::schedule::TemperatureSchedule;
+use mogs_gibbs::SoftmaxGibbs;
+use mogs_vision::metrics::label_accuracy;
+use mogs_vision::segmentation::{Segmentation, SegmentationConfig};
+use mogs_vision::synthetic;
+
+fn main() {
+    let scene = synthetic::region_scene(32, 32, 5, 7.0, 3);
+    let app = Segmentation::new(scene.image.clone(), SegmentationConfig::default());
+
+    // --- Single-chain view: trace statistics. ------------------------------
+    let mut chain = McmcChain::new(
+        app.mrf(),
+        SoftmaxGibbs::new(),
+        ChainConfig { burn_in: 20, seed: 1, ..ChainConfig::default() },
+    );
+    chain.run(120);
+    let trace = &chain.energy_trace()[20..];
+    println!(
+        "single chain: 120 iterations, post-burn-in energy mean {:.0}",
+        trace.iter().sum::<f64>() / trace.len() as f64
+    );
+    println!(
+        "  integrated autocorrelation time {:.1}, effective sample size {:.0} of {}",
+        integrated_autocorrelation_time(trace),
+        effective_sample_size(trace),
+        trace.len()
+    );
+
+    // --- Multi-chain view: R-hat over four replicas. ------------------------
+    println!("\nGelman-Rubin R-hat over 4 independent chains:");
+    for iterations in [10usize, 20, 40, 80] {
+        let config = ChainConfig {
+            burn_in: iterations / 4,
+            seed: 7,
+            track_modes: false,
+            ..ChainConfig::default()
+        };
+        let result = run_chains(app.mrf(), &SoftmaxGibbs::new(), config, 4, iterations);
+        println!(
+            "  {iterations:>3} iterations: R-hat {:.3} ({})",
+            result.r_hat,
+            if result.converged(1.1) { "converged" } else { "still mixing" }
+        );
+    }
+
+    // --- Annealing: posterior sampling vs optimization. ---------------------
+    let fixed = app.run(SoftmaxGibbs::new(), 80, 5);
+    let mut annealed = McmcChain::new(
+        app.mrf(),
+        SoftmaxGibbs::new(),
+        ChainConfig {
+            schedule: TemperatureSchedule::geometric(4.0, 0.93, 0.2),
+            burn_in: 0,
+            seed: 5,
+            ..ChainConfig::default()
+        },
+    );
+    annealed.run(80);
+    println!(
+        "\nfixed temperature:   final energy {:.0}, marginal-MAP accuracy {:.1}%",
+        fixed.energy_trace.last().unwrap(),
+        100.0 * label_accuracy(fixed.map_estimate.as_ref().unwrap(), &scene.truth),
+    );
+    println!(
+        "geometric annealing: final energy {:.0}, final-sample accuracy {:.1}%",
+        annealed.energy_trace().last().unwrap(),
+        100.0 * label_accuracy(annealed.labels(), &scene.truth),
+    );
+    println!(
+        "\nAnnealing drives the chain toward a single low-energy labeling \
+         (simulated annealing);\nfixed-temperature sampling + mode tracking \
+         estimates the marginal MAP the paper's\napplications report."
+    );
+}

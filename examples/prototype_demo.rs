@@ -1,0 +1,44 @@
+//! The macro-scale prototype demonstration (paper §7, Figures 6–7): the
+//! ratio-parameterization experiment and the two-label segmentation of a
+//! 50×67 image, on the emulated bench rig.
+//!
+//! Run with: `cargo run --release --example prototype_demo`
+
+use mogs_proto::experiments::{ratio_sweep, segment_demo, standard_targets};
+use mogs_proto::rig::PrototypeRig;
+use mogs_proto::timing::PrototypeTiming;
+
+fn main() {
+    // --- Experiment 1: pairwise relative-probability parameterization. ----
+    let mut rig = PrototypeRig::default();
+    println!("ratio parameterization (paper: <=10% error below 30, ~24% above):\n");
+    println!("{:>8} {:>10} {:>8}", "target", "measured", "error");
+    for point in ratio_sweep(&mut rig, &standard_targets(), 60_000, 42) {
+        println!(
+            "{:>8.0} {:>10.1} {:>7.1}%",
+            point.target,
+            point.measured,
+            point.relative_error * 100.0
+        );
+    }
+
+    // --- Experiment 2: two-label segmentation, sample at iteration 10. ----
+    let result = segment_demo(PrototypeRig::default(), 7);
+    println!("\nFigure 7 demo (50x67, 2 labels, 10 MCMC iterations):");
+    println!("\ninput:\n{}", result.input.to_ascii());
+    println!("sample at 10th iteration:\n{}", result.sample.to_ascii());
+    println!("accuracy vs ground truth: {:.1}%", result.accuracy * 100.0);
+
+    // --- Why the bench rig is functionally, not performance, interesting. -
+    let timing = PrototypeTiming::default();
+    println!(
+        "\nbench timing: {:.0} s per image-iteration ({}s of it is the \
+         proprietary laser-controller interface);",
+        timing.iteration_seconds(50 * 67),
+        timing.controller_delay_s,
+    );
+    println!(
+        "an integrated RSU-G1 samples the same pixel ~{:.0}x faster.",
+        timing.integration_gain(11.0)
+    );
+}

@@ -1,0 +1,154 @@
+//! The paper's headline numbers, asserted end to end across crates.
+//! Every constant here is quoted from the paper text (abstract, §8, Tables
+//! 2–4); the models must reproduce them within the stated tolerances.
+
+use mogs_arch::accelerator::Accelerator;
+use mogs_arch::gpu::GpuModel;
+use mogs_arch::kernel::KernelVariant;
+use mogs_arch::speedup::{figure8, table2};
+use mogs_arch::workload::{ImageSize, VisionApp, Workload};
+use mogs_core::area::AreaModel;
+use mogs_core::power::{PowerModel, TechNode};
+use mogs_core::variants::RsuVariant;
+
+fn within(got: f64, paper: f64, tol: f64) -> bool {
+    (got - paper).abs() / paper < tol
+}
+
+#[test]
+fn abstract_headline_speedups() {
+    // "an RSU augmented GPU provides speedups over a GPU of 3 and 16" (HD).
+    let gpu = GpuModel::calibrated();
+    let seg = gpu.speedup_over_baseline(&Workload::segmentation(ImageSize::HD), KernelVariant::rsu(1));
+    let motion =
+        gpu.speedup_over_baseline(&Workload::motion(ImageSize::HD), KernelVariant::rsu(1));
+    assert!(within(seg, 3.0, 0.15), "segmentation HD speedup {seg}");
+    assert!(within(motion, 16.0, 0.15), "motion HD speedup {motion}");
+}
+
+#[test]
+fn abstract_accelerator_speedups() {
+    // "a discrete accelerator ... produces speedups of 21 and 54".
+    let gpu = GpuModel::calibrated();
+    let acc = Accelerator::paper_design();
+    assert!(within(
+        acc.speedup_over_gpu(&gpu, &Workload::segmentation(ImageSize::HD)),
+        21.0,
+        0.05
+    ));
+    assert!(within(
+        acc.speedup_over_gpu(&gpu, &Workload::motion(ImageSize::HD)),
+        54.0,
+        0.05
+    ));
+    assert_eq!(acc.units_required(), 336);
+}
+
+#[test]
+fn abstract_power_and_area() {
+    // "optical components ... consume very little power (0.16 mW) and area
+    // (0.0016 mm2) ... CMOS ... 3.75 mW ... total RSU-G power of 3.91 mW
+    // and area of 0.0029 mm2."
+    let power = PowerModel::new(TechNode::N15).rsu_g1();
+    assert!((power.ret_mw - 0.16).abs() < 1e-9);
+    assert!((power.logic_mw + power.lut_mw - 3.75).abs() < 1e-9);
+    assert!((power.total_mw() - 3.91).abs() < 1e-9);
+    let area = AreaModel::new(TechNode::N15).rsu_g1();
+    assert!((area.ret_um2 / 1e6 - 0.0016).abs() < 1e-9);
+    assert!((area.total_mm2() - 0.0029).abs() < 1e-4);
+}
+
+#[test]
+fn table2_all_sixteen_cells() {
+    let rows = table2(&GpuModel::calibrated());
+    let paper: [(f64, f64, f64, f64); 4] = [
+        (0.3, 0.23, 0.09, 0.09),
+        (3.2, 2.6, 1.1, 1.1),
+        (0.55, 0.27, 0.04, 0.02),
+        (7.17, 3.35, 0.45, 0.21),
+    ];
+    for (row, (gpu, opt, g1, g4)) in rows.iter().zip(paper) {
+        assert!(within(row.gpu, gpu, 0.01), "{:?} GPU {}", row.app, row.gpu);
+        assert!(within(row.opt_gpu, opt, 0.15), "{:?} Opt {}", row.app, row.opt_gpu);
+        assert!(within(row.rsu_g1, g1, 0.15), "{:?} G1 {}", row.app, row.rsu_g1);
+        assert!(within(row.rsu_g4, g4, 0.15), "{:?} G4 {}", row.app, row.rsu_g4);
+    }
+}
+
+#[test]
+fn figure8_shape_claims() {
+    let rows = figure8(&GpuModel::calibrated());
+    let get = |app, size, width| {
+        rows.iter()
+            .find(|r| r.app == app && r.size == size && r.rsu_width == width)
+            .unwrap()
+    };
+    // Motion gains dwarf segmentation gains at every width/size.
+    for width in [1u8, 4] {
+        for size in [ImageSize::SMALL, ImageSize::HD] {
+            assert!(
+                get(VisionApp::MotionEstimation, size, width).over_gpu
+                    > 2.0 * get(VisionApp::Segmentation, size, width).over_gpu
+            );
+        }
+    }
+    // G4 roughly doubles G1 for motion, and does nothing for segmentation.
+    let g1 = get(VisionApp::MotionEstimation, ImageSize::HD, 1).over_gpu;
+    let g4 = get(VisionApp::MotionEstimation, ImageSize::HD, 4).over_gpu;
+    assert!(g4 / g1 > 1.7 && g4 / g1 < 2.5, "G4/G1 motion ratio {}", g4 / g1);
+    let s1 = get(VisionApp::Segmentation, ImageSize::HD, 1).over_gpu;
+    let s4 = get(VisionApp::Segmentation, ImageSize::HD, 4).over_gpu;
+    assert!((s4 / s1 - 1.0).abs() < 0.06, "segmentation G4/G1 {}", s4 / s1);
+}
+
+#[test]
+fn section_8_3_system_power() {
+    // "A GPU augmented with RSU-G units (3072 in total) consumes 12W ...
+    // The accelerator with 336 units ... consumes only 1.3W".
+    let model = PowerModel::new(TechNode::N15);
+    assert!(within(model.system_watts(3072), 12.0, 0.01));
+    assert!(within(model.system_watts(336), 1.3, 0.02));
+}
+
+#[test]
+fn tables_3_and_4_component_sums() {
+    for node in [TechNode::N45, TechNode::N15] {
+        let p = PowerModel::new(node).rsu_g1();
+        let a = AreaModel::new(node).rsu_g1();
+        let (p_total, a_total) = match node {
+            TechNode::N45 => (11.28, 5673.0),
+            TechNode::N15 => (3.91, 2898.0),
+        };
+        assert!((p.total_mw() - p_total).abs() < 1e-9);
+        assert!((a.total_um2() - a_total).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn rsu_g_latency_formulas() {
+    // §5.1: "7+(M-1) cycles" for RSU-G1; "evaluate up to 64 labels
+    // (RSU-G64) in 12 cycles"; §5.3: "256 RET circuits" for RSU-G64.
+    assert_eq!(RsuVariant::g1().latency_cycles(5), 11);
+    assert_eq!(RsuVariant::g1().latency_cycles(49), 55);
+    assert_eq!(RsuVariant::g64().latency_cycles(64), 12);
+    assert_eq!(RsuVariant::g64().ret_circuits(), 256);
+}
+
+#[test]
+fn accelerator_small_image_speedups() {
+    // §8.2: "the upper bound of speedups over standard MCMC on the GPU is
+    // 39 (image segmentation) and 84 (dense motion estimation) for 320x320
+    // images".
+    let gpu = GpuModel::calibrated();
+    let acc = Accelerator::paper_design();
+    assert!(within(
+        acc.speedup_over_gpu(&gpu, &Workload::segmentation(ImageSize::SMALL)),
+        39.0,
+        0.03
+    ));
+    assert!(within(
+        acc.speedup_over_gpu(&gpu, &Workload::motion(ImageSize::SMALL)),
+        84.0,
+        0.03
+    ));
+}

@@ -1,0 +1,90 @@
+//! Integration tests of the §7 prototype experiments against the paper's
+//! reported accuracy bands, plus the harness renderings.
+
+use mogs_bench::experiments::{fig7, proto_ratio};
+use mogs_proto::experiments::{ratio_sweep, standard_targets};
+use mogs_proto::rig::{PrototypeRig, RigConfig};
+use mogs_proto::timing::PrototypeTiming;
+
+#[test]
+fn ratio_sweep_error_bands_match_section_7() {
+    let mut rig = PrototypeRig::default();
+    let points = ratio_sweep(&mut rig, &standard_targets(), 60_000, 42);
+    let mut low_band_max = 0.0f64;
+    let mut high_band_max = 0.0f64;
+    for p in &points {
+        if p.target <= 30.0 {
+            low_band_max = low_band_max.max(p.relative_error);
+        } else {
+            high_band_max = high_band_max.max(p.relative_error);
+        }
+    }
+    // "within 10% when the ratio is below 30, and 24% for higher ratios"
+    // (we allow the emulation a little slack over the paper's 24%).
+    assert!(low_band_max < 0.10, "low-band max error {low_band_max}");
+    assert!(high_band_max < 0.35, "high-band max error {high_band_max}");
+    assert!(
+        high_band_max > low_band_max,
+        "high ratios must be harder: {high_band_max} vs {low_band_max}"
+    );
+}
+
+#[test]
+fn ratio_sweep_renders_for_the_harness() {
+    let points = proto_ratio::run(10_000, 1);
+    let text = proto_ratio::render(&points);
+    assert!(text.contains("target ratio"));
+    assert!(text.lines().count() > 10);
+}
+
+#[test]
+fn figure7_demo_round_trips_through_pgm() {
+    let dir = std::env::temp_dir().join("mogs_fig7_test");
+    let result = fig7::run(Some(&dir), 7).expect("fig7 run");
+    assert!(result.accuracy > 0.85, "accuracy {}", result.accuracy);
+    // Both PGMs exist and parse back to the same dimensions.
+    for name in ["fig7_input.pgm", "fig7_sample.pgm"] {
+        let file = std::fs::File::open(dir.join(name)).expect("pgm written");
+        let img = mogs_vision::image::GrayImage::read_pgm(std::io::BufReader::new(file))
+            .expect("pgm parses");
+        assert_eq!((img.width(), img.height()), (50, 67));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn better_bench_components_tighten_the_error() {
+    // With a finer dark floor and tighter calibration the high-ratio error
+    // should shrink — the "finer characterization and control ... could
+    // further improve the accuracy" sentence of §7.
+    let coarse = {
+        let mut rig = PrototypeRig::default();
+        ratio_sweep(&mut rig, &[100.0, 150.0, 255.0], 120_000, 9)
+    };
+    let fine = {
+        let mut rig = PrototypeRig::new(RigConfig {
+            dark_fraction: 1e-5,
+            calibration_sigma: 0.002,
+            ..RigConfig::default()
+        });
+        ratio_sweep(&mut rig, &[100.0, 150.0, 255.0], 120_000, 9)
+    };
+    let mean_err = |points: &[mogs_proto::experiments::RatioPoint]| {
+        points.iter().map(|p| p.relative_error).sum::<f64>() / points.len() as f64
+    };
+    assert!(
+        mean_err(&fine) < mean_err(&coarse),
+        "fine {} vs coarse {}",
+        mean_err(&fine),
+        mean_err(&coarse)
+    );
+}
+
+#[test]
+fn prototype_performance_is_interface_dominated() {
+    // §7: sampling ≤ ~2 µs/pixel but 60 s/image-iteration through the
+    // proprietary controller — the prototype proves function, not speed.
+    let t = PrototypeTiming::default();
+    let sampling_total = 50.0 * 67.0 * 2e-6;
+    assert!(t.iteration_seconds(50 * 67) > 1000.0 * sampling_total);
+}

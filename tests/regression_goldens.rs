@@ -1,0 +1,108 @@
+//! Golden-value regression tests: every deterministic model output the
+//! harness reports is pinned here to its exact current value, so an
+//! accidental change to a calibration constant, kernel cost, or latency
+//! formula fails loudly instead of silently shifting EXPERIMENTS.md.
+//!
+//! (Statistical outputs — anything drawn through an RNG — are covered by
+//! tolerance tests elsewhere; these goldens are exact.)
+
+use mogs_arch::accel_sim::{AccelSim, AccelSimConfig};
+use mogs_arch::accelerator::Accelerator;
+use mogs_arch::gpu::GpuModel;
+use mogs_arch::kernel::{work_per_pixel_update, KernelVariant};
+use mogs_arch::workload::{ImageSize, VisionApp, Workload};
+use mogs_core::area::AreaModel;
+use mogs_core::power::{PowerModel, TechNode};
+use mogs_core::stream::{naive_stream, pipelined_stream};
+use mogs_core::variants::RsuVariant;
+
+fn assert_golden(got: f64, golden: f64, what: &str) {
+    assert!(
+        (got - golden).abs() <= 1e-9 * golden.abs().max(1.0),
+        "{what}: {got} drifted from golden {golden}"
+    );
+}
+
+#[test]
+fn kernel_work_goldens() {
+    let cases = [
+        (VisionApp::Segmentation, KernelVariant::Baseline, 280.0),
+        (VisionApp::Segmentation, KernelVariant::OptimizedSingleton, 230.0),
+        (VisionApp::Segmentation, KernelVariant::rsu(1), 90.0),
+        (VisionApp::Segmentation, KernelVariant::rsu(4), 86.25),
+        (VisionApp::MotionEstimation, KernelVariant::Baseline, 4264.0),
+        (VisionApp::MotionEstimation, KernelVariant::OptimizedSingleton, 2010.0),
+        (VisionApp::MotionEstimation, KernelVariant::rsu(1), 281.0),
+        (VisionApp::MotionEstimation, KernelVariant::rsu(4), 134.0),
+    ];
+    for (app, variant, golden) in cases {
+        assert_golden(
+            work_per_pixel_update(app, variant),
+            golden,
+            &format!("work({app:?}, {})", variant.name()),
+        );
+    }
+}
+
+#[test]
+fn table2_model_cell_goldens() {
+    let gpu = GpuModel::calibrated();
+    let cases = [
+        (Workload::segmentation(ImageSize::SMALL), KernelVariant::rsu(1), 0.09642857142857143),
+        (Workload::segmentation(ImageSize::HD), KernelVariant::rsu(1), 1.0285714285714285),
+        (Workload::motion(ImageSize::SMALL), KernelVariant::rsu(1), 0.036_245_309_568_480_3),
+        (Workload::motion(ImageSize::HD), KernelVariant::rsu(1), 0.472_507_035_647_279_6),
+        (Workload::motion(ImageSize::HD), KernelVariant::rsu(4), 0.22532363977485928),
+    ];
+    for (w, variant, golden) in cases {
+        assert_golden(
+            gpu.execution_time(&w, variant),
+            golden,
+            &format!("t({}, {}, {})", w.app.name(), w.size.label(), variant.name()),
+        );
+    }
+}
+
+#[test]
+fn accelerator_goldens() {
+    let acc = Accelerator::paper_design();
+    assert_eq!(acc.units_required(), 336);
+    assert_golden(
+        acc.execution_time(&Workload::segmentation(ImageSize::HD)),
+        0.15428571428571428,
+        "accel seg HD",
+    );
+    assert_golden(
+        acc.execution_time(&Workload::motion(ImageSize::HD)),
+        0.13330285714285714,
+        "accel motion HD",
+    );
+}
+
+#[test]
+fn power_area_goldens() {
+    assert_golden(PowerModel::new(TechNode::N45).rsu_g1().total_mw(), 11.28, "power 45nm");
+    assert_golden(PowerModel::new(TechNode::N15).rsu_g1().total_mw(), 3.91, "power 15nm");
+    assert_golden(PowerModel::new(TechNode::N15).system_watts(3072), 12.01152, "GPU watts");
+    assert_golden(AreaModel::new(TechNode::N45).rsu_g1().total_um2(), 5673.0, "area 45nm");
+    assert_golden(AreaModel::new(TechNode::N15).rsu_g1().total_um2(), 2898.0, "area 15nm");
+}
+
+#[test]
+fn latency_goldens() {
+    assert_eq!(RsuVariant::g1().latency_cycles(5), 11);
+    assert_eq!(RsuVariant::g1().latency_cycles(49), 55);
+    assert_eq!(RsuVariant::g4().latency_cycles(49), 20);
+    assert_eq!(RsuVariant::g64().latency_cycles(64), 12);
+    assert_eq!(pipelined_stream(RsuVariant::g1(), 49, 1000).total_cycles, 58 + 999 * 49);
+    assert_eq!(naive_stream(RsuVariant::g1(), 49, 1000).total_cycles, 1000 * 58);
+}
+
+#[test]
+fn accel_sim_goldens() {
+    let sim = AccelSim::new(AccelSimConfig::paper_design());
+    let seg = sim.estimate(&Workload::segmentation(ImageSize::HD));
+    let motion = sim.estimate(&Workload::motion(ImageSize::HD));
+    assert_eq!(seg.cycles, 154_400_000);
+    assert_eq!(motion.cycles, 133_303_200);
+}

@@ -1,0 +1,113 @@
+//! End-to-end optical-substrate integration: DNA-scaffold assembly →
+//! Förster-rate CTMC → RET circuit → first-to-fire Gibbs draw, validated
+//! against the exact softmax distribution.
+
+use mogs_gibbs::SoftmaxGibbs;
+use mogs_ret::circuit::{Fidelity, RetCircuit, RetCircuitConfig, SpadConfig};
+use mogs_ret::exponential::first_to_fire_with;
+use mogs_ret::geometry::DnaScaffold;
+use mogs_ret::network::RetNetwork;
+use mogs_ret::samplers::CategoricalSampler;
+use mogs_ret::wearout::EnsembleWearout;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A Gibbs conditional drawn through a *physics-fidelity* RET circuit
+/// (Poisson excitation, exciton Gillespie walks, SPAD) must still track
+/// the softmax target — the complete optical story of the paper in one
+/// assertion.
+#[test]
+fn physics_circuit_draws_gibbs_conditionals() {
+    let energies = [0.0, 10.0, 25.0];
+    let t8 = 18.0;
+    let expect = SoftmaxGibbs::probabilities(&energies, t8);
+    let mut circuit = RetCircuit::new(RetCircuitConfig {
+        fidelity: Fidelity::Physics,
+        window_ns: 1e4,
+        spad: SpadConfig { dark_rate_per_ns: 0.0, ..SpadConfig::default() },
+        ..RetCircuitConfig::default()
+    });
+    // Rates proportional to the Boltzmann weights, scaled into the
+    // circuit's reachable range.
+    let scale = circuit.effective_rate(15);
+    let rates: Vec<f64> = energies.iter().map(|e| scale * (-e / t8).exp()).collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    let n = 8_000;
+    let mut counts = [0usize; 3];
+    for _ in 0..n {
+        let (i, _) = first_to_fire_with(&mut circuit, &rates, &mut rng).expect("some fire");
+        counts[i] += 1;
+    }
+    for (m, c) in counts.iter().enumerate() {
+        let p = *c as f64 / n as f64;
+        // The 4-bit DAC bridge quantizes the rates, so allow a wider band
+        // than the ideal sampler tests use.
+        assert!((p - expect[m]).abs() < 0.08, "label {m}: {p} vs {}", expect[m]);
+    }
+}
+
+/// A circuit built from a DNA-scaffold assembly behaves like the
+/// hand-placed donor→acceptor network.
+#[test]
+fn scaffold_assembled_circuit_works() {
+    let scaffold = DnaScaffold::new(1, 8);
+    let network = scaffold.donor_acceptor_pair(1).expect("assembly fits");
+    let mut circuit = RetCircuit::new(RetCircuitConfig {
+        network,
+        ..RetCircuitConfig::default()
+    });
+    circuit.set_intensity_code(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 5_000;
+    let hits = (0..n).filter(|_| circuit.sample_ttf(&mut rng).is_some()).count();
+    assert!(hits > n * 9 / 10, "assembled circuit rarely fires: {hits}/{n}");
+}
+
+/// Wear-out closes the loop: as excitations accumulate, the ensemble's
+/// alive fraction drops and the circuit's effective rate falls with it.
+#[test]
+fn wearout_feeds_back_into_circuit_rates() {
+    let wearout = EnsembleWearout::new(64, 1e4, 1.0); // short-lived dyes
+    let mut circuit = RetCircuit::new(RetCircuitConfig::default());
+    circuit.set_intensity_code(15);
+    let fresh_rate = circuit.effective_rate(15);
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..20_000 {
+        let _ = circuit.sample_ttf(&mut rng);
+    }
+    let fraction = wearout.alive_fraction(circuit.excitations_delivered());
+    assert!(fraction < 1.0, "heavy use must age the ensemble");
+    circuit.set_alive_fraction(fraction);
+    assert!(circuit.effective_rate(15) < fresh_rate);
+}
+
+/// The categorical composition backed by the ideal sampler reproduces a
+/// known discrete distribution — the generic-RSU sampling claim of §2.3.
+#[test]
+fn categorical_composition_end_to_end() {
+    let mut sampler = CategoricalSampler::new(vec![4.0, 2.0, 1.0, 1.0]);
+    let expect = sampler.probabilities();
+    let mut rng = StdRng::seed_from_u64(4);
+    let n = 40_000;
+    let mut counts = [0usize; 4];
+    for _ in 0..n {
+        counts[sampler.sample(&mut rng)] += 1;
+    }
+    for (m, c) in counts.iter().enumerate() {
+        let p = *c as f64 / n as f64;
+        assert!((p - expect[m]).abs() < 0.01, "outcome {m}: {p} vs {}", expect[m]);
+    }
+}
+
+/// Phase-type analytics agree with circuit-level sampling for the
+/// donor→acceptor workhorse network.
+#[test]
+fn phase_type_matches_circuit_statistics() {
+    let network = RetNetwork::donor_acceptor(4.0);
+    let emission = network.emission_probabilities(0).expect("node 0");
+    // The acceptor should dominate emission at 4 nm; the circuit's
+    // detection probability per excitation reflects it.
+    assert!(emission.per_node[1] > emission.per_node[0]);
+    let mean_t = network.mean_emission_time(0).expect("emits");
+    assert!(mean_t > 0.0 && mean_t < 5.0, "mean emission time {mean_t} ns");
+}

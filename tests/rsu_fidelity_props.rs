@@ -1,0 +1,183 @@
+//! Property-based fidelity tests: the first-to-fire principle and the
+//! RSU-G quantization chain, over randomized inputs.
+
+use mogs_core::energy_unit::{EnergyUnit, EnergyUnitConfig};
+use mogs_core::intensity::IntensityMap;
+use mogs_core::rsu_g::{RsuG, RsuGConfig, SiteInputs};
+use mogs_core::variants::RsuVariant;
+use mogs_gibbs::{LabelSampler, SoftmaxGibbs};
+use mogs_mrf::label::LabelKind;
+use mogs_mrf::precision::{saturating_energy_sum, EnergyQuantizer};
+use mogs_mrf::{Label, LabelSpace};
+use mogs_ret::exponential::first_to_fire;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// P(argmin Exp(λᵢ) = k) = λₖ/Σλ — checked as a strong-law bound over
+    /// 20k trials for arbitrary positive rate vectors.
+    #[test]
+    fn first_to_fire_matches_normalized_rates(
+        rates in prop::collection::vec(0.05f64..5.0, 2..6),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 20_000;
+        let mut counts = vec![0usize; rates.len()];
+        for _ in 0..n {
+            counts[first_to_fire(&rates, &mut rng).unwrap()] += 1;
+        }
+        let total: f64 = rates.iter().sum();
+        for (i, c) in counts.iter().enumerate() {
+            let p = *c as f64 / n as f64;
+            let expect = rates[i] / total;
+            prop_assert!((p - expect).abs() < 0.03,
+                "label {}: {} vs {}", i, p, expect);
+        }
+    }
+
+    /// The hardware energy datapath agrees with the model-level label
+    /// distance for every label pair and both interpretations.
+    #[test]
+    fn energy_unit_matches_label_space(a in 0u8..64, b in 0u8..64) {
+        let scalar_unit = EnergyUnit::new(EnergyUnitConfig {
+            kind: LabelKind::Scalar,
+            doubleton_shift: 0,
+            singleton_shift: 0,
+        });
+        let scalar_space = LabelSpace::scalar(64);
+        prop_assert_eq!(
+            scalar_unit.doubleton(a, b),
+            scalar_space.distance_sq(Label::new(a), Label::new(b))
+        );
+        let vector_unit = EnergyUnit::new(EnergyUnitConfig {
+            kind: LabelKind::Vector2,
+            doubleton_shift: 0,
+            singleton_shift: 0,
+        });
+        let vector_space = LabelSpace::window(8, 8);
+        prop_assert_eq!(
+            vector_unit.doubleton(a, b),
+            vector_space.distance_sq(Label::new(a), Label::new(b))
+        );
+    }
+
+    /// The 8-bit saturating sum never wraps and never exceeds 255.
+    #[test]
+    fn saturating_sum_never_wraps(terms in prop::collection::vec(0u8..=255, 0..8)) {
+        let s = saturating_energy_sum(&terms);
+        let exact: u32 = terms.iter().map(|&t| u32::from(t)).sum();
+        if exact <= 255 {
+            prop_assert_eq!(u32::from(s), exact);
+        } else {
+            prop_assert_eq!(s, 255);
+        }
+    }
+
+    /// The RSU-G always returns an in-range label and the documented
+    /// latency, whatever the inputs.
+    #[test]
+    fn rsu_g_is_total(
+        labels in 1u8..=64,
+        data1 in 0u8..64,
+        neighbor in 0u8..64,
+        seed in 0u64..1000,
+    ) {
+        let mut rsu = RsuG::new(RsuGConfig::for_labels(labels, 24.0));
+        let inputs = SiteInputs {
+            neighbors: [Some(neighbor), None, Some(neighbor), None],
+            data1,
+            data2: vec![data1],
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = rsu.sample_site(&inputs, &mut rng);
+        prop_assert!(s.label.value() < labels);
+        prop_assert_eq!(s.cycles, RsuVariant::g1().latency_cycles(labels));
+    }
+
+    /// The intensity map is monotone non-increasing for any temperature,
+    /// and pack/unpack is the identity.
+    #[test]
+    fn intensity_map_invariants(t8 in 0.5f64..200.0) {
+        let map = IntensityMap::boltzmann(t8);
+        let mut last = u8::MAX;
+        for e in 0..=255u8 {
+            let c = map.lookup(e);
+            prop_assert!(c <= 15);
+            prop_assert!(c <= last);
+            last = c;
+        }
+        prop_assert_eq!(IntensityMap::unpack(&map.pack()), map);
+    }
+
+    /// The RSU-G sampler adapter is shift- and scale-consistent: shifting
+    /// all model energies by a constant leaves its intensity codes
+    /// unchanged.
+    #[test]
+    fn sampler_codes_shift_invariant(
+        energies in prop::collection::vec(0.0f64..100.0, 2..8),
+        shift in -50.0f64..50.0,
+    ) {
+        let sampler = mogs_core::rsu_g::RsuGSampler::new(EnergyQuantizer::new(2.0), 8.0);
+        let shifted: Vec<f64> = energies.iter().map(|e| e + shift).collect();
+        prop_assert_eq!(sampler.codes(&energies), sampler.codes(&shifted));
+    }
+}
+
+/// Statistical (non-proptest) check: the full RSU-G chain tracks the exact
+/// Gibbs conditional within quantization error on a fixed stress vector.
+#[test]
+fn rsu_chain_tracks_gibbs_distribution() {
+    let t8 = 24.0;
+    let mut rsu = RsuG::new(RsuGConfig::for_labels(4, t8));
+    let inputs = SiteInputs {
+        neighbors: [Some(0), Some(1), Some(2), Some(3)],
+        data1: 10,
+        data2: vec![10, 14, 18, 26],
+    };
+    let energies: Vec<f64> = rsu.energies(&inputs).iter().map(|&e| f64::from(e)).collect();
+    let expect = SoftmaxGibbs::probabilities(&energies, t8);
+    let mut rng = StdRng::seed_from_u64(77);
+    let n = 60_000;
+    let mut counts = [0usize; 4];
+    for _ in 0..n {
+        counts[usize::from(rsu.sample_site(&inputs, &mut rng).label.value())] += 1;
+    }
+    for (m, c) in counts.iter().enumerate() {
+        let p = *c as f64 / n as f64;
+        assert!((p - expect[m]).abs() < 0.06, "label {m}: {p} vs {}", expect[m]);
+    }
+}
+
+/// The sampler adapter and the bit-level unit agree on which label is most
+/// likely for equivalent inputs.
+#[test]
+fn adapter_and_unit_prefer_the_same_mode() {
+    let t8 = 24.0;
+    let rsu = RsuG::new(RsuGConfig::for_labels(5, t8));
+    let inputs = SiteInputs {
+        neighbors: [Some(2), Some(2), Some(2), Some(2)],
+        data1: 20,
+        data2: vec![6, 19, 32, 44, 57],
+    };
+    let energies: Vec<f64> = rsu.energies(&inputs).iter().map(|&e| f64::from(e)).collect();
+    let unit_mode = rsu
+        .ideal_win_probabilities(&inputs)
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap();
+    let mut sampler = mogs_core::rsu_g::RsuGSampler::new(EnergyQuantizer::new(1.0), t8);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut counts = [0usize; 5];
+    for _ in 0..20_000 {
+        let l = sampler.sample_label(&energies, t8, Label::new(0), &mut rng);
+        counts[usize::from(l.value())] += 1;
+    }
+    let adapter_mode = counts.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap();
+    assert_eq!(unit_mode, adapter_mode);
+}
