@@ -245,7 +245,10 @@ mod tests {
             ..AccelSimConfig::paper_design()
         });
         let report = fat_dram.estimate(&Workload::motion(ImageSize::HD));
-        assert!(report.unit_utilization > 0.9, "unit array should bind with fat DRAM");
+        assert!(
+            report.unit_utilization > 0.9,
+            "unit array should bind with fat DRAM"
+        );
     }
 
     #[test]
@@ -256,7 +259,10 @@ mod tests {
         let app = Segmentation::new(scene.image.clone(), config);
         let sim = AccelSim::new(AccelSimConfig::paper_design());
         let (result, report) = sim.simulate(app.mrf(), 5.0, t, 30, 1);
-        assert!(result.energy_trace[29] < result.energy_trace[0], "energy must fall");
+        assert!(
+            result.energy_trace[29] < result.energy_trace[0],
+            "energy must fall"
+        );
         let accuracy = mogs_vision::metrics::label_accuracy(&result.labels, &scene.truth);
         assert!(accuracy > 0.8, "accelerator labeling accuracy {accuracy}");
         assert!(report.cycles > 0);
@@ -291,6 +297,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "need at least one unit")]
     fn zero_units_rejected() {
-        AccelSim::new(AccelSimConfig { units: 0, ..AccelSimConfig::paper_design() });
+        AccelSim::new(AccelSimConfig {
+            units: 0,
+            ..AccelSimConfig::paper_design()
+        });
     }
 }

@@ -39,7 +39,11 @@ pub struct Accelerator {
 impl Accelerator {
     /// The paper's design point: 336 GB/s, 1 GHz, 1 B/unit/cycle.
     pub fn paper_design() -> Self {
-        Accelerator { bandwidth: 336e9, frequency: 1e9, bytes_per_unit_per_cycle: 1.0 }
+        Accelerator {
+            bandwidth: 336e9,
+            frequency: 1e9,
+            bytes_per_unit_per_cycle: 1.0,
+        }
     }
 
     /// Execution time (seconds) of a workload — purely bandwidth-bound.
@@ -94,7 +98,12 @@ mod tests {
         for (w, paper) in cases {
             let s = acc.speedup_over_gpu(&gpu, &w);
             let rel = (s - paper).abs() / paper;
-            assert!(rel < 0.03, "{} {}: {s:.1} vs paper {paper}", w.app.name(), w.size.label());
+            assert!(
+                rel < 0.03,
+                "{} {}: {s:.1} vs paper {paper}",
+                w.app.name(),
+                w.size.label()
+            );
         }
     }
 
@@ -112,7 +121,10 @@ mod tests {
     #[test]
     fn execution_time_scales_inversely_with_bandwidth() {
         let base = Accelerator::paper_design();
-        let double = Accelerator { bandwidth: 2.0 * base.bandwidth, ..base };
+        let double = Accelerator {
+            bandwidth: 2.0 * base.bandwidth,
+            ..base
+        };
         let w = Workload::motion(ImageSize::HD);
         assert!((base.execution_time(&w) / double.execution_time(&w) - 2.0).abs() < 1e-12);
         // And the unit count scales linearly with bandwidth (§8.2).

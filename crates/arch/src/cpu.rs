@@ -46,7 +46,10 @@ pub struct CpuModel {
 impl CpuModel {
     /// The paper's E5-2640 point.
     pub fn e5_2640() -> Self {
-        CpuModel { frequency: 2.5e9, costs: CpuCosts::default() }
+        CpuModel {
+            frequency: 2.5e9,
+            costs: CpuCosts::default(),
+        }
     }
 
     /// Cycles per pixel update for the sequential baseline.
@@ -101,16 +104,17 @@ mod tests {
     #[test]
     fn stereo_speedup_also_exceeds_100() {
         let cpu = CpuModel::e5_2640();
-        let w = Workload { app: VisionApp::StereoVision, size: ImageSize::SMALL };
+        let w = Workload {
+            app: VisionApp::StereoVision,
+            size: ImageSize::SMALL,
+        };
         assert!(cpu.rsu_speedup(&w) > 100.0);
     }
 
     #[test]
     fn baseline_cycles_scale_with_labels() {
         let cpu = CpuModel::e5_2640();
-        assert!(
-            cpu.baseline_cycles_per_update(49) > 2.0 * cpu.baseline_cycles_per_update(5)
-        );
+        assert!(cpu.baseline_cycles_per_update(49) > 2.0 * cpu.baseline_cycles_per_update(5));
     }
 
     #[test]

@@ -63,16 +63,26 @@ impl EnergyModel {
             _ => 0.0,
         };
         let watts = GPU_BOARD_WATTS + rsu_watts;
-        RunEnergy { watts, seconds, joules: watts * seconds }
+        RunEnergy {
+            watts,
+            seconds,
+            joules: watts * seconds,
+        }
     }
 
     /// Energy of a run on the discrete accelerator.
     pub fn accelerator_run(&self, workload: &Workload) -> RunEnergy {
         let seconds = self.accelerator.execution_time(workload);
-        let watts = self.rsu_power.system_watts(self.accelerator.units_required())
+        let watts = self
+            .rsu_power
+            .system_watts(self.accelerator.units_required())
             + ACCEL_DRAM_WATTS
             + ACCEL_CONTROL_WATTS;
-        RunEnergy { watts, seconds, joules: watts * seconds }
+        RunEnergy {
+            watts,
+            seconds,
+            joules: watts * seconds,
+        }
     }
 
     /// Energy-efficiency gain of `variant` over the baseline GPU kernel.

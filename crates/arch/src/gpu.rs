@@ -65,7 +65,10 @@ impl GpuModel {
                 (app, size, w.pixel_updates() * work / seconds)
             })
             .collect();
-        GpuModel { throughput, effective_bandwidth: PEAK_BANDWIDTH * BANDWIDTH_EFFICIENCY }
+        GpuModel {
+            throughput,
+            effective_bandwidth: PEAK_BANDWIDTH * BANDWIDTH_EFFICIENCY,
+        }
     }
 
     /// Effective throughput for a workload, in work units per second.
@@ -140,7 +143,12 @@ mod tests {
         let gpu = GpuModel::calibrated();
         for (app, size, seconds) in PAPER_BASELINE_SECONDS {
             let t = gpu.execution_time(&Workload { app, size }, KernelVariant::Baseline);
-            assert!((t - seconds).abs() < 1e-9, "{} {}", app.name(), size.label());
+            assert!(
+                (t - seconds).abs() < 1e-9,
+                "{} {}",
+                app.name(),
+                size.label()
+            );
         }
     }
 
@@ -155,7 +163,12 @@ mod tests {
         ];
         for (w, paper) in cases {
             let t = gpu.execution_time(&w, KernelVariant::OptimizedSingleton);
-            assert_close(t, paper, 0.12, &format!("opt {} {}", w.app.name(), w.size.label()));
+            assert_close(
+                t,
+                paper,
+                0.12,
+                &format!("opt {} {}", w.app.name(), w.size.label()),
+            );
         }
     }
 
@@ -170,7 +183,12 @@ mod tests {
         ];
         for (w, paper) in cases {
             let t = gpu.execution_time(&w, KernelVariant::rsu(1));
-            assert_close(t, paper, 0.15, &format!("RSU-G1 {} {}", w.app.name(), w.size.label()));
+            assert_close(
+                t,
+                paper,
+                0.15,
+                &format!("RSU-G1 {} {}", w.app.name(), w.size.label()),
+            );
         }
     }
 
@@ -185,7 +203,12 @@ mod tests {
         ];
         for (w, paper) in cases {
             let t = gpu.execution_time(&w, KernelVariant::rsu(4));
-            assert_close(t, paper, 0.15, &format!("RSU-G4 {} {}", w.app.name(), w.size.label()));
+            assert_close(
+                t,
+                paper,
+                0.15,
+                &format!("RSU-G4 {} {}", w.app.name(), w.size.label()),
+            );
         }
     }
 

@@ -124,7 +124,10 @@ mod tests {
             230.0
         );
         assert_eq!(
-            work_per_pixel_update(VisionApp::MotionEstimation, KernelVariant::OptimizedSingleton),
+            work_per_pixel_update(
+                VisionApp::MotionEstimation,
+                KernelVariant::OptimizedSingleton
+            ),
             2010.0
         );
     }

@@ -26,7 +26,11 @@ pub struct SmLimits {
 impl Default for SmLimits {
     fn default() -> Self {
         // GM200 (GTX Titan X): 64K registers, 64 resident warps.
-        SmLimits { registers_per_sm: 65_536, max_warps: 64, warp_size: 32 }
+        SmLimits {
+            registers_per_sm: 65_536,
+            max_warps: 64,
+            warp_size: 32,
+        }
     }
 }
 
@@ -102,14 +106,21 @@ mod tests {
     fn motion_baseline_is_register_starved() {
         // 56 regs/thread × 32 = 1792 regs/warp → 36 warps of 64: the
         // occupancy loss the paper's secondary-effects remark points at.
-        let o = occupancy(&SmLimits::default(), VisionApp::MotionEstimation, KernelVariant::Baseline);
+        let o = occupancy(
+            &SmLimits::default(),
+            VisionApp::MotionEstimation,
+            KernelVariant::Baseline,
+        );
         assert!(o.fraction < 0.6, "baseline motion occupancy {}", o.fraction);
     }
 
     #[test]
     fn rsu_occupancy_hides_both_workloads_latency() {
         let limits = SmLimits::default();
-        for (app, m) in [(VisionApp::Segmentation, 5u8), (VisionApp::MotionEstimation, 49)] {
+        for (app, m) in [
+            (VisionApp::Segmentation, 5u8),
+            (VisionApp::MotionEstimation, 49),
+        ] {
             let o = occupancy(&limits, app, KernelVariant::rsu(1));
             assert!(
                 rsu_latency_hidden(o.resident_warps, m),
@@ -121,7 +132,10 @@ mod tests {
 
     #[test]
     fn occupancy_is_monotone_in_register_budget() {
-        let small = SmLimits { registers_per_sm: 32_768, ..SmLimits::default() };
+        let small = SmLimits {
+            registers_per_sm: 32_768,
+            ..SmLimits::default()
+        };
         let large = SmLimits::default();
         let o_small = occupancy(&small, VisionApp::Segmentation, KernelVariant::Baseline);
         let o_large = occupancy(&large, VisionApp::Segmentation, KernelVariant::Baseline);

@@ -26,7 +26,10 @@ pub fn bandwidth_sweep(workload: &Workload, bandwidths: &[f64]) -> Vec<Bandwidth
     bandwidths
         .iter()
         .map(|&bandwidth| {
-            let acc = Accelerator { bandwidth, ..Accelerator::paper_design() };
+            let acc = Accelerator {
+                bandwidth,
+                ..Accelerator::paper_design()
+            };
             BandwidthPoint {
                 bandwidth,
                 units: acc.units_required(),
@@ -58,7 +61,10 @@ impl StagedAccelerator {
             (0.0..1.0).contains(&on_chip_fraction),
             "staging fraction must be in [0, 1)"
         );
-        StagedAccelerator { base, on_chip_fraction }
+        StagedAccelerator {
+            base,
+            on_chip_fraction,
+        }
     }
 
     /// The label traffic an iteration-stationary tiling can keep on chip:

@@ -73,8 +73,7 @@ pub fn figure8(gpu: &GpuModel) -> Vec<Figure8Row> {
                     size,
                     rsu_width: width,
                     over_gpu: gpu.execution_time(&w, KernelVariant::Baseline) / rsu,
-                    over_opt_gpu: gpu.execution_time(&w, KernelVariant::OptimizedSingleton)
-                        / rsu,
+                    over_opt_gpu: gpu.execution_time(&w, KernelVariant::OptimizedSingleton) / rsu,
                 });
             }
         }
@@ -112,29 +111,31 @@ mod tests {
         let seg_small = rows
             .iter()
             .find(|r| {
-                r.app == VisionApp::Segmentation
-                    && r.size == ImageSize::SMALL
-                    && r.rsu_width == 1
+                r.app == VisionApp::Segmentation && r.size == ImageSize::SMALL && r.rsu_width == 1
             })
             .unwrap();
-        assert!((seg_small.over_gpu - 3.2).abs() < 0.4, "{}", seg_small.over_gpu);
+        assert!(
+            (seg_small.over_gpu - 3.2).abs() < 0.4,
+            "{}",
+            seg_small.over_gpu
+        );
         // RSU-G1 motion HD ≈ 16 over GPU.
         let motion_hd = rows
             .iter()
             .find(|r| {
-                r.app == VisionApp::MotionEstimation
-                    && r.size == ImageSize::HD
-                    && r.rsu_width == 1
+                r.app == VisionApp::MotionEstimation && r.size == ImageSize::HD && r.rsu_width == 1
             })
             .unwrap();
-        assert!((motion_hd.over_gpu - 16.0).abs() < 2.0, "{}", motion_hd.over_gpu);
+        assert!(
+            (motion_hd.over_gpu - 16.0).abs() < 2.0,
+            "{}",
+            motion_hd.over_gpu
+        );
         // RSU-G4 motion HD ≈ 34 over GPU.
         let g4_hd = rows
             .iter()
             .find(|r| {
-                r.app == VisionApp::MotionEstimation
-                    && r.size == ImageSize::HD
-                    && r.rsu_width == 4
+                r.app == VisionApp::MotionEstimation && r.size == ImageSize::HD && r.rsu_width == 4
             })
             .unwrap();
         assert!((g4_hd.over_gpu - 34.0).abs() < 4.0, "{}", g4_hd.over_gpu);

@@ -11,10 +11,16 @@ pub struct ImageSize {
 
 impl ImageSize {
     /// The paper's small test size: 320×320.
-    pub const SMALL: ImageSize = ImageSize { width: 320, height: 320 };
+    pub const SMALL: ImageSize = ImageSize {
+        width: 320,
+        height: 320,
+    };
 
     /// The paper's HD test size: 1080×1920.
-    pub const HD: ImageSize = ImageSize { width: 1920, height: 1080 };
+    pub const HD: ImageSize = ImageSize {
+        width: 1920,
+        height: 1080,
+    };
 
     /// Total pixel count.
     pub fn pixels(&self) -> usize {
@@ -89,12 +95,18 @@ pub struct Workload {
 impl Workload {
     /// Segmentation at the given size.
     pub fn segmentation(size: ImageSize) -> Self {
-        Workload { app: VisionApp::Segmentation, size }
+        Workload {
+            app: VisionApp::Segmentation,
+            size,
+        }
     }
 
     /// Motion estimation at the given size.
     pub fn motion(size: ImageSize) -> Self {
-        Workload { app: VisionApp::MotionEstimation, size }
+        Workload {
+            app: VisionApp::MotionEstimation,
+            size,
+        }
     }
 
     /// Total pixel updates over the whole run.

@@ -1,0 +1,88 @@
+//! Criterion bench: the persistent engine vs repeated one-shot
+//! `checkerboard_sweep` calls (the ISSUE acceptance experiment, scaled to
+//! a 320×320 `M = 5` segmentation with 8 chunks).
+//!
+//! Both paths run the same sweep budget from the same seed and produce
+//! bit-identical labelings (asserted once outside the timing loops); the
+//! engine's advantage is purely the invariant work it does not redo:
+//! per-sweep thread spawns, per-phase labeling snapshots, and per-visit
+//! neighbour recomputation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mogs_engine::{Engine, EngineConfig};
+use mogs_gibbs::sweep::{checkerboard_sweep_with_scratch, SweepScratch};
+use mogs_gibbs::SoftmaxGibbs;
+use mogs_vision::segmentation::{Segmentation, SegmentationConfig};
+use mogs_vision::synthetic;
+use std::hint::black_box;
+
+const SIDE: usize = 320;
+const SWEEPS: usize = 4;
+const THREADS: usize = 8;
+const SEED: u64 = 2016;
+
+fn sweep_seed(seed: u64, iteration: usize) -> u64 {
+    seed.wrapping_add((iteration as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+fn reference_run(app: &Segmentation) -> Vec<mogs_mrf::Label> {
+    let mrf = app.mrf();
+    let sampler = SoftmaxGibbs::new();
+    let mut labels = mrf.uniform_labeling();
+    let mut scratch = SweepScratch::new();
+    for iteration in 0..SWEEPS {
+        checkerboard_sweep_with_scratch(
+            mrf,
+            &mut labels,
+            &sampler,
+            mrf.temperature(),
+            THREADS,
+            sweep_seed(SEED, iteration),
+            &mut scratch,
+        );
+    }
+    labels
+}
+
+fn engine_run(app: &Segmentation, engine: &Engine) -> Vec<mogs_mrf::Label> {
+    let job = app
+        .engine_job(SoftmaxGibbs::new(), SWEEPS, SEED)
+        .tracking_modes(false)
+        .recording_energy(false)
+        .with_threads(THREADS);
+    engine.submit(job).expect("engine running").wait().labels
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let scene = synthetic::region_scene(SIDE, SIDE, 5, 6.0, SEED);
+    let app = Segmentation::new(
+        scene.image,
+        SegmentationConfig {
+            threads: THREADS,
+            ..SegmentationConfig::default()
+        },
+    );
+    let engine = Engine::new(EngineConfig::default());
+
+    // The acceptance contract: same seed + chunk count ⇒ same labeling.
+    assert_eq!(
+        engine_run(&app, &engine),
+        reference_run(&app),
+        "engine must stay bit-identical to the reference sweep"
+    );
+
+    let mut group = c.benchmark_group("engine_throughput_320x320_m5");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((SIDE * SIDE * SWEEPS) as u64));
+    group.bench_function("checkerboard_sweep_reference", |b| {
+        b.iter(|| black_box(reference_run(&app)[0]))
+    });
+    group.bench_function("engine", |b| {
+        b.iter(|| black_box(engine_run(&app, &engine)[0]))
+    });
+    group.finish();
+    engine.shutdown();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

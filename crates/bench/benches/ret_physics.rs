@@ -39,8 +39,10 @@ fn bench_circuit_fidelity(c: &mut Criterion) {
     let mut group = c.benchmark_group("circuit_ttf");
     let mut rng = StdRng::seed_from_u64(3);
     for (name, fidelity) in [("ideal", Fidelity::Ideal), ("physics", Fidelity::Physics)] {
-        let mut circuit =
-            RetCircuit::new(RetCircuitConfig { fidelity, ..RetCircuitConfig::default() });
+        let mut circuit = RetCircuit::new(RetCircuitConfig {
+            fidelity,
+            ..RetCircuitConfig::default()
+        });
         circuit.set_intensity_code(10);
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
             b.iter(|| black_box(circuit.sample_ttf(&mut rng)))
@@ -49,5 +51,10 @@ fn bench_circuit_fidelity(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gillespie, bench_phase_type, bench_circuit_fidelity);
+criterion_group!(
+    benches,
+    bench_gillespie,
+    bench_phase_type,
+    bench_circuit_fidelity
+);
 criterion_main!(benches);

@@ -42,15 +42,21 @@ fn bench_first_to_fire(c: &mut Criterion) {
 fn bench_pipeline_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_simulation");
     for replicas in [1u32, 4] {
-        let config = PipelineConfig { replicas_per_lane: replicas, ..PipelineConfig::default() };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(replicas),
-            &replicas,
-            |b, _| b.iter(|| black_box(simulate_site(&config, 64))),
-        );
+        let config = PipelineConfig {
+            replicas_per_lane: replicas,
+            ..PipelineConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(replicas), &replicas, |b, _| {
+            b.iter(|| black_box(simulate_site(&config, 64)))
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_sample_site, bench_first_to_fire, bench_pipeline_sim);
+criterion_group!(
+    benches,
+    bench_sample_site,
+    bench_first_to_fire,
+    bench_pipeline_sim
+);
 criterion_main!(benches);

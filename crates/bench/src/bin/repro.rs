@@ -23,16 +23,17 @@
 //! | `restore` | A7: image restoration quality |
 //! | `converge` | A8: multi-chain R-hat + cycle-level accelerator sim |
 //! | `anneal` | A9: temperature-schedule ablation |
+//! | `engine-bench` | A10: persistent engine vs one-shot sweep throughput |
 
 use mogs_bench::experiments::{
-    ablation, anneal, convergence, energy, fig7, paper_tables, proto_ratio, quality, restore,
-    table1, wearout,
+    ablation, anneal, convergence, energy, engine_bench, fig7, paper_tables, proto_ratio, quality,
+    restore, table1, wearout,
 };
 use mogs_bench::report::render_table;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const EXPERIMENTS: [&str; 17] = [
+const EXPERIMENTS: [&str; 18] = [
     "table1",
     "table2",
     "table3",
@@ -50,6 +51,7 @@ const EXPERIMENTS: [&str; 17] = [
     "restore",
     "converge",
     "anneal",
+    "engine-bench",
 ];
 
 fn main() -> ExitCode {
@@ -108,9 +110,7 @@ fn run(experiment: &str, out_dir: Option<&Path>) -> Result<(), String> {
                     ]
                 })
                 .collect();
-            println!(
-                "Table 1: cycles to sample (this machine, converted at 2.5 GHz nominal)\n"
-            );
+            println!("Table 1: cycles to sample (this machine, converted at 2.5 GHz nominal)\n");
             println!(
                 "{}",
                 render_table(
@@ -167,6 +167,10 @@ fn run(experiment: &str, out_dir: Option<&Path>) -> Result<(), String> {
         "anneal" => {
             let rows = anneal::run(80, 7);
             emit(anneal::render(&rows))?;
+        }
+        "engine-bench" => {
+            let result = engine_bench::run(320, 12, 2016);
+            emit(engine_bench::render(&result))?;
         }
         other => return Err(format!("unknown experiment '{other}'")),
     }

@@ -35,7 +35,11 @@ pub fn precision_sweep(
     for intensity_bits in [2u8, 3, 4, 5, 6] {
         for ttf_bits in [4u8, 6, 8, 10, 12] {
             let tv = tv_for_budget(energies, t8, intensity_bits, ttf_bits, samples, seed);
-            out.push(PrecisionPoint { intensity_bits, ttf_bits, tv_distance: tv });
+            out.push(PrecisionPoint {
+                intensity_bits,
+                ttf_bits,
+                tv_distance: tv,
+            });
         }
     }
     out
@@ -50,7 +54,10 @@ pub fn tv_for_budget(
     samples: usize,
     seed: u64,
 ) -> f64 {
-    assert!((1..=16).contains(&intensity_bits), "intensity bits in 1..=16");
+    assert!(
+        (1..=16).contains(&intensity_bits),
+        "intensity bits in 1..=16"
+    );
     assert!((1..=24).contains(&ttf_bits), "TTF bits in 1..=24");
     let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
     let levels = f64::from((1u32 << intensity_bits) - 1);
@@ -90,8 +97,7 @@ pub fn tv_for_budget(
         counts[winner] += 1;
     }
     let expect = SoftmaxGibbs::probabilities(energies, t8);
-    let empirical: Vec<f64> =
-        counts.iter().map(|&c| c as f64 / samples as f64).collect();
+    let empirical: Vec<f64> = counts.iter().map(|&c| c as f64 / samples as f64).collect();
     0.5 * expect
         .iter()
         .zip(&empirical)
@@ -115,7 +121,10 @@ pub fn render_precision(points: &[PrecisionPoint]) -> String {
         "A1: sampling fidelity vs quantization budget (paper design point: 4-bit \
          intensity, 8-bit TTF)\n\n",
     );
-    s.push_str(&render_table(&["intensity bits", "TTF bits", "TV distance"], &rows));
+    s.push_str(&render_table(
+        &["intensity bits", "TTF bits", "TV distance"],
+        &rows,
+    ));
     s
 }
 
@@ -123,19 +132,29 @@ pub fn render_precision(points: &[PrecisionPoint]) -> String {
 pub fn render_replicas() -> String {
     let mut rows = Vec::new();
     for replicas in 1..=8u32 {
-        let config = PipelineConfig { replicas_per_lane: replicas, ..PipelineConfig::default() };
+        let config = PipelineConfig {
+            replicas_per_lane: replicas,
+            ..PipelineConfig::default()
+        };
         let rate = sustained_cycles_per_label(&config, 256);
         rows.push(vec![
             replicas.to_string(),
             format!("{rate:.2}"),
-            if replicas >= 4 { "full rate".to_owned() } else { "stalled".to_owned() },
+            if replicas >= 4 {
+                "full rate".to_owned()
+            } else {
+                "stalled".to_owned()
+            },
         ]);
     }
     let mut s = String::from(
         "A2: sustained cycles per label evaluation vs RET-circuit replicas \
          (4-cycle quiescence; the paper replicates 4x)\n\n",
     );
-    s.push_str(&render_table(&["replicas", "cycles/label", "status"], &rows));
+    s.push_str(&render_table(
+        &["replicas", "cycles/label", "status"],
+        &rows,
+    ));
     s
 }
 
@@ -156,11 +175,17 @@ pub fn render_width_sweep() -> String {
             format!("{:.4}", area.variant(v).total_mm2()),
         ]);
     }
-    let mut s = String::from(
-        "A5: RSU-G width sweep at 15nm (latency per variable in cycles)\n\n",
-    );
+    let mut s = String::from("A5: RSU-G width sweep at 15nm (latency per variable in cycles)\n\n");
     s.push_str(&render_table(
-        &["variant", "M=5", "M=49", "M=64", "RET circuits", "power (mW)", "area (mm^2)"],
+        &[
+            "variant",
+            "M=5",
+            "M=49",
+            "M=64",
+            "RET circuits",
+            "power (mW)",
+            "area (mm^2)",
+        ],
         &rows,
     ));
     s

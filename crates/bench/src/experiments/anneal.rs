@@ -33,9 +33,21 @@ pub fn run(iterations: usize, seed: u64) -> Vec<AnnealRow> {
     let scene = synthetic::region_scene(32, 32, 5, 7.0, seed);
     let app = Segmentation::new(scene.image.clone(), SegmentationConfig::default());
     let schedules: [(&str, TemperatureSchedule, bool); 3] = [
-        ("constant T=4 (+ mode tracking)", TemperatureSchedule::constant(4.0), true),
-        ("geometric 4.0x0.93 floor 0.2", TemperatureSchedule::geometric(4.0, 0.93, 0.2), false),
-        ("logarithmic c=4", TemperatureSchedule::Logarithmic { c: 4.0 }, false),
+        (
+            "constant T=4 (+ mode tracking)",
+            TemperatureSchedule::constant(4.0),
+            true,
+        ),
+        (
+            "geometric 4.0x0.93 floor 0.2",
+            TemperatureSchedule::geometric(4.0, 0.93, 0.2),
+            false,
+        ),
+        (
+            "logarithmic c=4",
+            TemperatureSchedule::Logarithmic { c: 4.0 },
+            false,
+        ),
     ];
     schedules
         .into_iter()
@@ -75,10 +87,11 @@ pub fn render(rows: &[AnnealRow]) -> String {
             ]
         })
         .collect();
-    let mut s = String::from(
-        "A9: temperature schedules on the same segmentation posterior\n\n",
-    );
-    s.push_str(&render_table(&["schedule", "final energy", "accuracy"], &table));
+    let mut s = String::from("A9: temperature schedules on the same segmentation posterior\n\n");
+    s.push_str(&render_table(
+        &["schedule", "final energy", "accuracy"],
+        &table,
+    ));
     s
 }
 
@@ -89,8 +102,14 @@ mod tests {
     #[test]
     fn annealing_reaches_lower_energy_than_sampling() {
         let rows = run(80, 7);
-        let constant = rows.iter().find(|r| r.schedule.starts_with("constant")).unwrap();
-        let geometric = rows.iter().find(|r| r.schedule.starts_with("geometric")).unwrap();
+        let constant = rows
+            .iter()
+            .find(|r| r.schedule.starts_with("constant"))
+            .unwrap();
+        let geometric = rows
+            .iter()
+            .find(|r| r.schedule.starts_with("geometric"))
+            .unwrap();
         assert!(
             geometric.final_energy < constant.final_energy,
             "annealed {} vs sampled {}",
@@ -102,7 +121,12 @@ mod tests {
     #[test]
     fn all_schedules_reach_high_accuracy() {
         for row in run(80, 8) {
-            assert!(row.accuracy > 0.85, "{}: accuracy {}", row.schedule, row.accuracy);
+            assert!(
+                row.accuracy > 0.85,
+                "{}: accuracy {}",
+                row.schedule,
+                row.accuracy
+            );
         }
     }
 }

@@ -28,12 +28,14 @@ pub fn render_r_hat(seed: u64) -> String {
         rows.push(vec![
             iterations.to_string(),
             format!("{:.3}", result.r_hat),
-            if result.converged(1.1) { "converged".to_owned() } else { "mixing".to_owned() },
+            if result.converged(1.1) {
+                "converged".to_owned()
+            } else {
+                "mixing".to_owned()
+            },
         ]);
     }
-    let mut s = String::from(
-        "A8a: Gelman-Rubin R-hat over 4 independent segmentation chains\n\n",
-    );
+    let mut s = String::from("A8a: Gelman-Rubin R-hat over 4 independent segmentation chains\n\n");
     s.push_str(&render_table(&["iterations", "R-hat", "verdict"], &rows));
     s
 }
@@ -44,7 +46,10 @@ pub fn render_accel_sim() -> String {
     let sim = AccelSim::new(AccelSimConfig::paper_design());
     let bound = Accelerator::paper_design();
     let mut rows = Vec::new();
-    for w in [Workload::segmentation(ImageSize::HD), Workload::motion(ImageSize::HD)] {
+    for w in [
+        Workload::segmentation(ImageSize::HD),
+        Workload::motion(ImageSize::HD),
+    ] {
         let report = sim.estimate(&w);
         let analytic = bound.execution_time(&w);
         rows.push(vec![
@@ -52,14 +57,23 @@ pub fn render_accel_sim() -> String {
             format!("{:.4}", analytic),
             format!("{:.4}", report.seconds),
             format!("{:.1}%", 100.0 * (report.seconds / analytic - 1.0)),
-            if report.dram_utilization >= 0.5 { "DRAM".to_owned() } else { "units".to_owned() },
+            if report.dram_utilization >= 0.5 {
+                "DRAM".to_owned()
+            } else {
+                "units".to_owned()
+            },
         ]);
     }
-    let mut s = String::from(
-        "A8b: cycle-level accelerator simulation vs the analytic DRAM bound (HD)\n\n",
-    );
+    let mut s =
+        String::from("A8b: cycle-level accelerator simulation vs the analytic DRAM bound (HD)\n\n");
     s.push_str(&render_table(
-        &["application", "bound (s)", "simulated (s)", "overhead", "binding resource"],
+        &[
+            "application",
+            "bound (s)",
+            "simulated (s)",
+            "overhead",
+            "binding resource",
+        ],
         &rows,
     ));
     s
@@ -79,8 +93,9 @@ pub fn render_tempering(seed: u64) -> String {
         .prior(SmoothnessPrior::potts(2.0))
         .singleton(ZeroSingleton)
         .build();
-    let frustrated: Vec<Label> =
-        (0..mrf.grid().len()).map(|i| Label::new((i % 4) as u8)).collect();
+    let frustrated: Vec<Label> = (0..mrf.grid().len())
+        .map(|i| Label::new((i % 4) as u8))
+        .collect();
     let iterations = 50;
 
     let mut plain = frustrated.clone();
@@ -99,7 +114,11 @@ pub fn render_tempering(seed: u64) -> String {
     ladder.run(iterations);
 
     let rows = vec![
-        vec!["plain chain at T=0.4".to_owned(), format!("{plain_energy:.0}"), "-".to_owned()],
+        vec![
+            "plain chain at T=0.4".to_owned(),
+            format!("{plain_energy:.0}"),
+            "-".to_owned(),
+        ],
         vec![
             "tempered ladder (5 replicas, 0.4..4.0)".to_owned(),
             format!("{:.0}", ladder.coldest_energy()),
@@ -110,7 +129,10 @@ pub fn render_tempering(seed: u64) -> String {
         "A8c: parallel tempering on a frustrated 4-state Potts model \
          (50 iterations; lower final energy = better mixing)\n\n",
     );
-    s.push_str(&render_table(&["sampler", "final energy", "swap acceptance"], &rows));
+    s.push_str(&render_table(
+        &["sampler", "final energy", "swap acceptance"],
+        &rows,
+    ));
     s
 }
 
@@ -130,7 +152,9 @@ pub fn render_pyramid(seed: u64) -> String {
             flat.map_estimate.as_ref().unwrap_or(&flat.labels),
             &scene.truth,
         );
-        let schedule = PyramidSchedule { iterations: vec![20, 12, fine_iters] };
+        let schedule = PyramidSchedule {
+            iterations: vec![20, 12, fine_iters],
+        };
         let pyramid =
             segment_coarse_to_fine(&scene.image, &config, SoftmaxGibbs::new(), &schedule, seed);
         let pyr_acc = label_accuracy(

@@ -9,7 +9,10 @@ use mogs_arch::workload::{ImageSize, Workload};
 pub fn render() -> String {
     let model = EnergyModel::paper_design();
     let mut rows = Vec::new();
-    for w in [Workload::segmentation(ImageSize::HD), Workload::motion(ImageSize::HD)] {
+    for w in [
+        Workload::segmentation(ImageSize::HD),
+        Workload::motion(ImageSize::HD),
+    ] {
         for variant in [
             KernelVariant::Baseline,
             KernelVariant::OptimizedSingleton,
@@ -41,7 +44,14 @@ pub fn render() -> String {
          adds 12 W; accelerator = 336 units + DRAM + control)\n\n",
     );
     s.push_str(&render_table(
-        &["application", "system", "power (W)", "time (s)", "energy (J)", "gain"],
+        &[
+            "application",
+            "system",
+            "power (W)",
+            "time (s)",
+            "energy (J)",
+            "gain",
+        ],
         &rows,
     ));
     s

@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod anneal;
 pub mod convergence;
 pub mod energy;
+pub mod engine_bench;
 pub mod fig7;
 pub mod paper_tables;
 pub mod proto_ratio;

@@ -14,7 +14,14 @@ pub const PAPER_TABLE2: [(&str, &str, f64, f64, f64, f64); 4] = [
     ("image segmentation", "320x320", 0.3, 0.23, 0.09, 0.09),
     ("image segmentation", "1920x1080", 3.2, 2.6, 1.1, 1.1),
     ("dense motion estimation", "320x320", 0.55, 0.27, 0.04, 0.02),
-    ("dense motion estimation", "1920x1080", 7.17, 3.35, 0.45, 0.21),
+    (
+        "dense motion estimation",
+        "1920x1080",
+        7.17,
+        3.35,
+        0.45,
+        0.21,
+    ),
 ];
 
 /// Renders Table 2 with model vs paper cells.
@@ -31,9 +38,7 @@ pub fn render_table2() -> String {
             format!("{} ({})", fmt(row.rsu_g4), fmt(paper.5)),
         ]);
     }
-    let mut s = String::from(
-        "Table 2: application execution time in seconds — model (paper)\n\n",
-    );
+    let mut s = String::from("Table 2: application execution time in seconds — model (paper)\n\n");
     s.push_str(&render_table(
         &["application", "size", "GPU", "Opt GPU", "RSU-G1", "RSU-G4"],
         &out,
@@ -45,7 +50,10 @@ pub fn render_table2() -> String {
 /// figures.
 pub fn render_table3() -> String {
     let mut rows = Vec::new();
-    for (node, label) in [(TechNode::N45, "45nm (590MHz)"), (TechNode::N15, "15nm (1GHz)")] {
+    for (node, label) in [
+        (TechNode::N45, "45nm (590MHz)"),
+        (TechNode::N15, "15nm (1GHz)"),
+    ] {
         let p = PowerModel::new(node).rsu_g1();
         rows.push(vec![
             label.to_owned(),
@@ -57,7 +65,10 @@ pub fn render_table3() -> String {
     }
     let model15 = PowerModel::new(TechNode::N15);
     let mut s = String::from("Table 3: power for a single RSU-G1 (mW)\n\n");
-    s.push_str(&render_table(&["node", "logic", "RET circuit", "LUT", "total"], &rows));
+    s.push_str(&render_table(
+        &["node", "logic", "RET circuit", "LUT", "total"],
+        &rows,
+    ));
     s.push_str(&format!(
         "\nDerived: GPU with 3072 units: {:.1} W; accelerator with 336 units: {:.2} W\n",
         model15.system_watts(3072),
@@ -80,7 +91,10 @@ pub fn render_table4() -> String {
         ]);
     }
     let mut s = String::from("Table 4: area for a single RSU-G1 (um^2)\n\n");
-    s.push_str(&render_table(&["node", "logic", "RET circuit", "LUT", "total"], &rows));
+    s.push_str(&render_table(
+        &["node", "logic", "RET circuit", "LUT", "total"],
+        &rows,
+    ));
     s.push_str(&format!(
         "\nDerived: one RSU-G1 at 15nm: {:.4} mm^2 (optics {:.4}, CMOS {:.4})\n",
         AreaModel::new(TechNode::N15).rsu_g1().total_mm2(),
@@ -138,9 +152,7 @@ pub fn render_accelerator() -> String {
             format!("{:.1} ({})", acc.speedup_over_gpu(&gpu, &w), paper),
         ]);
     }
-    let mut s = String::from(
-        "Discrete accelerator (336 GB/s DRAM bound) — model (paper)\n\n",
-    );
+    let mut s = String::from("Discrete accelerator (336 GB/s DRAM bound) — model (paper)\n\n");
     s.push_str(&render_table(
         &["application", "size", "time (s)", "speedup over GPU"],
         &rows,

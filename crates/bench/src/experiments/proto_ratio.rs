@@ -15,7 +15,11 @@ pub fn render(points: &[RatioPoint]) -> String {
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
-            let band = if p.target <= 30.0 { "<=10% (paper)" } else { "~24% (paper)" };
+            let band = if p.target <= 30.0 {
+                "<=10% (paper)"
+            } else {
+                "~24% (paper)"
+            };
             vec![
                 format!("{:.0}", p.target),
                 format!("{:.1}", p.measured),

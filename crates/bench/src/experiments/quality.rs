@@ -129,7 +129,10 @@ impl<L: LabelSampler + Clone + Send + Sync> SamplerRun for L {
         seed: u64,
     ) -> (Vec<mogs_mrf::Label>, f64) {
         let r = app.run(self.clone(), iterations, seed);
-        (r.map_estimate.unwrap_or(r.labels), *r.energy_trace.last().unwrap())
+        (
+            r.map_estimate.unwrap_or(r.labels),
+            *r.energy_trace.last().unwrap(),
+        )
     }
     fn run_motion(
         &self,
@@ -138,7 +141,10 @@ impl<L: LabelSampler + Clone + Send + Sync> SamplerRun for L {
         seed: u64,
     ) -> (Vec<mogs_mrf::Label>, f64) {
         let r = app.run(self.clone(), iterations, seed);
-        (r.map_estimate.unwrap_or(r.labels), *r.energy_trace.last().unwrap())
+        (
+            r.map_estimate.unwrap_or(r.labels),
+            *r.energy_trace.last().unwrap(),
+        )
     }
     fn run_stereo(
         &self,
@@ -147,7 +153,10 @@ impl<L: LabelSampler + Clone + Send + Sync> SamplerRun for L {
         seed: u64,
     ) -> (Vec<mogs_mrf::Label>, f64) {
         let r = app.run(self.clone(), iterations, seed);
-        (r.map_estimate.unwrap_or(r.labels), *r.energy_trace.last().unwrap())
+        (
+            r.map_estimate.unwrap_or(r.labels),
+            *r.energy_trace.last().unwrap(),
+        )
     }
 }
 
@@ -173,7 +182,10 @@ pub fn render(cells: &[QualityCell]) -> String {
         "A3: solution quality by sampler (RSU-G runs the full hardware \
          quantization chain)\n\n",
     );
-    s.push_str(&render_table(&["application", "sampler", "quality", "final energy"], &rows));
+    s.push_str(&render_table(
+        &["application", "sampler", "quality", "final energy"],
+        &rows,
+    ));
     s
 }
 
@@ -207,7 +219,12 @@ mod tests {
                 .unwrap()
                 .quality
         };
-        assert!(epe("rsu-g") < epe("softmax-gibbs") + 0.5, "rsu {} gibbs {}", epe("rsu-g"), epe("softmax-gibbs"));
+        assert!(
+            epe("rsu-g") < epe("softmax-gibbs") + 0.5,
+            "rsu {} gibbs {}",
+            epe("rsu-g"),
+            epe("softmax-gibbs")
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub fn run(iterations: usize, seed: u64) -> Vec<RestoreRow> {
         ("truncated prior", RestorationConfig::default()),
         (
             "quadratic prior",
-            RestorationConfig { truncation: None, ..RestorationConfig::default() },
+            RestorationConfig {
+                truncation: None,
+                ..RestorationConfig::default()
+            },
         ),
     ];
     for (prior_name, config) in configs {
@@ -55,8 +58,11 @@ pub fn run(iterations: usize, seed: u64) -> Vec<RestoreRow> {
                 &app.labels_to_image(software.map_estimate.as_ref().unwrap()),
             ),
         });
-        let hardware =
-            app.run(RsuGSampler::new(EnergyQuantizer::new(8.0), t), iterations, seed);
+        let hardware = app.run(
+            RsuGSampler::new(EnergyQuantizer::new(8.0), t),
+            iterations,
+            seed,
+        );
         rows.push(RestoreRow {
             setup: format!("{prior_name} / rsu-g"),
             noisy_psnr,
@@ -111,7 +117,10 @@ mod tests {
     fn rsu_restoration_tracks_software() {
         let rows = run(40, 4);
         let get = |needle: &str| {
-            rows.iter().find(|r| r.setup.contains(needle)).unwrap().restored_psnr
+            rows.iter()
+                .find(|r| r.setup.contains(needle))
+                .unwrap()
+                .restored_psnr
         };
         let software = get("truncated prior / softmax");
         let hardware = get("truncated prior / rsu-g");

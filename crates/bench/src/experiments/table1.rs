@@ -98,8 +98,18 @@ mod tests {
         // The motivation for hardware sampling: tens-to-hundreds of cycles
         // per sample even for the cheapest distribution.
         for row in measure(200_000) {
-            assert!(row.cycles > 5.0, "{}: {} cycles", row.distribution, row.cycles);
-            assert!(row.cycles < 10_000.0, "{}: {} cycles", row.distribution, row.cycles);
+            assert!(
+                row.cycles > 5.0,
+                "{}: {} cycles",
+                row.distribution,
+                row.cycles
+            );
+            assert!(
+                row.cycles < 10_000.0,
+                "{}: {} cycles",
+                row.distribution,
+                row.cycles
+            );
         }
     }
 }

@@ -57,7 +57,10 @@ pub fn render(points: &[WearoutPoint]) -> String {
          ensemble drops below 80% photoactive (mean 1e6 excitations per \
          network)\n\n",
     );
-    s.push_str(&render_table(&["ensemble size", "encapsulation", "usable lifetime"], &rows));
+    s.push_str(&render_table(
+        &["ensemble size", "encapsulation", "usable lifetime"],
+        &rows,
+    ));
     s
 }
 

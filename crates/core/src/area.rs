@@ -58,8 +58,16 @@ impl AreaModel {
     pub fn rsu_g1(&self) -> AreaBreakdown {
         let ret_um2 = 4.0 * RET_CIRCUIT_AREA_UM2;
         match self.node {
-            TechNode::N45 => AreaBreakdown { logic_um2: 2275.0, ret_um2, lut_um2: 1798.0 },
-            TechNode::N15 => AreaBreakdown { logic_um2: 642.0, ret_um2, lut_um2: 656.0 },
+            TechNode::N45 => AreaBreakdown {
+                logic_um2: 2275.0,
+                ret_um2,
+                lut_um2: 1798.0,
+            },
+            TechNode::N15 => AreaBreakdown {
+                logic_um2: 642.0,
+                ret_um2,
+                lut_um2: 656.0,
+            },
         }
     }
 

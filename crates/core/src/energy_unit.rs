@@ -32,7 +32,11 @@ pub struct EnergyUnitConfig {
 
 impl Default for EnergyUnitConfig {
     fn default() -> Self {
-        EnergyUnitConfig { kind: LabelKind::Scalar, doubleton_shift: 0, singleton_shift: 4 }
+        EnergyUnitConfig {
+            kind: LabelKind::Scalar,
+            doubleton_shift: 0,
+            singleton_shift: 4,
+        }
     }
 }
 
@@ -100,13 +104,7 @@ impl EnergyUnit {
     ///
     /// Absent neighbours (image boundary) are passed as `None` and
     /// contribute zero, matching a hardware neighbour-valid mask.
-    pub fn energy(
-        &self,
-        label: u8,
-        neighbors: [Option<u8>; 4],
-        data1: u8,
-        data2: u8,
-    ) -> u8 {
+    pub fn energy(&self, label: u8, neighbors: [Option<u8>; 4], data1: u8, data2: u8) -> u8 {
         let mut acc: u16 = self.singleton(data1, data2).min(255);
         for n in neighbors.into_iter().flatten() {
             acc = (acc + self.doubleton(label, n)).min(255);

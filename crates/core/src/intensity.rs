@@ -59,7 +59,10 @@ impl IntensityMap {
     ///
     /// Panics if any entry exceeds 4 bits.
     pub fn from_entries(table: [u8; LUT_ENTRIES]) -> Self {
-        assert!(table.iter().all(|&c| c <= CODE_MAX), "entries must fit in 4 bits");
+        assert!(
+            table.iter().all(|&c| c <= CODE_MAX),
+            "entries must fit in 4 bits"
+        );
         IntensityMap { table }
     }
 

@@ -205,7 +205,10 @@ impl RsuDevice {
     ///
     /// Panics if `DATA2` was never written.
     pub fn start<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        assert!(!self.data2.is_empty(), "DATA2 must be written before starting");
+        assert!(
+            !self.data2.is_empty(),
+            "DATA2 must be written before starting"
+        );
         let inputs = SiteInputs {
             neighbors: self.neighbors,
             data1: self.data1,
@@ -222,7 +225,10 @@ impl RsuDevice {
     ///
     /// Panics if no evaluation was started.
     pub fn read_result(&mut self) -> (u8, u32) {
-        let sample = self.pending.take().expect("read_result without a started evaluation");
+        let sample = self
+            .pending
+            .take()
+            .expect("read_result without a started evaluation");
         (sample.label.value(), sample.cycles)
     }
 
@@ -276,12 +282,30 @@ mod tests {
     #[test]
     fn instruction_encoding_round_trips() {
         let all = [
-            RsuInstruction::Write { reg: ControlReg::MapTableHi, src: 0 },
-            RsuInstruction::Write { reg: ControlReg::MapTableLo, src: 31 },
-            RsuInstruction::Write { reg: ControlReg::DownCounter, src: 7 },
-            RsuInstruction::Write { reg: ControlReg::Neighbors, src: 12 },
-            RsuInstruction::Write { reg: ControlReg::SingletonA, src: 1 },
-            RsuInstruction::Write { reg: ControlReg::SingletonD, src: 2 },
+            RsuInstruction::Write {
+                reg: ControlReg::MapTableHi,
+                src: 0,
+            },
+            RsuInstruction::Write {
+                reg: ControlReg::MapTableLo,
+                src: 31,
+            },
+            RsuInstruction::Write {
+                reg: ControlReg::DownCounter,
+                src: 7,
+            },
+            RsuInstruction::Write {
+                reg: ControlReg::Neighbors,
+                src: 12,
+            },
+            RsuInstruction::Write {
+                reg: ControlReg::SingletonA,
+                src: 1,
+            },
+            RsuInstruction::Write {
+                reg: ControlReg::SingletonD,
+                src: 2,
+            },
             RsuInstruction::ReadResult { dst: 19 },
         ];
         for instr in all {
@@ -353,7 +377,10 @@ mod tests {
         d.write_singleton_d(vec![0]);
         d.start(&mut rng);
         let ctx = d.save_context();
-        assert!(!d.busy(), "in-flight evaluation dropped at the idempotent boundary");
+        assert!(
+            !d.busy(),
+            "in-flight evaluation dropped at the idempotent boundary"
+        );
         let mut other = device();
         other.load_down_counter(9);
         other.restore_context(ctx);

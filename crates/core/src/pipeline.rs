@@ -26,7 +26,12 @@ impl Default for PipelineConfig {
     fn default() -> Self {
         // The paper's RSU-G1 point: 1 lane, 4 replicas, 4-cycle quiescence,
         // 7-stage issue-to-result depth.
-        PipelineConfig { lanes: 1, replicas_per_lane: 4, quiescence_cycles: 4, depth: 7 }
+        PipelineConfig {
+            lanes: 1,
+            replicas_per_lane: 4,
+            quiescence_cycles: 4,
+            depth: 7,
+        }
     }
 }
 
@@ -48,8 +53,14 @@ pub struct SiteTiming {
 ///
 /// Panics if any configuration field is zero or `labels` is zero.
 pub fn simulate_site(config: &PipelineConfig, labels: u32) -> SiteTiming {
-    assert!(config.lanes > 0 && config.replicas_per_lane > 0, "hardware must exist");
-    assert!(config.quiescence_cycles > 0 && config.depth > 0, "timing must be positive");
+    assert!(
+        config.lanes > 0 && config.replicas_per_lane > 0,
+        "hardware must exist"
+    );
+    assert!(
+        config.quiescence_cycles > 0 && config.depth > 0,
+        "timing must be positive"
+    );
     assert!(labels > 0, "need at least one label");
 
     // Per-lane circuit free times; round-robin index per lane.
@@ -125,7 +136,10 @@ mod tests {
 
     #[test]
     fn single_circuit_stalls_to_quiescence_rate() {
-        let config = PipelineConfig { replicas_per_lane: 1, ..PipelineConfig::default() };
+        let config = PipelineConfig {
+            replicas_per_lane: 1,
+            ..PipelineConfig::default()
+        };
         let rate = sustained_cycles_per_label(&config, 64);
         // One circuit busy 4 cycles ⇒ one evaluation per 4 cycles.
         assert!((rate - 4.0).abs() < 0.1, "rate {rate}");
@@ -135,18 +149,27 @@ mod tests {
     fn replica_sweep_is_monotone() {
         let mut last = f64::INFINITY;
         for r in 1..=8u32 {
-            let config = PipelineConfig { replicas_per_lane: r, ..PipelineConfig::default() };
+            let config = PipelineConfig {
+                replicas_per_lane: r,
+                ..PipelineConfig::default()
+            };
             let rate = sustained_cycles_per_label(&config, 256);
             assert!(rate <= last + 1e-9, "replicas {r}: {rate} > {last}");
             last = rate;
         }
         // Beyond 4 replicas there is nothing left to gain.
         let at4 = sustained_cycles_per_label(
-            &PipelineConfig { replicas_per_lane: 4, ..PipelineConfig::default() },
+            &PipelineConfig {
+                replicas_per_lane: 4,
+                ..PipelineConfig::default()
+            },
             256,
         );
         let at8 = sustained_cycles_per_label(
-            &PipelineConfig { replicas_per_lane: 8, ..PipelineConfig::default() },
+            &PipelineConfig {
+                replicas_per_lane: 8,
+                ..PipelineConfig::default()
+            },
             256,
         );
         assert!((at4 - at8).abs() < 1e-9);
@@ -155,7 +178,10 @@ mod tests {
 
     #[test]
     fn multi_lane_divides_issue_steps() {
-        let config = PipelineConfig { lanes: 4, ..PipelineConfig::default() };
+        let config = PipelineConfig {
+            lanes: 4,
+            ..PipelineConfig::default()
+        };
         let t = simulate_site(&config, 48);
         assert_eq!(t.last_issue, 11); // 48 labels / 4 lanes = 12 issue cycles
         assert_eq!(t.stall_cycles, 0);
@@ -163,7 +189,10 @@ mod tests {
 
     #[test]
     fn two_replicas_halve_the_stall() {
-        let config = PipelineConfig { replicas_per_lane: 2, ..PipelineConfig::default() };
+        let config = PipelineConfig {
+            replicas_per_lane: 2,
+            ..PipelineConfig::default()
+        };
         let rate = sustained_cycles_per_label(&config, 128);
         assert!((rate - 2.0).abs() < 0.1, "rate {rate}");
     }
@@ -172,7 +201,10 @@ mod tests {
     #[should_panic(expected = "hardware must exist")]
     fn zero_lanes_rejected() {
         simulate_site(
-            &PipelineConfig { lanes: 0, ..PipelineConfig::default() },
+            &PipelineConfig {
+                lanes: 0,
+                ..PipelineConfig::default()
+            },
             4,
         );
     }

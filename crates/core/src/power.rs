@@ -66,8 +66,16 @@ impl PowerModel {
     /// Per-component power of a single RSU-G1 (paper Table 3).
     pub fn rsu_g1(&self) -> PowerBreakdown {
         match self.node {
-            TechNode::N45 => PowerBreakdown { logic_mw: 7.20, ret_mw: 0.16, lut_mw: 3.92 },
-            TechNode::N15 => PowerBreakdown { logic_mw: 2.33, ret_mw: 0.16, lut_mw: 1.42 },
+            TechNode::N45 => PowerBreakdown {
+                logic_mw: 7.20,
+                ret_mw: 0.16,
+                lut_mw: 3.92,
+            },
+            TechNode::N15 => PowerBreakdown {
+                logic_mw: 2.33,
+                ret_mw: 0.16,
+                lut_mw: 1.42,
+            },
         }
     }
 
@@ -99,9 +107,17 @@ mod tests {
     #[test]
     fn table3_totals_match_paper() {
         let p45 = PowerModel::new(TechNode::N45).rsu_g1();
-        assert!((p45.total_mw() - 11.28).abs() < 1e-9, "45 nm total {}", p45.total_mw());
+        assert!(
+            (p45.total_mw() - 11.28).abs() < 1e-9,
+            "45 nm total {}",
+            p45.total_mw()
+        );
         let p15 = PowerModel::new(TechNode::N15).rsu_g1();
-        assert!((p15.total_mw() - 3.91).abs() < 1e-9, "15 nm total {}", p15.total_mw());
+        assert!(
+            (p15.total_mw() - 3.91).abs() < 1e-9,
+            "15 nm total {}",
+            p15.total_mw()
+        );
     }
 
     #[test]

@@ -29,8 +29,11 @@ pub trait RetSample {
     type Observation;
 
     /// Performs one sampling operation.
-    fn sample<R: Rng + ?Sized>(&mut self, control: &Self::Control, rng: &mut R)
-        -> Self::Observation;
+    fn sample<R: Rng + ?Sized>(
+        &mut self,
+        control: &Self::Control,
+        rng: &mut R,
+    ) -> Self::Observation;
 }
 
 /// The CMOS back end: maps the raw observation to an application value.
@@ -93,7 +96,11 @@ where
 {
     /// Assembles an RSU from its three stages.
     pub fn new(parameterize: P, ret: S, map: M) -> Self {
-        Rsu { parameterize, ret, map }
+        Rsu {
+            parameterize,
+            ret,
+            map,
+        }
     }
 
     /// Runs one complete sampling operation.
@@ -134,7 +141,7 @@ mod tests {
         type Control = u32;
         type Observation = u32;
         fn sample<R: Rng + ?Sized>(&mut self, c: &u32, rng: &mut R) -> u32 {
-            c + rng.gen_range(0..3)
+            c + rng.gen_range(0..3u32)
         }
     }
 

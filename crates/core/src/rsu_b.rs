@@ -81,7 +81,13 @@ impl RsuB {
     /// An RSU-B with the default base rate.
     pub fn new() -> Self {
         RsuB {
-            inner: Rsu::new(ProbToCodes, BernoulliRace { base_rate_per_code: 0.04 }, WinnerToBit),
+            inner: Rsu::new(
+                ProbToCodes,
+                BernoulliRace {
+                    base_rate_per_code: 0.04,
+                },
+                WinnerToBit,
+            ),
         }
     }
 

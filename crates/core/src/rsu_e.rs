@@ -42,7 +42,9 @@ impl Parameterize for RateToCode {
     fn parameterize(&self, input: &u32) -> ExpControl {
         assert!(*input > 0, "rate must be positive");
         let requested_rate = f64::from(*input) / f64::from(FIXED_ONE);
-        let code = (requested_rate / self.base_rate_per_code).round().clamp(1.0, 15.0) as u8;
+        let code = (requested_rate / self.base_rate_per_code)
+            .round()
+            .clamp(1.0, 15.0) as u8;
         ExpControl {
             code,
             realized_rate: f64::from(code) * self.base_rate_per_code,
@@ -89,8 +91,8 @@ impl MapOutput for ScaleToRate {
             TtfReading::Ticks(t) => {
                 // An Exp(λ_real) sample scaled by λ_real/λ_req is an
                 // Exp(λ_req) sample.
-                let ns = f64::from(*t) * self.tick_ns * control.realized_rate
-                    / control.requested_rate;
+                let ns =
+                    f64::from(*t) * self.tick_ns * control.realized_rate / control.requested_rate;
                 (ns * f64::from(FIXED_ONE)).round() as u32
             }
         }
@@ -110,9 +112,13 @@ impl RsuE {
         let ttf = TtfRegister::at_1ghz();
         RsuE {
             inner: Rsu::new(
-                RateToCode { base_rate_per_code: 0.04 },
+                RateToCode {
+                    base_rate_per_code: 0.04,
+                },
                 ExpRetStage { ttf },
-                ScaleToRate { tick_ns: ttf.tick_ns() },
+                ScaleToRate {
+                    tick_ns: ttf.tick_ns(),
+                },
             ),
         }
     }
@@ -187,7 +193,9 @@ mod tests {
 
     #[test]
     fn extreme_rates_clamp_to_code_range() {
-        let stage = RateToCode { base_rate_per_code: 0.04 };
+        let stage = RateToCode {
+            base_rate_per_code: 0.04,
+        };
         assert_eq!(stage.parameterize(&1).code, 1); // tiny rate → code 1
         assert_eq!(stage.parameterize(&(100 * FIXED_ONE)).code, 15); // huge → 15
     }
@@ -199,7 +207,10 @@ mod tests {
         // At code-1 realized rate 0.04/ns over a 32 ns window, ~28% of
         // draws saturate; find one.
         let saturated = (0..200).any(|_| rsu.sample_f64(0.04, &mut rng).is_infinite());
-        assert!(saturated, "low rates must occasionally saturate the register");
+        assert!(
+            saturated,
+            "low rates must occasionally saturate the register"
+        );
     }
 
     #[test]

@@ -133,7 +133,10 @@ impl RsuG {
     /// Panics if the label count is outside `1..=64` or the base rate is
     /// not strictly positive and finite.
     pub fn new(config: RsuGConfig) -> Self {
-        assert!((1..=64).contains(&config.labels), "label count must be in 1..=64");
+        assert!(
+            (1..=64).contains(&config.labels),
+            "label count must be in 1..=64"
+        );
         assert!(
             config.base_rate_per_code.is_finite() && config.base_rate_per_code > 0.0,
             "base rate must be positive"
@@ -141,11 +144,13 @@ impl RsuG {
         let energy_unit = EnergyUnit::new(config.energy);
         let circuit = match &config.backend {
             RetBackend::Ideal => None,
-            RetBackend::Circuit(circuit_config) => {
-                Some(RetCircuit::new(circuit_config.clone()))
-            }
+            RetBackend::Circuit(circuit_config) => Some(RetCircuit::new(circuit_config.clone())),
         };
-        RsuG { config, energy_unit, circuit }
+        RsuG {
+            config,
+            energy_unit,
+            circuit,
+        }
     }
 
     /// The configuration.
@@ -176,7 +181,10 @@ impl RsuG {
 
     /// The intensity codes after the LUT (pipeline stage 3 output).
     pub fn intensity_codes(&self, inputs: &SiteInputs) -> Vec<u8> {
-        self.energies(inputs).iter().map(|&e| self.config.map.lookup(e)).collect()
+        self.energies(inputs)
+            .iter()
+            .map(|&e| self.config.map.lookup(e))
+            .collect()
     }
 
     /// Ideal (quantization-free) win probabilities implied by the intensity
@@ -353,7 +361,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn flat_inputs(m: u8) -> SiteInputs {
-        SiteInputs { neighbors: [Some(0); 4], data1: 0, data2: vec![0; usize::from(m)] }
+        SiteInputs {
+            neighbors: [Some(0); 4],
+            data1: 0,
+            data2: vec![0; usize::from(m)],
+        }
     }
 
     #[test]
@@ -403,7 +415,11 @@ mod tests {
             // 4-bit codes + 8-bit TTF (tick ties break toward lower
             // labels) leave a few percent of quantization error; the
             // distribution shape must still track Boltzmann.
-            assert!((p - expect[m]).abs() < 0.06, "label {m}: {p} vs {}", expect[m]);
+            assert!(
+                (p - expect[m]).abs() < 0.06,
+                "label {m}: {p} vs {}",
+                expect[m]
+            );
         }
     }
 
@@ -433,7 +449,11 @@ mod tests {
     #[test]
     fn broadcast_data2_is_accepted() {
         let mut rsu = RsuG::new(RsuGConfig::for_labels(4, 32.0));
-        let inputs = SiteInputs { neighbors: [None; 4], data1: 5, data2: vec![5] };
+        let inputs = SiteInputs {
+            neighbors: [None; 4],
+            data1: 5,
+            data2: vec![5],
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let s = rsu.sample_site(&inputs, &mut rng);
         assert!(s.label.value() < 4);
@@ -443,7 +463,11 @@ mod tests {
     #[should_panic(expected = "DATA2 stream")]
     fn wrong_data2_length_panics() {
         let mut rsu = RsuG::new(RsuGConfig::for_labels(4, 32.0));
-        let inputs = SiteInputs { neighbors: [None; 4], data1: 5, data2: vec![1, 2] };
+        let inputs = SiteInputs {
+            neighbors: [None; 4],
+            data1: 5,
+            data2: vec![1, 2],
+        };
         let mut rng = StdRng::seed_from_u64(3);
         rsu.sample_site(&inputs, &mut rng);
     }
@@ -460,7 +484,10 @@ mod tests {
         let mut ideal = RsuG::new(RsuGConfig::for_labels(3, t8));
         let mut physical = RsuG::new(RsuGConfig {
             backend: RetBackend::Circuit(RetCircuitConfig {
-                spad: SpadConfig { dark_rate_per_ns: 0.0, ..SpadConfig::default() },
+                spad: SpadConfig {
+                    dark_rate_per_ns: 0.0,
+                    ..SpadConfig::default()
+                },
                 ..RetCircuitConfig::default()
             }),
             ..RsuGConfig::for_labels(3, t8)
@@ -471,15 +498,17 @@ mod tests {
         let mut circuit_counts = [0usize; 3];
         for _ in 0..n {
             ideal_counts[usize::from(ideal.sample_site(&inputs, &mut rng).label.value())] += 1;
-            circuit_counts
-                [usize::from(physical.sample_site(&inputs, &mut rng).label.value())] += 1;
+            circuit_counts[usize::from(physical.sample_site(&inputs, &mut rng).label.value())] += 1;
         }
         // The circuit's code→rate curve is affine (exciton transit adds a
         // fixed delay), not purely proportional, so the circuit-backed
         // distribution follows the *effective* rates, slightly compressed
         // relative to the ideal code-proportional model.
         let probe = mogs_ret::circuit::RetCircuit::new(RetCircuitConfig {
-            spad: SpadConfig { dark_rate_per_ns: 0.0, ..SpadConfig::default() },
+            spad: SpadConfig {
+                dark_rate_per_ns: 0.0,
+                ..SpadConfig::default()
+            },
             ..RetCircuitConfig::default()
         });
         let codes = physical.intensity_codes(&inputs);
@@ -494,7 +523,10 @@ mod tests {
             );
             let pi = ideal_counts[m] as f64 / n as f64;
             // The compression vs the ideal backend is visible but bounded.
-            assert!((pi - pc).abs() < 0.15, "label {m}: ideal {pi} vs circuit {pc}");
+            assert!(
+                (pi - pc).abs() < 0.15,
+                "label {m}: ideal {pi} vs circuit {pc}"
+            );
         }
     }
 
@@ -513,7 +545,11 @@ mod tests {
         }
         for (m, c) in counts.iter().enumerate() {
             let p = *c as f64 / n as f64;
-            assert!((p - expect[m]).abs() < 0.06, "label {m}: {p} vs {}", expect[m]);
+            assert!(
+                (p - expect[m]).abs() < 0.06,
+                "label {m}: {p} vs {}",
+                expect[m]
+            );
         }
     }
 

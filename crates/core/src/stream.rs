@@ -53,7 +53,10 @@ pub fn naive_stream(variant: RsuVariant, m: u8, sites: u64) -> StreamTiming {
     assert!(sites > 0, "need at least one site");
     assert!(m > 0, "need at least one label");
     let per_site = variant.latency_cycles(m) + SITE_SETUP_SLOTS;
-    StreamTiming { total_cycles: sites * u64::from(per_site), interval_cycles: per_site }
+    StreamTiming {
+        total_cycles: sites * u64::from(per_site),
+        interval_cycles: per_site,
+    }
 }
 
 /// Speedup of the pipelined over the naive schedule for a long stream.
@@ -80,7 +83,10 @@ mod tests {
     #[test]
     fn first_sample_pays_full_latency() {
         let t = pipelined_stream(RsuVariant::g1(), 5, 1);
-        assert_eq!(t.total_cycles, u64::from(RsuVariant::g1().latency_cycles(5)) + 3);
+        assert_eq!(
+            t.total_cycles,
+            u64::from(RsuVariant::g1().latency_cycles(5)) + 3
+        );
     }
 
     #[test]

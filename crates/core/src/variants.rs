@@ -62,7 +62,10 @@ impl RsuVariant {
     /// `⌈log₂K⌉ − 1` selection-tree term.
     pub fn latency_cycles(&self, m: u8) -> u32 {
         let tree = if self.width > 1 {
-            u32::from(self.width).next_power_of_two().trailing_zeros().saturating_sub(1)
+            u32::from(self.width)
+                .next_power_of_two()
+                .trailing_zeros()
+                .saturating_sub(1)
         } else {
             0
         };
@@ -148,9 +151,7 @@ mod tests {
     fn overwide_units_pay_tree_latency() {
         // K = 16 for M = 5 has the same single issue step as K = 8 but a
         // deeper selection tree.
-        assert!(
-            RsuVariant::new(16).latency_cycles(5) > RsuVariant::new(8).latency_cycles(5)
-        );
+        assert!(RsuVariant::new(16).latency_cycles(5) > RsuVariant::new(8).latency_cycles(5));
     }
 
     #[test]

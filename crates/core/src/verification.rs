@@ -31,13 +31,37 @@ pub struct EnergyVector {
 /// singleton shift 4).
 pub const SCALAR_ENERGY_VECTORS: [EnergyVector; 8] = [
     // All-zero: zero energy.
-    EnergyVector { label: 0, neighbors: [Some(0); 4], data1: 0, data2: 0, expected: 0 },
+    EnergyVector {
+        label: 0,
+        neighbors: [Some(0); 4],
+        data1: 0,
+        data2: 0,
+        expected: 0,
+    },
     // Pure singleton: (63-0)² >> 4 = 248.
-    EnergyVector { label: 0, neighbors: [Some(0); 4], data1: 63, data2: 0, expected: 248 },
+    EnergyVector {
+        label: 0,
+        neighbors: [Some(0); 4],
+        data1: 63,
+        data2: 0,
+        expected: 248,
+    },
     // Pure doubletons: 4 × (7-0)² = 196.
-    EnergyVector { label: 0, neighbors: [Some(7); 4], data1: 0, data2: 0, expected: 196 },
+    EnergyVector {
+        label: 0,
+        neighbors: [Some(7); 4],
+        data1: 0,
+        data2: 0,
+        expected: 196,
+    },
     // Saturation: 248 + 196 clamps to 255.
-    EnergyVector { label: 0, neighbors: [Some(7); 4], data1: 63, data2: 0, expected: 255 },
+    EnergyVector {
+        label: 0,
+        neighbors: [Some(7); 4],
+        data1: 63,
+        data2: 0,
+        expected: 255,
+    },
     // Boundary mask: two valid neighbours only.
     EnergyVector {
         label: 0,
@@ -47,9 +71,21 @@ pub const SCALAR_ENERGY_VECTORS: [EnergyVector; 8] = [
         expected: 98,
     },
     // Scalar interpretation ignores the high 3 bits: 9 ⊕ 1 share low bits.
-    EnergyVector { label: 9, neighbors: [Some(1); 4], data1: 0, data2: 0, expected: 0 },
+    EnergyVector {
+        label: 9,
+        neighbors: [Some(1); 4],
+        data1: 0,
+        data2: 0,
+        expected: 0,
+    },
     // Mixed: singleton (20-10)²>>4 = 6, doubletons 4×(3-1)² = 16.
-    EnergyVector { label: 3, neighbors: [Some(1); 4], data1: 20, data2: 10, expected: 22 },
+    EnergyVector {
+        label: 3,
+        neighbors: [Some(1); 4],
+        data1: 20,
+        data2: 10,
+        expected: 22,
+    },
     // Asymmetric neighbours: (2-0)²+(2-4)²+(2-7)²+(2-2)² = 4+4+25+0 = 33.
     EnergyVector {
         label: 2,
@@ -103,13 +139,14 @@ pub fn check_energy_vectors() -> Option<EnergyVector> {
         kind: LabelKind::Vector2,
         ..EnergyUnitConfig::default()
     });
-    VECTOR_ENERGY_VECTORS.into_iter().find(|&v| vector.energy(v.label, v.neighbors, v.data1, v.data2) != v.expected)
+    VECTOR_ENERGY_VECTORS
+        .into_iter()
+        .find(|&v| vector.energy(v.label, v.neighbors, v.data1, v.data2) != v.expected)
 }
 
 /// Golden LUT spot checks for the Boltzmann map at t8 = 32:
 /// `(energy, expected 4-bit code)`.
-pub const LUT_VECTORS_T32: [(u8, u8); 6] =
-    [(0, 15), (8, 12), (16, 9), (32, 6), (64, 2), (128, 0)];
+pub const LUT_VECTORS_T32: [(u8, u8); 6] = [(0, 15), (8, 12), (16, 9), (32, 6), (64, 2), (128, 0)];
 
 /// Checks the LUT vectors.
 pub fn check_lut_vectors() -> Option<(u8, u8, u8)> {

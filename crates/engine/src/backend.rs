@@ -1,0 +1,200 @@
+//! Sampler backends: software softmax or an emulated RSU-G pool.
+//!
+//! The paper's accelerator exposes many physical RSU-G units; a site
+//! update can land on any of them. [`RsuPool`] models that sharing by
+//! round-robining consecutive draws over `K` replicated unit models, so
+//! unit-to-unit calibration spread (when the units are configured with
+//! different rigs) shows up in inference results the way a real multi-unit
+//! part would exhibit it. [`BackendSampler`] packages the runtime choice
+//! between the exact software sampler and the pool behind one type, which
+//! keeps job types uniform in code that selects the backend from
+//! configuration (`repro engine-bench`).
+
+use mogs_core::rsu_g::RsuGSampler;
+use mogs_gibbs::{LabelSampler, SoftmaxGibbs};
+use mogs_mrf::{EnergyQuantizer, Label};
+use rand::Rng;
+
+/// Round-robin pool of replicated sampling units.
+///
+/// Cloning resets the rotation to unit 0 — and the engine clones the
+/// sampler fresh for every (chunk, group) phase — so pooled draws are as
+/// deterministic as the underlying units.
+#[derive(Debug, Clone)]
+pub struct RsuPool<U> {
+    units: Vec<U>,
+    next: usize,
+}
+
+impl<U: LabelSampler> RsuPool<U> {
+    /// Builds a pool of `replicas` clones of `unit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn new(unit: U, replicas: usize) -> Self
+    where
+        U: Clone,
+    {
+        assert!(replicas > 0, "pool needs at least one unit");
+        RsuPool {
+            units: vec![unit; replicas],
+            next: 0,
+        }
+    }
+
+    /// Builds a pool from distinct units (e.g. per-unit calibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is empty.
+    pub fn from_units(units: Vec<U>) -> Self {
+        assert!(!units.is_empty(), "pool needs at least one unit");
+        RsuPool { units, next: 0 }
+    }
+
+    /// Number of units in the pool.
+    pub fn replicas(&self) -> usize {
+        self.units.len()
+    }
+}
+
+impl<U: LabelSampler> LabelSampler for RsuPool<U> {
+    fn sample_label<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        temperature: f64,
+        current: Label,
+        rng: &mut R,
+    ) -> Label {
+        let slot = self.next;
+        self.next = (self.next + 1) % self.units.len();
+        self.units[slot].sample_label(energies, temperature, current, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "rsu-pool"
+    }
+
+    fn conditional_probabilities(&self, energies: &[f64], temperature: f64) -> Option<Vec<f64>> {
+        // The unit that will serve the next draw speaks for the pool.
+        self.units[self.next].conditional_probabilities(energies, temperature)
+    }
+}
+
+/// Which sampler family a job should run on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backend {
+    /// Exact software Gibbs (softmax of the conditionals).
+    Softmax,
+    /// A pool of emulated RSU-G units sharing the site stream.
+    RsuG {
+        /// Units in the pool.
+        replicas: usize,
+    },
+}
+
+/// A runtime-selected sampler: one concrete type for either backend, so a
+/// single monomorphized job pipeline serves both.
+#[derive(Debug, Clone)]
+pub enum BackendSampler {
+    /// Exact software Gibbs.
+    Softmax(SoftmaxGibbs),
+    /// Emulated RSU-G pool.
+    RsuPool(RsuPool<RsuGSampler>),
+}
+
+impl BackendSampler {
+    /// Builds the sampler for `backend`.
+    ///
+    /// RSU-G units use the workspace's standard emulation setup (8.0
+    /// energy-quantizer range, the paper's `T` as the unit model
+    /// temperature), matching the reference experiments.
+    pub fn new(backend: Backend, temperature: f64) -> Self {
+        match backend {
+            Backend::Softmax => BackendSampler::Softmax(SoftmaxGibbs::new()),
+            Backend::RsuG { replicas } => BackendSampler::RsuPool(RsuPool::new(
+                RsuGSampler::new(EnergyQuantizer::new(8.0), temperature),
+                replicas,
+            )),
+        }
+    }
+}
+
+impl LabelSampler for BackendSampler {
+    fn sample_label<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        temperature: f64,
+        current: Label,
+        rng: &mut R,
+    ) -> Label {
+        match self {
+            BackendSampler::Softmax(s) => s.sample_label(energies, temperature, current, rng),
+            BackendSampler::RsuPool(s) => s.sample_label(energies, temperature, current, rng),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            BackendSampler::Softmax(s) => s.name(),
+            BackendSampler::RsuPool(s) => s.name(),
+        }
+    }
+
+    fn conditional_probabilities(&self, energies: &[f64], temperature: f64) -> Option<Vec<f64>> {
+        match self {
+            BackendSampler::Softmax(s) => s.conditional_probabilities(energies, temperature),
+            BackendSampler::RsuPool(s) => s.conditional_probabilities(energies, temperature),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pool_rotates_over_units_and_resets_on_clone() {
+        let mut pool = RsuPool::new(SoftmaxGibbs::new(), 3);
+        assert_eq!(pool.replicas(), 3);
+        let energies = [0.0, 5.0];
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..7 {
+            let _ = pool.sample_label(&energies, 1.0, Label::new(0), &mut rng);
+        }
+        assert_eq!(pool.next, 7 % 3);
+        let clone = pool.clone();
+        assert_eq!(clone.next, 7 % 3);
+        let fresh = RsuPool::from_units(pool.units.clone());
+        assert_eq!(fresh.next, 0);
+    }
+
+    #[test]
+    fn identical_units_make_the_pool_transparent() {
+        // A pool of identical deterministic-stream units must draw exactly
+        // what a single unit draws: rotation only matters when units
+        // differ.
+        let energies = [0.0, 2.0, 4.0];
+        let mut single = SoftmaxGibbs::new();
+        let mut pool = RsuPool::new(SoftmaxGibbs::new(), 4);
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let a = single.sample_label(&energies, 2.0, Label::new(0), &mut rng_a);
+            let b = pool.sample_label(&energies, 2.0, Label::new(0), &mut rng_b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn backend_sampler_selects_families() {
+        let soft = BackendSampler::new(Backend::Softmax, 4.0);
+        assert_eq!(soft.name(), "softmax-gibbs");
+        let pool = BackendSampler::new(Backend::RsuG { replicas: 4 }, 4.0);
+        assert_eq!(pool.name(), "rsu-pool");
+        assert!(soft.conditional_probabilities(&[0.0, 1.0], 1.0).is_some());
+    }
+}

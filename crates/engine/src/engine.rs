@@ -1,0 +1,477 @@
+//! The persistent engine: worker pool, scheduler, queue, and lifecycle.
+//!
+//! One [`Engine`] owns `workers` long-lived OS threads plus a scheduler
+//! thread, all started once at construction — submitting a job spawns
+//! nothing. Jobs flow through three channels:
+//!
+//! ```text
+//! submit() ──bounded──▶ scheduler ──unbounded──▶ workers
+//!                           ▲                       │
+//!                           └──────completions──────┘
+//! ```
+//!
+//! The scheduler owns all job bookkeeping: it admits jobs (at most
+//! `max_active_jobs` concurrently), decomposes each sweep into the field's
+//! conditionally independent group phases, fans every phase out as one
+//! task per chunk, and advances a job only when its phase fully drains —
+//! preserving the reference sweep's phase barriers and therefore its
+//! bit-exact results. Backpressure falls out of the bounded submission
+//! channel: once `queue_capacity` jobs wait and `max_active_jobs` run,
+//! [`Engine::submit`] blocks and [`Engine::try_submit`] returns the job
+//! back. Dropping (or [`Engine::shutdown`]-ing) the engine closes the
+//! queue, drains every admitted job, then joins all threads.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
+use mogs_gibbs::LabelSampler;
+use mogs_mrf::energy::SingletonPotential;
+
+use crate::job::{HandleShared, InferenceJob, JobHandle, JobId, JobOutput};
+use crate::metrics::{EngineMetrics, MetricsSnapshot};
+use crate::runner::{ErasedJob, TypedJob};
+
+/// Sizing of an [`Engine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// OS threads in the worker pool. Worker count affects wall-clock
+    /// speed only, never results: determinism is fixed by each job's own
+    /// `threads` (chunk) parameter.
+    pub workers: usize,
+    /// Jobs the submission queue holds before `submit` blocks.
+    pub queue_capacity: usize,
+    /// Jobs swept concurrently; the rest wait in the queue.
+    pub max_active_jobs: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        EngineConfig {
+            workers: cores,
+            queue_capacity: 16,
+            max_active_jobs: 4,
+        }
+    }
+}
+
+/// A job travelling from `submit` to the scheduler.
+struct Pending {
+    id: JobId,
+    job: Arc<dyn ErasedJob>,
+    shared: Arc<HandleShared>,
+}
+
+/// A job rejected by [`Engine::try_submit`], resubmittable without
+/// re-preparing its neighbour tables.
+pub struct PreparedJob {
+    pending: Pending,
+}
+
+impl PreparedJob {
+    /// The id the job will keep across resubmission.
+    pub fn id(&self) -> JobId {
+        self.pending.id
+    }
+}
+
+impl std::fmt::Debug for PreparedJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedJob")
+            .field("id", &self.pending.id)
+            .finish()
+    }
+}
+
+/// Why a non-blocking submission failed.
+#[derive(Debug)]
+pub enum TrySubmitError {
+    /// The queue is at capacity; the prepared job is handed back.
+    Full(PreparedJob),
+    /// The engine has shut down.
+    ShutDown,
+}
+
+/// Why a blocking submission failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The engine has shut down.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "engine has shut down")
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One chunk of one group phase, executed by a worker.
+struct Task {
+    id: JobId,
+    job: Arc<dyn ErasedJob>,
+    iteration: usize,
+    group: usize,
+    chunk: usize,
+}
+
+/// Worker → scheduler: one task finished.
+struct TaskDone {
+    id: JobId,
+}
+
+/// Scheduler-side state of an admitted job.
+struct ActiveJob {
+    id: JobId,
+    job: Arc<dyn ErasedJob>,
+    shared: Arc<HandleShared>,
+    iteration: usize,
+    group: usize,
+    /// Tasks of the current phase still running on workers.
+    outstanding: usize,
+    started: Instant,
+    iteration_started: Instant,
+}
+
+/// The persistent inference runtime.
+pub struct Engine {
+    submissions: Option<Sender<Pending>>,
+    scheduler: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Arc<EngineMetrics>,
+    next_id: std::sync::atomic::AtomicU64,
+}
+
+impl Engine {
+    /// Starts the worker pool and scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the config's sizes is zero.
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(
+            config.queue_capacity > 0,
+            "queue must hold at least one job"
+        );
+        assert!(
+            config.max_active_jobs > 0,
+            "need at least one active job slot"
+        );
+        let metrics = Arc::new(EngineMetrics::new());
+        let (sub_tx, sub_rx) = channel::bounded::<Pending>(config.queue_capacity);
+        let (task_tx, task_rx) = channel::unbounded::<Task>();
+        let (done_tx, done_rx) = channel::unbounded::<TaskDone>();
+        let workers = (0..config.workers)
+            .map(|_| {
+                let task_rx = task_rx.clone();
+                let done_tx = done_tx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(task) = task_rx.recv() {
+                        task.job.run_chunk(task.iteration, task.group, task.chunk);
+                        if done_tx.send(TaskDone { id: task.id }).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        // The scheduler owns its ends; the workers' clones above keep the
+        // task/done channels alive until everyone exits.
+        drop(task_rx);
+        drop(done_tx);
+        let scheduler = {
+            let metrics = Arc::clone(&metrics);
+            let max_active = config.max_active_jobs;
+            std::thread::spawn(move || {
+                scheduler_loop(sub_rx, task_tx, done_rx, metrics, max_active);
+            })
+        };
+        Engine {
+            submissions: Some(sub_tx),
+            scheduler: Some(scheduler),
+            workers,
+            metrics,
+            next_id: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Starts an engine with [`EngineConfig::default`] sizing.
+    pub fn with_default_config() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+
+    fn prepare<S, L>(&self, job: InferenceJob<S, L>) -> Pending
+    where
+        S: SingletonPotential + 'static,
+        L: LabelSampler + Clone + Send + Sync + 'static,
+    {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        Pending {
+            id,
+            job: Arc::new(TypedJob::new(job)),
+            shared: HandleShared::new(),
+        }
+    }
+
+    fn handle_for(pending: &Pending) -> JobHandle {
+        JobHandle {
+            id: pending.id,
+            shared: Arc::clone(&pending.shared),
+        }
+    }
+
+    /// Submits a job, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShutDown`] if the engine has stopped.
+    pub fn submit<S, L>(&self, job: InferenceJob<S, L>) -> Result<JobHandle, SubmitError>
+    where
+        S: SingletonPotential + 'static,
+        L: LabelSampler + Clone + Send + Sync + 'static,
+    {
+        let pending = self.prepare(job);
+        let handle = Engine::handle_for(&pending);
+        let sender = self.submissions.as_ref().ok_or(SubmitError::ShutDown)?;
+        sender.send(pending).map_err(|_| SubmitError::ShutDown)?;
+        self.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(handle)
+    }
+
+    /// Submits a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError::Full`] hands the prepared job back for a later
+    /// [`Engine::try_resubmit`]; [`TrySubmitError::ShutDown`] if the
+    /// engine has stopped.
+    pub fn try_submit<S, L>(&self, job: InferenceJob<S, L>) -> Result<JobHandle, TrySubmitError>
+    where
+        S: SingletonPotential + 'static,
+        L: LabelSampler + Clone + Send + Sync + 'static,
+    {
+        let pending = self.prepare(job);
+        self.try_send(pending)
+    }
+
+    /// Retries a job bounced by [`Engine::try_submit`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::try_submit`].
+    pub fn try_resubmit(&self, job: PreparedJob) -> Result<JobHandle, TrySubmitError> {
+        self.try_send(job.pending)
+    }
+
+    fn try_send(&self, pending: Pending) -> Result<JobHandle, TrySubmitError> {
+        let handle = Engine::handle_for(&pending);
+        let sender = self.submissions.as_ref().ok_or(TrySubmitError::ShutDown)?;
+        match sender.try_send(pending) {
+            Ok(()) => {
+                self.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(handle)
+            }
+            Err(TrySendError::Full(pending)) => {
+                self.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                Err(TrySubmitError::Full(PreparedJob { pending }))
+            }
+            Err(TrySendError::Disconnected(_)) => Err(TrySubmitError::ShutDown),
+        }
+    }
+
+    /// Live counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Closes the queue, drains every queued and running job, and joins
+    /// all threads. Cancel handles first to stop faster.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        // Closing the submission channel lets the scheduler drain and
+        // exit; dropping its task sender then stops the workers.
+        drop(self.submissions.take());
+        if let Some(scheduler) = self.scheduler.take() {
+            let _ = scheduler.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers.len())
+            .field("running", &self.submissions.is_some())
+            .finish()
+    }
+}
+
+/// The scheduler: admits jobs, fans out phases, advances on completions.
+fn scheduler_loop(
+    sub_rx: Receiver<Pending>,
+    task_tx: Sender<Task>,
+    done_rx: Receiver<TaskDone>,
+    metrics: Arc<EngineMetrics>,
+    max_active: usize,
+) {
+    let mut active: HashMap<JobId, ActiveJob> = HashMap::new();
+    let mut open = true;
+    loop {
+        // Admit while there is room, without blocking.
+        while open && active.len() < max_active {
+            match sub_rx.try_recv() {
+                Ok(pending) => admit(pending, &mut active, &task_tx, &metrics),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    open = false;
+                    break;
+                }
+            }
+        }
+        metrics
+            .queue_depth
+            .store(sub_rx.len() as u64, Ordering::Relaxed);
+        if active.is_empty() {
+            if !open {
+                return;
+            }
+            // Idle: block for the next submission.
+            match sub_rx.recv() {
+                Ok(pending) => admit(pending, &mut active, &task_tx, &metrics),
+                Err(_) => open = false,
+            }
+            continue;
+        }
+        // Busy: block for the next task completion.
+        match done_rx.recv() {
+            Ok(done) => {
+                let finished_phase = {
+                    let Some(entry) = active.get_mut(&done.id) else {
+                        continue;
+                    };
+                    entry.outstanding -= 1;
+                    entry.outstanding == 0
+                };
+                if finished_phase {
+                    let mut entry = active.remove(&done.id).expect("entry exists");
+                    entry.group += 1;
+                    if advance(&mut entry, &task_tx, &metrics) {
+                        finish(entry, &metrics);
+                    } else {
+                        active.insert(done.id, entry);
+                    }
+                }
+            }
+            // All workers died; nothing can make progress.
+            Err(_) => return,
+        }
+    }
+}
+
+/// Registers a new job and dispatches its first phase.
+fn admit(
+    pending: Pending,
+    active: &mut HashMap<JobId, ActiveJob>,
+    task_tx: &Sender<Task>,
+    metrics: &EngineMetrics,
+) {
+    let Pending { id, job, shared } = pending;
+    shared.set_running();
+    metrics.active_jobs.fetch_add(1, Ordering::Relaxed);
+    let now = Instant::now();
+    let mut entry = ActiveJob {
+        id,
+        job,
+        shared,
+        iteration: 0,
+        group: 0,
+        outstanding: 0,
+        started: now,
+        iteration_started: now,
+    };
+    if advance(&mut entry, task_tx, metrics) {
+        finish(entry, metrics);
+    } else {
+        active.insert(id, entry);
+    }
+}
+
+/// Drives a job forward from a phase boundary: closes out finished
+/// iterations, honours cancellation, and dispatches the next non-empty
+/// phase. Returns `true` when the job is done (completed or cancelled).
+fn advance(entry: &mut ActiveJob, task_tx: &Sender<Task>, metrics: &EngineMetrics) -> bool {
+    loop {
+        if entry.shared.cancel.load(Ordering::Acquire) {
+            return true;
+        }
+        if entry.group == entry.job.group_count() {
+            entry.job.end_iteration(entry.iteration);
+            metrics.sweeps_completed.fetch_add(1, Ordering::Relaxed);
+            metrics
+                .site_updates
+                .fetch_add(entry.job.site_count() as u64, Ordering::Relaxed);
+            metrics
+                .sweep_latency
+                .record(entry.iteration_started.elapsed());
+            entry.iteration += 1;
+            entry.group = 0;
+            entry.iteration_started = Instant::now();
+        }
+        if entry.iteration == entry.job.iterations() {
+            return true;
+        }
+        let chunks = entry.job.chunks_in_group(entry.group);
+        if chunks == 0 {
+            entry.group += 1;
+            continue;
+        }
+        for chunk in 0..chunks {
+            let task = Task {
+                id: entry.id,
+                job: Arc::clone(&entry.job),
+                iteration: entry.iteration,
+                group: entry.group,
+                chunk,
+            };
+            if task_tx.send(task).is_err() {
+                // Worker pool is gone; treat as cancellation.
+                entry.shared.cancel.store(true, Ordering::Release);
+                return true;
+            }
+        }
+        entry.outstanding = chunks;
+        return false;
+    }
+}
+
+/// Publishes a finished job's output and updates counters.
+fn finish(entry: ActiveJob, metrics: &EngineMetrics) {
+    let cancelled = entry.shared.cancel.load(Ordering::Acquire);
+    let output: JobOutput = entry.job.finalize(cancelled, entry.iteration);
+    metrics.active_jobs.fetch_sub(1, Ordering::Relaxed);
+    if cancelled {
+        metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    } else {
+        metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    }
+    metrics.job_wall_time.record(entry.started.elapsed());
+    entry.shared.finish(output);
+}

@@ -1,0 +1,336 @@
+//! Job descriptions, handles, and outputs.
+//!
+//! An [`InferenceJob`] bundles everything one MRF inference needs — the
+//! field, a sampler backend, an annealing schedule, an iteration budget,
+//! and a seed — so it can travel through the engine's bounded queue to the
+//! persistent worker pool. Submission returns a [`JobHandle`] for
+//! cancellation and result retrieval; completion yields a [`JobOutput`]
+//! convertible to the reference path's [`ChainResult`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mogs_gibbs::{ChainConfig, ChainResult, LabelSampler, TemperatureSchedule};
+use mogs_mrf::energy::SingletonPotential;
+use mogs_mrf::{Label, MarkovRandomField};
+use parking_lot::{Condvar, Mutex};
+
+/// One complete inference request.
+///
+/// The engine runs jobs with the *colored-sweep* update order: within each
+/// iteration the field's conditionally independent groups are swept one
+/// after another, each group split into `threads` site chunks with their
+/// own derived RNG stream. For the same `seed` and `threads`, the result
+/// is bit-identical to `mogs_gibbs::colored_sweep` (and to
+/// [`McmcChain`](mogs_gibbs::McmcChain) with `threads >= 2`) regardless of
+/// how many worker threads the engine actually has — `threads` here names
+/// the deterministic chunking, not OS-level parallelism.
+#[derive(Debug, Clone)]
+pub struct InferenceJob<S: SingletonPotential, L: LabelSampler> {
+    /// The field to sample.
+    pub mrf: MarkovRandomField<S>,
+    /// The sampler backend (software softmax, RSU-G pool, …), cloned
+    /// fresh for every (chunk, group) phase exactly like the reference.
+    pub sampler: L,
+    /// Temperature per iteration.
+    pub schedule: TemperatureSchedule,
+    /// Number of full sweeps to run.
+    pub iterations: usize,
+    /// Deterministic chunk count per group (the reference path's
+    /// `threads`). Must be at least 1.
+    pub threads: usize,
+    /// Base RNG seed; iteration and chunk streams derive from it.
+    pub seed: u64,
+    /// Iterations to discard before mode tracking.
+    pub burn_in: usize,
+    /// Accumulate per-site label histograms for a marginal MAP estimate.
+    pub track_modes: bool,
+    /// Record the total energy after every iteration.
+    pub record_energy: bool,
+    /// Starting labeling; defaults to the all-zero labeling like
+    /// `McmcChain::new`.
+    pub initial: Option<Vec<Label>>,
+}
+
+impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
+    /// Creates a job with chain-compatible defaults: the field's own
+    /// temperature held constant, 100 iterations, 2 chunks, seed 0,
+    /// no burn-in, no mode tracking, energy recording on.
+    pub fn new(mrf: MarkovRandomField<S>, sampler: L) -> Self {
+        let schedule = TemperatureSchedule::constant(mrf.temperature());
+        InferenceJob {
+            mrf,
+            sampler,
+            schedule,
+            iterations: 100,
+            threads: 2,
+            seed: 0,
+            burn_in: 0,
+            track_modes: false,
+            record_energy: true,
+            initial: None,
+        }
+    }
+
+    /// Builds a job that reproduces `McmcChain::new(mrf, sampler, config)`
+    /// followed by `run(iterations)`, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.threads < 2` (the chain's single-threaded path
+    /// uses a persistent sequential RNG the phase-parallel engine cannot
+    /// reproduce) or if `config.rao_blackwell && config.track_modes` (the
+    /// engine tracks hard label counts only).
+    pub fn from_chain_config(
+        mrf: MarkovRandomField<S>,
+        sampler: L,
+        config: ChainConfig,
+        iterations: usize,
+    ) -> Self {
+        assert!(
+            config.threads >= 2,
+            "engine parity with McmcChain requires threads >= 2 \
+             (threads == 1 selects the chain's sequential-sweep path)"
+        );
+        assert!(
+            !(config.rao_blackwell && config.track_modes),
+            "the engine tracks hard label counts only; disable rao_blackwell"
+        );
+        InferenceJob {
+            mrf,
+            sampler,
+            schedule: config.schedule,
+            iterations,
+            threads: config.threads,
+            seed: config.seed,
+            burn_in: config.burn_in,
+            track_modes: config.track_modes,
+            record_energy: true,
+            initial: None,
+        }
+    }
+
+    /// Sets the annealing schedule.
+    pub fn with_schedule(mut self, schedule: TemperatureSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the deterministic chunk count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the burn-in prefix.
+    pub fn with_burn_in(mut self, burn_in: usize) -> Self {
+        self.burn_in = burn_in;
+        self
+    }
+
+    /// Enables or disables marginal-mode tracking.
+    pub fn tracking_modes(mut self, on: bool) -> Self {
+        self.track_modes = on;
+        self
+    }
+
+    /// Enables or disables the per-iteration energy trace (off saves one
+    /// `total_energy` pass per sweep in throughput runs).
+    pub fn recording_energy(mut self, on: bool) -> Self {
+        self.record_energy = on;
+        self
+    }
+
+    /// Sets an explicit starting labeling.
+    pub fn with_initial(mut self, labels: Vec<Label>) -> Self {
+        self.initial = Some(labels);
+        self
+    }
+}
+
+/// Result of a finished (or cancelled) job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutput {
+    /// Final labeling.
+    pub labels: Vec<Label>,
+    /// Marginal MAP estimate, when mode tracking ran past burn-in.
+    pub map_estimate: Option<Vec<Label>>,
+    /// Total energy after each completed iteration (when recorded).
+    pub energy_trace: Vec<f64>,
+    /// Iterations actually completed (less than the budget if cancelled).
+    pub iterations_run: usize,
+    /// Whether the job ended through its cancellation handle.
+    pub cancelled: bool,
+}
+
+impl JobOutput {
+    /// Repackages the output as the reference path's [`ChainResult`].
+    pub fn into_chain_result(self) -> ChainResult {
+        ChainResult {
+            labels: self.labels,
+            map_estimate: self.map_estimate,
+            energy_trace: self.energy_trace,
+            iterations: self.iterations_run,
+        }
+    }
+}
+
+/// Identifies one submitted job for log and metric correlation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Lifecycle of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the submission queue.
+    Queued,
+    /// Being swept by the worker pool.
+    Running,
+    /// Output available (completed or cancelled).
+    Finished,
+}
+
+/// State shared between a [`JobHandle`] and the scheduler.
+#[derive(Debug)]
+pub(crate) struct HandleShared {
+    /// Set by [`JobHandle::cancel`]; the scheduler polls it at every
+    /// phase boundary.
+    pub(crate) cancel: AtomicBool,
+    pub(crate) state: Mutex<HandleState>,
+    pub(crate) done: Condvar,
+}
+
+#[derive(Debug)]
+pub(crate) struct HandleState {
+    pub(crate) status: JobStatus,
+    pub(crate) output: Option<JobOutput>,
+}
+
+impl HandleShared {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(HandleShared {
+            cancel: AtomicBool::new(false),
+            state: Mutex::new(HandleState {
+                status: JobStatus::Queued,
+                output: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Publishes the output and wakes waiters.
+    pub(crate) fn finish(&self, output: JobOutput) {
+        let mut state = self.state.lock();
+        state.status = JobStatus::Finished;
+        state.output = Some(output);
+        drop(state);
+        self.done.notify_all();
+    }
+
+    pub(crate) fn set_running(&self) {
+        self.state.lock().status = JobStatus::Running;
+    }
+}
+
+/// Caller-side handle to a submitted job.
+#[derive(Debug)]
+pub struct JobHandle {
+    pub(crate) id: JobId,
+    pub(crate) shared: Arc<HandleShared>,
+}
+
+impl JobHandle {
+    /// The job's engine-assigned identifier.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Requests cancellation. The scheduler honours it at the next phase
+    /// boundary; the handle's `wait` then returns a `cancelled` output
+    /// holding the labeling as of the last completed phase.
+    pub fn cancel(&self) {
+        self.shared.cancel.store(true, Ordering::Release);
+    }
+
+    /// Current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        self.shared.state.lock().status
+    }
+
+    /// True once output is available.
+    pub fn is_finished(&self) -> bool {
+        self.status() == JobStatus::Finished
+    }
+
+    /// Blocks until the job finishes and returns its output.
+    ///
+    /// Consumes the handle: the output is moved out, not cloned.
+    pub fn wait(self) -> JobOutput {
+        let mut state = self.shared.state.lock();
+        loop {
+            if let Some(output) = state.output.take() {
+                return output;
+            }
+            self.shared.done.wait(&mut state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_id_displays_compactly() {
+        assert_eq!(JobId(7).to_string(), "job-7");
+    }
+
+    #[test]
+    fn handle_wait_returns_published_output() {
+        let shared = HandleShared::new();
+        let handle = JobHandle {
+            id: JobId(0),
+            shared: Arc::clone(&shared),
+        };
+        assert_eq!(handle.status(), JobStatus::Queued);
+        let out = JobOutput {
+            labels: vec![Label::new(1)],
+            map_estimate: None,
+            energy_trace: vec![],
+            iterations_run: 3,
+            cancelled: false,
+        };
+        shared.finish(out.clone());
+        assert!(handle.is_finished());
+        assert_eq!(handle.wait(), out);
+    }
+
+    #[test]
+    fn cancel_sets_the_flag() {
+        let shared = HandleShared::new();
+        let handle = JobHandle {
+            id: JobId(1),
+            shared: Arc::clone(&shared),
+        };
+        handle.cancel();
+        assert!(shared.cancel.load(Ordering::Acquire));
+    }
+}

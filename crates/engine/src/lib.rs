@@ -1,0 +1,52 @@
+//! mogs-engine: a persistent, tile-sharded MRF inference runtime.
+//!
+//! The free functions in `mogs_gibbs::sweep` are exact but pay per call:
+//! every sweep spawns scoped threads, snapshots the labeling per phase,
+//! and collects updates into per-thread lists that are merged afterwards.
+//! That is the right shape for a one-shot reference; a system serving many
+//! inference requests (the paper's accelerator serves whole *batches* of
+//! MRF problems across its RSU-G array) wants the machinery to persist.
+//!
+//! This crate provides that runtime:
+//!
+//! - [`Engine`] owns a worker pool and scheduler, started once. Jobs are
+//!   decomposed into (iteration, group, chunk) phase tasks and executed by
+//!   the long-lived workers; phase barriers preserve the reference
+//!   sweeps's blocked-Gibbs semantics exactly.
+//! - [`InferenceJob`] describes one inference: field, sampler backend,
+//!   annealing schedule, iteration budget, seed. Submission is a bounded
+//!   queue with backpressure ([`Engine::submit`] blocks,
+//!   [`Engine::try_submit`] hands the job back); [`JobHandle`] supports
+//!   cancellation at phase boundaries and blocking retrieval.
+//! - [`Backend`]/[`BackendSampler`] select between exact software Gibbs
+//!   and an emulated RSU-G pool ([`RsuPool`]) that round-robins draws
+//!   over replicated unit models.
+//! - [`EngineMetrics`] counts jobs, sweeps, and site updates and
+//!   histograms latencies; [`MetricsSnapshot`] serializes to JSON.
+//!
+//! # Determinism contract
+//!
+//! For a fixed job `seed` and `threads` (chunk count), the engine's
+//! labeling is **bit-identical** to `mogs_gibbs::colored_sweep` driven
+//! with the chain's per-iteration seed formula — and therefore to
+//! [`McmcChain`](mogs_gibbs::McmcChain) with `threads >= 2` — no matter
+//! how many OS workers the engine runs or how many jobs share them. The
+//! speedup comes from *not redoing invariant work*: neighbour tables are
+//! built once per job instead of div/mod per (site, label) visit, labels
+//! update in place in a shared plane (provably race-free within a phase;
+//! see `plane`) instead of snapshot-and-merge, and energies accumulate in
+//! a stack buffer in `site_energy`'s exact f64 operation order.
+
+mod backend;
+mod engine;
+mod job;
+pub mod metrics;
+mod multichain;
+mod plane;
+mod runner;
+
+pub use backend::{Backend, BackendSampler, RsuPool};
+pub use engine::{Engine, EngineConfig, PreparedJob, SubmitError, TrySubmitError};
+pub use job::{InferenceJob, JobHandle, JobId, JobOutput, JobStatus};
+pub use metrics::{EngineMetrics, HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
+pub use multichain::run_chains_on_engine;

@@ -1,0 +1,266 @@
+//! Engine observability: lock-free counters and latency histograms.
+//!
+//! Workers and the scheduler record into atomics; [`EngineMetrics::snapshot`]
+//! reads them without stopping the engine and packages the result as a
+//! serde-serializable [`MetricsSnapshot`] (printed as JSON by
+//! `repro engine-bench`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two latency buckets (covers 1 µs .. ~2200 s).
+const BUCKETS: usize = 32;
+
+/// A log₂-bucketed latency histogram over microseconds.
+///
+/// `record` is a single relaxed fetch-add per bucket plus two for the
+/// count/total — cheap enough for per-sweep recording. Quantiles from
+/// power-of-two buckets are upper bounds, accurate to a factor of two;
+/// that resolution is plenty for spotting queueing collapse.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        // Bucket i holds samples with us < 2^(i+1); index by bit length.
+        let idx = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Reads the histogram into a plain snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let total_us = self.total_us.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = (q * count as f64).ceil() as u64;
+            let mut seen = 0;
+            for (i, &c) in buckets.iter().enumerate() {
+                seen += c;
+                if seen >= rank.max(1) {
+                    // Upper bound of bucket i.
+                    return if i >= 63 {
+                        u64::MAX
+                    } else {
+                        (1u64 << (i + 1)) - 1
+                    };
+                }
+            }
+            self.max_us.load(Ordering::Relaxed)
+        };
+        HistogramSnapshot {
+            count,
+            total_us,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                total_us as f64 / count as f64
+            },
+            p50_us: quantile(0.50),
+            p90_us: quantile(0.90),
+            p99_us: quantile(0.99),
+            max_us: self.max_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of one [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples, microseconds.
+    pub total_us: u64,
+    /// Mean sample, microseconds.
+    pub mean_us: f64,
+    /// Median upper bound, microseconds (bucket resolution).
+    pub p50_us: u64,
+    /// 90th-percentile upper bound, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile upper bound, microseconds.
+    pub p99_us: u64,
+    /// Largest recorded sample, microseconds.
+    pub max_us: u64,
+    /// Raw log₂ bucket counts (bucket `i` holds samples `< 2^(i+1)` µs).
+    pub buckets: Vec<u64>,
+}
+
+/// Shared counters the engine's scheduler and workers record into.
+#[derive(Debug)]
+pub struct EngineMetrics {
+    started: Instant,
+    /// Jobs accepted into the submission queue.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs rejected by `try_submit` because the queue was full.
+    pub jobs_rejected: AtomicU64,
+    /// Jobs that ran to their full iteration budget.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that ended early through their cancellation handle.
+    pub jobs_cancelled: AtomicU64,
+    /// Full sweeps (every site updated once) across all jobs.
+    pub sweeps_completed: AtomicU64,
+    /// Individual site updates across all jobs.
+    pub site_updates: AtomicU64,
+    /// Gauge: jobs waiting in the submission queue.
+    pub queue_depth: AtomicU64,
+    /// Gauge: jobs currently being swept.
+    pub active_jobs: AtomicU64,
+    /// Wall time per completed job.
+    pub job_wall_time: LatencyHistogram,
+    /// Wall time per sweep (includes task-queue waits).
+    pub sweep_latency: LatencyHistogram,
+}
+
+impl EngineMetrics {
+    /// Creates zeroed metrics with the uptime clock started now.
+    pub fn new() -> Self {
+        EngineMetrics {
+            started: Instant::now(),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            sweeps_completed: AtomicU64::new(0),
+            site_updates: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            active_jobs: AtomicU64::new(0),
+            job_wall_time: LatencyHistogram::new(),
+            sweep_latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Reads every counter into a serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let uptime = self.started.elapsed();
+        let secs = uptime.as_secs_f64().max(f64::MIN_POSITIVE);
+        let sweeps = self.sweeps_completed.load(Ordering::Relaxed);
+        let updates = self.site_updates.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            uptime_ms: uptime.as_millis().min(u128::from(u64::MAX)) as u64,
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            sweeps_completed: sweeps,
+            site_updates: updates,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            active_jobs: self.active_jobs.load(Ordering::Relaxed),
+            sweeps_per_sec: sweeps as f64 / secs,
+            site_updates_per_sec: updates as f64 / secs,
+            job_wall_time: self.job_wall_time.snapshot(),
+            sweep_latency: self.sweep_latency.snapshot(),
+        }
+    }
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        EngineMetrics::new()
+    }
+}
+
+/// A point-in-time copy of all engine counters, serializable to JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Milliseconds since the engine started.
+    pub uptime_ms: u64,
+    /// Jobs accepted into the submission queue.
+    pub jobs_submitted: u64,
+    /// Jobs rejected by `try_submit` (queue full).
+    pub jobs_rejected: u64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: u64,
+    /// Jobs cancelled before completion.
+    pub jobs_cancelled: u64,
+    /// Full sweeps across all jobs.
+    pub sweeps_completed: u64,
+    /// Site updates across all jobs.
+    pub site_updates: u64,
+    /// Jobs currently queued.
+    pub queue_depth: u64,
+    /// Jobs currently active.
+    pub active_jobs: u64,
+    /// Cumulative sweeps per second of engine uptime.
+    pub sweeps_per_sec: f64,
+    /// Cumulative site updates per second of engine uptime.
+    pub site_updates_per_sec: f64,
+    /// Per-job wall-time distribution.
+    pub job_wall_time: HistogramSnapshot,
+    /// Per-sweep wall-time distribution.
+    pub sweep_latency: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_quantiles_bound_samples() {
+        let h = LatencyHistogram::new();
+        for us in [3u64, 5, 9, 100, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.total_us, 1117);
+        assert_eq!(s.max_us, 1000);
+        assert!(s.p50_us >= 9, "median bound {} too small", s.p50_us);
+        assert!(s.p99_us >= 1000, "p99 bound {} too small", s.p99_us);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_us, 0);
+        assert_eq!(s.mean_us, 0.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_and_round_trips() {
+        let m = EngineMetrics::new();
+        m.jobs_submitted.fetch_add(3, Ordering::Relaxed);
+        m.site_updates.fetch_add(1024, Ordering::Relaxed);
+        m.sweep_latency.record(Duration::from_micros(42));
+        let snap = m.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"jobs_submitted\":3"), "json: {json}");
+        assert!(json.contains("\"site_updates\":1024"), "json: {json}");
+        let back: MetricsSnapshot = serde::json::from_str(&json).expect("round trip");
+        assert_eq!(back.jobs_submitted, 3);
+        assert_eq!(back.sweep_latency.count, 1);
+    }
+}

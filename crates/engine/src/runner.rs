@@ -1,0 +1,439 @@
+//! Type-erased job execution: phase decomposition and the hot chunk loop.
+//!
+//! The scheduler and workers handle jobs through the object-safe
+//! [`ErasedJob`] trait; [`TypedJob`] monomorphizes it per singleton/sampler
+//! pair. A typed job precomputes what the reference sweep recomputes per
+//! site visit — the conditionally independent groups, their chunk
+//! boundaries, every site's neighbour indices, the pairwise prior-energy
+//! table, and (when it fits) the per-site singleton energies — so the
+//! per-update cost is the sampler draw plus `M` fused table-lookup
+//! accumulations.
+//!
+//! # Bit-identity with the reference sweep
+//!
+//! `run_chunk(iteration, group, chunk)` reproduces exactly what the chunk
+//! thread of `mogs_gibbs::colored_sweep` does for that (group, chunk):
+//!
+//! - groups come from [`MarkovRandomField::independent_groups`], in the
+//!   same order with the same site order;
+//! - the chunk split is `sites.chunks(len.div_ceil(threads).max(1))`;
+//! - the chunk RNG is seeded
+//!   `sweep_seed ^ chunk·0x9E3779B97F4A7C15 ^ (group << 32)` where
+//!   `sweep_seed = seed + iteration·0xA24BAED4963EE407` (the
+//!   [`McmcChain`](mogs_gibbs::McmcChain) per-iteration formula);
+//! - the sampler is cloned fresh from the pristine job sampler per
+//!   (chunk, group), as the reference does;
+//! - conditional energies accumulate in `site_energy`'s exact f64
+//!   operation order: singleton first, then the axis neighbours in
+//!   left/right/up/down order (absent ones skipped in place), then for
+//!   second-order fields the `1/√2`-weighted diagonals in
+//!   up-left/up-right/down-left/down-right order.
+//!
+//! What changes is only *where the work happens*: neighbour coordinates
+//! come from a table built once per job instead of div/mod per (site,
+//! label) visit, energies land in a stack buffer instead of a heap `Vec`,
+//! and updates go straight into the shared [`LabelPlane`] instead of
+//! per-thread update lists merged after a snapshot copy.
+
+use mogs_gibbs::{LabelSampler, TemperatureSchedule};
+use mogs_mrf::energy::SingletonPotential;
+use mogs_mrf::field::DIAGONAL_WEIGHT;
+use mogs_mrf::label::MAX_LABELS;
+use mogs_mrf::{Label, MarkovRandomField, Neighborhood};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::job::{InferenceJob, JobOutput};
+use crate::plane::LabelPlane;
+
+/// Sentinel for "no neighbour on this side" in the precomputed tables.
+const NO_NEIGHBOR: usize = usize::MAX;
+
+/// Upper bound on `sites × labels` for caching singleton energies
+/// (8 bytes per entry, so at most 32 MiB per job).
+const SINGLETON_CACHE_CAP: usize = 1 << 22;
+
+/// Per-iteration sweep seed, matching `McmcChain::step`.
+#[inline]
+pub(crate) fn sweep_seed(seed: u64, iteration: usize) -> u64 {
+    seed.wrapping_add((iteration as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// The scheduler/worker view of a job: pure phase arithmetic plus three
+/// entry points. `run_chunk` may be called concurrently for distinct
+/// chunks of the *same* (iteration, group) phase; `end_iteration` and
+/// `finalize` require quiescence (no outstanding chunks).
+pub(crate) trait ErasedJob: Send + Sync {
+    /// Sweep budget.
+    fn iterations(&self) -> usize;
+    /// Number of independent groups per sweep.
+    fn group_count(&self) -> usize;
+    /// Number of site chunks in one group (0 for an empty group).
+    fn chunks_in_group(&self, group: usize) -> usize;
+    /// Total sites in the grid.
+    fn site_count(&self) -> usize;
+    /// Updates every site of one chunk of one group once.
+    fn run_chunk(&self, iteration: usize, group: usize, chunk: usize);
+    /// Post-sweep bookkeeping: energy trace and mode histograms.
+    fn end_iteration(&self, iteration: usize);
+    /// Packages the output after `iterations_run` completed sweeps.
+    fn finalize(&self, cancelled: bool, iterations_run: usize) -> JobOutput;
+}
+
+/// Scheduler-side accumulators, touched only between phases.
+#[derive(Debug)]
+struct Bookkeeping {
+    energy_trace: Vec<f64>,
+    /// `hist[site * m + label]`, like the chain's histograms.
+    histograms: Option<Vec<u32>>,
+}
+
+/// A fully prepared, monomorphized job.
+pub(crate) struct TypedJob<S: SingletonPotential, L: LabelSampler> {
+    mrf: MarkovRandomField<S>,
+    sampler: L,
+    schedule: TemperatureSchedule,
+    iterations: usize,
+    threads: usize,
+    seed: u64,
+    burn_in: usize,
+    record_energy: bool,
+    groups: Vec<Vec<usize>>,
+    /// Axis neighbours per site, `neighbors4` order, `NO_NEIGHBOR` filled.
+    axis: Vec<[usize; 4]>,
+    /// Diagonal neighbours per site for second-order fields.
+    diag: Option<Vec<[usize; 4]>>,
+    /// Pairwise prior energies, indexed `a.value() << 6 | b.value()`
+    /// (label values fit in 6 bits; unfilled slots are never read).
+    prior_table: Vec<f64>,
+    /// Cached singleton energies, `site * m + label_index`, when the
+    /// problem fits [`SINGLETON_CACHE_CAP`].
+    singleton_table: Option<Vec<f64>>,
+    plane: LabelPlane,
+    book: Mutex<Bookkeeping>,
+}
+
+impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
+    /// Prepares a job: validates it, builds the neighbour tables, and
+    /// seats the initial labeling in the shared plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`, the label space exceeds [`MAX_LABELS`],
+    /// or an explicit initial labeling does not validate.
+    pub(crate) fn new(job: InferenceJob<S, L>) -> Self {
+        assert!(job.threads > 0, "need at least one chunk per group");
+        let m = job.mrf.space().count();
+        assert!(
+            m <= usize::from(MAX_LABELS),
+            "label space of {m} exceeds MAX_LABELS ({MAX_LABELS})"
+        );
+        let labels = match job.initial {
+            Some(labels) => {
+                job.mrf
+                    .validate_labeling(&labels)
+                    .expect("initial labeling must fit the field");
+                labels
+            }
+            None => job.mrf.uniform_labeling(),
+        };
+        let grid = job.mrf.grid();
+        let pack = |slots: [Option<usize>; 4]| {
+            let mut out = [NO_NEIGHBOR; 4];
+            for (slot, n) in out.iter_mut().zip(slots) {
+                if let Some(n) = n {
+                    *slot = n;
+                }
+            }
+            out
+        };
+        let axis: Vec<[usize; 4]> = grid.sites().map(|s| pack(grid.neighbors4(s))).collect();
+        let diag = (job.mrf.neighborhood() == Neighborhood::SecondOrder).then(|| {
+            grid.sites()
+                .map(|s| pack(grid.neighbors_diagonal(s)))
+                .collect()
+        });
+        // Both energy terms are pure functions of their arguments, so the
+        // cached values are the exact f64s the reference computes in place.
+        let space = job.mrf.space();
+        let mut prior_table = vec![0.0f64; 64 * 64];
+        for a in space.labels() {
+            for b in space.labels() {
+                prior_table[(usize::from(a.value()) << 6) | usize::from(b.value())] =
+                    job.mrf.prior().energy(space, a, b);
+            }
+        }
+        let singleton_table = (labels.len() * m <= SINGLETON_CACHE_CAP).then(|| {
+            let mut table = Vec::with_capacity(labels.len() * m);
+            for site in 0..labels.len() {
+                table.extend(
+                    space
+                        .labels()
+                        .map(|label| job.mrf.singleton().energy(site, label)),
+                );
+            }
+            table
+        });
+        let histograms = job.track_modes.then(|| vec![0u32; labels.len() * m]);
+        TypedJob {
+            prior_table,
+            singleton_table,
+            groups: job.mrf.independent_groups(),
+            axis,
+            diag,
+            plane: LabelPlane::new(labels),
+            book: Mutex::new(Bookkeeping {
+                energy_trace: Vec::new(),
+                histograms,
+            }),
+            mrf: job.mrf,
+            sampler: job.sampler,
+            schedule: job.schedule,
+            iterations: job.iterations,
+            threads: job.threads,
+            seed: job.seed,
+            burn_in: job.burn_in,
+            record_energy: job.record_energy,
+        }
+    }
+
+    /// The reference chunk width for one group.
+    fn chunk_size(&self, group: usize) -> usize {
+        self.groups[group].len().div_ceil(self.threads).max(1)
+    }
+}
+
+impl<S, L> ErasedJob for TypedJob<S, L>
+where
+    S: SingletonPotential + 'static,
+    L: LabelSampler + Clone + Send + Sync + 'static,
+{
+    fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn chunks_in_group(&self, group: usize) -> usize {
+        self.groups[group].len().div_ceil(self.chunk_size(group))
+    }
+
+    fn site_count(&self) -> usize {
+        self.plane.len()
+    }
+
+    fn run_chunk(&self, iteration: usize, group: usize, chunk: usize) {
+        let sites = &self.groups[group];
+        let size = self.chunk_size(group);
+        let start = chunk * size;
+        let chunk_sites = &sites[start..(start + size).min(sites.len())];
+        let sweep = sweep_seed(self.seed, iteration);
+        let mut rng = StdRng::seed_from_u64(
+            sweep ^ (chunk as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((group as u64) << 32),
+        );
+        let mut sampler = self.sampler.clone();
+        let temperature = self.schedule.temperature(iteration);
+        let space = self.mrf.space();
+        let singleton = self.mrf.singleton();
+        let m = space.count();
+        let mut energies = [0.0f64; MAX_LABELS as usize];
+        let diag = self.diag.as_deref();
+        let ptab = self.prior_table.as_slice();
+        let stab = self.singleton_table.as_deref();
+        // SAFETY (all plane accesses below): `chunk_sites` is one chunk of
+        // one conditionally independent group. Sites written this phase are
+        // never neighbours of each other, so every `read` targets either a
+        // cell no thread writes this phase (axis/diagonal neighbours live
+        // in other groups) or this chunk's own yet-unwritten site; every
+        // `write` targets a site owned exclusively by this chunk. See the
+        // `plane` module docs for the full argument.
+        for &site in chunk_sites {
+            // Gather neighbour labels once per site; the reference re-walks
+            // the grid per candidate label.
+            let mut axis_labels = [Label::new(0); 4];
+            let mut axis_n = 0;
+            for &n in &self.axis[site] {
+                if n != NO_NEIGHBOR {
+                    axis_labels[axis_n] = unsafe { self.plane.read(n) };
+                    axis_n += 1;
+                }
+            }
+            let mut diag_labels = [Label::new(0); 4];
+            let mut diag_n = 0;
+            if let Some(diag) = diag {
+                for &n in &diag[site] {
+                    if n != NO_NEIGHBOR {
+                        diag_labels[diag_n] = unsafe { self.plane.read(n) };
+                        diag_n += 1;
+                    }
+                }
+            }
+            for (index, (slot, label)) in energies[..m].iter_mut().zip(space.labels()).enumerate() {
+                // Same f64 accumulation order as `site_energy`; the table
+                // lookups return the identical values the reference
+                // computes in place.
+                let mut e = match stab {
+                    Some(stab) => stab[site * m + index],
+                    None => singleton.energy(site, label),
+                };
+                let row = &ptab[usize::from(label.value()) << 6..];
+                for &nl in &axis_labels[..axis_n] {
+                    e += row[usize::from(nl.value())];
+                }
+                for &nl in &diag_labels[..diag_n] {
+                    e += DIAGONAL_WEIGHT * row[usize::from(nl.value())];
+                }
+                *slot = e;
+            }
+            let current = unsafe { self.plane.read(site) };
+            let next = sampler.sample_label(&energies[..m], temperature, current, &mut rng);
+            unsafe { self.plane.write(site, next) };
+        }
+    }
+
+    fn end_iteration(&self, iteration: usize) {
+        if !self.record_energy && self.book.lock().histograms.is_none() {
+            return;
+        }
+        // SAFETY: the scheduler calls this only with no outstanding chunks
+        // for this job, so the plane is quiescent.
+        let labels = unsafe { self.plane.snapshot() };
+        let mut book = self.book.lock();
+        if self.record_energy {
+            book.energy_trace.push(self.mrf.total_energy(&labels));
+        }
+        // Matches the chain: samples count once `iteration + 1 > burn_in`.
+        if iteration + 1 > self.burn_in {
+            if let Some(hist) = &mut book.histograms {
+                let m = self.mrf.space().count();
+                for (site, label) in labels.iter().enumerate() {
+                    hist[site * m + usize::from(label.value())] += 1;
+                }
+            }
+        }
+    }
+
+    fn finalize(&self, cancelled: bool, iterations_run: usize) -> JobOutput {
+        // SAFETY: quiescent, as for `end_iteration`.
+        let labels = unsafe { self.plane.snapshot() };
+        let book = self.book.lock();
+        let m = self.mrf.space().count();
+        // Same mode rule (and `max_by_key` last-max tie-break) as
+        // `McmcChain::map_estimate`.
+        let map_estimate = if iterations_run > self.burn_in {
+            book.histograms.as_ref().map(|hist| {
+                (0..labels.len())
+                    .map(|site| {
+                        let row = &hist[site * m..(site + 1) * m];
+                        let best = row
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(_, c)| **c)
+                            .map(|(i, _)| i)
+                            .unwrap_or(0);
+                        Label::new(best as u8)
+                    })
+                    .collect()
+            })
+        } else {
+            None
+        };
+        JobOutput {
+            labels,
+            map_estimate,
+            energy_trace: book.energy_trace.clone(),
+            iterations_run,
+            cancelled,
+        }
+    }
+}
+
+impl<S: SingletonPotential, L: LabelSampler> std::fmt::Debug for TypedJob<S, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TypedJob")
+            .field("sites", &self.plane.len())
+            .field("iterations", &self.iterations)
+            .field("threads", &self.threads)
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogs_gibbs::SoftmaxGibbs;
+    use mogs_mrf::{Grid2D, LabelSpace, SmoothnessPrior};
+
+    fn field(width: usize, height: usize) -> MarkovRandomField<impl SingletonPotential> {
+        MarkovRandomField::builder(Grid2D::new(width, height), LabelSpace::scalar(3))
+            .prior(SmoothnessPrior::potts(0.8))
+            .singleton(|site: usize, label: Label| {
+                if usize::from(label.value()) == site % 3 {
+                    0.0
+                } else {
+                    1.5
+                }
+            })
+            .build()
+    }
+
+    fn job(width: usize, height: usize) -> InferenceJob<impl SingletonPotential, SoftmaxGibbs> {
+        InferenceJob::new(field(width, height), SoftmaxGibbs::new())
+            .with_threads(3)
+            .with_seed(11)
+    }
+
+    #[test]
+    fn phase_arithmetic_covers_every_site_exactly_once() {
+        let typed = TypedJob::new(job(7, 5));
+        let total: usize = (0..typed.group_count())
+            .map(|g| {
+                (0..typed.chunks_in_group(g))
+                    .map(|c| {
+                        let size = typed.chunk_size(g);
+                        let len = typed.groups[g].len();
+                        (c * size..((c + 1) * size).min(len)).len()
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(total, typed.site_count());
+        assert_eq!(typed.site_count(), 35);
+    }
+
+    #[test]
+    fn sequential_chunk_execution_matches_colored_sweep() {
+        // `field` is deterministic, so two calls build identical fields.
+        let mrf = field(9, 6);
+        let mut reference = mrf.uniform_labeling();
+        let typed = TypedJob::new(job(9, 6));
+        for iteration in 0..4 {
+            mogs_gibbs::colored_sweep(
+                &mrf,
+                &mut reference,
+                &SoftmaxGibbs::new(),
+                mrf.temperature(),
+                3,
+                sweep_seed(11, iteration),
+            );
+            for group in 0..typed.group_count() {
+                for chunk in 0..typed.chunks_in_group(group) {
+                    typed.run_chunk(iteration, group, chunk);
+                }
+            }
+            typed.end_iteration(iteration);
+        }
+        let out = typed.finalize(false, 4);
+        assert_eq!(
+            out.labels, reference,
+            "engine fast path must be bit-identical"
+        );
+        assert_eq!(out.iterations_run, 4);
+        assert_eq!(out.energy_trace.len(), 4);
+        assert!((out.energy_trace[3] - mrf.total_energy(&reference)).abs() == 0.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! End-to-end tests of the persistent engine: determinism against the
+//! reference sweep path, queue backpressure, mid-job cancellation, and
+//! metrics sanity.
+
+use std::time::Duration;
+
+use mogs_engine::{
+    Backend, BackendSampler, Engine, EngineConfig, InferenceJob, JobStatus, TrySubmitError,
+};
+use mogs_gibbs::{
+    checkerboard_sweep, colored_sweep, ChainConfig, McmcChain, SoftmaxGibbs, TemperatureSchedule,
+};
+use mogs_mrf::energy::SingletonPotential;
+use mogs_mrf::{Grid2D, Label, LabelSpace, MarkovRandomField, Neighborhood, SmoothnessPrior};
+
+/// A deterministic test field; two calls build identical fields.
+fn field(order: Neighborhood) -> MarkovRandomField<impl SingletonPotential> {
+    MarkovRandomField::builder(Grid2D::new(12, 10), LabelSpace::scalar(4))
+        .prior(SmoothnessPrior::potts(0.6))
+        .neighborhood(order)
+        .temperature(2.0)
+        .singleton(|site: usize, label: Label| {
+            if usize::from(label.value()) == (site / 3) % 4 {
+                0.0
+            } else {
+                2.0
+            }
+        })
+        .build()
+}
+
+/// The chain's per-iteration sweep-seed derivation.
+fn sweep_seed(seed: u64, iteration: usize) -> u64 {
+    seed.wrapping_add((iteration as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+#[test]
+fn engine_matches_checkerboard_sweep_bit_for_bit() {
+    let mrf = field(Neighborhood::FirstOrder);
+    let (threads, seed, iterations) = (4, 0xC0FFEE, 6);
+    let mut reference = mrf.uniform_labeling();
+    for iteration in 0..iterations {
+        checkerboard_sweep(
+            &mrf,
+            &mut reference,
+            &SoftmaxGibbs::new(),
+            mrf.temperature(),
+            threads,
+            sweep_seed(seed, iteration),
+        );
+    }
+    let engine = Engine::new(EngineConfig {
+        workers: 3,
+        queue_capacity: 4,
+        max_active_jobs: 2,
+    });
+    let job = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .with_threads(threads)
+        .with_seed(seed)
+        .with_iterations(iterations);
+    let out = engine.submit(job).expect("engine running").wait();
+    assert!(!out.cancelled);
+    assert_eq!(out.iterations_run, iterations);
+    assert_eq!(
+        out.labels, reference,
+        "engine must be bit-identical to the reference sweep"
+    );
+    engine.shutdown();
+}
+
+#[test]
+fn engine_matches_colored_sweep_on_second_order_fields() {
+    let mrf = field(Neighborhood::SecondOrder);
+    let (threads, seed, iterations) = (3, 77, 5);
+    let mut reference = mrf.uniform_labeling();
+    for iteration in 0..iterations {
+        colored_sweep(
+            &mrf,
+            &mut reference,
+            &SoftmaxGibbs::new(),
+            mrf.temperature(),
+            threads,
+            sweep_seed(seed, iteration),
+        );
+    }
+    let engine = Engine::with_default_config();
+    let job = InferenceJob::new(field(Neighborhood::SecondOrder), SoftmaxGibbs::new())
+        .with_threads(threads)
+        .with_seed(seed)
+        .with_iterations(iterations);
+    let out = engine.submit(job).expect("engine running").wait();
+    assert_eq!(
+        out.labels, reference,
+        "diagonal fast path must be bit-identical"
+    );
+}
+
+#[test]
+fn engine_reproduces_a_multithreaded_chain_including_modes_and_energies() {
+    let config = ChainConfig {
+        schedule: TemperatureSchedule::constant(2.0),
+        burn_in: 3,
+        track_modes: true,
+        rao_blackwell: false,
+        threads: 2,
+        seed: 99,
+    };
+    let iterations = 10;
+    let mrf = field(Neighborhood::FirstOrder);
+    let mut chain = McmcChain::new(&mrf, SoftmaxGibbs::new(), config);
+    chain.run(iterations);
+    let reference = chain.result();
+
+    let engine = Engine::with_default_config();
+    let job = InferenceJob::from_chain_config(
+        field(Neighborhood::FirstOrder),
+        SoftmaxGibbs::new(),
+        config,
+        iterations,
+    );
+    let result = engine
+        .submit(job)
+        .expect("engine running")
+        .wait()
+        .into_chain_result();
+    assert_eq!(
+        result, reference,
+        "engine must reproduce the chain bit-for-bit"
+    );
+}
+
+#[test]
+fn engine_runs_backend_selected_jobs() {
+    // The RSU-G pool backend must run end to end and produce a valid
+    // labeling (its draws are hardware-model, not softmax, so only
+    // structural properties are asserted).
+    let engine = Engine::with_default_config();
+    let mrf = field(Neighborhood::FirstOrder);
+    let sites = mrf.grid().len();
+    let job = InferenceJob::new(mrf, BackendSampler::new(Backend::RsuG { replicas: 4 }, 2.0))
+        .with_threads(2)
+        .with_seed(5)
+        .with_iterations(4);
+    let out = engine.submit(job).expect("engine running").wait();
+    assert_eq!(out.labels.len(), sites);
+    assert!(out.labels.iter().all(|l| l.value() < 4));
+    assert_eq!(out.energy_trace.len(), 4);
+}
+
+/// A job sized so cancellation lands mid-run.
+fn long_job() -> InferenceJob<impl SingletonPotential, SoftmaxGibbs> {
+    InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .with_threads(2)
+        .with_iterations(50_000)
+        .recording_energy(false)
+}
+
+/// Retries a bounced submission until the queue accepts it.
+fn resubmit_until_accepted(
+    engine: &Engine,
+    mut attempt: Result<mogs_engine::JobHandle, TrySubmitError>,
+) -> mogs_engine::JobHandle {
+    loop {
+        match attempt {
+            Ok(handle) => return handle,
+            Err(TrySubmitError::Full(prepared)) => {
+                std::thread::sleep(Duration::from_millis(2));
+                attempt = engine.try_resubmit(prepared);
+            }
+            Err(TrySubmitError::ShutDown) => panic!("engine vanished"),
+        }
+    }
+}
+
+#[test]
+fn full_queue_rejects_then_accepts_after_drain() {
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_capacity: 1,
+        max_active_jobs: 1,
+    });
+    // First job occupies the single active slot (possibly after a moment
+    // in the queue); the second can only be accepted once the first has
+    // been admitted, so after this the queue holds exactly the second.
+    let first = engine.submit(long_job()).expect("engine running");
+    let second = resubmit_until_accepted(&engine, engine.try_submit(long_job()));
+    // With one job active for many more sweeps and one queued, the queue
+    // is full: submissions must bounce, handing the job back intact.
+    let bounced = match engine.try_submit(long_job()) {
+        Err(TrySubmitError::Full(prepared)) => prepared,
+        Ok(handle) => panic!("expected Full, got acceptance as {}", handle.id()),
+        Err(TrySubmitError::ShutDown) => panic!("engine vanished"),
+    };
+    assert!(engine.metrics().jobs_rejected >= 1);
+    // Draining the active job frees the slot; the bounced job then fits.
+    first.cancel();
+    second.cancel();
+    let third = resubmit_until_accepted(&engine, engine.try_resubmit(bounced));
+    third.cancel();
+    assert!(first.wait().cancelled);
+    assert!(second.wait().cancelled);
+    assert!(third.wait().cancelled);
+    engine.shutdown();
+}
+
+#[test]
+fn cancellation_stops_a_running_job_at_a_phase_boundary() {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        queue_capacity: 2,
+        max_active_jobs: 1,
+    });
+    let handle = engine.submit(long_job()).expect("engine running");
+    // Let it actually sweep for a moment.
+    std::thread::sleep(Duration::from_millis(30));
+    handle.cancel();
+    let out = handle.wait();
+    assert!(out.cancelled);
+    assert!(
+        out.iterations_run < 50_000,
+        "cancel must cut the budget short"
+    );
+    assert_eq!(
+        out.labels.len(),
+        120,
+        "partial labeling still covers the grid"
+    );
+    let metrics = engine.metrics();
+    assert_eq!(metrics.jobs_cancelled, 1);
+    assert_eq!(metrics.jobs_completed, 0);
+}
+
+#[test]
+fn metrics_account_for_completed_work_exactly() {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        queue_capacity: 8,
+        max_active_jobs: 2,
+    });
+    let (jobs, iterations, sites) = (3u64, 7u64, 120u64);
+    let handles: Vec<_> = (0..jobs)
+        .map(|k| {
+            let job = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+                .with_threads(2)
+                .with_seed(k)
+                .with_iterations(iterations as usize);
+            engine.submit(job).expect("engine running")
+        })
+        .collect();
+    for handle in handles {
+        assert_eq!(handle.wait().iterations_run as u64, iterations);
+    }
+    let m = engine.metrics();
+    assert_eq!(m.jobs_submitted, jobs);
+    assert_eq!(m.jobs_completed, jobs);
+    assert_eq!(m.jobs_cancelled, 0);
+    assert_eq!(m.sweeps_completed, jobs * iterations);
+    assert_eq!(m.site_updates, jobs * iterations * sites);
+    assert_eq!(m.active_jobs, 0);
+    assert_eq!(m.queue_depth, 0);
+    assert_eq!(m.job_wall_time.count, jobs);
+    assert_eq!(m.sweep_latency.count, jobs * iterations);
+    assert!(m.site_updates_per_sec > 0.0);
+    let json = m.to_json();
+    assert!(json.contains("\"site_updates\":2520"), "json: {json}");
+}
+
+#[test]
+fn handles_report_lifecycle_status() {
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_capacity: 2,
+        max_active_jobs: 1,
+    });
+    let blocker = engine.submit(long_job()).expect("engine running");
+    let queued = engine.submit(long_job()).expect("engine running");
+    // The blocker hogs the only active slot, so the second job stays
+    // queued until cancellation drains the first.
+    assert_ne!(queued.status(), JobStatus::Finished);
+    blocker.cancel();
+    queued.cancel();
+    assert!(blocker.wait().cancelled);
+    assert!(queued.wait().cancelled);
+}
+
+#[test]
+fn shutdown_drains_queued_jobs_before_stopping() {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        queue_capacity: 4,
+        max_active_jobs: 1,
+    });
+    let handles: Vec<_> = (0..3)
+        .map(|k| {
+            let job = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+                .with_threads(2)
+                .with_seed(k)
+                .with_iterations(5);
+            engine.submit(job).expect("engine running")
+        })
+        .collect();
+    engine.shutdown();
+    for handle in handles {
+        let out = handle.wait();
+        assert!(!out.cancelled, "shutdown must finish admitted work");
+        assert_eq!(out.iterations_run, 5);
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::sampler::LabelSampler;
 use crate::schedule::TemperatureSchedule;
-use crate::sweep::{colored_sweep, sequential_sweep};
+use crate::sweep::{colored_sweep_with_scratch, sequential_sweep, SweepScratch};
 use mogs_mrf::energy::SingletonPotential;
 use mogs_mrf::{Label, MarkovRandomField};
 use rand::rngs::StdRng;
@@ -75,6 +75,9 @@ pub struct McmcChain<'a, S, L> {
     energy_trace: Vec<f64>,
     iteration: usize,
     rng: StdRng,
+    /// Reused sweep buffers — one snapshot allocation for the chain's
+    /// whole life instead of one per parity phase.
+    scratch: SweepScratch,
 }
 
 impl<'a, S, L> McmcChain<'a, S, L>
@@ -99,7 +102,8 @@ where
         config: ChainConfig,
         labels: Vec<Label>,
     ) -> Self {
-        mrf.validate_labeling(&labels).expect("initial labeling must fit the field");
+        mrf.validate_labeling(&labels)
+            .expect("initial labeling must fit the field");
         assert!(config.threads > 0, "need at least one thread");
         let histograms = config
             .track_modes
@@ -116,6 +120,7 @@ where
             soft_histograms,
             energy_trace: Vec::new(),
             iteration: 0,
+            scratch: SweepScratch::new(),
         }
     }
 
@@ -138,19 +143,26 @@ where
     pub fn step(&mut self) {
         let t = self.config.schedule.temperature(self.iteration);
         if self.config.threads == 1 {
-            sequential_sweep(self.mrf, &mut self.labels, &mut self.sampler, t, &mut self.rng);
+            sequential_sweep(
+                self.mrf,
+                &mut self.labels,
+                &mut self.sampler,
+                t,
+                &mut self.rng,
+            );
         } else {
             let sweep_seed = self
                 .config
                 .seed
                 .wrapping_add((self.iteration as u64).wrapping_mul(0xA24B_AED4_963E_E407));
-            colored_sweep(
+            colored_sweep_with_scratch(
                 self.mrf,
                 &mut self.labels,
                 &self.sampler,
                 t,
                 self.config.threads,
                 sweep_seed,
+                &mut self.scratch,
             );
         }
         self.iteration += 1;
@@ -168,7 +180,8 @@ where
                 let m = self.mrf.space().count();
                 let mut energies = vec![0.0; m];
                 for site in self.mrf.grid().sites() {
-                    self.mrf.conditional_energies_into(&self.labels, site, &mut energies);
+                    self.mrf
+                        .conditional_energies_into(&self.labels, site, &mut energies);
                     if let Some(p) = self.sampler.conditional_probabilities(&energies, t) {
                         for (slot, prob) in soft[site * m..(site + 1) * m].iter_mut().zip(&p) {
                             *slot += prob;
@@ -275,7 +288,11 @@ mod tests {
     #[test]
     fn map_estimate_beats_single_sample_noise() {
         let mrf = striped_mrf(10, 10);
-        let config = ChainConfig { burn_in: 10, seed: 3, ..ChainConfig::default() };
+        let config = ChainConfig {
+            burn_in: 10,
+            seed: 3,
+            ..ChainConfig::default()
+        };
         let mut chain = McmcChain::new(&mrf, SoftmaxGibbs::new(), config);
         chain.run(60);
         let map = chain.map_estimate().expect("modes tracked");
@@ -296,10 +313,16 @@ mod tests {
     #[test]
     fn burn_in_defers_mode_tracking() {
         let mrf = striped_mrf(6, 6);
-        let config = ChainConfig { burn_in: 5, ..ChainConfig::default() };
+        let config = ChainConfig {
+            burn_in: 5,
+            ..ChainConfig::default()
+        };
         let mut chain = McmcChain::new(&mrf, SoftmaxGibbs::new(), config);
         chain.run(3);
-        assert!(chain.map_estimate().is_none(), "no samples before burn-in completes");
+        assert!(
+            chain.map_estimate().is_none(),
+            "no samples before burn-in completes"
+        );
         chain.run(5);
         assert!(chain.map_estimate().is_some());
     }
@@ -307,12 +330,22 @@ mod tests {
     #[test]
     fn parallel_chain_matches_quality() {
         let mrf = striped_mrf(10, 10);
-        let config = ChainConfig { threads: 4, seed: 9, ..ChainConfig::default() };
+        let config = ChainConfig {
+            threads: 4,
+            seed: 9,
+            ..ChainConfig::default()
+        };
         let mut chain = McmcChain::new(&mrf, SoftmaxGibbs::new(), config);
         chain.run(40);
         let e_seq = {
-            let mut c =
-                McmcChain::new(&mrf, SoftmaxGibbs::new(), ChainConfig { seed: 9, ..ChainConfig::default() });
+            let mut c = McmcChain::new(
+                &mrf,
+                SoftmaxGibbs::new(),
+                ChainConfig {
+                    seed: 9,
+                    ..ChainConfig::default()
+                },
+            );
             c.run(40);
             *c.energy_trace().last().unwrap()
         };
@@ -378,13 +411,19 @@ mod tests {
         };
         let mut chain = McmcChain::new(&mrf, crate::sampler::Metropolis::new(), config);
         chain.run(5);
-        assert!(chain.map_estimate().is_some(), "fallback must still produce a MAP");
+        assert!(
+            chain.map_estimate().is_some(),
+            "fallback must still produce a MAP"
+        );
     }
 
     #[test]
     fn disabled_mode_tracking_returns_none() {
         let mrf = striped_mrf(6, 6);
-        let config = ChainConfig { track_modes: false, ..ChainConfig::default() };
+        let config = ChainConfig {
+            track_modes: false,
+            ..ChainConfig::default()
+        };
         let mut chain = McmcChain::new(&mrf, SoftmaxGibbs::new(), config);
         chain.run(5);
         assert!(chain.map_estimate().is_none());

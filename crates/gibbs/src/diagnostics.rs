@@ -76,8 +76,14 @@ pub fn effective_sample_size(series: &[f64]) -> f64 {
 ///
 /// Panics if the fractions are outside `(0, 1)` or overlap.
 pub fn geweke_z(series: &[f64], early_frac: f64, late_frac: f64) -> f64 {
-    assert!(early_frac > 0.0 && early_frac < 1.0, "early fraction in (0, 1)");
-    assert!(late_frac > 0.0 && late_frac < 1.0, "late fraction in (0, 1)");
+    assert!(
+        early_frac > 0.0 && early_frac < 1.0,
+        "early fraction in (0, 1)"
+    );
+    assert!(
+        late_frac > 0.0 && late_frac < 1.0,
+        "late fraction in (0, 1)"
+    );
     assert!(early_frac + late_frac <= 1.0, "windows must not overlap");
     let n = series.len();
     let n_early = ((n as f64) * early_frac).max(2.0) as usize;
@@ -105,14 +111,20 @@ pub fn potential_scale_reduction(chains: &[Vec<f64>]) -> f64 {
     assert!(chains.len() >= 2, "need at least two chains");
     let n = chains[0].len();
     assert!(n >= 2, "chains need at least two samples");
-    assert!(chains.iter().all(|c| c.len() == n), "chains must have equal length");
+    assert!(
+        chains.iter().all(|c| c.len() == n),
+        "chains must have equal length"
+    );
     let m = chains.len() as f64;
     let nf = n as f64;
     let chain_means: Vec<f64> = chains.iter().map(|c| mean(c)).collect();
     let grand_mean = mean(&chain_means);
     // Between-chain variance B and within-chain variance W.
     let b = nf / (m - 1.0)
-        * chain_means.iter().map(|x| (x - grand_mean) * (x - grand_mean)).sum::<f64>();
+        * chain_means
+            .iter()
+            .map(|x| (x - grand_mean) * (x - grand_mean))
+            .sum::<f64>();
     let w = chains.iter().map(|c| variance(c)).sum::<f64>() / m;
     if w == 0.0 {
         return 1.0;
@@ -175,8 +187,7 @@ mod tests {
     #[test]
     fn geweke_flags_trend() {
         let stationary = white_noise(2000, 6);
-        let trending: Vec<f64> =
-            (0..2000).map(|i| i as f64 * 0.01 + stationary[i]).collect();
+        let trending: Vec<f64> = (0..2000).map(|i| i as f64 * 0.01 + stationary[i]).collect();
         assert!(geweke_z(&stationary, 0.1, 0.5).abs() < 3.0);
         assert!(geweke_z(&trending, 0.1, 0.5).abs() > 5.0);
     }

@@ -59,8 +59,15 @@ impl Normal {
     /// not finite.
     pub fn new(mean: f64, std_dev: f64) -> Self {
         assert!(mean.is_finite(), "mean must be finite");
-        assert!(std_dev.is_finite() && std_dev > 0.0, "std dev must be positive");
-        Normal { mean, std_dev, spare: None }
+        assert!(
+            std_dev.is_finite() && std_dev > 0.0,
+            "std dev must be positive"
+        );
+        Normal {
+            mean,
+            std_dev,
+            spare: None,
+        }
     }
 
     /// The standard normal.
@@ -119,7 +126,10 @@ impl Gamma {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         if self.shape < 1.0 {
             // Boost: Gamma(k) = Gamma(k+1) · U^(1/k).
-            let boosted = Gamma { shape: self.shape + 1.0, scale: self.scale };
+            let boosted = Gamma {
+                shape: self.shape + 1.0,
+                scale: self.scale,
+            };
             let u: f64 = 1.0 - rng.gen::<f64>();
             return boosted.sample(rng) * u.powf(1.0 / self.shape);
         }
@@ -331,7 +341,9 @@ mod tests {
         // Gamma(1, θ) ≡ Exponential(1/θ): compare empirical CDF at median.
         let g = Gamma::new(1.0, 1.0);
         let mut rng = StdRng::seed_from_u64(7);
-        let below = (0..N).filter(|_| g.sample(&mut rng) < std::f64::consts::LN_2).count();
+        let below = (0..N)
+            .filter(|_| g.sample(&mut rng) < std::f64::consts::LN_2)
+            .count();
         let frac = below as f64 / N as f64;
         assert!((frac - 0.5).abs() < 0.01, "median check {frac}");
     }

@@ -49,5 +49,5 @@ pub use chain::{ChainConfig, ChainResult, McmcChain};
 pub use multichain::{run_chains, MultiChainResult};
 pub use sampler::{LabelSampler, Metropolis, SoftmaxGibbs};
 pub use schedule::TemperatureSchedule;
-pub use tempering::{TemperedChains, TemperingConfig};
 pub use sweep::{checkerboard_sweep, colored_sweep, sequential_sweep};
+pub use tempering::{TemperedChains, TemperingConfig};

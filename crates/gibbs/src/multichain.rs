@@ -52,7 +52,10 @@ where
     S: SingletonPotential + Sync,
     L: LabelSampler + Clone + Send + Sync,
 {
-    assert!(replicas >= 2, "convergence assessment needs at least two chains");
+    assert!(
+        replicas >= 2,
+        "convergence assessment needs at least two chains"
+    );
     assert!(
         iterations > config.burn_in,
         "iterations must exceed burn-in to leave samples for R-hat"
@@ -73,7 +76,10 @@ where
                 })
             })
             .collect();
-        results = handles.into_iter().map(|h| h.join().expect("chain worker")).collect();
+        results = handles
+            .into_iter()
+            .map(|h| h.join().expect("chain worker"))
+            .collect();
     })
     .expect("scoped threads");
     let traces: Vec<Vec<f64>> = results
@@ -81,7 +87,10 @@ where
         .map(|r| r.energy_trace[config.burn_in..].to_vec())
         .collect();
     let r_hat = potential_scale_reduction(&traces);
-    MultiChainResult { chains: results, r_hat }
+    MultiChainResult {
+        chains: results,
+        r_hat,
+    }
 }
 
 #[cfg(test)]
@@ -108,7 +117,11 @@ mod tests {
     #[test]
     fn well_mixed_chains_pass_r_hat() {
         let mrf = easy_mrf();
-        let config = ChainConfig { burn_in: 10, seed: 1, ..ChainConfig::default() };
+        let config = ChainConfig {
+            burn_in: 10,
+            seed: 1,
+            ..ChainConfig::default()
+        };
         let result = run_chains(&mrf, &SoftmaxGibbs::new(), config, 4, 60);
         assert_eq!(result.chains.len(), 4);
         assert!(result.converged(1.1), "R-hat {}", result.r_hat);
@@ -117,7 +130,11 @@ mod tests {
     #[test]
     fn chains_differ_by_seed() {
         let mrf = easy_mrf();
-        let config = ChainConfig { burn_in: 0, seed: 7, ..ChainConfig::default() };
+        let config = ChainConfig {
+            burn_in: 0,
+            seed: 7,
+            ..ChainConfig::default()
+        };
         let result = run_chains(&mrf, &SoftmaxGibbs::new(), config, 2, 5);
         assert_ne!(
             result.chains[0].energy_trace, result.chains[1].energy_trace,

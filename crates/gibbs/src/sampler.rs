@@ -60,8 +60,10 @@ impl SoftmaxGibbs {
     /// fidelity tests against hardware samplers).
     pub fn probabilities(energies: &[f64], temperature: f64) -> Vec<f64> {
         let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
-        let weights: Vec<f64> =
-            energies.iter().map(|e| (-(e - min) / temperature).exp()).collect();
+        let weights: Vec<f64> = energies
+            .iter()
+            .map(|e| (-(e - min) / temperature).exp())
+            .collect();
         let total: f64 = weights.iter().sum();
         weights.into_iter().map(|w| w / total).collect()
     }
@@ -229,7 +231,10 @@ mod tests {
     fn single_label_space_is_fixed_point() {
         let mut g = SoftmaxGibbs::new();
         let mut rng = StdRng::seed_from_u64(4);
-        assert_eq!(g.sample_label(&[2.0], 1.0, Label::new(0), &mut rng), Label::new(0));
+        assert_eq!(
+            g.sample_label(&[2.0], 1.0, Label::new(0), &mut rng),
+            Label::new(0)
+        );
     }
 
     #[test]

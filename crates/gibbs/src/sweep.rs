@@ -30,12 +30,44 @@ pub fn sequential_sweep<S, L, R>(
     L: LabelSampler,
     R: Rng + ?Sized,
 {
-    assert_eq!(labels.len(), mrf.grid().len(), "labeling must cover the grid");
+    assert_eq!(
+        labels.len(),
+        mrf.grid().len(),
+        "labeling must cover the grid"
+    );
     let m = mrf.space().count();
     let mut energies = vec![0.0; m];
     for site in mrf.grid().sites() {
         mrf.conditional_energies_into(labels, site, &mut energies);
         labels[site] = sampler.sample_label(&energies, temperature, labels[site], rng);
+    }
+}
+
+/// Reusable buffers for repeated [`checkerboard_sweep`]/[`colored_sweep`]
+/// calls.
+///
+/// Each parity phase of a parallel sweep needs an immutable snapshot of
+/// the pre-phase labeling for neighbour reads. Allocating that snapshot
+/// per phase (`labels.to_vec()`) dominates allocator traffic in the hot
+/// loop of a long chain; a `SweepScratch` owns one snapshot buffer and
+/// reuses it across phases and sweeps.
+#[derive(Debug, Default, Clone)]
+pub struct SweepScratch {
+    snapshot: Vec<Label>,
+}
+
+impl SweepScratch {
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        SweepScratch::default()
+    }
+
+    /// Refreshes the snapshot buffer from `labels` and returns it.
+    fn refresh(&mut self, labels: &[Label]) -> &[Label] {
+        self.snapshot.clear();
+        self.snapshot.extend_from_slice(labels);
+        &self.snapshot
     }
 }
 
@@ -63,11 +95,51 @@ pub fn checkerboard_sweep<S, L>(
     S: SingletonPotential + Sync,
     L: LabelSampler + Clone + Send + Sync,
 {
+    let mut scratch = SweepScratch::new();
+    checkerboard_sweep_with_scratch(
+        mrf,
+        labels,
+        sampler,
+        temperature,
+        threads,
+        seed,
+        &mut scratch,
+    );
+}
+
+/// [`checkerboard_sweep`] with caller-owned scratch buffers, for hot loops
+/// that sweep many times. Bit-identical to the scratch-free entry point
+/// for the same arguments.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the grid size or `threads == 0`.
+pub fn checkerboard_sweep_with_scratch<S, L>(
+    mrf: &MarkovRandomField<S>,
+    labels: &mut [Label],
+    sampler: &L,
+    temperature: f64,
+    threads: usize,
+    seed: u64,
+    scratch: &mut SweepScratch,
+) where
+    S: SingletonPotential + Sync,
+    L: LabelSampler + Clone + Send + Sync,
+{
     let groups: Vec<Vec<usize>> = Parity::BOTH
         .into_iter()
         .map(|p| mrf.grid().sites_of_parity(p).collect())
         .collect();
-    sweep_groups(mrf, labels, sampler, temperature, threads, seed, &groups);
+    sweep_groups(
+        mrf,
+        labels,
+        sampler,
+        temperature,
+        threads,
+        seed,
+        &groups,
+        scratch,
+    );
 }
 
 /// Updates every site once using the field's own conditionally independent
@@ -89,10 +161,51 @@ pub fn colored_sweep<S, L>(
     S: SingletonPotential + Sync,
     L: LabelSampler + Clone + Send + Sync,
 {
-    let groups = mrf.independent_groups();
-    sweep_groups(mrf, labels, sampler, temperature, threads, seed, &groups);
+    let mut scratch = SweepScratch::new();
+    colored_sweep_with_scratch(
+        mrf,
+        labels,
+        sampler,
+        temperature,
+        threads,
+        seed,
+        &mut scratch,
+    );
 }
 
+/// [`colored_sweep`] with caller-owned scratch buffers, for hot loops that
+/// sweep many times. Bit-identical to the scratch-free entry point for the
+/// same arguments.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the grid size or `threads == 0`.
+pub fn colored_sweep_with_scratch<S, L>(
+    mrf: &MarkovRandomField<S>,
+    labels: &mut [Label],
+    sampler: &L,
+    temperature: f64,
+    threads: usize,
+    seed: u64,
+    scratch: &mut SweepScratch,
+) where
+    S: SingletonPotential + Sync,
+    L: LabelSampler + Clone + Send + Sync,
+{
+    let groups = mrf.independent_groups();
+    sweep_groups(
+        mrf,
+        labels,
+        sampler,
+        temperature,
+        threads,
+        seed,
+        &groups,
+        scratch,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
 fn sweep_groups<S, L>(
     mrf: &MarkovRandomField<S>,
     labels: &mut [Label],
@@ -101,16 +214,21 @@ fn sweep_groups<S, L>(
     threads: usize,
     seed: u64,
     groups: &[Vec<usize>],
+    scratch: &mut SweepScratch,
 ) where
     S: SingletonPotential + Sync,
     L: LabelSampler + Clone + Send + Sync,
 {
-    assert_eq!(labels.len(), mrf.grid().len(), "labeling must cover the grid");
+    assert_eq!(
+        labels.len(),
+        mrf.grid().len(),
+        "labeling must cover the grid"
+    );
     assert!(threads > 0, "need at least one thread");
     for (parity_idx, sites) in groups.iter().enumerate() {
         // Immutable snapshot for neighbour reads; same-parity sites never
         // read each other, so reading the pre-sweep labels is exact Gibbs.
-        let snapshot: Vec<Label> = labels.to_vec();
+        let snapshot = scratch.refresh(labels);
         let chunk = sites.len().div_ceil(threads);
         let mut updates: Vec<Vec<(usize, Label)>> = Vec::new();
         crossbeam::scope(|scope| {
@@ -140,7 +258,10 @@ fn sweep_groups<S, L>(
                 });
                 handles.push(handle);
             }
-            updates = handles.into_iter().map(|h| h.join().expect("sweep worker")).collect();
+            updates = handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker"))
+                .collect();
         })
         .expect("scoped threads");
         for (site, label) in updates.into_iter().flatten() {
@@ -183,7 +304,10 @@ mod tests {
         for _ in 0..20 {
             sequential_sweep(&mrf, &mut labels, &mut sampler, 1.0, &mut rng);
         }
-        assert!(mrf.total_energy(&labels) < e0, "energy should fall from uniform start");
+        assert!(
+            mrf.total_energy(&labels) < e0,
+            "energy should fall from uniform start"
+        );
     }
 
     #[test]

@@ -37,13 +37,16 @@ impl TemperingConfig {
     /// and positive.
     pub fn geometric_ladder(t_cold: f64, t_hot: f64, replicas: usize) -> Self {
         assert!(replicas >= 2, "tempering needs at least two replicas");
-        assert!(
-            t_cold > 0.0 && t_hot > t_cold,
-            "need 0 < t_cold < t_hot"
-        );
+        assert!(t_cold > 0.0 && t_hot > t_cold, "need 0 < t_cold < t_hot");
         let ratio = (t_hot / t_cold).powf(1.0 / (replicas - 1) as f64);
-        let temperatures = (0..replicas).map(|k| t_cold * ratio.powi(k as i32)).collect();
-        TemperingConfig { temperatures, swaps_per_iteration: 1, seed: 0 }
+        let temperatures = (0..replicas)
+            .map(|k| t_cold * ratio.powi(k as i32))
+            .collect();
+        TemperingConfig {
+            temperatures,
+            swaps_per_iteration: 1,
+            seed: 0,
+        }
     }
 }
 
@@ -76,9 +79,13 @@ where
             config.temperatures.windows(2).all(|w| w[0] < w[1]),
             "temperatures must be strictly increasing"
         );
-        assert!(config.temperatures.len() >= 2, "tempering needs at least two replicas");
-        let replicas: Vec<Vec<Label>> =
-            (0..config.temperatures.len()).map(|_| mrf.uniform_labeling()).collect();
+        assert!(
+            config.temperatures.len() >= 2,
+            "tempering needs at least two replicas"
+        );
+        let replicas: Vec<Vec<Label>> = (0..config.temperatures.len())
+            .map(|_| mrf.uniform_labeling())
+            .collect();
         let energies = replicas.iter().map(|r| mrf.total_energy(r)).collect();
         TemperedChains {
             mrf,
@@ -220,7 +227,10 @@ mod tests {
         let mut ladder = TemperedChains::new(&mrf, SoftmaxGibbs::new(), config);
         ladder.run(30);
         let acc = ladder.swap_acceptance();
-        assert!(acc > 0.05, "swap acceptance {acc} too low — ladder too sparse");
+        assert!(
+            acc > 0.05,
+            "swap acceptance {acc} too low — ladder too sparse"
+        );
     }
 
     #[test]

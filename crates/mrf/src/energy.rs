@@ -60,7 +60,10 @@ impl SmoothnessPrior {
     }
 
     fn new(weight: f64, kind: DoubletonKind) -> Self {
-        assert!(weight.is_finite() && weight >= 0.0, "weight must be non-negative");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be non-negative"
+        );
         SmoothnessPrior { weight, kind }
     }
 

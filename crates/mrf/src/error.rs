@@ -44,10 +44,16 @@ impl fmt::Display for MrfError {
                 write!(f, "label count {count} outside the supported range 1..=64")
             }
             MrfError::WindowTooLarge { width, height } => {
-                write!(f, "window {width}x{height} has components beyond 3-bit range")
+                write!(
+                    f,
+                    "window {width}x{height} has components beyond 3-bit range"
+                )
             }
             MrfError::LabelingSizeMismatch { expected, actual } => {
-                write!(f, "labeling has {actual} entries but the grid has {expected} sites")
+                write!(
+                    f,
+                    "labeling has {actual} entries but the grid has {expected} sites"
+                )
             }
             MrfError::EmptyGrid => write!(f, "grid dimensions must be non-zero"),
         }
@@ -65,8 +71,14 @@ mod tests {
         for e in [
             MrfError::LabelTooLarge { value: 100 },
             MrfError::InvalidLabelCount { count: 0 },
-            MrfError::WindowTooLarge { width: 9, height: 9 },
-            MrfError::LabelingSizeMismatch { expected: 4, actual: 5 },
+            MrfError::WindowTooLarge {
+                width: 9,
+                height: 9,
+            },
+            MrfError::LabelingSizeMismatch {
+                expected: 4,
+                actual: 5,
+            },
             MrfError::EmptyGrid,
         ] {
             assert!(!e.to_string().is_empty());

@@ -97,7 +97,10 @@ impl MrfBuilder {
 
     /// Supplies the singleton potential and finishes the build.
     pub fn singleton<S: SingletonPotential>(self, singleton: S) -> MrfBuilderWithSingleton<S> {
-        MrfBuilderWithSingleton { inner: self, singleton }
+        MrfBuilderWithSingleton {
+            inner: self,
+            singleton,
+        }
     }
 }
 
@@ -190,7 +193,9 @@ impl<S: SingletonPotential> MarkovRandomField<S> {
         }
         for l in labels {
             if !self.space.contains(*l) {
-                return Err(MrfError::LabelTooLarge { value: u16::from(l.value()) });
+                return Err(MrfError::LabelTooLarge {
+                    value: u16::from(l.value()),
+                });
             }
         }
         Ok(())
@@ -210,9 +215,9 @@ impl<S: SingletonPotential> MarkovRandomField<S> {
                 .into_iter()
                 .map(|p| self.grid.sites_of_parity(p).collect())
                 .collect(),
-            Neighborhood::SecondOrder => {
-                (0..4).map(|c| self.grid.sites_of_block_color(c).collect()).collect()
-            }
+            Neighborhood::SecondOrder => (0..4)
+                .map(|c| self.grid.sites_of_block_color(c).collect())
+                .collect(),
         }
     }
 
@@ -249,7 +254,11 @@ impl<S: SingletonPotential> MarkovRandomField<S> {
     ///
     /// Panics if `out.len()` differs from the label count.
     pub fn conditional_energies_into(&self, labels: &[Label], site: usize, out: &mut [f64]) {
-        assert_eq!(out.len(), self.space.count(), "output buffer must have M entries");
+        assert_eq!(
+            out.len(),
+            self.space.count(),
+            "output buffer must have M entries"
+        );
         for (slot, label) in out.iter_mut().zip(self.space.labels()) {
             *slot = self.site_energy(labels, site, label);
         }
@@ -275,13 +284,11 @@ impl<S: SingletonPotential> MarkovRandomField<S> {
             if self.neighborhood == Neighborhood::SecondOrder && y + 1 < self.grid.height() {
                 if x > 0 {
                     let n = self.grid.index(x - 1, y + 1);
-                    e += DIAGONAL_WEIGHT
-                        * self.prior.energy(&self.space, labels[site], labels[n]);
+                    e += DIAGONAL_WEIGHT * self.prior.energy(&self.space, labels[site], labels[n]);
                 }
                 if x + 1 < self.grid.width() {
                     let n = self.grid.index(x + 1, y + 1);
-                    e += DIAGONAL_WEIGHT
-                        * self.prior.energy(&self.space, labels[site], labels[n]);
+                    e += DIAGONAL_WEIGHT * self.prior.energy(&self.space, labels[site], labels[n]);
                 }
             }
         }
@@ -371,7 +378,10 @@ mod tests {
         ));
         let mut bad = mrf.uniform_labeling();
         bad[3] = Label::new(7); // space only has 3 labels
-        assert!(matches!(mrf.validate_labeling(&bad), Err(MrfError::LabelTooLarge { .. })));
+        assert!(matches!(
+            mrf.validate_labeling(&bad),
+            Err(MrfError::LabelTooLarge { .. })
+        ));
     }
 
     fn second_order_field() -> MarkovRandomField<ZeroSingleton> {
@@ -413,8 +423,10 @@ mod tests {
 
     #[test]
     fn independent_groups_cover_and_separate() {
-        for mrf_groups in [small_field().independent_groups(), second_order_field().independent_groups()]
-        {
+        for mrf_groups in [
+            small_field().independent_groups(),
+            second_order_field().independent_groups(),
+        ] {
             let total: usize = mrf_groups.iter().map(Vec::len).sum();
             assert_eq!(total, 16);
         }
@@ -441,7 +453,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "temperature must be positive")]
     fn zero_temperature_rejected() {
-        let _ = MarkovRandomField::builder(Grid2D::new(2, 2), LabelSpace::scalar(2))
-            .temperature(0.0);
+        let _ =
+            MarkovRandomField::builder(Grid2D::new(2, 2), LabelSpace::scalar(2)).temperature(0.0);
     }
 }

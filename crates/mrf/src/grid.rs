@@ -88,7 +88,10 @@ impl Grid2D {
     ///
     /// Panics in debug builds if the coordinates are out of range.
     pub fn index(&self, x: usize, y: usize) -> usize {
-        debug_assert!(x < self.width && y < self.height, "({x}, {y}) out of bounds");
+        debug_assert!(
+            x < self.width && y < self.height,
+            "({x}, {y}) out of bounds"
+        );
         y * self.width + x
     }
 
@@ -247,7 +250,10 @@ mod tests {
         for s in g.sites() {
             for n in g.neighbors_diagonal(s).into_iter().flatten() {
                 assert!(
-                    g.neighbors_diagonal(n).into_iter().flatten().any(|b| b == s),
+                    g.neighbors_diagonal(n)
+                        .into_iter()
+                        .flatten()
+                        .any(|b| b == s),
                     "site {s} lists {n} but not vice versa"
                 );
             }

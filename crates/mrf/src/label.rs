@@ -17,7 +17,9 @@ pub const MAX_LABELS: u16 = 64;
 pub const COMPONENT_BITS: u32 = 3;
 
 /// A 6-bit label value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Label(u8);
 
 impl Label {
@@ -38,7 +40,9 @@ impl Label {
     /// Returns [`MrfError::LabelTooLarge`] if `value >= 64`.
     pub fn try_new(value: u8) -> Result<Self, MrfError> {
         if u16::from(value) >= MAX_LABELS {
-            Err(MrfError::LabelTooLarge { value: u16::from(value) })
+            Err(MrfError::LabelTooLarge {
+                value: u16::from(value),
+            })
         } else {
             Ok(Label(value))
         }
@@ -115,7 +119,10 @@ impl LabelSpace {
         if count == 0 || count > MAX_LABELS {
             Err(MrfError::InvalidLabelCount { count })
         } else {
-            Ok(LabelSpace { count: count as u8, kind: LabelKind::Scalar })
+            Ok(LabelSpace {
+                count: count as u8,
+                kind: LabelKind::Scalar,
+            })
         }
     }
 
@@ -136,7 +143,10 @@ impl LabelSpace {
         if count == 0 || count > MAX_LABELS {
             return Err(MrfError::InvalidLabelCount { count });
         }
-        Ok(LabelSpace { count: count as u8, kind: LabelKind::Vector2 })
+        Ok(LabelSpace {
+            count: count as u8,
+            kind: LabelKind::Vector2,
+        })
     }
 
     /// Infallible window constructor.

@@ -100,8 +100,8 @@ impl Labeling {
         }
         let width = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes")) as usize;
         let height = u32::from_le_bytes(header[9..13].try_into().expect("4 bytes")) as usize;
-        let grid = Grid2D::try_new(width, height)
-            .map_err(|_| bad("labeling has empty dimensions"))?;
+        let grid =
+            Grid2D::try_new(width, height).map_err(|_| bad("labeling has empty dimensions"))?;
         // Guard absurd headers before allocating.
         if grid.len() > 1 << 28 {
             return Err(bad("labeling dimensions implausibly large"));

@@ -41,7 +41,9 @@ impl EnergyQuantizer {
             max_energy.is_finite() && max_energy > 0.0,
             "max energy must be positive"
         );
-        EnergyQuantizer { scale: f64::from(ENERGY_MAX) / max_energy }
+        EnergyQuantizer {
+            scale: f64::from(ENERGY_MAX) / max_energy,
+        }
     }
 
     /// The multiplicative scale.

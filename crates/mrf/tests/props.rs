@@ -2,9 +2,7 @@
 
 use mogs_mrf::energy::ZeroSingleton;
 use mogs_mrf::precision::{redundant_label_groups, saturating_energy_sum, EnergyQuantizer};
-use mogs_mrf::{
-    Grid2D, Label, LabelSpace, MarkovRandomField, Neighborhood, SmoothnessPrior,
-};
+use mogs_mrf::{Grid2D, Label, LabelSpace, MarkovRandomField, Neighborhood, SmoothnessPrior};
 use proptest::prelude::*;
 
 proptest! {

@@ -42,7 +42,11 @@ impl Default for ControllerLatency {
     fn default() -> Self {
         // Calibrated so a 50×67 image iteration (one SetIntensity pair +
         // Arm + Read per pixel) costs the paper's ~60 s.
-        ControllerLatency { set_intensity_s: 8.0e-3, arm_s: 0.45e-3, read_s: 0.45e-3 }
+        ControllerLatency {
+            set_intensity_s: 8.0e-3,
+            arm_s: 0.45e-3,
+            read_s: 0.45e-3,
+        }
     }
 }
 
@@ -55,7 +59,9 @@ pub struct ControllerSession {
 impl ControllerSession {
     /// Starts an empty session.
     pub fn new() -> Self {
-        ControllerSession { commands: Vec::new() }
+        ControllerSession {
+            commands: Vec::new(),
+        }
     }
 
     /// Queues one command.
@@ -67,10 +73,16 @@ impl ControllerSession {
     /// Queues the per-pixel sequence of the Figure 7 experiment: program
     /// both channels for the pixel's label distribution, arm, read.
     pub fn push_pixel_evaluation(&mut self, code0: u8, code1: u8) -> &mut Self {
-        self.push(Command::SetIntensity { channel: 0, code: code0 })
-            .push(Command::SetIntensity { channel: 1, code: code1 })
-            .push(Command::Arm)
-            .push(Command::ReadTimestamps)
+        self.push(Command::SetIntensity {
+            channel: 0,
+            code: code0,
+        })
+        .push(Command::SetIntensity {
+            channel: 1,
+            code: code1,
+        })
+        .push(Command::Arm)
+        .push(Command::ReadTimestamps)
     }
 
     /// Commands queued so far.
@@ -115,7 +127,9 @@ mod tests {
     #[test]
     fn figure7_iteration_costs_about_sixty_seconds() {
         let session = ControllerSession::image_iteration(50 * 67);
-        let t = session.duration(&ControllerLatency::default()).as_secs_f64();
+        let t = session
+            .duration(&ControllerLatency::default())
+            .as_secs_f64();
         assert!((55.0..65.0).contains(&t), "iteration interface time {t} s");
     }
 
@@ -126,7 +140,10 @@ mod tests {
         let mut only_sets = ControllerSession::new();
         for _ in 0..1000 {
             only_reads.push(Command::ReadTimestamps);
-            only_sets.push(Command::SetIntensity { channel: 0, code: 1 });
+            only_sets.push(Command::SetIntensity {
+                channel: 0,
+                code: 1,
+            });
         }
         assert!(only_sets.duration(&latency) > 10 * only_reads.duration(&latency));
     }

@@ -23,7 +23,12 @@ pub struct RatioPoint {
 ///
 /// `trials` first-to-fire draws are taken per point; 50k reproduces the
 /// paper's error bands comfortably.
-pub fn ratio_sweep(rig: &mut PrototypeRig, targets: &[f64], trials: usize, seed: u64) -> Vec<RatioPoint> {
+pub fn ratio_sweep(
+    rig: &mut PrototypeRig,
+    targets: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<RatioPoint> {
     let mut rng = StdRng::seed_from_u64(seed);
     targets
         .iter()
@@ -41,7 +46,9 @@ pub fn ratio_sweep(rig: &mut PrototypeRig, targets: &[f64], trials: usize, seed:
 
 /// The standard sweep targets (powers-of-two-ish ladder over 1..=255).
 pub fn standard_targets() -> Vec<f64> {
-    vec![1.0, 2.0, 4.0, 8.0, 15.0, 30.0, 60.0, 100.0, 150.0, 200.0, 255.0]
+    vec![
+        1.0, 2.0, 4.0, 8.0, 15.0, 30.0, 60.0, 100.0, 150.0, 200.0, 255.0,
+    ]
 }
 
 /// Result of the Figure 7 segmentation demonstration.
@@ -71,8 +78,7 @@ pub fn segment_demo(rig: PrototypeRig, seed: u64) -> Fig7Result {
         },
     );
     let result = app.run(RigSampler::new(rig), 10, seed);
-    let accuracy =
-        mogs_vision::metrics::label_accuracy(&result.labels, &scene.truth);
+    let accuracy = mogs_vision::metrics::label_accuracy(&result.labels, &scene.truth);
     Fig7Result {
         input: scene.image,
         sample: app.labels_to_image(&result.labels),
@@ -114,7 +120,10 @@ mod tests {
             .filter(|p| p.target > 30.0)
             .map(|p| p.relative_error)
             .fold(0.0, f64::max);
-        assert!(worst_high > 0.10, "high ratios should degrade, worst {worst_high:.3}");
+        assert!(
+            worst_high > 0.10,
+            "high ratios should degrade, worst {worst_high:.3}"
+        );
     }
 
     #[test]

@@ -49,7 +49,7 @@ impl Default for RigConfig {
             full_scale_rate: 1e6,
             dark_fraction: 1.2e-3,
             calibration_sigma: 0.03,
-            calibration_seed: 0x5EED,
+            calibration_seed: 0x38,
         }
     }
 }
@@ -71,7 +71,11 @@ impl PrototypeRig {
         let gain = (0..=DAC_CODES)
             .map(|_| 1.0 + gaussian(&mut rng) * config.calibration_sigma)
             .collect();
-        PrototypeRig { config, gain, codes: [DAC_CODES, DAC_CODES] }
+        PrototypeRig {
+            config,
+            gain,
+            codes: [DAC_CODES, DAC_CODES],
+        }
     }
 
     /// The configuration.
@@ -88,7 +92,10 @@ impl PrototypeRig {
     ///
     /// Panics if `ratio < 1` (swap the channels instead) or is not finite.
     pub fn set_ratio(&mut self, ratio: f64) {
-        assert!(ratio.is_finite() && ratio >= 1.0, "ratio must be at least 1");
+        assert!(
+            ratio.is_finite() && ratio >= 1.0,
+            "ratio must be at least 1"
+        );
         self.codes[0] = DAC_CODES;
         let target = f64::from(DAC_CODES) / ratio;
         self.codes[1] = (target.round() as u16).clamp(1, DAC_CODES);
@@ -180,9 +187,12 @@ impl LabelSampler for RigSampler {
         // Software parameterization (done on the PC in §7): Boltzmann
         // weights → a ratio → laser codes. Channel 0 carries the more
         // probable label.
-        let (lo, hi): (u8, u8) = if energies[0] <= energies[1] { (0, 1) } else { (1, 0) };
-        let ratio =
-            ((energies[usize::from(hi)] - energies[usize::from(lo)]) / temperature).exp();
+        let (lo, hi): (u8, u8) = if energies[0] <= energies[1] {
+            (0, 1)
+        } else {
+            (1, 0)
+        };
+        let ratio = ((energies[usize::from(hi)] - energies[usize::from(lo)]) / temperature).exp();
         let mut rig = self.rig.clone();
         rig.set_ratio(ratio.clamp(1.0, 255.0));
         let winner = rig.sample_winner(rng);
@@ -274,7 +284,10 @@ mod tests {
         };
         let ideal = 255.0;
         let achieved = rig_dark.channel_rate(0) / rig_dark.channel_rate(1);
-        assert!(achieved < 0.5 * ideal, "dark floor should compress the ratio, got {achieved}");
+        assert!(
+            achieved < 0.5 * ideal,
+            "dark floor should compress the ratio, got {achieved}"
+        );
     }
 
     #[test]

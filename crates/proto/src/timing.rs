@@ -19,7 +19,10 @@ pub struct PrototypeTiming {
 
 impl Default for PrototypeTiming {
     fn default() -> Self {
-        PrototypeTiming { per_pixel_sample_us: 2.0, controller_delay_s: 60.0 }
+        PrototypeTiming {
+            per_pixel_sample_us: 2.0,
+            controller_delay_s: 60.0,
+        }
     }
 }
 

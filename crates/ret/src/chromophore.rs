@@ -36,10 +36,14 @@ impl Chromophore {
         quantum_yield: f64,
     ) -> Result<Self, RetError> {
         if !(lifetime_ns.is_finite() && lifetime_ns > 0.0) {
-            return Err(RetError::InvalidChromophore { what: "lifetime must be positive" });
+            return Err(RetError::InvalidChromophore {
+                what: "lifetime must be positive",
+            });
         }
         if !(0.0..=1.0).contains(&quantum_yield) {
-            return Err(RetError::InvalidChromophore { what: "quantum yield must be in [0, 1]" });
+            return Err(RetError::InvalidChromophore {
+                what: "quantum yield must be in [0, 1]",
+            });
         }
         Ok(Chromophore {
             name: name.into(),
@@ -143,7 +147,11 @@ mod tests {
 
     #[test]
     fn library_dyes_are_stokes_shifted() {
-        for c in [Chromophore::cy3_like(), Chromophore::cy5_like(), Chromophore::cy35_like()] {
+        for c in [
+            Chromophore::cy3_like(),
+            Chromophore::cy5_like(),
+            Chromophore::cy35_like(),
+        ] {
             assert!(
                 c.emission().peak_nm > c.absorption().peak_nm,
                 "{} must emit red-shifted from absorption",

@@ -52,7 +52,11 @@ impl Default for SpadConfig {
     fn default() -> Self {
         // Representative of an integrated CMOS SPAD: ~40% PDE, ~100 dark
         // counts/s (negligible at ns scale), ~50 ps jitter.
-        SpadConfig { efficiency: 0.4, dark_rate_per_ns: 1e-7, jitter_sigma_ns: 0.05 }
+        SpadConfig {
+            efficiency: 0.4,
+            dark_rate_per_ns: 1e-7,
+            jitter_sigma_ns: 0.05,
+        }
     }
 }
 
@@ -74,7 +78,10 @@ impl Spad {
             (0.0..=1.0).contains(&config.efficiency),
             "SPAD efficiency must be in [0, 1]"
         );
-        assert!(config.dark_rate_per_ns >= 0.0, "dark rate must be non-negative");
+        assert!(
+            config.dark_rate_per_ns >= 0.0,
+            "dark rate must be non-negative"
+        );
         assert!(config.jitter_sigma_ns >= 0.0, "jitter must be non-negative");
         Spad { config }
     }
@@ -166,10 +173,22 @@ impl RetCircuit {
     /// Panics on non-physical parameters (zero ensemble, non-positive
     /// excitation rate or window, invalid SPAD settings).
     pub fn new(config: RetCircuitConfig) -> Self {
-        assert!(config.ensemble_size > 0, "ensemble must contain at least one network");
-        assert!(config.excitation_rate_per_level > 0.0, "excitation rate must be positive");
-        assert!(config.window_ns > 0.0, "observation window must be positive");
-        assert!(config.quiescence_ns >= 0.0, "quiescence must be non-negative");
+        assert!(
+            config.ensemble_size > 0,
+            "ensemble must contain at least one network"
+        );
+        assert!(
+            config.excitation_rate_per_level > 0.0,
+            "excitation rate must be positive"
+        );
+        assert!(
+            config.window_ns > 0.0,
+            "observation window must be positive"
+        );
+        assert!(
+            config.quiescence_ns >= 0.0,
+            "quiescence must be non-negative"
+        );
         let _ = Spad::new(config.spad); // validates SPAD fields
         let emission = config
             .network
@@ -200,7 +219,10 @@ impl RetCircuit {
     ///
     /// Panics if `code >= 16` — the DAC physically has 4 bits.
     pub fn set_intensity_code(&mut self, code: u8) {
-        assert!(code < INTENSITY_LEVELS, "intensity code {code} does not fit in 4 bits");
+        assert!(
+            code < INTENSITY_LEVELS,
+            "intensity code {code} does not fit in 4 bits"
+        );
         self.intensity_code = code;
     }
 
@@ -221,7 +243,10 @@ impl RetCircuit {
     ///
     /// Panics if `fraction` is outside `[0, 1]`.
     pub fn set_alive_fraction(&mut self, fraction: f64) {
-        assert!((0.0..=1.0).contains(&fraction), "alive fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "alive fraction must be in [0, 1]"
+        );
         self.alive_fraction = fraction;
     }
 
@@ -250,8 +275,8 @@ impl RetCircuit {
         if exc_rate <= 0.0 {
             return 0.0;
         }
-        let mean_first_detection = 1.0 / (exc_rate * self.detect_per_excitation)
-            + self.mean_transit_ns;
+        let mean_first_detection =
+            1.0 / (exc_rate * self.detect_per_excitation) + self.mean_transit_ns;
         1.0 / mean_first_detection
     }
 
@@ -368,7 +393,10 @@ mod tests {
     #[test]
     fn zero_intensity_never_fires_without_dark_counts() {
         let config = RetCircuitConfig {
-            spad: SpadConfig { dark_rate_per_ns: 0.0, ..SpadConfig::default() },
+            spad: SpadConfig {
+                dark_rate_per_ns: 0.0,
+                ..SpadConfig::default()
+            },
             ..RetCircuitConfig::default()
         };
         let mut c = RetCircuit::new(config);
@@ -404,7 +432,10 @@ mod tests {
         let (mean, hits) = sample_mean(&mut c, &mut rng, 20_000);
         assert_eq!(hits, 20_000);
         let expect = 1.0 / c.effective_rate(8);
-        assert!((mean - expect).abs() / expect < 0.03, "mean {mean} vs {expect}");
+        assert!(
+            (mean - expect).abs() / expect < 0.03,
+            "mean {mean} vs {expect}"
+        );
     }
 
     #[test]
@@ -413,7 +444,10 @@ mod tests {
             RetCircuit::new(RetCircuitConfig {
                 fidelity,
                 window_ns: 1e4,
-                spad: SpadConfig { dark_rate_per_ns: 0.0, ..SpadConfig::default() },
+                spad: SpadConfig {
+                    dark_rate_per_ns: 0.0,
+                    ..SpadConfig::default()
+                },
                 ..RetCircuitConfig::default()
             })
         };
@@ -478,7 +512,10 @@ mod tests {
         use crate::exponential::{first_to_fire_with, ExponentialSampler};
         let mut circuit = RetCircuit::new(RetCircuitConfig {
             window_ns: 1e4,
-            spad: SpadConfig { dark_rate_per_ns: 0.0, ..SpadConfig::default() },
+            spad: SpadConfig {
+                dark_rate_per_ns: 0.0,
+                ..SpadConfig::default()
+            },
             ..RetCircuitConfig::default()
         });
         // Request a rate near code 8's effective rate: the circuit should
@@ -490,7 +527,10 @@ mod tests {
             .map(|_| circuit.sample(target, &mut rng).expect("fires"))
             .sum::<f64>()
             / n as f64;
-        assert!((mean - 1.0 / target).abs() / (1.0 / target) < 0.05, "mean {mean}");
+        assert!(
+            (mean - 1.0 / target).abs() / (1.0 / target) < 0.05,
+            "mean {mean}"
+        );
         // And it slots into first-to-fire: a 3:1 rate split wins ~3:1.
         let r1 = circuit.effective_rate(12);
         let r2 = circuit.effective_rate(4);

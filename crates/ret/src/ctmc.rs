@@ -34,7 +34,10 @@ pub fn simulate_exciton<R: Rng + ?Sized>(
     initial: usize,
     rng: &mut R,
 ) -> Trajectory {
-    assert!(initial < network.len(), "initial node {initial} out of range");
+    assert!(
+        initial < network.len(),
+        "initial node {initial} out of range"
+    );
     let mut node = initial;
     let mut elapsed_ns = 0.0;
     let mut hops = 0;
@@ -58,10 +61,18 @@ pub fn simulate_exciton<R: Rng + ?Sized>(
                 hops += 1;
             }
             Transition::Emit => {
-                return Trajectory { outcome: Outcome::Emitted(node), elapsed_ns, hops };
+                return Trajectory {
+                    outcome: Outcome::Emitted(node),
+                    elapsed_ns,
+                    hops,
+                };
             }
             Transition::Quench => {
-                return Trajectory { outcome: Outcome::Quenched, elapsed_ns, hops };
+                return Trajectory {
+                    outcome: Outcome::Quenched,
+                    elapsed_ns,
+                    hops,
+                };
             }
         }
     }
@@ -127,8 +138,10 @@ mod tests {
         // against simulated absorption time regardless of outcome.
         let mut rng = StdRng::seed_from_u64(5);
         let n = 30_000;
-        let mean: f64 =
-            (0..n).map(|_| simulate_exciton(&net, 0, &mut rng).elapsed_ns).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| simulate_exciton(&net, 0, &mut rng).elapsed_ns)
+            .sum::<f64>()
+            / n as f64;
         assert!(
             (mean - ph.mean()).abs() / ph.mean() < 0.03,
             "simulated {mean} vs analytic {}",
@@ -150,8 +163,13 @@ mod tests {
         // At 3 nm the Cy3→Cy5 transfer dominates, so most trajectories hop.
         let net = RetNetwork::donor_acceptor(3.0);
         let mut rng = StdRng::seed_from_u64(9);
-        let hops: usize = (0..2000).map(|_| simulate_exciton(&net, 0, &mut rng).hops).sum();
-        assert!(hops > 1000, "expected mostly hopping trajectories, got {hops} hops");
+        let hops: usize = (0..2000)
+            .map(|_| simulate_exciton(&net, 0, &mut rng).hops)
+            .sum();
+        assert!(
+            hops > 1000,
+            "expected mostly hopping trajectories, got {hops} hops"
+        );
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl fmt::Display for RetError {
                 write!(f, "invalid chromophore parameter: {what}")
             }
             RetError::NodeOutOfRange { index, len } => {
-                write!(f, "node index {index} out of range for network of {len} chromophores")
+                write!(
+                    f,
+                    "node index {index} out of range for network of {len} chromophores"
+                )
             }
             RetError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
@@ -71,10 +74,17 @@ mod tests {
     fn display_is_nonempty_and_lowercase_start() {
         let errors = [
             RetError::EmptyNetwork,
-            RetError::ChromophoresTooClose { a: 0, b: 1, distance_nm: 0.1 },
+            RetError::ChromophoresTooClose {
+                a: 0,
+                b: 1,
+                distance_nm: 0.1,
+            },
             RetError::InvalidChromophore { what: "lifetime" },
             RetError::NodeOutOfRange { index: 5, len: 2 },
-            RetError::DimensionMismatch { expected: 3, actual: 2 },
+            RetError::DimensionMismatch {
+                expected: 3,
+                actual: 2,
+            },
         ];
         for e in errors {
             let s = e.to_string();

@@ -65,7 +65,10 @@ pub fn first_to_fire_with<S: ExponentialSampler, R: Rng + ?Sized>(
 ) -> Option<(usize, f64)> {
     let mut best: Option<(usize, f64)> = None;
     for (i, &rate) in rates.iter().enumerate() {
-        assert!(rate.is_finite() && rate >= 0.0, "rates must be finite and non-negative");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "rates must be finite and non-negative"
+        );
         if let Some(t) = sampler.sample(rate, rng) {
             if best.is_none_or(|(_, bt)| t < bt) {
                 best = Some((i, t));
@@ -119,8 +122,10 @@ mod tests {
         let mut s = IdealExponential::new();
         let mut rng = StdRng::seed_from_u64(8);
         let n = 30_000;
-        let mean: f64 =
-            (0..n).map(|_| s.sample(4.0, &mut rng).unwrap()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| s.sample(4.0, &mut rng).unwrap())
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 0.25).abs() < 0.005);
     }
 

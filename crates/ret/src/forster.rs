@@ -75,7 +75,11 @@ impl ForsterPair {
         } else {
             donor.decay_rate() * r0_sixth / distance_nm.powi(6)
         };
-        ForsterPair { r0_nm, distance_nm, rate }
+        ForsterPair {
+            r0_nm,
+            distance_nm,
+            rate,
+        }
     }
 
     /// Transfer efficiency for this pair in isolation:
@@ -111,7 +115,10 @@ mod tests {
         let probe = ForsterPair::evaluate(&d, &a, 4.0);
         let at_r0 = ForsterPair::evaluate(&d, &a, probe.r0_nm);
         let eff = at_r0.efficiency(d.decay_rate());
-        assert!((eff - 0.5).abs() < 1e-9, "efficiency at R0 must be 1/2, got {eff}");
+        assert!(
+            (eff - 0.5).abs() < 1e-9,
+            "efficiency at R0 must be 1/2, got {eff}"
+        );
     }
 
     #[test]
@@ -122,7 +129,12 @@ mod tests {
         let a = Chromophore::cy5_like();
         let fwd = ForsterPair::evaluate(&d, &a, 4.0);
         let back = ForsterPair::evaluate(&a, &d, 4.0);
-        assert!(fwd.rate > 10.0 * back.rate, "fwd {} back {}", fwd.rate, back.rate);
+        assert!(
+            fwd.rate > 10.0 * back.rate,
+            "fwd {} back {}",
+            fwd.rate,
+            back.rate
+        );
     }
 
     #[test]

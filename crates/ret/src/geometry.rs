@@ -36,8 +36,14 @@ impl DnaScaffold {
     ///
     /// Panics if either dimension is zero.
     pub fn new(helices: usize, sites_per_helix: usize) -> Self {
-        assert!(helices > 0 && sites_per_helix > 0, "scaffold must have sites");
-        DnaScaffold { helices, sites_per_helix }
+        assert!(
+            helices > 0 && sites_per_helix > 0,
+            "scaffold must have sites"
+        );
+        DnaScaffold {
+            helices,
+            sites_per_helix,
+        }
     }
 
     /// Number of helices.
@@ -58,10 +64,16 @@ impl DnaScaffold {
     /// scaffold.
     pub fn position(&self, helix: usize, site: usize) -> Result<[f64; 3], RetError> {
         if helix >= self.helices {
-            return Err(RetError::NodeOutOfRange { index: helix, len: self.helices });
+            return Err(RetError::NodeOutOfRange {
+                index: helix,
+                len: self.helices,
+            });
         }
         if site >= self.sites_per_helix {
-            return Err(RetError::NodeOutOfRange { index: site, len: self.sites_per_helix });
+            return Err(RetError::NodeOutOfRange {
+                index: site,
+                len: self.sites_per_helix,
+            });
         }
         Ok([
             site as f64 * SITE_PITCH_BASES as f64 * BASE_RISE_NM,
@@ -145,9 +157,7 @@ mod tests {
         let s = DnaScaffold::new(1, 16);
         let near = s.donor_acceptor_pair(1).unwrap();
         let far = s.donor_acceptor_pair(8).unwrap();
-        assert!(
-            near.transfer_rate(0, 1).unwrap() > 1000.0 * far.transfer_rate(0, 1).unwrap()
-        );
+        assert!(near.transfer_rate(0, 1).unwrap() > 1000.0 * far.transfer_rate(0, 1).unwrap());
     }
 
     #[test]

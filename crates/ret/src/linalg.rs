@@ -13,7 +13,10 @@ pub(crate) struct Matrix {
 
 impl Matrix {
     pub(crate) fn zeros(n: usize) -> Self {
-        Matrix { n, data: vec![0.0; n * n] }
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     pub(crate) fn n(&self) -> usize {

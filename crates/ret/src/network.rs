@@ -68,13 +68,21 @@ impl RetNetwork {
                 }
                 let d = distance(&positions[i], &positions[j]);
                 if d < CONTACT_LIMIT_NM {
-                    return Err(RetError::ChromophoresTooClose { a: i, b: j, distance_nm: d });
+                    return Err(RetError::ChromophoresTooClose {
+                        a: i,
+                        b: j,
+                        distance_nm: d,
+                    });
                 }
                 transfer[i * n + j] =
                     ForsterPair::evaluate(&chromophores[i], &chromophores[j], d).rate;
             }
         }
-        Ok(RetNetwork { chromophores, positions, transfer })
+        Ok(RetNetwork {
+            chromophores,
+            positions,
+            transfer,
+        })
     }
 
     /// A canonical two-node donor→acceptor relay (Cy3 → Cy5) at the given
@@ -192,7 +200,10 @@ impl RetNetwork {
     pub fn ttf_distribution(&self, initial: usize) -> Result<PhaseType, RetError> {
         let n = self.len();
         if initial >= n {
-            return Err(RetError::NodeOutOfRange { index: initial, len: n });
+            return Err(RetError::NodeOutOfRange {
+                index: initial,
+                len: n,
+            });
         }
         let mut alpha = vec![0.0; n];
         alpha[initial] = 1.0;
@@ -211,7 +222,10 @@ impl RetNetwork {
     pub fn emission_probabilities(&self, initial: usize) -> Result<EmissionSplit, RetError> {
         let n = self.len();
         if initial >= n {
-            return Err(RetError::NodeOutOfRange { index: initial, len: n });
+            return Err(RetError::NodeOutOfRange {
+                index: initial,
+                len: n,
+            });
         }
         let s = self.sub_generator();
         // neg_s = -S
@@ -246,7 +260,10 @@ impl RetNetwork {
     pub fn mean_emission_time(&self, initial: usize) -> Result<f64, RetError> {
         let n = self.len();
         if initial >= n {
-            return Err(RetError::NodeOutOfRange { index: initial, len: n });
+            return Err(RetError::NodeOutOfRange {
+                index: initial,
+                len: n,
+            });
         }
         let s = self.sub_generator();
         let mut neg_s = Matrix::zeros(n);
@@ -255,11 +272,17 @@ impl RetNetwork {
                 neg_s.set(i, j, -s.get(i, j));
             }
         }
-        let r: Vec<f64> = self.chromophores.iter().map(Chromophore::radiative_rate).collect();
+        let r: Vec<f64> = self
+            .chromophores
+            .iter()
+            .map(Chromophore::radiative_rate)
+            .collect();
         let v1 = neg_s.solve(&r); // (-S)⁻¹ r : P(emit | start = i)
         let v2 = neg_s.solve(&v1); // (-S)⁻² r : E[T·1{emit} | start = i]
         if v1[initial] <= 0.0 {
-            return Err(RetError::InvalidChromophore { what: "network can never emit" });
+            return Err(RetError::InvalidChromophore {
+                what: "network can never emit",
+            });
         }
         Ok(v2[initial] / v1[initial])
     }
@@ -299,7 +322,11 @@ pub struct EmissionSplit {
 }
 
 fn distance(a: &[f64; 3], b: &[f64; 3]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[cfg(test)]
@@ -333,7 +360,10 @@ mod tests {
     #[test]
     fn transfer_rate_bounds_checked() {
         let net = RetNetwork::donor_acceptor(4.0);
-        assert!(matches!(net.transfer_rate(0, 2), Err(RetError::NodeOutOfRange { .. })));
+        assert!(matches!(
+            net.transfer_rate(0, 2),
+            Err(RetError::NodeOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -349,8 +379,12 @@ mod tests {
 
     #[test]
     fn close_donor_acceptor_transfers_more() {
-        let near = RetNetwork::donor_acceptor(3.0).emission_probabilities(0).unwrap();
-        let far = RetNetwork::donor_acceptor(8.0).emission_probabilities(0).unwrap();
+        let near = RetNetwork::donor_acceptor(3.0)
+            .emission_probabilities(0)
+            .unwrap();
+        let far = RetNetwork::donor_acceptor(8.0)
+            .emission_probabilities(0)
+            .unwrap();
         assert!(near.per_node[1] > far.per_node[1]);
         // At 8 nm (beyond R0) the donor mostly emits itself.
         assert!(far.per_node[0] > far.per_node[1]);

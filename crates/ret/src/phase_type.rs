@@ -50,7 +50,10 @@ impl PhaseType {
     /// the generator dimension.
     pub(crate) fn new(alpha: Vec<f64>, s: Matrix) -> Result<Self, RetError> {
         if alpha.len() != s.n() {
-            return Err(RetError::DimensionMismatch { expected: s.n(), actual: alpha.len() });
+            return Err(RetError::DimensionMismatch {
+                expected: s.n(),
+                actual: alpha.len(),
+            });
         }
         let exit = s.row_sums().iter().map(|r| -r).collect();
         Ok(PhaseType { alpha, s, exit })
@@ -264,7 +267,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| ph.sample(&mut rng)).sum::<f64>() / n as f64;
-        assert!((mean - ph.mean()).abs() < 0.02, "sample mean {mean} vs {}", ph.mean());
+        assert!(
+            (mean - ph.mean()).abs() < 0.02,
+            "sample mean {mean} vs {}",
+            ph.mean()
+        );
     }
 
     #[test]
@@ -277,7 +284,11 @@ mod tests {
         // Kolmogorov–Smirnov-ish check at a few quantiles.
         for q in [0.1, 0.5, 0.9] {
             let x = samples[(q * n as f64) as usize];
-            assert!((ph.cdf(x) - q).abs() < 0.02, "q={q}: cdf({x})={}", ph.cdf(x));
+            assert!(
+                (ph.cdf(x) - q).abs() < 0.02,
+                "q={q}: cdf({x})={}",
+                ph.cdf(x)
+            );
         }
     }
 

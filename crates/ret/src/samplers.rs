@@ -53,7 +53,11 @@ impl<S: ExponentialSampler> BernoulliSampler<S> {
     /// Panics unless `0 < p < 1`.
     pub fn with_sampler(sampler: S, p: f64) -> Self {
         assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1)");
-        BernoulliSampler { sampler, success_rate: p, failure_rate: 1.0 - p }
+        BernoulliSampler {
+            sampler,
+            success_rate: p,
+            failure_rate: 1.0 - p,
+        }
     }
 
     /// The programmed success probability.
@@ -64,7 +68,10 @@ impl<S: ExponentialSampler> BernoulliSampler<S> {
     /// Draws one Bernoulli outcome.
     pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
         let rates = [self.success_rate, self.failure_rate];
-        matches!(first_to_fire_with(&mut self.sampler, &rates, rng), Some((0, _)))
+        matches!(
+            first_to_fire_with(&mut self.sampler, &rates, rng),
+            Some((0, _))
+        )
     }
 }
 
@@ -79,7 +86,9 @@ pub struct UniformBits {
 impl UniformBits {
     /// Creates the generator.
     pub fn new() -> Self {
-        UniformBits { coin: BernoulliSampler::new(0.5) }
+        UniformBits {
+            coin: BernoulliSampler::new(0.5),
+        }
     }
 
     /// Draws `bits` uniform bits into the low end of a `u64`.
@@ -117,7 +126,9 @@ impl GeometricSampler {
     ///
     /// Panics unless `0 < p < 1`.
     pub fn new(p: f64) -> Self {
-        GeometricSampler { coin: BernoulliSampler::new(p) }
+        GeometricSampler {
+            coin: BernoulliSampler::new(p),
+        }
     }
 
     /// Draws one sample.
@@ -164,7 +175,10 @@ impl<S: ExponentialSampler> CategoricalSampler<S> {
             weights.iter().all(|w| w.is_finite() && *w >= 0.0),
             "weights must be finite and non-negative"
         );
-        assert!(weights.iter().sum::<f64>() > 0.0, "weights must not all be zero");
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "weights must not all be zero"
+        );
         CategoricalSampler { sampler, weights }
     }
 

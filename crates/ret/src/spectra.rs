@@ -27,7 +27,10 @@ impl GaussianBand {
     /// Panics if `sigma_nm` is not strictly positive or either argument is
     /// not finite.
     pub fn new(peak_nm: f64, sigma_nm: f64) -> Self {
-        assert!(peak_nm.is_finite() && sigma_nm.is_finite(), "band parameters must be finite");
+        assert!(
+            peak_nm.is_finite() && sigma_nm.is_finite(),
+            "band parameters must be finite"
+        );
         assert!(sigma_nm > 0.0, "band width must be positive");
         GaussianBand { peak_nm, sigma_nm }
     }
@@ -75,7 +78,9 @@ mod tests {
 
     fn integrate(band: &GaussianBand, lo: f64, hi: f64, n: usize) -> f64 {
         let h = (hi - lo) / n as f64;
-        (0..n).map(|i| band.density(lo + (i as f64 + 0.5) * h) * h).sum()
+        (0..n)
+            .map(|i| band.density(lo + (i as f64 + 0.5) * h) * h)
+            .sum()
     }
 
     #[test]

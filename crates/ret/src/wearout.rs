@@ -52,9 +52,19 @@ impl EnsembleWearout {
         encapsulation_factor: f64,
     ) -> Self {
         assert!(ensemble_size > 0, "ensemble must be non-empty");
-        assert!(mean_excitations_to_failure > 0.0, "lifetime must be positive");
-        assert!(encapsulation_factor > 0.0, "encapsulation factor must be positive");
-        EnsembleWearout { ensemble_size, mean_excitations_to_failure, encapsulation_factor }
+        assert!(
+            mean_excitations_to_failure > 0.0,
+            "lifetime must be positive"
+        );
+        assert!(
+            encapsulation_factor > 0.0,
+            "encapsulation factor must be positive"
+        );
+        EnsembleWearout {
+            ensemble_size,
+            mean_excitations_to_failure,
+            encapsulation_factor,
+        }
     }
 
     /// Effective mean excitations-to-failure per network, including
@@ -90,7 +100,10 @@ impl EnsembleWearout {
     ///
     /// Panics if `min_fraction` is outside `(0, 1]`.
     pub fn usable_budget(&self, min_fraction: f64) -> u64 {
-        assert!(min_fraction > 0.0 && min_fraction <= 1.0, "fraction must be in (0, 1]");
+        assert!(
+            min_fraction > 0.0 && min_fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
         let n = self.ensemble_size as f64;
         (n * self.effective_lifetime() * (1.0 - min_fraction)) as u64
     }
@@ -98,7 +111,10 @@ impl EnsembleWearout {
     /// Usable wall-clock lifetime in seconds at a sustained excitation rate
     /// (excitations/ns) before falling below `min_fraction`.
     pub fn usable_seconds(&self, excitation_rate_per_ns: f64, min_fraction: f64) -> f64 {
-        assert!(excitation_rate_per_ns > 0.0, "excitation rate must be positive");
+        assert!(
+            excitation_rate_per_ns > 0.0,
+            "excitation rate must be positive"
+        );
         self.usable_budget(min_fraction) as f64 / excitation_rate_per_ns * 1e-9
     }
 }

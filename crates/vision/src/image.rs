@@ -24,7 +24,11 @@ impl GrayImage {
     /// Panics if either dimension is zero.
     pub fn filled(width: usize, height: usize, value: u8) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be non-zero");
-        GrayImage { width, height, pixels: vec![value; width * height] }
+        GrayImage {
+            width,
+            height,
+            pixels: vec![value; width * height],
+        }
     }
 
     /// Builds an image by evaluating `f(x, y)` at every pixel.
@@ -40,7 +44,11 @@ impl GrayImage {
                 pixels.push(f(x, y));
             }
         }
-        GrayImage { width, height, pixels }
+        GrayImage {
+            width,
+            height,
+            pixels,
+        }
     }
 
     /// Wraps existing pixel data.
@@ -50,8 +58,16 @@ impl GrayImage {
     /// Panics if `pixels.len() != width * height` or a dimension is zero.
     pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be non-zero");
-        assert_eq!(pixels.len(), width * height, "pixel buffer must match dimensions");
-        GrayImage { width, height, pixels }
+        assert_eq!(
+            pixels.len(),
+            width * height,
+            "pixel buffer must match dimensions"
+        );
+        GrayImage {
+            width,
+            height,
+            pixels,
+        }
     }
 
     /// Image width in pixels.
@@ -85,7 +101,10 @@ impl GrayImage {
     ///
     /// Panics if the coordinates are out of bounds.
     pub fn get(&self, x: usize, y: usize) -> u8 {
-        assert!(x < self.width && y < self.height, "({x}, {y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "({x}, {y}) out of bounds"
+        );
         self.pixels[y * self.width + x]
     }
 
@@ -103,7 +122,10 @@ impl GrayImage {
     ///
     /// Panics if the coordinates are out of bounds.
     pub fn set(&mut self, x: usize, y: usize, value: u8) {
-        assert!(x < self.width && y < self.height, "({x}, {y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "({x}, {y}) out of bounds"
+        );
         self.pixels[y * self.width + x] = value;
     }
 
@@ -139,13 +161,19 @@ impl GrayImage {
         while tokens.len() < 4 {
             header.clear();
             if r.read_line(&mut header)? == 0 {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated PGM header"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "truncated PGM header",
+                ));
             }
             let line = header.split('#').next().unwrap_or("");
             tokens.extend(line.split_whitespace().map(str::to_owned));
         }
         if tokens[0] != "P5" {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a binary PGM (P5)"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a binary PGM (P5)",
+            ));
         }
         let parse = |s: &str| {
             s.parse::<usize>()
@@ -153,11 +181,18 @@ impl GrayImage {
         };
         let (width, height, maxval) = (parse(&tokens[1])?, parse(&tokens[2])?, parse(&tokens[3])?);
         if maxval != 255 || width == 0 || height == 0 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported PGM format"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unsupported PGM format",
+            ));
         }
         let mut pixels = vec![0u8; width * height];
         r.read_exact(&mut pixels)?;
-        Ok(GrayImage { width, height, pixels })
+        Ok(GrayImage {
+            width,
+            height,
+            pixels,
+        })
     }
 
     /// Renders the image as coarse ASCII art (useful for terminal output of

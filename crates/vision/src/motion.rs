@@ -9,6 +9,7 @@
 //! hence the RSU-G advantage — much larger than segmentation's `M = 5`.
 
 use crate::image::GrayImage;
+use mogs_engine::{Engine, InferenceJob};
 use mogs_gibbs::chain::{ChainConfig, ChainResult, McmcChain};
 use mogs_gibbs::sampler::LabelSampler;
 use mogs_gibbs::schedule::TemperatureSchedule;
@@ -83,7 +84,10 @@ impl SingletonPotential for FlowSingleton {
         let (x, y) = (site % width, site / width);
         let (dx, dy) = label_to_flow(label);
         let a = f64::from(self.frame1.get(x, y));
-        let b = f64::from(self.frame2.get_clamped(x as isize + dx as isize, y as isize + dy as isize));
+        let b = f64::from(
+            self.frame2
+                .get_clamped(x as isize + dx as isize, y as isize + dy as isize),
+        );
         self.weight * (a - b) * (a - b)
     }
 }
@@ -104,8 +108,16 @@ impl MotionEstimation {
     ///
     /// Panics if the frames' dimensions differ.
     pub fn new(frame1: &GrayImage, frame2: &GrayImage, config: MotionConfig) -> Self {
-        assert_eq!(frame1.width(), frame2.width(), "frames must share dimensions");
-        assert_eq!(frame1.height(), frame2.height(), "frames must share dimensions");
+        assert_eq!(
+            frame1.width(),
+            frame2.width(),
+            "frames must share dimensions"
+        );
+        assert_eq!(
+            frame1.height(),
+            frame2.height(),
+            "frames must share dimensions"
+        );
         let grid = Grid2D::new(frame1.width(), frame1.height());
         let space = LabelSpace::window(WINDOW_SIDE, WINDOW_SIDE);
         let singleton = FlowSingleton {
@@ -114,11 +126,18 @@ impl MotionEstimation {
             weight: config.singleton_weight,
         };
         let mrf = MarkovRandomField::builder(grid, space)
-            .prior(SmoothnessPrior::squared_difference(config.smoothness_weight))
+            .prior(SmoothnessPrior::squared_difference(
+                config.smoothness_weight,
+            ))
             .temperature(config.temperature)
             .singleton(singleton)
             .build();
-        MotionEstimation { config, width: frame1.width(), height: frame1.height(), mrf }
+        MotionEstimation {
+            config,
+            width: frame1.width(),
+            height: frame1.height(),
+            mrf,
+        }
     }
 
     /// The underlying MRF.
@@ -145,6 +164,52 @@ impl MotionEstimation {
         let mut chain = McmcChain::with_initial(&self.mrf, sampler, config, initial);
         chain.run(iterations);
         chain.result()
+    }
+
+    /// Packages this estimation as an engine job, starting from the same
+    /// zero-displacement labeling as [`MotionEstimation::run`]. Uses at
+    /// least two deterministic chunks; for `config.threads >= 2` the
+    /// result is bit-identical to `run` with the same arguments.
+    pub fn engine_job<L>(
+        &self,
+        sampler: L,
+        iterations: usize,
+        seed: u64,
+    ) -> InferenceJob<FlowSingleton, L>
+    where
+        L: LabelSampler,
+    {
+        InferenceJob {
+            mrf: self.mrf.clone(),
+            sampler,
+            schedule: TemperatureSchedule::constant(self.config.temperature),
+            iterations,
+            threads: self.config.threads.max(2),
+            seed,
+            burn_in: (iterations as f64 * self.config.burn_in_fraction) as usize,
+            track_modes: true,
+            record_energy: true,
+            initial: Some(vec![flow_to_label(0, 0); self.width * self.height]),
+        }
+    }
+
+    /// Runs the estimation through a persistent engine instead of
+    /// spawning per-sweep threads.
+    pub fn run_on_engine<L>(
+        &self,
+        engine: &Engine,
+        sampler: L,
+        iterations: usize,
+        seed: u64,
+    ) -> ChainResult
+    where
+        L: LabelSampler + Clone + Send + Sync + 'static,
+    {
+        engine
+            .submit(self.engine_job(sampler, iterations, seed))
+            .expect("engine accepts motion job")
+            .wait()
+            .into_chain_result()
     }
 
     /// Extracts the flow field from a labeling.
@@ -176,6 +241,23 @@ mod tests {
     }
 
     #[test]
+    fn engine_path_matches_chain_path_bit_for_bit() {
+        let scene = synthetic::translated_pair(12, 12, 1, -1, 2.0, 8);
+        let app = MotionEstimation::new(
+            &scene.frame1,
+            &scene.frame2,
+            MotionConfig {
+                threads: 2,
+                ..MotionConfig::default()
+            },
+        );
+        let reference = app.run(SoftmaxGibbs::new(), 12, 6);
+        let engine = mogs_engine::Engine::with_default_config();
+        let result = app.run_on_engine(&engine, SoftmaxGibbs::new(), 12, 6);
+        assert_eq!(result, reference, "engine motion must be bit-identical");
+    }
+
+    #[test]
     fn recovers_a_constant_translation() {
         let scene = synthetic::translated_pair(24, 24, 2, -1, 2.0, 21);
         let app = MotionEstimation::new(&scene.frame1, &scene.frame2, MotionConfig::default());
@@ -197,9 +279,19 @@ mod tests {
         assert!(err < 1.0, "field mean endpoint error {err}");
         // Interior object pixels must carry the object's motion.
         let center = 16 * 32 + 16;
-        assert_eq!(flow[center], (2, 1), "object centre flow {:?}", flow[center]);
+        assert_eq!(
+            flow[center],
+            (2, 1),
+            "object centre flow {:?}",
+            flow[center]
+        );
         // A far-background pixel must be static.
-        assert_eq!(flow[2 * 32 + 2], (0, 0), "background flow {:?}", flow[2 * 32 + 2]);
+        assert_eq!(
+            flow[2 * 32 + 2],
+            (0, 0),
+            "background flow {:?}",
+            flow[2 * 32 + 2]
+        );
     }
 
     #[test]

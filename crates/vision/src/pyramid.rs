@@ -52,7 +52,11 @@ pub fn upsample_labels(
     fine_w: usize,
     fine_h: usize,
 ) -> Vec<Label> {
-    assert_eq!(coarse.len(), coarse_w * coarse_h, "coarse labeling must match its grid");
+    assert_eq!(
+        coarse.len(),
+        coarse_w * coarse_h,
+        "coarse labeling must match its grid"
+    );
     assert!(
         fine_w.div_ceil(2) == coarse_w && fine_h.div_ceil(2) == coarse_h,
         "fine grid must be the 2x-up size of the coarse grid"
@@ -82,7 +86,9 @@ impl PyramidSchedule {
     /// Panics if `levels == 0`.
     pub fn uniform(levels: usize, per_level: usize) -> Self {
         assert!(levels > 0, "need at least one level");
-        PyramidSchedule { iterations: vec![per_level; levels] }
+        PyramidSchedule {
+            iterations: vec![per_level; levels],
+        }
     }
 }
 
@@ -118,8 +124,12 @@ where
             }
             None => vec![Label::new(0); level_image.len()],
         };
-        let level_result =
-            app.run_from(sampler.clone(), iterations, seed + level_from_coarse as u64, initial);
+        let level_result = app.run_from(
+            sampler.clone(),
+            iterations,
+            seed + level_from_coarse as u64,
+            initial,
+        );
         let labels = level_result
             .map_estimate
             .clone()
@@ -200,13 +210,19 @@ mod tests {
     #[test]
     fn single_level_schedule_equals_flat_run() {
         let scene = synthetic::region_scene(24, 24, 2, 8.0, 61);
-        let config = SegmentationConfig { num_labels: 2, ..SegmentationConfig::default() };
+        let config = SegmentationConfig {
+            num_labels: 2,
+            ..SegmentationConfig::default()
+        };
         let schedule = PyramidSchedule::uniform(1, 15);
         let pyramid =
             segment_coarse_to_fine(&scene.image, &config, SoftmaxGibbs::new(), &schedule, 2);
         let app = Segmentation::new(scene.image.clone(), config);
         let flat = app.run(SoftmaxGibbs::new(), 15, 2);
-        assert_eq!(pyramid.labels, flat.labels, "one level must be the flat chain");
+        assert_eq!(
+            pyramid.labels, flat.labels,
+            "one level must be the flat chain"
+        );
     }
 
     #[test]

@@ -99,7 +99,12 @@ impl Restoration {
             .temperature(config.temperature)
             .singleton(singleton)
             .build();
-        Restoration { config, mrf, width: noisy.width(), height: noisy.height() }
+        Restoration {
+            config,
+            mrf,
+            width: noisy.width(),
+            height: noisy.height(),
+        }
     }
 
     /// The underlying MRF.
@@ -199,7 +204,10 @@ mod tests {
         let restored = app.labels_to_image(result.map_estimate.as_ref().unwrap());
         let before = Restoration::psnr(&clean, &noisy);
         let after = Restoration::psnr(&clean, &restored);
-        assert!(after > before + 2.0, "PSNR before {before:.1} after {after:.1}");
+        assert!(
+            after > before + 2.0,
+            "PSNR before {before:.1} after {after:.1}"
+        );
     }
 
     #[test]
@@ -220,7 +228,10 @@ mod tests {
         let truncated = Restoration::new(&noisy, RestorationConfig::default());
         let quadratic = Restoration::new(
             &noisy,
-            RestorationConfig { truncation: None, ..RestorationConfig::default() },
+            RestorationConfig {
+                truncation: None,
+                ..RestorationConfig::default()
+            },
         );
         let r_t = truncated.run(SoftmaxGibbs::new(), 40, 3);
         let r_q = quadratic.run(SoftmaxGibbs::new(), 40, 3);
@@ -252,7 +263,10 @@ mod tests {
         let restored = app.labels_to_image(result.map_estimate.as_ref().unwrap());
         let before = Restoration::psnr(&clean, &noisy);
         let after = Restoration::psnr(&clean, &restored);
-        assert!(after > before + 2.0, "PSNR before {before:.1} after {after:.1}");
+        assert!(
+            after > before + 2.0,
+            "PSNR before {before:.1} after {after:.1}"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! RSU-G model see *identical* energies.
 
 use crate::image::GrayImage;
+use mogs_engine::{Engine, InferenceJob};
 use mogs_gibbs::chain::{ChainConfig, ChainResult, McmcChain};
 use mogs_gibbs::sampler::LabelSampler;
 use mogs_gibbs::schedule::TemperatureSchedule;
@@ -110,7 +111,9 @@ impl Segmentation {
             weight: config.singleton_weight,
         };
         let mrf = MarkovRandomField::builder(grid, space)
-            .prior(SmoothnessPrior::squared_difference(config.smoothness_weight))
+            .prior(SmoothnessPrior::squared_difference(
+                config.smoothness_weight,
+            ))
             .temperature(config.temperature)
             .singleton(singleton)
             .build();
@@ -170,6 +173,53 @@ impl Segmentation {
         chain.result()
     }
 
+    /// Packages this segmentation as an engine job (for
+    /// [`mogs_engine::Engine::submit`]). The job uses at least two
+    /// deterministic chunks; for `config.threads >= 2` its result is
+    /// bit-identical to [`Segmentation::run`] with the same arguments.
+    pub fn engine_job<L>(
+        &self,
+        sampler: L,
+        iterations: usize,
+        seed: u64,
+    ) -> InferenceJob<ClassMeanSingleton, L>
+    where
+        L: LabelSampler,
+    {
+        InferenceJob {
+            mrf: self.mrf.clone(),
+            sampler,
+            schedule: TemperatureSchedule::constant(self.config.temperature),
+            iterations,
+            threads: self.config.threads.max(2),
+            seed,
+            burn_in: (iterations as f64 * self.config.burn_in_fraction) as usize,
+            track_modes: true,
+            record_energy: true,
+            initial: None,
+        }
+    }
+
+    /// Runs the segmentation through a persistent engine instead of
+    /// spawning per-sweep threads. See [`Segmentation::engine_job`] for
+    /// the determinism contract relative to [`Segmentation::run`].
+    pub fn run_on_engine<L>(
+        &self,
+        engine: &Engine,
+        sampler: L,
+        iterations: usize,
+        seed: u64,
+    ) -> ChainResult
+    where
+        L: LabelSampler + Clone + Send + Sync + 'static,
+    {
+        engine
+            .submit(self.engine_job(sampler, iterations, seed))
+            .expect("engine accepts segmentation job")
+            .wait()
+            .into_chain_result()
+    }
+
     /// Renders a labeling as an image (each label painted with its class
     /// mean, back at 8-bit scale).
     pub fn labels_to_image(&self, labels: &[Label]) -> GrayImage {
@@ -177,7 +227,10 @@ impl Segmentation {
         GrayImage::from_pixels(
             self.image.width(),
             self.image.height(),
-            labels.iter().map(|l| means[usize::from(l.value())] << 2).collect(),
+            labels
+                .iter()
+                .map(|l| means[usize::from(l.value())] << 2)
+                .collect(),
         )
     }
 }
@@ -200,11 +253,34 @@ mod tests {
         let scene = synthetic::region_scene(20, 20, 2, 8.0, 11);
         let app = Segmentation::new(
             scene.image.clone(),
-            SegmentationConfig { num_labels: 2, ..SegmentationConfig::default() },
+            SegmentationConfig {
+                num_labels: 2,
+                ..SegmentationConfig::default()
+            },
         );
         let result = app.run(SoftmaxGibbs::new(), 40, 1);
         let acc = label_accuracy(result.map_estimate.as_ref().unwrap(), &scene.truth);
         assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn engine_path_matches_chain_path_bit_for_bit() {
+        let scene = synthetic::region_scene(16, 16, 3, 8.0, 4);
+        let app = Segmentation::new(
+            scene.image.clone(),
+            SegmentationConfig {
+                num_labels: 3,
+                threads: 2,
+                ..SegmentationConfig::default()
+            },
+        );
+        let reference = app.run(SoftmaxGibbs::new(), 30, 9);
+        let engine = Engine::with_default_config();
+        let result = app.run_on_engine(&engine, SoftmaxGibbs::new(), 30, 9);
+        assert_eq!(
+            result, reference,
+            "engine segmentation must be bit-identical"
+        );
     }
 
     #[test]

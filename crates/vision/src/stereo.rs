@@ -7,6 +7,7 @@
 //! favours piecewise-constant disparity surfaces.
 
 use crate::image::GrayImage;
+use mogs_engine::{Engine, InferenceJob};
 use mogs_gibbs::chain::{ChainConfig, ChainResult, McmcChain};
 use mogs_gibbs::sampler::LabelSampler;
 use mogs_gibbs::schedule::TemperatureSchedule;
@@ -80,7 +81,11 @@ impl StereoMatching {
     /// outside `1..=64`.
     pub fn new(left: &GrayImage, right: &GrayImage, config: StereoConfig) -> Self {
         assert_eq!(left.width(), right.width(), "images must share dimensions");
-        assert_eq!(left.height(), right.height(), "images must share dimensions");
+        assert_eq!(
+            left.height(),
+            right.height(),
+            "images must share dimensions"
+        );
         let grid = Grid2D::new(left.width(), left.height());
         let space = LabelSpace::scalar(config.num_disparities);
         let singleton = DisparitySingleton {
@@ -89,7 +94,9 @@ impl StereoMatching {
             weight: config.singleton_weight,
         };
         let mrf = MarkovRandomField::builder(grid, space)
-            .prior(SmoothnessPrior::squared_difference(config.smoothness_weight))
+            .prior(SmoothnessPrior::squared_difference(
+                config.smoothness_weight,
+            ))
             .temperature(config.temperature)
             .singleton(singleton)
             .build();
@@ -117,6 +124,51 @@ impl StereoMatching {
         let mut chain = McmcChain::new(&self.mrf, sampler, config);
         chain.run(iterations);
         chain.result()
+    }
+
+    /// Packages this matching as an engine job. Uses at least two
+    /// deterministic chunks; for `config.threads >= 2` the result is
+    /// bit-identical to [`StereoMatching::run`] with the same arguments.
+    pub fn engine_job<L>(
+        &self,
+        sampler: L,
+        iterations: usize,
+        seed: u64,
+    ) -> InferenceJob<DisparitySingleton, L>
+    where
+        L: LabelSampler,
+    {
+        InferenceJob {
+            mrf: self.mrf.clone(),
+            sampler,
+            schedule: TemperatureSchedule::constant(self.config.temperature),
+            iterations,
+            threads: self.config.threads.max(2),
+            seed,
+            burn_in: (iterations as f64 * self.config.burn_in_fraction) as usize,
+            track_modes: true,
+            record_energy: true,
+            initial: None,
+        }
+    }
+
+    /// Runs the matching through a persistent engine instead of spawning
+    /// per-sweep threads.
+    pub fn run_on_engine<L>(
+        &self,
+        engine: &Engine,
+        sampler: L,
+        iterations: usize,
+        seed: u64,
+    ) -> ChainResult
+    where
+        L: LabelSampler + Clone + Send + Sync + 'static,
+    {
+        engine
+            .submit(self.engine_job(sampler, iterations, seed))
+            .expect("engine accepts stereo job")
+            .wait()
+            .into_chain_result()
     }
 
     /// Renders a disparity labeling as an image (disparity stretched over
@@ -155,6 +207,23 @@ mod tests {
     }
 
     #[test]
+    fn engine_path_matches_chain_path_bit_for_bit() {
+        let scene = synthetic::stereo_pair(16, 16, 2, 2.0, 17);
+        let app = StereoMatching::new(
+            &scene.left,
+            &scene.right,
+            StereoConfig {
+                threads: 2,
+                ..StereoConfig::default()
+            },
+        );
+        let reference = app.run(SoftmaxGibbs::new(), 20, 7);
+        let engine = mogs_engine::Engine::with_default_config();
+        let result = app.run_on_engine(&engine, SoftmaxGibbs::new(), 20, 7);
+        assert_eq!(result, reference, "engine stereo must be bit-identical");
+    }
+
+    #[test]
     fn singleton_prefers_true_disparity_in_foreground() {
         let scene = synthetic::stereo_pair(32, 32, 2, 0.0, 32);
         let app = StereoMatching::new(&scene.left, &scene.right, StereoConfig::default());
@@ -162,7 +231,10 @@ mod tests {
         let e_true = app.mrf().singleton().energy(site, Label::new(2));
         let e_zero = app.mrf().singleton().energy(site, Label::new(0));
         assert!(e_true <= e_zero);
-        assert!(e_true < 0.5, "true-disparity energy should be ~0, got {e_true}");
+        assert!(
+            e_true < 0.5,
+            "true-disparity energy should be ~0, got {e_true}"
+        );
     }
 
     #[test]

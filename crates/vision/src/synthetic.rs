@@ -61,7 +61,10 @@ pub fn region_scene(
     noise_sigma: f64,
     seed: u64,
 ) -> LabeledScene {
-    assert!(regions > 0 && regions <= 64, "region count must be in 1..=64");
+    assert!(
+        regions > 0 && regions <= 64,
+        "region count must be in 1..=64"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     // Voronoi seed points, at least one per region.
     let sites: Vec<(f64, f64, usize)> = (0..regions.max(2) * 2)
@@ -139,19 +142,25 @@ pub fn translated_pair(
     noise_sigma: f64,
     seed: u64,
 ) -> MotionScene {
-    assert!(dx.abs() <= 3 && dy.abs() <= 3, "displacement must fit the 7x7 window");
+    assert!(
+        dx.abs() <= 3 && dy.abs() <= 3,
+        "displacement must fit the 7x7 window"
+    );
     let base = texture(width, height, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
     let noisy = |v: u8, rng: &mut StdRng| {
         (f64::from(v) + gaussian(rng) * noise_sigma).clamp(0.0, 255.0) as u8
     };
-    let frame1 =
-        GrayImage::from_fn(width, height, |x, y| noisy(base.get(x, y), &mut rng));
+    let frame1 = GrayImage::from_fn(width, height, |x, y| noisy(base.get(x, y), &mut rng));
     let frame2 = GrayImage::from_fn(width, height, |x, y| {
         let v = base.get_clamped(x as isize - dx as isize, y as isize - dy as isize);
         noisy(v, &mut rng)
     });
-    MotionScene { frame1, frame2, flow: (dx, dy) }
+    MotionScene {
+        frame1,
+        frame2,
+        flow: (dx, dy),
+    }
 }
 
 /// A motion scene with a *non-constant* flow field: a textured object
@@ -184,7 +193,10 @@ pub fn moving_object_pair(
     noise_sigma: f64,
     seed: u64,
 ) -> MotionFieldScene {
-    assert!(dx.abs() <= 3 && dy.abs() <= 3, "displacement must fit the 7x7 window");
+    assert!(
+        dx.abs() <= 3 && dy.abs() <= 3,
+        "displacement must fit the 7x7 window"
+    );
     let background = texture(width, height, seed);
     // Object texture: brighter and differently seeded so it is trackable.
     let object = texture(width, height, seed ^ 0xCAFE);
@@ -194,9 +206,7 @@ pub fn moving_object_pair(
             && y >= (height / 4) as isize
             && y < (3 * height / 4) as isize
     };
-    let object_pixel = |x: isize, y: isize| {
-        object.get_clamped(x, y) / 2 + 128
-    };
+    let object_pixel = |x: isize, y: isize| object.get_clamped(x, y) / 2 + 128;
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD00D);
     let noisy = |v: u8, rng: &mut StdRng| {
         (f64::from(v) + gaussian(rng) * noise_sigma).clamp(0.0, 255.0) as u8
@@ -222,7 +232,11 @@ pub fn moving_object_pair(
             noisy(background.get(x, y), &mut rng)
         }
     });
-    MotionFieldScene { frame1, frame2, flow_field }
+    MotionFieldScene {
+        frame1,
+        frame2,
+        flow_field,
+    }
 }
 
 /// A stereo scene: a fronto-parallel foreground rectangle at
@@ -260,7 +274,11 @@ pub fn stereo_pair(
     let mut truth = Vec::with_capacity(width * height);
     for y in 0..height {
         for x in 0..width {
-            let d = if in_foreground(x as isize, y as isize) { foreground_disparity } else { 0 };
+            let d = if in_foreground(x as isize, y as isize) {
+                foreground_disparity
+            } else {
+                0
+            };
             truth.push(Label::new(d));
         }
     }
@@ -268,7 +286,11 @@ pub fn stereo_pair(
         // The scene point seen at right-image x is the left pixel x + d;
         // check membership at that left coordinate (foreground occludes).
         let d_fg = foreground_disparity as isize;
-        let d = if in_foreground(x as isize + d_fg, y as isize) { d_fg } else { 0 };
+        let d = if in_foreground(x as isize + d_fg, y as isize) {
+            d_fg
+        } else {
+            0
+        };
         let v = left.get_clamped(x as isize + d, y as isize);
         (f64::from(v) + gaussian(&mut rng) * noise_sigma).clamp(0.0, 255.0) as u8
     });
@@ -344,7 +366,10 @@ mod tests {
         let t = texture(32, 32, 9);
         let min = *t.pixels().iter().min().unwrap();
         let max = *t.pixels().iter().max().unwrap();
-        assert!(max - min > 40, "texture should span a usable range, got {min}..{max}");
+        assert!(
+            max - min > 40,
+            "texture should span a usable range, got {min}..{max}"
+        );
     }
 
     #[test]

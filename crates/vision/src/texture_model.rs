@@ -50,11 +50,14 @@ pub struct TextureModel {
 impl TextureModel {
     /// Builds the model over a `width × height` lattice.
     pub fn new(width: usize, height: usize, config: TextureConfig) -> Self {
-        let mrf = MarkovRandomField::builder(Grid2D::new(width, height), LabelSpace::scalar(config.levels))
-            .prior(config.prior)
-            .temperature(config.temperature)
-            .singleton(ZeroSingleton)
-            .build();
+        let mrf = MarkovRandomField::builder(
+            Grid2D::new(width, height),
+            LabelSpace::scalar(config.levels),
+        )
+        .prior(config.prior)
+        .temperature(config.temperature)
+        .singleton(ZeroSingleton)
+        .build();
         TextureModel { config, mrf }
     }
 
@@ -97,7 +100,10 @@ impl TextureModel {
         GrayImage::from_pixels(
             grid.width(),
             grid.height(),
-            labels.iter().map(|l| (u16::from(l.value()) * 255 / max) as u8).collect(),
+            labels
+                .iter()
+                .map(|l| (u16::from(l.value()) * 255 / max) as u8)
+                .collect(),
         )
     }
 
@@ -130,12 +136,18 @@ mod tests {
         let weak = TextureModel::new(
             32,
             32,
-            TextureConfig { prior: SmoothnessPrior::potts(0.2), ..TextureConfig::default() },
+            TextureConfig {
+                prior: SmoothnessPrior::potts(0.2),
+                ..TextureConfig::default()
+            },
         );
         let strong = TextureModel::new(
             32,
             32,
-            TextureConfig { prior: SmoothnessPrior::potts(2.0), ..TextureConfig::default() },
+            TextureConfig {
+                prior: SmoothnessPrior::potts(2.0),
+                ..TextureConfig::default()
+            },
         );
         let a_weak = weak.neighbor_agreement(&weak.sample(SoftmaxGibbs::new(), 1));
         let a_strong = strong.neighbor_agreement(&strong.sample(SoftmaxGibbs::new(), 1));

@@ -21,7 +21,11 @@ fn main() {
     let mut chain = McmcChain::new(
         app.mrf(),
         SoftmaxGibbs::new(),
-        ChainConfig { burn_in: 20, seed: 1, ..ChainConfig::default() },
+        ChainConfig {
+            burn_in: 20,
+            seed: 1,
+            ..ChainConfig::default()
+        },
     );
     chain.run(120);
     let trace = &chain.energy_trace()[20..];
@@ -49,7 +53,11 @@ fn main() {
         println!(
             "  {iterations:>3} iterations: R-hat {:.3} ({})",
             result.r_hat,
-            if result.converged(1.1) { "converged" } else { "still mixing" }
+            if result.converged(1.1) {
+                "converged"
+            } else {
+                "still mixing"
+            }
         );
     }
 

@@ -39,7 +39,11 @@ fn main() {
     let software = app.run(SoftmaxGibbs::new(), 50, 1);
     let restored_sw = app.labels_to_image(software.map_estimate.as_ref().unwrap());
 
-    let hardware = app.run(RsuGSampler::new(EnergyQuantizer::new(8.0), temperature), 50, 1);
+    let hardware = app.run(
+        RsuGSampler::new(EnergyQuantizer::new(8.0), temperature),
+        50,
+        1,
+    );
     let restored_hw = app.labels_to_image(hardware.map_estimate.as_ref().unwrap());
 
     println!("noisy input:\n{}", noisy.to_ascii());

@@ -40,7 +40,11 @@ fn main() {
             variant.name(),
             gpu.execution_time(&w, variant),
             gpu.speedup_over_baseline(&w, variant),
-            if gpu.is_memory_bound(&w, variant) { "  [memory-bound]" } else { "" },
+            if gpu.is_memory_bound(&w, variant) {
+                "  [memory-bound]"
+            } else {
+                ""
+            },
         );
     }
     println!(

@@ -33,7 +33,11 @@ fn main() {
     //    draw runs the paper's quantization chain (8-bit energies → 4-bit
     //    intensity codes → exponential TTFs in an 8-bit register →
     //    first-to-fire).
-    let rsu = app.run(RsuGSampler::new(EnergyQuantizer::new(8.0), temperature), 80, 1);
+    let rsu = app.run(
+        RsuGSampler::new(EnergyQuantizer::new(8.0), temperature),
+        80,
+        1,
+    );
     let rsu_map = rsu.map_estimate.expect("modes tracked");
     println!(
         "RSU-G model:     accuracy {:.1}%  final energy {:.0}",

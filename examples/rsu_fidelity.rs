@@ -41,7 +41,10 @@ fn main() {
     }
     let empirical: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
 
-    println!("\n{:<8} {:>10} {:>12} {:>12}", "label", "exact", "code-ideal", "measured");
+    println!(
+        "\n{:<8} {:>10} {:>12} {:>12}",
+        "label", "exact", "code-ideal", "measured"
+    );
     for m in 0..5 {
         println!(
             "{:<8} {:>10.4} {:>12.4} {:>12.4}",

@@ -54,7 +54,10 @@ fn motion_software_vs_rsu() {
         scene.flow,
     );
     assert!(epe_soft < 0.8, "software EPE {epe_soft}");
-    assert!(epe_hard < epe_soft + 0.5, "RSU EPE {epe_hard} vs software {epe_soft}");
+    assert!(
+        epe_hard < epe_soft + 0.5,
+        "RSU EPE {epe_hard} vs software {epe_soft}"
+    );
 }
 
 #[test]
@@ -69,7 +72,10 @@ fn stereo_software_vs_rsu() {
     let acc_soft = label_accuracy(soft.map_estimate.as_ref().unwrap(), &scene.truth);
     let acc_hard = label_accuracy(hard.map_estimate.as_ref().unwrap(), &scene.truth);
     assert!(acc_soft > 0.65, "software accuracy {acc_soft}");
-    assert!(acc_hard > acc_soft - 0.10, "RSU {acc_hard} vs software {acc_soft}");
+    assert!(
+        acc_hard > acc_soft - 0.10,
+        "RSU {acc_hard} vs software {acc_soft}"
+    );
 }
 
 #[test]
@@ -88,7 +94,10 @@ fn parallel_and_sequential_chains_reach_similar_energy() {
     let seq_app = Segmentation::new(scene.image.clone(), SegmentationConfig::default());
     let par_app = Segmentation::new(
         scene.image.clone(),
-        SegmentationConfig { threads: 4, ..SegmentationConfig::default() },
+        SegmentationConfig {
+            threads: 4,
+            ..SegmentationConfig::default()
+        },
     );
     let seq = seq_app.run(SoftmaxGibbs::new(), 50, 5);
     let par = par_app.run(SoftmaxGibbs::new(), 50, 5);
@@ -107,13 +116,7 @@ fn restoration_runs_on_both_neighborhood_orders() {
     use mogs_vision::restoration::{Restoration, RestorationConfig};
     // A diagonal stripe: the structure second-order diagonal cliques see
     // directly.
-    let clean = GrayImage::from_fn(32, 32, |x, y| {
-        if (x + y) % 16 < 8 {
-            0x28
-        } else {
-            0xC4
-        }
-    });
+    let clean = GrayImage::from_fn(32, 32, |x, y| if (x + y) % 16 < 8 { 0x28 } else { 0xC4 });
     let noisy = {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(44);
@@ -128,7 +131,11 @@ fn restoration_runs_on_both_neighborhood_orders() {
     for neighborhood in [Neighborhood::FirstOrder, Neighborhood::SecondOrder] {
         let app = Restoration::new(
             &noisy,
-            RestorationConfig { neighborhood, threads: 2, ..RestorationConfig::default() },
+            RestorationConfig {
+                neighborhood,
+                threads: 2,
+                ..RestorationConfig::default()
+            },
         );
         let result = app.run(SoftmaxGibbs::new(), 40, 6);
         let restored = app.labels_to_image(result.map_estimate.as_ref().unwrap());
@@ -140,7 +147,12 @@ fn restoration_runs_on_both_neighborhood_orders() {
         psnrs.push(psnr);
     }
     // Both orders must be competitive on diagonal structure (within 3 dB).
-    assert!((psnrs[0] - psnrs[1]).abs() < 3.0, "first {} vs second {}", psnrs[0], psnrs[1]);
+    assert!(
+        (psnrs[0] - psnrs[1]).abs() < 3.0,
+        "first {} vs second {}",
+        psnrs[0],
+        psnrs[1]
+    );
 }
 
 #[test]

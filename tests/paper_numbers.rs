@@ -19,9 +19,11 @@ fn within(got: f64, paper: f64, tol: f64) -> bool {
 fn abstract_headline_speedups() {
     // "an RSU augmented GPU provides speedups over a GPU of 3 and 16" (HD).
     let gpu = GpuModel::calibrated();
-    let seg = gpu.speedup_over_baseline(&Workload::segmentation(ImageSize::HD), KernelVariant::rsu(1));
-    let motion =
-        gpu.speedup_over_baseline(&Workload::motion(ImageSize::HD), KernelVariant::rsu(1));
+    let seg = gpu.speedup_over_baseline(
+        &Workload::segmentation(ImageSize::HD),
+        KernelVariant::rsu(1),
+    );
+    let motion = gpu.speedup_over_baseline(&Workload::motion(ImageSize::HD), KernelVariant::rsu(1));
     assert!(within(seg, 3.0, 0.15), "segmentation HD speedup {seg}");
     assert!(within(motion, 16.0, 0.15), "motion HD speedup {motion}");
 }
@@ -69,9 +71,24 @@ fn table2_all_sixteen_cells() {
     ];
     for (row, (gpu, opt, g1, g4)) in rows.iter().zip(paper) {
         assert!(within(row.gpu, gpu, 0.01), "{:?} GPU {}", row.app, row.gpu);
-        assert!(within(row.opt_gpu, opt, 0.15), "{:?} Opt {}", row.app, row.opt_gpu);
-        assert!(within(row.rsu_g1, g1, 0.15), "{:?} G1 {}", row.app, row.rsu_g1);
-        assert!(within(row.rsu_g4, g4, 0.15), "{:?} G4 {}", row.app, row.rsu_g4);
+        assert!(
+            within(row.opt_gpu, opt, 0.15),
+            "{:?} Opt {}",
+            row.app,
+            row.opt_gpu
+        );
+        assert!(
+            within(row.rsu_g1, g1, 0.15),
+            "{:?} G1 {}",
+            row.app,
+            row.rsu_g1
+        );
+        assert!(
+            within(row.rsu_g4, g4, 0.15),
+            "{:?} G4 {}",
+            row.app,
+            row.rsu_g4
+        );
     }
 }
 
@@ -95,10 +112,18 @@ fn figure8_shape_claims() {
     // G4 roughly doubles G1 for motion, and does nothing for segmentation.
     let g1 = get(VisionApp::MotionEstimation, ImageSize::HD, 1).over_gpu;
     let g4 = get(VisionApp::MotionEstimation, ImageSize::HD, 4).over_gpu;
-    assert!(g4 / g1 > 1.7 && g4 / g1 < 2.5, "G4/G1 motion ratio {}", g4 / g1);
+    assert!(
+        g4 / g1 > 1.7 && g4 / g1 < 2.5,
+        "G4/G1 motion ratio {}",
+        g4 / g1
+    );
     let s1 = get(VisionApp::Segmentation, ImageSize::HD, 1).over_gpu;
     let s4 = get(VisionApp::Segmentation, ImageSize::HD, 4).over_gpu;
-    assert!((s4 / s1 - 1.0).abs() < 0.06, "segmentation G4/G1 {}", s4 / s1);
+    assert!(
+        (s4 / s1 - 1.0).abs() < 0.06,
+        "segmentation G4/G1 {}",
+        s4 / s1
+    );
 }
 
 #[test]

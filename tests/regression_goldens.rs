@@ -27,11 +27,19 @@ fn assert_golden(got: f64, golden: f64, what: &str) {
 fn kernel_work_goldens() {
     let cases = [
         (VisionApp::Segmentation, KernelVariant::Baseline, 280.0),
-        (VisionApp::Segmentation, KernelVariant::OptimizedSingleton, 230.0),
+        (
+            VisionApp::Segmentation,
+            KernelVariant::OptimizedSingleton,
+            230.0,
+        ),
         (VisionApp::Segmentation, KernelVariant::rsu(1), 90.0),
         (VisionApp::Segmentation, KernelVariant::rsu(4), 86.25),
         (VisionApp::MotionEstimation, KernelVariant::Baseline, 4264.0),
-        (VisionApp::MotionEstimation, KernelVariant::OptimizedSingleton, 2010.0),
+        (
+            VisionApp::MotionEstimation,
+            KernelVariant::OptimizedSingleton,
+            2010.0,
+        ),
         (VisionApp::MotionEstimation, KernelVariant::rsu(1), 281.0),
         (VisionApp::MotionEstimation, KernelVariant::rsu(4), 134.0),
     ];
@@ -48,17 +56,42 @@ fn kernel_work_goldens() {
 fn table2_model_cell_goldens() {
     let gpu = GpuModel::calibrated();
     let cases = [
-        (Workload::segmentation(ImageSize::SMALL), KernelVariant::rsu(1), 0.09642857142857143),
-        (Workload::segmentation(ImageSize::HD), KernelVariant::rsu(1), 1.0285714285714285),
-        (Workload::motion(ImageSize::SMALL), KernelVariant::rsu(1), 0.036_245_309_568_480_3),
-        (Workload::motion(ImageSize::HD), KernelVariant::rsu(1), 0.472_507_035_647_279_6),
-        (Workload::motion(ImageSize::HD), KernelVariant::rsu(4), 0.22532363977485928),
+        (
+            Workload::segmentation(ImageSize::SMALL),
+            KernelVariant::rsu(1),
+            0.09642857142857143,
+        ),
+        (
+            Workload::segmentation(ImageSize::HD),
+            KernelVariant::rsu(1),
+            1.0285714285714285,
+        ),
+        (
+            Workload::motion(ImageSize::SMALL),
+            KernelVariant::rsu(1),
+            0.036_245_309_568_480_3,
+        ),
+        (
+            Workload::motion(ImageSize::HD),
+            KernelVariant::rsu(1),
+            0.472_507_035_647_279_6,
+        ),
+        (
+            Workload::motion(ImageSize::HD),
+            KernelVariant::rsu(4),
+            0.22532363977485928,
+        ),
     ];
     for (w, variant, golden) in cases {
         assert_golden(
             gpu.execution_time(&w, variant),
             golden,
-            &format!("t({}, {}, {})", w.app.name(), w.size.label(), variant.name()),
+            &format!(
+                "t({}, {}, {})",
+                w.app.name(),
+                w.size.label(),
+                variant.name()
+            ),
         );
     }
 }
@@ -81,11 +114,31 @@ fn accelerator_goldens() {
 
 #[test]
 fn power_area_goldens() {
-    assert_golden(PowerModel::new(TechNode::N45).rsu_g1().total_mw(), 11.28, "power 45nm");
-    assert_golden(PowerModel::new(TechNode::N15).rsu_g1().total_mw(), 3.91, "power 15nm");
-    assert_golden(PowerModel::new(TechNode::N15).system_watts(3072), 12.01152, "GPU watts");
-    assert_golden(AreaModel::new(TechNode::N45).rsu_g1().total_um2(), 5673.0, "area 45nm");
-    assert_golden(AreaModel::new(TechNode::N15).rsu_g1().total_um2(), 2898.0, "area 15nm");
+    assert_golden(
+        PowerModel::new(TechNode::N45).rsu_g1().total_mw(),
+        11.28,
+        "power 45nm",
+    );
+    assert_golden(
+        PowerModel::new(TechNode::N15).rsu_g1().total_mw(),
+        3.91,
+        "power 15nm",
+    );
+    assert_golden(
+        PowerModel::new(TechNode::N15).system_watts(3072),
+        12.01152,
+        "GPU watts",
+    );
+    assert_golden(
+        AreaModel::new(TechNode::N45).rsu_g1().total_um2(),
+        5673.0,
+        "area 45nm",
+    );
+    assert_golden(
+        AreaModel::new(TechNode::N15).rsu_g1().total_um2(),
+        2898.0,
+        "area 15nm",
+    );
 }
 
 #[test]
@@ -94,8 +147,14 @@ fn latency_goldens() {
     assert_eq!(RsuVariant::g1().latency_cycles(49), 55);
     assert_eq!(RsuVariant::g4().latency_cycles(49), 20);
     assert_eq!(RsuVariant::g64().latency_cycles(64), 12);
-    assert_eq!(pipelined_stream(RsuVariant::g1(), 49, 1000).total_cycles, 58 + 999 * 49);
-    assert_eq!(naive_stream(RsuVariant::g1(), 49, 1000).total_cycles, 1000 * 58);
+    assert_eq!(
+        pipelined_stream(RsuVariant::g1(), 49, 1000).total_cycles,
+        58 + 999 * 49
+    );
+    assert_eq!(
+        naive_stream(RsuVariant::g1(), 49, 1000).total_cycles,
+        1000 * 58
+    );
 }
 
 #[test]

@@ -24,7 +24,10 @@ fn physics_circuit_draws_gibbs_conditionals() {
     let mut circuit = RetCircuit::new(RetCircuitConfig {
         fidelity: Fidelity::Physics,
         window_ns: 1e4,
-        spad: SpadConfig { dark_rate_per_ns: 0.0, ..SpadConfig::default() },
+        spad: SpadConfig {
+            dark_rate_per_ns: 0.0,
+            ..SpadConfig::default()
+        },
         ..RetCircuitConfig::default()
     });
     // Rates proportional to the Boltzmann weights, scaled into the
@@ -42,7 +45,11 @@ fn physics_circuit_draws_gibbs_conditionals() {
         let p = *c as f64 / n as f64;
         // The 4-bit DAC bridge quantizes the rates, so allow a wider band
         // than the ideal sampler tests use.
-        assert!((p - expect[m]).abs() < 0.08, "label {m}: {p} vs {}", expect[m]);
+        assert!(
+            (p - expect[m]).abs() < 0.08,
+            "label {m}: {p} vs {}",
+            expect[m]
+        );
     }
 }
 
@@ -59,8 +66,13 @@ fn scaffold_assembled_circuit_works() {
     circuit.set_intensity_code(10);
     let mut rng = StdRng::seed_from_u64(2);
     let n = 5_000;
-    let hits = (0..n).filter(|_| circuit.sample_ttf(&mut rng).is_some()).count();
-    assert!(hits > n * 9 / 10, "assembled circuit rarely fires: {hits}/{n}");
+    let hits = (0..n)
+        .filter(|_| circuit.sample_ttf(&mut rng).is_some())
+        .count();
+    assert!(
+        hits > n * 9 / 10,
+        "assembled circuit rarely fires: {hits}/{n}"
+    );
 }
 
 /// Wear-out closes the loop: as excitations accumulate, the ensemble's
@@ -95,7 +107,11 @@ fn categorical_composition_end_to_end() {
     }
     for (m, c) in counts.iter().enumerate() {
         let p = *c as f64 / n as f64;
-        assert!((p - expect[m]).abs() < 0.01, "outcome {m}: {p} vs {}", expect[m]);
+        assert!(
+            (p - expect[m]).abs() < 0.01,
+            "outcome {m}: {p} vs {}",
+            expect[m]
+        );
     }
 }
 
@@ -109,5 +125,8 @@ fn phase_type_matches_circuit_statistics() {
     // detection probability per excitation reflects it.
     assert!(emission.per_node[1] > emission.per_node[0]);
     let mean_t = network.mean_emission_time(0).expect("emits");
-    assert!(mean_t > 0.0 && mean_t < 5.0, "mean emission time {mean_t} ns");
+    assert!(
+        mean_t > 0.0 && mean_t < 5.0,
+        "mean emission time {mean_t} ns"
+    );
 }

@@ -138,7 +138,11 @@ fn rsu_chain_tracks_gibbs_distribution() {
         data1: 10,
         data2: vec![10, 14, 18, 26],
     };
-    let energies: Vec<f64> = rsu.energies(&inputs).iter().map(|&e| f64::from(e)).collect();
+    let energies: Vec<f64> = rsu
+        .energies(&inputs)
+        .iter()
+        .map(|&e| f64::from(e))
+        .collect();
     let expect = SoftmaxGibbs::probabilities(&energies, t8);
     let mut rng = StdRng::seed_from_u64(77);
     let n = 60_000;
@@ -148,7 +152,11 @@ fn rsu_chain_tracks_gibbs_distribution() {
     }
     for (m, c) in counts.iter().enumerate() {
         let p = *c as f64 / n as f64;
-        assert!((p - expect[m]).abs() < 0.06, "label {m}: {p} vs {}", expect[m]);
+        assert!(
+            (p - expect[m]).abs() < 0.06,
+            "label {m}: {p} vs {}",
+            expect[m]
+        );
     }
 }
 
@@ -163,7 +171,11 @@ fn adapter_and_unit_prefer_the_same_mode() {
         data1: 20,
         data2: vec![6, 19, 32, 44, 57],
     };
-    let energies: Vec<f64> = rsu.energies(&inputs).iter().map(|&e| f64::from(e)).collect();
+    let energies: Vec<f64> = rsu
+        .energies(&inputs)
+        .iter()
+        .map(|&e| f64::from(e))
+        .collect();
     let unit_mode = rsu
         .ideal_win_probabilities(&inputs)
         .iter()
@@ -178,6 +190,11 @@ fn adapter_and_unit_prefer_the_same_mode() {
         let l = sampler.sample_label(&energies, t8, Label::new(0), &mut rng);
         counts[usize::from(l.value())] += 1;
     }
-    let adapter_mode = counts.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap();
+    let adapter_mode = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, c)| **c)
+        .map(|(i, _)| i)
+        .unwrap();
     assert_eq!(unit_mode, adapter_mode);
 }

@@ -1,0 +1,14 @@
+//! Vendored, dependency-free stand-in for the `crossbeam` crate.
+//!
+//! Provides the two facilities this workspace uses:
+//!
+//! * [`scope`] — scoped threads with crossbeam's closure-takes-the-scope
+//!   signature, implemented over `std::thread::scope`;
+//! * [`channel`] — cloneable MPMC channels (bounded with blocking/failing
+//!   sends for backpressure, and unbounded), implemented with a mutex and
+//!   condition variables.
+
+pub mod channel;
+pub mod thread;
+
+pub use thread::scope;

@@ -1,0 +1,97 @@
+//! Scoped threads with the crossbeam 0.8 API over `std::thread::scope`.
+
+use std::any::Any;
+
+/// The error payload of a panicked scoped thread.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope handle passed to [`scope`]'s closure and to every spawned
+/// closure (crossbeam's signature — spawned closures receive the scope so
+/// they can spawn further threads).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+// Manual impls: the wrapper is a shared reference, freely copyable.
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// Join handle of a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result, or the panic payload.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread scoped to `'env` borrows. The closure receives the
+    /// scope (commonly ignored as `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let me = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&me)),
+        }
+    }
+}
+
+/// Creates a scope in which threads borrowing local data can be spawned.
+///
+/// Returns `Ok` with the closure's value; panics in *spawned threads* are
+/// propagated by `std::thread::scope` when their handles are not joined,
+/// so like crossbeam the error arm surfaces child panics (crossbeam
+/// collects them; std re-raises them — both abort the scope's caller
+/// unless handles were joined explicitly).
+///
+/// # Errors
+///
+/// Never returns `Err` in this implementation (panics propagate instead);
+/// the `Result` shape is kept for API compatibility with crossbeam, whose
+/// callers `.expect(...)` the result.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let n = scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 21).join().expect("inner") * 2);
+            h.join().expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

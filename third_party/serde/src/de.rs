@@ -1,0 +1,275 @@
+//! A small recursive-descent JSON parser backing [`crate::Deserialize`].
+
+use std::fmt;
+
+/// A JSON parse error with byte position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    position: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Cursor over JSON input text.
+#[derive(Debug)]
+pub struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Starts parsing `input`.
+    pub fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    /// Builds an error at the current position.
+    pub fn error(&self, message: &str) -> Error {
+        Error {
+            message: message.to_owned(),
+            position: self.pos,
+        }
+    }
+
+    /// Skips whitespace.
+    pub fn skip_ws(&mut self) {
+        let rest = &self.input[self.pos..];
+        let trimmed = rest.trim_start();
+        self.pos += rest.len() - trimmed.len();
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.input[self.pos..].chars().next()
+    }
+
+    /// Consumes `c` if it is next (after whitespace).
+    pub fn consume_char(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Requires `c` next (after whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the expected character.
+    pub fn expect_char(&mut self, c: char) -> Result<(), Error> {
+        if self.consume_char(c) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{c}'")))
+        }
+    }
+
+    /// Consumes a literal word (e.g. `null`, `true`) if present.
+    pub fn consume_literal(&mut self, lit: &str) -> bool {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Requires the end of input (after whitespace).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if trailing content remains.
+    pub fn expect_end(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.pos == self.input.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing characters"))
+        }
+    }
+
+    /// Parses a JSON number.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when no valid number starts here.
+    pub fn parse_number(&mut self) -> Result<f64, Error> {
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+            .map_or(rest.len(), |(i, _)| i);
+        let token = &rest[..end];
+        let value: f64 = token
+            .parse()
+            .map_err(|_| self.error(&format!("invalid number '{token}'")))?;
+        self.pos += end;
+        Ok(value)
+    }
+
+    /// Parses `true` or `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when neither literal is present.
+    pub fn parse_bool(&mut self) -> Result<bool, Error> {
+        if self.consume_literal("true") {
+            Ok(true)
+        } else if self.consume_literal("false") {
+            Ok(false)
+        } else {
+            Err(self.error("expected boolean"))
+        }
+    }
+
+    /// Parses a JSON string (with escapes).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a missing quote or bad escape.
+    pub fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect_char('"')?;
+        let mut out = String::new();
+        let mut chars = self.input[self.pos..].char_indices();
+        loop {
+            let Some((i, c)) = chars.next() else {
+                return Err(self.error("unterminated string"));
+            };
+            match c {
+                '"' => {
+                    self.pos += i + 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    let Some((_, esc)) = chars.next() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let Some((_, h)) = chars.next() else {
+                                    return Err(self.error("short \\u escape"));
+                                };
+                                code = code * 16
+                                    + h.to_digit(16).ok_or_else(|| self.error("bad \\u escape"))?;
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(self.error(&format!("unknown escape '\\{other}'")));
+                        }
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// Skips one complete JSON value of any type (for unknown fields).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed input.
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            Some('"') => {
+                self.parse_string()?;
+            }
+            Some('{') => {
+                self.expect_char('{')?;
+                if !self.consume_char('}') {
+                    loop {
+                        self.parse_string()?;
+                        self.expect_char(':')?;
+                        self.skip_value()?;
+                        if !self.consume_char(',') {
+                            self.expect_char('}')?;
+                            break;
+                        }
+                    }
+                }
+            }
+            Some('[') => {
+                self.expect_char('[')?;
+                if !self.consume_char(']') {
+                    loop {
+                        self.skip_value()?;
+                        if !self.consume_char(',') {
+                            self.expect_char(']')?;
+                            break;
+                        }
+                    }
+                }
+            }
+            Some('t') | Some('f') => {
+                self.parse_bool()?;
+            }
+            Some('n') => {
+                if !self.consume_literal("null") {
+                    return Err(self.error("expected null"));
+                }
+            }
+            _ => {
+                self.parse_number()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_value_handles_nested_structures() {
+        let mut p = Parser::new(r#"{"a":[1,{"b":"x"},null],"c":true} rest"#);
+        p.skip_value().expect("skips object");
+        p.skip_ws();
+        assert_eq!(&p.input[p.pos..], "rest");
+    }
+
+    #[test]
+    fn unicode_escape_decodes() {
+        let mut p = Parser::new(r#""A\n""#);
+        assert_eq!(p.parse_string().expect("string"), "A\n");
+    }
+
+    #[test]
+    fn number_formats() {
+        for (text, want) in [
+            ("0", 0.0),
+            ("-1.5", -1.5),
+            ("2e3", 2000.0),
+            ("1.25E-2", 0.0125),
+        ] {
+            let mut p = Parser::new(text);
+            assert_eq!(p.parse_number().expect("number"), want);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! The real serde is a data-model framework over pluggable formats; this
+//! workspace only ever derives `Serialize`/`Deserialize` on small concrete
+//! types and wants JSON snapshots (engine metrics, labeling checkpoints).
+//! So the stand-in collapses the data model to JSON directly:
+//!
+//! * [`Serialize`] writes the value as JSON into a `String`;
+//! * [`Deserialize`] reads the value back from a JSON parser;
+//! * `#[derive(Serialize, Deserialize)]` (re-exported from the companion
+//!   `serde_derive` proc-macro crate) implements both for plain structs,
+//!   tuple structs, and fieldless enums — the shapes used here.
+//!
+//! [`json::to_string`] and [`json::from_str`] are the entry points (the
+//! local equivalent of `serde_json`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+
+/// Serializes `self` as JSON text.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Deserializes `Self` from JSON text.
+pub trait Deserialize: Sized {
+    /// Reads one JSON value from the parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error when the input is not a valid encoding of
+    /// `Self`.
+    fn deserialize_json(parser: &mut de::Parser<'_>) -> Result<Self, de::Error>;
+}
+
+/// JSON entry points (the stand-in's `serde_json`).
+pub mod json {
+    use super::{de, Deserialize, Serialize};
+
+    /// Encodes a value as a JSON string.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        value.serialize_json(&mut out);
+        out
+    }
+
+    /// Decodes a value from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error on malformed input or trailing garbage.
+    pub fn from_str<T: Deserialize>(input: &str) -> Result<T, de::Error> {
+        let mut parser = de::Parser::new(input);
+        let value = T::deserialize_json(&mut parser)?;
+        parser.expect_end()?;
+        Ok(value)
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_ser_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_ser_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            // JSON has no infinities/NaN; null is the conventional stand-in.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        f64::from(*self).serialize_json(out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        escape_into(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        escape_into(self, out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_json(parser: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+                let n = parser.parse_number()?;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let v = n as $t;
+                if (v as f64 - n).abs() > 0.5 {
+                    return Err(parser.error("integer out of range"));
+                }
+                Ok(v)
+            }
+        }
+    )*};
+}
+impl_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize_json(parser: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        parser.parse_number()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_json(parser: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        #[allow(clippy::cast_possible_truncation)]
+        Ok(parser.parse_number()? as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(parser: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        parser.parse_bool()
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(parser: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        parser.parse_string()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(parser: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        parser.expect_char('[')?;
+        let mut out = Vec::new();
+        if parser.consume_char(']') {
+            return Ok(out);
+        }
+        loop {
+            out.push(T::deserialize_json(parser)?);
+            if parser.consume_char(',') {
+                continue;
+            }
+            parser.expect_char(']')?;
+            return Ok(out);
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(parser: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        if parser.consume_literal("null") {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize_json(parser)?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(json::to_string(&42u32), "42");
+        assert_eq!(json::from_str::<u32>("42").expect("int"), 42);
+        assert_eq!(json::to_string(&-3i64), "-3");
+        assert_eq!(json::to_string(&true), "true");
+        assert!(!json::from_str::<bool>("false").expect("bool"));
+        assert_eq!(json::to_string(&1.5f64), "1.5");
+        assert_eq!(json::from_str::<f64>("-2.25e1").expect("float"), -22.5);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd".to_owned();
+        let encoded = json::to_string(&s);
+        assert_eq!(encoded, "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json::from_str::<String>(&encoded).expect("string"), s);
+    }
+
+    #[test]
+    fn vectors_and_options_round_trip() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(json::to_string(&v), "[1,2,3]");
+        assert_eq!(json::from_str::<Vec<u8>>("[1,2,3]").expect("vec"), v);
+        assert_eq!(json::to_string(&Option::<u8>::None), "null");
+        assert_eq!(json::to_string(&Some(7u8)), "7");
+        assert_eq!(json::from_str::<Option<u8>>("null").expect("none"), None);
+        assert_eq!(json::from_str::<Option<u8>>("7").expect("some"), Some(7));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(json::from_str::<u32>("42 junk").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(json::to_string(&f64::NAN), "null");
+        assert_eq!(json::to_string(&f64::INFINITY), "null");
+    }
+}

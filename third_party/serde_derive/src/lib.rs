@@ -1,0 +1,338 @@
+//! Vendored stand-in for `serde_derive`, written against the raw
+//! `proc_macro` API (no syn/quote — the build environment is offline).
+//!
+//! Supports the shapes this workspace derives on:
+//!
+//! * structs with named fields → JSON objects (unknown keys skipped);
+//! * tuple structs: one field → the inner value, several → a JSON array;
+//! * fieldless enums → the variant name as a JSON string.
+//!
+//! Generics and data-carrying enum variants are rejected with a compile
+//! error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (JSON writer).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (JSON reader).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Named(Vec<(String, String)>),
+    Tuple(Vec<String>),
+    UnitEnum(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse(input) {
+        Ok((name, shape)) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&name, &shape),
+                Mode::Deserialize => gen_deserialize(&name, &shape),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(message) => format!("compile_error!({message:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut tokens = input.into_iter().peekable();
+    // Item attributes (doc comments arrive as #[doc = ...]) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive cannot handle generics on `{name}`"
+            ));
+        }
+    }
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g))
+                if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis) =>
+            {
+                break g;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "vendored serde_derive cannot handle unit struct `{name}`"
+                ));
+            }
+            Some(_) => continue, // e.g. `where`-less trailing tokens
+            None => return Err(format!("missing body for `{name}`")),
+        }
+    };
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(parse_named_fields(body.stream())?),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(parse_tuple_fields(body.stream())?),
+        ("enum", Delimiter::Brace) => Shape::UnitEnum(parse_unit_variants(body.stream())?),
+        _ => return Err(format!("unsupported item kind `{kind}`")),
+    };
+    Ok((name, shape))
+}
+
+/// Splits a field-list token stream on commas at angle-bracket depth zero.
+fn split_on_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut pieces = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    pieces.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pieces.last_mut().expect("non-empty").push(token);
+    }
+    if pieces.last().is_some_and(Vec::is_empty) {
+        pieces.pop();
+    }
+    pieces
+}
+
+/// Strips leading attributes and visibility from one field's tokens.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<(String, String)>, String> {
+    let mut fields = Vec::new();
+    for piece in split_on_commas(stream) {
+        let piece = strip_attrs_and_vis(&piece);
+        let [TokenTree::Ident(name), TokenTree::Punct(colon), ty @ ..] = piece else {
+            return Err(format!(
+                "unsupported field syntax: {}",
+                tokens_to_string(piece)
+            ));
+        };
+        if colon.as_char() != ':' || ty.is_empty() {
+            return Err(format!(
+                "unsupported field syntax: {}",
+                tokens_to_string(piece)
+            ));
+        }
+        fields.push((name.to_string(), tokens_to_string(ty)));
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for piece in split_on_commas(stream) {
+        let ty = strip_attrs_and_vis(&piece);
+        if ty.is_empty() {
+            return Err("empty tuple field".to_owned());
+        }
+        fields.push(tokens_to_string(ty));
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    for piece in split_on_commas(stream) {
+        let piece = strip_attrs_and_vis(&piece);
+        match piece {
+            [TokenTree::Ident(v)] => variants.push(v.to_string()),
+            _ => {
+                return Err(format!(
+                    "vendored serde_derive only supports fieldless enum variants, got: {}",
+                    tokens_to_string(piece)
+                ));
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("out.push('{');\n");
+            for (i, (field, _)) in fields.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("out.push(',');\n");
+                }
+                s.push_str(&format!(
+                    "out.push_str(\"\\\"{field}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{field}, out);\n"
+                ));
+            }
+            s.push_str("out.push('}');");
+            s
+        }
+        Shape::Tuple(fields) if fields.len() == 1 => {
+            "::serde::Serialize::serialize_json(&self.0, out);".to_owned()
+        }
+        Shape::Tuple(fields) => {
+            let mut s = String::from("out.push('[');\n");
+            for i in 0..fields.len() {
+                if i > 0 {
+                    s.push_str("out.push(',');\n");
+                }
+                s.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            s.push_str("out.push(']');");
+            s
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"))
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named(fields) => {
+            let mut s = String::from("parser.expect_char('{')?;\n");
+            for (field, ty) in fields {
+                s.push_str(&format!(
+                    "let mut field_{field}: ::std::option::Option<{ty}> = \
+                     ::std::option::Option::None;\n"
+                ));
+            }
+            s.push_str("if !parser.consume_char('}') {\nloop {\n");
+            s.push_str("let key = parser.parse_string()?;\nparser.expect_char(':')?;\n");
+            s.push_str("match key.as_str() {\n");
+            for (field, ty) in fields {
+                s.push_str(&format!(
+                    "\"{field}\" => {{ field_{field} = ::std::option::Option::Some(\
+                     <{ty} as ::serde::Deserialize>::deserialize_json(parser)?); }}\n"
+                ));
+            }
+            s.push_str("_ => { parser.skip_value()?; }\n}\n");
+            s.push_str(
+                "if parser.consume_char(',') { continue; }\n\
+                 parser.expect_char('}')?;\nbreak;\n}\n}\n",
+            );
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for (field, _) in fields {
+                s.push_str(&format!(
+                    "{field}: field_{field}.ok_or_else(|| \
+                     parser.error(\"missing field '{field}'\"))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(fields) if fields.len() == 1 => {
+            let ty = &fields[0];
+            format!(
+                "::std::result::Result::Ok({name}(\
+                 <{ty} as ::serde::Deserialize>::deserialize_json(parser)?))"
+            )
+        }
+        Shape::Tuple(fields) => {
+            let mut s = String::from("parser.expect_char('[')?;\n");
+            let mut ctor = format!("{name}(");
+            for (i, ty) in fields.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("parser.expect_char(',')?;\n");
+                }
+                s.push_str(&format!(
+                    "let item_{i} = <{ty} as ::serde::Deserialize>::deserialize_json(parser)?;\n"
+                ));
+                ctor.push_str(&format!("item_{i},"));
+            }
+            ctor.push(')');
+            s.push_str("parser.expect_char(']')?;\n");
+            s.push_str(&format!("::std::result::Result::Ok({ctor})"));
+            s
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "let variant = parser.parse_string()?;\n\
+                 match variant.as_str() {{\n{arms}\
+                 _ => ::std::result::Result::Err(\
+                 parser.error(\"unknown variant for {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_json(parser: &mut ::serde::de::Parser<'_>) -> \
+         ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}"
+    )
+}
