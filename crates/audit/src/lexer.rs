@@ -1,0 +1,474 @@
+//! A minimal Rust lexer for the workspace linter.
+//!
+//! This is not a full grammar — it is exactly enough lexical structure
+//! for the lint rules in [`crate::lint`]: tokens with line numbers,
+//! comments with line numbers, and correct skipping of string, raw
+//! string, byte-string, and character literals (including the
+//! `'lifetime` / `'c'` ambiguity) so that keywords inside literals and
+//! comments never count as code.
+
+/// What a token is, at the granularity the lint rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `as`, `fn`, names, …).
+    Ident,
+    /// Integer literal (including hex/octal/binary).
+    Int,
+    /// Floating-point literal (`1.0`, `2.5e-3`, `1f64`, …).
+    Float,
+    /// String, raw-string, byte-string, or char literal (content dropped).
+    Literal,
+    /// A lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Punctuation / operator, possibly multi-character (`==`, `->`, …).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (empty for [`TokKind::Literal`]).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+/// One comment (line, doc, or block), with its full text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: usize,
+    /// Comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// True for `///` and `//!` doc comments.
+    pub doc: bool,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct LexedFile {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+    /// Total number of lines.
+    pub lines: usize,
+}
+
+impl LexedFile {
+    /// True if `line` carries at least one code token.
+    #[must_use]
+    pub fn line_has_code(&self, line: usize) -> bool {
+        // Token lines are non-decreasing; a scan is fine at lint scale.
+        self.tokens.iter().any(|t| t.line == line)
+    }
+
+    /// The first code token on `line`, if any.
+    #[must_use]
+    pub fn first_token_on_line(&self, line: usize) -> Option<&Token> {
+        self.tokens.iter().find(|t| t.line == line)
+    }
+
+    /// Iterates comments that touch `line` (a block comment touches every
+    /// line it spans).
+    pub fn comments_on_line(&self, line: usize) -> impl Iterator<Item = &Comment> {
+        self.comments
+            .iter()
+            .filter(move |c| c.line <= line && line <= c.end_line)
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching works.
+const MULTI_PUNCT: [&str; 24] = [
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+];
+
+/// Lexes `source` into tokens and comments.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn lex(source: &str) -> LexedFile {
+    let bytes = source.as_bytes();
+    let mut out = LexedFile {
+        lines: source.lines().count(),
+        ..LexedFile::default()
+    };
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: text.to_string(),
+                    doc: text.starts_with("///") || text.starts_with("//!"),
+                });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text = &source[start..i];
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: text.to_string(),
+                    doc: text.starts_with("/**") || text.starts_with("/*!"),
+                });
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let start_line = line;
+                i = skip_raw_or_byte_string(bytes, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime if an ident char follows and the char after the
+                // ident run is not a closing quote.
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let is_lifetime =
+                    j > i + 1 && bytes.get(j) != Some(&b'\'') || bytes.get(i + 1) == Some(&b'_');
+                if is_lifetime {
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: source[i..j].to_string(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    // Char literal: skip to the closing quote, honouring
+                    // escapes.
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                i += 1;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut kind = TokKind::Int;
+                if c == b'0' && matches!(bytes.get(i + 1), Some(b'x' | b'o' | b'b')) {
+                    i += 2;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                } else {
+                    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                    // Fractional part only if a digit follows the dot —
+                    // `2.pow()` stays Int + `.` + Ident.
+                    if bytes.get(i) == Some(&b'.')
+                        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        kind = TokKind::Float;
+                        i += 1;
+                        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                            i += 1;
+                        }
+                    }
+                    if matches!(bytes.get(i), Some(b'e' | b'E'))
+                        && (bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                            || matches!(bytes.get(i + 1), Some(b'+' | b'-'))
+                                && bytes.get(i + 2).is_some_and(u8::is_ascii_digit))
+                    {
+                        kind = TokKind::Float;
+                        i += 1;
+                        if matches!(bytes.get(i), Some(b'+' | b'-')) {
+                            i += 1;
+                        }
+                        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                            i += 1;
+                        }
+                    }
+                    // Type suffix (`1.0f32`, `3u64`).
+                    let suffix_start = i;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    if source[suffix_start..i].starts_with('f') {
+                        kind = TokKind::Float;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &source[i..];
+                let op = MULTI_PUNCT
+                    .iter()
+                    .find(|op| rest.starts_with(**op))
+                    .copied();
+                let text = op.unwrap_or(&rest[..1]);
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: text.to_string(),
+                    line,
+                });
+                i += text.len();
+            }
+        }
+    }
+    out
+}
+
+/// True at the start of `r"`, `r#"`, `b"`, `br"`, `br#"`, `b'`.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    // Byte string or byte char: b"..." / b'x'.
+    bytes[i] == b'b' && matches!(bytes.get(i + 1), Some(b'"' | b'\''))
+}
+
+/// Skips a `"…"` string starting at `i`, returning the index just past it.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips raw / byte / raw-byte strings and byte chars starting at `i`.
+fn skip_raw_or_byte_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        // Byte char b'x'.
+        i += 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'\'' => return i + 1,
+                _ => i += 1,
+            }
+        }
+        return i;
+    }
+    if bytes.get(i) == Some(&b'r') {
+        i += 1;
+        let mut hashes = 0usize;
+        while bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                *line += 1;
+                i += 1;
+            } else if bytes[i] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+                i += 1;
+            } else {
+                i += 1;
+            }
+        }
+        return i;
+    }
+    // Plain byte string b"...".
+    skip_string(bytes, i, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(file: &LexedFile) -> Vec<&str> {
+        file.tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn keywords_in_strings_and_comments_are_not_tokens() {
+        let src = r##"
+let a = "unsafe as unwrap"; // unsafe in a comment
+let b = r#"expect("x")"#;
+/* unsafe
+   block comment */
+let c = 'u';
+"##;
+        let file = lex(src);
+        assert!(!idents(&file).contains(&"unsafe"));
+        assert!(!idents(&file).contains(&"unwrap"));
+        assert_eq!(file.comments.len(), 2);
+        assert_eq!(file.comments[1].end_line, 5);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let file = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(file
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .all(|t| t.text == "'a"));
+        assert!(file.tokens.iter().all(|t| t.kind != TokKind::Literal));
+        let file = lex("let c = 'x'; let nl = '\\n';");
+        assert_eq!(
+            file.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn float_and_int_literals_are_distinguished() {
+        let file = lex("let a = 1.0; let b = 2; let c = 2.5e-3; let d = 1f64; let e = 2.pow(3);");
+        let kinds: Vec<(TokKind, &str)> = file
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.kind, t.text.as_str()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (TokKind::Float, "1.0"),
+                (TokKind::Int, "2"),
+                (TokKind::Float, "2.5e-3"),
+                (TokKind::Float, "1f64"),
+                (TokKind::Int, "2"),
+                (TokKind::Int, "3"),
+            ]
+        );
+    }
+
+    #[test]
+    fn multi_char_operators_lex_as_one_token() {
+        let file = lex("if a == b && c != 0.0 { x..=y }");
+        let puncts: Vec<&str> = file
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "&&", "!=", "{", "..=", "}"]);
+    }
+
+    #[test]
+    fn line_numbers_track_across_multiline_strings() {
+        let src = "let a = \"one\ntwo\";\nunsafe {}";
+        let file = lex(src);
+        let unsafe_tok = file
+            .tokens
+            .iter()
+            .find(|t| t.text == "unsafe")
+            .expect("unsafe token");
+        assert_eq!(unsafe_tok.line, 3);
+    }
+
+    #[test]
+    fn comments_on_line_spans_block_comments() {
+        let file = lex("/* a\nb\nc */ let x = 1;");
+        assert!(file.comments_on_line(2).next().is_some());
+        assert!(file.line_has_code(3));
+        assert!(!file.line_has_code(2));
+    }
+}

@@ -1,0 +1,33 @@
+//! `mogs-audit` — static analysis for the MOGS inference runtime.
+//!
+//! Two analyzers, one purpose: turn the prose arguments that justify the
+//! engine's `unsafe` label-plane path into machine-checked facts.
+//!
+//! * [`schedule`] — the **schedule interference checker**. From a grid
+//!   topology and a sweep schedule it builds the site interference graph
+//!   and verifies the three invariants the in-place plane update
+//!   requires (no neighbouring sites in one phase, chunks partition each
+//!   group exactly, every site covered once per sweep), returning a
+//!   typed [`AuditReport`]. `mogs-engine` runs it at job admission;
+//!   `repro audit` runs it over the seed vision workloads.
+//! * [`lint`] — the **workspace source linter** (`cargo run -p
+//!   mogs-audit -- lint`). A dependency-light lexer-based pass enforcing
+//!   project rules rustc and clippy cannot: `// SAFETY:` comments on
+//!   `unsafe` blocks and impls, no `unwrap`/`expect` in library code,
+//!   no `as` casts in allowlisted hot-path modules, `# Panics` docs on
+//!   panicking public functions, and no float `==` in the physics
+//!   crates.
+//!
+//! The optional `shadow` feature adds [`shadow::ShadowPlane`], a dynamic
+//! read/write-set recorder tests use to cross-check the static verdict
+//! against the access pattern a sweep actually performs.
+
+pub mod lexer;
+pub mod lint;
+pub mod report;
+pub mod schedule;
+#[cfg(feature = "shadow")]
+pub mod shadow;
+
+pub use report::{AuditError, AuditReport, AuditStats, SiteCoord, Violation};
+pub use schedule::{check_schedule, Chunking, GridTopology, SweepSchedule};

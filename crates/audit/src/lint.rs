@@ -1,0 +1,792 @@
+//! The workspace source linter: project rules rustc and clippy can't
+//! express, enforced over every `crates/*/src/**.rs` file.
+//!
+//! Rules (ids in brackets are what waivers name):
+//!
+//! * **\[safety-comment\]** — every `unsafe` block and `unsafe impl`
+//!   must be preceded by a `// SAFETY:` comment (same line, or the
+//!   contiguous comment/attribute lines above).
+//! * **\[unwrap-expect\]** — library code outside `#[cfg(test)]` must
+//!   not call `.unwrap()`; `.expect(..)` is permitted only inside
+//!   functions whose docs declare `# Panics` (documented panic
+//!   propagation), keeping every library panic typed.
+//! * **\[lossy-cast\]** — the allowlisted hot-path index/energy modules
+//!   ([`CAST_ALLOWLIST`]) must not use numeric `as` casts at all:
+//!   conversions go through `From`/`TryFrom`/`abs_diff` or carry a
+//!   waiver explaining why `as` is exact there.
+//! * **\[panics-doc\]** — a `pub fn` whose body can panic
+//!   (`panic!`/`assert!`-family/`unwrap`/`expect`) must document
+//!   `# Panics`.
+//! * **\[float-eq\]** — the physics crates (`ret`, `core`) must not
+//!   compare against float literals with `==`/`!=`.
+//!
+//! A rule is waived for one site with
+//! `// audit:allow(<rule-id>) — reason` on the same line or in the
+//! contiguous comment block directly above (the waiver reaches the first
+//! code line after the block); the reason is mandatory and an unknown
+//! rule id is itself a finding.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lexer::{lex, LexedFile, TokKind, Token};
+
+/// Rule identifiers, as used in waivers and findings.
+pub const RULES: [&str; 5] = [
+    "safety-comment",
+    "unwrap-expect",
+    "lossy-cast",
+    "panics-doc",
+    "float-eq",
+];
+
+/// Modules where numeric `as` casts are banned outright: the hot-path
+/// index and energy arithmetic the accelerator model's correctness
+/// leans on. Paths are workspace-relative with forward slashes.
+pub const CAST_ALLOWLIST: [&str; 8] = [
+    "crates/mrf/src/grid.rs",
+    "crates/mrf/src/label.rs",
+    "crates/mrf/src/precision.rs",
+    "crates/engine/src/plane.rs",
+    "crates/engine/src/runner.rs",
+    "crates/core/src/energy_unit.rs",
+    "crates/arch/src/occupancy.rs",
+    "crates/arch/src/energy.rs",
+];
+
+/// Crates whose physics maths must not `==`-compare float literals.
+pub const FLOAT_EQ_CRATES: [&str; 2] = ["crates/ret/src/", "crates/core/src/"];
+
+const NUMERIC_TYPES: [&str; 13] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+];
+const NUMERIC_TYPES_F64: &str = "f64";
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id (one of [`RULES`], or `waiver` for malformed waivers).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The outcome of a workspace lint pass.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, in path then line order.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when no rule fired.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        write!(
+            f,
+            "{} finding(s) across {} file(s)",
+            self.findings.len(),
+            self.files_scanned
+        )
+    }
+}
+
+/// Lints every `crates/*/src/**.rs` file under `root` (the workspace
+/// root). `third_party/` is intentionally out of scope: vendored code
+/// is held to its upstream's standards, not ours.
+///
+/// # Errors
+///
+/// Returns any I/O error from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let crates = root.join("crates");
+    for crate_dir in sorted_dirs(&crates)? {
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = fs::read_to_string(&path)?;
+            report.findings.extend(lint_file(&rel, &source));
+            report.files_scanned += 1;
+        }
+    }
+    Ok(report)
+}
+
+fn sorted_dirs(dir: &Path) -> io::Result<Vec<std::path::PathBuf>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one file's source. `rel_path` decides which rules apply (see
+/// the module docs); it must use forward slashes.
+#[must_use]
+pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
+    let file = lex(source);
+    let ctx = FileContext::build(rel_path, &file);
+    let mut findings = Vec::new();
+    findings.extend(ctx.waiver_findings.iter().cloned());
+    check_safety_comments(&ctx, &mut findings);
+    check_unwrap_expect(&ctx, &mut findings);
+    check_lossy_casts(&ctx, &mut findings);
+    check_panics_docs(&ctx, &mut findings);
+    check_float_eq(&ctx, &mut findings);
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// One function item: where it is, whether its docs admit panicking.
+#[derive(Debug)]
+struct FnInfo {
+    /// Line of the `fn` keyword.
+    line: usize,
+    is_pub: bool,
+    /// Token index range of the body's braces, if the fn has a body.
+    body: Option<(usize, usize)>,
+    has_panics_doc: bool,
+}
+
+/// Everything the rules need, computed once per file.
+struct FileContext<'a> {
+    rel_path: &'a str,
+    file: &'a LexedFile,
+    /// line → rule ids waived there.
+    waivers: HashMap<usize, Vec<String>>,
+    waiver_findings: Vec<Finding>,
+    /// `(start_line, end_line)` ranges covered by `#[test]` /
+    /// `#[cfg(test)]` items.
+    test_regions: Vec<(usize, usize)>,
+    fns: Vec<FnInfo>,
+}
+
+impl<'a> FileContext<'a> {
+    fn build(rel_path: &'a str, file: &'a LexedFile) -> Self {
+        let (waivers, waiver_findings) = parse_waivers(rel_path, file);
+        let test_regions = find_test_regions(file);
+        let fns = find_fns(file);
+        FileContext {
+            rel_path,
+            file,
+            waivers,
+            waiver_findings,
+            test_regions,
+            fns,
+        }
+    }
+
+    fn finding(&self, line: usize, rule: &'static str, message: String) -> Finding {
+        Finding {
+            file: self.rel_path.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+
+    fn is_waived(&self, line: usize, rule: &str) -> bool {
+        self.waivers
+            .get(&line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+
+    fn in_test_region(&self, line: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| start <= line && line <= end)
+    }
+
+    /// Library code: everything under `src/` except binaries.
+    fn is_library_code(&self) -> bool {
+        !self.rel_path.contains("/bin/") && !self.rel_path.ends_with("main.rs")
+    }
+
+    /// The innermost fn whose body contains token index `idx`.
+    fn enclosing_fn(&self, idx: usize) -> Option<&FnInfo> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(s, e)| s < idx && idx < e))
+            .min_by_key(|f| f.body.map(|(s, e)| e - s).unwrap_or(usize::MAX))
+    }
+}
+
+/// Extracts `audit:allow(rule) — reason` waivers. A waiver on lines
+/// `L..=M` covers `L..=M+1`, so it can sit on its own line above the
+/// site or trail the site's line.
+fn parse_waivers(rel_path: &str, file: &LexedFile) -> (HashMap<usize, Vec<String>>, Vec<Finding>) {
+    let mut waivers: HashMap<usize, Vec<String>> = HashMap::new();
+    let mut findings = Vec::new();
+    for comment in &file.comments {
+        // Doc comments describe the waiver syntax; only plain comments
+        // grant waivers.
+        if comment.doc {
+            continue;
+        }
+        let Some(pos) = comment.text.find("audit:allow(") else {
+            continue;
+        };
+        let after = &comment.text[pos + "audit:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: comment.line,
+                rule: "waiver",
+                message: "malformed waiver: missing `)`".to_string(),
+            });
+            continue;
+        };
+        let rule = after[..close].trim();
+        let reason = after[close + 1..]
+            .trim_matches(|c: char| c.is_whitespace() || matches!(c, '—' | '-' | ':' | '–'));
+        if !RULES.contains(&rule) {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: comment.line,
+                rule: "waiver",
+                message: format!("waiver names unknown rule `{rule}`"),
+            });
+            continue;
+        }
+        if reason.is_empty() {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: comment.line,
+                rule: "waiver",
+                message: format!("waiver for `{rule}` gives no reason"),
+            });
+            continue;
+        }
+        // A waiver's reach extends through its contiguous plain-comment
+        // block (a multi-line reason) to the first code line after it.
+        let mut end = comment.end_line;
+        for later in &file.comments {
+            if !later.doc && later.line == end + 1 {
+                end = later.end_line;
+            }
+        }
+        for line in comment.line..=end + 1 {
+            waivers.entry(line).or_default().push(rule.to_string());
+        }
+    }
+    (waivers, findings)
+}
+
+/// Line ranges of items carrying a `test`-bearing attribute
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ..))]` — but not
+/// `#[cfg(not(test))]`).
+fn find_test_regions(file: &LexedFile) -> Vec<(usize, usize)> {
+    let toks = &file.tokens;
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        if toks[i].text != "#" || toks[i + 1].text != "[" {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut depth = 1usize;
+        let mut j = i + 2;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < toks.len() && depth > 0 {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                "test" if toks[j].kind == TokKind::Ident => has_test = true,
+                "not" if toks[j].kind == TokKind::Ident => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if has_test && !has_not {
+            if let Some((_, close)) = brace_span(toks, j) {
+                regions.push((toks[attr_start].line, toks[close].line));
+            }
+        }
+        i = j;
+    }
+    regions
+}
+
+/// From `start`, finds the first `{` and returns the token index range
+/// `(open, close)` of the matched braces. Returns `None` if a `;`
+/// arrives first (bodyless item) or braces never close.
+fn brace_span(toks: &[Token], start: usize) -> Option<(usize, usize)> {
+    let mut i = start;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" => break,
+            ";" => return None,
+            _ => i += 1,
+        }
+    }
+    let open = i;
+    let mut depth = 0usize;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, i));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Finds every `fn` item: visibility, body span, and whether the doc
+/// comment block above declares `# Panics`.
+fn find_fns(file: &LexedFile) -> Vec<FnInfo> {
+    let toks = &file.tokens;
+    let mut fns = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || tok.text != "fn" {
+            continue;
+        }
+        // `fn` as part of `Fn`-trait sugar is uppercase; `fn` pointer
+        // types (`fn(u8) -> u8`) have no body and resolve to None below
+        // or to a span that never matches a panic site.
+        let is_pub = is_pub_fn(toks, i);
+        let body = brace_span(toks, i);
+        fns.push(FnInfo {
+            line: tok.line,
+            is_pub,
+            body,
+            has_panics_doc: doc_block_mentions(file, tok.line, "# Panics"),
+        });
+    }
+    fns
+}
+
+/// Whether the `fn` at token `i` is `pub` (unrestricted). Walks left
+/// past modifiers (`const`, `unsafe`, `async`, `extern "C"`).
+fn is_pub_fn(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match toks[j].text.as_str() {
+            "const" | "unsafe" | "async" | "extern" => {}
+            _ if toks[j].kind == TokKind::Literal => {} // the "C" in extern "C"
+            "pub" => return true,
+            ")" => {
+                // `pub(crate)` / `pub(super)`: restricted, not public API.
+                return false;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Whether the contiguous doc/attr block ending just above `line`
+/// contains `needle` in a doc comment.
+fn doc_block_mentions(file: &LexedFile, line: usize, needle: &str) -> bool {
+    let mut l = line.saturating_sub(1);
+    while l > 0 {
+        let comments: Vec<_> = file.comments_on_line(l).collect();
+        if comments.iter().any(|c| c.doc && c.text.contains(needle)) {
+            return true;
+        }
+        let attr_only = file.first_token_on_line(l).is_some_and(|t| t.text == "#");
+        if comments.is_empty() && !attr_only {
+            return false;
+        }
+        if file.line_has_code(l) && !attr_only {
+            return false;
+        }
+        l -= 1;
+    }
+    false
+}
+
+fn check_safety_comments(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    let toks = &ctx.file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        let what = match toks.get(i + 1).map(|t| t.text.as_str()) {
+            Some("{") => "block",
+            Some("impl") => "impl",
+            // `unsafe fn` / `unsafe trait` declare obligations for the
+            // caller/implementor and are covered by `# Safety` docs, not
+            // SAFETY comments.
+            _ => continue,
+        };
+        if ctx.is_waived(tok.line, "safety-comment") {
+            continue;
+        }
+        if has_preceding_safety_comment(ctx.file, tok.line) {
+            continue;
+        }
+        findings.push(ctx.finding(
+            tok.line,
+            "safety-comment",
+            format!("`unsafe {what}` without a preceding `// SAFETY:` comment"),
+        ));
+    }
+}
+
+/// A `SAFETY:` comment counts if it touches the unsafe token's line or
+/// any contiguous comment/attribute line directly above it.
+fn has_preceding_safety_comment(file: &LexedFile, line: usize) -> bool {
+    if file
+        .comments_on_line(line)
+        .any(|c| c.text.contains("SAFETY:"))
+    {
+        return true;
+    }
+    let mut l = line.saturating_sub(1);
+    while l > 0 {
+        let comments: Vec<_> = file.comments_on_line(l).collect();
+        if comments.iter().any(|c| c.text.contains("SAFETY:")) {
+            return true;
+        }
+        let attr_only = file.first_token_on_line(l).is_some_and(|t| t.text == "#");
+        if comments.is_empty() && !attr_only {
+            return false;
+        }
+        if file.line_has_code(l) && !attr_only {
+            // A trailing comment on a code line without SAFETY: ends the
+            // scan — the comment belongs to that code.
+            return false;
+        }
+        l -= 1;
+    }
+    false
+}
+
+fn check_unwrap_expect(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    if !ctx.is_library_code() {
+        return;
+    }
+    let toks = &ctx.file.tokens;
+    for i in 0..toks.len().saturating_sub(2) {
+        if toks[i].text != "." || toks[i + 2].text != "(" || toks[i + 1].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i + 1].text.as_str();
+        if name != "unwrap" && name != "expect" {
+            continue;
+        }
+        let line = toks[i + 1].line;
+        if ctx.in_test_region(line) || ctx.is_waived(line, "unwrap-expect") {
+            continue;
+        }
+        if name == "expect" {
+            // Documented panic propagation: expect is the mechanism by
+            // which a fn honours its `# Panics` contract.
+            if ctx.enclosing_fn(i).is_some_and(|f| f.has_panics_doc) {
+                continue;
+            }
+            findings.push(ctx.finding(
+                line,
+                "unwrap-expect",
+                "`.expect()` in library code outside a fn documenting `# Panics`".to_string(),
+            ));
+        } else {
+            findings.push(
+                ctx.finding(
+                    line,
+                    "unwrap-expect",
+                    "`.unwrap()` in library code (propagate the error, use `expect` under a \
+                 `# Panics` contract, or waive with reason)"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+fn check_lossy_casts(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    if !CAST_ALLOWLIST.contains(&ctx.rel_path) {
+        return;
+    }
+    let toks = &ctx.file.tokens;
+    for i in 0..toks.len().saturating_sub(1) {
+        if toks[i].kind != TokKind::Ident || toks[i].text != "as" {
+            continue;
+        }
+        let target = &toks[i + 1];
+        let numeric = target.kind == TokKind::Ident
+            && (NUMERIC_TYPES.contains(&target.text.as_str()) || target.text == NUMERIC_TYPES_F64);
+        if !numeric {
+            continue;
+        }
+        let line = toks[i].line;
+        if ctx.is_waived(line, "lossy-cast") {
+            continue;
+        }
+        findings.push(ctx.finding(
+            line,
+            "lossy-cast",
+            format!(
+                "`as {}` cast in a cast-free module (use From/TryFrom/abs_diff, or waive \
+                 with a proof the cast is exact)",
+                target.text
+            ),
+        ));
+    }
+}
+
+fn check_panics_docs(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    if !ctx.is_library_code() {
+        return;
+    }
+    let toks = &ctx.file.tokens;
+    for f in &ctx.fns {
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        if !f.is_pub
+            || f.has_panics_doc
+            || ctx.in_test_region(f.line)
+            || ctx.is_waived(f.line, "panics-doc")
+        {
+            continue;
+        }
+        let mut evidence = None;
+        for i in open..close {
+            let line = toks[i].line;
+            if ctx.is_waived(line, "panics-doc") || ctx.is_waived(line, "unwrap-expect") {
+                continue;
+            }
+            let is_macro = toks[i].kind == TokKind::Ident
+                && PANIC_MACROS.contains(&toks[i].text.as_str())
+                && toks.get(i + 1).is_some_and(|t| t.text == "!");
+            let is_call = toks[i].text == "."
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|t| t.text == "unwrap" || t.text == "expect")
+                && toks.get(i + 2).is_some_and(|t| t.text == "(");
+            if is_macro || is_call {
+                evidence = Some((line, toks[i + 1].text.clone()));
+                break;
+            }
+        }
+        if let Some((line, what)) = evidence {
+            findings.push(ctx.finding(
+                f.line,
+                "panics-doc",
+                format!("pub fn can panic (`{what}` at line {line}) but its docs lack `# Panics`"),
+            ));
+        }
+    }
+}
+
+fn check_float_eq(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    if !FLOAT_EQ_CRATES
+        .iter()
+        .any(|prefix| ctx.rel_path.starts_with(prefix))
+    {
+        return;
+    }
+    let toks = &ctx.file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Punct || (tok.text != "==" && tok.text != "!=") {
+            continue;
+        }
+        let float_operand = (i > 0 && toks[i - 1].kind == TokKind::Float)
+            || toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Float);
+        if !float_operand {
+            continue;
+        }
+        let line = tok.line;
+        if ctx.in_test_region(line) || ctx.is_waived(line, "float-eq") {
+            continue;
+        }
+        findings.push(ctx.finding(
+            line,
+            "float-eq",
+            format!(
+                "`{}` against a float literal in physics code (compare with a tolerance \
+                 or restructure the guard)",
+                tok.text
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(rel: &str, src: &str) -> Vec<&'static str> {
+        lint_file(rel, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unsafe_block_requires_safety_comment() {
+        let bad = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        assert_eq!(
+            rules_fired("crates/x/src/a.rs", bad),
+            vec!["safety-comment"]
+        );
+        let good = "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}";
+        assert!(rules_fired("crates/x/src/a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_scans_past_attributes_and_multiline_comments() {
+        let src = "// SAFETY: the plane outlives all workers,\n// and phases are disjoint.\n#[allow(dead_code)]\nunsafe impl Sync for P {}";
+        assert!(rules_fired("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_declarations_are_exempt() {
+        let src = "pub unsafe fn f() {}";
+        assert!(rules_fired("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_library_code_is_flagged_but_not_in_tests_or_bins() {
+        let src = "fn f() { x.unwrap(); }";
+        assert_eq!(rules_fired("crates/x/src/a.rs", src), vec!["unwrap-expect"]);
+        assert!(rules_fired("crates/x/src/bin/tool.rs", src).is_empty());
+        assert!(rules_fired("crates/x/src/main.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}";
+        assert!(rules_fired("crates/x/src/a.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn expect_is_allowed_only_under_a_panics_contract() {
+        let documented =
+            "/// Does a thing.\n///\n/// # Panics\n///\n/// Panics when empty.\npub fn f() { x.expect(\"non-empty\"); }";
+        assert!(rules_fired("crates/x/src/a.rs", documented).is_empty());
+        let undocumented = "pub fn f() { x.expect(\"non-empty\"); }";
+        let fired = rules_fired("crates/x/src/a.rs", undocumented);
+        assert!(fired.contains(&"unwrap-expect"), "{fired:?}");
+    }
+
+    #[test]
+    fn waiver_suppresses_with_reason_and_fires_without() {
+        let waived = "fn f() {\n    // audit:allow(unwrap-expect) — poisoned mutex is unrecoverable here\n    x.unwrap();\n}";
+        assert!(rules_fired("crates/x/src/a.rs", waived).is_empty());
+        let trailing =
+            "fn f() {\n    x.unwrap(); // audit:allow(unwrap-expect) — can't fail, y is checked\n}";
+        assert!(rules_fired("crates/x/src/a.rs", trailing).is_empty());
+        let reasonless = "fn f() {\n    // audit:allow(unwrap-expect)\n    x.unwrap();\n}";
+        assert_eq!(
+            rules_fired("crates/x/src/a.rs", reasonless),
+            vec!["waiver", "unwrap-expect"]
+        );
+        let unknown = "fn f() {\n    // audit:allow(no-such-rule) — whatever\n    x.unwrap();\n}";
+        assert_eq!(
+            rules_fired("crates/x/src/a.rs", unknown),
+            vec!["waiver", "unwrap-expect"]
+        );
+    }
+
+    #[test]
+    fn lossy_casts_fire_only_in_allowlisted_modules() {
+        let src = "fn f(x: usize) -> u8 { x as u8 }";
+        assert_eq!(
+            rules_fired("crates/mrf/src/grid.rs", src),
+            vec!["lossy-cast"]
+        );
+        assert!(rules_fired("crates/mrf/src/field.rs", src).is_empty());
+        let waived = "fn f(x: usize) -> u8 {\n    // audit:allow(lossy-cast) — x < 4 by construction\n    x as u8\n}";
+        assert!(rules_fired("crates/mrf/src/grid.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn panicking_pub_fn_needs_panics_doc() {
+        let bad = "pub fn f(x: usize) { assert!(x > 0, \"positive\"); }";
+        assert_eq!(rules_fired("crates/x/src/a.rs", bad), vec!["panics-doc"]);
+        let good =
+            "/// # Panics\n///\n/// Panics when x is zero.\npub fn f(x: usize) { assert!(x > 0); }";
+        assert!(rules_fired("crates/x/src/a.rs", good).is_empty());
+        // debug_assert is not a release-path panic.
+        let debug = "pub fn f(x: usize) { debug_assert!(x > 0); }";
+        assert!(rules_fired("crates/x/src/a.rs", debug).is_empty());
+        // Private fns are out of scope for the doc rule (but unwrap still
+        // fires separately).
+        let private = "fn f(x: usize) { assert!(x > 0); }";
+        assert!(rules_fired("crates/x/src/a.rs", private).is_empty());
+    }
+
+    #[test]
+    fn float_eq_fires_only_in_physics_crates() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }";
+        assert_eq!(rules_fired("crates/ret/src/a.rs", src), vec!["float-eq"]);
+        assert_eq!(rules_fired("crates/core/src/a.rs", src), vec!["float-eq"]);
+        assert!(rules_fired("crates/vision/src/a.rs", src).is_empty());
+        let ne = "fn f(x: f64) -> bool { 1.5 != x }";
+        assert_eq!(rules_fired("crates/ret/src/a.rs", ne), vec!["float-eq"]);
+    }
+
+    #[test]
+    fn pub_crate_fns_are_not_public_api_for_panics_doc() {
+        let src = "pub(crate) fn f(x: usize) { assert!(x > 0); }";
+        assert!(rules_fired("crates/x/src/a.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! `mogs-audit` CLI — the workspace lint gate.
+//!
+//! ```text
+//! cargo run -p mogs-audit -- lint [ROOT]
+//! ```
+//!
+//! Lints every `crates/*/src/**.rs` file under the workspace root
+//! (defaulting to this crate's parent workspace) and exits non-zero on
+//! any finding, so CI can gate on it. The schedule interference checker
+//! is exercised against the seed workloads via `repro audit` in
+//! `mogs-bench` instead — it needs the vision workload definitions,
+//! which this dependency-light crate deliberately does not pull in.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mogs_audit::lint::lint_workspace;
+
+fn usage() -> &'static str {
+    "usage: mogs-audit lint [ROOT]\n\n\
+     Runs the workspace source lint pass (safety-comment, unwrap-expect,\n\
+     lossy-cast, panics-doc, float-eq) over crates/*/src and exits 1 on\n\
+     findings. ROOT defaults to the workspace this binary was built from."
+}
+
+fn default_root() -> PathBuf {
+    // crates/audit/ -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = args.get(1).map_or_else(default_root, PathBuf::from);
+            match lint_workspace(&root) {
+                Ok(report) => {
+                    println!("{report}");
+                    if report.is_clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(err) => {
+                    eprintln!("mogs-audit: cannot lint {}: {err}", root.display());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("--help" | "-h") | None => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("mogs-audit: unknown command `{other}`\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

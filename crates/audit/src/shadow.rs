@@ -1,0 +1,276 @@
+//! Dynamic cross-check of the static schedule verdict (feature `shadow`).
+//!
+//! A [`ShadowPlane`] is a label plane that stores no labels: it records,
+//! per phase, which sites were written and which were read *as
+//! neighbours* of another site's update. At the end of each phase it
+//! compares the two sets — any overlap is an observed instance of the
+//! race the static checker predicts with
+//! [`Violation::NeighborsSharePhase`](crate::Violation) — and at the end
+//! of a sweep it checks every site was written exactly once.
+//!
+//! The recorder is lock-free on the hot path (`record_*` are relaxed
+//! atomic increments on `&self`) so the engine can drive it from its
+//! parallel chunk workers under the `shadow-audit` feature, while
+//! [`replay_schedule`] drives it serially for the audit crate's own
+//! property tests without depending on the engine.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::schedule::{GridTopology, SweepSchedule};
+
+/// One access-pattern anomaly the recorder observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowFinding {
+    /// A site was written in a phase in which it was also read as a
+    /// neighbour — the data race the unsafe plane path must exclude.
+    PhaseConflict {
+        /// The phase group in which the overlap occurred.
+        group: usize,
+        /// The site both written and neighbour-read.
+        site: usize,
+    },
+    /// A site was written more than once within a single phase.
+    DoubleWrite {
+        /// The phase group.
+        group: usize,
+        /// The site written repeatedly.
+        site: usize,
+        /// Number of writes observed in the phase.
+        writes: u32,
+    },
+    /// A site was never written over the whole sweep.
+    NeverWritten {
+        /// The unwritten site.
+        site: usize,
+    },
+    /// A site was written in more than one phase of the sweep.
+    ExtraWrites {
+        /// The over-written site.
+        site: usize,
+        /// Total writes observed across the sweep.
+        writes: u32,
+    },
+}
+
+/// Everything the recorder observed over one sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShadowReport {
+    /// Anomalies, in observation order.
+    pub findings: Vec<ShadowFinding>,
+}
+
+impl ShadowReport {
+    /// True when the observed access pattern upholds the plane's
+    /// invariants: no same-phase write/neighbour-read overlap and every
+    /// site written exactly once.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// A write/neighbour-read set recorder standing in for a label plane.
+#[derive(Debug)]
+pub struct ShadowPlane {
+    phase_writes: Vec<AtomicU32>,
+    phase_neighbor_reads: Vec<AtomicU32>,
+    total_writes: Vec<AtomicU32>,
+    current_group: AtomicUsize,
+    findings: Mutex<Vec<ShadowFinding>>,
+}
+
+impl ShadowPlane {
+    /// A recorder for a plane of `sites` sites, all sets empty.
+    #[must_use]
+    pub fn new(sites: usize) -> Self {
+        let zeroed = |_| AtomicU32::new(0);
+        ShadowPlane {
+            phase_writes: (0..sites).map(zeroed).collect(),
+            phase_neighbor_reads: (0..sites).map(zeroed).collect(),
+            total_writes: (0..sites).map(zeroed).collect(),
+            current_group: AtomicUsize::new(0),
+            findings: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of sites tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.total_writes.len()
+    }
+
+    /// Whether the recorder tracks zero sites.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total_writes.is_empty()
+    }
+
+    /// Marks the start of phase `group`. Must not race `record_*` calls:
+    /// the engine calls this from the coordinator between phase barriers,
+    /// exactly where the real plane's phases change hands.
+    pub fn begin_phase(&self, group: usize) {
+        self.current_group.store(group, Ordering::Relaxed);
+    }
+
+    /// Records a label write to `site`. Out-of-range sites are ignored —
+    /// the recorder observes, it does not crash the run under test.
+    pub fn record_write(&self, site: usize) {
+        if let Some(w) = self.phase_writes.get(site) {
+            w.fetch_add(1, Ordering::Relaxed);
+            self.total_writes[site].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a read of `site` performed as a *neighbour* of some other
+    /// site's update.
+    pub fn record_neighbor_read(&self, site: usize) {
+        if let Some(r) = self.phase_neighbor_reads.get(site) {
+            r.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a site reading its own label before resampling. Own reads
+    /// happen-before the same worker's write, so they can never race; the
+    /// hook exists so call sites document every plane access.
+    pub fn record_own_read(&self, _site: usize) {}
+
+    /// Marks the end of the current phase: write/neighbour-read overlaps
+    /// and double writes become findings, and the phase sets reset.
+    /// Same threading contract as [`ShadowPlane::begin_phase`].
+    pub fn end_phase(&self) {
+        let group = self.current_group.load(Ordering::Relaxed);
+        let mut findings = self.findings.lock().unwrap_or_else(|e| e.into_inner());
+        for site in 0..self.len() {
+            let writes = self.phase_writes[site].swap(0, Ordering::Relaxed);
+            let reads = self.phase_neighbor_reads[site].swap(0, Ordering::Relaxed);
+            if writes > 0 && reads > 0 {
+                findings.push(ShadowFinding::PhaseConflict { group, site });
+            }
+            if writes > 1 {
+                findings.push(ShadowFinding::DoubleWrite {
+                    group,
+                    site,
+                    writes,
+                });
+            }
+        }
+    }
+
+    /// Closes the sweep: coverage anomalies join the phase findings and
+    /// the full report is returned. The recorder is left reset for
+    /// another sweep.
+    pub fn finish(&self) -> ShadowReport {
+        let mut findings = {
+            let mut held = self.findings.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *held)
+        };
+        for site in 0..self.len() {
+            let writes = self.total_writes[site].swap(0, Ordering::Relaxed);
+            match writes {
+                0 => findings.push(ShadowFinding::NeverWritten { site }),
+                1 => {}
+                _ => findings.push(ShadowFinding::ExtraWrites { site, writes }),
+            }
+        }
+        ShadowReport { findings }
+    }
+}
+
+/// Replays one sweep of `schedule` serially against a [`ShadowPlane`],
+/// recording exactly the plane accesses the engine's chunk workers would
+/// perform: for each scheduled site, an own-label read, one neighbour
+/// read per interference neighbour, then the write. Chunk ranges are
+/// clamped to their group and out-of-range sites skipped — the replay
+/// observes a schedule, it does not crash on one.
+///
+/// Returns the report of one full sweep.
+#[must_use]
+pub fn replay_schedule(topology: &GridTopology, schedule: &SweepSchedule) -> ShadowReport {
+    let shadow = ShadowPlane::new(topology.len());
+    for (g, sites) in schedule.groups().iter().enumerate() {
+        shadow.begin_phase(g);
+        for (start, end) in schedule.chunk_ranges(g) {
+            let end = end.min(sites.len());
+            for &site in sites.get(start..end).unwrap_or(&[]) {
+                if site >= topology.len() {
+                    continue;
+                }
+                shadow.record_own_read(site);
+                for neighbor in topology.neighbors(site) {
+                    shadow.record_neighbor_read(neighbor);
+                }
+                shadow.record_write(site);
+            }
+        }
+        shadow.end_phase();
+    }
+    shadow.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogs_mrf::Grid2D;
+
+    #[test]
+    fn valid_checkerboard_replay_is_clean() {
+        let topology = GridTopology::first_order(Grid2D::new(6, 5));
+        let schedule = SweepSchedule::colored(&topology, 3);
+        let report = replay_schedule(&topology, &schedule);
+        assert!(report.is_clean(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn adjacent_pair_in_one_phase_is_observed_as_conflict() {
+        let topology = GridTopology::first_order(Grid2D::new(3, 1));
+        let schedule = SweepSchedule::uniform(vec![vec![0, 1], vec![2]], 1);
+        let report = replay_schedule(&topology, &schedule);
+        assert!(report.findings.iter().any(|f| matches!(
+            f,
+            ShadowFinding::PhaseConflict { group: 0, site } if *site == 0 || *site == 1
+        )));
+    }
+
+    #[test]
+    fn gap_and_overlap_show_up_as_coverage_anomalies() {
+        let topology = GridTopology::first_order(Grid2D::new(4, 1));
+        let groups = vec![vec![0, 2], vec![1, 3]];
+        // Group 0 chunked with an overlap (site 0 twice), group 1 with a
+        // gap (site 3 never visited).
+        let ranges = vec![vec![(0, 1), (0, 2)], vec![(0, 1)]];
+        let schedule = SweepSchedule::explicit(groups, ranges);
+        let report = replay_schedule(&topology, &schedule);
+        assert!(report.findings.contains(&ShadowFinding::DoubleWrite {
+            group: 0,
+            site: 0,
+            writes: 2,
+        }));
+        assert!(report
+            .findings
+            .contains(&ShadowFinding::NeverWritten { site: 3 }));
+    }
+
+    #[test]
+    fn recorder_resets_between_sweeps() {
+        let topology = GridTopology::first_order(Grid2D::new(2, 2));
+        let schedule = SweepSchedule::colored(&topology, 1);
+        assert!(replay_schedule(&topology, &schedule).is_clean());
+        let shadow = ShadowPlane::new(topology.len());
+        shadow.begin_phase(0);
+        shadow.record_write(0);
+        shadow.end_phase();
+        let first = shadow.finish();
+        assert!(!first.is_clean());
+        // After finish() the counters are zeroed: a fresh, complete sweep
+        // on the same recorder is clean.
+        for (g, sites) in schedule.groups().iter().enumerate() {
+            shadow.begin_phase(g);
+            for &site in sites {
+                shadow.record_write(site);
+            }
+            shadow.end_phase();
+        }
+        assert!(shadow.finish().is_clean());
+    }
+}

@@ -1,0 +1,260 @@
+//! Property-based invariants of the schedule interference checker.
+//!
+//! Three families: every well-formed colored schedule passes, every
+//! adversarial mutation of one is rejected with the right violation, and
+//! (under the `shadow` feature) the dynamic recorder agrees with the
+//! static verdict on both directions the design promises.
+
+use mogs_audit::{check_schedule, GridTopology, SweepSchedule, Violation};
+use mogs_mrf::Grid2D;
+use proptest::prelude::*;
+
+fn topology(w: usize, h: usize, second_order: bool) -> GridTopology {
+    let grid = Grid2D::new(w, h);
+    if second_order {
+        GridTopology::second_order(grid)
+    } else {
+        GridTopology::first_order(grid)
+    }
+}
+
+/// The colored groups with one site moved from its own phase into another
+/// phase (where at least one of its neighbours lives). Returns the groups
+/// and the moved site.
+fn move_one_site(topology: &GridTopology, site_pick: usize) -> (Vec<Vec<usize>>, usize) {
+    let mut groups = SweepSchedule::colored(topology, 1).into_groups();
+    let site = site_pick % topology.len();
+    let from = groups
+        .iter()
+        .position(|g| g.contains(&site))
+        .expect("colored schedules cover every site");
+    groups[from].retain(|&s| s != site);
+    let to = (from + 1) % groups.len();
+    groups[to].push(site);
+    (groups, site)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A colored schedule never violates interference or coverage; the
+    /// only thing that can be wrong with one is chunk underflow, when the
+    /// reference `div_ceil` split yields fewer chunks than the job asked
+    /// for (e.g. a 9-site group at 4 threads splits into 3 chunks).
+    #[test]
+    fn colored_schedules_fail_only_on_chunk_underflow(
+        w in 4usize..24,
+        h in 4usize..24,
+        threads in 1usize..=4,
+        second_order in proptest::bool::ANY,
+    ) {
+        let topology = topology(w, h, second_order);
+        let schedule = SweepSchedule::colored(&topology, threads);
+        let underflow = schedule
+            .groups()
+            .iter()
+            .enumerate()
+            .any(|(g, sites)| !sites.is_empty() && schedule.chunk_ranges(g).len() < threads);
+        let report = check_schedule(&topology, &schedule);
+        if underflow {
+            prop_assert!(!report.is_clean());
+            prop_assert!(
+                report
+                    .violations
+                    .iter()
+                    .all(|v| matches!(v, Violation::ChunkUnderflow { .. })),
+                "{w}x{h} t={threads}: {report}"
+            );
+        } else {
+            prop_assert!(report.is_clean(), "{w}x{h} t={threads}: {report}");
+        }
+        prop_assert_eq!(report.stats.sites, w * h);
+        prop_assert_eq!(report.stats.groups, if second_order { 4 } else { 2 });
+    }
+
+    /// Moving any single site into another phase puts it next to one of
+    /// its neighbours (every site in a ≥2×2 grid has a neighbour of every
+    /// other colour), so the checker must flag interference.
+    #[test]
+    fn moving_a_site_across_phases_is_rejected(
+        w in 2usize..16,
+        h in 2usize..16,
+        site_pick in 0usize..1024,
+        second_order in proptest::bool::ANY,
+    ) {
+        let topology = topology(w, h, second_order);
+        let (groups, site) = move_one_site(&topology, site_pick);
+        let report = check_schedule(&topology, &SweepSchedule::uniform(groups, 1));
+        prop_assert!(!report.is_clean());
+        prop_assert!(
+            report.violations.iter().any(|v| matches!(
+                v,
+                Violation::NeighborsSharePhase { a, b, .. }
+                    if a.site == site || b.site == site
+            )),
+            "moved site {site} not flagged: {report}"
+        );
+    }
+
+    /// Dropping a site from its phase leaves it uncovered.
+    #[test]
+    fn dropping_a_site_is_rejected(
+        w in 2usize..16,
+        h in 2usize..16,
+        site_pick in 0usize..1024,
+        second_order in proptest::bool::ANY,
+    ) {
+        let topology = topology(w, h, second_order);
+        let mut groups = SweepSchedule::colored(&topology, 1).into_groups();
+        let site = site_pick % topology.len();
+        for g in &mut groups {
+            g.retain(|&s| s != site);
+        }
+        let report = check_schedule(&topology, &SweepSchedule::uniform(groups, 1));
+        prop_assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SiteUncovered { site: c } if c.site == site)));
+    }
+
+    /// Listing a site in a second phase (keeping the original) is caught
+    /// as a repeat.
+    #[test]
+    fn duplicating_a_site_is_rejected(
+        w in 2usize..16,
+        h in 2usize..16,
+        site_pick in 0usize..1024,
+        second_order in proptest::bool::ANY,
+    ) {
+        let topology = topology(w, h, second_order);
+        let mut groups = SweepSchedule::colored(&topology, 1).into_groups();
+        let site = site_pick % topology.len();
+        let from = groups
+            .iter()
+            .position(|g| g.contains(&site))
+            .expect("colored schedules cover every site");
+        let to = (from + 1) % groups.len();
+        groups[to].push(site);
+        let report = check_schedule(&topology, &SweepSchedule::uniform(groups, 1));
+        prop_assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SiteRepeated { site: c, .. } if c.site == site)));
+    }
+
+    /// Corrupting one group's chunk list — a trailing gap, an overlap, or
+    /// an empty chunk — is always rejected with the matching violation.
+    #[test]
+    fn corrupted_explicit_chunks_are_rejected(
+        // ≥3×3 keeps every colour class at two or more sites, so group 0
+        // is large enough for each mutation below.
+        w in 3usize..16,
+        h in 3usize..16,
+        mode in 0usize..3,
+        second_order in proptest::bool::ANY,
+    ) {
+        let topology = topology(w, h, second_order);
+        let clean = SweepSchedule::colored(&topology, 1);
+        let groups = clean.groups().to_vec();
+        let mut ranges: Vec<Vec<(usize, usize)>> =
+            (0..groups.len()).map(|g| clean.chunk_ranges(g)).collect();
+        let len = groups[0].len();
+        prop_assert!(len >= 2);
+        ranges[0] = match mode {
+            0 => vec![(0, len - 1)],          // gap: last site unscheduled
+            1 => vec![(0, 1), (0, len)],      // overlap: site 0 twice
+            _ => vec![(0, 0), (0, len)],      // empty leading chunk
+        };
+        let report = check_schedule(&topology, &SweepSchedule::explicit(groups, ranges));
+        prop_assert!(!report.is_clean());
+        let expected = match mode {
+            0 => report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::ChunkGap { group: 0, .. })),
+            1 => report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::ChunkOverlap { group: 0, .. })),
+            _ => report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::EmptyChunk { group: 0, chunk: 0 })),
+        };
+        prop_assert!(expected, "mode {mode}: {report}");
+    }
+}
+
+#[cfg(feature = "shadow")]
+mod shadow_agreement {
+    use super::*;
+    use mogs_audit::shadow::{replay_schedule, ShadowFinding};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// A statically clean schedule replays without a single dynamic
+        /// finding — the static checker never under-approximates what
+        /// actually happens on the plane. Thread counts of 1 and 2 keep
+        /// the reference split exact for every group size, so the static
+        /// verdict here is always clean.
+        #[test]
+        fn static_clean_implies_replay_clean(
+            w in 4usize..20,
+            h in 4usize..20,
+            threads in 1usize..=2,
+            second_order in proptest::bool::ANY,
+        ) {
+            let topology = topology(w, h, second_order);
+            let schedule = SweepSchedule::colored(&topology, threads);
+            prop_assert!(check_schedule(&topology, &schedule).is_clean());
+            let replay = replay_schedule(&topology, &schedule);
+            prop_assert!(replay.is_clean(), "{:?}", replay.findings);
+        }
+
+        /// For the cross-phase-move mutation class the two verdicts agree
+        /// on dirtiness too: the race the static checker predicts is
+        /// observed as a same-phase write/neighbour-read conflict.
+        #[test]
+        fn cross_phase_move_is_observed_dynamically(
+            w in 2usize..16,
+            h in 2usize..16,
+            site_pick in 0usize..1024,
+            second_order in proptest::bool::ANY,
+        ) {
+            let topology = topology(w, h, second_order);
+            let (groups, _site) = move_one_site(&topology, site_pick);
+            let schedule = SweepSchedule::uniform(groups, 1);
+            let static_report = check_schedule(&topology, &schedule);
+            let replay = replay_schedule(&topology, &schedule);
+            prop_assert!(!static_report.is_clean());
+            prop_assert!(replay
+                .findings
+                .iter()
+                .any(|f| matches!(f, ShadowFinding::PhaseConflict { .. })));
+        }
+
+        /// Coverage mutations are observed as coverage anomalies: the
+        /// dropped site is never written on replay.
+        #[test]
+        fn dropped_site_is_never_written_on_replay(
+            w in 2usize..16,
+            h in 2usize..16,
+            site_pick in 0usize..1024,
+            second_order in proptest::bool::ANY,
+        ) {
+            let topology = topology(w, h, second_order);
+            let mut groups = SweepSchedule::colored(&topology, 1).into_groups();
+            let site = site_pick % topology.len();
+            for g in &mut groups {
+                g.retain(|&s| s != site);
+            }
+            let schedule = SweepSchedule::uniform(groups, 1);
+            prop_assert!(!check_schedule(&topology, &schedule).is_clean());
+            let replay = replay_schedule(&topology, &schedule);
+            prop_assert!(replay
+                .findings
+                .contains(&ShadowFinding::NeverWritten { site }));
+        }
+    }
+}

@@ -75,10 +75,10 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements((SIDE * SIDE * SWEEPS) as u64));
     group.bench_function("checkerboard_sweep_reference", |b| {
-        b.iter(|| black_box(reference_run(&app)[0]))
+        b.iter(|| black_box(reference_run(&app)[0]));
     });
     group.bench_function("engine", |b| {
-        b.iter(|| black_box(engine_run(&app, &engine)[0]))
+        b.iter(|| black_box(engine_run(&app, &engine)[0]));
     });
     group.finish();
     engine.shutdown();

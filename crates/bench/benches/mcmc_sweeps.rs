@@ -31,7 +31,7 @@ fn bench_sweeps(c: &mut Criterion) {
         b.iter(|| {
             sequential_sweep(mrf, &mut labels, &mut gibbs, 4.0, &mut rng);
             black_box(labels[0])
-        })
+        });
     });
 
     let mut rsu = RsuGSampler::new(EnergyQuantizer::new(8.0), 4.0);
@@ -40,7 +40,7 @@ fn bench_sweeps(c: &mut Criterion) {
         b.iter(|| {
             sequential_sweep(mrf, &mut labels, &mut rsu, 4.0, &mut rng);
             black_box(labels[0])
-        })
+        });
     });
 
     for threads in [2usize, 4] {
@@ -55,7 +55,7 @@ fn bench_sweeps(c: &mut Criterion) {
                     seed += 1;
                     checkerboard_sweep(mrf, &mut labels, &sampler, 4.0, t, seed);
                     black_box(labels[0])
-                })
+                });
             },
         );
     }

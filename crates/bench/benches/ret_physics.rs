@@ -18,7 +18,7 @@ fn bench_gillespie(c: &mut Criterion) {
         ("cascade", RetNetwork::cascade(3.0)),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &network, |b, net| {
-            b.iter(|| black_box(simulate_exciton(net, 0, &mut rng)))
+            b.iter(|| black_box(simulate_exciton(net, 0, &mut rng)));
         });
     }
     group.finish();
@@ -45,7 +45,7 @@ fn bench_circuit_fidelity(c: &mut Criterion) {
         });
         circuit.set_intensity_code(10);
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
-            b.iter(|| black_box(circuit.sample_ttf(&mut rng)))
+            b.iter(|| black_box(circuit.sample_ttf(&mut rng)));
         });
     }
     group.finish();

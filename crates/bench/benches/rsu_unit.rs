@@ -21,7 +21,7 @@ fn bench_sample_site(c: &mut Criterion) {
             data2: (0..m).map(|i| i % 64).collect(),
         };
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            b.iter(|| black_box(rsu.sample_site(&inputs, &mut rng)))
+            b.iter(|| black_box(rsu.sample_site(&inputs, &mut rng)));
         });
     }
     group.finish();
@@ -33,7 +33,7 @@ fn bench_first_to_fire(c: &mut Criterion) {
     for m in [2usize, 5, 49, 64] {
         let rates: Vec<f64> = (0..m).map(|i| 0.1 + i as f64 * 0.05).collect();
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            b.iter(|| black_box(first_to_fire(&rates, &mut rng)))
+            b.iter(|| black_box(first_to_fire(&rates, &mut rng)));
         });
     }
     group.finish();
@@ -47,7 +47,7 @@ fn bench_pipeline_sim(c: &mut Criterion) {
             ..PipelineConfig::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(replicas), &replicas, |b, _| {
-            b.iter(|| black_box(simulate_site(&config, 64)))
+            b.iter(|| black_box(simulate_site(&config, 64)));
         });
     }
     group.finish();

@@ -17,7 +17,7 @@ fn bench_distributions(c: &mut Criterion) {
 
     let exp = Exponential::new(1.0);
     group.bench_function("exponential", |b| {
-        b.iter(|| black_box(exp.sample(&mut rng)))
+        b.iter(|| black_box(exp.sample(&mut rng)));
     });
 
     let mut normal = Normal::standard();
@@ -35,15 +35,15 @@ fn bench_label_samplers(c: &mut Criterion) {
         let energies: Vec<f64> = (0..m).map(|i| i as f64 * 2.0).collect();
         let mut gibbs = SoftmaxGibbs::new();
         group.bench_with_input(BenchmarkId::new("softmax_gibbs", m), &m, |b, _| {
-            b.iter(|| black_box(gibbs.sample_label(&energies, 4.0, Label::new(0), &mut rng)))
+            b.iter(|| black_box(gibbs.sample_label(&energies, 4.0, Label::new(0), &mut rng)));
         });
         let mut metropolis = Metropolis::new();
         group.bench_with_input(BenchmarkId::new("metropolis", m), &m, |b, _| {
-            b.iter(|| black_box(metropolis.sample_label(&energies, 4.0, Label::new(0), &mut rng)))
+            b.iter(|| black_box(metropolis.sample_label(&energies, 4.0, Label::new(0), &mut rng)));
         });
         let mut rsu = RsuGSampler::new(EnergyQuantizer::new(8.0), 4.0);
         group.bench_with_input(BenchmarkId::new("rsu_g_model", m), &m, |b, _| {
-            b.iter(|| black_box(rsu.sample_label(&energies, 4.0, Label::new(0), &mut rng)))
+            b.iter(|| black_box(rsu.sample_label(&energies, 4.0, Label::new(0), &mut rng)));
         });
     }
     group.finish();

@@ -24,16 +24,17 @@
 //! | `converge` | A8: multi-chain R-hat + cycle-level accelerator sim |
 //! | `anneal` | A9: temperature-schedule ablation |
 //! | `engine-bench` | A10: persistent engine vs one-shot sweep throughput |
+//! | `audit` | schedule-interference audit of every vision workload |
 
 use mogs_bench::experiments::{
-    ablation, anneal, convergence, energy, engine_bench, fig7, paper_tables, proto_ratio, quality,
-    restore, table1, wearout,
+    ablation, anneal, audit, convergence, energy, engine_bench, fig7, paper_tables, proto_ratio,
+    quality, restore, table1, wearout,
 };
 use mogs_bench::report::render_table;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const EXPERIMENTS: [&str; 18] = [
+const EXPERIMENTS: [&str; 19] = [
     "table1",
     "table2",
     "table3",
@@ -52,6 +53,7 @@ const EXPERIMENTS: [&str; 18] = [
     "converge",
     "anneal",
     "engine-bench",
+    "audit",
 ];
 
 fn main() -> ExitCode {
@@ -171,6 +173,14 @@ fn run(experiment: &str, out_dir: Option<&Path>) -> Result<(), String> {
         "engine-bench" => {
             let result = engine_bench::run(320, 12, 2016);
             emit(engine_bench::render(&result))?;
+        }
+        "audit" => {
+            let rows = audit::run(7);
+            emit(audit::render(&rows))?;
+            let dirty = rows.iter().filter(|r| !r.clean()).count();
+            if dirty > 0 {
+                return Err(format!("{dirty} workload schedule(s) failed the audit"));
+            }
         }
         other => return Err(format!("unknown experiment '{other}'")),
     }

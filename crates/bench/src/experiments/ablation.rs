@@ -46,6 +46,11 @@ pub fn precision_sweep(
 }
 
 /// TV distance of one quantization budget against the exact softmax.
+///
+/// # Panics
+///
+/// Panics if `intensity_bits` is outside `1..=16` or `ttf_bits` outside
+/// `1..=24`.
 pub fn tv_for_budget(
     energies: &[f64],
     t8: f64,

@@ -29,6 +29,11 @@ pub struct AnnealRow {
 }
 
 /// Runs the schedule comparison.
+///
+/// # Panics
+///
+/// Panics if a chain finishes without recording an energy trace (it always
+/// records the initial energy).
 pub fn run(iterations: usize, seed: u64) -> Vec<AnnealRow> {
     let scene = synthetic::region_scene(32, 32, 5, 7.0, seed);
     let app = Segmentation::new(scene.image.clone(), SegmentationConfig::default());
@@ -62,7 +67,10 @@ pub fn run(iterations: usize, seed: u64) -> Vec<AnnealRow> {
             };
             let mut chain = McmcChain::new(app.mrf(), SoftmaxGibbs::new(), config);
             chain.run(iterations);
-            let final_energy = *chain.energy_trace().last().unwrap();
+            let final_energy = *chain
+                .energy_trace()
+                .last()
+                .expect("chain records the initial energy");
             let labels = chain
                 .map_estimate()
                 .unwrap_or_else(|| chain.labels().to_vec());

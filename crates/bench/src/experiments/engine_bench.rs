@@ -50,6 +50,11 @@ pub struct EngineBenchResult {
 }
 
 /// Runs the comparison at `side`×`side`, `M = 5`, 8 chunks.
+///
+/// # Panics
+///
+/// Panics if the freshly started engine rejects a well-formed benchmark
+/// job (it is shut down only after both paths complete).
 pub fn run(side: usize, iterations: usize, seed: u64) -> EngineBenchResult {
     let threads = 8;
     let scene = synthetic::region_scene(side, side, 5, 6.0, seed);

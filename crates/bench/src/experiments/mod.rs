@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod anneal;
+pub mod audit;
 pub mod convergence;
 pub mod energy;
 pub mod engine_bench;

@@ -22,6 +22,11 @@ pub struct RestoreRow {
 }
 
 /// Runs the restoration grid on a noisy test card.
+///
+/// # Panics
+///
+/// Panics if a run returns no MAP estimate (mode tracking is always on
+/// for the restoration apps).
 pub fn run(iterations: usize, seed: u64) -> Vec<RestoreRow> {
     // Card values deliberately off the 8-level reconstruction grid so even
     // a perfect labeling leaves finite quantization PSNR.
@@ -55,7 +60,7 @@ pub fn run(iterations: usize, seed: u64) -> Vec<RestoreRow> {
             noisy_psnr,
             restored_psnr: Restoration::psnr(
                 &clean,
-                &app.labels_to_image(software.map_estimate.as_ref().unwrap()),
+                &app.labels_to_image(software.map_estimate.as_ref().expect("modes tracked")),
             ),
         });
         let hardware = app.run(
@@ -68,7 +73,7 @@ pub fn run(iterations: usize, seed: u64) -> Vec<RestoreRow> {
             noisy_psnr,
             restored_psnr: Restoration::psnr(
                 &clean,
-                &app.labels_to_image(hardware.map_estimate.as_ref().unwrap()),
+                &app.labels_to_image(hardware.map_estimate.as_ref().expect("modes tracked")),
             ),
         });
     }

@@ -76,13 +76,13 @@ impl EnergyUnit {
         debug_assert!(label < 64 && neighbor < 64, "labels are 6-bit");
         let d2 = match self.config.kind {
             LabelKind::Scalar => {
-                let d = i16::from(label & 0b111) - i16::from(neighbor & 0b111);
-                (d * d) as u16
+                let d = u16::from((label & 0b111).abs_diff(neighbor & 0b111));
+                d * d
             }
             LabelKind::Vector2 => {
-                let d0 = i16::from(label & 0b111) - i16::from(neighbor & 0b111);
-                let d1 = i16::from(label >> 3) - i16::from(neighbor >> 3);
-                (d0 * d0 + d1 * d1) as u16
+                let d0 = u16::from((label & 0b111).abs_diff(neighbor & 0b111));
+                let d1 = u16::from((label >> 3).abs_diff(neighbor >> 3));
+                d0 * d0 + d1 * d1
             }
         };
         d2 >> self.config.doubleton_shift
@@ -95,8 +95,8 @@ impl EnergyUnit {
     /// Panics in debug builds if an input exceeds 6 bits.
     pub fn singleton(&self, data1: u8, data2: u8) -> u16 {
         debug_assert!(data1 < 64 && data2 < 64, "data inputs are 6-bit");
-        let d = i16::from(data1) - i16::from(data2);
-        ((d * d) as u16) >> self.config.singleton_shift
+        let d = u16::from(data1.abs_diff(data2));
+        (d * d) >> self.config.singleton_shift
     }
 
     /// The full 8-bit energy of one candidate label: saturating sum of the
@@ -109,7 +109,8 @@ impl EnergyUnit {
         for n in neighbors.into_iter().flatten() {
             acc = (acc + self.doubleton(label, n)).min(255);
         }
-        acc as u8
+        // The running `.min(255)` clamps keep `acc` in u8 range.
+        u8::try_from(acc).unwrap_or(u8::MAX)
     }
 }
 

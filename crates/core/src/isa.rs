@@ -85,6 +85,10 @@ pub enum RsuInstruction {
 impl RsuInstruction {
     /// Bit layout of the 16-bit encoding: `[15:12]` reserved, `[11]` read
     /// bit, `[10:8]` op, `[7:5]` reserved, `[4:0]` src/dst specifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a register specifier exceeds 5 bits.
     pub fn encode(self) -> u16 {
         match self {
             RsuInstruction::Write { reg, src } => {

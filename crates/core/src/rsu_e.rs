@@ -136,6 +136,10 @@ impl RsuE {
 
     /// Convenience: sample with an `f64` rate, returning `f64` ns
     /// (`f64::INFINITY` for saturation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
     pub fn sample_f64<R: Rng + ?Sized>(&mut self, rate: f64, rng: &mut R) -> f64 {
         assert!(rate > 0.0, "rate must be positive");
         let fixed = ((rate * f64::from(FIXED_ONE)).round() as u32).max(1);

@@ -195,7 +195,7 @@ impl RsuG {
     pub fn ideal_win_probabilities(&self, inputs: &SiteInputs) -> Vec<f64> {
         let codes = self.intensity_codes(inputs);
         let total: f64 = codes.iter().map(|&c| f64::from(c)).sum();
-        if total == 0.0 {
+        if total <= 0.0 {
             let m = codes.len() as f64;
             return vec![1.0 / m; codes.len()];
         }
@@ -210,6 +210,10 @@ impl RsuG {
     /// the window, label 0's (saturated) reading survives — the returned
     /// label is then 0. Both behaviours match a strict-less-than
     /// compare-and-update (§5.2 Selection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `DATA2` stream has neither 1 nor `M` entries.
     pub fn sample_site<R: Rng + ?Sized>(&mut self, inputs: &SiteInputs, rng: &mut R) -> SiteSample {
         if self.data2_len_invalid(inputs) {
             panic!(
@@ -411,7 +415,7 @@ mod tests {
             counts[usize::from(rsu.sample_site(&inputs, &mut rng).label.value())] += 1;
         }
         for (m, c) in counts.iter().enumerate() {
-            let p = *c as f64 / n as f64;
+            let p = *c as f64 / f64::from(n);
             // 4-bit codes + 8-bit TTF (tick ties break toward lower
             // labels) leave a few percent of quantization error; the
             // distribution shape must still track Boltzmann.
@@ -515,13 +519,13 @@ mod tests {
         let rates: Vec<f64> = codes.iter().map(|&c| probe.effective_rate(c)).collect();
         let total: f64 = rates.iter().sum();
         for m in 0..3 {
-            let pc = circuit_counts[m] as f64 / n as f64;
+            let pc = circuit_counts[m] as f64 / f64::from(n);
             let expect = rates[m] / total;
             assert!(
                 (pc - expect).abs() < 0.03,
                 "label {m}: circuit {pc} vs effective-rate prediction {expect}"
             );
-            let pi = ideal_counts[m] as f64 / n as f64;
+            let pi = ideal_counts[m] as f64 / f64::from(n);
             // The compression vs the ideal backend is visible but bounded.
             assert!(
                 (pi - pc).abs() < 0.15,
@@ -544,7 +548,7 @@ mod tests {
             counts[usize::from(l.value())] += 1;
         }
         for (m, c) in counts.iter().enumerate() {
-            let p = *c as f64 / n as f64;
+            let p = *c as f64 / f64::from(n);
             assert!(
                 (p - expect[m]).abs() < 0.06,
                 "label {m}: {p} vs {}",

@@ -33,7 +33,7 @@ use mogs_mrf::energy::SingletonPotential;
 
 use crate::job::{HandleShared, InferenceJob, JobHandle, JobId, JobOutput};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
-use crate::runner::{ErasedJob, TypedJob};
+use crate::runner::{AdmissionError, ErasedJob, TypedJob};
 
 /// Sizing of an [`Engine`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,24 +92,40 @@ impl std::fmt::Debug for PreparedJob {
 pub enum TrySubmitError {
     /// The queue is at capacity; the prepared job is handed back.
     Full(PreparedJob),
+    /// The job failed the admission audit; it never reached the queue.
+    Rejected(AdmissionError),
     /// The engine has shut down.
     ShutDown,
 }
 
 /// Why a blocking submission failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SubmitError {
+    /// The job failed the admission audit (malformed sweep schedule,
+    /// oversized label space, or invalid initial labeling); it never
+    /// reached the queue and no label plane was built.
+    Rejected(AdmissionError),
     /// The engine has shut down.
     ShutDown,
 }
 
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "engine has shut down")
+        match self {
+            SubmitError::Rejected(err) => write!(f, "job rejected at admission: {err}"),
+            SubmitError::ShutDown => write!(f, "engine has shut down"),
+        }
     }
 }
 
-impl std::error::Error for SubmitError {}
+impl std::error::Error for SubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SubmitError::Rejected(err) => Some(err),
+            SubmitError::ShutDown => None,
+        }
+    }
+}
 
 /// One chunk of one group phase, executed by a worker.
 struct Task {
@@ -206,17 +222,21 @@ impl Engine {
         Engine::new(EngineConfig::default())
     }
 
-    fn prepare<S, L>(&self, job: InferenceJob<S, L>) -> Pending
+    /// Runs admission (the `mogs-audit` schedule check, label-space and
+    /// labeling validation) and builds the type-erased job. A rejection
+    /// happens before any label plane exists.
+    fn prepare<S, L>(&self, job: InferenceJob<S, L>) -> Result<Pending, AdmissionError>
     where
         S: SingletonPotential + 'static,
         L: LabelSampler + Clone + Send + Sync + 'static,
     {
+        let typed = TypedJob::try_new(job)?;
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        Pending {
+        Ok(Pending {
             id,
-            job: Arc::new(TypedJob::new(job)),
+            job: Arc::new(typed),
             shared: HandleShared::new(),
-        }
+        })
     }
 
     fn handle_for(pending: &Pending) -> JobHandle {
@@ -230,13 +250,17 @@ impl Engine {
     ///
     /// # Errors
     ///
+    /// [`SubmitError::Rejected`] if the job fails the admission audit;
     /// [`SubmitError::ShutDown`] if the engine has stopped.
     pub fn submit<S, L>(&self, job: InferenceJob<S, L>) -> Result<JobHandle, SubmitError>
     where
         S: SingletonPotential + 'static,
         L: LabelSampler + Clone + Send + Sync + 'static,
     {
-        let pending = self.prepare(job);
+        let pending = self.prepare(job).map_err(|err| {
+            self.metrics.jobs_denied.fetch_add(1, Ordering::Relaxed);
+            SubmitError::Rejected(err)
+        })?;
         let handle = Engine::handle_for(&pending);
         let sender = self.submissions.as_ref().ok_or(SubmitError::ShutDown)?;
         sender.send(pending).map_err(|_| SubmitError::ShutDown)?;
@@ -249,14 +273,18 @@ impl Engine {
     /// # Errors
     ///
     /// [`TrySubmitError::Full`] hands the prepared job back for a later
-    /// [`Engine::try_resubmit`]; [`TrySubmitError::ShutDown`] if the
+    /// [`Engine::try_resubmit`]; [`TrySubmitError::Rejected`] if the job
+    /// fails the admission audit; [`TrySubmitError::ShutDown`] if the
     /// engine has stopped.
     pub fn try_submit<S, L>(&self, job: InferenceJob<S, L>) -> Result<JobHandle, TrySubmitError>
     where
         S: SingletonPotential + 'static,
         L: LabelSampler + Clone + Send + Sync + 'static,
     {
-        let pending = self.prepare(job);
+        let pending = self.prepare(job).map_err(|err| {
+            self.metrics.jobs_denied.fetch_add(1, Ordering::Relaxed);
+            TrySubmitError::Rejected(err)
+        })?;
         self.try_send(pending)
     }
 
@@ -371,7 +399,12 @@ fn scheduler_loop(
                     entry.outstanding == 0
                 };
                 if finished_phase {
-                    let mut entry = active.remove(&done.id).expect("entry exists");
+                    // The entry was present two lines up; a vanished key
+                    // would be a scheduler bug, not a recoverable state,
+                    // but skipping is strictly safer than unwinding here.
+                    let Some(mut entry) = active.remove(&done.id) else {
+                        continue;
+                    };
                     entry.group += 1;
                     if advance(&mut entry, &task_tx, &metrics) {
                         finish(entry, &metrics);

@@ -50,6 +50,13 @@ pub struct InferenceJob<S: SingletonPotential, L: LabelSampler> {
     /// Starting labeling; defaults to the all-zero labeling like
     /// `McmcChain::new`.
     pub initial: Option<Vec<Label>>,
+    /// Explicit sweep phase groups overriding the field's own
+    /// [`independent_groups`](MarkovRandomField::independent_groups).
+    /// Every schedule — derived or explicit — must pass the
+    /// `mogs-audit` interference check at admission; an override that
+    /// puts neighbouring sites in one phase is rejected with a typed
+    /// report, never run.
+    pub groups: Option<Vec<Vec<usize>>>,
 }
 
 impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
@@ -69,6 +76,7 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
             track_modes: false,
             record_energy: true,
             initial: None,
+            groups: None,
         }
     }
 
@@ -107,6 +115,7 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
             track_modes: config.track_modes,
             record_energy: true,
             initial: None,
+            groups: None,
         }
     }
 
@@ -156,6 +165,15 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
     /// Sets an explicit starting labeling.
     pub fn with_initial(mut self, labels: Vec<Label>) -> Self {
         self.initial = Some(labels);
+        self
+    }
+
+    /// Overrides the sweep phase groups. The override is audited at
+    /// admission exactly like a derived schedule: it must be a family of
+    /// interference-free phases covering every site once, or submission
+    /// fails with [`SubmitError::Rejected`](crate::SubmitError).
+    pub fn with_groups(mut self, groups: Vec<Vec<usize>>) -> Self {
+        self.groups = Some(groups);
         self
     }
 }

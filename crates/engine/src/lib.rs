@@ -24,6 +24,18 @@
 //! - [`EngineMetrics`] counts jobs, sweeps, and site updates and
 //!   histograms latencies; [`MetricsSnapshot`] serializes to JSON.
 //!
+//! # Admission audit
+//!
+//! Every job passes the `mogs-audit` schedule interference checker at
+//! submission, before any label plane is allocated: the sweep's phase
+//! groups (derived from the field, or an explicit
+//! [`InferenceJob::with_groups`] override) must be independent sets of
+//! the site interference graph, chunked exactly, covering every site
+//! once. A malformed schedule yields [`SubmitError::Rejected`] /
+//! [`TrySubmitError::Rejected`] carrying a typed [`AdmissionError`] that
+//! names the offending sites. The `shadow-audit` feature adds a dynamic
+//! read/write-set recorder that cross-checks the static verdict in tests.
+//!
 //! # Determinism contract
 //!
 //! For a fixed job `seed` and `threads` (chunk count), the engine's
@@ -50,3 +62,4 @@ pub use engine::{Engine, EngineConfig, PreparedJob, SubmitError, TrySubmitError}
 pub use job::{InferenceJob, JobHandle, JobId, JobOutput, JobStatus};
 pub use metrics::{EngineMetrics, HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use multichain::run_chains_on_engine;
+pub use runner::AdmissionError;

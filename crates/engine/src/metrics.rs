@@ -118,6 +118,9 @@ pub struct EngineMetrics {
     pub jobs_submitted: AtomicU64,
     /// Jobs rejected by `try_submit` because the queue was full.
     pub jobs_rejected: AtomicU64,
+    /// Jobs denied at admission (failed the schedule audit, label-space
+    /// check, or labeling validation) before any plane was built.
+    pub jobs_denied: AtomicU64,
     /// Jobs that ran to their full iteration budget.
     pub jobs_completed: AtomicU64,
     /// Jobs that ended early through their cancellation handle.
@@ -143,6 +146,7 @@ impl EngineMetrics {
             started: Instant::now(),
             jobs_submitted: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
+            jobs_denied: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             jobs_cancelled: AtomicU64::new(0),
             sweeps_completed: AtomicU64::new(0),
@@ -164,6 +168,7 @@ impl EngineMetrics {
             uptime_ms: uptime.as_millis().min(u128::from(u64::MAX)) as u64,
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_denied: self.jobs_denied.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
             sweeps_completed: sweeps,
@@ -193,6 +198,8 @@ pub struct MetricsSnapshot {
     pub jobs_submitted: u64,
     /// Jobs rejected by `try_submit` (queue full).
     pub jobs_rejected: u64,
+    /// Jobs denied at admission by the audit gate.
+    pub jobs_denied: u64,
     /// Jobs that ran to completion.
     pub jobs_completed: u64,
     /// Jobs cancelled before completion.

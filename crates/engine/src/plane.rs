@@ -17,6 +17,15 @@
 //! The "double-buffered label planes" of the design thus degenerate to one
 //! plane with provably disjoint writes — the in-place update is
 //! bit-identical to the snapshot-based reference.
+//!
+//! This argument is no longer prose-only: `mogs_audit::check_schedule`
+//! verifies the three load-bearing premises — phase groups are
+//! independent sets of the site interference graph, chunks partition each
+//! group exactly, every site is covered once per sweep — at job
+//! admission, and a job whose schedule fails the audit is rejected with a
+//! typed [`mogs_audit::AuditReport`] before any plane is constructed.
+//! The `shadow-audit` feature additionally cross-checks the verdict
+//! dynamically by recording per-phase read/write sets in tests.
 
 use std::cell::UnsafeCell;
 
@@ -56,6 +65,8 @@ impl LabelPlane {
     /// No other thread may be writing cell `site` concurrently.
     #[inline]
     pub(crate) unsafe fn read(&self, site: usize) -> Label {
+        // SAFETY: the caller guarantees no concurrent writer for this
+        // cell (this fn's contract), so the dereference cannot race.
         unsafe { *self.cells[site].get() }
     }
 
@@ -66,6 +77,8 @@ impl LabelPlane {
     /// No other thread may be reading or writing cell `site` concurrently.
     #[inline]
     pub(crate) unsafe fn write(&self, site: usize, label: Label) {
+        // SAFETY: the caller guarantees exclusive access to this cell
+        // (this fn's contract), so the store cannot race a read or write.
         unsafe { *self.cells[site].get() = label }
     }
 
@@ -76,6 +89,8 @@ impl LabelPlane {
     /// The plane must be quiescent: no worker may hold an outstanding task
     /// for this job (the scheduler calls this only between phases).
     pub(crate) unsafe fn snapshot(&self) -> Vec<Label> {
+        // SAFETY: quiescence (this fn's contract) means no worker is
+        // writing any cell, so every dereference reads a settled value.
         self.cells.iter().map(|c| unsafe { *c.get() }).collect()
     }
 }

@@ -35,17 +35,63 @@
 //! and updates go straight into the shared [`LabelPlane`] instead of
 //! per-thread update lists merged after a snapshot copy.
 
+use mogs_audit::{check_schedule, AuditError, GridTopology, SweepSchedule};
 use mogs_gibbs::{LabelSampler, TemperatureSchedule};
 use mogs_mrf::energy::SingletonPotential;
 use mogs_mrf::field::DIAGONAL_WEIGHT;
 use mogs_mrf::label::MAX_LABELS;
-use mogs_mrf::{Label, MarkovRandomField, Neighborhood};
+use mogs_mrf::{Label, MarkovRandomField, MrfError, Neighborhood};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::job::{InferenceJob, JobOutput};
 use crate::plane::LabelPlane;
+
+/// Why a job failed admission before reaching the scheduler queue.
+///
+/// Admission runs the `mogs-audit` schedule interference checker over
+/// the job's sweep schedule (derived or explicit) *before* any label
+/// plane is allocated: a malformed schedule produces a typed rejection
+/// naming the offending sites, never an unsound run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// The sweep schedule broke an invariant the in-place label plane
+    /// requires (neighbouring sites sharing a phase, chunks that do not
+    /// honour the requested count, uncovered or repeated sites, …).
+    Schedule(AuditError),
+    /// The label space exceeds the engine's fixed energy-buffer budget.
+    LabelSpace {
+        /// Labels in the job's space.
+        count: usize,
+        /// The engine's cap ([`MAX_LABELS`]).
+        max: usize,
+    },
+    /// The explicit initial labeling does not fit the field.
+    Labeling(MrfError),
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Schedule(err) => write!(f, "{err}"),
+            AdmissionError::LabelSpace { count, max } => {
+                write!(f, "label space of {count} exceeds MAX_LABELS ({max})")
+            }
+            AdmissionError::Labeling(err) => write!(f, "initial labeling rejected: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdmissionError::Schedule(err) => Some(err),
+            AdmissionError::Labeling(err) => Some(err),
+            AdmissionError::LabelSpace { .. } => None,
+        }
+    }
+}
 
 /// Sentinel for "no neighbour on this side" in the precomputed tables.
 const NO_NEIGHBOR: usize = usize::MAX;
@@ -57,6 +103,8 @@ const SINGLETON_CACHE_CAP: usize = 1 << 22;
 /// Per-iteration sweep seed, matching `McmcChain::step`.
 #[inline]
 pub(crate) fn sweep_seed(seed: u64, iteration: usize) -> u64 {
+    // audit:allow(lossy-cast) — usize -> u64 is value-preserving on every
+    // supported target; the reference seed formula is cast-for-cast.
     seed.wrapping_add((iteration as u64).wrapping_mul(0xA24B_AED4_963E_E407))
 }
 
@@ -110,34 +158,80 @@ pub(crate) struct TypedJob<S: SingletonPotential, L: LabelSampler> {
     /// Cached singleton energies, `site * m + label_index`, when the
     /// problem fits [`SINGLETON_CACHE_CAP`].
     singleton_table: Option<Vec<f64>>,
+    /// Dynamic read/write-set recorder cross-checking the static audit
+    /// verdict (tests only; never compiled into release paths).
+    #[cfg(feature = "shadow-audit")]
+    shadow: mogs_audit::shadow::ShadowPlane,
     plane: LabelPlane,
     book: Mutex<Bookkeeping>,
 }
 
 impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
-    /// Prepares a job: validates it, builds the neighbour tables, and
-    /// seats the initial labeling in the shared plane.
+    /// Prepares a job: audits it, builds the neighbour tables, and seats
+    /// the initial labeling in the shared plane.
     ///
-    /// # Panics
+    /// Admission order matters: the schedule audit runs *before* the
+    /// label plane is constructed, so a rejected job never allocates —
+    /// let alone touches — shared mutable state.
     ///
-    /// Panics if `threads == 0`, the label space exceeds [`MAX_LABELS`],
-    /// or an explicit initial labeling does not validate.
-    pub(crate) fn new(job: InferenceJob<S, L>) -> Self {
-        assert!(job.threads > 0, "need at least one chunk per group");
+    /// # Errors
+    ///
+    /// [`AdmissionError::LabelSpace`] if the label space exceeds
+    /// [`MAX_LABELS`]; [`AdmissionError::Schedule`] if the sweep schedule
+    /// (derived from the field, or the job's explicit `groups` override)
+    /// fails the `mogs-audit` interference check — including
+    /// `threads == 0`, which the audit reports as a zero-chunk schedule;
+    /// [`AdmissionError::Labeling`] if an explicit initial labeling does
+    /// not validate against the field.
+    pub(crate) fn try_new(mut job: InferenceJob<S, L>) -> Result<Self, AdmissionError> {
         let m = job.mrf.space().count();
-        assert!(
-            m <= usize::from(MAX_LABELS),
-            "label space of {m} exceeds MAX_LABELS ({MAX_LABELS})"
-        );
-        let labels = match job.initial {
+        if m > usize::from(MAX_LABELS) {
+            return Err(AdmissionError::LabelSpace {
+                count: m,
+                max: usize::from(MAX_LABELS),
+            });
+        }
+        let topology = GridTopology::new(*job.mrf.grid(), job.mrf.neighborhood());
+        let groups = job
+            .groups
+            .take()
+            .unwrap_or_else(|| job.mrf.independent_groups());
+        let schedule = SweepSchedule::uniform(groups, job.threads);
+        let report = check_schedule(&topology, &schedule);
+        if !report.is_clean() {
+            return Err(AdmissionError::Schedule(AuditError { report }));
+        }
+        let labels = match job.initial.take() {
             Some(labels) => {
                 job.mrf
                     .validate_labeling(&labels)
-                    .expect("initial labeling must fit the field");
+                    .map_err(AdmissionError::Labeling)?;
                 labels
             }
             None => job.mrf.uniform_labeling(),
         };
+        Ok(TypedJob::build(job, schedule.into_groups(), labels))
+    }
+
+    /// [`TypedJob::try_new`] for callers that know the job is well-formed
+    /// (tests and benches with hand-built fields).
+    ///
+    /// # Panics
+    ///
+    /// Panics if admission fails; see [`TypedJob::try_new`] for the
+    /// conditions.
+    #[cfg(test)]
+    pub(crate) fn new(job: InferenceJob<S, L>) -> Self {
+        TypedJob::try_new(job).expect("job must pass admission")
+    }
+
+    /// Builds the prepared job from already-audited parts. Private on
+    /// purpose: every external path goes through [`TypedJob::try_new`]
+    /// so no plane is ever seated under an unaudited schedule. (The
+    /// shadow cross-check test constructs a corrupted job through this
+    /// door deliberately, then runs it serially.)
+    fn build(job: InferenceJob<S, L>, groups: Vec<Vec<usize>>, labels: Vec<Label>) -> Self {
+        let m = job.mrf.space().count();
         let grid = job.mrf.grid();
         let pack = |slots: [Option<usize>; 4]| {
             let mut out = [NO_NEIGHBOR; 4];
@@ -179,9 +273,11 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
         TypedJob {
             prior_table,
             singleton_table,
-            groups: job.mrf.independent_groups(),
+            groups,
             axis,
             diag,
+            #[cfg(feature = "shadow-audit")]
+            shadow: mogs_audit::shadow::ShadowPlane::new(labels.len()),
             plane: LabelPlane::new(labels),
             book: Mutex::new(Bookkeeping {
                 energy_trace: Vec::new(),
@@ -201,6 +297,13 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
     /// The reference chunk width for one group.
     fn chunk_size(&self, group: usize) -> usize {
         self.groups[group].len().div_ceil(self.threads).max(1)
+    }
+
+    /// The dynamic read/write-set recorder, for tests that drive phases
+    /// by hand and cross-check the static audit verdict.
+    #[cfg(all(feature = "shadow-audit", test))]
+    pub(crate) fn shadow(&self) -> &mogs_audit::shadow::ShadowPlane {
+        &self.shadow
     }
 }
 
@@ -231,14 +334,19 @@ where
         let start = chunk * size;
         let chunk_sites = &sites[start..(start + size).min(sites.len())];
         let sweep = sweep_seed(self.seed, iteration);
+        // audit:allow(lossy-cast) — usize -> u64 is value-preserving; this
+        // must reproduce the reference chunk-seed formula bit for bit.
+        let (chunk64, group64) = (chunk as u64, group as u64);
         let mut rng = StdRng::seed_from_u64(
-            sweep ^ (chunk as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((group as u64) << 32),
+            sweep ^ chunk64.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (group64 << 32),
         );
         let mut sampler = self.sampler.clone();
         let temperature = self.schedule.temperature(iteration);
         let space = self.mrf.space();
         let singleton = self.mrf.singleton();
         let m = space.count();
+        // audit:allow(lossy-cast) — array lengths must be const-evaluable
+        // and u16 -> usize widening is exact.
         let mut energies = [0.0f64; MAX_LABELS as usize];
         let diag = self.diag.as_deref();
         let ptab = self.prior_table.as_slice();
@@ -257,6 +365,10 @@ where
             let mut axis_n = 0;
             for &n in &self.axis[site] {
                 if n != NO_NEIGHBOR {
+                    #[cfg(feature = "shadow-audit")]
+                    self.shadow.record_neighbor_read(n);
+                    // SAFETY: `n` neighbours `site`, so it lies in another
+                    // independent group and no thread writes it this phase.
                     axis_labels[axis_n] = unsafe { self.plane.read(n) };
                     axis_n += 1;
                 }
@@ -266,6 +378,11 @@ where
             if let Some(diag) = diag {
                 for &n in &diag[site] {
                     if n != NO_NEIGHBOR {
+                        #[cfg(feature = "shadow-audit")]
+                        self.shadow.record_neighbor_read(n);
+                        // SAFETY: as for the axis neighbours — diagonal
+                        // neighbours of a second-order group live in other
+                        // groups, unwritten this phase.
                         diag_labels[diag_n] = unsafe { self.plane.read(n) };
                         diag_n += 1;
                     }
@@ -288,8 +405,16 @@ where
                 }
                 *slot = e;
             }
+            #[cfg(feature = "shadow-audit")]
+            self.shadow.record_own_read(site);
+            // SAFETY: `site` belongs to this chunk alone and has not been
+            // written yet in this phase, so the read cannot race.
             let current = unsafe { self.plane.read(site) };
             let next = sampler.sample_label(&energies[..m], temperature, current, &mut rng);
+            #[cfg(feature = "shadow-audit")]
+            self.shadow.record_write(site);
+            // SAFETY: `site` is owned exclusively by this chunk; neighbours
+            // read it only in other phases, after the barrier.
             unsafe { self.plane.write(site, next) };
         }
     }
@@ -334,6 +459,9 @@ where
                             .max_by_key(|(_, c)| **c)
                             .map(|(i, _)| i)
                             .unwrap_or(0);
+                        // audit:allow(lossy-cast) — `best` indexes a row of
+                        // `m <= MAX_LABELS (64)` entries, checked at
+                        // admission, so it always fits a u8.
                         Label::new(best as u8)
                     })
                     .collect()
@@ -435,5 +563,82 @@ mod tests {
         assert_eq!(out.iterations_run, 4);
         assert_eq!(out.energy_trace.len(), 4);
         assert!((out.energy_trace[3] - mrf.total_energy(&reference)).abs() == 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_adjacent_sites_sharing_a_phase() {
+        let mut corrupted = field(7, 5).independent_groups();
+        let from = corrupted
+            .iter()
+            .position(|g| g.contains(&1))
+            .expect("site 1 is scheduled");
+        corrupted[from].retain(|&s| s != 1);
+        let to = corrupted
+            .iter()
+            .position(|g| g.contains(&0))
+            .expect("site 0 is scheduled");
+        corrupted[to].push(1);
+        let err = TypedJob::try_new(job(7, 5).with_groups(corrupted))
+            .expect_err("corrupted schedule must be rejected");
+        let AdmissionError::Schedule(err) = err else {
+            panic!("wrong rejection: {err}");
+        };
+        assert!(err
+            .report
+            .violations
+            .iter()
+            .any(|v| matches!(v, mogs_audit::Violation::NeighborsSharePhase { .. })));
+    }
+
+    /// Runs every phase of iteration 0 serially, bracketing each group
+    /// with the shadow recorder's phase barriers — exactly what the
+    /// scheduler's fan-out does, minus the threads.
+    #[cfg(feature = "shadow-audit")]
+    fn replay_first_iteration<S, L>(typed: &TypedJob<S, L>) -> mogs_audit::shadow::ShadowReport
+    where
+        S: SingletonPotential + 'static,
+        L: LabelSampler + Clone + Send + Sync + 'static,
+    {
+        for group in 0..typed.group_count() {
+            typed.shadow().begin_phase(group);
+            for chunk in 0..typed.chunks_in_group(group) {
+                typed.run_chunk(0, group, chunk);
+            }
+            typed.shadow().end_phase();
+        }
+        typed.shadow().finish()
+    }
+
+    #[cfg(feature = "shadow-audit")]
+    #[test]
+    fn shadow_recorder_agrees_with_the_static_verdict() {
+        // A statically clean job records clean read/write sets.
+        let clean = TypedJob::new(job(6, 4));
+        let report = replay_first_iteration(&clean);
+        assert!(report.is_clean(), "clean schedule flagged: {report:?}");
+
+        // A corrupted job — two adjacent sites in one phase — is forced
+        // through the private constructor the audit normally guards; the
+        // dynamic recorder catches the very conflict the static checker
+        // rejects above.
+        let mrf = field(6, 4);
+        let mut corrupted = mrf.independent_groups();
+        let from = corrupted
+            .iter()
+            .position(|g| g.contains(&1))
+            .expect("site 1 is scheduled");
+        corrupted[from].retain(|&s| s != 1);
+        let to = corrupted
+            .iter()
+            .position(|g| g.contains(&0))
+            .expect("site 0 is scheduled");
+        corrupted[to].push(1);
+        let labels = mrf.uniform_labeling();
+        let bad = TypedJob::build(job(6, 4), corrupted, labels);
+        let report = replay_first_iteration(&bad);
+        assert!(
+            !report.is_clean(),
+            "shadow recorder missed the same-phase neighbour conflict"
+        );
     }
 }

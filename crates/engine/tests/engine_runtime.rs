@@ -4,8 +4,10 @@
 
 use std::time::Duration;
 
+use mogs_audit::Violation;
 use mogs_engine::{
-    Backend, BackendSampler, Engine, EngineConfig, InferenceJob, JobStatus, TrySubmitError,
+    AdmissionError, Backend, BackendSampler, Engine, EngineConfig, InferenceJob, JobStatus,
+    SubmitError, TrySubmitError,
 };
 use mogs_gibbs::{
     checkerboard_sweep, colored_sweep, ChainConfig, McmcChain, SoftmaxGibbs, TemperatureSchedule,
@@ -167,6 +169,7 @@ fn resubmit_until_accepted(
                 std::thread::sleep(Duration::from_millis(2));
                 attempt = engine.try_resubmit(prepared);
             }
+            Err(TrySubmitError::Rejected(err)) => panic!("well-formed job rejected: {err}"),
             Err(TrySubmitError::ShutDown) => panic!("engine vanished"),
         }
     }
@@ -189,6 +192,7 @@ fn full_queue_rejects_then_accepts_after_drain() {
     let bounced = match engine.try_submit(long_job()) {
         Err(TrySubmitError::Full(prepared)) => prepared,
         Ok(handle) => panic!("expected Full, got acceptance as {}", handle.id()),
+        Err(TrySubmitError::Rejected(err)) => panic!("well-formed job rejected: {err}"),
         Err(TrySubmitError::ShutDown) => panic!("engine vanished"),
     };
     assert!(engine.metrics().jobs_rejected >= 1);
@@ -281,6 +285,86 @@ fn handles_report_lifecycle_status() {
     queued.cancel();
     assert!(blocker.wait().cancelled);
     assert!(queued.wait().cancelled);
+}
+
+#[test]
+fn corrupted_schedule_is_rejected_at_admission_before_any_plane_write() {
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_capacity: 2,
+        max_active_jobs: 1,
+    });
+    // Corrupt the derived checkerboard schedule: move site 1 (a horizontal
+    // neighbour of site 0) into site 0's phase group, so two workers could
+    // race on adjacent plane cells if the job were ever admitted.
+    let base = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .with_threads(2)
+        .with_iterations(5);
+    let mut groups = base.mrf.independent_groups();
+    let from = groups
+        .iter()
+        .position(|g| g.contains(&1))
+        .expect("site 1 is scheduled");
+    groups[from].retain(|&s| s != 1);
+    let to = groups
+        .iter()
+        .position(|g| g.contains(&0))
+        .expect("site 0 is scheduled");
+    groups[to].push(1);
+    match engine.submit(base.with_groups(groups)) {
+        Err(SubmitError::Rejected(AdmissionError::Schedule(err))) => {
+            assert!(
+                err.report
+                    .violations
+                    .iter()
+                    .any(|v| matches!(v, Violation::NeighborsSharePhase { .. })),
+                "expected a neighbour-interference violation, got: {}",
+                err.report
+            );
+        }
+        Ok(handle) => panic!("corrupted schedule admitted as {}", handle.id()),
+        Err(other) => panic!("wrong rejection: {other}"),
+    }
+    // The job never reached the queue, let alone a worker: nothing was
+    // submitted, no plane was built, and a well-formed job still runs.
+    let m = engine.metrics();
+    assert_eq!(m.jobs_denied, 1);
+    assert_eq!(m.jobs_submitted, 0);
+    assert_eq!(m.site_updates, 0, "no plane write may precede rejection");
+    let ok = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .with_threads(2)
+        .with_iterations(3);
+    let handle = engine.submit(ok).expect("well-formed job admitted");
+    assert_eq!(handle.wait().iterations_run, 3);
+    engine.shutdown();
+}
+
+#[test]
+fn zero_chunk_jobs_are_rejected_not_degraded() {
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        queue_capacity: 2,
+        max_active_jobs: 1,
+    });
+    // `threads == 0` used to be an assert deep in job preparation; the
+    // audit now reports it as a zero-chunk schedule at admission.
+    let job = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .with_threads(0)
+        .with_iterations(3);
+    match engine.submit(job) {
+        Err(SubmitError::Rejected(AdmissionError::Schedule(err))) => {
+            assert!(
+                err.report
+                    .violations
+                    .iter()
+                    .any(|v| matches!(v, Violation::ZeroChunks)),
+                "expected a zero-chunk violation, got: {}",
+                err.report
+            );
+        }
+        other => panic!("expected schedule rejection, got {other:?}"),
+    }
+    engine.shutdown();
 }
 
 #[test]

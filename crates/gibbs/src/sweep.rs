@@ -260,9 +260,13 @@ fn sweep_groups<S, L>(
             }
             updates = handles
                 .into_iter()
+                // audit:allow(unwrap-expect) — join fails only when the
+                // worker panicked; re-panicking here just propagates it.
                 .map(|h| h.join().expect("sweep worker"))
                 .collect();
         })
+        // audit:allow(unwrap-expect) — the scope errs only on a worker
+        // panic, which this propagates.
         .expect("scoped threads");
         for (site, label) in updates.into_iter().flatten() {
             labels[site] = label;

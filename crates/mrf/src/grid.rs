@@ -148,7 +148,7 @@ impl Grid2D {
     /// analogue of checkerboard parity).
     pub fn block_color(&self, site: usize) -> u8 {
         let (x, y) = self.coords(site);
-        ((x % 2) + 2 * (y % 2)) as u8
+        u8::from(x % 2 == 1) + 2 * u8::from(y % 2 == 1)
     }
 
     /// Iterator over the sites of one 2×2-block colour (`0..4`).

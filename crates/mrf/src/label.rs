@@ -120,7 +120,8 @@ impl LabelSpace {
             Err(MrfError::InvalidLabelCount { count })
         } else {
             Ok(LabelSpace {
-                count: count as u8,
+                // The guard above proves count <= MAX_LABELS (64).
+                count: u8::try_from(count).unwrap_or(u8::MAX),
                 kind: LabelKind::Scalar,
             })
         }
@@ -144,7 +145,8 @@ impl LabelSpace {
             return Err(MrfError::InvalidLabelCount { count });
         }
         Ok(LabelSpace {
-            count: count as u8,
+            // The guard above proves count <= MAX_LABELS (64).
+            count: u8::try_from(count).unwrap_or(u8::MAX),
             kind: LabelKind::Vector2,
         })
     }
@@ -189,15 +191,15 @@ impl LabelSpace {
             LabelKind::Scalar => {
                 let (a0, _) = a.components();
                 let (b0, _) = b.components();
-                let d = i16::from(a0) - i16::from(b0);
-                (d * d) as u16
+                let d = u16::from(a0.abs_diff(b0));
+                d * d
             }
             LabelKind::Vector2 => {
                 let (a0, a1) = a.components();
                 let (b0, b1) = b.components();
-                let d0 = i16::from(a0) - i16::from(b0);
-                let d1 = i16::from(a1) - i16::from(b1);
-                (d0 * d0 + d1 * d1) as u16
+                let d0 = u16::from(a0.abs_diff(b0));
+                let d1 = u16::from(a1.abs_diff(b1));
+                d0 * d0 + d1 * d1
             }
         }
     }

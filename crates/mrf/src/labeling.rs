@@ -98,8 +98,11 @@ impl Labeling {
         if header[4] != VERSION {
             return Err(bad("unsupported labeling version"));
         }
-        let width = u32::from_le_bytes(header[5..9].try_into().expect("4 bytes")) as usize;
-        let height = u32::from_le_bytes(header[9..13].try_into().expect("4 bytes")) as usize;
+        let mut quad = [0u8; 4];
+        quad.copy_from_slice(&header[5..9]);
+        let width = u32::from_le_bytes(quad) as usize;
+        quad.copy_from_slice(&header[9..13]);
+        let height = u32::from_le_bytes(quad) as usize;
         let grid =
             Grid2D::try_new(width, height).map_err(|_| bad("labeling has empty dimensions"))?;
         // Guard absurd headers before allocating.

@@ -60,6 +60,9 @@ impl EnergyQuantizer {
         } else if scaled >= f64::from(ENERGY_MAX) {
             ENERGY_MAX
         } else {
+            // audit:allow(lossy-cast) — float-to-int has no From path; the
+            // two guards above pin `scaled` inside (0, 255), so the cast
+            // is exact for the rounded value.
             scaled as u8
         }
     }
@@ -90,7 +93,8 @@ pub fn saturating_energy_sum(terms: &[u8]) -> u8 {
 pub fn redundant_label_groups(quantized: &[u8]) -> Vec<Vec<Label>> {
     let mut groups: Vec<(u8, Vec<Label>)> = Vec::new();
     for (i, &q) in quantized.iter().enumerate() {
-        let label = Label::new(i as u8);
+        // Quantized slices hold at most MAX_LABELS (64) energies.
+        let label = Label::new(u8::try_from(i).unwrap_or(u8::MAX));
         match groups.iter_mut().find(|(energy, _)| *energy == q) {
             Some((_, members)) => members.push(label),
             None => groups.push((q, vec![label])),

@@ -304,7 +304,7 @@ mod tests {
                 sampler.sample_label(&energies, t, Label::new(0), &mut rng) == Label::new(0)
             })
             .count();
-        let p0 = wins0 as f64 / n as f64;
+        let p0 = wins0 as f64 / f64::from(n);
         assert!((p0 - expect[0]).abs() < 0.03, "p0 {p0} vs {}", expect[0]);
     }
 

@@ -56,6 +56,11 @@ impl Chromophore {
 
     /// A typical cyanine-family donor dye (Cy3-like): absorbs ~550 nm,
     /// emits ~570 nm, lifetime ≈ 1.5 ns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built-in dye parameters fail validation (they never
+    /// do).
     pub fn cy3_like() -> Self {
         Chromophore::new(
             "Cy3",
@@ -69,6 +74,11 @@ impl Chromophore {
 
     /// A typical cyanine-family acceptor dye (Cy5-like): absorbs ~650 nm,
     /// emits ~670 nm, lifetime ≈ 1.0 ns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built-in dye parameters fail validation (they never
+    /// do).
     pub fn cy5_like() -> Self {
         Chromophore::new(
             "Cy5",
@@ -81,6 +91,11 @@ impl Chromophore {
     }
 
     /// An intermediate relay dye (Cy3.5-like) used in longer cascades.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built-in dye parameters fail validation (they never
+    /// do).
     pub fn cy35_like() -> Self {
         Chromophore::new(
             "Cy3.5",

@@ -355,6 +355,8 @@ impl crate::exponential::ExponentialSampler for RetCircuit {
                 let db = (self.effective_rate(b) - rate).abs();
                 da.total_cmp(&db)
             })
+            // audit:allow(unwrap-expect) — the code range 1..16 is never
+            // empty, so min_by always yields a value.
             .expect("code range is non-empty");
         if rate < 0.5 * self.effective_rate(1) {
             return None;
@@ -526,7 +528,7 @@ mod tests {
         let mean: f64 = (0..n)
             .map(|_| circuit.sample(target, &mut rng).expect("fires"))
             .sum::<f64>()
-            / n as f64;
+            / f64::from(n);
         assert!(
             (mean - 1.0 / target).abs() / (1.0 / target) < 0.05,
             "mean {mean}"

@@ -119,14 +119,14 @@ mod tests {
             }
         }
         for (k, count) in emitted.iter().enumerate() {
-            let p = *count as f64 / n as f64;
+            let p = *count as f64 / f64::from(n);
             assert!(
                 (p - analytic.per_node[k]).abs() < 0.01,
                 "node {k}: simulated {p} vs analytic {}",
                 analytic.per_node[k]
             );
         }
-        let pq = quenched as f64 / n as f64;
+        let pq = quenched as f64 / f64::from(n);
         assert!((pq - (1.0 - analytic.total)).abs() < 0.01);
     }
 
@@ -141,7 +141,7 @@ mod tests {
         let mean: f64 = (0..n)
             .map(|_| simulate_exciton(&net, 0, &mut rng).elapsed_ns)
             .sum::<f64>()
-            / n as f64;
+            / f64::from(n);
         assert!(
             (mean - ph.mean()).abs() / ph.mean() < 0.03,
             "simulated {mean} vs analytic {}",

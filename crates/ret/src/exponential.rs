@@ -58,6 +58,10 @@ pub fn first_to_fire<R: Rng + ?Sized>(rates: &[f64], rng: &mut R) -> Option<usiz
 
 /// As [`first_to_fire`] but using a caller-supplied sampler; also returns
 /// the winning TTF so hardware models can quantize/inspect it.
+///
+/// # Panics
+///
+/// Panics if any rate is negative or non-finite.
 pub fn first_to_fire_with<S: ExponentialSampler, R: Rng + ?Sized>(
     sampler: &mut S,
     rates: &[f64],
@@ -95,7 +99,7 @@ mod tests {
             counts[first_to_fire(&rates, &mut rng).unwrap()] += 1;
         }
         for (i, c) in counts.iter().enumerate() {
-            let p = *c as f64 / n as f64;
+            let p = *c as f64 / f64::from(n);
             let expect = rates[i] / total;
             assert!((p - expect).abs() < 0.01, "label {i}: {p} vs {expect}");
         }
@@ -125,7 +129,7 @@ mod tests {
         let mean: f64 = (0..n)
             .map(|_| s.sample(4.0, &mut rng).unwrap())
             .sum::<f64>()
-            / n as f64;
+            / f64::from(n);
         assert!((mean - 0.25).abs() < 0.005);
     }
 

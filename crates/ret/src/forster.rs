@@ -85,7 +85,7 @@ impl ForsterPair {
     /// Transfer efficiency for this pair in isolation:
     /// `E = k_T / (k_T + 1/τ_D)` given the donor decay rate.
     pub fn efficiency(&self, donor_decay_rate: f64) -> f64 {
-        if self.rate == 0.0 {
+        if self.rate <= 0.0 {
             0.0
         } else {
             self.rate / (self.rate + donor_decay_rate)

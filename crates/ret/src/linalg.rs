@@ -79,6 +79,8 @@ impl Matrix {
             let inv = 1.0 / a[col * n + col];
             for r in col + 1..n {
                 let f = a[r * n + col] * inv;
+                // audit:allow(float-eq) — exact-zero test: it only skips
+                // row updates that would be arithmetic no-ops.
                 if f == 0.0 {
                     continue;
                 }
@@ -110,7 +112,7 @@ impl Matrix {
             .fold(0.0_f64, f64::max)
             .max(1e-12);
         let qt = q * t;
-        if qt == 0.0 {
+        if qt <= 0.0 {
             return v.to_vec();
         }
         // P = I + A/q

@@ -101,6 +101,11 @@ impl RetNetwork {
 
     /// A linear cascade Cy3 → Cy3.5 → Cy5 with uniform spacing, used to
     /// shape longer (more Erlang-like) TTF distributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spacing_nm` places two chromophores at the same
+    /// position (zero spacing).
     pub fn cascade(spacing_nm: f64) -> Self {
         RetNetwork::new(vec![
             (Chromophore::cy3_like(), [0.0, 0.0, 0.0]),

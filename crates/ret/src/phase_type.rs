@@ -251,11 +251,11 @@ mod tests {
         let ph = PhaseType::erlang(2, 1.5);
         // Trapezoid integral of pdf over [0, 4] vs cdf(4).
         let n = 2000;
-        let h = 4.0 / n as f64;
+        let h = 4.0 / f64::from(n);
         let mut integral = 0.0;
         for i in 0..n {
-            let a = ph.pdf(i as f64 * h);
-            let b = ph.pdf((i + 1) as f64 * h);
+            let a = ph.pdf(f64::from(i) * h);
+            let b = ph.pdf(f64::from(i + 1) * h);
             integral += 0.5 * (a + b) * h;
         }
         assert!((integral - ph.cdf(4.0)).abs() < 1e-4);
@@ -266,7 +266,7 @@ mod tests {
         let ph = PhaseType::erlang(2, 3.0);
         let mut rng = StdRng::seed_from_u64(42);
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| ph.sample(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| ph.sample(&mut rng)).sum::<f64>() / f64::from(n);
         assert!(
             (mean - ph.mean()).abs() < 0.02,
             "sample mean {mean} vs {}",
@@ -283,7 +283,7 @@ mod tests {
         samples.sort_by(f64::total_cmp);
         // Kolmogorov–Smirnov-ish check at a few quantiles.
         for q in [0.1, 0.5, 0.9] {
-            let x = samples[(q * n as f64) as usize];
+            let x = samples[(q * f64::from(n)) as usize];
             assert!(
                 (ph.cdf(x) - q).abs() < 0.02,
                 "q={q}: cdf({x})={}",
@@ -297,7 +297,7 @@ mod tests {
         let ph = PhaseType::erlang(4, 2.0);
         let mut last = 1.0;
         for i in 0..50 {
-            let s = ph.survival(i as f64 * 0.1);
+            let s = ph.survival(f64::from(i) * 0.1);
             assert!(s <= last + 1e-12);
             last = s;
         }

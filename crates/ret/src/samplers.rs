@@ -189,6 +189,11 @@ impl<S: ExponentialSampler> CategoricalSampler<S> {
     }
 
     /// Draws one outcome index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying sampler quantizes every weight to "off"
+    /// so that no circuit fires.
     pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
         first_to_fire_with(&mut self.sampler, &self.weights, rng)
             .map(|(i, _)| i)
@@ -209,7 +214,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(p.to_bits());
             let n = 40_000;
             let hits = (0..n).filter(|_| coin.sample(&mut rng)).count();
-            let freq = hits as f64 / n as f64;
+            let freq = hits as f64 / f64::from(n);
             assert!((freq - p).abs() < 0.01, "p={p}: {freq}");
         }
     }
@@ -230,10 +235,10 @@ mod tests {
             }
             last = b;
         }
-        let bias = ones as f64 / n as f64;
+        let bias = ones as f64 / f64::from(n);
         assert!((bias - 0.5).abs() < 0.015, "bit bias {bias}");
         // Independent bits flip ~half the time.
-        let flip = transitions as f64 / (n - 1) as f64;
+        let flip = transitions as f64 / f64::from(n - 1);
         assert!((flip - 0.5).abs() < 0.015, "transition rate {flip}");
     }
 
@@ -254,7 +259,7 @@ mod tests {
         let mut g = GeometricSampler::new(p);
         let mut rng = StdRng::seed_from_u64(5);
         let n = 30_000;
-        let mean: f64 = (0..n).map(|_| g.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| g.sample(&mut rng) as f64).sum::<f64>() / f64::from(n);
         let expect = (1.0 - p) / p; // failures before success
         assert!((mean - expect).abs() < 0.08, "mean {mean} vs {expect}");
     }
@@ -269,7 +274,7 @@ mod tests {
             counts[c.sample(&mut rng)] += 1;
         }
         assert_eq!(counts[1], 0, "zero-weight outcome never drawn");
-        let p0 = counts[0] as f64 / n as f64;
+        let p0 = counts[0] as f64 / f64::from(n);
         assert!((p0 - 0.25).abs() < 0.01, "p0 {p0}");
     }
 

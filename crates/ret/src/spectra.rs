@@ -65,7 +65,7 @@ pub fn overlap_factor(donor_emission: &GaussianBand, acceptor_absorption: &Gauss
     // the maximum achievable for these widths.
     let self_overlap = GaussianBand::new(0.0, donor_emission.sigma_nm)
         .overlap(&GaussianBand::new(0.0, acceptor_absorption.sigma_nm));
-    if self_overlap == 0.0 {
+    if self_overlap <= 0.0 {
         0.0
     } else {
         j / self_overlap
@@ -97,7 +97,7 @@ mod tests {
         let h = 0.05;
         let numeric: f64 = (0..12000)
             .map(|i| {
-                let l = 300.0 + (i as f64 + 0.5) * h;
+                let l = 300.0 + (f64::from(i) + 0.5) * h;
                 f.density(l) * g.density(l) * h
             })
             .sum();

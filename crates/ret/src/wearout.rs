@@ -110,6 +110,11 @@ impl EnsembleWearout {
 
     /// Usable wall-clock lifetime in seconds at a sustained excitation rate
     /// (excitations/ns) before falling below `min_fraction`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the excitation rate is not strictly positive, or under
+    /// the conditions [`EnsembleWearout::usable_budget`] reports.
     pub fn usable_seconds(&self, excitation_rate_per_ns: f64, min_fraction: f64) -> f64 {
         assert!(
             excitation_rate_per_ns > 0.0,

@@ -87,7 +87,7 @@ proptest! {
         let ph = PhaseType::erlang(k, rate);
         let mut last = 0.0;
         for i in 0..30 {
-            let t = i as f64 * 0.3 / rate;
+            let t = f64::from(i) * 0.3 / rate;
             let c = ph.cdf(t);
             prop_assert!((0.0..=1.0).contains(&c));
             prop_assert!(c + 1e-9 >= last, "CDF must be non-decreasing");

@@ -190,11 +190,17 @@ impl MotionEstimation {
             track_modes: true,
             record_energy: true,
             initial: Some(vec![flow_to_label(0, 0); self.width * self.height]),
+            groups: None,
         }
     }
 
     /// Runs the estimation through a persistent engine instead of
     /// spawning per-sweep threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine rejects the job (already shut down or failed
+    /// admission).
     pub fn run_on_engine<L>(
         &self,
         engine: &Engine,

@@ -95,6 +95,10 @@ impl PyramidSchedule {
 /// Runs coarse-to-fine segmentation: solve the coarsest level from
 /// scratch, then warm-start each finer level from the upsampled result.
 /// Returns the full-resolution result.
+///
+/// # Panics
+///
+/// Panics if the schedule has no levels.
 pub fn segment_coarse_to_fine<L>(
     image: &GrayImage,
     config: &SegmentationConfig,

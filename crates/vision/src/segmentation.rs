@@ -197,12 +197,18 @@ impl Segmentation {
             track_modes: true,
             record_energy: true,
             initial: None,
+            groups: None,
         }
     }
 
     /// Runs the segmentation through a persistent engine instead of
     /// spawning per-sweep threads. See [`Segmentation::engine_job`] for
     /// the determinism contract relative to [`Segmentation::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine rejects the job (already shut down or failed
+    /// admission).
     pub fn run_on_engine<L>(
         &self,
         engine: &Engine,

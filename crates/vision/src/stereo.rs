@@ -149,11 +149,17 @@ impl StereoMatching {
             track_modes: true,
             record_energy: true,
             initial: None,
+            groups: None,
         }
     }
 
     /// Runs the matching through a persistent engine instead of spawning
     /// per-sweep threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine rejects the job (already shut down or failed
+    /// admission).
     pub fn run_on_engine<L>(
         &self,
         engine: &Engine,

@@ -39,7 +39,7 @@ fn main() {
     for _ in 0..n {
         counts[usize::from(rsu.sample_site(&inputs, &mut rng).label.value())] += 1;
     }
-    let empirical: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+    let empirical: Vec<f64> = counts.iter().map(|&c| c as f64 / f64::from(n)).collect();
 
     println!(
         "\n{:<8} {:>10} {:>12} {:>12}",
@@ -67,7 +67,7 @@ fn main() {
     for _ in 0..n {
         wins[first_to_fire(&rates, &mut rng).unwrap()] += 1;
     }
-    let ftf: Vec<f64> = wins.iter().map(|&c| c as f64 / n as f64).collect();
+    let ftf: Vec<f64> = wins.iter().map(|&c| c as f64 / f64::from(n)).collect();
     println!(
         "TV(exact, ideal first-to-fire) = {:.4}   <- statistical noise only",
         total_variation(&exact, &ftf)

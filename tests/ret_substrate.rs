@@ -42,7 +42,7 @@ fn physics_circuit_draws_gibbs_conditionals() {
         counts[i] += 1;
     }
     for (m, c) in counts.iter().enumerate() {
-        let p = *c as f64 / n as f64;
+        let p = *c as f64 / f64::from(n);
         // The 4-bit DAC bridge quantizes the rates, so allow a wider band
         // than the ideal sampler tests use.
         assert!(
@@ -106,7 +106,7 @@ fn categorical_composition_end_to_end() {
         counts[sampler.sample(&mut rng)] += 1;
     }
     for (m, c) in counts.iter().enumerate() {
-        let p = *c as f64 / n as f64;
+        let p = *c as f64 / f64::from(n);
         assert!(
             (p - expect[m]).abs() < 0.01,
             "outcome {m}: {p} vs {}",

@@ -32,7 +32,7 @@ proptest! {
         }
         let total: f64 = rates.iter().sum();
         for (i, c) in counts.iter().enumerate() {
-            let p = *c as f64 / n as f64;
+            let p = *c as f64 / f64::from(n);
             let expect = rates[i] / total;
             prop_assert!((p - expect).abs() < 0.03,
                 "label {}: {} vs {}", i, p, expect);
@@ -151,7 +151,7 @@ fn rsu_chain_tracks_gibbs_distribution() {
         counts[usize::from(rsu.sample_site(&inputs, &mut rng).label.value())] += 1;
     }
     for (m, c) in counts.iter().enumerate() {
-        let p = *c as f64 / n as f64;
+        let p = *c as f64 / f64::from(n);
         assert!(
             (p - expect[m]).abs() < 0.06,
             "label {m}: {p} vs {}",
