@@ -23,18 +23,20 @@
 //! | `restore` | A7: image restoration quality |
 //! | `converge` | A8: multi-chain R-hat + cycle-level accelerator sim |
 //! | `anneal` | A9: temperature-schedule ablation |
-//! | `engine-bench` | A10: persistent engine vs one-shot sweep throughput |
+//! | `engine-bench` | A10: persistent engine vs one-shot sweep throughput (writes `BENCH_engine.json`) |
+//! | `diag` | A11: streaming diagnostics + early stop on all workloads (writes JSON + PGM maps with out_dir) |
+//! | `diag-overhead` | A11: sink overhead (bare vs NullSink vs full diagnostics) |
 //! | `audit` | schedule-interference audit of every vision workload |
 
 use mogs_bench::experiments::{
-    ablation, anneal, audit, convergence, energy, engine_bench, fig7, paper_tables, proto_ratio,
-    quality, restore, table1, wearout,
+    ablation, anneal, audit, convergence, diag, energy, engine_bench, fig7, paper_tables,
+    proto_ratio, quality, restore, table1, wearout,
 };
 use mogs_bench::report::render_table;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const EXPERIMENTS: [&str; 19] = [
+const EXPERIMENTS: [&str; 21] = [
     "table1",
     "table2",
     "table3",
@@ -53,6 +55,8 @@ const EXPERIMENTS: [&str; 19] = [
     "converge",
     "anneal",
     "engine-bench",
+    "diag",
+    "diag-overhead",
     "audit",
 ];
 
@@ -173,6 +177,44 @@ fn run(experiment: &str, out_dir: Option<&Path>) -> Result<(), String> {
         "engine-bench" => {
             let result = engine_bench::run(320, 12, 2016);
             emit(engine_bench::render(&result))?;
+            // The machine-readable perf snapshot lands in the current
+            // directory (the repo root under `cargo run`), so successive
+            // commits can be diffed.
+            std::fs::write("BENCH_engine.json", engine_bench::to_snapshot_json(&result))
+                .map_err(|e| e.to_string())?;
+            println!("perf snapshot written to BENCH_engine.json");
+        }
+        "diag" => {
+            let rows = diag::run(out_dir, 2016).map_err(|e| e.to_string())?;
+            emit(diag::render(&rows))?;
+            // Non-convergence on the hard workloads is a finding, not a
+            // failure; segmentation converging early within tolerance is
+            // the pinned acceptance criterion.
+            let seg = rows
+                .iter()
+                .find(|r| r.workload == "segmentation")
+                .ok_or("segmentation row missing")?;
+            if !seg.converged || seg.stopped_sweeps >= seg.fixed_sweeps {
+                return Err("segmentation failed to early-stop".to_owned());
+            }
+            if seg.energy_gap_pct >= 0.5 {
+                return Err(format!(
+                    "segmentation energy gap {:.3}% exceeds 0.5%",
+                    seg.energy_gap_pct
+                ));
+            }
+        }
+        "diag-overhead" => {
+            let result = diag::overhead(96, 8, 2016);
+            emit(diag::render_overhead(&result))?;
+            // Lenient CI gate; the criterion bench (`diag_sink`) is the
+            // precise instrument for the ≤2% acceptance target.
+            if result.null_overhead_pct > 10.0 {
+                return Err(format!(
+                    "NullSink overhead {:.2}% exceeds the 10% CI bound",
+                    result.null_overhead_pct
+                ));
+            }
         }
         "audit" => {
             let rows = audit::run(7);

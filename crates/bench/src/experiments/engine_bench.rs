@@ -14,11 +14,12 @@
 use std::time::Instant;
 
 use crate::report::render_table;
-use mogs_engine::{Backend, BackendSampler, Engine, EngineConfig};
+use mogs_engine::{Backend, BackendSampler, Engine, EngineConfig, MetricsSnapshot};
 use mogs_gibbs::sweep::{checkerboard_sweep_with_scratch, SweepScratch};
 use mogs_gibbs::SoftmaxGibbs;
 use mogs_vision::segmentation::{Segmentation, SegmentationConfig};
 use mogs_vision::synthetic;
+use serde::{Deserialize, Serialize};
 
 /// The chain's per-iteration sweep-seed derivation (shared with the
 /// engine so both paths draw identical streams).
@@ -26,8 +27,10 @@ fn sweep_seed(seed: u64, iteration: usize) -> u64 {
     seed.wrapping_add((iteration as u64).wrapping_mul(0xA24B_AED4_963E_E407))
 }
 
-/// Outcome of one engine-vs-reference comparison.
-#[derive(Debug, Clone, PartialEq)]
+/// Outcome of one engine-vs-reference comparison. Serializes to the
+/// `BENCH_engine.json` perf snapshot `repro engine-bench` drops at the
+/// repo root, so runs can be diffed across commits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineBenchResult {
     /// Grid side (sites = side²).
     pub side: usize,
@@ -45,8 +48,9 @@ pub struct EngineBenchResult {
     pub speedup: f64,
     /// Softmax engine labeling equals the reference labeling exactly.
     pub bit_identical: bool,
-    /// Engine metrics snapshot after the runs, as JSON.
-    pub metrics_json: String,
+    /// Engine metrics snapshot after the runs (jobs, denials, queue
+    /// high-water mark, latency histograms).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Runs the comparison at `side`×`side`, `M = 5`, 8 chunks.
@@ -128,7 +132,7 @@ pub fn run(side: usize, iterations: usize, seed: u64) -> EngineBenchResult {
     let _ = engine.submit(pool_job).expect("engine running").wait();
     let pool_secs = start.elapsed().as_secs_f64();
 
-    let metrics_json = engine.metrics().to_json();
+    let metrics = engine.metrics();
     engine.shutdown();
 
     let updates = (sites * iterations) as f64;
@@ -143,7 +147,7 @@ pub fn run(side: usize, iterations: usize, seed: u64) -> EngineBenchResult {
         rsu_pool_updates_per_sec: updates / pool_secs,
         speedup: engine_updates_per_sec / reference_updates_per_sec,
         bit_identical: out.labels == labels,
-        metrics_json,
+        metrics,
     }
 }
 
@@ -179,8 +183,13 @@ pub fn render(result: &EngineBenchResult) -> String {
         result.threads,
         result.iterations,
         render_table(&["path", "site-updates/s", "speedup", "bit-identical"], &rows),
-        result.metrics_json,
+        result.metrics.to_json(),
     )
+}
+
+/// Serializes the whole result as the `BENCH_engine.json` payload.
+pub fn to_snapshot_json(result: &EngineBenchResult) -> String {
+    serde::json::to_string(result)
 }
 
 #[cfg(test)]
@@ -195,9 +204,16 @@ mod tests {
             "engine diverged from the reference sweep"
         );
         assert!(result.engine_updates_per_sec > 0.0);
-        assert!(result.metrics_json.contains("\"jobs_completed\":4"));
+        assert_eq!(result.metrics.jobs_completed, 4);
         let text = render(&result);
         assert!(text.contains("engine (softmax backend)"));
         assert!(text.contains("engine metrics"));
+        // The BENCH_engine.json payload carries the denial/backpressure
+        // counters and round-trips.
+        let json = to_snapshot_json(&result);
+        assert!(json.contains("\"jobs_denied\""));
+        assert!(json.contains("\"queue_depth_hwm\""));
+        let back: EngineBenchResult = serde::json::from_str(&json).expect("parse back");
+        assert_eq!(back, result);
     }
 }

@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod anneal;
 pub mod audit;
 pub mod convergence;
+pub mod diag;
 pub mod energy;
 pub mod engine_bench;
 pub mod fig7;

@@ -1,0 +1,262 @@
+//! Per-site label-marginal accumulation and uncertainty maps.
+//!
+//! Counting how often each site takes each label across post-burn-in
+//! sweeps estimates the posterior marginal p(xᵢ = ℓ | data) — the thing a
+//! point labeling throws away. From the counts we read off the
+//! max-marginal labeling (often a better point estimate than the final
+//! sweep) and a per-site entropy map showing *where* the model is unsure:
+//! in segmentation those are the object boundaries, in stereo the
+//! occluded regions.
+
+use mogs_mrf::{Label, LabelSpace};
+
+/// Maps a [`Label`]'s raw byte to its dense index in the label space.
+///
+/// Scalar spaces already use `0..m` raw values, but window spaces pack
+/// two components into the byte, so raw values are sparse; counting
+/// arrays need the dense position instead.
+#[derive(Debug, Clone)]
+pub struct LabelIndexer {
+    table: Vec<u16>,
+    labels: usize,
+}
+
+const INVALID: u16 = u16::MAX;
+
+impl LabelIndexer {
+    /// Indexer for a scalar space whose raw values are already dense
+    /// `0..labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is zero or exceeds 256 (a [`Label`] is a byte).
+    pub fn identity(labels: usize) -> Self {
+        assert!(labels > 0 && labels <= 256, "label count {labels}");
+        let mut table = vec![INVALID; 256];
+        for (i, slot) in table.iter_mut().take(labels).enumerate() {
+            *slot = i as u16;
+        }
+        LabelIndexer { table, labels }
+    }
+
+    /// Indexer derived from a [`LabelSpace`]'s canonical enumeration
+    /// order, correct for both scalar and window spaces.
+    pub fn from_space(space: &LabelSpace) -> Self {
+        let mut table = vec![INVALID; 256];
+        let mut labels = 0;
+        for (i, label) in space.labels().enumerate() {
+            table[usize::from(label.value())] = i as u16;
+            labels = i + 1;
+        }
+        LabelIndexer { table, labels }
+    }
+
+    /// Number of labels in the space this indexer covers.
+    pub fn labels(&self) -> usize {
+        self.labels
+    }
+
+    /// Dense index of `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is not part of the indexed space.
+    pub fn index_of(&self, label: Label) -> usize {
+        let idx = self.table[usize::from(label.value())];
+        assert!(idx != INVALID, "label {label:?} outside the indexed space");
+        usize::from(idx)
+    }
+}
+
+/// Streaming per-site label histogram: `counts[site * labels + index]`.
+#[derive(Debug, Clone)]
+pub struct MarginalAccumulator {
+    sites: usize,
+    labels: usize,
+    counts: Vec<u32>,
+    samples: u64,
+}
+
+impl MarginalAccumulator {
+    /// Preallocates counters for `sites × labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(sites: usize, labels: usize) -> Self {
+        assert!(sites > 0 && labels > 0, "dimensions must be positive");
+        MarginalAccumulator {
+            sites,
+            labels,
+            counts: vec![0; sites * labels],
+            samples: 0,
+        }
+    }
+
+    /// Folds one full labeling into the histogram. No allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labeling` has the wrong length or contains a label the
+    /// indexer doesn't cover.
+    pub fn record(&mut self, labeling: &[Label], indexer: &LabelIndexer) {
+        assert_eq!(labeling.len(), self.sites, "labeling length");
+        for (site, &label) in labeling.iter().enumerate() {
+            self.counts[site * self.labels + indexer.index_of(label)] += 1;
+        }
+        self.samples += 1;
+    }
+
+    /// Sites covered.
+    pub fn sites(&self) -> usize {
+        self.sites
+    }
+
+    /// Labels per site.
+    pub fn labels(&self) -> usize {
+        self.labels
+    }
+
+    /// Labelings folded in so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Adds another accumulator's counts (e.g. pooling chains).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn merge(&mut self, other: &MarginalAccumulator) {
+        assert_eq!(
+            (self.sites, self.labels),
+            (other.sites, other.labels),
+            "accumulator shapes must match"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.samples += other.samples;
+    }
+
+    /// Max-marginal labeling: each site's most-visited dense label index.
+    /// Ties break to the lowest index, deterministically. Sites with no
+    /// samples yet report index 0.
+    pub fn map_label_indices(&self) -> Vec<usize> {
+        (0..self.sites)
+            .map(|site| {
+                let row = &self.counts[site * self.labels..(site + 1) * self.labels];
+                let mut best = 0;
+                for (i, &c) in row.iter().enumerate() {
+                    if c > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Normalized per-site entropy in `[0, 1]`: Shannon entropy of the
+    /// empirical marginal divided by `ln(labels)`, so 0 means the site
+    /// held one label every sweep and 1 means it was uniform over all of
+    /// them. Written into `out` (cleared first) to reuse its allocation.
+    /// Sites with no samples report 0.
+    pub fn entropy_map_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        let norm = if self.labels > 1 {
+            (self.labels as f64).ln()
+        } else {
+            1.0
+        };
+        for site in 0..self.sites {
+            let row = &self.counts[site * self.labels..(site + 1) * self.labels];
+            let total: u64 = row.iter().map(|&c| u64::from(c)).sum();
+            if total == 0 {
+                out.push(0.0);
+                continue;
+            }
+            let mut h = 0.0;
+            for &c in row {
+                if c > 0 {
+                    let p = f64::from(c) / total as f64;
+                    h -= p * p.ln();
+                }
+            }
+            out.push((h / norm).clamp(0.0, 1.0));
+        }
+    }
+
+    /// Allocating convenience form of
+    /// [`MarginalAccumulator::entropy_map_into`].
+    pub fn entropy_map(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.sites);
+        self.entropy_map_into(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(v: u8) -> Label {
+        Label::new(v)
+    }
+
+    #[test]
+    fn counts_map_labels_and_entropy() {
+        let mut acc = MarginalAccumulator::new(3, 2);
+        let idx = LabelIndexer::identity(2);
+        // Site 0 always 1; site 1 split 50/50; site 2 always 0.
+        acc.record(&[l(1), l(0), l(0)], &idx);
+        acc.record(&[l(1), l(1), l(0)], &idx);
+        acc.record(&[l(1), l(0), l(0)], &idx);
+        acc.record(&[l(1), l(1), l(0)], &idx);
+        assert_eq!(acc.samples(), 4);
+        assert_eq!(acc.map_label_indices(), vec![1, 0, 0]);
+        let h = acc.entropy_map();
+        assert!(h[0].abs() < 1e-12, "certain site has zero entropy");
+        assert!((h[1] - 1.0).abs() < 1e-12, "50/50 site has max entropy");
+        assert!(h[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_pools_counts() {
+        let idx = LabelIndexer::identity(3);
+        let mut a = MarginalAccumulator::new(2, 3);
+        let mut b = MarginalAccumulator::new(2, 3);
+        a.record(&[l(0), l(2)], &idx);
+        b.record(&[l(1), l(2)], &idx);
+        b.record(&[l(1), l(2)], &idx);
+        a.merge(&b);
+        assert_eq!(a.samples(), 3);
+        assert_eq!(a.map_label_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn window_space_indexer_densifies_packed_labels() {
+        let space = LabelSpace::window(3, 3);
+        let idx = LabelIndexer::from_space(&space);
+        assert_eq!(idx.labels(), 9);
+        let mut seen = [false; 9];
+        for label in space.labels() {
+            seen[idx.index_of(label)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every label gets a dense slot");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the indexed space")]
+    fn foreign_label_is_rejected() {
+        let idx = LabelIndexer::identity(2);
+        let _ = idx.index_of(l(7));
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zeros() {
+        let acc = MarginalAccumulator::new(2, 4);
+        assert_eq!(acc.map_label_indices(), vec![0, 0]);
+        assert_eq!(acc.entropy_map(), vec![0.0, 0.0]);
+    }
+}

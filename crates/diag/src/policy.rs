@@ -1,0 +1,163 @@
+//! Early-stop policy and diagnostics configuration.
+
+/// When to declare a run converged and stop paying for sweeps.
+///
+/// All three tests must pass at a check point: enough sweeps to trust
+/// anything at all (`min_sweeps`), cross-chain agreement (split-R̂ at or
+/// under `r_hat_threshold`), and a flat energy trend in every chain's
+/// trailing `plateau_window` samples (spread within `plateau_rel_tol` of
+/// the window mean). Checks run every `check_stride` sweeps — the point
+/// of streaming diagnostics is bounded overhead, and R̂ over the window
+/// is the one O(window · chains) piece.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStopPolicy {
+    /// Sweeps a chain must complete before any stop decision.
+    pub min_sweeps: usize,
+    /// Evaluate convergence every this many sweeps.
+    pub check_stride: usize,
+    /// Split-R̂ at or below this passes (1.05 is a tight conventional
+    /// bar; 1.1 the classic "not converged" flag).
+    pub r_hat_threshold: f64,
+    /// Trailing samples per chain that must have flattened.
+    pub plateau_window: usize,
+    /// Allowed drift between the halves of the plateau window, relative
+    /// to the window's mean energy. A 2-standard-error statistical
+    /// allowance applies on top, so a stationary sampler's jitter never
+    /// reads as a trend (see [`crate::plateaued`]).
+    pub plateau_rel_tol: f64,
+}
+
+impl Default for EarlyStopPolicy {
+    fn default() -> Self {
+        EarlyStopPolicy {
+            min_sweeps: 32,
+            check_stride: 4,
+            r_hat_threshold: 1.05,
+            plateau_window: 16,
+            plateau_rel_tol: 5e-3,
+        }
+    }
+}
+
+/// Full sink configuration: the stop policy plus what to observe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiagConfig {
+    /// The stop rule.
+    pub policy: EarlyStopPolicy,
+    /// Per-chain energy ring capacity (the most history any statistic
+    /// sees).
+    pub window: usize,
+    /// Record label marginals every this many sweeps; 0 disables the
+    /// label snapshots entirely (energy-only diagnostics).
+    pub label_stride: usize,
+    /// When false the sink observes but never stops the job — for
+    /// fixed-budget comparison runs with identical instrumentation.
+    pub early_stop: bool,
+}
+
+impl Default for DiagConfig {
+    fn default() -> Self {
+        DiagConfig {
+            policy: EarlyStopPolicy::default(),
+            window: 256,
+            label_stride: 1,
+            early_stop: true,
+        }
+    }
+}
+
+impl DiagConfig {
+    /// Replaces the stop policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: EarlyStopPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the energy ring capacity.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the label snapshot stride (0 disables).
+    #[must_use]
+    pub fn with_label_stride(mut self, stride: usize) -> Self {
+        self.label_stride = stride;
+        self
+    }
+
+    /// Observe-only mode: diagnostics without early stopping.
+    #[must_use]
+    pub fn observe_only(mut self) -> Self {
+        self.early_stop = false;
+        self
+    }
+
+    /// Checks internal consistency (positive window, plateau window that
+    /// fits in the ring, sane thresholds).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent configuration; called by the sink
+    /// constructor so a bad config fails at build time, not mid-run.
+    pub fn validate(&self) {
+        assert!(self.window >= 4, "window must hold at least 4 samples");
+        assert!(
+            self.policy.plateau_window >= 2 && self.policy.plateau_window <= self.window,
+            "plateau window must fit in the ring"
+        );
+        assert!(
+            self.policy.check_stride > 0,
+            "check stride must be positive"
+        );
+        assert!(
+            self.policy.r_hat_threshold >= 1.0,
+            "R-hat threshold below 1 can never pass"
+        );
+        assert!(
+            self.policy.plateau_rel_tol >= 0.0,
+            "plateau tolerance must be non-negative"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_self_consistent() {
+        DiagConfig::default().validate();
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = DiagConfig::default()
+            .with_window(64)
+            .with_label_stride(2)
+            .observe_only()
+            .with_policy(EarlyStopPolicy {
+                min_sweeps: 8,
+                ..EarlyStopPolicy::default()
+            });
+        assert_eq!(cfg.window, 64);
+        assert_eq!(cfg.label_stride, 2);
+        assert!(!cfg.early_stop);
+        assert_eq!(cfg.policy.min_sweeps, 8);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "plateau window must fit")]
+    fn oversized_plateau_window_is_rejected() {
+        DiagConfig::default()
+            .with_window(8)
+            .with_policy(EarlyStopPolicy {
+                plateau_window: 16,
+                ..EarlyStopPolicy::default()
+            })
+            .validate();
+    }
+}

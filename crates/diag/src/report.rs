@@ -1,0 +1,143 @@
+//! Serializable diagnostics reports and PGM map output.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// Per-chain streaming summary at report time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainSummary {
+    /// Replica index (seed offset).
+    pub chain: usize,
+    /// Sweeps the chain had completed.
+    pub sweeps: usize,
+    /// Post-burn-in energy samples folded in (including any that have
+    /// since fallen out of the ring).
+    pub post_burn_in_samples: u64,
+    /// Welford mean of all post-burn-in energies.
+    pub energy_mean: f64,
+    /// Welford sample variance of all post-burn-in energies.
+    pub energy_variance: f64,
+    /// Samples in the retained window.
+    pub window_len: usize,
+    /// Effective sample size of the retained window.
+    pub window_ess: f64,
+}
+
+/// Everything a diagnosed run learned, as one JSON-serializable record.
+///
+/// `r_hat` is the split-R̂ from the *last* convergence check (NaN — JSON
+/// `null` — if none ever ran); `stop_sweep` is meaningful only when
+/// `converged` is true. Entropy figures are over the pooled chains'
+/// marginals, normalized to `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagReport {
+    /// Per-chain summaries, in replica order.
+    pub chains: Vec<ChainSummary>,
+    /// Whether the early-stop rule fired.
+    pub converged: bool,
+    /// Sweep count at which convergence was declared (0 if it wasn't).
+    pub stop_sweep: usize,
+    /// Split-R̂ from the most recent check.
+    pub r_hat: f64,
+    /// Convergence checks actually evaluated.
+    pub convergence_checks: u64,
+    /// Labelings folded into the pooled marginals.
+    pub marginal_samples: u64,
+    /// Mean normalized per-site entropy.
+    pub mean_entropy: f64,
+    /// Largest normalized per-site entropy.
+    pub max_entropy: f64,
+    /// Fraction of sites with normalized entropy above 0.5.
+    pub uncertain_site_fraction: f64,
+    /// Grid width (0 if no job ever started).
+    pub width: usize,
+    /// Grid height (0 if no job ever started).
+    pub height: usize,
+    /// Label count (0 if no job ever started).
+    pub labels: usize,
+}
+
+impl DiagReport {
+    /// Serializes the report to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+}
+
+/// Writes a binary 8-bit PGM (P5) image.
+///
+/// # Panics
+///
+/// Panics if `pixels.len() != width * height`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from creating or writing the file.
+pub fn write_pgm(path: &Path, width: usize, height: usize, pixels: &[u8]) -> std::io::Result<()> {
+    assert_eq!(pixels.len(), width * height, "pixel buffer shape");
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write!(file, "P5\n{width} {height}\n255\n")?;
+    file.write_all(pixels)?;
+    file.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> DiagReport {
+        DiagReport {
+            chains: vec![ChainSummary {
+                chain: 0,
+                sweeps: 40,
+                post_burn_in_samples: 32,
+                energy_mean: 12.5,
+                energy_variance: 0.25,
+                window_len: 32,
+                window_ess: 30.0,
+            }],
+            converged: true,
+            stop_sweep: 40,
+            r_hat: 1.01,
+            convergence_checks: 5,
+            marginal_samples: 32,
+            mean_entropy: 0.125,
+            max_entropy: 0.9,
+            uncertain_site_fraction: 0.05,
+            width: 8,
+            height: 4,
+            labels: 3,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report();
+        let json = report.to_json();
+        assert!(json.contains("\"converged\":true"));
+        assert!(json.contains("\"r_hat\":1.01"));
+        let back: DiagReport = serde::json::from_str(&json).expect("parse back");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn nan_r_hat_serializes_as_null() {
+        let mut report = sample_report();
+        report.r_hat = f64::NAN;
+        assert!(report.to_json().contains("\"r_hat\":null"));
+    }
+
+    #[test]
+    fn pgm_has_canonical_header_and_payload() {
+        let dir = std::env::temp_dir().join("mogs_diag_report_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("map.pgm");
+        write_pgm(&path, 3, 2, &[0, 64, 128, 192, 255, 10]).expect("write");
+        let bytes = std::fs::read(&path).expect("read back");
+        assert!(bytes.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(&bytes[bytes.len() - 6..], &[0, 64, 128, 192, 255, 10]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,142 @@
+//! Non-panicking convergence statistics over trace windows.
+//!
+//! The batch math lives in `mogs_gibbs::diagnostics` (and is pinned by
+//! that crate's tests); these wrappers adapt it to the streaming setting,
+//! where windows may transiently be too short or ragged — the sink calls
+//! in on a schedule, not when the data is guaranteed well-formed, so
+//! "can't tell yet" must be a value, not a panic.
+
+use mogs_gibbs::diagnostics::{effective_sample_size, split_potential_scale_reduction};
+
+/// Split-R̂ over per-chain trace windows, or `None` when the windows
+/// can't support the statistic (no chains, ragged lengths, or fewer than
+/// four samples per chain).
+///
+/// A single chain is fine: its two halves act as the parallel chains,
+/// which is what lets single-replica jobs still get an early-stop signal.
+pub fn split_r_hat(windows: &[Vec<f64>]) -> Option<f64> {
+    let n = windows.first().map_or(0, Vec::len);
+    if n < 4 || windows.iter().any(|w| w.len() != n) {
+        return None;
+    }
+    Some(split_potential_scale_reduction(windows))
+}
+
+/// Effective sample size of one window (`n / τ` with Geyer truncation).
+pub fn window_ess(window: &[f64]) -> f64 {
+    effective_sample_size(window)
+}
+
+/// Whether the trailing `window` samples have plateaued: the means of
+/// the window's first and second halves agree to within the larger of
+/// `rel_tol` of the window mean's magnitude and a 2-standard-error
+/// statistical allowance.
+///
+/// Point spread would be the wrong test — a stationary sampler at finite
+/// temperature jitters forever, so its window spread never shrinks. A
+/// plateau means the *trend* is gone: any residual half-to-half drift is
+/// either negligible relative to the energy scale or indistinguishable
+/// from the window's own sampling noise. Windows shorter than 4 samples
+/// never plateau.
+pub fn plateaued(window: &[f64], rel_tol: f64) -> bool {
+    let half = window.len() / 2;
+    if half < 2 {
+        return false;
+    }
+    let early = &window[..half];
+    let late = &window[window.len() - half..];
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+    let var =
+        |s: &[f64], m: f64| s.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (s.len() - 1) as f64;
+    let (m_early, m_late) = (mean(early), mean(late));
+    let drift = (m_late - m_early).abs();
+    let se = (var(early, m_early) / half as f64 + var(late, m_late) / half as f64).sqrt();
+    let grand = mean(window);
+    drift <= (rel_tol * grand.abs().max(1e-12)).max(2.0 * se)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogs_gibbs::diagnostics::potential_scale_reduction;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noise(n: usize, seed: u64, offset: f64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| offset + rng.gen::<f64>() - 0.5).collect()
+    }
+
+    #[test]
+    fn iid_chains_pin_r_hat_near_one_and_ess_near_n() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|i| noise(2000, i, 0.0)).collect();
+        let r = split_r_hat(&chains).expect("well-formed windows");
+        assert!((r - 1.0).abs() < 0.05, "iid chains: split R-hat {r}");
+        for c in &chains {
+            let ess = window_ess(c);
+            assert!(
+                ess > 0.8 * c.len() as f64,
+                "iid ESS {ess} should be near n={}",
+                c.len()
+            );
+        }
+    }
+
+    #[test]
+    fn shifted_duplicate_chain_inflates_r_hat() {
+        // A chain and its mean-shifted duplicate: zero within-chain
+        // difference in shape, pure between-chain disagreement.
+        let a = noise(1000, 9, 0.0);
+        let b: Vec<f64> = a.iter().map(|x| x + 4.0).collect();
+        let r = split_r_hat(&[a, b]).expect("well-formed windows");
+        assert!(r > 1.5, "disagreeing chains: split R-hat {r}");
+    }
+
+    #[test]
+    fn exact_duplicate_chains_agree_with_plain_psrf() {
+        let a = noise(500, 10, 0.0);
+        let dup = vec![a.clone(), a.clone()];
+        let split = split_r_hat(&dup).expect("well-formed windows");
+        let halves: Vec<Vec<f64>> = vec![
+            a[..250].to_vec(),
+            a[250..].to_vec(),
+            a[..250].to_vec(),
+            a[250..].to_vec(),
+        ];
+        let plain = potential_scale_reduction(&halves);
+        assert!((split - plain).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_windows_return_none() {
+        assert_eq!(split_r_hat(&[]), None);
+        assert_eq!(split_r_hat(&[vec![1.0, 2.0, 3.0]]), None);
+        assert_eq!(
+            split_r_hat(&[vec![1.0; 8], vec![1.0; 7]]),
+            None,
+            "ragged windows"
+        );
+    }
+
+    #[test]
+    fn plateau_detects_trend_not_jitter() {
+        // Stationary noise around a big mean: jitter alone is a plateau.
+        let flat: Vec<f64> = noise(64, 11, 1000.0);
+        assert!(plateaued(&flat, 1e-3));
+        // A consistent descent is a trend, however gentle per step.
+        let falling: Vec<f64> = (0..64).map(|i| 1000.0 - f64::from(i)).collect();
+        assert!(!plateaued(&falling, 1e-3));
+        // Noisy descent: drift far beyond the noise's standard error.
+        let noisy_fall: Vec<f64> = noise(64, 12, 0.0)
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| 1000.0 - 2.0 * i as f64 + x)
+            .collect();
+        assert!(!plateaued(&noisy_fall, 1e-3));
+        assert!(!plateaued(&[5.0, 6.0, 7.0], 10.0), "too short to judge");
+        assert!(
+            plateaued(&[0.0, 0.0, 0.0, 0.0], 1e-9),
+            "exactly constant at zero"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Fixed-capacity ring buffer for scalar traces.
+//!
+//! The diagnostics sink sees one energy per sweep and must never allocate
+//! on that path, so each chain's recent history lives in a ring sized
+//! once at job start. Old samples fall off the back: convergence checks
+//! only ever look at the most recent window anyway (early sweeps are the
+//! part R̂ is supposed to let us *discard*).
+
+/// Fixed-capacity FIFO over `f64` samples. Pushing past capacity
+/// overwrites the oldest sample; no push allocates.
+#[derive(Debug, Clone)]
+pub struct RingBuffer {
+    buf: Vec<f64>,
+    head: usize,
+    len: usize,
+    pushed: u64,
+}
+
+impl RingBuffer {
+    /// Creates a ring holding at most `capacity` samples, fully
+    /// preallocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingBuffer {
+            buf: vec![0.0; capacity],
+            head: 0,
+            len: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest one if the ring is full.
+    pub fn push(&mut self, x: f64) {
+        self.buf[self.head] = x;
+        self.head = (self.head + 1) % self.buf.len();
+        self.len = (self.len + 1).min(self.buf.len());
+        self.pushed += 1;
+    }
+
+    /// Samples currently held (saturates at the capacity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no sample has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fixed capacity chosen at construction.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total samples ever pushed, including evicted ones.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Copies the most recent `n` samples into `out` in oldest→newest
+    /// order, reusing `out`'s allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn copy_last_into(&self, n: usize, out: &mut Vec<f64>) {
+        assert!(n <= self.len, "asked for {n} of {} samples", self.len);
+        out.clear();
+        let cap = self.buf.len();
+        // Oldest retained sample sits `len` slots behind the write head.
+        let start = (self.head + cap - n) % cap;
+        for i in 0..n {
+            out.push(self.buf[(start + i) % cap]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_evicts_oldest() {
+        let mut r = RingBuffer::with_capacity(3);
+        assert!(r.is_empty());
+        for x in 1..=5 {
+            r.push(f64::from(x));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.total_pushed(), 5);
+        let mut out = Vec::new();
+        r.copy_last_into(3, &mut out);
+        assert_eq!(out, vec![3.0, 4.0, 5.0]);
+        r.copy_last_into(2, &mut out);
+        assert_eq!(out, vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn partial_fill_preserves_order() {
+        let mut r = RingBuffer::with_capacity(8);
+        r.push(10.0);
+        r.push(20.0);
+        let mut out = Vec::with_capacity(8);
+        let ptr = out.as_ptr();
+        r.copy_last_into(2, &mut out);
+        assert_eq!(out, vec![10.0, 20.0]);
+        assert_eq!(ptr, out.as_ptr(), "copy must reuse the allocation");
+    }
+
+    #[test]
+    #[should_panic(expected = "ring capacity must be positive")]
+    fn rejects_zero_capacity() {
+        let _ = RingBuffer::with_capacity(0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Diagnosed multi-chain runs on the persistent engine.
+//!
+//! [`run_chains_diagnosed`] is `mogs_engine::run_chains_on_engine` with
+//! the diagnostics sink attached: every replica streams its energies and
+//! stride-sampled labelings into one [`MultiChainDiag`], and — unless the
+//! config says observe-only — the run ends the moment the chains agree
+//! instead of burning the whole iteration budget.
+//!
+//! For the early stop to be *cross*-chain the engine must actually run
+//! the replicas concurrently: configure
+//! [`EngineConfig::max_active_jobs`](mogs_engine::EngineConfig) at or
+//! above `replicas`. With fewer slots the run still completes and still
+//! reports diagnostics, but trailing chains only see frozen windows from
+//! finished ones.
+
+use std::sync::Arc;
+
+use mogs_engine::{Engine, InferenceJob, JobOutput};
+use mogs_gibbs::{ChainConfig, LabelSampler};
+use mogs_mrf::energy::SingletonPotential;
+use mogs_mrf::MarkovRandomField;
+
+use crate::policy::DiagConfig;
+use crate::report::DiagReport;
+use crate::sink::MultiChainDiag;
+
+/// Outcome of a diagnosed run: the raw outputs, the final report, and
+/// the live coordinator (for uncertainty maps or further inspection).
+#[derive(Debug)]
+pub struct DiagnosedRun {
+    /// Per-replica job outputs, in replica order.
+    pub outputs: Vec<JobOutput>,
+    /// Final diagnostics snapshot.
+    pub report: DiagReport,
+    /// The coordinator itself.
+    pub diag: Arc<MultiChainDiag>,
+}
+
+impl DiagnosedRun {
+    /// Sweeps actually run, summed over replicas.
+    pub fn total_sweeps(&self) -> usize {
+        self.outputs.iter().map(|o| o.iterations_run).sum()
+    }
+
+    /// Whether any replica was stopped early by the policy.
+    pub fn early_stopped(&self) -> bool {
+        self.outputs.iter().any(|o| o.early_stopped)
+    }
+
+    /// The lowest final energy across replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replica recorded no energies.
+    pub fn best_final_energy(&self) -> f64 {
+        self.outputs
+            .iter()
+            .map(|o| *o.energy_trace.last().expect("energy trace recorded"))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Runs `replicas` chains through `engine` with streaming diagnostics.
+///
+/// Chain `k` uses `config.seed + k`, exactly like
+/// [`mogs_engine::run_chains_on_engine`], so a diagnosed run is
+/// sample-for-sample the same Markov chain as an undiagnosed one up to
+/// the sweep where the policy stops it.
+///
+/// # Panics
+///
+/// Panics if `replicas` is zero, `iterations <= config.burn_in`, or the
+/// engine shuts down mid-run.
+pub fn run_chains_diagnosed<S, L>(
+    engine: &Engine,
+    mrf: &MarkovRandomField<S>,
+    sampler: &L,
+    config: ChainConfig,
+    replicas: usize,
+    iterations: usize,
+    diag_config: DiagConfig,
+) -> DiagnosedRun
+where
+    S: SingletonPotential + Clone + 'static,
+    L: LabelSampler + Clone + Send + Sync + 'static,
+{
+    assert!(replicas > 0, "need at least one chain");
+    assert!(
+        iterations > config.burn_in,
+        "iterations must exceed burn-in to leave samples to diagnose"
+    );
+    let diag = MultiChainDiag::for_field(mrf, replicas, diag_config);
+    let handles: Vec<_> = (0..replicas)
+        .map(|k| {
+            let chain_config = ChainConfig {
+                seed: config.seed.wrapping_add(k as u64),
+                ..config
+            };
+            let job = InferenceJob::from_chain_config(
+                mrf.clone(),
+                sampler.clone(),
+                chain_config,
+                iterations,
+            )
+            .with_sink(diag.sink(k));
+            engine.submit(job).expect("engine accepts replica")
+        })
+        .collect();
+    let outputs: Vec<JobOutput> = handles.into_iter().map(|h| h.wait()).collect();
+    let report = diag.report();
+    DiagnosedRun {
+        outputs,
+        report,
+        diag,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::EarlyStopPolicy;
+    use mogs_engine::EngineConfig;
+    use mogs_gibbs::{SoftmaxGibbs, TemperatureSchedule};
+    use mogs_mrf::{Grid2D, Label, LabelSpace, SmoothnessPrior};
+
+    #[derive(Debug, Clone)]
+    struct Striped;
+    impl SingletonPotential for Striped {
+        fn energy(&self, site: usize, label: Label) -> f64 {
+            let want = u8::from(site.is_multiple_of(2));
+            if label.value() == want {
+                0.0
+            } else {
+                4.0
+            }
+        }
+    }
+
+    fn easy_mrf() -> MarkovRandomField<Striped> {
+        MarkovRandomField::builder(Grid2D::new(12, 10), LabelSpace::scalar(2))
+            .prior(SmoothnessPrior::potts(0.3))
+            .singleton(Striped)
+            .build()
+    }
+
+    fn chain_config() -> ChainConfig {
+        ChainConfig {
+            schedule: TemperatureSchedule::constant(0.8),
+            burn_in: 4,
+            track_modes: false,
+            rao_blackwell: false,
+            threads: 2,
+            seed: 33,
+        }
+    }
+
+    fn diag_config() -> DiagConfig {
+        DiagConfig::default()
+            .with_window(64)
+            .with_policy(EarlyStopPolicy {
+                min_sweeps: 16,
+                check_stride: 4,
+                r_hat_threshold: 1.2,
+                plateau_window: 8,
+                plateau_rel_tol: 0.05,
+            })
+    }
+
+    #[test]
+    fn easy_field_early_stops_near_the_fixed_budget_energy() {
+        let mrf = easy_mrf();
+        let engine = Engine::new(EngineConfig {
+            max_active_jobs: 4,
+            ..EngineConfig::default()
+        });
+        let budget = 400;
+        let fixed = run_chains_diagnosed(
+            &engine,
+            &mrf,
+            &SoftmaxGibbs::new(),
+            chain_config(),
+            3,
+            budget,
+            diag_config().observe_only(),
+        );
+        assert!(!fixed.early_stopped());
+        assert_eq!(fixed.total_sweeps(), 3 * budget);
+
+        let stopped = run_chains_diagnosed(
+            &engine,
+            &mrf,
+            &SoftmaxGibbs::new(),
+            chain_config(),
+            3,
+            budget,
+            diag_config(),
+        );
+        assert!(stopped.early_stopped(), "easy field must converge early");
+        assert!(
+            stopped.total_sweeps() < fixed.total_sweeps(),
+            "early stop must save sweeps: {} vs {}",
+            stopped.total_sweeps(),
+            fixed.total_sweeps()
+        );
+        assert!(stopped.report.converged);
+        // At constant temperature single final samples jitter, so
+        // compare equilibrium estimates: the stopped run's post-burn-in
+        // mean energy stays within 5% of the fixed-budget run's.
+        let mean_of = |run: &DiagnosedRun| {
+            let chains = &run.report.chains;
+            chains.iter().map(|c| c.energy_mean).sum::<f64>() / chains.len() as f64
+        };
+        let gap = (mean_of(&stopped) - mean_of(&fixed)).abs() / mean_of(&fixed).abs().max(1.0);
+        assert!(gap < 0.05, "mean energy gap {gap}");
+        assert_eq!(engine.metrics().jobs_early_stopped, 3);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn observe_only_matches_undiagnosed_run_exactly() {
+        let mrf = easy_mrf();
+        let engine = Engine::with_default_config();
+        let bare = mogs_engine::run_chains_on_engine(
+            &engine,
+            &mrf,
+            &SoftmaxGibbs::new(),
+            chain_config(),
+            2,
+            30,
+        );
+        let diagnosed = run_chains_diagnosed(
+            &engine,
+            &mrf,
+            &SoftmaxGibbs::new(),
+            chain_config(),
+            2,
+            30,
+            diag_config().observe_only(),
+        );
+        for (ours, reference) in diagnosed.outputs.iter().zip(&bare.chains) {
+            assert_eq!(
+                ours.labels, reference.labels,
+                "observation must not perturb the chain"
+            );
+        }
+        assert_eq!(diagnosed.report.chains.len(), 2);
+        assert!(diagnosed.report.marginal_samples > 0);
+        engine.shutdown();
+    }
+}

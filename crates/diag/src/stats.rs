@@ -1,0 +1,93 @@
+//! Online scalar statistics.
+//!
+//! Welford's update keeps a running mean and centered sum of squares in
+//! O(1) per sample with far better conditioning than the naive
+//! `Σx² - (Σx)²/n` form — energies of large fields are big numbers with
+//! small fluctuations, exactly the regime where the naive form cancels
+//! catastrophically. The crate's property tests pin this implementation
+//! against batch recomputation to 1e-9 relative error.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// A fresh accumulator with no samples.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Folds one sample into the running statistics.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Samples seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; NaN before the first sample.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; NaN with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hand_computed_values() {
+        let mut w = Welford::new();
+        assert!(w.mean().is_nan());
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Σ(x-5)² = 32, sample variance = 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_has_mean_but_no_variance() {
+        let mut w = Welford::new();
+        w.push(3.5);
+        assert_eq!(w.mean(), 3.5);
+        assert!(w.variance().is_nan());
+    }
+
+    #[test]
+    fn stable_for_large_offsets() {
+        // 1e9 + tiny noise: the naive sum-of-squares form loses all
+        // precision here; Welford keeps it.
+        let mut w = Welford::new();
+        for i in 0..1000 {
+            w.push(1e9 + f64::from(i % 7));
+        }
+        let batch_mean = (0..1000).map(|i| 1e9 + f64::from(i % 7)).sum::<f64>() / 1000.0;
+        assert!((w.mean() - batch_mean).abs() / batch_mean < 1e-12);
+        assert!(w.variance() > 0.0 && w.variance() < 10.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests: streaming statistics must agree with batch
+//! recomputation to 1e-9 relative error, whatever the data looks like.
+
+use mogs_diag::{plateaued, LabelIndexer, MarginalAccumulator, RingBuffer, Welford};
+use mogs_mrf::Label;
+use proptest::prelude::*;
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Welford's running mean/variance equal the two-pass batch formulas.
+    #[test]
+    fn welford_agrees_with_batch(samples in prop::collection::vec(-1e6f64..1e6, 2..400)) {
+        let mut w = Welford::new();
+        for &x in &samples {
+            w.push(x);
+        }
+        let n = samples.len() as f64;
+        let batch_mean = samples.iter().sum::<f64>() / n;
+        let batch_var = samples
+            .iter()
+            .map(|x| (x - batch_mean) * (x - batch_mean))
+            .sum::<f64>()
+            / (n - 1.0);
+        prop_assert_eq!(w.count(), samples.len() as u64);
+        prop_assert!(
+            rel_close(w.mean(), batch_mean, 1e-9),
+            "mean {} vs batch {}", w.mean(), batch_mean
+        );
+        prop_assert!(
+            rel_close(w.variance(), batch_var, 1e-9),
+            "variance {} vs batch {}", w.variance(), batch_var
+        );
+    }
+
+    /// A ring's retained window is exactly the tail of the full trace.
+    #[test]
+    fn ring_window_is_the_trace_tail(
+        trace in prop::collection::vec(-1e3f64..1e3, 1..200),
+        capacity in 1usize..64,
+    ) {
+        let mut ring = RingBuffer::with_capacity(capacity);
+        for &x in &trace {
+            ring.push(x);
+        }
+        let keep = trace.len().min(capacity);
+        prop_assert_eq!(ring.len(), keep);
+        prop_assert_eq!(ring.total_pushed(), trace.len() as u64);
+        let mut window = Vec::new();
+        ring.copy_last_into(keep, &mut window);
+        prop_assert_eq!(&window[..], &trace[trace.len() - keep..]);
+    }
+
+    /// Marginal counts recover the batch per-site histogram, entropies
+    /// stay normalized, and the max-marginal label is a true argmax.
+    #[test]
+    fn marginals_agree_with_batch_histogram(
+        raw in prop::collection::vec(0usize..4, 24..240),
+    ) {
+        let sites = 6;
+        let sweeps = raw.len() / sites;
+        let labels = 4;
+        let indexer = LabelIndexer::identity(labels);
+        let mut acc = MarginalAccumulator::new(sites, labels);
+        for sweep in 0..sweeps {
+            let labeling: Vec<Label> = raw[sweep * sites..(sweep + 1) * sites]
+                .iter()
+                .map(|&v| Label::new(v as u8))
+                .collect();
+            acc.record(&labeling, &indexer);
+        }
+        // Batch recount.
+        let mut counts = vec![0u32; sites * labels];
+        for sweep in 0..sweeps {
+            for site in 0..sites {
+                counts[site * labels + raw[sweep * sites + site]] += 1;
+            }
+        }
+        let map = acc.map_label_indices();
+        let entropy = acc.entropy_map();
+        prop_assert_eq!(acc.samples(), sweeps as u64);
+        for site in 0..sites {
+            let row = &counts[site * labels..(site + 1) * labels];
+            prop_assert_eq!(
+                row[map[site]],
+                *row.iter().max().expect("labels"),
+                "site {} map label must be modal", site
+            );
+            let total = f64::from(row.iter().sum::<u32>());
+            let batch_h: f64 = row
+                .iter()
+                .filter(|&&c| c > 0)
+                .map(|&c| {
+                    let p = f64::from(c) / total;
+                    -p * p.ln()
+                })
+                .sum::<f64>()
+                / (labels as f64).ln();
+            prop_assert!((0.0..=1.0).contains(&entropy[site]));
+            prop_assert!(
+                rel_close(entropy[site], batch_h, 1e-9),
+                "site {} entropy {} vs batch {}", site, entropy[site], batch_h
+            );
+        }
+    }
+
+    /// A window translated far from zero plateaus exactly when the
+    /// zero-centered original does under the same *absolute* statistics:
+    /// the 2-SE allowance is shift-invariant, and shifting only loosens
+    /// the relative-tolerance branch.
+    #[test]
+    fn plateau_is_shift_consistent(
+        window in prop::collection::vec(-1.0f64..1.0, 8..64),
+        shift in 1e3f64..1e6,
+    ) {
+        let shifted: Vec<f64> = window.iter().map(|x| x + shift).collect();
+        if plateaued(&window, 1e-12) {
+            prop_assert!(plateaued(&shifted, 1e-12));
+        }
+    }
+}

@@ -34,6 +34,7 @@ use mogs_mrf::energy::SingletonPotential;
 use crate::job::{HandleShared, InferenceJob, JobHandle, JobId, JobOutput};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::runner::{AdmissionError, ErasedJob, TypedJob};
+use crate::sink::SweepDecision;
 
 /// Sizing of an [`Engine`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,8 +151,11 @@ struct ActiveJob {
     group: usize,
     /// Tasks of the current phase still running on workers.
     outstanding: usize,
+    /// The diagnostics sink asked to stop this job at a sweep boundary.
+    early_stopped: bool,
     started: Instant,
     iteration_started: Instant,
+    phase_started: Instant,
 }
 
 /// The persistent inference runtime.
@@ -374,9 +378,9 @@ fn scheduler_loop(
                 }
             }
         }
-        metrics
-            .queue_depth
-            .store(sub_rx.len() as u64, Ordering::Relaxed);
+        let depth = sub_rx.len() as u64;
+        metrics.queue_depth.store(depth, Ordering::Relaxed);
+        metrics.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
         if active.is_empty() {
             if !open {
                 return;
@@ -405,6 +409,7 @@ fn scheduler_loop(
                     let Some(mut entry) = active.remove(&done.id) else {
                         continue;
                     };
+                    metrics.phase_latency.record(entry.phase_started.elapsed());
                     entry.group += 1;
                     if advance(&mut entry, &task_tx, &metrics) {
                         finish(entry, &metrics);
@@ -437,8 +442,10 @@ fn admit(
         iteration: 0,
         group: 0,
         outstanding: 0,
+        early_stopped: false,
         started: now,
         iteration_started: now,
+        phase_started: now,
     };
     if advance(&mut entry, task_tx, metrics) {
         finish(entry, metrics);
@@ -448,15 +455,16 @@ fn admit(
 }
 
 /// Drives a job forward from a phase boundary: closes out finished
-/// iterations, honours cancellation, and dispatches the next non-empty
-/// phase. Returns `true` when the job is done (completed or cancelled).
+/// iterations, honours cancellation and sink early-stops, and dispatches
+/// the next non-empty phase. Returns `true` when the job is done
+/// (completed, early-stopped, or cancelled).
 fn advance(entry: &mut ActiveJob, task_tx: &Sender<Task>, metrics: &EngineMetrics) -> bool {
     loop {
         if entry.shared.cancel.load(Ordering::Acquire) {
             return true;
         }
         if entry.group == entry.job.group_count() {
-            entry.job.end_iteration(entry.iteration);
+            let decision = entry.job.end_iteration(entry.iteration);
             metrics.sweeps_completed.fetch_add(1, Ordering::Relaxed);
             metrics
                 .site_updates
@@ -467,6 +475,14 @@ fn advance(entry: &mut ActiveJob, task_tx: &Sender<Task>, metrics: &EngineMetric
             entry.iteration += 1;
             entry.group = 0;
             entry.iteration_started = Instant::now();
+            if decision == SweepDecision::Stop && entry.iteration < entry.job.iterations() {
+                // The sink called convergence: stop through the existing
+                // cancellation path (same flag, same phase-boundary
+                // check), remembering it was a diagnostics stop.
+                entry.early_stopped = true;
+                entry.shared.cancel.store(true, Ordering::Release);
+                return true;
+            }
         }
         if entry.iteration == entry.job.iterations() {
             return true;
@@ -476,6 +492,7 @@ fn advance(entry: &mut ActiveJob, task_tx: &Sender<Task>, metrics: &EngineMetric
             entry.group += 1;
             continue;
         }
+        entry.phase_started = Instant::now();
         for chunk in 0..chunks {
             let task = Task {
                 id: entry.id,
@@ -497,10 +514,16 @@ fn advance(entry: &mut ActiveJob, task_tx: &Sender<Task>, metrics: &EngineMetric
 
 /// Publishes a finished job's output and updates counters.
 fn finish(entry: ActiveJob, metrics: &EngineMetrics) {
-    let cancelled = entry.shared.cancel.load(Ordering::Acquire);
-    let output: JobOutput = entry.job.finalize(cancelled, entry.iteration);
+    // An early stop travels through the cancel flag (set by `advance`);
+    // report it as a convergence stop, not a user cancel.
+    let cancelled = entry.shared.cancel.load(Ordering::Acquire) && !entry.early_stopped;
+    let output: JobOutput = entry
+        .job
+        .finalize(cancelled, entry.early_stopped, entry.iteration);
     metrics.active_jobs.fetch_sub(1, Ordering::Relaxed);
-    if cancelled {
+    if entry.early_stopped {
+        metrics.jobs_early_stopped.fetch_add(1, Ordering::Relaxed);
+    } else if cancelled {
         metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
     } else {
         metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);

@@ -15,6 +15,8 @@ use mogs_mrf::energy::SingletonPotential;
 use mogs_mrf::{Label, MarkovRandomField};
 use parking_lot::{Condvar, Mutex};
 
+use crate::sink::DiagSink;
+
 /// One complete inference request.
 ///
 /// The engine runs jobs with the *colored-sweep* update order: within each
@@ -25,7 +27,7 @@ use parking_lot::{Condvar, Mutex};
 /// [`McmcChain`](mogs_gibbs::McmcChain) with `threads >= 2`) regardless of
 /// how many worker threads the engine actually has — `threads` here names
 /// the deterministic chunking, not OS-level parallelism.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct InferenceJob<S: SingletonPotential, L: LabelSampler> {
     /// The field to sample.
     pub mrf: MarkovRandomField<S>,
@@ -57,6 +59,10 @@ pub struct InferenceJob<S: SingletonPotential, L: LabelSampler> {
     /// puts neighbouring sites in one phase is rejected with a typed
     /// report, never run.
     pub groups: Option<Vec<Vec<usize>>>,
+    /// Streaming diagnostics observer, called at every sweep boundary
+    /// (see [`DiagSink`]). `None` costs nothing; a sink's declared
+    /// [`needs`](DiagSink::needs) bound what the engine computes for it.
+    pub sink: Option<std::sync::Arc<dyn DiagSink>>,
 }
 
 impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
@@ -77,6 +83,7 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
             record_energy: true,
             initial: None,
             groups: None,
+            sink: None,
         }
     }
 
@@ -116,6 +123,7 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
             record_energy: true,
             initial: None,
             groups: None,
+            sink: None,
         }
     }
 
@@ -176,6 +184,32 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
         self.groups = Some(groups);
         self
     }
+
+    /// Attaches a streaming diagnostics sink, observed at every sweep
+    /// boundary. The sink can end the job early by returning
+    /// [`SweepDecision::Stop`](crate::SweepDecision) — the scheduler
+    /// raises the job's cancellation flag and the output reports
+    /// [`early_stopped`](JobOutput::early_stopped).
+    pub fn with_sink(mut self, sink: std::sync::Arc<dyn DiagSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
+
+impl<S: SingletonPotential, L: LabelSampler> std::fmt::Debug for InferenceJob<S, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceJob")
+            .field("sites", &self.mrf.grid().len())
+            .field("labels", &self.mrf.space().count())
+            .field("iterations", &self.iterations)
+            .field("threads", &self.threads)
+            .field("seed", &self.seed)
+            .field("burn_in", &self.burn_in)
+            .field("track_modes", &self.track_modes)
+            .field("record_energy", &self.record_energy)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
 }
 
 /// Result of a finished (or cancelled) job.
@@ -191,6 +225,10 @@ pub struct JobOutput {
     pub iterations_run: usize,
     /// Whether the job ended through its cancellation handle.
     pub cancelled: bool,
+    /// Whether the job was stopped by its diagnostics sink's
+    /// [`SweepDecision::Stop`](crate::SweepDecision) — a convergence
+    /// stop, not a user cancel (`cancelled` stays `false`).
+    pub early_stopped: bool,
 }
 
 impl JobOutput {
@@ -335,6 +373,7 @@ mod tests {
             energy_trace: vec![],
             iterations_run: 3,
             cancelled: false,
+            early_stopped: false,
         };
         shared.finish(out.clone());
         assert!(handle.is_finished());

@@ -36,6 +36,19 @@
 //! names the offending sites. The `shadow-audit` feature adds a dynamic
 //! read/write-set recorder that cross-checks the static verdict in tests.
 //!
+//! # Streaming diagnostics
+//!
+//! A job may carry a [`DiagSink`] observer, called once per completed
+//! sweep at the scheduler's quiescent point with whatever the sink's
+//! declared [`SinkNeeds`] ask for (post-sweep energy, stride-sampled
+//! label snapshots served from a preallocated buffer). The sink's
+//! [`SweepDecision`] feeds the existing cancellation path, so a
+//! convergence policy (see the `mogs-diag` crate) can end a job the
+//! moment more sweeps stop buying quality; such outputs are flagged
+//! [`JobOutput::early_stopped`] and counted separately from cancels.
+//! Jobs without a sink pay nothing; [`NullSink`] exists to benchmark
+//! the plumbing itself.
+//!
 //! # Determinism contract
 //!
 //! For a fixed job `seed` and `threads` (chunk count), the engine's
@@ -56,6 +69,7 @@ pub mod metrics;
 mod multichain;
 mod plane;
 mod runner;
+pub mod sink;
 
 pub use backend::{Backend, BackendSampler, RsuPool};
 pub use engine::{Engine, EngineConfig, PreparedJob, SubmitError, TrySubmitError};
@@ -63,3 +77,4 @@ pub use job::{InferenceJob, JobHandle, JobId, JobOutput, JobStatus};
 pub use metrics::{EngineMetrics, HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use multichain::run_chains_on_engine;
 pub use runner::AdmissionError;
+pub use sink::{DiagSink, JobStartInfo, NullSink, SinkNeeds, SweepDecision, SweepObservation};

@@ -125,18 +125,27 @@ pub struct EngineMetrics {
     pub jobs_completed: AtomicU64,
     /// Jobs that ended early through their cancellation handle.
     pub jobs_cancelled: AtomicU64,
+    /// Jobs stopped at a sweep boundary by a diagnostics sink's
+    /// convergence verdict.
+    pub jobs_early_stopped: AtomicU64,
     /// Full sweeps (every site updated once) across all jobs.
     pub sweeps_completed: AtomicU64,
     /// Individual site updates across all jobs.
     pub site_updates: AtomicU64,
     /// Gauge: jobs waiting in the submission queue.
     pub queue_depth: AtomicU64,
+    /// High-water mark of the submission queue depth over the engine's
+    /// lifetime (how close the bounded queue came to backpressure).
+    pub queue_depth_hwm: AtomicU64,
     /// Gauge: jobs currently being swept.
     pub active_jobs: AtomicU64,
     /// Wall time per completed job.
     pub job_wall_time: LatencyHistogram,
     /// Wall time per sweep (includes task-queue waits).
     pub sweep_latency: LatencyHistogram,
+    /// Wall time per phase (one independent group's fan-out, dispatch to
+    /// drain — the engine's barrier granularity).
+    pub phase_latency: LatencyHistogram,
 }
 
 impl EngineMetrics {
@@ -149,12 +158,15 @@ impl EngineMetrics {
             jobs_denied: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             jobs_cancelled: AtomicU64::new(0),
+            jobs_early_stopped: AtomicU64::new(0),
             sweeps_completed: AtomicU64::new(0),
             site_updates: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
+            queue_depth_hwm: AtomicU64::new(0),
             active_jobs: AtomicU64::new(0),
             job_wall_time: LatencyHistogram::new(),
             sweep_latency: LatencyHistogram::new(),
+            phase_latency: LatencyHistogram::new(),
         }
     }
 
@@ -171,14 +183,17 @@ impl EngineMetrics {
             jobs_denied: self.jobs_denied.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_early_stopped: self.jobs_early_stopped.load(Ordering::Relaxed),
             sweeps_completed: sweeps,
             site_updates: updates,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
             active_jobs: self.active_jobs.load(Ordering::Relaxed),
             sweeps_per_sec: sweeps as f64 / secs,
             site_updates_per_sec: updates as f64 / secs,
             job_wall_time: self.job_wall_time.snapshot(),
             sweep_latency: self.sweep_latency.snapshot(),
+            phase_latency: self.phase_latency.snapshot(),
         }
     }
 }
@@ -204,12 +219,16 @@ pub struct MetricsSnapshot {
     pub jobs_completed: u64,
     /// Jobs cancelled before completion.
     pub jobs_cancelled: u64,
+    /// Jobs early-stopped by a diagnostics sink's convergence verdict.
+    pub jobs_early_stopped: u64,
     /// Full sweeps across all jobs.
     pub sweeps_completed: u64,
     /// Site updates across all jobs.
     pub site_updates: u64,
     /// Jobs currently queued.
     pub queue_depth: u64,
+    /// Most jobs ever waiting in the queue at once.
+    pub queue_depth_hwm: u64,
     /// Jobs currently active.
     pub active_jobs: u64,
     /// Cumulative sweeps per second of engine uptime.
@@ -220,6 +239,8 @@ pub struct MetricsSnapshot {
     pub job_wall_time: HistogramSnapshot,
     /// Per-sweep wall-time distribution.
     pub sweep_latency: HistogramSnapshot,
+    /// Per-phase (group fan-out dispatch→drain) wall-time distribution.
+    pub phase_latency: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -269,5 +290,21 @@ mod tests {
         let back: MetricsSnapshot = serde::json::from_str(&json).expect("round trip");
         assert_eq!(back.jobs_submitted, 3);
         assert_eq!(back.sweep_latency.count, 1);
+    }
+
+    #[test]
+    fn snapshot_exports_denials_hwm_and_phase_latency() {
+        let m = EngineMetrics::new();
+        m.jobs_denied.fetch_add(2, Ordering::Relaxed);
+        m.queue_depth_hwm.fetch_max(9, Ordering::Relaxed);
+        m.jobs_early_stopped.fetch_add(1, Ordering::Relaxed);
+        m.phase_latency.record(Duration::from_micros(17));
+        let json = m.snapshot().to_json();
+        assert!(json.contains("\"jobs_denied\":2"), "json: {json}");
+        assert!(json.contains("\"queue_depth_hwm\":9"), "json: {json}");
+        assert!(json.contains("\"jobs_early_stopped\":1"), "json: {json}");
+        let back: MetricsSnapshot = serde::json::from_str(&json).expect("round trip");
+        assert_eq!(back.phase_latency.count, 1);
+        assert!(back.phase_latency.p99_us >= 17);
     }
 }

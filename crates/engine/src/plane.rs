@@ -93,6 +93,21 @@ impl LabelPlane {
         // writing any cell, so every dereference reads a settled value.
         self.cells.iter().map(|c| unsafe { *c.get() }).collect()
     }
+
+    /// Copies the whole plane into `out` (cleared first), reusing its
+    /// allocation — the per-sweep path for jobs with observers, which
+    /// must not allocate once the buffer reaches plane capacity.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`LabelPlane::snapshot`]: the plane must be
+    /// quiescent.
+    pub(crate) unsafe fn snapshot_into(&self, out: &mut Vec<Label>) {
+        out.clear();
+        // SAFETY: quiescence (this fn's contract) means no worker is
+        // writing any cell, so every dereference reads a settled value.
+        out.extend(self.cells.iter().map(|c| unsafe { *c.get() }));
+    }
 }
 
 impl std::fmt::Debug for LabelPlane {
@@ -117,6 +132,22 @@ mod tests {
             plane.write(0, Label::new(3));
             assert_eq!(plane.read(0), Label::new(3));
             assert_eq!(plane.snapshot(), vec![Label::new(3), Label::new(2)]);
+        }
+    }
+
+    #[test]
+    fn snapshot_into_reuses_the_buffer() {
+        let plane = LabelPlane::new(vec![Label::new(1), Label::new(2)]);
+        let mut buf = Vec::with_capacity(2);
+        // SAFETY: single-threaded test; no concurrent access.
+        unsafe {
+            plane.snapshot_into(&mut buf);
+            assert_eq!(buf, vec![Label::new(1), Label::new(2)]);
+            let ptr = buf.as_ptr();
+            plane.write(1, Label::new(7));
+            plane.snapshot_into(&mut buf);
+            assert_eq!(buf, vec![Label::new(1), Label::new(7)]);
+            assert_eq!(ptr, buf.as_ptr(), "refill must not reallocate");
         }
     }
 }

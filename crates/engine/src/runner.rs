@@ -45,8 +45,11 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use std::sync::Arc;
+
 use crate::job::{InferenceJob, JobOutput};
 use crate::plane::LabelPlane;
+use crate::sink::{DiagSink, JobStartInfo, SinkNeeds, SweepDecision, SweepObservation};
 
 /// Why a job failed admission before reaching the scheduler queue.
 ///
@@ -123,10 +126,12 @@ pub(crate) trait ErasedJob: Send + Sync {
     fn site_count(&self) -> usize;
     /// Updates every site of one chunk of one group once.
     fn run_chunk(&self, iteration: usize, group: usize, chunk: usize);
-    /// Post-sweep bookkeeping: energy trace and mode histograms.
-    fn end_iteration(&self, iteration: usize);
+    /// Post-sweep bookkeeping — energy trace, mode histograms, and the
+    /// diagnostics observation. The returned decision lets an attached
+    /// sink stop the job at this sweep boundary.
+    fn end_iteration(&self, iteration: usize) -> SweepDecision;
     /// Packages the output after `iterations_run` completed sweeps.
-    fn finalize(&self, cancelled: bool, iterations_run: usize) -> JobOutput;
+    fn finalize(&self, cancelled: bool, early_stopped: bool, iterations_run: usize) -> JobOutput;
 }
 
 /// Scheduler-side accumulators, touched only between phases.
@@ -135,6 +140,9 @@ struct Bookkeeping {
     energy_trace: Vec<f64>,
     /// `hist[site * m + label]`, like the chain's histograms.
     histograms: Option<Vec<u32>>,
+    /// Plane snapshot buffer, preallocated to plane capacity at build so
+    /// per-sweep observation never allocates.
+    snapshot: Vec<Label>,
 }
 
 /// A fully prepared, monomorphized job.
@@ -164,6 +172,10 @@ pub(crate) struct TypedJob<S: SingletonPotential, L: LabelSampler> {
     shadow: mogs_audit::shadow::ShadowPlane,
     plane: LabelPlane,
     book: Mutex<Bookkeeping>,
+    /// Streaming diagnostics observer, with its needs cached at build so
+    /// the sweep boundary never re-queries the trait object.
+    sink: Option<Arc<dyn DiagSink>>,
+    sink_needs: SinkNeeds,
 }
 
 impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
@@ -230,9 +242,21 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
     /// so no plane is ever seated under an unaudited schedule. (The
     /// shadow cross-check test constructs a corrupted job through this
     /// door deliberately, then runs it serially.)
-    fn build(job: InferenceJob<S, L>, groups: Vec<Vec<usize>>, labels: Vec<Label>) -> Self {
+    fn build(mut job: InferenceJob<S, L>, groups: Vec<Vec<usize>>, labels: Vec<Label>) -> Self {
         let m = job.mrf.space().count();
         let grid = job.mrf.grid();
+        let sink = job.sink.take();
+        let sink_needs = sink.as_deref().map_or(SinkNeeds::none(), DiagSink::needs);
+        if let Some(sink) = &sink {
+            sink.on_start(&JobStartInfo {
+                sites: labels.len(),
+                width: grid.width(),
+                height: grid.height(),
+                labels: m,
+                iterations: job.iterations,
+                burn_in: job.burn_in,
+            });
+        }
         let pack = |slots: [Option<usize>; 4]| {
             let mut out = [NO_NEIGHBOR; 4];
             for (slot, n) in out.iter_mut().zip(slots) {
@@ -270,6 +294,7 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
             table
         });
         let histograms = job.track_modes.then(|| vec![0u32; labels.len() * m]);
+        let snapshot = Vec::with_capacity(labels.len());
         TypedJob {
             prior_table,
             singleton_table,
@@ -282,7 +307,10 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
             book: Mutex::new(Bookkeeping {
                 energy_trace: Vec::new(),
                 histograms,
+                snapshot,
             }),
+            sink,
+            sink_needs,
             mrf: job.mrf,
             sampler: job.sampler,
             schedule: job.schedule,
@@ -419,29 +447,52 @@ where
         }
     }
 
-    fn end_iteration(&self, iteration: usize) {
-        if !self.record_energy && self.book.lock().histograms.is_none() {
-            return;
-        }
-        // SAFETY: the scheduler calls this only with no outstanding chunks
-        // for this job, so the plane is quiescent.
-        let labels = unsafe { self.plane.snapshot() };
+    fn end_iteration(&self, iteration: usize) -> SweepDecision {
+        let sink = self.sink.as_deref();
+        let stride = self.sink_needs.labels_stride;
+        let sink_wants_labels = sink.is_some() && stride > 0 && iteration.is_multiple_of(stride);
+        let sink_wants_energy = sink.is_some() && self.sink_needs.energy;
         let mut book = self.book.lock();
-        if self.record_energy {
-            book.energy_trace.push(self.mrf.total_energy(&labels));
-        }
         // Matches the chain: samples count once `iteration + 1 > burn_in`.
-        if iteration + 1 > self.burn_in {
-            if let Some(hist) = &mut book.histograms {
-                let m = self.mrf.space().count();
-                for (site, label) in labels.iter().enumerate() {
-                    hist[site * m + usize::from(label.value())] += 1;
+        let wants_hist = book.histograms.is_some() && iteration + 1 > self.burn_in;
+        let wants_energy = self.record_energy || sink_wants_energy;
+        let mut energy = None;
+        if wants_energy || wants_hist || sink_wants_labels {
+            let Bookkeeping {
+                energy_trace,
+                histograms,
+                snapshot,
+            } = &mut *book;
+            // SAFETY: the scheduler calls this only with no outstanding
+            // chunks for this job, so the plane is quiescent.
+            unsafe { self.plane.snapshot_into(snapshot) };
+            if wants_energy {
+                let e = self.mrf.total_energy(snapshot);
+                if self.record_energy {
+                    energy_trace.push(e);
+                }
+                energy = Some(e);
+            }
+            if wants_hist {
+                if let Some(hist) = histograms {
+                    let m = self.mrf.space().count();
+                    for (site, label) in snapshot.iter().enumerate() {
+                        hist[site * m + usize::from(label.value())] += 1;
+                    }
                 }
             }
         }
+        match sink {
+            Some(sink) => sink.on_sweep(&SweepObservation {
+                iteration,
+                energy: if sink_wants_energy { energy } else { None },
+                labels: sink_wants_labels.then(|| book.snapshot.as_slice()),
+            }),
+            None => SweepDecision::Continue,
+        }
     }
 
-    fn finalize(&self, cancelled: bool, iterations_run: usize) -> JobOutput {
+    fn finalize(&self, cancelled: bool, early_stopped: bool, iterations_run: usize) -> JobOutput {
         // SAFETY: quiescent, as for `end_iteration`.
         let labels = unsafe { self.plane.snapshot() };
         let book = self.book.lock();
@@ -469,13 +520,19 @@ where
         } else {
             None
         };
-        JobOutput {
+        let output = JobOutput {
             labels,
             map_estimate,
             energy_trace: book.energy_trace.clone(),
             iterations_run,
             cancelled,
+            early_stopped,
+        };
+        drop(book);
+        if let Some(sink) = &self.sink {
+            sink.on_finish(&output);
         }
+        output
     }
 }
 
@@ -555,7 +612,7 @@ mod tests {
             }
             typed.end_iteration(iteration);
         }
-        let out = typed.finalize(false, 4);
+        let out = typed.finalize(false, false, 4);
         assert_eq!(
             out.labels, reference,
             "engine fast path must be bit-identical"

@@ -390,3 +390,128 @@ fn shutdown_drains_queued_jobs_before_stopping() {
         assert_eq!(out.iterations_run, 5);
     }
 }
+
+/// A test sink: counts observations, records energies and label-snapshot
+/// iterations, and stops the job after `stop_after` sweeps.
+#[derive(Debug)]
+struct ProbeSink {
+    needs: mogs_engine::SinkNeeds,
+    stop_after: usize,
+    energies: std::sync::Mutex<Vec<Option<f64>>>,
+    label_sweeps: std::sync::Mutex<Vec<usize>>,
+    started: std::sync::atomic::AtomicBool,
+    finished: std::sync::atomic::AtomicBool,
+}
+
+impl ProbeSink {
+    fn new(needs: mogs_engine::SinkNeeds, stop_after: usize) -> Self {
+        ProbeSink {
+            needs,
+            stop_after,
+            energies: std::sync::Mutex::new(Vec::new()),
+            label_sweeps: std::sync::Mutex::new(Vec::new()),
+            started: std::sync::atomic::AtomicBool::new(false),
+            finished: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+}
+
+impl mogs_engine::DiagSink for ProbeSink {
+    fn needs(&self) -> mogs_engine::SinkNeeds {
+        self.needs
+    }
+
+    fn on_start(&self, info: &mogs_engine::JobStartInfo) {
+        assert_eq!(info.sites, info.width * info.height);
+        self.started
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    fn on_sweep(&self, obs: &mogs_engine::SweepObservation<'_>) -> mogs_engine::SweepDecision {
+        self.energies.lock().unwrap().push(obs.energy);
+        if obs.labels.is_some() {
+            self.label_sweeps.lock().unwrap().push(obs.iteration);
+        }
+        if obs.iteration + 1 >= self.stop_after {
+            mogs_engine::SweepDecision::Stop
+        } else {
+            mogs_engine::SweepDecision::Continue
+        }
+    }
+
+    fn on_finish(&self, output: &mogs_engine::JobOutput) {
+        assert!(output.early_stopped || output.iterations_run > 0);
+        self.finished
+            .store(true, std::sync::atomic::Ordering::Release);
+    }
+}
+
+#[test]
+fn sink_observes_sweeps_and_early_stops_through_the_cancel_path() {
+    let engine = Engine::with_default_config();
+    let sink = std::sync::Arc::new(ProbeSink::new(
+        mogs_engine::SinkNeeds {
+            energy: true,
+            labels_stride: 2,
+        },
+        4,
+    ));
+    let job = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .with_threads(3)
+        .with_seed(5)
+        .with_iterations(50)
+        .with_sink(std::sync::Arc::clone(&sink) as std::sync::Arc<dyn mogs_engine::DiagSink>);
+    let out = engine.submit(job).expect("engine running").wait();
+    assert!(out.early_stopped, "sink verdict must stop the job");
+    assert!(!out.cancelled, "an early stop is not a user cancel");
+    assert_eq!(out.iterations_run, 4, "stopped at the requested boundary");
+    assert!(sink.started.load(std::sync::atomic::Ordering::Acquire));
+    assert!(sink.finished.load(std::sync::atomic::Ordering::Acquire));
+    // Every sweep carried an energy; labels arrived on the stride.
+    let energies = sink.energies.lock().unwrap();
+    assert_eq!(energies.len(), 4);
+    assert!(energies.iter().all(Option::is_some));
+    assert_eq!(*sink.label_sweeps.lock().unwrap(), vec![0, 2]);
+    // The sink's energies are the job's own energy trace.
+    let observed: Vec<f64> = energies.iter().map(|e| e.expect("energy")).collect();
+    assert_eq!(observed, out.energy_trace);
+    let metrics = engine.metrics();
+    assert_eq!(metrics.jobs_early_stopped, 1);
+    assert_eq!(metrics.jobs_cancelled, 0);
+    assert_eq!(metrics.jobs_completed, 0);
+    assert!(metrics.phase_latency.count > 0, "phases were timed");
+    engine.shutdown();
+}
+
+#[test]
+fn sink_does_not_perturb_results_and_stop_at_budget_counts_as_completed() {
+    let iterations = 6;
+    let bare = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .with_threads(4)
+        .with_seed(123)
+        .with_iterations(iterations);
+    let engine = Engine::with_default_config();
+    let reference = engine.submit(bare).expect("engine running").wait();
+
+    // Same job with a sink that "stops" exactly at the budget boundary:
+    // the labeling is untouched and the job still counts as completed.
+    let sink = std::sync::Arc::new(ProbeSink::new(
+        mogs_engine::SinkNeeds {
+            energy: true,
+            labels_stride: 0,
+        },
+        iterations,
+    ));
+    let job = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .with_threads(4)
+        .with_seed(123)
+        .with_iterations(iterations)
+        .with_sink(std::sync::Arc::clone(&sink) as std::sync::Arc<dyn mogs_engine::DiagSink>);
+    let observed = engine.submit(job).expect("engine running").wait();
+    assert!(!observed.early_stopped);
+    assert!(!observed.cancelled);
+    assert_eq!(observed.labels, reference.labels, "sink must not perturb");
+    assert_eq!(observed.energy_trace, reference.energy_trace);
+    assert_eq!(engine.metrics().jobs_completed, 2);
+    engine.shutdown();
+}

@@ -133,6 +133,37 @@ pub fn potential_scale_reduction(chains: &[Vec<f64>]) -> f64 {
     (var_plus / w).sqrt()
 }
 
+/// Split-R̂: every chain's trace is halved and
+/// [`potential_scale_reduction`] is computed over the `2m` half-chains.
+/// Splitting additionally detects within-chain drift — a single slowly
+/// trending chain inflates split-R̂ even when the full-chain means agree
+/// — and it gives a meaningful statistic for a *single* chain (its two
+/// halves act as the "parallel chains"). Odd-length traces drop their
+/// oldest sample so the halves match.
+///
+/// # Panics
+///
+/// Panics with no chains, with chains of differing lengths, or with
+/// chains shorter than four samples (each half needs two).
+pub fn split_potential_scale_reduction(chains: &[Vec<f64>]) -> f64 {
+    assert!(!chains.is_empty(), "need at least one chain");
+    let n = chains[0].len();
+    assert!(n >= 4, "chains need at least four samples to split");
+    assert!(
+        chains.iter().all(|c| c.len() == n),
+        "chains must have equal length"
+    );
+    let keep = n - (n % 2);
+    let halves: Vec<Vec<f64>> = chains
+        .iter()
+        .flat_map(|c| {
+            let (a, b) = c[n - keep..].split_at(keep / 2);
+            [a.to_vec(), b.to_vec()]
+        })
+        .collect();
+    potential_scale_reduction(&halves)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,5 +264,47 @@ mod tests {
     #[should_panic(expected = "need at least two chains")]
     fn psrf_rejects_single_chain() {
         potential_scale_reduction(&[vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn split_psrf_near_one_for_stationary_chains() {
+        let chains: Vec<Vec<f64>> = (0..4).map(|i| white_noise(2000, 30 + i)).collect();
+        let r = split_potential_scale_reduction(&chains);
+        assert!(r < 1.05, "split R-hat {r}");
+    }
+
+    #[test]
+    fn split_psrf_flags_within_chain_drift_that_plain_psrf_misses() {
+        // Two chains drifting identically: their full-trace means agree,
+        // so plain R-hat stays near 1 — but each chain's halves disagree.
+        let chains: Vec<Vec<f64>> = (0..2)
+            .map(|i| {
+                white_noise(2000, 40 + i)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(t, x)| t as f64 * 0.01 + x)
+                    .collect()
+            })
+            .collect();
+        let plain = potential_scale_reduction(&chains);
+        let split = split_potential_scale_reduction(&chains);
+        assert!(plain < 1.2, "plain R-hat {plain} shouldn't flag");
+        assert!(split > 1.5, "split R-hat {split} must flag the drift");
+    }
+
+    #[test]
+    fn split_psrf_accepts_a_single_chain() {
+        let r = split_potential_scale_reduction(&[white_noise(1000, 50)]);
+        assert!(r < 1.05, "single stationary chain: split R-hat {r}");
+    }
+
+    #[test]
+    fn split_psrf_drops_the_oldest_sample_of_odd_traces() {
+        let even = vec![vec![1.0, 2.0, 1.5, 2.5]];
+        let odd = vec![vec![99.0, 1.0, 2.0, 1.5, 2.5]];
+        assert_eq!(
+            split_potential_scale_reduction(&even),
+            split_potential_scale_reduction(&odd)
+        );
     }
 }

@@ -294,6 +294,14 @@ impl<S: SingletonPotential> MarkovRandomField<S> {
         }
         e
     }
+
+    /// Mean energy per site: [`MarkovRandomField::total_energy`] divided
+    /// by the site count. The scale-free form is what convergence checks
+    /// should compare against tolerances, so the same threshold means the
+    /// same thing on a 64×64 smoke grid and a megapixel field.
+    pub fn energy_per_site(&self, labels: &[Label]) -> f64 {
+        self.total_energy(labels) / self.grid.len() as f64
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +338,15 @@ mod tests {
             ((after - before) - (e_new - e_old)).abs() < 1e-12,
             "site-energy delta must equal total-energy delta"
         );
+    }
+
+    #[test]
+    fn energy_per_site_is_total_over_site_count() {
+        let mrf = small_field();
+        let mut labels = mrf.uniform_labeling();
+        labels[5] = Label::new(2);
+        let total = mrf.total_energy(&labels);
+        assert!((mrf.energy_per_site(&labels) - total / 16.0).abs() < 1e-15);
     }
 
     #[test]

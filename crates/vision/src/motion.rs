@@ -191,6 +191,7 @@ impl MotionEstimation {
             record_energy: true,
             initial: Some(vec![flow_to_label(0, 0); self.width * self.height]),
             groups: None,
+            sink: None,
         }
     }
 

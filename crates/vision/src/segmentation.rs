@@ -198,6 +198,7 @@ impl Segmentation {
             record_energy: true,
             initial: None,
             groups: None,
+            sink: None,
         }
     }
 

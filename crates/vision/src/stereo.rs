@@ -150,6 +150,7 @@ impl StereoMatching {
             record_energy: true,
             initial: None,
             groups: None,
+            sink: None,
         }
     }
 
