@@ -19,6 +19,15 @@
 //!   `# Panics`.
 //! * **\[float-eq\]** — the physics crates (`ret`, `core`) must not
 //!   compare against float literals with `==`/`!=`.
+//! * **\[deprecated-use\]** — workspace code must not call its own
+//!   `#[deprecated]` items: deprecation markers exist for *downstream*
+//!   migration windows, and internal call sites would keep the old path
+//!   alive forever. The check is workspace-wide (declarations are
+//!   collected from every crate, then every call site is screened), so
+//!   it only fires through [`lint_workspace`] /
+//!   [`lint_file_with_deprecated`]; names that are also declared
+//!   somewhere *without* `#[deprecated]` are skipped as ambiguous (the
+//!   lexer cannot resolve method receivers).
 //!
 //! A rule is waived for one site with
 //! `// audit:allow(<rule-id>) — reason` on the same line or in the
@@ -35,12 +44,13 @@ use std::path::Path;
 use crate::lexer::{lex, LexedFile, TokKind, Token};
 
 /// Rule identifiers, as used in waivers and findings.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "safety-comment",
     "unwrap-expect",
     "lossy-cast",
     "panics-doc",
     "float-eq",
+    "deprecated-use",
 ];
 
 /// Modules where numeric `as` casts are banned outright: the hot-path
@@ -138,6 +148,7 @@ impl fmt::Display for LintReport {
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let mut report = LintReport::default();
     let crates = root.join("crates");
+    let mut sources: Vec<(String, String)> = Vec::new();
     for crate_dir in sorted_dirs(&crates)? {
         let src = crate_dir.join("src");
         if !src.is_dir() {
@@ -153,9 +164,21 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
                 .to_string_lossy()
                 .replace('\\', "/");
             let source = fs::read_to_string(&path)?;
-            report.findings.extend(lint_file(&rel, &source));
-            report.files_scanned += 1;
+            sources.push((rel, source));
         }
+    }
+    // Pass 1: collect every `#[deprecated]` item declaration across the
+    // workspace. Pass 2: lint each file, screening call sites against
+    // the collected names.
+    let mut index = DeprecatedIndex::default();
+    for (_, source) in &sources {
+        index.scan(source);
+    }
+    for (rel, source) in &sources {
+        report
+            .findings
+            .extend(lint_file_with_deprecated(rel, source, &index));
+        report.files_scanned += 1;
     }
     Ok(report)
 }
@@ -186,8 +209,23 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result
 
 /// Lints one file's source. `rel_path` decides which rules apply (see
 /// the module docs); it must use forward slashes.
+///
+/// The per-file rules only: `deprecated-use` needs the workspace-wide
+/// declaration index, so it fires through [`lint_file_with_deprecated`]
+/// (and therefore [`lint_workspace`]), never here.
 #[must_use]
 pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
+    lint_file_with_deprecated(rel_path, source, &DeprecatedIndex::default())
+}
+
+/// [`lint_file`] plus the `deprecated-use` rule, screened against the
+/// workspace-wide [`DeprecatedIndex`].
+#[must_use]
+pub fn lint_file_with_deprecated(
+    rel_path: &str,
+    source: &str,
+    deprecated: &DeprecatedIndex,
+) -> Vec<Finding> {
     let file = lex(source);
     let ctx = FileContext::build(rel_path, &file);
     let mut findings = Vec::new();
@@ -197,6 +235,7 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
     check_lossy_casts(&ctx, &mut findings);
     check_panics_docs(&ctx, &mut findings);
     check_float_eq(&ctx, &mut findings);
+    check_deprecated_use(&ctx, deprecated, &mut findings);
     findings.sort_by_key(|f| f.line);
     findings
 }
@@ -643,6 +682,141 @@ fn check_panics_docs(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Workspace-wide index of `#[deprecated]` item names, fed by
+/// [`DeprecatedIndex::scan`] over every source file before linting.
+///
+/// Only `fn` and `type` items are tracked (the shapes this workspace
+/// deprecates). A name is *flaggable* only if every declaration of it in
+/// the workspace carries `#[deprecated]` — the lexer cannot resolve a
+/// method call's receiver, so a name that is deprecated on one type but
+/// live on another (e.g. a builder keeping an old setter name) must not
+/// produce findings against the live one.
+#[derive(Debug, Default, Clone)]
+pub struct DeprecatedIndex {
+    /// Names with at least one `#[deprecated]` declaration.
+    deprecated: std::collections::HashSet<String>,
+    /// Names with at least one non-deprecated declaration.
+    live: std::collections::HashSet<String>,
+}
+
+impl DeprecatedIndex {
+    /// Records every `fn`/`type` declaration in `source`.
+    pub fn scan(&mut self, source: &str) {
+        let file = lex(source);
+        let toks = &file.tokens;
+        for i in 0..toks.len().saturating_sub(1) {
+            let is_item =
+                toks[i].kind == TokKind::Ident && (toks[i].text == "fn" || toks[i].text == "type");
+            if !is_item || toks[i + 1].kind != TokKind::Ident {
+                continue;
+            }
+            let name = toks[i + 1].text.clone();
+            if has_deprecated_attr(toks, i) {
+                self.deprecated.insert(name);
+            } else {
+                self.live.insert(name);
+            }
+        }
+    }
+
+    /// Whether calls to `name` are safe to flag: it is deprecated
+    /// somewhere and live nowhere.
+    #[must_use]
+    pub fn is_flaggable(&self, name: &str) -> bool {
+        self.deprecated.contains(name) && !self.live.contains(name)
+    }
+}
+
+/// Whether the `fn`/`type` keyword at token `i` is preceded by a
+/// `#[deprecated ..]` attribute (scanning back through modifiers,
+/// visibility, and other attributes).
+fn has_deprecated_attr(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match toks[j].text.as_str() {
+            "pub" | "const" | "unsafe" | "async" | "extern" => {}
+            _ if toks[j].kind == TokKind::Literal => {} // the "C" in extern "C"
+            ")" => {
+                // pub(crate) / pub(super): skip back to the `(`.
+                while j > 0 && toks[j].text != "(" {
+                    j -= 1;
+                }
+            }
+            "]" => {
+                // An attribute: rewind to its `[`, check the contents,
+                // and continue past the leading `#`.
+                let end = j;
+                let mut depth = 1usize;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match toks[j].text.as_str() {
+                        "]" => depth += 1,
+                        "[" => depth -= 1,
+                        _ => {}
+                    }
+                }
+                let open = j;
+                if j == 0 || toks[j - 1].text != "#" {
+                    return false;
+                }
+                j -= 1; // consume the `#`
+                if toks[open..end]
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text == "deprecated")
+                {
+                    return true;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+fn check_deprecated_use(
+    ctx: &FileContext<'_>,
+    deprecated: &DeprecatedIndex,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &ctx.file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || !deprecated.is_flaggable(&tok.text) {
+            continue;
+        }
+        // Declarations are exempt: the attribute lives there.
+        let declares = i > 0
+            && toks[i - 1].kind == TokKind::Ident
+            && (toks[i - 1].text == "fn" || toks[i - 1].text == "type");
+        if declares {
+            continue;
+        }
+        // Method calls (`.name(`) and bare type/path uses both count;
+        // plain idents that aren't calls or paths (e.g. a field named
+        // like the method) are left alone.
+        let is_method_call =
+            i > 0 && toks[i - 1].text == "." && toks.get(i + 1).is_some_and(|t| t.text == "(");
+        let is_type_use = toks[i].text.chars().next().is_some_and(char::is_uppercase)
+            && toks.get(i + 1).is_none_or(|t| t.text != "!");
+        if !is_method_call && !is_type_use {
+            continue;
+        }
+        let line = tok.line;
+        if ctx.is_waived(line, "deprecated-use") {
+            continue;
+        }
+        findings.push(ctx.finding(
+            line,
+            "deprecated-use",
+            format!(
+                "internal use of `#[deprecated]` item `{}` (migrate to the replacement \
+                 named in its deprecation note, or waive with reason)",
+                tok.text
+            ),
+        ));
+    }
+}
+
 fn check_float_eq(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
     if !FLOAT_EQ_CRATES
         .iter()
@@ -787,6 +961,68 @@ mod tests {
     #[test]
     fn pub_crate_fns_are_not_public_api_for_panics_doc() {
         let src = "pub(crate) fn f(x: usize) { assert!(x > 0); }";
+        assert!(rules_fired("crates/x/src/a.rs", src).is_empty());
+    }
+
+    fn index_of(sources: &[&str]) -> DeprecatedIndex {
+        let mut index = DeprecatedIndex::default();
+        for src in sources {
+            index.scan(src);
+        }
+        index
+    }
+
+    #[test]
+    fn internal_calls_to_deprecated_methods_are_flagged() {
+        let decl = "impl Job {\n    #[deprecated(note = \"use the builder\")]\n    #[must_use]\n    pub fn with_seed(mut self, seed: u64) -> Self { self.seed = seed; self }\n}";
+        let caller = "fn f(job: Job) -> Job { job.with_seed(7) }";
+        let index = index_of(&[decl, caller]);
+        let fired: Vec<_> = lint_file_with_deprecated("crates/x/src/b.rs", caller, &index)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        assert_eq!(fired, vec!["deprecated-use"]);
+        // The declaring file itself is clean: the attribute lives there.
+        assert!(lint_file_with_deprecated("crates/x/src/a.rs", decl, &index).is_empty());
+    }
+
+    #[test]
+    fn deprecated_type_alias_uses_are_flagged_but_declarations_are_not() {
+        let decl = "#[deprecated(note = \"unified\")]\npub type OldError = NewError;";
+        let user = "fn f(e: OldError) {}";
+        let index = index_of(&[decl, user]);
+        let fired: Vec<_> = lint_file_with_deprecated("crates/x/src/b.rs", user, &index)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        assert_eq!(fired, vec!["deprecated-use"]);
+        assert!(lint_file_with_deprecated("crates/x/src/a.rs", decl, &index).is_empty());
+    }
+
+    #[test]
+    fn names_also_declared_live_are_ambiguous_and_skipped() {
+        // `with_initial` is deprecated on one type but a live method on
+        // another; the lexer can't resolve receivers, so no finding.
+        let old = "impl Job {\n    #[deprecated(note = \"builder\")]\n    pub fn with_initial(self) -> Self { self }\n}";
+        let live = "impl Chain {\n    pub fn with_initial(self) -> Self { self }\n}";
+        let caller = "fn f(c: Chain) -> Chain { c.with_initial() }";
+        let index = index_of(&[old, live, caller]);
+        assert!(lint_file_with_deprecated("crates/x/src/c.rs", caller, &index).is_empty());
+    }
+
+    #[test]
+    fn deprecated_use_is_waivable_with_reason() {
+        let decl = "#[deprecated(note = \"builder\")]\npub fn with_seed(s: u64) {}";
+        let caller = "fn f(job: Job) -> Job {\n    // audit:allow(deprecated-use) — exercising the legacy path on purpose\n    job.with_seed(7)\n}";
+        let index = index_of(&[decl, caller]);
+        assert!(lint_file_with_deprecated("crates/x/src/b.rs", caller, &index).is_empty());
+    }
+
+    #[test]
+    fn plain_lint_file_never_fires_deprecated_use() {
+        // Without the workspace index there is nothing to screen
+        // against; the rule must not guess.
+        let src = "fn f(job: Job) -> Job { job.with_seed(7) }";
         assert!(rules_fired("crates/x/src/a.rs", src).is_empty());
     }
 }

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mogs_diag::{DiagConfig, MultiChainDiag};
-use mogs_engine::{DiagSink, Engine, EngineConfig, NullSink};
+use mogs_engine::prelude::*;
 use mogs_gibbs::SoftmaxGibbs;
 use mogs_vision::segmentation::{Segmentation, SegmentationConfig};
 use mogs_vision::synthetic;
@@ -23,14 +23,11 @@ const THREADS: usize = 8;
 const SEED: u64 = 2016;
 
 fn run_job(app: &Segmentation, engine: &Engine, sink: Option<Arc<dyn DiagSink>>) -> usize {
-    let mut job = app
-        .engine_job(SoftmaxGibbs::new(), SWEEPS, SEED)
-        .tracking_modes(false)
-        .recording_energy(false)
-        .with_threads(THREADS);
-    if let Some(sink) = sink {
-        job = job.with_sink(sink);
-    }
+    let mut job = app.engine_job(SoftmaxGibbs::new(), SWEEPS, SEED);
+    job.track_modes = false;
+    job.record_energy = false;
+    job.threads = THREADS;
+    job.sink = sink;
     engine
         .submit(job)
         .expect("engine running")

@@ -9,7 +9,7 @@
 //! neighbour recomputation.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mogs_engine::{Engine, EngineConfig};
+use mogs_engine::prelude::*;
 use mogs_gibbs::sweep::{checkerboard_sweep_with_scratch, SweepScratch};
 use mogs_gibbs::SoftmaxGibbs;
 use mogs_vision::segmentation::{Segmentation, SegmentationConfig};
@@ -45,11 +45,10 @@ fn reference_run(app: &Segmentation) -> Vec<mogs_mrf::Label> {
 }
 
 fn engine_run(app: &Segmentation, engine: &Engine) -> Vec<mogs_mrf::Label> {
-    let job = app
-        .engine_job(SoftmaxGibbs::new(), SWEEPS, SEED)
-        .tracking_modes(false)
-        .recording_energy(false)
-        .with_threads(THREADS);
+    let mut job = app.engine_job(SoftmaxGibbs::new(), SWEEPS, SEED);
+    job.track_modes = false;
+    job.record_energy = false;
+    job.threads = THREADS;
     engine.submit(job).expect("engine running").wait().labels
 }
 

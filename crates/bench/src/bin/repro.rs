@@ -1,6 +1,12 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
-//! Usage: `repro <experiment> [out_dir]`, or `repro all [out_dir]`.
+//! Usage: `repro <experiment> [--quick] [out_dir]`, or
+//! `repro all [--quick] [out_dir]`.
+//!
+//! `--quick` shrinks the problem sizes where an experiment supports it
+//! (currently `engine-bench`) so correctness gates — the engine's
+//! bit-identity contract for both backends — run in CI time. Quick runs
+//! never overwrite the committed perf snapshots.
 //!
 //! Experiments (see DESIGN.md §5 for the index):
 //!
@@ -61,9 +67,14 @@ const EXPERIMENTS: [&str; 21] = [
 ];
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = {
+        let before = args.len();
+        args.retain(|a| a != "--quick");
+        args.len() != before
+    };
     let Some(experiment) = args.first() else {
-        eprintln!("usage: repro <experiment|all> [out_dir]");
+        eprintln!("usage: repro <experiment|all> [--quick] [out_dir]");
         eprintln!("experiments: {}", EXPERIMENTS.join(", "));
         return ExitCode::FAILURE;
     };
@@ -71,7 +82,7 @@ fn main() -> ExitCode {
     if experiment == "all" {
         for id in EXPERIMENTS {
             println!("==================== {id} ====================");
-            if let Err(e) = run(id, out_dir.as_deref()) {
+            if let Err(e) = run(id, quick, out_dir.as_deref()) {
                 eprintln!("{id} failed: {e}");
                 return ExitCode::FAILURE;
             }
@@ -82,7 +93,7 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    match run(experiment, out_dir.as_deref()) {
+    match run(experiment, quick, out_dir.as_deref()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("{experiment} failed: {e}");
@@ -92,7 +103,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(experiment: &str, out_dir: Option<&Path>) -> Result<(), String> {
+fn run(experiment: &str, quick: bool, out_dir: Option<&Path>) -> Result<(), String> {
     let emit = |text: String| -> Result<(), String> {
         println!("{text}");
         if let Some(dir) = out_dir {
@@ -175,14 +186,31 @@ fn run(experiment: &str, out_dir: Option<&Path>) -> Result<(), String> {
             emit(anneal::render(&rows))?;
         }
         "engine-bench" => {
-            let result = engine_bench::run(320, 12, 2016);
+            // Quick mode shrinks the problem so CI can run the
+            // correctness gates; it must never overwrite the committed
+            // perf snapshot with numbers from a toy problem.
+            let result = if quick {
+                engine_bench::run(96, 6, 2016)
+            } else {
+                engine_bench::run(320, 12, 2016)
+            };
             emit(engine_bench::render(&result))?;
-            // The machine-readable perf snapshot lands in the current
-            // directory (the repo root under `cargo run`), so successive
-            // commits can be diffed.
-            std::fs::write("BENCH_engine.json", engine_bench::to_snapshot_json(&result))
-                .map_err(|e| e.to_string())?;
-            println!("perf snapshot written to BENCH_engine.json");
+            if !result.bit_identical {
+                return Err("softmax engine diverged from the reference sweep".to_owned());
+            }
+            if !result.rsu_pool_bit_identical {
+                return Err("RSU-pool engine diverged from its per-site reference".to_owned());
+            }
+            if quick {
+                println!("quick mode: perf snapshot not written");
+            } else {
+                // The machine-readable perf snapshot lands in the current
+                // directory (the repo root under `cargo run`), so
+                // successive commits can be diffed.
+                std::fs::write("BENCH_engine.json", engine_bench::to_snapshot_json(&result))
+                    .map_err(|e| e.to_string())?;
+                println!("perf snapshot written to BENCH_engine.json");
+            }
         }
         "diag" => {
             let rows = diag::run(out_dir, 2016).map_err(|e| e.to_string())?;

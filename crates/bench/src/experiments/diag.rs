@@ -23,8 +23,8 @@ use std::time::Instant;
 
 use crate::report::render_table;
 use mogs_diag::{run_chains_diagnosed, DiagConfig, DiagnosedRun, EarlyStopPolicy};
-use mogs_engine::{Engine, EngineConfig, NullSink};
-use mogs_gibbs::{ChainConfig, LabelSampler, SoftmaxGibbs, TemperatureSchedule};
+use mogs_engine::prelude::*;
+use mogs_gibbs::{ChainConfig, SoftmaxGibbs, TemperatureSchedule};
 use mogs_mrf::energy::SingletonPotential;
 use mogs_mrf::MarkovRandomField;
 use mogs_vision::motion::{MotionConfig, MotionEstimation};
@@ -92,7 +92,7 @@ fn compare<S, L>(
 ) -> std::io::Result<DiagRow>
 where
     S: SingletonPotential + Clone + 'static,
-    L: LabelSampler + Clone + Send + Sync + 'static,
+    L: SweepKernel + Clone + Send + Sync + 'static,
 {
     let engine = Engine::new(EngineConfig {
         max_active_jobs: REPLICAS.max(4),
@@ -303,15 +303,14 @@ pub fn overhead(side: usize, iterations: usize, seed: u64) -> OverheadResult {
     let time_with = |sink: NullableSink| -> f64 {
         let mut best = f64::MAX;
         for _ in 0..REPEATS {
-            let mut job = app
-                .engine_job(SoftmaxGibbs::new(), iterations, seed)
-                .tracking_modes(false)
-                .recording_energy(false)
-                .with_threads(THREADS);
-            job = match &sink {
-                NullableSink::None => job,
-                NullableSink::Null(s) => job.with_sink(s.clone() as _),
-                NullableSink::Diag(s) => job.with_sink(s.clone() as _),
+            let mut job = app.engine_job(SoftmaxGibbs::new(), iterations, seed);
+            job.track_modes = false;
+            job.record_energy = false;
+            job.threads = THREADS;
+            job.sink = match &sink {
+                NullableSink::None => None,
+                NullableSink::Null(s) => Some(s.clone() as _),
+                NullableSink::Diag(s) => Some(s.clone() as _),
             };
             let start = Instant::now();
             let _ = engine.submit(job).expect("engine running").wait();

@@ -7,14 +7,16 @@
 //! [`mogs_engine::Engine`] — and reports site-updates/second for both,
 //! the speedup, and whether the final labelings are bit-identical (they
 //! must be: same seed, same chunk count). A third row runs the engine
-//! with the RSU-G pool backend to show backend selection end to end; its
-//! draws are hardware-model, so it is reported without a bit-identity
-//! claim against the software sampler.
+//! with the RSU-G pool backend; its draws are hardware-model, so it is
+//! not compared against the softmax sampler — instead it is held
+//! bit-identical to the one-shot sweep path driven by the *same*
+//! [`BackendSampler`], which pins the batched pool kernel (round-robin
+//! unit rotation and all) to the per-site reference.
 
 use std::time::Instant;
 
 use crate::report::render_table;
-use mogs_engine::{Backend, BackendSampler, Engine, EngineConfig, MetricsSnapshot};
+use mogs_engine::prelude::*;
 use mogs_gibbs::sweep::{checkerboard_sweep_with_scratch, SweepScratch};
 use mogs_gibbs::SoftmaxGibbs;
 use mogs_vision::segmentation::{Segmentation, SegmentationConfig};
@@ -48,6 +50,9 @@ pub struct EngineBenchResult {
     pub speedup: f64,
     /// Softmax engine labeling equals the reference labeling exactly.
     pub bit_identical: bool,
+    /// RSU-pool engine labeling equals the one-shot sweep path driven by
+    /// the same pool sampler, exactly.
+    pub rsu_pool_bit_identical: bool,
     /// Engine metrics snapshot after the runs (jobs, denials, queue
     /// high-water mark, latency histograms).
     pub metrics: MetricsSnapshot,
@@ -104,32 +109,60 @@ pub fn run(side: usize, iterations: usize, seed: u64) -> EngineBenchResult {
     // Engine: same problem, one persistent job per repeat, no energy
     // bookkeeping (the reference loop does none either).
     let engine = Engine::new(EngineConfig::default());
+    fn bench_job<L: mogs_gibbs::LabelSampler>(
+        app: &Segmentation,
+        sampler: L,
+        iterations: usize,
+        seed: u64,
+        threads: usize,
+    ) -> InferenceJob<mogs_vision::segmentation::ClassMeanSingleton, L> {
+        let mut job = app.engine_job(sampler, iterations, seed);
+        job.track_modes = false;
+        job.record_energy = false;
+        job.threads = threads;
+        job
+    }
     let mut engine_secs = f64::MAX;
     let mut out = None;
     for _ in 0..REPEATS {
-        let job = app
-            .engine_job(SoftmaxGibbs::new(), iterations, seed)
-            .tracking_modes(false)
-            .recording_energy(false)
-            .with_threads(threads);
+        let job = bench_job(&app, SoftmaxGibbs::new(), iterations, seed, threads);
         let start = Instant::now();
-        out = Some(engine.submit(job).expect("engine running").wait());
+        out = Some(
+            engine
+                .submit(job)
+                .unwrap_or_else(|e| panic!("engine rejected bench job: {e}"))
+                .wait(),
+        );
         engine_secs = engine_secs.min(start.elapsed().as_secs_f64());
     }
     let out = out.expect("at least one engine repeat");
 
     // Backend selection: the same job shape on the emulated RSU-G pool.
-    let pool_job = app
-        .engine_job(
-            BackendSampler::new(Backend::RsuG { replicas: 4 }, 4.0),
-            iterations,
-            seed,
-        )
-        .tracking_modes(false)
-        .recording_energy(false)
-        .with_threads(threads);
+    // Its reference is the one-shot sweep path driven by the *same*
+    // sampler, so the batched pool kernel's bit-identity (including the
+    // round-robin unit rotation) is asserted on every bench run.
+    let pool_sampler = BackendSampler::new(Backend::RsuG { replicas: 4 }, 4.0);
+    let mut pool_reference = mrf.uniform_labeling();
+    {
+        let mut scratch = SweepScratch::new();
+        for iteration in 0..iterations {
+            checkerboard_sweep_with_scratch(
+                mrf,
+                &mut pool_reference,
+                &pool_sampler,
+                mrf.temperature(),
+                threads,
+                sweep_seed(seed, iteration),
+                &mut scratch,
+            );
+        }
+    }
+    let pool_job = bench_job(&app, pool_sampler, iterations, seed, threads);
     let start = Instant::now();
-    let _ = engine.submit(pool_job).expect("engine running").wait();
+    let pool_out = engine
+        .submit(pool_job)
+        .unwrap_or_else(|e| panic!("engine rejected bench job: {e}"))
+        .wait();
     let pool_secs = start.elapsed().as_secs_f64();
 
     let metrics = engine.metrics();
@@ -147,6 +180,7 @@ pub fn run(side: usize, iterations: usize, seed: u64) -> EngineBenchResult {
         rsu_pool_updates_per_sec: updates / pool_secs,
         speedup: engine_updates_per_sec / reference_updates_per_sec,
         bit_identical: out.labels == labels,
+        rsu_pool_bit_identical: pool_out.labels == pool_reference,
         metrics,
     }
 }
@@ -173,7 +207,12 @@ pub fn render(result: &EngineBenchResult) -> String {
                 "{:.2}",
                 result.rsu_pool_updates_per_sec / result.reference_updates_per_sec
             ),
-            "n/a".to_owned(),
+            if result.rsu_pool_bit_identical {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_owned(),
         ],
     ];
     format!(
@@ -202,6 +241,10 @@ mod tests {
         assert!(
             result.bit_identical,
             "engine diverged from the reference sweep"
+        );
+        assert!(
+            result.rsu_pool_bit_identical,
+            "pool backend diverged from its per-site reference"
         );
         assert!(result.engine_updates_per_sec > 0.0);
         assert_eq!(result.metrics.jobs_completed, 4);

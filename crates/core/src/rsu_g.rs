@@ -15,6 +15,7 @@ use crate::energy_unit::{EnergyUnit, EnergyUnitConfig};
 use crate::intensity::IntensityMap;
 use crate::ttf::{TtfReading, TtfRegister};
 use crate::variants::RsuVariant;
+use mogs_gibbs::kernel::{KernelScratch, SweepKernel};
 use mogs_gibbs::LabelSampler;
 use mogs_mrf::precision::EnergyQuantizer;
 use mogs_mrf::Label;
@@ -322,6 +323,77 @@ impl RsuGSampler {
             .map(|e| self.map.lookup(self.quantizer.quantize(e - min)))
             .collect()
     }
+
+    /// Fills `codes` with the intensity codes of one site's energy row:
+    /// the RNG-free front half of [`LabelSampler::sample_label`]
+    /// (min-shift, 8-bit quantization, LUT), batched so a sweep kernel
+    /// can run it over a whole chunk before any draw happens.
+    pub fn fill_codes(&self, energies: &[f64], codes: &mut [u8]) {
+        let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
+        for (c, e) in codes.iter_mut().zip(energies) {
+            *c = self.map.lookup(self.quantizer.quantize(e - min));
+        }
+    }
+
+    /// The first-to-fire tournament over precomputed intensity codes: the
+    /// RNG-consuming back half of [`LabelSampler::sample_label`],
+    /// bit-identical to it given the codes [`RsuGSampler::fill_codes`]
+    /// produces (zero codes draw nothing; ties keep the earlier label;
+    /// an all-saturated window keeps `current`).
+    pub fn draw_from_codes<R: Rng + ?Sized>(
+        &self,
+        codes: &[u8],
+        current: Label,
+        rng: &mut R,
+    ) -> Label {
+        let mut best_label = current;
+        let mut best = TtfReading::Saturated;
+        for (m, &code) in codes.iter().enumerate() {
+            if code == 0 {
+                continue;
+            }
+            let rate = f64::from(code) * self.base_rate_per_code;
+            let ttf = -(1.0 - rng.gen::<f64>()).ln() / rate;
+            let reading = self.ttf.capture(Some(ttf));
+            if reading < best {
+                best = reading;
+                best_label = Label::new(m as u8);
+            }
+        }
+        best_label
+    }
+}
+
+/// The RSU-G sampler batched over a chunk: one RNG-free pass quantizes
+/// every (site, label) energy and resolves it through the intensity LUT
+/// into the scratch code buffer, then a sequential pass runs the
+/// first-to-fire tournament per site in chunk order — consuming the RNG
+/// exactly as the per-site path does (zero-code labels draw nothing).
+impl SweepKernel for RsuGSampler {
+    fn sample_chunk<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        m: usize,
+        _temperature: f64,
+        current: &[Label],
+        out: &mut [Label],
+        scratch: &mut KernelScratch,
+        rng: &mut R,
+    ) {
+        debug_assert_eq!(energies.len(), current.len() * m);
+        debug_assert_eq!(out.len(), current.len());
+        let sites = current.len();
+        let codes = scratch.codes_mut(sites * m);
+        for j in 0..sites {
+            self.fill_codes(
+                &energies[j * m..(j + 1) * m],
+                &mut codes[j * m..(j + 1) * m],
+            );
+        }
+        for (j, (&cur, slot)) in current.iter().zip(out.iter_mut()).enumerate() {
+            *slot = self.draw_from_codes(&codes[j * m..(j + 1) * m], cur, rng);
+        }
+    }
 }
 
 impl LabelSampler for RsuGSampler {
@@ -566,6 +638,44 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let l = sampler.sample_label(&[1.0, 2.0], 1.0, Label::new(1), &mut rng);
         assert_eq!(l, Label::new(1));
+    }
+
+    #[test]
+    fn batched_kernel_is_bit_identical_to_per_site_path() {
+        use mogs_gibbs::kernel::KernelScratch;
+        let m = 4;
+        let sites = 37;
+        let mut gen = StdRng::seed_from_u64(21);
+        let energies: Vec<f64> = (0..sites * m).map(|_| gen.gen_range(0.0..24.0)).collect();
+        let current: Vec<Label> = (0..sites)
+            .map(|_| Label::new(gen.gen_range(0..m) as u8))
+            .collect();
+        let mut reference = RsuGSampler::new(EnergyQuantizer::new(8.0), 4.0);
+        let mut batched = reference.clone();
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let expect: Vec<Label> = (0..sites)
+            .map(|j| {
+                reference.sample_label(&energies[j * m..(j + 1) * m], 4.0, current[j], &mut rng_a)
+            })
+            .collect();
+        let mut got = vec![Label::new(0); sites];
+        let mut scratch = KernelScratch::new();
+        batched.sample_chunk(
+            &energies,
+            m,
+            4.0,
+            &current,
+            &mut got,
+            &mut scratch,
+            &mut rng_b,
+        );
+        assert_eq!(got, expect, "labels diverged");
+        assert_eq!(
+            rng_a.gen::<u64>(),
+            rng_b.gen::<u64>(),
+            "RNG consumption diverged"
+        );
     }
 
     #[test]

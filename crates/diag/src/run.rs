@@ -15,8 +15,8 @@
 
 use std::sync::Arc;
 
-use mogs_engine::{Engine, InferenceJob, JobOutput};
-use mogs_gibbs::{ChainConfig, LabelSampler};
+use mogs_engine::prelude::*;
+use mogs_gibbs::ChainConfig;
 use mogs_mrf::energy::SingletonPotential;
 use mogs_mrf::MarkovRandomField;
 
@@ -82,7 +82,7 @@ pub fn run_chains_diagnosed<S, L>(
 ) -> DiagnosedRun
 where
     S: SingletonPotential + Clone + 'static,
-    L: LabelSampler + Clone + Send + Sync + 'static,
+    L: SweepKernel + Clone + Send + Sync + 'static,
 {
     assert!(replicas > 0, "need at least one chain");
     assert!(
@@ -96,13 +96,13 @@ where
                 seed: config.seed.wrapping_add(k as u64),
                 ..config
             };
-            let job = InferenceJob::from_chain_config(
+            let mut job = InferenceJob::from_chain_config(
                 mrf.clone(),
                 sampler.clone(),
                 chain_config,
                 iterations,
-            )
-            .with_sink(diag.sink(k));
+            );
+            job.sink = Some(diag.sink(k));
             engine.submit(job).expect("engine accepts replica")
         })
         .collect();

@@ -27,7 +27,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use mogs_engine::{DiagSink, JobStartInfo, SinkNeeds, SweepDecision, SweepObservation};
+use mogs_engine::prelude::*;
 use mogs_mrf::energy::SingletonPotential;
 use mogs_mrf::MarkovRandomField;
 use parking_lot::Mutex;
@@ -129,7 +129,9 @@ impl MultiChainDiag {
     }
 
     /// The sink handle for chain `k`, to attach via
-    /// [`InferenceJob::with_sink`](mogs_engine::InferenceJob::with_sink).
+    /// [`JobSpecBuilder::sink`](mogs_engine::JobSpecBuilder::sink) (or
+    /// the [`InferenceJob::sink`](mogs_engine::InferenceJob) field on the
+    /// legacy path).
     ///
     /// # Panics
     ///

@@ -10,7 +10,9 @@
 //! keeps job types uniform in code that selects the backend from
 //! configuration (`repro engine-bench`).
 
+use crate::error::EngineError;
 use mogs_core::rsu_g::RsuGSampler;
+use mogs_gibbs::kernel::{KernelScratch, SweepKernel};
 use mogs_gibbs::{LabelSampler, SoftmaxGibbs};
 use mogs_mrf::{EnergyQuantizer, Label};
 use rand::Rng;
@@ -82,6 +84,39 @@ impl<U: LabelSampler> LabelSampler for RsuPool<U> {
     }
 }
 
+impl SweepKernel for RsuPool<RsuGSampler> {
+    fn sample_chunk<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        m: usize,
+        _temperature: f64,
+        current: &[Label],
+        out: &mut [Label],
+        scratch: &mut KernelScratch,
+        rng: &mut R,
+    ) {
+        let sites = current.len();
+        let k = self.units.len();
+        // Pass A: every site's energy row through its serving unit's
+        // quantizer + intensity LUT. Unit assignment must match the
+        // per-site path exactly: site `j` of the chunk lands on unit
+        // `(next + j) % k`, because the reference rotates once per draw.
+        // The codes pass is RNG-free, so hoisting it out of the draw loop
+        // leaves the RNG stream untouched.
+        let codes = scratch.codes_mut(sites * m);
+        for (j, row) in energies.chunks_exact(m).enumerate() {
+            self.units[(self.next + j) % k].fill_codes(row, &mut codes[j * m..(j + 1) * m]);
+        }
+        // Pass B: first-to-fire tournaments in site order, consuming RNG
+        // draws in the same sequence the per-site loop would.
+        for (j, (cur, slot)) in current.iter().zip(out.iter_mut()).enumerate() {
+            let unit = &self.units[(self.next + j) % k];
+            *slot = unit.draw_from_codes(&codes[j * m..(j + 1) * m], *cur, rng);
+        }
+        self.next = (self.next + sites) % k;
+    }
+}
+
 /// Which sampler family a job should run on.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Backend {
@@ -110,13 +145,42 @@ impl BackendSampler {
     /// RSU-G units use the workspace's standard emulation setup (8.0
     /// energy-quantizer range, the paper's `T` as the unit model
     /// temperature), matching the reference experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the backend description is invalid; use
+    /// [`BackendSampler::try_new`] to get the failure as an
+    /// [`EngineError::Backend`] instead.
     pub fn new(backend: Backend, temperature: f64) -> Self {
+        match Self::try_new(backend, temperature) {
+            Ok(sampler) => sampler,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible constructor: reports invalid backend descriptions as
+    /// [`EngineError::Backend`] instead of panicking.
+    pub fn try_new(backend: Backend, temperature: f64) -> Result<Self, EngineError> {
         match backend {
-            Backend::Softmax => BackendSampler::Softmax(SoftmaxGibbs::new()),
-            Backend::RsuG { replicas } => BackendSampler::RsuPool(RsuPool::new(
-                RsuGSampler::new(EnergyQuantizer::new(8.0), temperature),
-                replicas,
-            )),
+            Backend::Softmax => Ok(BackendSampler::Softmax(SoftmaxGibbs::new())),
+            Backend::RsuG { replicas } => {
+                if replicas == 0 {
+                    return Err(EngineError::Backend {
+                        reason: "RSU-G pool needs at least one replica".to_string(),
+                    });
+                }
+                if !(temperature.is_finite() && temperature > 0.0) {
+                    return Err(EngineError::Backend {
+                        reason: format!(
+                            "RSU-G unit model temperature must be finite and positive, got {temperature}"
+                        ),
+                    });
+                }
+                Ok(BackendSampler::RsuPool(RsuPool::new(
+                    RsuGSampler::new(EnergyQuantizer::new(8.0), temperature),
+                    replicas,
+                )))
+            }
         }
     }
 }
@@ -146,6 +210,28 @@ impl LabelSampler for BackendSampler {
         match self {
             BackendSampler::Softmax(s) => s.conditional_probabilities(energies, temperature),
             BackendSampler::RsuPool(s) => s.conditional_probabilities(energies, temperature),
+        }
+    }
+}
+
+impl SweepKernel for BackendSampler {
+    fn sample_chunk<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        m: usize,
+        temperature: f64,
+        current: &[Label],
+        out: &mut [Label],
+        scratch: &mut KernelScratch,
+        rng: &mut R,
+    ) {
+        match self {
+            BackendSampler::Softmax(s) => {
+                s.sample_chunk(energies, m, temperature, current, out, scratch, rng);
+            }
+            BackendSampler::RsuPool(s) => {
+                s.sample_chunk(energies, m, temperature, current, out, scratch, rng);
+            }
         }
     }
 }
@@ -196,5 +282,67 @@ mod tests {
         let pool = BackendSampler::new(Backend::RsuG { replicas: 4 }, 4.0);
         assert_eq!(pool.name(), "rsu-pool");
         assert!(soft.conditional_probabilities(&[0.0, 1.0], 1.0).is_some());
+    }
+
+    #[test]
+    fn try_new_reports_bad_backends_as_engine_errors() {
+        let err = BackendSampler::try_new(Backend::RsuG { replicas: 0 }, 4.0).unwrap_err();
+        assert_eq!(err.variant(), "backend");
+        let err = BackendSampler::try_new(Backend::RsuG { replicas: 2 }, 0.0).unwrap_err();
+        assert_eq!(err.variant(), "backend");
+        assert!(BackendSampler::try_new(Backend::Softmax, 0.0).is_ok());
+    }
+
+    /// Distinct per-unit calibrations so the rotation actually matters,
+    /// then: batched chunk == per-site loop, labels and RNG stream both.
+    #[test]
+    fn pooled_batched_kernel_is_bit_identical_to_per_site_rotation() {
+        use mogs_gibbs::kernel::KernelScratch;
+
+        let units: Vec<RsuGSampler> = (0..3)
+            .map(|i| RsuGSampler::new(EnergyQuantizer::new(6.0 + f64::from(i)), 4.0))
+            .collect();
+        let mut reference = RsuPool::from_units(units.clone());
+        let mut batched = RsuPool::from_units(units);
+
+        let m = 5;
+        let sites = 17;
+        let energies: Vec<f64> = (0..sites * m).map(|i| (i % 11) as f64 * 0.7).collect();
+        let current: Vec<Label> = (0..sites).map(|i| Label::new((i % m) as u8)).collect();
+
+        // Skew the rotation so the chunk does not start at unit 0.
+        let mut skew = StdRng::seed_from_u64(9);
+        for _ in 0..4 {
+            let _ = reference.sample_label(&energies[..m], 4.0, current[0], &mut skew);
+            let _ = batched.sample_label(&energies[..m], 4.0, current[0], &mut skew);
+        }
+
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let expected: Vec<Label> = (0..sites)
+            .map(|j| {
+                reference.sample_label(&energies[j * m..(j + 1) * m], 4.0, current[j], &mut rng_a)
+            })
+            .collect();
+
+        let mut out = vec![Label::new(0); sites];
+        let mut scratch = KernelScratch::default();
+        batched.sample_chunk(
+            &energies,
+            m,
+            4.0,
+            &current,
+            &mut out,
+            &mut scratch,
+            &mut rng_b,
+        );
+
+        assert_eq!(out, expected);
+        assert_eq!(
+            rng_a.gen::<u64>(),
+            rng_b.gen::<u64>(),
+            "RNG streams diverged"
+        );
+        assert_eq!(batched.next, reference.next, "rotation state diverged");
     }
 }

@@ -28,13 +28,15 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
-use mogs_gibbs::LabelSampler;
+use mogs_gibbs::kernel::{KernelArena, SweepKernel};
 use mogs_mrf::energy::SingletonPotential;
 
-use crate::job::{HandleShared, InferenceJob, JobHandle, JobId, JobOutput};
+use crate::error::EngineError;
+use crate::job::{HandleShared, JobHandle, JobId, JobOutput};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
-use crate::runner::{AdmissionError, ErasedJob, TypedJob};
+use crate::runner::{ErasedJob, TypedJob};
 use crate::sink::SweepDecision;
+use crate::spec::JobSpec;
 
 /// Sizing of an [`Engine`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,41 +91,35 @@ impl std::fmt::Debug for PreparedJob {
 }
 
 /// Why a non-blocking submission failed.
+///
+/// Only the backpressure case is specific to `try_submit`: every other
+/// failure is the same [`EngineError`] the blocking path reports.
 #[derive(Debug)]
 pub enum TrySubmitError {
-    /// The queue is at capacity; the prepared job is handed back.
+    /// The queue is at capacity; the prepared job is handed back for a
+    /// later [`Engine::try_resubmit`].
     Full(PreparedJob),
-    /// The job failed the admission audit; it never reached the queue.
-    Rejected(AdmissionError),
-    /// The engine has shut down.
-    ShutDown,
+    /// The request failed outright — admission rejection or engine
+    /// shutdown; see the wrapped [`EngineError`].
+    Engine(EngineError),
 }
 
-/// Why a blocking submission failed.
-#[derive(Debug, Clone, PartialEq)]
-pub enum SubmitError {
-    /// The job failed the admission audit (malformed sweep schedule,
-    /// oversized label space, or invalid initial labeling); it never
-    /// reached the queue and no label plane was built.
-    Rejected(AdmissionError),
-    /// The engine has shut down.
-    ShutDown,
-}
-
-impl std::fmt::Display for SubmitError {
+impl std::fmt::Display for TrySubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::Rejected(err) => write!(f, "job rejected at admission: {err}"),
-            SubmitError::ShutDown => write!(f, "engine has shut down"),
+            TrySubmitError::Full(job) => {
+                write!(f, "submission queue full; job {} handed back", job.id())
+            }
+            TrySubmitError::Engine(err) => write!(f, "{err}"),
         }
     }
 }
 
-impl std::error::Error for SubmitError {
+impl std::error::Error for TrySubmitError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SubmitError::Rejected(err) => Some(err),
-            SubmitError::ShutDown => None,
+            TrySubmitError::Full(_) => None,
+            TrySubmitError::Engine(err) => Some(err),
         }
     }
 }
@@ -192,8 +188,13 @@ impl Engine {
                 let task_rx = task_rx.clone();
                 let done_tx = done_tx.clone();
                 std::thread::spawn(move || {
+                    // One kernel arena per worker, reused across every
+                    // phase and job this worker ever runs: after warm-up
+                    // the hot path never allocates.
+                    let mut arena = KernelArena::new();
                     while let Ok(task) = task_rx.recv() {
-                        task.job.run_chunk(task.iteration, task.group, task.chunk);
+                        task.job
+                            .run_chunk(task.iteration, task.group, task.chunk, &mut arena);
                         if done_tx.send(TaskDone { id: task.id }).is_err() {
                             break;
                         }
@@ -229,12 +230,12 @@ impl Engine {
     /// Runs admission (the `mogs-audit` schedule check, label-space and
     /// labeling validation) and builds the type-erased job. A rejection
     /// happens before any label plane exists.
-    fn prepare<S, L>(&self, job: InferenceJob<S, L>) -> Result<Pending, AdmissionError>
+    fn prepare<S, L>(&self, spec: JobSpec<S, L>) -> Result<Pending, EngineError>
     where
         S: SingletonPotential + 'static,
-        L: LabelSampler + Clone + Send + Sync + 'static,
+        L: SweepKernel + Clone + Send + Sync + 'static,
     {
-        let typed = TypedJob::try_new(job)?;
+        let typed = TypedJob::try_new(spec.into_job())?;
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         Ok(Pending {
             id,
@@ -250,24 +251,28 @@ impl Engine {
         }
     }
 
-    /// Submits a job, blocking while the queue is full.
+    /// Submits a job, blocking while the queue is full. Accepts a
+    /// validated [`JobSpec`] or (via `Into`) a legacy [`InferenceJob`],
+    /// which is vetted at admission exactly as before.
+    ///
+    /// [`InferenceJob`]: crate::InferenceJob
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Rejected`] if the job fails the admission audit;
-    /// [`SubmitError::ShutDown`] if the engine has stopped.
-    pub fn submit<S, L>(&self, job: InferenceJob<S, L>) -> Result<JobHandle, SubmitError>
+    /// [`EngineError::Schedule`] / [`EngineError::LabelSpace`] /
+    /// [`EngineError::Labeling`] if the job fails the admission audit;
+    /// [`EngineError::ShutDown`] if the engine has stopped.
+    pub fn submit<S, L>(&self, job: impl Into<JobSpec<S, L>>) -> Result<JobHandle, EngineError>
     where
         S: SingletonPotential + 'static,
-        L: LabelSampler + Clone + Send + Sync + 'static,
+        L: SweepKernel + Clone + Send + Sync + 'static,
     {
-        let pending = self.prepare(job).map_err(|err| {
+        let pending = self.prepare(job.into()).inspect_err(|_| {
             self.metrics.jobs_denied.fetch_add(1, Ordering::Relaxed);
-            SubmitError::Rejected(err)
         })?;
         let handle = Engine::handle_for(&pending);
-        let sender = self.submissions.as_ref().ok_or(SubmitError::ShutDown)?;
-        sender.send(pending).map_err(|_| SubmitError::ShutDown)?;
+        let sender = self.submissions.as_ref().ok_or(EngineError::ShutDown)?;
+        sender.send(pending).map_err(|_| EngineError::ShutDown)?;
         self.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
         Ok(handle)
     }
@@ -277,17 +282,19 @@ impl Engine {
     /// # Errors
     ///
     /// [`TrySubmitError::Full`] hands the prepared job back for a later
-    /// [`Engine::try_resubmit`]; [`TrySubmitError::Rejected`] if the job
-    /// fails the admission audit; [`TrySubmitError::ShutDown`] if the
-    /// engine has stopped.
-    pub fn try_submit<S, L>(&self, job: InferenceJob<S, L>) -> Result<JobHandle, TrySubmitError>
+    /// [`Engine::try_resubmit`]; [`TrySubmitError::Engine`] wraps the
+    /// same [`EngineError`]s as [`Engine::submit`].
+    pub fn try_submit<S, L>(
+        &self,
+        job: impl Into<JobSpec<S, L>>,
+    ) -> Result<JobHandle, TrySubmitError>
     where
         S: SingletonPotential + 'static,
-        L: LabelSampler + Clone + Send + Sync + 'static,
+        L: SweepKernel + Clone + Send + Sync + 'static,
     {
-        let pending = self.prepare(job).map_err(|err| {
+        let pending = self.prepare(job.into()).map_err(|err| {
             self.metrics.jobs_denied.fetch_add(1, Ordering::Relaxed);
-            TrySubmitError::Rejected(err)
+            TrySubmitError::Engine(err)
         })?;
         self.try_send(pending)
     }
@@ -303,7 +310,10 @@ impl Engine {
 
     fn try_send(&self, pending: Pending) -> Result<JobHandle, TrySubmitError> {
         let handle = Engine::handle_for(&pending);
-        let sender = self.submissions.as_ref().ok_or(TrySubmitError::ShutDown)?;
+        let sender = self
+            .submissions
+            .as_ref()
+            .ok_or(TrySubmitError::Engine(EngineError::ShutDown))?;
         match sender.try_send(pending) {
             Ok(()) => {
                 self.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
@@ -313,7 +323,9 @@ impl Engine {
                 self.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
                 Err(TrySubmitError::Full(PreparedJob { pending }))
             }
-            Err(TrySendError::Disconnected(_)) => Err(TrySubmitError::ShutDown),
+            Err(TrySendError::Disconnected(_)) => {
+                Err(TrySubmitError::Engine(EngineError::ShutDown))
+            }
         }
     }
 

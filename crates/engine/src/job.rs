@@ -6,6 +6,10 @@
 //! persistent worker pool. Submission returns a [`JobHandle`] for
 //! cancellation and result retrieval; completion yields a [`JobOutput`]
 //! convertible to the reference path's [`ChainResult`].
+//!
+//! New code should describe jobs through the validated
+//! [`JobSpec`](crate::JobSpec) builder; the `with_*` setters here are
+//! deprecated forwarders kept for one release.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -128,36 +132,54 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
     }
 
     /// Sets the annealing schedule.
+    #[deprecated(
+        note = "validated at submit only; use `JobSpec::builder(..).schedule(..)` and validate at build()"
+    )]
     pub fn with_schedule(mut self, schedule: TemperatureSchedule) -> Self {
         self.schedule = schedule;
         self
     }
 
     /// Sets the iteration budget.
+    #[deprecated(
+        note = "validated at submit only; use `JobSpec::builder(..).iterations(..)` and validate at build()"
+    )]
     pub fn with_iterations(mut self, iterations: usize) -> Self {
         self.iterations = iterations;
         self
     }
 
     /// Sets the deterministic chunk count.
+    #[deprecated(
+        note = "validated at submit only; use `JobSpec::builder(..).threads(..)` and validate at build()"
+    )]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
     }
 
     /// Sets the base seed.
+    #[deprecated(
+        note = "validated at submit only; use `JobSpec::builder(..).seed(..)` and validate at build()"
+    )]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Sets the burn-in prefix.
+    #[deprecated(
+        note = "validated at submit only; use `JobSpec::builder(..).burn_in(..)` and validate at build()"
+    )]
     pub fn with_burn_in(mut self, burn_in: usize) -> Self {
         self.burn_in = burn_in;
         self
     }
 
     /// Enables or disables marginal-mode tracking.
+    #[deprecated(
+        note = "validated at submit only; use `JobSpec::builder(..).track_modes(..)` and validate at build()"
+    )]
     pub fn tracking_modes(mut self, on: bool) -> Self {
         self.track_modes = on;
         self
@@ -165,12 +187,18 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
 
     /// Enables or disables the per-iteration energy trace (off saves one
     /// `total_energy` pass per sweep in throughput runs).
+    #[deprecated(
+        note = "validated at submit only; use `JobSpec::builder(..).record_energy(..)` and validate at build()"
+    )]
     pub fn recording_energy(mut self, on: bool) -> Self {
         self.record_energy = on;
         self
     }
 
     /// Sets an explicit starting labeling.
+    #[deprecated(
+        note = "validated at submit only; use `JobSpec::builder(..).initial(..)` and validate at build()"
+    )]
     pub fn with_initial(mut self, labels: Vec<Label>) -> Self {
         self.initial = Some(labels);
         self
@@ -179,7 +207,10 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
     /// Overrides the sweep phase groups. The override is audited at
     /// admission exactly like a derived schedule: it must be a family of
     /// interference-free phases covering every site once, or submission
-    /// fails with [`SubmitError::Rejected`](crate::SubmitError).
+    /// fails with [`EngineError::Schedule`](crate::EngineError).
+    #[deprecated(
+        note = "validated at submit only; use `JobSpec::builder(..).groups(..)` and validate at build()"
+    )]
     pub fn with_groups(mut self, groups: Vec<Vec<usize>>) -> Self {
         self.groups = Some(groups);
         self
@@ -190,6 +221,9 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
     /// [`SweepDecision::Stop`](crate::SweepDecision) — the scheduler
     /// raises the job's cancellation flag and the output reports
     /// [`early_stopped`](JobOutput::early_stopped).
+    #[deprecated(
+        note = "validated at submit only; use `JobSpec::builder(..).sink(..)` and validate at build()"
+    )]
     pub fn with_sink(mut self, sink: std::sync::Arc<dyn DiagSink>) -> Self {
         self.sink = Some(sink);
         self

@@ -13,28 +13,36 @@
 //!   decomposed into (iteration, group, chunk) phase tasks and executed by
 //!   the long-lived workers; phase barriers preserve the reference
 //!   sweeps's blocked-Gibbs semantics exactly.
-//! - [`InferenceJob`] describes one inference: field, sampler backend,
-//!   annealing schedule, iteration budget, seed. Submission is a bounded
-//!   queue with backpressure ([`Engine::submit`] blocks,
-//!   [`Engine::try_submit`] hands the job back); [`JobHandle`] supports
-//!   cancellation at phase boundaries and blocking retrieval.
+//! - [`JobSpec`] describes one inference — field, sampler kernel,
+//!   annealing schedule, iteration budget, seed — through a builder that
+//!   validates at [`build()`](JobSpecBuilder::build). (The older
+//!   [`InferenceJob`] setter API still works, deprecated, for one
+//!   release.) Submission is a bounded queue with backpressure
+//!   ([`Engine::submit`] blocks, [`Engine::try_submit`] hands the job
+//!   back); [`JobHandle`] supports cancellation at phase boundaries and
+//!   blocking retrieval.
 //! - [`Backend`]/[`BackendSampler`] select between exact software Gibbs
 //!   and an emulated RSU-G pool ([`RsuPool`]) that round-robins draws
-//!   over replicated unit models.
+//!   over replicated unit models. Both implement the chunk-batched
+//!   [`SweepKernel`](mogs_gibbs::SweepKernel) hot path.
 //! - [`EngineMetrics`] counts jobs, sweeps, and site updates and
 //!   histograms latencies; [`MetricsSnapshot`] serializes to JSON.
+//! - Every failure — spec validation, admission, backend construction,
+//!   shutdown — is one [`EngineError`] with stable variant names.
+//!
+//! Downstream crates should import from [`prelude`].
 //!
 //! # Admission audit
 //!
 //! Every job passes the `mogs-audit` schedule interference checker at
 //! submission, before any label plane is allocated: the sweep's phase
 //! groups (derived from the field, or an explicit
-//! [`InferenceJob::with_groups`] override) must be independent sets of
+//! [`JobSpecBuilder::groups`] override) must be independent sets of
 //! the site interference graph, chunked exactly, covering every site
-//! once. A malformed schedule yields [`SubmitError::Rejected`] /
-//! [`TrySubmitError::Rejected`] carrying a typed [`AdmissionError`] that
-//! names the offending sites. The `shadow-audit` feature adds a dynamic
-//! read/write-set recorder that cross-checks the static verdict in tests.
+//! once. A malformed schedule yields [`EngineError::Schedule`] naming
+//! the offending sites. The `shadow-audit` feature adds a dynamic
+//! read/write-set recorder that cross-checks the static verdict in
+//! tests.
 //!
 //! # Streaming diagnostics
 //!
@@ -59,22 +67,59 @@
 //! speedup comes from *not redoing invariant work*: neighbour tables are
 //! built once per job instead of div/mod per (site, label) visit, labels
 //! update in place in a shared plane (provably race-free within a phase;
-//! see `plane`) instead of snapshot-and-merge, and energies accumulate in
-//! a stack buffer in `site_energy`'s exact f64 operation order.
+//! see `plane`) instead of snapshot-and-merge, energies accumulate into a
+//! per-worker [`KernelArena`](mogs_gibbs::KernelArena) in `site_energy`'s
+//! exact f64 operation order, and whole chunks are drawn at once through
+//! the [`SweepKernel`](mogs_gibbs::SweepKernel) batched kernels.
 
 mod backend;
 mod engine;
+mod error;
 mod job;
 pub mod metrics;
 mod multichain;
 mod plane;
 mod runner;
 pub mod sink;
+mod spec;
 
 pub use backend::{Backend, BackendSampler, RsuPool};
-pub use engine::{Engine, EngineConfig, PreparedJob, SubmitError, TrySubmitError};
+pub use engine::{Engine, EngineConfig, PreparedJob, TrySubmitError};
+pub use error::EngineError;
 pub use job::{InferenceJob, JobHandle, JobId, JobOutput, JobStatus};
 pub use metrics::{EngineMetrics, HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use multichain::run_chains_on_engine;
-pub use runner::AdmissionError;
 pub use sink::{DiagSink, JobStartInfo, NullSink, SinkNeeds, SweepDecision, SweepObservation};
+pub use spec::{JobSpec, JobSpecBuilder};
+
+/// Admission failures are ordinary [`EngineError`]s now.
+#[deprecated(note = "unified into `EngineError`")]
+pub type AdmissionError = EngineError;
+
+/// Submission failures are ordinary [`EngineError`]s now (the old
+/// `Rejected` wrapper is gone — admission variants surface directly).
+#[deprecated(note = "unified into `EngineError`")]
+pub type SubmitError = EngineError;
+
+/// The engine's public surface in one import.
+///
+/// Downstream crates (`mogs-diag`, `mogs-vision`, the bench harness)
+/// pull their engine types from here, so the supported API is defined in
+/// exactly one place:
+///
+/// ```
+/// use mogs_engine::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::backend::{Backend, BackendSampler, RsuPool};
+    pub use crate::engine::{Engine, EngineConfig, PreparedJob, TrySubmitError};
+    pub use crate::error::EngineError;
+    pub use crate::job::{InferenceJob, JobHandle, JobId, JobOutput, JobStatus};
+    pub use crate::metrics::{EngineMetrics, MetricsSnapshot};
+    pub use crate::multichain::run_chains_on_engine;
+    pub use crate::sink::{
+        DiagSink, JobStartInfo, NullSink, SinkNeeds, SweepDecision, SweepObservation,
+    };
+    pub use crate::spec::{JobSpec, JobSpecBuilder};
+    pub use mogs_gibbs::kernel::{KernelArena, KernelScratch, SweepKernel};
+}

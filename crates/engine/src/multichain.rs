@@ -8,7 +8,8 @@
 //! same [`MultiChainResult`] for the same seeds and thread (chunk) count.
 
 use mogs_gibbs::diagnostics::potential_scale_reduction;
-use mogs_gibbs::{ChainConfig, ChainResult, LabelSampler, MultiChainResult};
+use mogs_gibbs::kernel::SweepKernel;
+use mogs_gibbs::{ChainConfig, ChainResult, MultiChainResult};
 use mogs_mrf::energy::SingletonPotential;
 use mogs_mrf::MarkovRandomField;
 
@@ -38,7 +39,7 @@ pub fn run_chains_on_engine<S, L>(
 ) -> MultiChainResult
 where
     S: SingletonPotential + Clone + 'static,
-    L: LabelSampler + Clone + Send + Sync + 'static,
+    L: SweepKernel + Clone + Send + Sync + 'static,
 {
     assert!(
         replicas >= 2,

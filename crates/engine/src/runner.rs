@@ -36,65 +36,22 @@
 //! per-thread update lists merged after a snapshot copy.
 
 use mogs_audit::{check_schedule, AuditError, GridTopology, SweepSchedule};
+use mogs_gibbs::kernel::{KernelArena, SweepKernel};
 use mogs_gibbs::{LabelSampler, TemperatureSchedule};
 use mogs_mrf::energy::SingletonPotential;
 use mogs_mrf::field::DIAGONAL_WEIGHT;
 use mogs_mrf::label::MAX_LABELS;
-use mogs_mrf::{Label, MarkovRandomField, MrfError, Neighborhood};
+use mogs_mrf::{Label, MarkovRandomField, Neighborhood};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use std::sync::Arc;
 
+use crate::error::EngineError;
 use crate::job::{InferenceJob, JobOutput};
 use crate::plane::LabelPlane;
 use crate::sink::{DiagSink, JobStartInfo, SinkNeeds, SweepDecision, SweepObservation};
-
-/// Why a job failed admission before reaching the scheduler queue.
-///
-/// Admission runs the `mogs-audit` schedule interference checker over
-/// the job's sweep schedule (derived or explicit) *before* any label
-/// plane is allocated: a malformed schedule produces a typed rejection
-/// naming the offending sites, never an unsound run.
-#[derive(Debug, Clone, PartialEq)]
-pub enum AdmissionError {
-    /// The sweep schedule broke an invariant the in-place label plane
-    /// requires (neighbouring sites sharing a phase, chunks that do not
-    /// honour the requested count, uncovered or repeated sites, …).
-    Schedule(AuditError),
-    /// The label space exceeds the engine's fixed energy-buffer budget.
-    LabelSpace {
-        /// Labels in the job's space.
-        count: usize,
-        /// The engine's cap ([`MAX_LABELS`]).
-        max: usize,
-    },
-    /// The explicit initial labeling does not fit the field.
-    Labeling(MrfError),
-}
-
-impl std::fmt::Display for AdmissionError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            AdmissionError::Schedule(err) => write!(f, "{err}"),
-            AdmissionError::LabelSpace { count, max } => {
-                write!(f, "label space of {count} exceeds MAX_LABELS ({max})")
-            }
-            AdmissionError::Labeling(err) => write!(f, "initial labeling rejected: {err}"),
-        }
-    }
-}
-
-impl std::error::Error for AdmissionError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            AdmissionError::Schedule(err) => Some(err),
-            AdmissionError::Labeling(err) => Some(err),
-            AdmissionError::LabelSpace { .. } => None,
-        }
-    }
-}
 
 /// Sentinel for "no neighbour on this side" in the precomputed tables.
 const NO_NEIGHBOR: usize = usize::MAX;
@@ -124,8 +81,9 @@ pub(crate) trait ErasedJob: Send + Sync {
     fn chunks_in_group(&self, group: usize) -> usize;
     /// Total sites in the grid.
     fn site_count(&self) -> usize;
-    /// Updates every site of one chunk of one group once.
-    fn run_chunk(&self, iteration: usize, group: usize, chunk: usize);
+    /// Updates every site of one chunk of one group once, staging the
+    /// chunk's energies and labels in the calling worker's `arena`.
+    fn run_chunk(&self, iteration: usize, group: usize, chunk: usize, arena: &mut KernelArena);
     /// Post-sweep bookkeeping — energy trace, mode histograms, and the
     /// diagnostics observation. The returned decision lets an attached
     /// sink stop the job at this sweep boundary.
@@ -160,8 +118,12 @@ pub(crate) struct TypedJob<S: SingletonPotential, L: LabelSampler> {
     axis: Vec<[usize; 4]>,
     /// Diagonal neighbours per site for second-order fields.
     diag: Option<Vec<[usize; 4]>>,
-    /// Pairwise prior energies, indexed `a.value() << 6 | b.value()`
-    /// (label values fit in 6 bits; unfilled slots are never read).
+    /// Pairwise prior energies, *neighbour-major*: entry
+    /// `neighbour.value() << 6 | own.value()` is the energy of labelling
+    /// this site `own` next to a `neighbour`-labelled site. One neighbour
+    /// therefore contributes a contiguous `m`-row added element-wise to
+    /// the energy row, which the gather loop vectorizes. (Label values
+    /// fit in 6 bits; unfilled slots are never read.)
     prior_table: Vec<f64>,
     /// Cached singleton energies, `site * m + label_index`, when the
     /// problem fits [`SINGLETON_CACHE_CAP`].
@@ -188,17 +150,17 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
     ///
     /// # Errors
     ///
-    /// [`AdmissionError::LabelSpace`] if the label space exceeds
-    /// [`MAX_LABELS`]; [`AdmissionError::Schedule`] if the sweep schedule
+    /// [`EngineError::LabelSpace`] if the label space is empty or exceeds
+    /// [`MAX_LABELS`]; [`EngineError::Schedule`] if the sweep schedule
     /// (derived from the field, or the job's explicit `groups` override)
     /// fails the `mogs-audit` interference check — including
     /// `threads == 0`, which the audit reports as a zero-chunk schedule;
-    /// [`AdmissionError::Labeling`] if an explicit initial labeling does
+    /// [`EngineError::Labeling`] if an explicit initial labeling does
     /// not validate against the field.
-    pub(crate) fn try_new(mut job: InferenceJob<S, L>) -> Result<Self, AdmissionError> {
+    pub(crate) fn try_new(mut job: InferenceJob<S, L>) -> Result<Self, EngineError> {
         let m = job.mrf.space().count();
-        if m > usize::from(MAX_LABELS) {
-            return Err(AdmissionError::LabelSpace {
+        if m == 0 || m > usize::from(MAX_LABELS) {
+            return Err(EngineError::LabelSpace {
                 count: m,
                 max: usize::from(MAX_LABELS),
             });
@@ -211,13 +173,13 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
         let schedule = SweepSchedule::uniform(groups, job.threads);
         let report = check_schedule(&topology, &schedule);
         if !report.is_clean() {
-            return Err(AdmissionError::Schedule(AuditError { report }));
+            return Err(EngineError::Schedule(AuditError { report }));
         }
         let labels = match job.initial.take() {
             Some(labels) => {
                 job.mrf
                     .validate_labeling(&labels)
-                    .map_err(AdmissionError::Labeling)?;
+                    .map_err(EngineError::Labeling)?;
                 labels
             }
             None => job.mrf.uniform_labeling(),
@@ -276,10 +238,10 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
         // cached values are the exact f64s the reference computes in place.
         let space = job.mrf.space();
         let mut prior_table = vec![0.0f64; 64 * 64];
-        for a in space.labels() {
-            for b in space.labels() {
-                prior_table[(usize::from(a.value()) << 6) | usize::from(b.value())] =
-                    job.mrf.prior().energy(space, a, b);
+        for own in space.labels() {
+            for neighbor in space.labels() {
+                prior_table[(usize::from(neighbor.value()) << 6) | usize::from(own.value())] =
+                    job.mrf.prior().energy(space, own, neighbor);
             }
         }
         let singleton_table = (labels.len() * m <= SINGLETON_CACHE_CAP).then(|| {
@@ -338,7 +300,7 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
 impl<S, L> ErasedJob for TypedJob<S, L>
 where
     S: SingletonPotential + 'static,
-    L: LabelSampler + Clone + Send + Sync + 'static,
+    L: SweepKernel + Clone + Send + Sync + 'static,
 {
     fn iterations(&self) -> usize {
         self.iterations
@@ -356,11 +318,12 @@ where
         self.plane.len()
     }
 
-    fn run_chunk(&self, iteration: usize, group: usize, chunk: usize) {
+    fn run_chunk(&self, iteration: usize, group: usize, chunk: usize, arena: &mut KernelArena) {
         let sites = &self.groups[group];
         let size = self.chunk_size(group);
         let start = chunk * size;
         let chunk_sites = &sites[start..(start + size).min(sites.len())];
+        let count = chunk_sites.len();
         let sweep = sweep_seed(self.seed, iteration);
         // audit:allow(lossy-cast) — usize -> u64 is value-preserving; this
         // must reproduce the reference chunk-seed formula bit for bit.
@@ -373,12 +336,17 @@ where
         let space = self.mrf.space();
         let singleton = self.mrf.singleton();
         let m = space.count();
-        // audit:allow(lossy-cast) — array lengths must be const-evaluable
-        // and u16 -> usize widening is exact.
-        let mut energies = [0.0f64; MAX_LABELS as usize];
         let diag = self.diag.as_deref();
         let ptab = self.prior_table.as_slice();
         let stab = self.singleton_table.as_deref();
+        arena.prepare(count, m);
+        // Pass 1 (RNG-free): gather every site's neighbour labels and
+        // accumulate its `m` conditional energies into the arena's
+        // site-major SoA rows. Separating this from the draws is
+        // bit-neutral: sites of one chunk share a conditionally
+        // independent group, so nothing read here is written this phase,
+        // and the pass consumes no randomness.
+        //
         // SAFETY (all plane accesses below): `chunk_sites` is one chunk of
         // one conditionally independent group. Sites written this phase are
         // never neighbours of each other, so every `read` targets either a
@@ -386,10 +354,11 @@ where
         // in other groups) or this chunk's own yet-unwritten site; every
         // `write` targets a site owned exclusively by this chunk. See the
         // `plane` module docs for the full argument.
-        for &site in chunk_sites {
-            // Gather neighbour labels once per site; the reference re-walks
-            // the grid per candidate label.
-            let mut axis_labels = [Label::new(0); 4];
+        for (j, &site) in chunk_sites.iter().enumerate() {
+            // Gather neighbour labels once per site — pre-masked to the
+            // prior table's 6-bit row width so the inner loops index a
+            // fixed-size row without bounds checks.
+            let mut axis_idx = [0usize; 4];
             let mut axis_n = 0;
             for &n in &self.axis[site] {
                 if n != NO_NEIGHBOR {
@@ -397,11 +366,11 @@ where
                     self.shadow.record_neighbor_read(n);
                     // SAFETY: `n` neighbours `site`, so it lies in another
                     // independent group and no thread writes it this phase.
-                    axis_labels[axis_n] = unsafe { self.plane.read(n) };
+                    axis_idx[axis_n] = usize::from(unsafe { self.plane.read(n) }.value()) & 63;
                     axis_n += 1;
                 }
             }
-            let mut diag_labels = [Label::new(0); 4];
+            let mut diag_idx = [0usize; 4];
             let mut diag_n = 0;
             if let Some(diag) = diag {
                 for &n in &diag[site] {
@@ -411,34 +380,54 @@ where
                         // SAFETY: as for the axis neighbours — diagonal
                         // neighbours of a second-order group live in other
                         // groups, unwritten this phase.
-                        diag_labels[diag_n] = unsafe { self.plane.read(n) };
+                        diag_idx[diag_n] = usize::from(unsafe { self.plane.read(n) }.value()) & 63;
                         diag_n += 1;
                     }
                 }
             }
-            for (index, (slot, label)) in energies[..m].iter_mut().zip(space.labels()).enumerate() {
-                // Same f64 accumulation order as `site_energy`; the table
-                // lookups return the identical values the reference
-                // computes in place.
-                let mut e = match stab {
-                    Some(stab) => stab[site * m + index],
-                    None => singleton.energy(site, label),
-                };
-                let row = &ptab[usize::from(label.value()) << 6..];
-                for &nl in &axis_labels[..axis_n] {
-                    e += row[usize::from(nl.value())];
+            // Same f64 accumulation order as `site_energy` for every slot:
+            // the singleton seeds the row, then each axis neighbour adds
+            // its (neighbour-major, contiguous) prior row element-wise,
+            // then the diagonals weighted — the per-slot operation
+            // sequence is identical to the reference's label-major loop,
+            // only the loop nest is transposed so each pass is a
+            // branch-free vectorizable row operation.
+            let erow = &mut arena.energies[j * m..j * m + m];
+            match stab {
+                Some(stab) => erow.copy_from_slice(&stab[site * m..site * m + m]),
+                None => {
+                    for (slot, label) in erow.iter_mut().zip(space.labels()) {
+                        *slot = singleton.energy(site, label);
+                    }
                 }
-                for &nl in &diag_labels[..diag_n] {
-                    e += DIAGONAL_WEIGHT * row[usize::from(nl.value())];
+            }
+            for &idx in &axis_idx[..axis_n] {
+                let row = &ptab[(idx << 6)..(idx << 6) + m];
+                for (slot, &p) in erow.iter_mut().zip(row) {
+                    *slot += p;
                 }
-                *slot = e;
+            }
+            for &idx in &diag_idx[..diag_n] {
+                let row = &ptab[(idx << 6)..(idx << 6) + m];
+                for (slot, &p) in erow.iter_mut().zip(row) {
+                    *slot += DIAGONAL_WEIGHT * p;
+                }
             }
             #[cfg(feature = "shadow-audit")]
             self.shadow.record_own_read(site);
             // SAFETY: `site` belongs to this chunk alone and has not been
             // written yet in this phase, so the read cannot race.
-            let current = unsafe { self.plane.read(site) };
-            let next = sampler.sample_label(&energies[..m], temperature, current, &mut rng);
+            arena.current[j] = unsafe { self.plane.read(site) };
+        }
+        // Pass 2: the kernel draws every label from the staged rows,
+        // consuming the RNG site by site in chunk order — bit-identical to
+        // the per-site reference loop by the `SweepKernel` contract.
+        {
+            let (energies, current, out, scratch) = arena.split(count, m);
+            sampler.sample_chunk(energies, m, temperature, current, out, scratch, &mut rng);
+        }
+        // Pass 3: publish the drawn labels.
+        for (&site, &next) in chunk_sites.iter().zip(&arena.out) {
             #[cfg(feature = "shadow-audit")]
             self.shadow.record_write(site);
             // SAFETY: `site` is owned exclusively by this chunk; neighbours
@@ -567,9 +556,10 @@ mod tests {
     }
 
     fn job(width: usize, height: usize) -> InferenceJob<impl SingletonPotential, SoftmaxGibbs> {
-        InferenceJob::new(field(width, height), SoftmaxGibbs::new())
-            .with_threads(3)
-            .with_seed(11)
+        let mut job = InferenceJob::new(field(width, height), SoftmaxGibbs::new());
+        job.threads = 3;
+        job.seed = 11;
+        job
     }
 
     #[test]
@@ -596,6 +586,7 @@ mod tests {
         let mrf = field(9, 6);
         let mut reference = mrf.uniform_labeling();
         let typed = TypedJob::new(job(9, 6));
+        let mut arena = KernelArena::new();
         for iteration in 0..4 {
             mogs_gibbs::colored_sweep(
                 &mrf,
@@ -607,7 +598,7 @@ mod tests {
             );
             for group in 0..typed.group_count() {
                 for chunk in 0..typed.chunks_in_group(group) {
-                    typed.run_chunk(iteration, group, chunk);
+                    typed.run_chunk(iteration, group, chunk, &mut arena);
                 }
             }
             typed.end_iteration(iteration);
@@ -635,9 +626,10 @@ mod tests {
             .position(|g| g.contains(&0))
             .expect("site 0 is scheduled");
         corrupted[to].push(1);
-        let err = TypedJob::try_new(job(7, 5).with_groups(corrupted))
-            .expect_err("corrupted schedule must be rejected");
-        let AdmissionError::Schedule(err) = err else {
+        let mut bad = job(7, 5);
+        bad.groups = Some(corrupted);
+        let err = TypedJob::try_new(bad).expect_err("corrupted schedule must be rejected");
+        let EngineError::Schedule(err) = err else {
             panic!("wrong rejection: {err}");
         };
         assert!(err
@@ -654,12 +646,13 @@ mod tests {
     fn replay_first_iteration<S, L>(typed: &TypedJob<S, L>) -> mogs_audit::shadow::ShadowReport
     where
         S: SingletonPotential + 'static,
-        L: LabelSampler + Clone + Send + Sync + 'static,
+        L: SweepKernel + Clone + Send + Sync + 'static,
     {
+        let mut arena = KernelArena::new();
         for group in 0..typed.group_count() {
             typed.shadow().begin_phase(group);
             for chunk in 0..typed.chunks_in_group(group) {
-                typed.run_chunk(0, group, chunk);
+                typed.run_chunk(0, group, chunk, &mut arena);
             }
             typed.shadow().end_phase();
         }

@@ -5,10 +5,7 @@
 use std::time::Duration;
 
 use mogs_audit::Violation;
-use mogs_engine::{
-    AdmissionError, Backend, BackendSampler, Engine, EngineConfig, InferenceJob, JobStatus,
-    SubmitError, TrySubmitError,
-};
+use mogs_engine::prelude::*;
 use mogs_gibbs::{
     checkerboard_sweep, colored_sweep, ChainConfig, McmcChain, SoftmaxGibbs, TemperatureSchedule,
 };
@@ -56,11 +53,13 @@ fn engine_matches_checkerboard_sweep_bit_for_bit() {
         queue_capacity: 4,
         max_active_jobs: 2,
     });
-    let job = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
-        .with_threads(threads)
-        .with_seed(seed)
-        .with_iterations(iterations);
-    let out = engine.submit(job).expect("engine running").wait();
+    let spec = JobSpec::builder(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .threads(threads)
+        .seed(seed)
+        .iterations(iterations)
+        .build()
+        .expect("valid spec");
+    let out = engine.submit(spec).expect("engine running").wait();
     assert!(!out.cancelled);
     assert_eq!(out.iterations_run, iterations);
     assert_eq!(
@@ -86,11 +85,13 @@ fn engine_matches_colored_sweep_on_second_order_fields() {
         );
     }
     let engine = Engine::with_default_config();
-    let job = InferenceJob::new(field(Neighborhood::SecondOrder), SoftmaxGibbs::new())
-        .with_threads(threads)
-        .with_seed(seed)
-        .with_iterations(iterations);
-    let out = engine.submit(job).expect("engine running").wait();
+    let spec = JobSpec::builder(field(Neighborhood::SecondOrder), SoftmaxGibbs::new())
+        .threads(threads)
+        .seed(seed)
+        .iterations(iterations)
+        .build()
+        .expect("valid spec");
+    let out = engine.submit(spec).expect("engine running").wait();
     assert_eq!(
         out.labels, reference,
         "diagonal fast path must be bit-identical"
@@ -139,29 +140,33 @@ fn engine_runs_backend_selected_jobs() {
     let engine = Engine::with_default_config();
     let mrf = field(Neighborhood::FirstOrder);
     let sites = mrf.grid().len();
-    let job = InferenceJob::new(mrf, BackendSampler::new(Backend::RsuG { replicas: 4 }, 2.0))
-        .with_threads(2)
-        .with_seed(5)
-        .with_iterations(4);
-    let out = engine.submit(job).expect("engine running").wait();
+    let spec = JobSpec::builder(mrf, BackendSampler::new(Backend::RsuG { replicas: 4 }, 2.0))
+        .threads(2)
+        .seed(5)
+        .iterations(4)
+        .build()
+        .expect("valid spec");
+    let out = engine.submit(spec).expect("engine running").wait();
     assert_eq!(out.labels.len(), sites);
     assert!(out.labels.iter().all(|l| l.value() < 4));
     assert_eq!(out.energy_trace.len(), 4);
 }
 
 /// A job sized so cancellation lands mid-run.
-fn long_job() -> InferenceJob<impl SingletonPotential, SoftmaxGibbs> {
-    InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
-        .with_threads(2)
-        .with_iterations(50_000)
-        .recording_energy(false)
+fn long_job() -> JobSpec<impl SingletonPotential, SoftmaxGibbs> {
+    JobSpec::builder(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .threads(2)
+        .iterations(50_000)
+        .record_energy(false)
+        .build()
+        .expect("valid spec")
 }
 
 /// Retries a bounced submission until the queue accepts it.
 fn resubmit_until_accepted(
     engine: &Engine,
-    mut attempt: Result<mogs_engine::JobHandle, TrySubmitError>,
-) -> mogs_engine::JobHandle {
+    mut attempt: Result<JobHandle, TrySubmitError>,
+) -> JobHandle {
     loop {
         match attempt {
             Ok(handle) => return handle,
@@ -169,8 +174,7 @@ fn resubmit_until_accepted(
                 std::thread::sleep(Duration::from_millis(2));
                 attempt = engine.try_resubmit(prepared);
             }
-            Err(TrySubmitError::Rejected(err)) => panic!("well-formed job rejected: {err}"),
-            Err(TrySubmitError::ShutDown) => panic!("engine vanished"),
+            Err(TrySubmitError::Engine(err)) => panic!("well-formed job failed: {err}"),
         }
     }
 }
@@ -192,8 +196,7 @@ fn full_queue_rejects_then_accepts_after_drain() {
     let bounced = match engine.try_submit(long_job()) {
         Err(TrySubmitError::Full(prepared)) => prepared,
         Ok(handle) => panic!("expected Full, got acceptance as {}", handle.id()),
-        Err(TrySubmitError::Rejected(err)) => panic!("well-formed job rejected: {err}"),
-        Err(TrySubmitError::ShutDown) => panic!("engine vanished"),
+        Err(TrySubmitError::Engine(err)) => panic!("well-formed job failed: {err}"),
     };
     assert!(engine.metrics().jobs_rejected >= 1);
     // Draining the active job frees the slot; the bounced job then fits.
@@ -244,11 +247,13 @@ fn metrics_account_for_completed_work_exactly() {
     let (jobs, iterations, sites) = (3u64, 7u64, 120u64);
     let handles: Vec<_> = (0..jobs)
         .map(|k| {
-            let job = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
-                .with_threads(2)
-                .with_seed(k)
-                .with_iterations(iterations as usize);
-            engine.submit(job).expect("engine running")
+            let spec = JobSpec::builder(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+                .threads(2)
+                .seed(k)
+                .iterations(iterations as usize)
+                .build()
+                .expect("valid spec");
+            engine.submit(spec).expect("engine running")
         })
         .collect();
     for handle in handles {
@@ -297,10 +302,8 @@ fn corrupted_schedule_is_rejected_at_admission_before_any_plane_write() {
     // Corrupt the derived checkerboard schedule: move site 1 (a horizontal
     // neighbour of site 0) into site 0's phase group, so two workers could
     // race on adjacent plane cells if the job were ever admitted.
-    let base = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
-        .with_threads(2)
-        .with_iterations(5);
-    let mut groups = base.mrf.independent_groups();
+    let mrf = field(Neighborhood::FirstOrder);
+    let mut groups = mrf.independent_groups();
     let from = groups
         .iter()
         .position(|g| g.contains(&1))
@@ -311,8 +314,14 @@ fn corrupted_schedule_is_rejected_at_admission_before_any_plane_write() {
         .position(|g| g.contains(&0))
         .expect("site 0 is scheduled");
     groups[to].push(1);
-    match engine.submit(base.with_groups(groups)) {
-        Err(SubmitError::Rejected(AdmissionError::Schedule(err))) => {
+    let spec = JobSpec::builder(mrf, SoftmaxGibbs::new())
+        .threads(2)
+        .iterations(5)
+        .groups(groups)
+        .build()
+        .expect("the interference audit runs at admission, not build()");
+    match engine.submit(spec) {
+        Err(EngineError::Schedule(err)) => {
             assert!(
                 err.report
                     .violations
@@ -331,9 +340,11 @@ fn corrupted_schedule_is_rejected_at_admission_before_any_plane_write() {
     assert_eq!(m.jobs_denied, 1);
     assert_eq!(m.jobs_submitted, 0);
     assert_eq!(m.site_updates, 0, "no plane write may precede rejection");
-    let ok = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
-        .with_threads(2)
-        .with_iterations(3);
+    let ok = JobSpec::builder(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .threads(2)
+        .iterations(3)
+        .build()
+        .expect("valid spec");
     let handle = engine.submit(ok).expect("well-formed job admitted");
     assert_eq!(handle.wait().iterations_run, 3);
     engine.shutdown();
@@ -341,18 +352,25 @@ fn corrupted_schedule_is_rejected_at_admission_before_any_plane_write() {
 
 #[test]
 fn zero_chunk_jobs_are_rejected_not_degraded() {
+    // The builder refuses a zero chunk count outright...
+    let err = JobSpec::builder(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .threads(0)
+        .iterations(3)
+        .build()
+        .expect_err("zero chunks must fail at build()");
+    assert_eq!(err.variant(), "invalid-spec");
+    // ...and the legacy unvalidated path is still caught at admission,
+    // where the audit reports it as a zero-chunk schedule.
     let engine = Engine::new(EngineConfig {
         workers: 1,
         queue_capacity: 2,
         max_active_jobs: 1,
     });
-    // `threads == 0` used to be an assert deep in job preparation; the
-    // audit now reports it as a zero-chunk schedule at admission.
-    let job = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
-        .with_threads(0)
-        .with_iterations(3);
+    let mut job = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new());
+    job.threads = 0;
+    job.iterations = 3;
     match engine.submit(job) {
-        Err(SubmitError::Rejected(AdmissionError::Schedule(err))) => {
+        Err(EngineError::Schedule(err)) => {
             assert!(
                 err.report
                     .violations
@@ -376,11 +394,13 @@ fn shutdown_drains_queued_jobs_before_stopping() {
     });
     let handles: Vec<_> = (0..3)
         .map(|k| {
-            let job = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
-                .with_threads(2)
-                .with_seed(k)
-                .with_iterations(5);
-            engine.submit(job).expect("engine running")
+            let spec = JobSpec::builder(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+                .threads(2)
+                .seed(k)
+                .iterations(5)
+                .build()
+                .expect("valid spec");
+            engine.submit(spec).expect("engine running")
         })
         .collect();
     engine.shutdown();
@@ -395,7 +415,7 @@ fn shutdown_drains_queued_jobs_before_stopping() {
 /// iterations, and stops the job after `stop_after` sweeps.
 #[derive(Debug)]
 struct ProbeSink {
-    needs: mogs_engine::SinkNeeds,
+    needs: SinkNeeds,
     stop_after: usize,
     energies: std::sync::Mutex<Vec<Option<f64>>>,
     label_sweeps: std::sync::Mutex<Vec<usize>>,
@@ -404,7 +424,7 @@ struct ProbeSink {
 }
 
 impl ProbeSink {
-    fn new(needs: mogs_engine::SinkNeeds, stop_after: usize) -> Self {
+    fn new(needs: SinkNeeds, stop_after: usize) -> Self {
         ProbeSink {
             needs,
             stop_after,
@@ -416,30 +436,30 @@ impl ProbeSink {
     }
 }
 
-impl mogs_engine::DiagSink for ProbeSink {
-    fn needs(&self) -> mogs_engine::SinkNeeds {
+impl DiagSink for ProbeSink {
+    fn needs(&self) -> SinkNeeds {
         self.needs
     }
 
-    fn on_start(&self, info: &mogs_engine::JobStartInfo) {
+    fn on_start(&self, info: &JobStartInfo) {
         assert_eq!(info.sites, info.width * info.height);
         self.started
             .store(true, std::sync::atomic::Ordering::Release);
     }
 
-    fn on_sweep(&self, obs: &mogs_engine::SweepObservation<'_>) -> mogs_engine::SweepDecision {
+    fn on_sweep(&self, obs: &SweepObservation<'_>) -> SweepDecision {
         self.energies.lock().unwrap().push(obs.energy);
         if obs.labels.is_some() {
             self.label_sweeps.lock().unwrap().push(obs.iteration);
         }
         if obs.iteration + 1 >= self.stop_after {
-            mogs_engine::SweepDecision::Stop
+            SweepDecision::Stop
         } else {
-            mogs_engine::SweepDecision::Continue
+            SweepDecision::Continue
         }
     }
 
-    fn on_finish(&self, output: &mogs_engine::JobOutput) {
+    fn on_finish(&self, output: &JobOutput) {
         assert!(output.early_stopped || output.iterations_run > 0);
         self.finished
             .store(true, std::sync::atomic::Ordering::Release);
@@ -450,18 +470,20 @@ impl mogs_engine::DiagSink for ProbeSink {
 fn sink_observes_sweeps_and_early_stops_through_the_cancel_path() {
     let engine = Engine::with_default_config();
     let sink = std::sync::Arc::new(ProbeSink::new(
-        mogs_engine::SinkNeeds {
+        SinkNeeds {
             energy: true,
             labels_stride: 2,
         },
         4,
     ));
-    let job = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
-        .with_threads(3)
-        .with_seed(5)
-        .with_iterations(50)
-        .with_sink(std::sync::Arc::clone(&sink) as std::sync::Arc<dyn mogs_engine::DiagSink>);
-    let out = engine.submit(job).expect("engine running").wait();
+    let spec = JobSpec::builder(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .threads(3)
+        .seed(5)
+        .iterations(50)
+        .sink(std::sync::Arc::clone(&sink) as std::sync::Arc<dyn DiagSink>)
+        .build()
+        .expect("valid spec");
+    let out = engine.submit(spec).expect("engine running").wait();
     assert!(out.early_stopped, "sink verdict must stop the job");
     assert!(!out.cancelled, "an early stop is not a user cancel");
     assert_eq!(out.iterations_run, 4, "stopped at the requested boundary");
@@ -486,28 +508,32 @@ fn sink_observes_sweeps_and_early_stops_through_the_cancel_path() {
 #[test]
 fn sink_does_not_perturb_results_and_stop_at_budget_counts_as_completed() {
     let iterations = 6;
-    let bare = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
-        .with_threads(4)
-        .with_seed(123)
-        .with_iterations(iterations);
+    let bare = JobSpec::builder(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .threads(4)
+        .seed(123)
+        .iterations(iterations)
+        .build()
+        .expect("valid spec");
     let engine = Engine::with_default_config();
     let reference = engine.submit(bare).expect("engine running").wait();
 
     // Same job with a sink that "stops" exactly at the budget boundary:
     // the labeling is untouched and the job still counts as completed.
     let sink = std::sync::Arc::new(ProbeSink::new(
-        mogs_engine::SinkNeeds {
+        SinkNeeds {
             energy: true,
             labels_stride: 0,
         },
         iterations,
     ));
-    let job = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
-        .with_threads(4)
-        .with_seed(123)
-        .with_iterations(iterations)
-        .with_sink(std::sync::Arc::clone(&sink) as std::sync::Arc<dyn mogs_engine::DiagSink>);
-    let observed = engine.submit(job).expect("engine running").wait();
+    let spec = JobSpec::builder(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
+        .threads(4)
+        .seed(123)
+        .iterations(iterations)
+        .sink(std::sync::Arc::clone(&sink) as std::sync::Arc<dyn DiagSink>)
+        .build()
+        .expect("valid spec");
+    let observed = engine.submit(spec).expect("engine running").wait();
     assert!(!observed.early_stopped);
     assert!(!observed.cancelled);
     assert_eq!(observed.labels, reference.labels, "sink must not perturb");

@@ -1,0 +1,344 @@
+//! Chunk-batched sweep kernels: evaluate a whole chunk, then draw.
+//!
+//! The per-site [`LabelSampler`] contract is the right unit for fidelity
+//! studies, but an engine hot loop pays for it per visit: one virtual-ish
+//! call, one stack energy buffer, one branchy scan per site. A
+//! [`SweepKernel`] amortizes that over a chunk of same-phase sites — the
+//! caller evaluates all `M` conditional energies for every site of the
+//! chunk into one flat structure-of-arrays buffer (`site`-major rows of
+//! `m`), and the kernel draws every label in one pass, reusing
+//! caller-owned scratch ([`KernelArena`]) so the inner loops are
+//! branch-light and allocation-free.
+//!
+//! # Bit-identity contract
+//!
+//! `sample_chunk` must be **bit-identical** to the per-site reference
+//! loop (the trait's default body): same labels out, same RNG consumption
+//! order and count. Batched implementations split the work into RNG-free
+//! evaluation passes (softmax weights, RSU intensity codes) followed by a
+//! sequential per-site draw pass that consumes the RNG exactly as the
+//! per-site path would. The engine's correctness gate (`repro
+//! engine-bench`, the kernel-identity proptests) holds every
+//! implementation to this.
+
+use crate::sampler::LabelSampler;
+use mogs_mrf::label::MAX_LABELS;
+use mogs_mrf::Label;
+use rand::Rng;
+
+/// Reusable kernel-internal buffers (weights, intensity codes), owned by
+/// the caller and grown on demand.
+///
+/// Separate from [`KernelArena`] so a kernel can borrow the scratch
+/// mutably while reading the arena's energy/label buffers.
+#[derive(Debug, Default, Clone)]
+pub struct KernelScratch {
+    /// Intensity codes, `site`-major rows of `m` (RSU-G kernels).
+    pub codes: Vec<u8>,
+}
+
+impl KernelScratch {
+    /// An empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        KernelScratch::default()
+    }
+
+    /// Grows the code buffer to at least `len` entries and returns it.
+    pub fn codes_mut(&mut self, len: usize) -> &mut [u8] {
+        if self.codes.len() < len {
+            self.codes.resize(len, 0);
+        }
+        &mut self.codes[..len]
+    }
+}
+
+/// Per-worker scratch arena for chunk-batched sweeps: the energy
+/// structure-of-arrays, the chunk's current and output labels, and the
+/// kernel-internal [`KernelScratch`]. One arena lives on each engine
+/// worker thread and is reused across phases and jobs, so the hot path
+/// never allocates after warm-up.
+#[derive(Debug, Default, Clone)]
+pub struct KernelArena {
+    /// Conditional energies, `site`-major: entry `j * m + l` is label `l`
+    /// of the chunk's `j`-th site.
+    pub energies: Vec<f64>,
+    /// The chunk's pre-phase labels, one per site.
+    pub current: Vec<Label>,
+    /// The kernel's drawn labels, one per site.
+    pub out: Vec<Label>,
+    /// Kernel-internal buffers.
+    pub scratch: KernelScratch,
+}
+
+impl KernelArena {
+    /// An empty arena; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        KernelArena::default()
+    }
+
+    /// Sizes the buffers for a chunk of `sites` sites with `m` labels.
+    /// Growth-only, so a worker's arena settles at the largest chunk it
+    /// has seen.
+    pub fn prepare(&mut self, sites: usize, m: usize) {
+        let cells = sites * m;
+        if self.energies.len() < cells {
+            self.energies.resize(cells, 0.0);
+        }
+        if self.current.len() < sites {
+            self.current.resize(sites, Label::new(0));
+            self.out.resize(self.current.len(), Label::new(0));
+        }
+    }
+
+    /// Splits the arena into the borrows `sample_chunk` wants: energies
+    /// and current labels (shared), output labels and scratch (mutable),
+    /// each trimmed to the chunk's `sites` × `m` shape.
+    pub fn split(
+        &mut self,
+        sites: usize,
+        m: usize,
+    ) -> (&[f64], &[Label], &mut [Label], &mut KernelScratch) {
+        (
+            &self.energies[..sites * m],
+            &self.current[..sites],
+            &mut self.out[..sites],
+            &mut self.scratch,
+        )
+    }
+}
+
+/// A [`LabelSampler`] that can draw a whole chunk of same-phase sites
+/// from a flat energy buffer.
+///
+/// The default body *is* the per-site reference loop, so every sampler
+/// gets a correct (if unbatched) kernel for free; batched overrides must
+/// preserve it bit for bit — see the module docs.
+pub trait SweepKernel: LabelSampler {
+    /// Draws new labels for a whole chunk.
+    ///
+    /// `energies` holds `current.len()` site-major rows of `m`
+    /// conditional energies; `out[j]` receives the label drawn for the
+    /// chunk's `j`-th site. Implementations consume `rng` site by site in
+    /// chunk order, exactly like the reference loop.
+    #[allow(clippy::too_many_arguments)] // the kernel ABI: buffers are flat slices on purpose
+    fn sample_chunk<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        m: usize,
+        temperature: f64,
+        current: &[Label],
+        out: &mut [Label],
+        scratch: &mut KernelScratch,
+        rng: &mut R,
+    ) {
+        let _ = scratch;
+        debug_assert_eq!(energies.len(), current.len() * m);
+        debug_assert_eq!(out.len(), current.len());
+        for (j, (&cur, slot)) in current.iter().zip(out.iter_mut()).enumerate() {
+            *slot = self.sample_label(&energies[j * m..(j + 1) * m], temperature, cur, rng);
+        }
+    }
+}
+
+/// Exact softmax Gibbs, batched: one fused pass per site row computes the
+/// min-shifted Boltzmann weights and draws by inverse CDF.
+///
+/// Bit-identity with [`SoftmaxGibbs::sample_label`] is preserved
+/// operation for operation, with one legitimate shortcut: when the row
+/// minimum is finite and the temperature positive, the minimal energy's
+/// weight is exactly `exp(-0.0/T) = 1.0` by IEEE-754, so the `exp` call
+/// is skipped for it (at least one of the `M` exponentials per site).
+impl SweepKernel for crate::sampler::SoftmaxGibbs {
+    fn sample_chunk<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        m: usize,
+        temperature: f64,
+        current: &[Label],
+        out: &mut [Label],
+        _scratch: &mut KernelScratch,
+        rng: &mut R,
+    ) {
+        debug_assert!(m > 0 && m <= usize::from(MAX_LABELS));
+        debug_assert_eq!(energies.len(), current.len() * m);
+        debug_assert_eq!(out.len(), current.len());
+        // The shortcut needs `e - min == 0.0` and `0.0 / T == 0.0`; a
+        // non-finite min (empty or all-infinite row) or a zero/NaN
+        // temperature would break either step, so those rows take the
+        // reference arithmetic unshortened.
+        let shortcut = temperature > 0.0;
+        // audit:allow(lossy-cast) — array lengths must be const-evaluable
+        // and u16 -> usize widening is exact.
+        let mut weights = [0.0f64; MAX_LABELS as usize];
+        for (j, (&cur, slot)) in current.iter().zip(out.iter_mut()).enumerate() {
+            let row = &energies[j * m..(j + 1) * m];
+            let min = row.iter().copied().fold(f64::INFINITY, f64::min);
+            let fast = shortcut && min.is_finite();
+            let mut total = 0.0;
+            for (w, e) in weights[..m].iter_mut().zip(row) {
+                *w = if fast && *e == min {
+                    1.0
+                } else {
+                    (-(e - min) / temperature).exp()
+                };
+                total += *w;
+            }
+            if total <= 0.0 {
+                // Degenerate row (all weights underflowed): keep the
+                // current label without consuming the RNG, like the
+                // reference.
+                *slot = cur;
+                continue;
+            }
+            let mut u = rng.gen::<f64>() * total;
+            // audit:allow(lossy-cast) — label indices are bounded by
+            // `m <= MAX_LABELS (64)`, so they always fit a u8; this is the
+            // reference scan cast for cast.
+            *slot = 'drawn: {
+                for (l, w) in weights[..m].iter().enumerate() {
+                    if u < *w {
+                        break 'drawn Label::new(l as u8);
+                    }
+                    u -= w;
+                }
+                Label::new((m - 1) as u8)
+            };
+        }
+    }
+}
+
+/// Metropolis keeps the reference per-site loop: its draw consumes the
+/// RNG for the proposal *and* (conditionally) the acceptance test, which
+/// leaves nothing RNG-free to batch.
+impl SweepKernel for crate::sampler::Metropolis {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{Metropolis, SoftmaxGibbs};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runs the trait's default body (the per-site reference loop) no
+    /// matter what `sample_chunk` override `L` carries.
+    fn reference_chunk<L: LabelSampler, R: Rng + ?Sized>(
+        sampler: &mut L,
+        energies: &[f64],
+        m: usize,
+        temperature: f64,
+        current: &[Label],
+        out: &mut [Label],
+        rng: &mut R,
+    ) {
+        for (j, (&cur, slot)) in current.iter().zip(out.iter_mut()).enumerate() {
+            *slot = sampler.sample_label(&energies[j * m..(j + 1) * m], temperature, cur, rng);
+        }
+    }
+
+    fn assert_bit_identical<L: SweepKernel + Clone>(
+        sampler: &L,
+        energies: &[f64],
+        m: usize,
+        temperature: f64,
+        current: &[Label],
+        seed: u64,
+    ) {
+        let sites = current.len();
+        let mut expect = vec![Label::new(0); sites];
+        let mut got = vec![Label::new(0); sites];
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let mut reference = sampler.clone();
+        let mut batched = sampler.clone();
+        reference_chunk(
+            &mut reference,
+            energies,
+            m,
+            temperature,
+            current,
+            &mut expect,
+            &mut rng_a,
+        );
+        let mut scratch = KernelScratch::new();
+        batched.sample_chunk(
+            energies,
+            m,
+            temperature,
+            current,
+            &mut got,
+            &mut scratch,
+            &mut rng_b,
+        );
+        assert_eq!(got, expect, "labels diverged");
+        assert_eq!(
+            rng_a.gen::<u64>(),
+            rng_b.gen::<u64>(),
+            "RNG consumption diverged"
+        );
+    }
+
+    #[test]
+    fn arena_growth_is_monotonic() {
+        let mut arena = KernelArena::new();
+        arena.prepare(10, 4);
+        assert!(arena.energies.len() >= 40);
+        arena.prepare(3, 2);
+        assert!(arena.energies.len() >= 40, "arena must never shrink");
+        let (e, c, o, _) = arena.split(3, 2);
+        assert_eq!(e.len(), 6);
+        assert_eq!(c.len(), 3);
+        assert_eq!(o.len(), 3);
+    }
+
+    #[test]
+    fn softmax_kernel_matches_reference_on_degenerate_rows() {
+        // Energies so large every weight underflows: the reference keeps
+        // the current label and consumes no RNG.
+        let m = 3;
+        let energies = vec![0.0, 1e300, 1e300, 1e300, 0.0, 1e300];
+        let current = vec![Label::new(2), Label::new(1)];
+        assert_bit_identical(&SoftmaxGibbs::new(), &energies, m, 1.0, &current, 7);
+    }
+
+    #[test]
+    fn softmax_kernel_matches_reference_at_zero_temperature() {
+        // T = 0 sends the shortcut's `0.0 / T` to NaN territory; the
+        // kernel must fall back to the reference arithmetic.
+        let energies = vec![1.0, 2.0, 1.0, 3.0];
+        let current = vec![Label::new(1), Label::new(0)];
+        assert_bit_identical(&SoftmaxGibbs::new(), &energies, 2, 0.0, &current, 9);
+    }
+
+    #[test]
+    fn metropolis_default_body_is_the_reference() {
+        let energies = vec![0.5, 1.5, 0.0, 2.0, 1.0, 0.25];
+        let current = vec![Label::new(0), Label::new(1), Label::new(0)];
+        assert_bit_identical(&Metropolis::new(), &energies, 2, 1.0, &current, 11);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn softmax_kernel_bit_identical(
+            sites in 1usize..24,
+            m in 2usize..=64,
+            temperature in 0.05f64..8.0,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+            let energies: Vec<f64> =
+                (0..sites * m).map(|_| rng.gen_range(-4.0..12.0)).collect();
+            let current: Vec<Label> = (0..sites)
+                // audit:allow(lossy-cast) — m <= 64 fits u8.
+                .map(|_| Label::new(rng.gen_range(0..m) as u8))
+                .collect();
+            assert_bit_identical(
+                &SoftmaxGibbs::new(), &energies, m, temperature, &current, seed,
+            );
+        }
+    }
+}

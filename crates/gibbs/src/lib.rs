@@ -13,6 +13,10 @@
 //!   Software implementations: exact softmax Gibbs and Metropolis. The
 //!   RSU-G unit in `mogs-core` implements the same trait, so chains can run
 //!   on either back end unchanged.
+//! * [`kernel`] — the chunk-batched [`SweepKernel`](kernel::SweepKernel)
+//!   layer over [`LabelSampler`](sampler::LabelSampler): evaluate a whole
+//!   chunk of same-phase sites from a flat energy buffer, then draw every
+//!   label, bit-identically to the per-site loop. The engine's hot path.
 //! * [`sweep`] — sequential and checkerboard-parallel full-grid sweeps.
 //! * [`chain`] — the MCMC driver: iterations, annealing, marginal-MAP mode
 //!   tracking, energy traces.
@@ -39,6 +43,7 @@
 pub mod chain;
 pub mod diagnostics;
 pub mod dist;
+pub mod kernel;
 pub mod multichain;
 pub mod sampler;
 pub mod schedule;
@@ -46,6 +51,7 @@ pub mod sweep;
 pub mod tempering;
 
 pub use chain::{ChainConfig, ChainResult, McmcChain};
+pub use kernel::{KernelArena, KernelScratch, SweepKernel};
 pub use multichain::{run_chains, MultiChainResult};
 pub use sampler::{LabelSampler, Metropolis, SoftmaxGibbs};
 pub use schedule::TemperatureSchedule;

@@ -9,7 +9,7 @@
 //! hence the RSU-G advantage — much larger than segmentation's `M = 5`.
 
 use crate::image::GrayImage;
-use mogs_engine::{Engine, InferenceJob};
+use mogs_engine::prelude::*;
 use mogs_gibbs::chain::{ChainConfig, ChainResult, McmcChain};
 use mogs_gibbs::sampler::LabelSampler;
 use mogs_gibbs::schedule::TemperatureSchedule;
@@ -210,7 +210,7 @@ impl MotionEstimation {
         seed: u64,
     ) -> ChainResult
     where
-        L: LabelSampler + Clone + Send + Sync + 'static,
+        L: SweepKernel + Clone + Send + Sync + 'static,
     {
         engine
             .submit(self.engine_job(sampler, iterations, seed))

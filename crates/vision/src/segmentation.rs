@@ -12,7 +12,7 @@
 //! RSU-G model see *identical* energies.
 
 use crate::image::GrayImage;
-use mogs_engine::{Engine, InferenceJob};
+use mogs_engine::prelude::*;
 use mogs_gibbs::chain::{ChainConfig, ChainResult, McmcChain};
 use mogs_gibbs::sampler::LabelSampler;
 use mogs_gibbs::schedule::TemperatureSchedule;
@@ -218,7 +218,7 @@ impl Segmentation {
         seed: u64,
     ) -> ChainResult
     where
-        L: LabelSampler + Clone + Send + Sync + 'static,
+        L: SweepKernel + Clone + Send + Sync + 'static,
     {
         engine
             .submit(self.engine_job(sampler, iterations, seed))

@@ -7,7 +7,7 @@
 //! favours piecewise-constant disparity surfaces.
 
 use crate::image::GrayImage;
-use mogs_engine::{Engine, InferenceJob};
+use mogs_engine::prelude::*;
 use mogs_gibbs::chain::{ChainConfig, ChainResult, McmcChain};
 use mogs_gibbs::sampler::LabelSampler;
 use mogs_gibbs::schedule::TemperatureSchedule;
@@ -169,7 +169,7 @@ impl StereoMatching {
         seed: u64,
     ) -> ChainResult
     where
-        L: LabelSampler + Clone + Send + Sync + 'static,
+        L: SweepKernel + Clone + Send + Sync + 'static,
     {
         engine
             .submit(self.engine_job(sampler, iterations, seed))
