@@ -19,6 +19,12 @@
 //!   `# Panics`.
 //! * **\[float-eq\]** — the physics crates (`ret`, `core`) must not
 //!   compare against float literals with `==`/`!=`.
+//! * **\[catch-unwind\]** — library code must not call
+//!   `catch_unwind`: swallowing a panic hides a broken invariant unless
+//!   the site is a declared isolation boundary. The engine's worker
+//!   loop is the one sanctioned boundary; any such site must carry a
+//!   waiver naming itself as one, so every panic-swallowing point in
+//!   the workspace is enumerable by grepping for the waiver.
 //! * **\[deprecated-use\]** — workspace code must not call its own
 //!   `#[deprecated]` items: deprecation markers exist for *downstream*
 //!   migration windows, and internal call sites would keep the old path
@@ -44,12 +50,13 @@ use std::path::Path;
 use crate::lexer::{lex, LexedFile, TokKind, Token};
 
 /// Rule identifiers, as used in waivers and findings.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "safety-comment",
     "unwrap-expect",
     "lossy-cast",
     "panics-doc",
     "float-eq",
+    "catch-unwind",
     "deprecated-use",
 ];
 
@@ -235,6 +242,7 @@ pub fn lint_file_with_deprecated(
     check_lossy_casts(&ctx, &mut findings);
     check_panics_docs(&ctx, &mut findings);
     check_float_eq(&ctx, &mut findings);
+    check_catch_unwind(&ctx, &mut findings);
     check_deprecated_use(&ctx, deprecated, &mut findings);
     findings.sort_by_key(|f| f.line);
     findings
@@ -817,6 +825,30 @@ fn check_deprecated_use(
     }
 }
 
+fn check_catch_unwind(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    if !ctx.is_library_code() {
+        return;
+    }
+    for tok in &ctx.file.tokens {
+        if tok.kind != TokKind::Ident || tok.text != "catch_unwind" {
+            continue;
+        }
+        let line = tok.line;
+        if ctx.in_test_region(line) || ctx.is_waived(line, "catch-unwind") {
+            continue;
+        }
+        findings.push(
+            ctx.finding(
+                line,
+                "catch-unwind",
+                "`catch_unwind` in library code (panic isolation boundaries must be declared \
+             with a waiver naming themselves as one)"
+                    .to_string(),
+            ),
+        );
+    }
+}
+
 fn check_float_eq(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
     if !FLOAT_EQ_CRATES
         .iter()
@@ -962,6 +994,20 @@ mod tests {
     fn pub_crate_fns_are_not_public_api_for_panics_doc() {
         let src = "pub(crate) fn f(x: usize) { assert!(x > 0); }";
         assert!(rules_fired("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_requires_a_declared_boundary() {
+        let bare = "fn f() { let r = std::panic::catch_unwind(|| g()); }";
+        assert_eq!(rules_fired("crates/x/src/a.rs", bare), vec!["catch-unwind"]);
+        let declared = "fn f() {\n    // audit:allow(catch-unwind) — the engine's one intentional panic-isolation boundary\n    let r = std::panic::catch_unwind(|| g());\n}";
+        assert!(rules_fired("crates/x/src/a.rs", declared).is_empty());
+        // Test code may catch panics freely (asserting on them is normal).
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn f() { std::panic::catch_unwind(|| g()); }\n}";
+        assert!(rules_fired("crates/x/src/a.rs", in_test).is_empty());
+        // Binaries are out of scope, like the other library-code rules.
+        assert!(rules_fired("crates/x/src/main.rs", bare).is_empty());
     }
 
     fn index_of(sources: &[&str]) -> DeprecatedIndex {

@@ -33,16 +33,17 @@
 //! | `diag` | A11: streaming diagnostics + early stop on all workloads (writes JSON + PGM maps with out_dir) |
 //! | `diag-overhead` | A11: sink overhead (bare vs NullSink vs full diagnostics) |
 //! | `audit` | schedule-interference audit of every vision workload |
+//! | `faults` | A12: fault injection, quarantine, and failover on every vision workload |
 
 use mogs_bench::experiments::{
-    ablation, anneal, audit, convergence, diag, energy, engine_bench, fig7, paper_tables,
+    ablation, anneal, audit, convergence, diag, energy, engine_bench, faults, fig7, paper_tables,
     proto_ratio, quality, restore, table1, wearout,
 };
 use mogs_bench::report::render_table;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const EXPERIMENTS: [&str; 21] = [
+const EXPERIMENTS: [&str; 22] = [
     "table1",
     "table2",
     "table3",
@@ -64,6 +65,7 @@ const EXPERIMENTS: [&str; 21] = [
     "diag",
     "diag-overhead",
     "audit",
+    "faults",
 ];
 
 fn main() -> ExitCode {
@@ -251,6 +253,26 @@ fn run(experiment: &str, quick: bool, out_dir: Option<&Path>) -> Result<(), Stri
             if dirty > 0 {
                 return Err(format!("{dirty} workload schedule(s) failed the audit"));
             }
+        }
+        "faults" => {
+            let iterations = if quick { 8 } else { 16 };
+            let rows = faults::run(iterations, 2016);
+            emit(faults::render(&rows))?;
+            // The survival contract: every (workload, scenario) job must
+            // end Completed or Degraded — a typed failure or a hang under
+            // injected device faults fails the gate.
+            let dead: Vec<String> = rows
+                .iter()
+                .filter(|r| !r.survived())
+                .map(|r| format!("{}/{} → {}", r.workload, r.scenario, r.outcome))
+                .collect();
+            if !dead.is_empty() {
+                return Err(format!("jobs did not survive faults: {}", dead.join(", ")));
+            }
+            if !faults::zero_fault_bit_identity(2016) {
+                return Err("an empty fault plane perturbed the labeling".to_owned());
+            }
+            println!("zero-fault bit-identity: ok");
         }
         other => return Err(format!("unknown experiment '{other}'")),
     }

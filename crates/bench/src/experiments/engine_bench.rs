@@ -141,7 +141,8 @@ pub fn run(side: usize, iterations: usize, seed: u64) -> EngineBenchResult {
     // Its reference is the one-shot sweep path driven by the *same*
     // sampler, so the batched pool kernel's bit-identity (including the
     // round-robin unit rotation) is asserted on every bench run.
-    let pool_sampler = BackendSampler::new(Backend::RsuG { replicas: 4 }, 4.0);
+    let pool_sampler = BackendSampler::try_new(Backend::RsuG { replicas: 4 }, 4.0)
+        .expect("RsuG backend with positive replicas always constructs");
     let mut pool_reference = mrf.uniform_labeling();
     {
         let mut scratch = SweepScratch::new();

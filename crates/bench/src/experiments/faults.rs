@@ -1,0 +1,349 @@
+//! A12: fault-tolerant inference on the vision workloads.
+//!
+//! The paper's RSU-G units are physical devices: fluorophores bleach
+//! (§6.4's wear-out model), dark counts fire spuriously, and a unit can
+//! die outright. This experiment drives all three vision workloads on
+//! the emulated 4-unit RSU pool through escalating fault scenarios and
+//! requires the engine to *finish every job anyway* — at full quality
+//! when enough units survive, or degraded onto the exact softmax
+//! backend when the pool collapses. A run that returns an error (or
+//! hangs) is the failure mode this PR exists to prevent.
+//!
+//! Scenarios:
+//!
+//! * `baseline` — health monitoring on, no faults injected. Must
+//!   complete with zero quarantines (the monitor itself is free of
+//!   false positives on a pristine pool).
+//! * `aging` — a seeded wear-out schedule from `mogs_ret`'s
+//!   photobleaching model ([`FaultPlan::from_wearout`]): units get
+//!   noisy, then die, at lifetimes drawn from the §6.4 exponential.
+//! * `dark-storm` — three of four units develop heavy dark-count rates
+//!   mid-run; the health probe must quarantine them and finish on the
+//!   survivor.
+//! * `collapse` — every unit dies; the only acceptable outcome is a
+//!   mid-flight failover to the exact backend and a `Degraded` verdict.
+
+use crate::report::render_table;
+use mogs_engine::prelude::*;
+use mogs_engine::{fault::FaultEvent, FaultPlan, HealthPolicy};
+use mogs_gibbs::SoftmaxGibbs;
+use mogs_mrf::energy::SingletonPotential;
+use mogs_ret::wearout::EnsembleWearout;
+use mogs_vision::motion::{MotionConfig, MotionEstimation};
+use mogs_vision::segmentation::{Segmentation, SegmentationConfig};
+use mogs_vision::stereo::{StereoConfig, StereoMatching};
+use mogs_vision::synthetic;
+use serde::Serialize;
+
+/// RSU units in the emulated pool.
+const POOL_UNITS: usize = 4;
+/// Deterministic chunks per job.
+const THREADS: usize = 4;
+
+/// One (workload, scenario) outcome.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultRow {
+    /// Workload name.
+    pub workload: String,
+    /// Fault scenario id.
+    pub scenario: String,
+    /// Terminal state: `completed`, `degraded`, or `failed: <variant>`.
+    pub outcome: String,
+    /// Sweeps the job actually ran.
+    pub sweeps: usize,
+    /// Units the health monitor quarantined.
+    pub units_quarantined: u64,
+    /// Sweep boundary of the failover, when one happened.
+    pub failed_over_at: Option<usize>,
+    /// Units lost at failover, when one happened.
+    pub units_lost: usize,
+}
+
+impl FaultRow {
+    /// Whether the engine met the experiment's survival contract:
+    /// the job finished (possibly degraded) instead of erroring out.
+    #[must_use]
+    pub fn survived(&self) -> bool {
+        self.outcome == "completed" || self.outcome == "degraded"
+    }
+}
+
+/// The fault schedules, per scenario id.
+fn plan_for(scenario: &str, iterations: usize, seed: u64) -> FaultPlan {
+    match scenario {
+        "baseline" => FaultPlan::none(),
+        "aging" => {
+            // §6.4 wear-out at an aggressively shortened lifetime so
+            // deaths land inside the experiment's iteration budget.
+            let wearout = EnsembleWearout::new(64, 2_000.0, 1.0);
+            FaultPlan::from_wearout(
+                &wearout,
+                POOL_UNITS,
+                wearout.effective_lifetime() / iterations as f64 * 2.0,
+                iterations,
+                seed,
+            )
+        }
+        "dark-storm" => FaultPlan::new(
+            (1..POOL_UNITS)
+                .map(|unit| FaultEvent {
+                    sweep: 2,
+                    unit,
+                    fault: UnitFault::DarkCount { rate_per_ns: 2.0 },
+                })
+                .collect(),
+        ),
+        "collapse" => FaultPlan::new(
+            (0..POOL_UNITS)
+                .map(|unit| FaultEvent {
+                    sweep: 2,
+                    unit,
+                    fault: UnitFault::Dead,
+                })
+                .collect(),
+        ),
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
+/// Runs one workload job under one scenario on a fresh engine.
+fn run_scenario<S>(
+    workload: &str,
+    scenario: &str,
+    mut job: InferenceJob<S, BackendSampler>,
+    iterations: usize,
+    seed: u64,
+) -> FaultRow
+where
+    S: SingletonPotential + Clone + 'static,
+{
+    job.fault_plan = Some(plan_for(scenario, iterations, seed));
+    job.health = Some(HealthPolicy::default());
+    let engine = Engine::with_default_config();
+    let result = match engine.submit(job) {
+        Ok(handle) => handle.wait_result(),
+        Err(err) => Err(err),
+    };
+    let metrics = engine.metrics();
+    engine.shutdown();
+    let (outcome, sweeps, failed_over_at, units_lost) = match result {
+        Ok(out) => match out.degraded {
+            Some(d) => (
+                "degraded".to_owned(),
+                out.iterations_run,
+                Some(d.failed_over_at),
+                d.units_lost,
+            ),
+            None => ("completed".to_owned(), out.iterations_run, None, 0),
+        },
+        Err(err) => (format!("failed: {}", err.variant()), 0, None, 0),
+    };
+    FaultRow {
+        workload: workload.to_owned(),
+        scenario: scenario.to_owned(),
+        outcome,
+        sweeps,
+        units_quarantined: metrics.units_quarantined,
+        failed_over_at,
+        units_lost,
+    }
+}
+
+/// The scenario escalation, in run order.
+pub const SCENARIOS: [&str; 4] = ["baseline", "aging", "dark-storm", "collapse"];
+
+/// Runs every (workload, scenario) pair at `iterations` sweeps each.
+///
+/// # Panics
+///
+/// Panics if the emulated RSU backend fails to construct (its replica
+/// count is fixed and positive here).
+pub fn run(iterations: usize, seed: u64) -> Vec<FaultRow> {
+    let mut rows = Vec::with_capacity(3 * SCENARIOS.len());
+
+    let scene = synthetic::region_scene(32, 32, 5, 6.0, seed);
+    let seg = Segmentation::new(
+        scene.image,
+        SegmentationConfig {
+            threads: THREADS,
+            ..SegmentationConfig::default()
+        },
+    );
+    let pair = synthetic::translated_pair(16, 16, 1, -1, 2.0, seed);
+    let motion = MotionEstimation::new(
+        &pair.frame1,
+        &pair.frame2,
+        MotionConfig {
+            threads: THREADS,
+            ..MotionConfig::default()
+        },
+    );
+    let stereo_scene = synthetic::stereo_pair(24, 24, 2, 2.0, seed);
+    let stereo = StereoMatching::new(
+        &stereo_scene.left,
+        &stereo_scene.right,
+        StereoConfig {
+            threads: THREADS,
+            ..StereoConfig::default()
+        },
+    );
+
+    for scenario in SCENARIOS {
+        let pool = |temperature: f64| {
+            BackendSampler::try_new(
+                Backend::RsuG {
+                    replicas: POOL_UNITS,
+                },
+                temperature,
+            )
+            .expect("fixed positive replica count")
+        };
+        rows.push(run_scenario(
+            "segmentation",
+            scenario,
+            seg.engine_job(pool(seg.mrf().temperature()), iterations, seed),
+            iterations,
+            seed,
+        ));
+        rows.push(run_scenario(
+            "motion",
+            scenario,
+            motion.engine_job(pool(motion.mrf().temperature()), iterations, seed + 1),
+            iterations,
+            seed + 1,
+        ));
+        rows.push(run_scenario(
+            "stereo",
+            scenario,
+            stereo.engine_job(pool(stereo.mrf().temperature()), iterations, seed + 2),
+            iterations,
+            seed + 2,
+        ));
+    }
+    rows
+}
+
+/// Sanity companion: the same zero-fault job on the RSU pool with and
+/// without an (empty) fault plane must agree bit for bit. Returns true
+/// when they do.
+///
+/// # Panics
+///
+/// Panics if the engine rejects a well-formed job.
+pub fn zero_fault_bit_identity(seed: u64) -> bool {
+    let scene = synthetic::region_scene(24, 24, 4, 6.0, seed);
+    let seg = Segmentation::new(
+        scene.image,
+        SegmentationConfig {
+            threads: THREADS,
+            ..SegmentationConfig::default()
+        },
+    );
+    let engine = Engine::with_default_config();
+    let sampler = || {
+        BackendSampler::try_new(
+            Backend::RsuG {
+                replicas: POOL_UNITS,
+            },
+            seg.mrf().temperature(),
+        )
+        .expect("fixed positive replica count")
+    };
+    let bare = engine
+        .submit(seg.engine_job(sampler(), 10, seed))
+        .expect("engine running")
+        .wait();
+    let mut faulted = seg.engine_job(sampler(), 10, seed);
+    faulted.fault_plan = Some(FaultPlan::none());
+    faulted.health = Some(HealthPolicy::default());
+    let faulted = engine.submit(faulted).expect("engine running").wait();
+    engine.shutdown();
+    let soft_engine = Engine::with_default_config();
+    let soft_bare = soft_engine
+        .submit(seg.engine_job(SoftmaxGibbs::new(), 10, seed))
+        .expect("engine running")
+        .wait();
+    let mut soft_faulted = seg.engine_job(SoftmaxGibbs::new(), 10, seed);
+    soft_faulted.fault_plan = Some(FaultPlan::none());
+    let soft_faulted = soft_engine
+        .submit(soft_faulted)
+        .expect("engine running")
+        .wait();
+    soft_engine.shutdown();
+    bare.labels == faulted.labels && soft_bare.labels == soft_faulted.labels
+}
+
+/// Renders the scenario sweep as the `repro faults` report.
+pub fn render(rows: &[FaultRow]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.scenario.clone(),
+                r.outcome.clone(),
+                format!("{}", r.sweeps),
+                format!("{}", r.units_quarantined),
+                r.failed_over_at
+                    .map_or_else(|| "—".to_owned(), |s| format!("sweep {s}")),
+                if r.units_lost == 0 {
+                    "—".to_owned()
+                } else {
+                    format!("{}", r.units_lost)
+                },
+            ]
+        })
+        .collect();
+    format!(
+        "Fault tolerance: {POOL_UNITS}-unit RSU pool under escalating device faults\n\n{}",
+        render_table(
+            &[
+                "workload",
+                "scenario",
+                "outcome",
+                "sweeps",
+                "quarantined",
+                "failover",
+                "units lost",
+            ],
+            &table
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_survives_and_collapse_degrades() {
+        let rows = run(8, 2016);
+        assert_eq!(rows.len(), 12);
+        for row in &rows {
+            assert!(
+                row.survived(),
+                "{} under {} ended `{}`",
+                row.workload,
+                row.scenario,
+                row.outcome
+            );
+        }
+        for row in rows.iter().filter(|r| r.scenario == "baseline") {
+            assert_eq!(row.outcome, "completed", "{}", row.workload);
+            assert_eq!(row.units_quarantined, 0, "{}", row.workload);
+        }
+        for row in rows.iter().filter(|r| r.scenario == "collapse") {
+            assert_eq!(row.outcome, "degraded", "{}", row.workload);
+            assert_eq!(row.units_lost, POOL_UNITS, "{}", row.workload);
+            assert!(row.failed_over_at.is_some(), "{}", row.workload);
+        }
+        let text = render(&rows);
+        assert!(text.contains("collapse"));
+        assert!(text.contains("degraded"));
+    }
+
+    #[test]
+    fn zero_fault_plane_is_bit_identical() {
+        assert!(zero_fault_bit_identity(7));
+    }
+}

@@ -8,6 +8,7 @@ pub mod convergence;
 pub mod diag;
 pub mod energy;
 pub mod engine_bench;
+pub mod faults;
 pub mod fig7;
 pub mod paper_tables;
 pub mod proto_ratio;

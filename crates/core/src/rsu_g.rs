@@ -15,12 +15,14 @@ use crate::energy_unit::{EnergyUnit, EnergyUnitConfig};
 use crate::intensity::IntensityMap;
 use crate::ttf::{TtfReading, TtfRegister};
 use crate::variants::RsuVariant;
-use mogs_gibbs::kernel::{KernelScratch, SweepKernel};
+use mogs_gibbs::kernel::{KernelScratch, SweepKernel, UnitFault};
 use mogs_gibbs::LabelSampler;
+use mogs_mrf::label::MAX_LABELS;
 use mogs_mrf::precision::EnergyQuantizer;
 use mogs_mrf::Label;
 use mogs_ret::circuit::{RetCircuit, RetCircuitConfig};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// How the unit's RET stage produces TTF samples.
 #[derive(Debug, Clone, Default)]
@@ -288,6 +290,7 @@ pub struct RsuGSampler {
     map: IntensityMap,
     ttf: TtfRegister,
     base_rate_per_code: f64,
+    fault: Option<UnitFault>,
 }
 
 impl RsuGSampler {
@@ -299,7 +302,19 @@ impl RsuGSampler {
             quantizer,
             ttf: TtfRegister::at_1ghz(),
             base_rate_per_code: 0.04,
+            fault: None,
         }
+    }
+
+    /// Sets or clears this unit's device fault. A `None` fault is the
+    /// healthy path and costs nothing in the sampling loops.
+    pub fn set_fault(&mut self, fault: Option<UnitFault>) {
+        self.fault = fault;
+    }
+
+    /// The currently injected device fault, if any.
+    pub fn fault(&self) -> Option<UnitFault> {
+        self.fault
     }
 
     /// Overrides the TTF register (clock/window ablations).
@@ -340,12 +355,25 @@ impl RsuGSampler {
     /// bit-identical to it given the codes [`RsuGSampler::fill_codes`]
     /// produces (zero codes draw nothing; ties keep the earlier label;
     /// an all-saturated window keeps `current`).
+    ///
+    /// An injected [`UnitFault`] changes the outcome the way the device
+    /// would: a dead unit keeps `current`, a stuck unit returns its
+    /// latched label (neither consumes randomness), and a dark-count
+    /// fault draws one spurious firing time *before* the tournament —
+    /// if it beats every real label the draw lands on a uniformly
+    /// random label.
     pub fn draw_from_codes<R: Rng + ?Sized>(
         &self,
         codes: &[u8],
         current: Label,
         rng: &mut R,
     ) -> Label {
+        match self.fault {
+            Some(UnitFault::Dead) => return current,
+            Some(UnitFault::Stuck(label)) => return label,
+            _ => {}
+        }
+        let dark = self.dark_reading(rng);
         let mut best_label = current;
         let mut best = TtfReading::Saturated;
         for (m, &code) in codes.iter().enumerate() {
@@ -360,7 +388,58 @@ impl RsuGSampler {
                 best_label = Label::new(m as u8);
             }
         }
+        if dark < best {
+            return Label::new(rng.gen_range(0..codes.len().max(1)) as u8);
+        }
         best_label
+    }
+
+    /// Draws the spurious dark-count firing time for this window, if a
+    /// dark-count fault is injected. Consumes RNG only when faulted, so
+    /// the healthy path stays bit-identical to a fault-free sampler.
+    fn dark_reading<R: Rng + ?Sized>(&self, rng: &mut R) -> TtfReading {
+        if let Some(UnitFault::DarkCount { rate_per_ns }) = self.fault {
+            if rate_per_ns > 0.0 {
+                let ttf = -(1.0 - rng.gen::<f64>()).ln() / rate_per_ns;
+                return self.ttf.capture(Some(ttf));
+            }
+        }
+        TtfReading::Saturated
+    }
+
+    /// Empirical label distribution of this unit over `draws` repeated
+    /// first-to-fire tournaments on a fixed probe row, as a length-
+    /// [`MAX_LABELS`] frequency vector indexed by label value.
+    ///
+    /// The probe runs on its own [`StdRng`] seeded from `seed` — it
+    /// never touches a job's sampling stream — so for fixed inputs the
+    /// result is a pure function of the unit's device state (LUT,
+    /// quantizer, TTF window, injected fault). The health monitor
+    /// compares it against the same unit's pristine baseline.
+    ///
+    /// The "current" label fed to each tournament is the probe row's
+    /// *highest-energy* entry, never its ground state: a dead or stuck
+    /// unit parrots the current label back, and probing from the ground
+    /// state would let such a unit impersonate a healthy, sharply
+    /// peaked distribution. From the worst label the impostor's mass
+    /// lands where a healthy unit puts almost none.
+    pub fn probe_distribution(&self, energies: &[f64], draws: u32, seed: u64) -> Vec<f64> {
+        let mut codes = vec![0u8; energies.len()];
+        self.fill_codes(energies, &mut codes);
+        let worst = energies
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(i, _)| i);
+        let current = Label::new(u8::try_from(worst).unwrap_or(u8::MAX));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; usize::from(MAX_LABELS)];
+        for _ in 0..draws {
+            let label = self.draw_from_codes(&codes, current, &mut rng);
+            counts[usize::from(label.value())] += 1;
+        }
+        let total = f64::from(draws.max(1));
+        counts.into_iter().map(|c| c as f64 / total).collect()
     }
 }
 
@@ -394,6 +473,19 @@ impl SweepKernel for RsuGSampler {
             *slot = self.draw_from_codes(&codes[j * m..(j + 1) * m], cur, rng);
         }
     }
+
+    fn inject_unit_fault(&mut self, unit: usize, fault: UnitFault) -> bool {
+        if unit == 0 {
+            self.fault = Some(fault);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn probe_unit(&self, unit: usize, energies: &[f64], draws: u32, seed: u64) -> Option<Vec<f64>> {
+        (unit == 0).then(|| self.probe_distribution(energies, draws, seed))
+    }
 }
 
 impl LabelSampler for RsuGSampler {
@@ -404,6 +496,12 @@ impl LabelSampler for RsuGSampler {
         current: Label,
         rng: &mut R,
     ) -> Label {
+        match self.fault {
+            Some(UnitFault::Dead) => return current,
+            Some(UnitFault::Stuck(label)) => return label,
+            _ => {}
+        }
+        let dark = self.dark_reading(rng);
         let mut best_label = current;
         let mut best = TtfReading::Saturated;
         let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
@@ -420,6 +518,9 @@ impl LabelSampler for RsuGSampler {
                 best = reading;
                 best_label = Label::new(m as u8);
             }
+        }
+        if dark < best {
+            return Label::new(rng.gen_range(0..energies.len().max(1)) as u8);
         }
         best_label
     }

@@ -185,6 +185,17 @@ pub fn check_ttf_vectors() -> Option<(f64, u8, u8)> {
     None
 }
 
+/// Canonical energy row for online unit health probes.
+///
+/// An 8-label staircase spanning the quantizer's useful range: label 0
+/// is the ground state, later labels step up by 4 model-energy units so
+/// a healthy Boltzmann LUT yields a strongly ordered, far-from-uniform
+/// firing distribution. The fault plane probes every RSU unit against
+/// this row ([`RsuGSampler::probe_distribution`](crate::rsu_g::RsuGSampler::probe_distribution))
+/// and compares the empirical marginals to the unit's pristine baseline;
+/// a dead, stuck, or dark-count-swamped unit moves visibly on this row.
+pub const HEALTH_PROBE_ENERGIES: [f64; 8] = [0.0, 4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0];
+
 /// Golden neighbour-packing vectors: `(neighbours, packed word)`.
 pub fn check_packing_vectors() -> Option<u32> {
     let cases: [([Option<u8>; 4], u32); 3] = [
@@ -227,5 +238,25 @@ mod tests {
     #[test]
     fn all_packing_vectors_pass() {
         assert_eq!(check_packing_vectors(), None);
+    }
+
+    #[test]
+    fn health_probe_row_discriminates_on_a_pristine_unit() {
+        use crate::rsu_g::RsuGSampler;
+        use mogs_mrf::precision::EnergyQuantizer;
+        let unit = RsuGSampler::new(EnergyQuantizer::new(8.0), 4.0);
+        let dist = unit.probe_distribution(&HEALTH_PROBE_ENERGIES, 512, 0x5EED);
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // The ground state must dominate and the distribution must not
+        // be uniform — otherwise drift would be invisible on this row.
+        let ground = dist[0];
+        assert!(ground > 0.25, "ground-state mass too small: {ground}");
+        assert!(dist[7] < ground, "probe row is not ordered");
+        // Deterministic: same seed, same empirical marginals.
+        assert_eq!(
+            dist,
+            unit.probe_distribution(&HEALTH_PROBE_ENERGIES, 512, 0x5EED)
+        );
     }
 }

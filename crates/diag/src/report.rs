@@ -45,6 +45,12 @@ pub struct DiagReport {
     pub convergence_checks: u64,
     /// Labelings folded into the pooled marginals.
     pub marginal_samples: u64,
+    /// Chains that finished degraded: their RSU pool collapsed under
+    /// the live-unit floor and they completed on the exact fallback
+    /// backend (see `mogs_engine::Degraded`). `0` on softmax runs and
+    /// on reports from a bare `MultiChainDiag::report` (the coordinator
+    /// never sees job outputs; `run_chains_diagnosed` fills this in).
+    pub degraded_chains: u64,
     /// Mean normalized per-site entropy.
     pub mean_entropy: f64,
     /// Largest normalized per-site entropy.
@@ -103,6 +109,7 @@ mod tests {
             r_hat: 1.01,
             convergence_checks: 5,
             marginal_samples: 32,
+            degraded_chains: 1,
             mean_entropy: 0.125,
             max_entropy: 0.9,
             uncertain_site_fraction: 0.05,

@@ -107,7 +107,8 @@ where
         })
         .collect();
     let outputs: Vec<JobOutput> = handles.into_iter().map(|h| h.wait()).collect();
-    let report = diag.report();
+    let mut report = diag.report();
+    report.degraded_chains = outputs.iter().filter(|o| o.degraded.is_some()).count() as u64;
     DiagnosedRun {
         outputs,
         report,
@@ -227,7 +228,8 @@ mod tests {
             chain_config(),
             2,
             30,
-        );
+        )
+        .expect("well-formed reference run");
         let diagnosed = run_chains_diagnosed(
             &engine,
             &mrf,

@@ -315,6 +315,7 @@ impl MultiChainDiag {
             r_hat,
             convergence_checks,
             marginal_samples,
+            degraded_chains: 0,
             mean_entropy,
             max_entropy,
             uncertain_site_fraction,

@@ -12,7 +12,7 @@
 
 use crate::error::EngineError;
 use mogs_core::rsu_g::RsuGSampler;
-use mogs_gibbs::kernel::{KernelScratch, SweepKernel};
+use mogs_gibbs::kernel::{KernelScratch, SweepKernel, UnitFault};
 use mogs_gibbs::{LabelSampler, SoftmaxGibbs};
 use mogs_mrf::{EnergyQuantizer, Label};
 use rand::Rng;
@@ -22,9 +22,19 @@ use rand::Rng;
 /// Cloning resets the rotation to unit 0 — and the engine clones the
 /// sampler fresh for every (chunk, group) phase — so pooled draws are as
 /// deterministic as the underlying units.
+///
+/// The rotation runs over a *live set*: quarantining a unit (see
+/// [`SweepKernel::set_live_units`]) removes it from the rotation without
+/// disturbing the units themselves, so the health monitor can rebalance
+/// the pool over survivors mid-job. A fresh pool's live set is all
+/// units, and the healthy indexing is identical to the pre-quarantine
+/// scheme (`(next + j) % replicas`).
 #[derive(Debug, Clone)]
 pub struct RsuPool<U> {
     units: Vec<U>,
+    /// Indices of live (unquarantined) units, in rotation order.
+    rotation: Vec<usize>,
+    /// Position in `rotation` that serves the next draw.
     next: usize,
 }
 
@@ -41,6 +51,7 @@ impl<U: LabelSampler> RsuPool<U> {
         assert!(replicas > 0, "pool needs at least one unit");
         RsuPool {
             units: vec![unit; replicas],
+            rotation: (0..replicas).collect(),
             next: 0,
         }
     }
@@ -51,13 +62,23 @@ impl<U: LabelSampler> RsuPool<U> {
     ///
     /// Panics if `units` is empty.
     pub fn from_units(units: Vec<U>) -> Self {
+        let rotation = (0..units.len()).collect();
         assert!(!units.is_empty(), "pool needs at least one unit");
-        RsuPool { units, next: 0 }
+        RsuPool {
+            units,
+            rotation,
+            next: 0,
+        }
     }
 
-    /// Number of units in the pool.
+    /// Number of units in the pool (live or quarantined).
     pub fn replicas(&self) -> usize {
         self.units.len()
+    }
+
+    /// Number of units currently serving draws.
+    pub fn live_units(&self) -> usize {
+        self.rotation.len()
     }
 }
 
@@ -69,8 +90,8 @@ impl<U: LabelSampler> LabelSampler for RsuPool<U> {
         current: Label,
         rng: &mut R,
     ) -> Label {
-        let slot = self.next;
-        self.next = (self.next + 1) % self.units.len();
+        let slot = self.rotation[self.next];
+        self.next = (self.next + 1) % self.rotation.len();
         self.units[slot].sample_label(energies, temperature, current, rng)
     }
 
@@ -80,7 +101,7 @@ impl<U: LabelSampler> LabelSampler for RsuPool<U> {
 
     fn conditional_probabilities(&self, energies: &[f64], temperature: f64) -> Option<Vec<f64>> {
         // The unit that will serve the next draw speaks for the pool.
-        self.units[self.next].conditional_probabilities(energies, temperature)
+        self.units[self.rotation[self.next]].conditional_probabilities(energies, temperature)
     }
 }
 
@@ -96,24 +117,59 @@ impl SweepKernel for RsuPool<RsuGSampler> {
         rng: &mut R,
     ) {
         let sites = current.len();
-        let k = self.units.len();
+        let k = self.rotation.len();
         // Pass A: every site's energy row through its serving unit's
         // quantizer + intensity LUT. Unit assignment must match the
-        // per-site path exactly: site `j` of the chunk lands on unit
-        // `(next + j) % k`, because the reference rotates once per draw.
-        // The codes pass is RNG-free, so hoisting it out of the draw loop
-        // leaves the RNG stream untouched.
+        // per-site path exactly: site `j` of the chunk lands on live
+        // unit `rotation[(next + j) % k]`, because the reference rotates
+        // once per draw. The codes pass is RNG-free, so hoisting it out
+        // of the draw loop leaves the RNG stream untouched.
         let codes = scratch.codes_mut(sites * m);
         for (j, row) in energies.chunks_exact(m).enumerate() {
-            self.units[(self.next + j) % k].fill_codes(row, &mut codes[j * m..(j + 1) * m]);
+            self.units[self.rotation[(self.next + j) % k]]
+                .fill_codes(row, &mut codes[j * m..(j + 1) * m]);
         }
         // Pass B: first-to-fire tournaments in site order, consuming RNG
         // draws in the same sequence the per-site loop would.
         for (j, (cur, slot)) in current.iter().zip(out.iter_mut()).enumerate() {
-            let unit = &self.units[(self.next + j) % k];
+            let unit = &self.units[self.rotation[(self.next + j) % k]];
             *slot = unit.draw_from_codes(&codes[j * m..(j + 1) * m], *cur, rng);
         }
         self.next = (self.next + sites) % k;
+    }
+
+    fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    fn inject_unit_fault(&mut self, unit: usize, fault: UnitFault) -> bool {
+        match self.units.get_mut(unit) {
+            Some(u) => {
+                u.set_fault(Some(fault));
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn set_live_units(&mut self, live: &[bool]) -> usize {
+        let rotation: Vec<usize> = (0..self.units.len())
+            .filter(|&i| live.get(i).copied().unwrap_or(true))
+            .collect();
+        if rotation.is_empty() {
+            // Refuse an all-dead mask so the pool stays drawable; the
+            // caller is expected to fail over instead.
+            return 0;
+        }
+        self.rotation = rotation;
+        self.next = 0;
+        self.rotation.len()
+    }
+
+    fn probe_unit(&self, unit: usize, energies: &[f64], draws: u32, seed: u64) -> Option<Vec<f64>> {
+        self.units
+            .get(unit)
+            .map(|u| u.probe_distribution(energies, draws, seed))
     }
 }
 
@@ -140,26 +196,12 @@ pub enum BackendSampler {
 }
 
 impl BackendSampler {
-    /// Builds the sampler for `backend`.
+    /// Builds the sampler for `backend`, reporting invalid backend
+    /// descriptions as [`EngineError::Backend`].
     ///
     /// RSU-G units use the workspace's standard emulation setup (8.0
     /// energy-quantizer range, the paper's `T` as the unit model
     /// temperature), matching the reference experiments.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the backend description is invalid; use
-    /// [`BackendSampler::try_new`] to get the failure as an
-    /// [`EngineError::Backend`] instead.
-    pub fn new(backend: Backend, temperature: f64) -> Self {
-        match Self::try_new(backend, temperature) {
-            Ok(sampler) => sampler,
-            Err(err) => panic!("{err}"),
-        }
-    }
-
-    /// Fallible constructor: reports invalid backend descriptions as
-    /// [`EngineError::Backend`] instead of panicking.
     pub fn try_new(backend: Backend, temperature: f64) -> Result<Self, EngineError> {
         match backend {
             Backend::Softmax => Ok(BackendSampler::Softmax(SoftmaxGibbs::new())),
@@ -234,6 +276,47 @@ impl SweepKernel for BackendSampler {
             }
         }
     }
+
+    fn unit_count(&self) -> usize {
+        match self {
+            BackendSampler::Softmax(s) => s.unit_count(),
+            BackendSampler::RsuPool(s) => s.unit_count(),
+        }
+    }
+
+    fn inject_unit_fault(&mut self, unit: usize, fault: UnitFault) -> bool {
+        match self {
+            BackendSampler::Softmax(s) => s.inject_unit_fault(unit, fault),
+            BackendSampler::RsuPool(s) => s.inject_unit_fault(unit, fault),
+        }
+    }
+
+    fn set_live_units(&mut self, live: &[bool]) -> usize {
+        match self {
+            BackendSampler::Softmax(s) => s.set_live_units(live),
+            BackendSampler::RsuPool(s) => s.set_live_units(live),
+        }
+    }
+
+    fn probe_unit(&self, unit: usize, energies: &[f64], draws: u32, seed: u64) -> Option<Vec<f64>> {
+        match self {
+            BackendSampler::Softmax(s) => s.probe_unit(unit, energies, draws, seed),
+            BackendSampler::RsuPool(s) => s.probe_unit(unit, energies, draws, seed),
+        }
+    }
+
+    /// Failing over swaps the RSU pool for the exact softmax sampler;
+    /// an already-exact backend has nowhere to fail over to and reports
+    /// `false` (the health monitor never probes it either).
+    fn fail_over_to_exact(&mut self) -> bool {
+        match self {
+            BackendSampler::Softmax(_) => false,
+            BackendSampler::RsuPool(_) => {
+                *self = BackendSampler::Softmax(SoftmaxGibbs::new());
+                true
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -277,11 +360,37 @@ mod tests {
 
     #[test]
     fn backend_sampler_selects_families() {
-        let soft = BackendSampler::new(Backend::Softmax, 4.0);
+        let soft = BackendSampler::try_new(Backend::Softmax, 4.0).expect("valid backend");
         assert_eq!(soft.name(), "softmax-gibbs");
-        let pool = BackendSampler::new(Backend::RsuG { replicas: 4 }, 4.0);
+        let pool = BackendSampler::try_new(Backend::RsuG { replicas: 4 }, 4.0).expect("valid");
         assert_eq!(pool.name(), "rsu-pool");
         assert!(soft.conditional_probabilities(&[0.0, 1.0], 1.0).is_some());
+    }
+
+    #[test]
+    fn quarantine_rebalances_the_rotation_and_failover_goes_exact() {
+        let mut pool = BackendSampler::try_new(Backend::RsuG { replicas: 3 }, 4.0).expect("valid");
+        assert_eq!(pool.unit_count(), 3);
+        assert!(pool.inject_unit_fault(1, UnitFault::Dead));
+        assert!(!pool.inject_unit_fault(9, UnitFault::Dead));
+        assert_eq!(pool.set_live_units(&[true, false, true]), 2);
+        if let BackendSampler::RsuPool(p) = &pool {
+            assert_eq!(p.rotation, vec![0, 2]);
+            assert_eq!(p.live_units(), 2);
+            assert_eq!(p.replicas(), 3);
+        } else {
+            panic!("expected a pool");
+        }
+        // An all-dead mask is refused without touching the rotation.
+        assert_eq!(pool.set_live_units(&[false, false, false]), 0);
+        if let BackendSampler::RsuPool(p) = &pool {
+            assert_eq!(p.rotation, vec![0, 2]);
+        }
+        assert!(pool.fail_over_to_exact());
+        assert_eq!(pool.name(), "softmax-gibbs");
+        assert!(!pool.fail_over_to_exact(), "already exact");
+        assert_eq!(pool.unit_count(), 1);
+        assert!(pool.probe_unit(0, &[0.0, 1.0], 8, 1).is_none());
     }
 
     #[test]

@@ -25,9 +25,9 @@ use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, Sender, TryRecvError, TrySendError};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use mogs_gibbs::kernel::{KernelArena, SweepKernel};
 use mogs_mrf::energy::SingletonPotential;
 
@@ -49,6 +49,19 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// Jobs swept concurrently; the rest wait in the queue.
     pub max_active_jobs: usize,
+    /// Watchdog deadline for one (iteration, group) phase: a phase whose
+    /// chunks have not all completed within it fails its job with
+    /// [`EngineError::WatchdogTimeout`] so the scheduler stays
+    /// responsive. `None` (the default) disarms the watchdog — phase
+    /// wall-clock depends on load, so opt in with a deadline sized to
+    /// the deployment. A wedged worker thread stays occupied until its
+    /// chunk returns; the watchdog frees the *scheduler*, not the
+    /// thread.
+    pub phase_deadline: Option<Duration>,
+    /// Panicked phases are retried this many times (with a small
+    /// doubling backoff) before the job fails with
+    /// [`EngineError::WorkerPanicked`]. Zero disables retry.
+    pub max_phase_retries: usize,
 }
 
 impl Default for EngineConfig {
@@ -58,6 +71,8 @@ impl Default for EngineConfig {
             workers: cores,
             queue_capacity: 16,
             max_active_jobs: 4,
+            phase_deadline: None,
+            max_phase_retries: 2,
         }
     }
 }
@@ -133,9 +148,12 @@ struct Task {
     chunk: usize,
 }
 
-/// Worker → scheduler: one task finished.
+/// Worker → scheduler: one task finished (perhaps by panicking).
 struct TaskDone {
     id: JobId,
+    /// The panic payload when the task's kernel panicked instead of
+    /// completing; the worker itself survived.
+    panicked: Option<String>,
 }
 
 /// Scheduler-side state of an admitted job.
@@ -149,6 +167,11 @@ struct ActiveJob {
     outstanding: usize,
     /// The diagnostics sink asked to stop this job at a sweep boundary.
     early_stopped: bool,
+    /// First panic payload seen in the current phase; resolved (retry or
+    /// fail) once the phase drains.
+    panicked: Option<String>,
+    /// Panicked-phase retries burned so far; reset on a clean phase.
+    retries: usize,
     started: Instant,
     iteration_started: Instant,
     phase_started: Instant,
@@ -193,9 +216,26 @@ impl Engine {
                     // the hot path never allocates.
                     let mut arena = KernelArena::new();
                     while let Ok(task) = task_rx.recv() {
-                        task.job
-                            .run_chunk(task.iteration, task.group, task.chunk, &mut arena);
-                        if done_tx.send(TaskDone { id: task.id }).is_err() {
+                        // audit:allow(catch-unwind) — the engine's one
+                        // intentional panic-isolation boundary: a panicking
+                        // kernel must fail its *job*, never the worker pool.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            task.job
+                                .run_chunk(task.iteration, task.group, task.chunk, &mut arena);
+                        }));
+                        let panicked = result.err().map(|payload| {
+                            // The unwound arena may hold torn scratch state;
+                            // rebuild it so nothing leaks across the boundary.
+                            arena = KernelArena::new();
+                            panic_message(payload.as_ref())
+                        });
+                        if done_tx
+                            .send(TaskDone {
+                                id: task.id,
+                                panicked,
+                            })
+                            .is_err()
+                        {
                             break;
                         }
                     }
@@ -209,8 +249,18 @@ impl Engine {
         let scheduler = {
             let metrics = Arc::clone(&metrics);
             let max_active = config.max_active_jobs;
+            let phase_deadline = config.phase_deadline;
+            let max_phase_retries = config.max_phase_retries;
             std::thread::spawn(move || {
-                scheduler_loop(sub_rx, task_tx, done_rx, metrics, max_active);
+                scheduler_loop(
+                    sub_rx,
+                    task_tx,
+                    done_rx,
+                    metrics,
+                    max_active,
+                    phase_deadline,
+                    max_phase_retries,
+                );
             })
         };
         Engine {
@@ -368,13 +418,52 @@ impl std::fmt::Debug for Engine {
     }
 }
 
-/// The scheduler: admits jobs, fans out phases, advances on completions.
+/// Renders a worker panic payload for the job's error.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// How often the scheduler wakes to check phase deadlines: a quarter of
+/// the deadline, clamped so short deadlines stay precise and long ones
+/// don't spin.
+fn watchdog_tick(deadline: Duration) -> Duration {
+    (deadline / 4).clamp(Duration::from_millis(5), Duration::from_millis(250))
+}
+
+/// Backoff before the `retries`-th re-dispatch of a panicked phase:
+/// 1 ms doubling, capped at 8 ms (the scheduler sleeps, so the cap keeps
+/// other active jobs responsive).
+fn retry_backoff(retries: usize) -> Duration {
+    Duration::from_millis(1u64 << retries.clamp(1, 4).saturating_sub(1))
+}
+
+/// What `advance` left the job doing.
+enum Advanced {
+    /// A phase was dispatched; the job stays active.
+    Dispatched,
+    /// The job reached a terminal success state (completed, cancelled,
+    /// or early-stopped).
+    Done,
+    /// The fault plane declared the job unrecoverable at a boundary.
+    Failed(EngineError),
+}
+
+/// The scheduler: admits jobs, fans out phases, advances on completions,
+/// retries or fails panicked phases, and abandons overdue ones.
 fn scheduler_loop(
     sub_rx: Receiver<Pending>,
     task_tx: Sender<Task>,
     done_rx: Receiver<TaskDone>,
     metrics: Arc<EngineMetrics>,
     max_active: usize,
+    phase_deadline: Option<Duration>,
+    max_phase_retries: usize,
 ) {
     let mut active: HashMap<JobId, ActiveJob> = HashMap::new();
     let mut open = true;
@@ -404,35 +493,133 @@ fn scheduler_loop(
             }
             continue;
         }
-        // Busy: block for the next task completion.
-        match done_rx.recv() {
-            Ok(done) => {
-                let finished_phase = {
-                    let Some(entry) = active.get_mut(&done.id) else {
-                        continue;
-                    };
-                    entry.outstanding -= 1;
-                    entry.outstanding == 0
-                };
-                if finished_phase {
-                    // The entry was present two lines up; a vanished key
-                    // would be a scheduler bug, not a recoverable state,
-                    // but skipping is strictly safer than unwinding here.
-                    let Some(mut entry) = active.remove(&done.id) else {
-                        continue;
-                    };
-                    metrics.phase_latency.record(entry.phase_started.elapsed());
-                    entry.group += 1;
-                    if advance(&mut entry, &task_tx, &metrics) {
-                        finish(entry, &metrics);
-                    } else {
-                        active.insert(done.id, entry);
-                    }
+        // Busy: block for the next task completion, waking on the
+        // watchdog tick when a phase deadline is armed.
+        let done = match phase_deadline {
+            Some(deadline) => match done_rx.recv_timeout(watchdog_tick(deadline)) {
+                Ok(done) => Some(done),
+                Err(RecvTimeoutError::Timeout) => None,
+                // All workers died; nothing can make progress.
+                Err(RecvTimeoutError::Disconnected) => return,
+            },
+            None => match done_rx.recv() {
+                Ok(done) => Some(done),
+                Err(_) => return,
+            },
+        };
+        let Some(done) = done else {
+            check_watchdog(&mut active, &metrics, phase_deadline);
+            continue;
+        };
+        let finished_phase = {
+            // An absent entry is a job the watchdog already abandoned;
+            // its straggler completions drain here, ignored.
+            let Some(entry) = active.get_mut(&done.id) else {
+                continue;
+            };
+            if let Some(message) = done.panicked {
+                entry.panicked.get_or_insert(message);
+            }
+            entry.outstanding -= 1;
+            entry.outstanding == 0
+        };
+        if finished_phase {
+            // The entry was present two lines up; a vanished key
+            // would be a scheduler bug, not a recoverable state,
+            // but skipping is strictly safer than unwinding here.
+            let Some(mut entry) = active.remove(&done.id) else {
+                continue;
+            };
+            metrics.phase_latency.record(entry.phase_started.elapsed());
+            if let Some(message) = entry.panicked.take() {
+                let retries = max_phase_retries;
+                resolve_panicked_phase(entry, message, &mut active, &task_tx, &metrics, retries);
+                continue;
+            }
+            entry.retries = 0;
+            entry.group += 1;
+            match advance(&mut entry, &task_tx, &metrics) {
+                Advanced::Done => finish(entry, &metrics),
+                Advanced::Failed(err) => finish_failed(entry, &metrics, err),
+                Advanced::Dispatched => {
+                    active.insert(done.id, entry);
                 }
             }
-            // All workers died; nothing can make progress.
-            Err(_) => return,
         }
+    }
+}
+
+/// Fails every job whose current phase has been running past the
+/// deadline. The abandoned job's in-flight chunks drain as stragglers;
+/// a truly wedged chunk keeps its worker thread occupied (the watchdog
+/// frees the scheduler and the caller, not the OS thread).
+fn check_watchdog(
+    active: &mut HashMap<JobId, ActiveJob>,
+    metrics: &EngineMetrics,
+    phase_deadline: Option<Duration>,
+) {
+    let Some(deadline) = phase_deadline else {
+        return;
+    };
+    let overdue: Vec<JobId> = active
+        .iter()
+        .filter(|(_, e)| e.outstanding > 0 && e.phase_started.elapsed() > deadline)
+        .map(|(&id, _)| id)
+        .collect();
+    for id in overdue {
+        let Some(entry) = active.remove(&id) else {
+            continue;
+        };
+        let err = EngineError::WatchdogTimeout {
+            iteration: entry.iteration,
+            group: entry.group,
+            deadline_ms: u64::try_from(deadline.as_millis()).unwrap_or(u64::MAX),
+        };
+        finish_failed(entry, metrics, err);
+    }
+}
+
+/// Resolves a fully drained phase that saw at least one panic: retry it
+/// (bounded, with backoff) or fail the job with
+/// [`EngineError::WorkerPanicked`].
+///
+/// A retry re-runs the whole (iteration, group) phase against the plane
+/// as the first attempt left it — chunks that completed before the
+/// panic have already published their labels. Recovery prioritizes
+/// liveness over replaying the exact healthy-path draw sequence; the
+/// bit-identity contract applies to panic-free runs.
+fn resolve_panicked_phase(
+    mut entry: ActiveJob,
+    message: String,
+    active: &mut HashMap<JobId, ActiveJob>,
+    task_tx: &Sender<Task>,
+    metrics: &EngineMetrics,
+    max_phase_retries: usize,
+) {
+    let cancelled = entry.shared.cancel.load(Ordering::Acquire);
+    if entry.retries < max_phase_retries && !cancelled {
+        entry.retries += 1;
+        metrics.phase_retries.fetch_add(1, Ordering::Relaxed);
+        std::thread::sleep(retry_backoff(entry.retries));
+        if dispatch_phase(&mut entry, task_tx) {
+            active.insert(entry.id, entry);
+        } else {
+            // Worker pool is gone; the dispatch marked the job cancelled.
+            finish(entry, metrics);
+        }
+    } else if cancelled {
+        // The user already asked for cancellation; honour it rather than
+        // burning retries on a job nobody wants.
+        finish(entry, metrics);
+    } else {
+        metrics.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+        let err = EngineError::WorkerPanicked {
+            iteration: entry.iteration,
+            group: entry.group,
+            retries: entry.retries,
+            message,
+        };
+        finish_failed(entry, metrics, err);
     }
 }
 
@@ -455,28 +642,56 @@ fn admit(
         group: 0,
         outstanding: 0,
         early_stopped: false,
+        panicked: None,
+        retries: 0,
         started: now,
         iteration_started: now,
         phase_started: now,
     };
-    if advance(&mut entry, task_tx, metrics) {
-        finish(entry, metrics);
-    } else {
-        active.insert(id, entry);
+    match advance(&mut entry, task_tx, metrics) {
+        Advanced::Done => finish(entry, metrics),
+        Advanced::Failed(err) => finish_failed(entry, metrics, err),
+        Advanced::Dispatched => {
+            active.insert(id, entry);
+        }
     }
 }
 
+/// Fans the job's current (iteration, group) phase out as one task per
+/// chunk. Returns `false` when the worker pool is gone (the job is
+/// marked cancelled so the caller can finish it).
+fn dispatch_phase(entry: &mut ActiveJob, task_tx: &Sender<Task>) -> bool {
+    let chunks = entry.job.chunks_in_group(entry.group);
+    entry.phase_started = Instant::now();
+    for chunk in 0..chunks {
+        let task = Task {
+            id: entry.id,
+            job: Arc::clone(&entry.job),
+            iteration: entry.iteration,
+            group: entry.group,
+            chunk,
+        };
+        if task_tx.send(task).is_err() {
+            // Worker pool is gone; treat as cancellation.
+            entry.shared.cancel.store(true, Ordering::Release);
+            return false;
+        }
+    }
+    entry.outstanding = chunks;
+    true
+}
+
 /// Drives a job forward from a phase boundary: closes out finished
-/// iterations, honours cancellation and sink early-stops, and dispatches
-/// the next non-empty phase. Returns `true` when the job is done
-/// (completed, early-stopped, or cancelled).
-fn advance(entry: &mut ActiveJob, task_tx: &Sender<Task>, metrics: &EngineMetrics) -> bool {
+/// iterations (running the sweep's fault/health boundary protocol),
+/// honours cancellation and sink early-stops, and dispatches the next
+/// non-empty phase.
+fn advance(entry: &mut ActiveJob, task_tx: &Sender<Task>, metrics: &EngineMetrics) -> Advanced {
     loop {
         if entry.shared.cancel.load(Ordering::Acquire) {
-            return true;
+            return Advanced::Done;
         }
         if entry.group == entry.job.group_count() {
-            let decision = entry.job.end_iteration(entry.iteration);
+            let report = entry.job.end_iteration(entry.iteration);
             metrics.sweeps_completed.fetch_add(1, Ordering::Relaxed);
             metrics
                 .site_updates
@@ -484,43 +699,39 @@ fn advance(entry: &mut ActiveJob, task_tx: &Sender<Task>, metrics: &EngineMetric
             metrics
                 .sweep_latency
                 .record(entry.iteration_started.elapsed());
+            metrics
+                .units_quarantined
+                .fetch_add(report.quarantined_now, Ordering::Relaxed);
+            if report.failed_over {
+                metrics.jobs_failed_over.fetch_add(1, Ordering::Relaxed);
+            }
             entry.iteration += 1;
             entry.group = 0;
             entry.iteration_started = Instant::now();
-            if decision == SweepDecision::Stop && entry.iteration < entry.job.iterations() {
+            if let Some(err) = report.fatal {
+                return Advanced::Failed(err);
+            }
+            if report.decision == SweepDecision::Stop && entry.iteration < entry.job.iterations() {
                 // The sink called convergence: stop through the existing
                 // cancellation path (same flag, same phase-boundary
                 // check), remembering it was a diagnostics stop.
                 entry.early_stopped = true;
                 entry.shared.cancel.store(true, Ordering::Release);
-                return true;
+                return Advanced::Done;
             }
         }
         if entry.iteration == entry.job.iterations() {
-            return true;
+            return Advanced::Done;
         }
         let chunks = entry.job.chunks_in_group(entry.group);
         if chunks == 0 {
             entry.group += 1;
             continue;
         }
-        entry.phase_started = Instant::now();
-        for chunk in 0..chunks {
-            let task = Task {
-                id: entry.id,
-                job: Arc::clone(&entry.job),
-                iteration: entry.iteration,
-                group: entry.group,
-                chunk,
-            };
-            if task_tx.send(task).is_err() {
-                // Worker pool is gone; treat as cancellation.
-                entry.shared.cancel.store(true, Ordering::Release);
-                return true;
-            }
+        if !dispatch_phase(entry, task_tx) {
+            return Advanced::Done;
         }
-        entry.outstanding = chunks;
-        return false;
+        return Advanced::Dispatched;
     }
 }
 
@@ -542,4 +753,15 @@ fn finish(entry: ActiveJob, metrics: &EngineMetrics) {
     }
     metrics.job_wall_time.record(entry.started.elapsed());
     entry.shared.finish(output);
+}
+
+/// Publishes a failed job's error and updates counters. Deliberately
+/// never calls `finalize`: after a watchdog abandonment the job's
+/// straggler chunks may still be mutating the label plane, so the
+/// output side stays untouched and only the typed error is surfaced.
+fn finish_failed(entry: ActiveJob, metrics: &EngineMetrics, err: EngineError) {
+    metrics.active_jobs.fetch_sub(1, Ordering::Relaxed);
+    metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    metrics.job_wall_time.record(entry.started.elapsed());
+    entry.shared.finish_err(err);
 }

@@ -41,10 +41,35 @@ pub enum EngineError {
         /// What was wrong with it.
         reason: String,
     },
-    /// A sampler backend could not be constructed from its description.
+    /// A sampler backend could not be constructed from its description,
+    /// or collapsed mid-job with no exact fallback to fail over to.
     Backend {
         /// What was wrong with the backend description.
         reason: String,
+    },
+    /// A worker panicked while running this job's kernel and the phase
+    /// exhausted its retry budget. The engine itself stays serviceable;
+    /// only the offending job fails.
+    WorkerPanicked {
+        /// Sweep the panicking phase belonged to.
+        iteration: usize,
+        /// Schedule group (phase) within the sweep.
+        group: usize,
+        /// Retries attempted before giving up.
+        retries: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A phase exceeded the engine's watchdog deadline
+    /// ([`EngineConfig::phase_deadline`](crate::EngineConfig)); the job
+    /// was abandoned to keep the scheduler responsive.
+    WatchdogTimeout {
+        /// Sweep the overdue phase belonged to.
+        iteration: usize,
+        /// Schedule group (phase) within the sweep.
+        group: usize,
+        /// The configured deadline, in milliseconds.
+        deadline_ms: u64,
     },
     /// The engine has shut down; no further jobs are accepted.
     ShutDown,
@@ -60,6 +85,8 @@ impl EngineError {
             EngineError::Labeling(_) => "labeling",
             EngineError::InvalidSpec { .. } => "invalid-spec",
             EngineError::Backend { .. } => "backend",
+            EngineError::WorkerPanicked { .. } => "worker-panicked",
+            EngineError::WatchdogTimeout { .. } => "watchdog-timeout",
             EngineError::ShutDown => "shut-down",
         }
     }
@@ -78,6 +105,24 @@ impl std::fmt::Display for EngineError {
                 write!(f, "job spec field `{field}`: {reason}")
             }
             EngineError::Backend { reason } => write!(f, "backend construction: {reason}"),
+            EngineError::WorkerPanicked {
+                iteration,
+                group,
+                retries,
+                message,
+            } => write!(
+                f,
+                "kernel panicked in sweep {iteration} group {group} \
+                 after {retries} retries: {message}"
+            ),
+            EngineError::WatchdogTimeout {
+                iteration,
+                group,
+                deadline_ms,
+            } => write!(
+                f,
+                "sweep {iteration} group {group} exceeded the {deadline_ms} ms phase deadline"
+            ),
             EngineError::ShutDown => write!(f, "engine has shut down"),
         }
     }
@@ -111,6 +156,21 @@ mod tests {
         };
         assert!(err.to_string().starts_with("engine error [invalid-spec]:"));
         assert_eq!(EngineError::ShutDown.variant(), "shut-down");
+        let err = EngineError::WorkerPanicked {
+            iteration: 3,
+            group: 1,
+            retries: 2,
+            message: "boom".to_string(),
+        };
+        assert_eq!(err.variant(), "worker-panicked");
+        assert!(err.to_string().contains("sweep 3 group 1"));
+        let err = EngineError::WatchdogTimeout {
+            iteration: 0,
+            group: 0,
+            deadline_ms: 50,
+        };
+        assert_eq!(err.variant(), "watchdog-timeout");
+        assert!(err.to_string().contains("50 ms"));
     }
 
     #[test]

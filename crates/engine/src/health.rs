@@ -1,0 +1,251 @@
+//! Online unit health monitoring and quarantine for faulted jobs.
+//!
+//! A [`FaultRuntime`] lives inside a job that carries a fault plan or a
+//! health policy. At every quiescent sweep boundary (the same barrier
+//! the diagnostics sink and early stopping use) the runner calls
+//! [`FaultRuntime::on_boundary`], which:
+//!
+//! 1. injects any [`FaultEvent`]s scheduled for the upcoming sweep into
+//!    the job's kernel,
+//! 2. probes every live unit with the canonical calibration row and
+//!    quarantines units whose empirical marginals drift past the
+//!    policy's total-variation threshold,
+//! 3. rebalances the pool rotation over survivors, or — when the pool
+//!    falls below the live-unit floor — fails the job over to the exact
+//!    backend so it completes [`Degraded`] instead of dying.
+//!
+//! Probes use their own seeded RNG stream and the baseline is captured
+//! from the pristine kernel at admission, so a healthy unit compares
+//! exactly equal to its baseline (drift 0) and the whole monitor is
+//! deterministic under a fixed seed.
+
+use crate::error::EngineError;
+use crate::fault::{Degraded, FaultEvent, FaultPlan, HealthPolicy};
+use mogs_core::verification::HEALTH_PROBE_ENERGIES;
+use mogs_gibbs::kernel::SweepKernel;
+
+/// What one sweep boundary did to the job's fault state.
+#[derive(Debug, Default)]
+pub(crate) struct BoundaryReport {
+    /// Units newly quarantined at this boundary.
+    pub quarantined_now: u64,
+    /// True when this boundary failed the job over to the exact backend.
+    pub failed_over: bool,
+    /// Fatal outcome: the pool collapsed and no exact fallback exists.
+    pub fatal: Option<EngineError>,
+}
+
+/// Per-job fault state: the event schedule cursor, pristine per-unit
+/// probe baselines, and the quarantine mask.
+#[derive(Debug)]
+pub(crate) struct FaultRuntime {
+    events: Vec<FaultEvent>,
+    cursor: usize,
+    policy: HealthPolicy,
+    /// Pristine per-unit probe marginals; empty when the kernel has no
+    /// per-unit probe (exact backends) or no policy was given — either
+    /// way, probing is disabled and only scheduled events apply.
+    baseline: Vec<Vec<f64>>,
+    quarantined: Vec<bool>,
+    degraded: Option<Degraded>,
+    /// Set once the pool collapsed with no fallback; stops all further
+    /// fault work (the job is already being failed).
+    poisoned: bool,
+}
+
+impl FaultRuntime {
+    /// Builds the runtime against the job's pristine kernel: captures
+    /// per-unit baselines (before any sweep-0 event lands), then applies
+    /// sweep-0 events so the first sweep already sees them.
+    pub(crate) fn new<L: SweepKernel>(
+        plan: Option<FaultPlan>,
+        policy: Option<HealthPolicy>,
+        sampler: &mut L,
+    ) -> Self {
+        let events = plan.map(|p| p.events().to_vec()).unwrap_or_default();
+        let units = sampler.unit_count();
+        let resolved = policy.unwrap_or_default();
+        let baseline = if policy.is_some() {
+            let probes: Vec<_> = (0..units)
+                .map(|u| {
+                    sampler.probe_unit(
+                        u,
+                        &HEALTH_PROBE_ENERGIES,
+                        resolved.probe_draws,
+                        resolved.probe_seed,
+                    )
+                })
+                .collect();
+            if probes.iter().all(Option::is_some) {
+                probes.into_iter().flatten().collect()
+            } else {
+                Vec::new()
+            }
+        } else {
+            Vec::new()
+        };
+        let mut rt = FaultRuntime {
+            events,
+            cursor: 0,
+            policy: resolved,
+            baseline,
+            quarantined: vec![false; units],
+            degraded: None,
+            poisoned: false,
+        };
+        rt.apply_due_events(0, sampler);
+        rt
+    }
+
+    /// The degraded outcome, once failover has happened.
+    pub(crate) fn degraded(&self) -> Option<Degraded> {
+        self.degraded
+    }
+
+    /// Injects every event scheduled at or before `boundary`.
+    fn apply_due_events<L: SweepKernel>(&mut self, boundary: usize, sampler: &mut L) {
+        while let Some(event) = self.events.get(self.cursor) {
+            if event.sweep > boundary {
+                break;
+            }
+            sampler.inject_unit_fault(event.unit, event.fault);
+            self.cursor += 1;
+        }
+    }
+
+    /// Runs the boundary protocol after sweep `completed` finishes: the
+    /// upcoming sweep is `completed + 1`, so events scheduled there are
+    /// injected, live units are probed (on probe sweeps), drifted units
+    /// quarantined, and the rotation rebalanced or failed over.
+    pub(crate) fn on_boundary<L: SweepKernel>(
+        &mut self,
+        completed: usize,
+        sampler: &mut L,
+    ) -> BoundaryReport {
+        let mut report = BoundaryReport::default();
+        if self.degraded.is_some() || self.poisoned {
+            // Post-failover the pool is out of the sampling path (and a
+            // poisoned job is already failing): nothing left to monitor.
+            return report;
+        }
+        let boundary = completed + 1;
+        self.apply_due_events(boundary, sampler);
+        if self.baseline.is_empty() || !boundary.is_multiple_of(self.policy.probe_every) {
+            return report;
+        }
+        for unit in 0..self.quarantined.len() {
+            if self.quarantined[unit] {
+                continue;
+            }
+            let Some(dist) = sampler.probe_unit(
+                unit,
+                &HEALTH_PROBE_ENERGIES,
+                self.policy.probe_draws,
+                self.policy.probe_seed,
+            ) else {
+                continue;
+            };
+            if total_variation(&dist, &self.baseline[unit]) > self.policy.drift_threshold {
+                self.quarantined[unit] = true;
+                report.quarantined_now += 1;
+            }
+        }
+        if report.quarantined_now == 0 {
+            return report;
+        }
+        let live: Vec<bool> = self.quarantined.iter().map(|&q| !q).collect();
+        let live_count = live.iter().filter(|&&l| l).count();
+        if live_count >= self.policy.min_live_units {
+            // Rebalance the rotation over survivors. Only reached when
+            // the quarantine set actually changed, so the healthy path
+            // never perturbs the rotation (bit-identity).
+            sampler.set_live_units(&live);
+        } else if sampler.fail_over_to_exact() {
+            self.degraded = Some(Degraded {
+                failed_over_at: boundary,
+                units_lost: self.quarantined.iter().filter(|&&q| q).count(),
+            });
+            report.failed_over = true;
+        } else {
+            self.poisoned = true;
+            report.fatal = Some(EngineError::Backend {
+                reason: format!(
+                    "RSU pool collapsed at sweep boundary {boundary}: {live_count} live \
+                     unit(s) under floor {} and the kernel has no exact fallback",
+                    self.policy.min_live_units
+                ),
+            });
+        }
+        report
+    }
+}
+
+/// Total-variation distance between two discrete distributions over the
+/// same support: `0.5 * Σ|p - q|`, in `[0, 1]`.
+fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogs_gibbs::kernel::UnitFault;
+    use mogs_mrf::Label;
+
+    #[test]
+    fn total_variation_bounds() {
+        assert!(total_variation(&[0.5, 0.5], &[0.5, 0.5]).abs() < 1e-15);
+        assert!((total_variation(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn healthy_pool_is_never_quarantined() {
+        use crate::backend::{Backend, BackendSampler};
+        let mut sampler = BackendSampler::try_new(Backend::RsuG { replicas: 4 }, 4.0)
+            .expect("valid backend spec");
+        let mut rt = FaultRuntime::new(None, Some(HealthPolicy::default()), &mut sampler);
+        for sweep in 0..8 {
+            let report = rt.on_boundary(sweep, &mut sampler);
+            assert_eq!(report.quarantined_now, 0);
+            assert!(!report.failed_over);
+            assert!(report.fatal.is_none());
+        }
+        assert!(rt.degraded().is_none());
+    }
+
+    #[test]
+    fn dead_units_quarantine_and_collapse_fails_over() {
+        use crate::backend::{Backend, BackendSampler};
+        let mut sampler = BackendSampler::try_new(Backend::RsuG { replicas: 2 }, 4.0)
+            .expect("valid backend spec");
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                sweep: 1,
+                unit: 0,
+                fault: UnitFault::Dead,
+            },
+            FaultEvent {
+                sweep: 2,
+                unit: 1,
+                fault: UnitFault::Stuck(Label::new(3)),
+            },
+        ]);
+        let mut rt = FaultRuntime::new(Some(plan), Some(HealthPolicy::default()), &mut sampler);
+        let report = rt.on_boundary(0, &mut sampler);
+        assert_eq!(report.quarantined_now, 1, "dead unit must drift");
+        assert!(!report.failed_over, "one survivor is above the floor");
+        let report = rt.on_boundary(1, &mut sampler);
+        assert_eq!(report.quarantined_now, 1, "stuck unit must drift");
+        assert!(report.failed_over, "pool collapsed below the floor");
+        assert_eq!(
+            rt.degraded(),
+            Some(Degraded {
+                failed_over_at: 2,
+                units_lost: 2
+            })
+        );
+        // Post-failover boundaries are inert.
+        let report = rt.on_boundary(2, &mut sampler);
+        assert_eq!(report.quarantined_now, 0);
+    }
+}

@@ -67,6 +67,16 @@ pub struct InferenceJob<S: SingletonPotential, L: LabelSampler> {
     /// (see [`DiagSink`]). `None` costs nothing; a sink's declared
     /// [`needs`](DiagSink::needs) bound what the engine computes for it.
     pub sink: Option<std::sync::Arc<dyn DiagSink>>,
+    /// Deterministic device-fault schedule applied at sweep boundaries
+    /// (see [`FaultPlan`](crate::FaultPlan)). `None` — and
+    /// [`FaultPlan::none`](crate::FaultPlan::none) — cost nothing and
+    /// are bit-identical to the fault-free engine.
+    pub fault_plan: Option<crate::FaultPlan>,
+    /// Online unit health monitoring between sweeps (see
+    /// [`HealthPolicy`](crate::HealthPolicy)): calibration probes,
+    /// quarantine, rotation rebalancing, and backend failover. `None`
+    /// disables monitoring; scheduled faults then land unobserved.
+    pub health: Option<crate::HealthPolicy>,
 }
 
 impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
@@ -88,6 +98,8 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
             initial: None,
             groups: None,
             sink: None,
+            fault_plan: None,
+            health: None,
         }
     }
 
@@ -128,6 +140,8 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
             initial: None,
             groups: None,
             sink: None,
+            fault_plan: None,
+            health: None,
         }
     }
 
@@ -263,6 +277,10 @@ pub struct JobOutput {
     /// [`SweepDecision::Stop`](crate::SweepDecision) — a convergence
     /// stop, not a user cancel (`cancelled` stays `false`).
     pub early_stopped: bool,
+    /// Set when the job failed over to the exact backend mid-flight
+    /// because quarantined RSU units dropped the pool below the health
+    /// policy's floor: the job still completed, on degraded hardware.
+    pub degraded: Option<crate::Degraded>,
 }
 
 impl JobOutput {
@@ -311,7 +329,7 @@ pub(crate) struct HandleShared {
 #[derive(Debug)]
 pub(crate) struct HandleState {
     pub(crate) status: JobStatus,
-    pub(crate) output: Option<JobOutput>,
+    pub(crate) output: Option<Result<JobOutput, crate::EngineError>>,
 }
 
 impl HandleShared {
@@ -330,7 +348,17 @@ impl HandleShared {
     pub(crate) fn finish(&self, output: JobOutput) {
         let mut state = self.state.lock();
         state.status = JobStatus::Finished;
-        state.output = Some(output);
+        state.output = Some(Ok(output));
+        drop(state);
+        self.done.notify_all();
+    }
+
+    /// Publishes a terminal failure (worker panic, watchdog timeout,
+    /// backend collapse) and wakes waiters.
+    pub(crate) fn finish_err(&self, err: crate::EngineError) {
+        let mut state = self.state.lock();
+        state.status = JobStatus::Finished;
+        state.output = Some(Err(err));
         drop(state);
         self.done.notify_all();
     }
@@ -373,7 +401,27 @@ impl JobHandle {
     /// Blocks until the job finishes and returns its output.
     ///
     /// Consumes the handle: the output is moved out, not cloned.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the job ended in a terminal failure (worker panic,
+    /// watchdog timeout, backend collapse). Fault-injecting callers
+    /// should use [`JobHandle::wait_result`] and match the error.
     pub fn wait(self) -> JobOutput {
+        let id = self.id;
+        match self.wait_result() {
+            Ok(output) => output,
+            Err(err) => panic!("{id} failed: {err}"),
+        }
+    }
+
+    /// Blocks until the job finishes and returns its typed terminal
+    /// state: `Ok` for completed / cancelled / early-stopped / degraded
+    /// outputs, `Err` when the job itself failed (the engine stays
+    /// serviceable either way).
+    ///
+    /// Consumes the handle: the output is moved out, not cloned.
+    pub fn wait_result(self) -> Result<JobOutput, crate::EngineError> {
         let mut state = self.shared.state.lock();
         loop {
             if let Some(output) = state.output.take() {
@@ -408,10 +456,28 @@ mod tests {
             iterations_run: 3,
             cancelled: false,
             early_stopped: false,
+            degraded: None,
         };
         shared.finish(out.clone());
         assert!(handle.is_finished());
         assert_eq!(handle.wait(), out);
+    }
+
+    #[test]
+    fn handle_wait_result_surfaces_failures_without_panicking() {
+        let shared = HandleShared::new();
+        let handle = JobHandle {
+            id: JobId(2),
+            shared: Arc::clone(&shared),
+        };
+        shared.finish_err(crate::EngineError::WatchdogTimeout {
+            iteration: 1,
+            group: 0,
+            deadline_ms: 10,
+        });
+        assert!(handle.is_finished());
+        let err = handle.wait_result().unwrap_err();
+        assert_eq!(err.variant(), "watchdog-timeout");
     }
 
     #[test]

@@ -28,7 +28,16 @@
 //! - [`EngineMetrics`] counts jobs, sweeps, and site updates and
 //!   histograms latencies; [`MetricsSnapshot`] serializes to JSON.
 //! - Every failure — spec validation, admission, backend construction,
-//!   shutdown — is one [`EngineError`] with stable variant names.
+//!   worker panics, watchdog timeouts, shutdown — is one [`EngineError`]
+//!   with stable variant names.
+//! - The [`fault`] module makes the runtime *fault-tolerant*: a seeded
+//!   [`FaultPlan`] injects deterministic unit faults at sweep
+//!   boundaries, a [`HealthPolicy`] probes units between sweeps and
+//!   quarantines drifted ones, and when the pool collapses under the
+//!   live-unit floor the job fails over to the exact backend mid-flight
+//!   and completes [`Degraded`]. Workers isolate kernel panics
+//!   (`catch_unwind`), panicked phases retry with backoff, and an
+//!   optional per-phase watchdog keeps the scheduler responsive.
 //!
 //! Downstream crates should import from [`prelude`].
 //!
@@ -75,6 +84,8 @@
 mod backend;
 mod engine;
 mod error;
+pub mod fault;
+mod health;
 mod job;
 pub mod metrics;
 mod multichain;
@@ -86,6 +97,7 @@ mod spec;
 pub use backend::{Backend, BackendSampler, RsuPool};
 pub use engine::{Engine, EngineConfig, PreparedJob, TrySubmitError};
 pub use error::EngineError;
+pub use fault::{Degraded, FaultEvent, FaultPlan, HealthPolicy};
 pub use job::{InferenceJob, JobHandle, JobId, JobOutput, JobStatus};
 pub use metrics::{EngineMetrics, HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use multichain::run_chains_on_engine;
@@ -114,6 +126,7 @@ pub mod prelude {
     pub use crate::backend::{Backend, BackendSampler, RsuPool};
     pub use crate::engine::{Engine, EngineConfig, PreparedJob, TrySubmitError};
     pub use crate::error::EngineError;
+    pub use crate::fault::{Degraded, FaultEvent, FaultPlan, HealthPolicy};
     pub use crate::job::{InferenceJob, JobHandle, JobId, JobOutput, JobStatus};
     pub use crate::metrics::{EngineMetrics, MetricsSnapshot};
     pub use crate::multichain::run_chains_on_engine;
@@ -121,5 +134,5 @@ pub mod prelude {
         DiagSink, JobStartInfo, NullSink, SinkNeeds, SweepDecision, SweepObservation,
     };
     pub use crate::spec::{JobSpec, JobSpecBuilder};
-    pub use mogs_gibbs::kernel::{KernelArena, KernelScratch, SweepKernel};
+    pub use mogs_gibbs::kernel::{KernelArena, KernelScratch, SweepKernel, UnitFault};
 }

@@ -128,6 +128,21 @@ pub struct EngineMetrics {
     /// Jobs stopped at a sweep boundary by a diagnostics sink's
     /// convergence verdict.
     pub jobs_early_stopped: AtomicU64,
+    /// Jobs that ended in a typed failure (worker panic past the retry
+    /// budget, watchdog timeout, or an RSU-pool collapse with no exact
+    /// fallback).
+    pub jobs_failed: AtomicU64,
+    /// Jobs failed by [`EngineError::WorkerPanicked`] specifically.
+    ///
+    /// [`EngineError::WorkerPanicked`]: crate::EngineError::WorkerPanicked
+    pub jobs_panicked: AtomicU64,
+    /// Jobs whose RSU pool collapsed under the live-unit floor and fell
+    /// over to the exact softmax backend mid-flight.
+    pub jobs_failed_over: AtomicU64,
+    /// Panicked phases re-dispatched under the retry budget.
+    pub phase_retries: AtomicU64,
+    /// RSU units quarantined by the between-sweep health monitor.
+    pub units_quarantined: AtomicU64,
     /// Full sweeps (every site updated once) across all jobs.
     pub sweeps_completed: AtomicU64,
     /// Individual site updates across all jobs.
@@ -159,6 +174,11 @@ impl EngineMetrics {
             jobs_completed: AtomicU64::new(0),
             jobs_cancelled: AtomicU64::new(0),
             jobs_early_stopped: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_panicked: AtomicU64::new(0),
+            jobs_failed_over: AtomicU64::new(0),
+            phase_retries: AtomicU64::new(0),
+            units_quarantined: AtomicU64::new(0),
             sweeps_completed: AtomicU64::new(0),
             site_updates: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
@@ -184,6 +204,11 @@ impl EngineMetrics {
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
             jobs_early_stopped: self.jobs_early_stopped.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
+            jobs_failed_over: self.jobs_failed_over.load(Ordering::Relaxed),
+            phase_retries: self.phase_retries.load(Ordering::Relaxed),
+            units_quarantined: self.units_quarantined.load(Ordering::Relaxed),
             sweeps_completed: sweeps,
             site_updates: updates,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
@@ -221,6 +246,16 @@ pub struct MetricsSnapshot {
     pub jobs_cancelled: u64,
     /// Jobs early-stopped by a diagnostics sink's convergence verdict.
     pub jobs_early_stopped: u64,
+    /// Jobs that ended in a typed failure.
+    pub jobs_failed: u64,
+    /// Jobs failed by a worker panic past the retry budget.
+    pub jobs_panicked: u64,
+    /// Jobs that failed over to the exact backend mid-flight.
+    pub jobs_failed_over: u64,
+    /// Panicked phases re-dispatched under the retry budget.
+    pub phase_retries: u64,
+    /// RSU units quarantined by the health monitor.
+    pub units_quarantined: u64,
     /// Full sweeps across all jobs.
     pub sweeps_completed: u64,
     /// Site updates across all jobs.
@@ -306,5 +341,24 @@ mod tests {
         let back: MetricsSnapshot = serde::json::from_str(&json).expect("round trip");
         assert_eq!(back.phase_latency.count, 1);
         assert!(back.phase_latency.p99_us >= 17);
+    }
+
+    #[test]
+    fn snapshot_exports_fault_counters() {
+        let m = EngineMetrics::new();
+        m.jobs_failed.fetch_add(4, Ordering::Relaxed);
+        m.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+        m.jobs_failed_over.fetch_add(2, Ordering::Relaxed);
+        m.phase_retries.fetch_add(3, Ordering::Relaxed);
+        m.units_quarantined.fetch_add(7, Ordering::Relaxed);
+        let json = m.snapshot().to_json();
+        assert!(json.contains("\"jobs_failed\":4"), "json: {json}");
+        assert!(json.contains("\"jobs_panicked\":1"), "json: {json}");
+        assert!(json.contains("\"jobs_failed_over\":2"), "json: {json}");
+        assert!(json.contains("\"phase_retries\":3"), "json: {json}");
+        assert!(json.contains("\"units_quarantined\":7"), "json: {json}");
+        let back: MetricsSnapshot = serde::json::from_str(&json).expect("round trip");
+        assert_eq!(back.units_quarantined, 7);
+        assert_eq!(back.jobs_failed_over, 2);
     }
 }

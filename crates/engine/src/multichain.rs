@@ -14,7 +14,8 @@ use mogs_mrf::energy::SingletonPotential;
 use mogs_mrf::MarkovRandomField;
 
 use crate::engine::Engine;
-use crate::job::InferenceJob;
+use crate::error::EngineError;
+use crate::job::{InferenceJob, JobOutput};
 
 /// Runs `replicas` independent chains through `engine` and computes
 /// Gelman–Rubin R̂ over their post-burn-in energy traces.
@@ -25,10 +26,12 @@ use crate::job::InferenceJob;
 /// through the engine's bounded queue, so a saturated engine applies
 /// backpressure here like everywhere else.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `replicas < 2`, `iterations <= config.burn_in`,
-/// `config.threads < 2`, or the engine shuts down mid-run.
+/// [`EngineError::InvalidSpec`] when `replicas < 2` or
+/// `iterations <= config.burn_in`; any submission or per-replica
+/// failure ([`EngineError::ShutDown`], a worker panic, a watchdog
+/// timeout, an RSU-pool collapse) propagates as its own variant.
 pub fn run_chains_on_engine<S, L>(
     engine: &Engine,
     mrf: &MarkovRandomField<S>,
@@ -36,19 +39,26 @@ pub fn run_chains_on_engine<S, L>(
     config: ChainConfig,
     replicas: usize,
     iterations: usize,
-) -> MultiChainResult
+) -> Result<MultiChainResult, EngineError>
 where
     S: SingletonPotential + Clone + 'static,
     L: SweepKernel + Clone + Send + Sync + 'static,
 {
-    assert!(
-        replicas >= 2,
-        "convergence assessment needs at least two chains"
-    );
-    assert!(
-        iterations > config.burn_in,
-        "iterations must exceed burn-in to leave samples for R-hat"
-    );
+    if replicas < 2 {
+        return Err(EngineError::InvalidSpec {
+            field: "replicas",
+            reason: format!("convergence assessment needs at least two chains, got {replicas}"),
+        });
+    }
+    if iterations <= config.burn_in {
+        return Err(EngineError::InvalidSpec {
+            field: "iterations",
+            reason: format!(
+                "iterations ({iterations}) must exceed burn-in ({}) to leave samples for R-hat",
+                config.burn_in
+            ),
+        });
+    }
     let handles: Vec<_> = (0..replicas)
         .map(|k| {
             let chain_config = ChainConfig {
@@ -61,19 +71,19 @@ where
                 chain_config,
                 iterations,
             );
-            engine.submit(job).expect("engine accepts replica")
+            engine.submit(job)
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     let chains: Vec<ChainResult> = handles
         .into_iter()
-        .map(|h| h.wait().into_chain_result())
-        .collect();
+        .map(|h| h.wait_result().map(JobOutput::into_chain_result))
+        .collect::<Result<_, _>>()?;
     let traces: Vec<Vec<f64>> = chains
         .iter()
         .map(|r| r.energy_trace[config.burn_in..].to_vec())
         .collect();
     let r_hat = potential_scale_reduction(&traces);
-    MultiChainResult { chains, r_hat }
+    Ok(MultiChainResult { chains, r_hat })
 }
 
 #[cfg(test)]
@@ -115,8 +125,35 @@ mod tests {
         };
         let reference = run_chains(&mrf, &SoftmaxGibbs::new(), config, 3, 20);
         let engine = Engine::with_default_config();
-        let ours = run_chains_on_engine(&engine, &mrf, &SoftmaxGibbs::new(), config, 3, 20);
+        let ours = run_chains_on_engine(&engine, &mrf, &SoftmaxGibbs::new(), config, 3, 20)
+            .expect("well-formed multi-chain run");
         assert_eq!(ours, reference, "engine replicas must be bit-identical");
         assert_eq!(engine.metrics().jobs_completed, 3);
+    }
+
+    #[test]
+    fn degenerate_runs_are_typed_errors_not_panics() {
+        let mrf = easy_mrf();
+        let config = ChainConfig {
+            schedule: TemperatureSchedule::constant(1.0),
+            burn_in: 5,
+            track_modes: false,
+            rao_blackwell: false,
+            threads: 2,
+            seed: 7,
+        };
+        let engine = Engine::with_default_config();
+        let err = run_chains_on_engine(&engine, &mrf, &SoftmaxGibbs::new(), config, 1, 20)
+            .expect_err("one chain cannot support R-hat");
+        let EngineError::InvalidSpec { field, .. } = err else {
+            panic!("wrong variant: {err}");
+        };
+        assert_eq!(field, "replicas");
+        let err = run_chains_on_engine(&engine, &mrf, &SoftmaxGibbs::new(), config, 3, 5)
+            .expect_err("burn-in must leave samples");
+        let EngineError::InvalidSpec { field, .. } = err else {
+            panic!("wrong variant: {err}");
+        };
+        assert_eq!(field, "iterations");
     }
 }

@@ -49,6 +49,7 @@ use rand::SeedableRng;
 use std::sync::Arc;
 
 use crate::error::EngineError;
+use crate::health::FaultRuntime;
 use crate::job::{InferenceJob, JobOutput};
 use crate::plane::LabelPlane;
 use crate::sink::{DiagSink, JobStartInfo, SinkNeeds, SweepDecision, SweepObservation};
@@ -68,6 +69,23 @@ pub(crate) fn sweep_seed(seed: u64, iteration: usize) -> u64 {
     seed.wrapping_add((iteration as u64).wrapping_mul(0xA24B_AED4_963E_E407))
 }
 
+/// What one quiescent sweep boundary decided and did: the diagnostics
+/// sink's continue/stop verdict plus the fault plane's actions (events
+/// injected silently; quarantines, failover, and fatal collapse are
+/// reported so the scheduler can account for them).
+#[derive(Debug)]
+pub(crate) struct SweepReport {
+    /// The diagnostics sink's verdict for this boundary.
+    pub(crate) decision: SweepDecision,
+    /// Units newly quarantined by the health monitor at this boundary.
+    pub(crate) quarantined_now: u64,
+    /// True when this boundary failed the job over to the exact backend.
+    pub(crate) failed_over: bool,
+    /// The pool collapsed below the floor with no fallback: the job must
+    /// fail with this error.
+    pub(crate) fatal: Option<EngineError>,
+}
+
 /// The scheduler/worker view of a job: pure phase arithmetic plus three
 /// entry points. `run_chunk` may be called concurrently for distinct
 /// chunks of the *same* (iteration, group) phase; `end_iteration` and
@@ -84,10 +102,12 @@ pub(crate) trait ErasedJob: Send + Sync {
     /// Updates every site of one chunk of one group once, staging the
     /// chunk's energies and labels in the calling worker's `arena`.
     fn run_chunk(&self, iteration: usize, group: usize, chunk: usize, arena: &mut KernelArena);
-    /// Post-sweep bookkeeping — energy trace, mode histograms, and the
-    /// diagnostics observation. The returned decision lets an attached
-    /// sink stop the job at this sweep boundary.
-    fn end_iteration(&self, iteration: usize) -> SweepDecision;
+    /// Post-sweep bookkeeping — energy trace, mode histograms, the
+    /// diagnostics observation, and the fault plane's boundary protocol
+    /// (fault injection, health probes, quarantine, failover). The
+    /// report's decision lets an attached sink stop the job at this
+    /// sweep boundary.
+    fn end_iteration(&self, iteration: usize) -> SweepReport;
     /// Packages the output after `iterations_run` completed sweeps.
     fn finalize(&self, cancelled: bool, early_stopped: bool, iterations_run: usize) -> JobOutput;
 }
@@ -106,7 +126,15 @@ struct Bookkeeping {
 /// A fully prepared, monomorphized job.
 pub(crate) struct TypedJob<S: SingletonPotential, L: LabelSampler> {
     mrf: MarkovRandomField<S>,
-    sampler: L,
+    /// The pristine job sampler, cloned per (chunk, group) phase. Behind
+    /// a mutex because the fault plane mutates it *between* phases (fault
+    /// injection, quarantine, failover) while workers clone it during
+    /// them; the per-chunk lock is held only for the clone.
+    sampler: Mutex<L>,
+    /// Fault/health state, present only when the job carries a fault
+    /// plan or a health policy — absent, sweep boundaries skip the fault
+    /// protocol entirely (bit-identity with the fault-free engine).
+    fault: Option<Mutex<FaultRuntime>>,
     schedule: TemperatureSchedule,
     iterations: usize,
     threads: usize,
@@ -156,8 +184,16 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
     /// fails the `mogs-audit` interference check — including
     /// `threads == 0`, which the audit reports as a zero-chunk schedule;
     /// [`EngineError::Labeling`] if an explicit initial labeling does
-    /// not validate against the field.
-    pub(crate) fn try_new(mut job: InferenceJob<S, L>) -> Result<Self, EngineError> {
+    /// not validate against the field;
+    /// [`EngineError::InvalidSpec`] if an attached health policy has an
+    /// out-of-range field.
+    pub(crate) fn try_new(mut job: InferenceJob<S, L>) -> Result<Self, EngineError>
+    where
+        L: SweepKernel,
+    {
+        if let Some(policy) = &job.health {
+            policy.validate()?;
+        }
         let m = job.mrf.space().count();
         if m == 0 || m > usize::from(MAX_LABELS) {
             return Err(EngineError::LabelSpace {
@@ -195,7 +231,10 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
     /// Panics if admission fails; see [`TypedJob::try_new`] for the
     /// conditions.
     #[cfg(test)]
-    pub(crate) fn new(job: InferenceJob<S, L>) -> Self {
+    pub(crate) fn new(job: InferenceJob<S, L>) -> Self
+    where
+        L: SweepKernel,
+    {
         TypedJob::try_new(job).expect("job must pass admission")
     }
 
@@ -204,7 +243,10 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
     /// so no plane is ever seated under an unaudited schedule. (The
     /// shadow cross-check test constructs a corrupted job through this
     /// door deliberately, then runs it serially.)
-    fn build(mut job: InferenceJob<S, L>, groups: Vec<Vec<usize>>, labels: Vec<Label>) -> Self {
+    fn build(mut job: InferenceJob<S, L>, groups: Vec<Vec<usize>>, labels: Vec<Label>) -> Self
+    where
+        L: SweepKernel,
+    {
         let m = job.mrf.space().count();
         let grid = job.mrf.grid();
         let sink = job.sink.take();
@@ -257,6 +299,15 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
         });
         let histograms = job.track_modes.then(|| vec![0u32; labels.len() * m]);
         let snapshot = Vec::with_capacity(labels.len());
+        // Seat the fault plane against the pristine sampler: baselines
+        // are captured before any sweep-0 event lands, then those events
+        // are injected so the first sweep already sees them. Jobs with
+        // neither a plan nor a policy carry no runtime at all.
+        let fault_plan = job.fault_plan.take();
+        let health = job.health.take();
+        let mut sampler = job.sampler;
+        let fault = (fault_plan.is_some() || health.is_some())
+            .then(|| Mutex::new(FaultRuntime::new(fault_plan, health, &mut sampler)));
         TypedJob {
             prior_table,
             singleton_table,
@@ -273,8 +324,9 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
             }),
             sink,
             sink_needs,
+            fault,
             mrf: job.mrf,
-            sampler: job.sampler,
+            sampler: Mutex::new(sampler),
             schedule: job.schedule,
             iterations: job.iterations,
             threads: job.threads,
@@ -331,7 +383,11 @@ where
         let mut rng = StdRng::seed_from_u64(
             sweep ^ chunk64.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (group64 << 32),
         );
-        let mut sampler = self.sampler.clone();
+        // Clone the current sampler under a brief lock: the fault plane
+        // only mutates it between phases, so within a phase every chunk
+        // clones the same state — exactly like the reference's pristine
+        // per-chunk clone on the healthy path.
+        let mut sampler = self.sampler.lock().clone();
         let temperature = self.schedule.temperature(iteration);
         let space = self.mrf.space();
         let singleton = self.mrf.singleton();
@@ -436,7 +492,7 @@ where
         }
     }
 
-    fn end_iteration(&self, iteration: usize) -> SweepDecision {
+    fn end_iteration(&self, iteration: usize) -> SweepReport {
         let sink = self.sink.as_deref();
         let stride = self.sink_needs.labels_stride;
         let sink_wants_labels = sink.is_some() && stride > 0 && iteration.is_multiple_of(stride);
@@ -471,14 +527,35 @@ where
                 }
             }
         }
-        match sink {
+        let decision = match sink {
             Some(sink) => sink.on_sweep(&SweepObservation {
                 iteration,
                 energy: if sink_wants_energy { energy } else { None },
                 labels: sink_wants_labels.then(|| book.snapshot.as_slice()),
             }),
             None => SweepDecision::Continue,
+        };
+        drop(book);
+        let mut report = SweepReport {
+            decision,
+            quarantined_now: 0,
+            failed_over: false,
+            fatal: None,
+        };
+        if let Some(fault) = &self.fault {
+            // Quiescent boundary: no chunks outstanding, so mutating the
+            // job sampler here is race-free. Events for the upcoming
+            // sweep are injected, live units probed, drifted units
+            // quarantined, and — below the floor — the kernel swapped
+            // for the exact backend.
+            let mut runtime = fault.lock();
+            let mut sampler = self.sampler.lock();
+            let tick = runtime.on_boundary(iteration, &mut *sampler);
+            report.quarantined_now = tick.quarantined_now;
+            report.failed_over = tick.failed_over;
+            report.fatal = tick.fatal;
         }
+        report
     }
 
     fn finalize(&self, cancelled: bool, early_stopped: bool, iterations_run: usize) -> JobOutput {
@@ -516,6 +593,7 @@ where
             iterations_run,
             cancelled,
             early_stopped,
+            degraded: self.fault.as_ref().and_then(|f| f.lock().degraded()),
         };
         drop(book);
         if let Some(sink) = &self.sink {

@@ -157,13 +157,35 @@ impl<S: SingletonPotential, L: LabelSampler> JobSpecBuilder<S, L> {
         self
     }
 
+    /// Attaches a deterministic device-fault schedule, applied to the
+    /// job's kernel at sweep boundaries. An empty plan is bit-identical
+    /// to no plan.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: crate::FaultPlan) -> Self {
+        self.job.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables between-sweep unit health monitoring (validated at
+    /// [`build`]): calibration probes, quarantine past the drift
+    /// threshold, rotation rebalancing, and failover to the exact
+    /// backend under the live-unit floor.
+    ///
+    /// [`build`]: JobSpecBuilder::build
+    #[must_use]
+    pub fn health(mut self, policy: crate::HealthPolicy) -> Self {
+        self.job.health = Some(policy);
+        self
+    }
+
     /// Validates the collected settings and seals them into a
     /// [`JobSpec`].
     ///
     /// # Errors
     ///
     /// [`EngineError::InvalidSpec`] for a zero iteration budget, a zero
-    /// chunk count, or an empty explicit group override;
+    /// chunk count, an empty explicit group override, or an
+    /// out-of-range health policy field;
     /// [`EngineError::LabelSpace`] when the field's label space is empty
     /// or exceeds [`MAX_LABELS`]; [`EngineError::Labeling`] when an
     /// explicit initial labeling does not fit the field.
@@ -200,6 +222,9 @@ impl<S: SingletonPotential, L: LabelSampler> JobSpecBuilder<S, L> {
             job.mrf
                 .validate_labeling(labels)
                 .map_err(EngineError::Labeling)?;
+        }
+        if let Some(policy) = &job.health {
+            policy.validate()?;
         }
         Ok(JobSpec { job })
     }

@@ -52,6 +52,7 @@ fn engine_matches_checkerboard_sweep_bit_for_bit() {
         workers: 3,
         queue_capacity: 4,
         max_active_jobs: 2,
+        ..EngineConfig::default()
     });
     let spec = JobSpec::builder(field(Neighborhood::FirstOrder), SoftmaxGibbs::new())
         .threads(threads)
@@ -140,12 +141,15 @@ fn engine_runs_backend_selected_jobs() {
     let engine = Engine::with_default_config();
     let mrf = field(Neighborhood::FirstOrder);
     let sites = mrf.grid().len();
-    let spec = JobSpec::builder(mrf, BackendSampler::new(Backend::RsuG { replicas: 4 }, 2.0))
-        .threads(2)
-        .seed(5)
-        .iterations(4)
-        .build()
-        .expect("valid spec");
+    let spec = JobSpec::builder(
+        mrf,
+        BackendSampler::try_new(Backend::RsuG { replicas: 4 }, 2.0).expect("valid backend"),
+    )
+    .threads(2)
+    .seed(5)
+    .iterations(4)
+    .build()
+    .expect("valid spec");
     let out = engine.submit(spec).expect("engine running").wait();
     assert_eq!(out.labels.len(), sites);
     assert!(out.labels.iter().all(|l| l.value() < 4));
@@ -185,6 +189,7 @@ fn full_queue_rejects_then_accepts_after_drain() {
         workers: 1,
         queue_capacity: 1,
         max_active_jobs: 1,
+        ..EngineConfig::default()
     });
     // First job occupies the single active slot (possibly after a moment
     // in the queue); the second can only be accepted once the first has
@@ -216,6 +221,7 @@ fn cancellation_stops_a_running_job_at_a_phase_boundary() {
         workers: 2,
         queue_capacity: 2,
         max_active_jobs: 1,
+        ..EngineConfig::default()
     });
     let handle = engine.submit(long_job()).expect("engine running");
     // Let it actually sweep for a moment.
@@ -243,6 +249,7 @@ fn metrics_account_for_completed_work_exactly() {
         workers: 2,
         queue_capacity: 8,
         max_active_jobs: 2,
+        ..EngineConfig::default()
     });
     let (jobs, iterations, sites) = (3u64, 7u64, 120u64);
     let handles: Vec<_> = (0..jobs)
@@ -280,6 +287,7 @@ fn handles_report_lifecycle_status() {
         workers: 1,
         queue_capacity: 2,
         max_active_jobs: 1,
+        ..EngineConfig::default()
     });
     let blocker = engine.submit(long_job()).expect("engine running");
     let queued = engine.submit(long_job()).expect("engine running");
@@ -298,6 +306,7 @@ fn corrupted_schedule_is_rejected_at_admission_before_any_plane_write() {
         workers: 1,
         queue_capacity: 2,
         max_active_jobs: 1,
+        ..EngineConfig::default()
     });
     // Corrupt the derived checkerboard schedule: move site 1 (a horizontal
     // neighbour of site 0) into site 0's phase group, so two workers could
@@ -365,6 +374,7 @@ fn zero_chunk_jobs_are_rejected_not_degraded() {
         workers: 1,
         queue_capacity: 2,
         max_active_jobs: 1,
+        ..EngineConfig::default()
     });
     let mut job = InferenceJob::new(field(Neighborhood::FirstOrder), SoftmaxGibbs::new());
     job.threads = 0;
@@ -391,6 +401,7 @@ fn shutdown_drains_queued_jobs_before_stopping() {
         workers: 2,
         queue_capacity: 4,
         max_active_jobs: 1,
+        ..EngineConfig::default()
     });
     let handles: Vec<_> = (0..3)
         .map(|k| {

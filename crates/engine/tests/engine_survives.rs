@@ -1,0 +1,396 @@
+//! The engine-survives suite: hostile kernels and collapsed pools must
+//! end every job in a *typed* terminal state — `Completed`, `Degraded`,
+//! or `Failed(EngineError)` — and must never wedge the engine. After
+//! each failure the same engine has to accept and complete a fresh,
+//! healthy job.
+//!
+//! The hostile kernels live here, not in the library: `PoisonKernel`
+//! panics inside `sample_chunk`, `SleepyKernel` blocks past the phase
+//! watchdog, and `BrittleKernel` exposes addressable units with no
+//! exact fallback so a pool collapse has nowhere to fail over to.
+//! Expect panic backtraces in this suite's stderr — they are the test
+//! stimulus, caught by the workers' isolation boundary.
+
+use mogs_engine::prelude::*;
+use mogs_gibbs::kernel::KernelScratch;
+use mogs_gibbs::{LabelSampler, SoftmaxGibbs};
+use mogs_mrf::energy::SingletonPotential;
+use mogs_mrf::{Grid2D, Label, LabelSpace, MarkovRandomField, SmoothnessPrior};
+use rand::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const M: usize = 4;
+
+/// A small deterministic field shared by every scenario.
+fn field() -> MarkovRandomField<impl SingletonPotential + Clone + 'static> {
+    // audit:allow(lossy-cast) — M = 4 fits u16.
+    MarkovRandomField::builder(Grid2D::new(8, 8), LabelSpace::scalar(M as u16))
+        .prior(SmoothnessPrior::potts(0.6))
+        .temperature(2.5)
+        .singleton(|site: usize, label: Label| {
+            if usize::from(label.value()) == site % M {
+                0.0
+            } else {
+                2.0
+            }
+        })
+        .build()
+}
+
+/// Builds a 6-sweep job over [`field`] on `kernel`.
+fn job_on<L>(kernel: L) -> JobSpec<impl SingletonPotential + Clone + 'static, L>
+where
+    L: LabelSampler,
+{
+    JobSpec::builder(field(), kernel)
+        .threads(2)
+        .seed(11)
+        .iterations(6)
+        .record_energy(false)
+        .build()
+        .expect("valid spec")
+}
+
+/// Submits a healthy softmax job and requires it to complete — the
+/// "engine still serviceable" probe run after every induced failure.
+fn engine_accepts_fresh_work(engine: &Engine) {
+    let out = engine
+        .submit(job_on(SoftmaxGibbs::new()))
+        .expect("engine accepts work after a failure")
+        .wait_result()
+        .expect("healthy job completes after a failure");
+    assert_eq!(out.labels.len(), 64);
+    assert!(out.degraded.is_none());
+}
+
+/// Panics inside `sample_chunk`: on every call (`panic_at: None`) or on
+/// exactly one call of the shared hit counter (`panic_at: Some(n)`).
+#[derive(Clone)]
+struct PoisonKernel {
+    inner: SoftmaxGibbs,
+    hits: Arc<AtomicUsize>,
+    panic_at: Option<usize>,
+}
+
+impl PoisonKernel {
+    fn new(panic_at: Option<usize>) -> Self {
+        PoisonKernel {
+            inner: SoftmaxGibbs::new(),
+            hits: Arc::new(AtomicUsize::new(0)),
+            panic_at,
+        }
+    }
+}
+
+impl LabelSampler for PoisonKernel {
+    fn name(&self) -> &'static str {
+        "poison"
+    }
+
+    fn sample_label<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        temperature: f64,
+        current: Label,
+        rng: &mut R,
+    ) -> Label {
+        self.inner.sample_label(energies, temperature, current, rng)
+    }
+}
+
+impl SweepKernel for PoisonKernel {
+    fn sample_chunk<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        m: usize,
+        temperature: f64,
+        current: &[Label],
+        out: &mut [Label],
+        scratch: &mut KernelScratch,
+        rng: &mut R,
+    ) {
+        let hit = self.hits.fetch_add(1, Ordering::SeqCst);
+        match self.panic_at {
+            None => panic!("poison kernel: unconditional panic on chunk call {hit}"),
+            Some(n) if hit == n => panic!("poison kernel: one-shot panic on chunk call {hit}"),
+            Some(_) => {}
+        }
+        self.inner
+            .sample_chunk(energies, m, temperature, current, out, scratch, rng);
+    }
+}
+
+/// Blocks inside `sample_chunk` for longer than any phase deadline the
+/// test arms, simulating a wedged device driver.
+#[derive(Clone)]
+struct SleepyKernel {
+    inner: SoftmaxGibbs,
+    nap: Duration,
+}
+
+impl LabelSampler for SleepyKernel {
+    fn name(&self) -> &'static str {
+        "sleepy"
+    }
+
+    fn sample_label<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        temperature: f64,
+        current: Label,
+        rng: &mut R,
+    ) -> Label {
+        self.inner.sample_label(energies, temperature, current, rng)
+    }
+}
+
+impl SweepKernel for SleepyKernel {
+    fn sample_chunk<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        m: usize,
+        temperature: f64,
+        current: &[Label],
+        out: &mut [Label],
+        scratch: &mut KernelScratch,
+        rng: &mut R,
+    ) {
+        std::thread::sleep(self.nap);
+        self.inner
+            .sample_chunk(energies, m, temperature, current, out, scratch, rng);
+    }
+}
+
+/// Exposes addressable units to the fault plane but — unlike the RSU
+/// pool backend — has no exact software fallback, so a collapse below
+/// the live-unit floor is fatal by design.
+#[derive(Clone)]
+struct BrittleKernel {
+    inner: SoftmaxGibbs,
+    dead: Vec<bool>,
+}
+
+impl BrittleKernel {
+    fn with_units(units: usize) -> Self {
+        BrittleKernel {
+            inner: SoftmaxGibbs::new(),
+            dead: vec![false; units],
+        }
+    }
+}
+
+impl LabelSampler for BrittleKernel {
+    fn name(&self) -> &'static str {
+        "brittle"
+    }
+
+    fn sample_label<R: Rng + ?Sized>(
+        &mut self,
+        energies: &[f64],
+        temperature: f64,
+        current: Label,
+        rng: &mut R,
+    ) -> Label {
+        self.inner.sample_label(energies, temperature, current, rng)
+    }
+}
+
+impl SweepKernel for BrittleKernel {
+    fn unit_count(&self) -> usize {
+        self.dead.len()
+    }
+
+    fn inject_unit_fault(&mut self, unit: usize, _fault: UnitFault) -> bool {
+        if unit < self.dead.len() {
+            self.dead[unit] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn set_live_units(&mut self, live: &[bool]) -> usize {
+        live.iter().filter(|&&l| l).count()
+    }
+
+    fn probe_unit(
+        &self,
+        unit: usize,
+        energies: &[f64],
+        _draws: u32,
+        _seed: u64,
+    ) -> Option<Vec<f64>> {
+        // A healthy unit reports the uniform marginal, a dead one a point
+        // mass — far past any sane drift threshold.
+        let mut dist = vec![0.0; energies.len()];
+        if self.dead.get(unit).copied()? {
+            dist[0] = 1.0;
+        } else {
+            // audit:allow(lossy-cast) — probe rows have 8 entries.
+            dist.fill(1.0 / energies.len() as f64);
+        }
+        Some(dist)
+    }
+}
+
+#[test]
+fn unrecoverable_panics_fail_typed_and_leave_the_engine_serviceable() {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        max_phase_retries: 2,
+        ..EngineConfig::default()
+    });
+    let err = engine
+        .submit(job_on(PoisonKernel::new(None)))
+        .expect("admission accepts the job")
+        .wait_result()
+        .expect_err("a kernel that always panics must fail the job");
+    match err {
+        EngineError::WorkerPanicked {
+            iteration,
+            group,
+            retries,
+            ref message,
+        } => {
+            assert_eq!((iteration, group), (0, 0), "first phase never completes");
+            assert_eq!(retries, 2, "the full retry budget was spent");
+            assert!(
+                message.contains("poison kernel"),
+                "payload preserved: {message}"
+            );
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    let metrics = engine.metrics();
+    assert!(metrics.jobs_panicked >= 1);
+    assert!(metrics.phase_retries >= 2);
+    assert_eq!(metrics.jobs_failed, 1);
+    engine_accepts_fresh_work(&engine);
+    engine.shutdown();
+}
+
+#[test]
+fn a_transient_panic_is_retried_to_completion() {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        max_phase_retries: 2,
+        ..EngineConfig::default()
+    });
+    let out = engine
+        .submit(job_on(PoisonKernel::new(Some(0))))
+        .expect("admission accepts the job")
+        .wait_result()
+        .expect("one panic under a 2-retry budget must not fail the job");
+    assert_eq!(out.labels.len(), 64);
+    assert_eq!(out.iterations_run, 6);
+    let metrics = engine.metrics();
+    assert!(metrics.phase_retries >= 1, "the panicked phase was retried");
+    assert_eq!(metrics.jobs_panicked, 0, "no job died of the panic");
+    assert_eq!(metrics.jobs_failed, 0);
+    engine.shutdown();
+}
+
+#[test]
+fn the_watchdog_reaps_stuck_phases() {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        phase_deadline: Some(Duration::from_millis(25)),
+        ..EngineConfig::default()
+    });
+    let err = engine
+        .submit(job_on(SleepyKernel {
+            inner: SoftmaxGibbs::new(),
+            nap: Duration::from_millis(400),
+        }))
+        .expect("admission accepts the job")
+        .wait_result()
+        .expect_err("a wedged kernel must trip the watchdog");
+    match err {
+        EngineError::WatchdogTimeout { deadline_ms, .. } => assert_eq!(deadline_ms, 25),
+        other => panic!("expected WatchdogTimeout, got {other:?}"),
+    }
+    assert_eq!(engine.metrics().jobs_failed, 1);
+    // The watchdog freed the *scheduler*; the worker threads stay
+    // occupied until their naps end, and the deadline still applies to
+    // the next job's phases. Let the sleepers wake (their stale
+    // completions are dropped) so the freed workers serve the next job.
+    std::thread::sleep(Duration::from_millis(500));
+    engine_accepts_fresh_work(&engine);
+    engine.shutdown();
+}
+
+#[test]
+fn an_all_dead_pool_with_a_fallback_completes_degraded() {
+    let engine = Engine::with_default_config();
+    let pool = BackendSampler::try_new(Backend::RsuG { replicas: 4 }, 2.5)
+        .expect("fixed positive replica count");
+    let spec = JobSpec::builder(field(), pool)
+        .threads(2)
+        .seed(11)
+        .iterations(6)
+        .record_energy(false)
+        .fault_plan(FaultPlan::new(
+            (0..4)
+                .map(|unit| FaultEvent {
+                    sweep: 1,
+                    unit,
+                    fault: UnitFault::Dead,
+                })
+                .collect(),
+        ))
+        .health(HealthPolicy::default())
+        .build()
+        .expect("valid spec");
+    let out = engine
+        .submit(spec)
+        .expect("admission accepts the job")
+        .wait_result()
+        .expect("a pool with an exact fallback must finish its job");
+    assert_eq!(out.iterations_run, 6);
+    let degraded = out.degraded.expect("total unit loss must degrade the job");
+    assert_eq!(degraded.units_lost, 4);
+    assert!(degraded.failed_over_at >= 1);
+    let metrics = engine.metrics();
+    assert_eq!(metrics.units_quarantined, 4);
+    assert_eq!(metrics.jobs_failed_over, 1);
+    engine_accepts_fresh_work(&engine);
+    engine.shutdown();
+}
+
+#[test]
+fn an_all_dead_pool_without_a_fallback_fails_typed() {
+    let engine = Engine::with_default_config();
+    let spec = JobSpec::builder(field(), BrittleKernel::with_units(2))
+        .threads(2)
+        .seed(11)
+        .iterations(6)
+        .record_energy(false)
+        .fault_plan(FaultPlan::new(
+            (0..2)
+                .map(|unit| FaultEvent {
+                    sweep: 1,
+                    unit,
+                    fault: UnitFault::Dead,
+                })
+                .collect(),
+        ))
+        .health(HealthPolicy::default())
+        .build()
+        .expect("valid spec");
+    let err = engine
+        .submit(spec)
+        .expect("admission accepts the job")
+        .wait_result()
+        .expect_err("total unit loss with no fallback must fail the job");
+    match err {
+        EngineError::Backend { ref reason } => {
+            assert!(reason.contains("no exact fallback"), "got: {reason}");
+        }
+        other => panic!("expected Backend collapse, got {other:?}"),
+    }
+    assert_eq!(engine.metrics().jobs_failed, 1);
+    engine_accepts_fresh_work(&engine);
+    engine.shutdown();
+}

@@ -72,7 +72,7 @@ fn assert_engine_matches_reference(
     iterations: usize,
     seed: u64,
 ) {
-    let sampler = BackendSampler::new(backend, 2.0);
+    let sampler = BackendSampler::try_new(backend, 2.0).expect("well-formed backend");
     let mrf = field(width, height, m, second_order);
     let threads = exact_chunks(&mrf.independent_groups(), threads);
     let mut reference = mrf.uniform_labeling();
@@ -90,6 +90,7 @@ fn assert_engine_matches_reference(
         workers: 2,
         queue_capacity: 2,
         max_active_jobs: 1,
+        ..EngineConfig::default()
     });
     let spec = JobSpec::builder(field(width, height, m, second_order), sampler)
         .threads(threads)

@@ -26,6 +26,33 @@ use mogs_mrf::label::MAX_LABELS;
 use mogs_mrf::Label;
 use rand::Rng;
 
+/// A unit-level device fault, as a physical RSU would exhibit it.
+///
+/// Faults are injected through [`SweepKernel::inject_unit_fault`]; kernels
+/// without addressable units (the exact software samplers) ignore them.
+/// The semantics are fixed here so every backend degrades the same way:
+///
+/// - [`Dead`](UnitFault::Dead): the unit's detector never fires — every
+///   draw keeps the current label and consumes no randomness (the
+///   hardware analogue of an all-saturated TTF window).
+/// - [`Stuck`](UnitFault::Stuck): the selection stage latches one label
+///   regardless of the energies, consuming no randomness.
+/// - [`DarkCount`](UnitFault::DarkCount): the SPAD fires spuriously at
+///   `rate_per_ns`; when the dark event beats every real label's
+///   time-to-first-fire, the draw lands on a uniformly random label.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnitFault {
+    /// The unit never fires; draws keep the current label.
+    Dead,
+    /// The unit always returns this label.
+    Stuck(Label),
+    /// Spurious detector events competing with the real labels.
+    DarkCount {
+        /// Dark-count rate in events per nanosecond.
+        rate_per_ns: f64,
+    },
+}
+
 /// Reusable kernel-internal buffers (weights, intensity codes), owned by
 /// the caller and grown on demand.
 ///
@@ -139,6 +166,57 @@ pub trait SweepKernel: LabelSampler {
         for (j, (&cur, slot)) in current.iter().zip(out.iter_mut()).enumerate() {
             *slot = self.sample_label(&energies[j * m..(j + 1) * m], temperature, cur, rng);
         }
+    }
+
+    /// Number of addressable hardware units behind this kernel.
+    ///
+    /// Exact software samplers report `1`; an RSU pool reports its
+    /// replica count. Unit indices passed to the other fault hooks are
+    /// `0..unit_count()`.
+    fn unit_count(&self) -> usize {
+        1
+    }
+
+    /// Injects a device fault into one unit.
+    ///
+    /// Returns `true` when the kernel has addressable units and applied
+    /// the fault; the default (exact samplers) ignores it and returns
+    /// `false`.
+    fn inject_unit_fault(&mut self, unit: usize, fault: UnitFault) -> bool {
+        let _ = (unit, fault);
+        false
+    }
+
+    /// Restricts the kernel's unit rotation to the units flagged live.
+    ///
+    /// Returns the number of units actually serving after the call. The
+    /// default ignores the mask and keeps every unit live. Implementors
+    /// must refuse an all-dead mask (return `0` without changing state)
+    /// so callers can fail over instead of wedging the kernel.
+    fn set_live_units(&mut self, live: &[bool]) -> usize {
+        let _ = live;
+        self.unit_count()
+    }
+
+    /// Draws `draws` labels for one fixed energy row on a single unit and
+    /// returns the empirical label distribution (length [`MAX_LABELS`],
+    /// indexed by label value), or `None` when the kernel has no
+    /// per-unit probe (exact samplers).
+    ///
+    /// The probe uses its own RNG seeded from `seed` — it never touches
+    /// a job's sampling stream — so for a fixed `(energies, draws,
+    /// seed)` the result is a pure function of the unit's device state.
+    fn probe_unit(&self, unit: usize, energies: &[f64], draws: u32, seed: u64) -> Option<Vec<f64>> {
+        let _ = (unit, energies, draws, seed);
+        None
+    }
+
+    /// Swaps this kernel for an exact software implementation, if it has
+    /// one to fail over to. Returns `true` when the swap happened; the
+    /// default (already-exact kernels, or kernels with no fallback)
+    /// returns `false`.
+    fn fail_over_to_exact(&mut self) -> bool {
+        false
     }
 }
 

@@ -51,7 +51,7 @@ pub mod sweep;
 pub mod tempering;
 
 pub use chain::{ChainConfig, ChainResult, McmcChain};
-pub use kernel::{KernelArena, KernelScratch, SweepKernel};
+pub use kernel::{KernelArena, KernelScratch, SweepKernel, UnitFault};
 pub use multichain::{run_chains, MultiChainResult};
 pub use sampler::{LabelSampler, Metropolis, SoftmaxGibbs};
 pub use schedule::TemperatureSchedule;

@@ -192,6 +192,8 @@ impl MotionEstimation {
             initial: Some(vec![flow_to_label(0, 0); self.width * self.height]),
             groups: None,
             sink: None,
+            fault_plan: None,
+            health: None,
         }
     }
 

@@ -199,6 +199,8 @@ impl Segmentation {
             initial: None,
             groups: None,
             sink: None,
+            fault_plan: None,
+            health: None,
         }
     }
 

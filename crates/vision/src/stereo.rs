@@ -151,6 +151,8 @@ impl StereoMatching {
             initial: None,
             groups: None,
             sink: None,
+            fault_plan: None,
+            health: None,
         }
     }
 
