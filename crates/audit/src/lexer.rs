@@ -171,8 +171,11 @@ pub fn lex(source: &str) -> LexedFile {
                 while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
                     j += 1;
                 }
-                let is_lifetime =
-                    j > i + 1 && bytes.get(j) != Some(&b'\'') || bytes.get(i + 1) == Some(&b'_');
+                // `'_'` (the underscore char literal) must not read as
+                // the anonymous lifetime `'_`: whatever the ident run
+                // looks like, a closing quote right after it makes this
+                // a char literal.
+                let is_lifetime = j > i + 1 && bytes.get(j) != Some(&b'\'');
                 if is_lifetime {
                     out.tokens.push(Token {
                         kind: TokKind::Lifetime,
@@ -416,6 +419,22 @@ let c = 'u';
                 .count(),
             2
         );
+    }
+
+    #[test]
+    fn underscore_char_literal_is_not_the_anonymous_lifetime() {
+        // `'_'` once lexed as lifetime `'_` + a stray quote that opened
+        // a phantom char literal and swallowed the rest of the file
+        // (including `#[cfg(test)]` markers downstream rules rely on).
+        let file = lex("let ok = c == '_' || c == ':';\nfn after() {}");
+        assert!(idents(&file).contains(&"after"));
+        assert!(file.tokens.iter().all(|t| t.kind != TokKind::Lifetime));
+        // The genuine anonymous lifetime still lexes as one.
+        let file = lex("fn f(x: &'_ str) {}");
+        assert!(file
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'_"));
     }
 
     #[test]

@@ -25,6 +25,15 @@
 //!   loop is the one sanctioned boundary; any such site must carry a
 //!   waiver naming itself as one, so every panic-swallowing point in
 //!   the workspace is enumerable by grepping for the waiver.
+//! * **\[serve-handler-error\]** — HTTP handler functions in the serve
+//!   crate (any `fn handle_*` under `crates/serve/src/`) must return a
+//!   type naming `ServeError` (directly or via a `ServeResult` alias):
+//!   a handler that can't express failure as a typed error will express
+//!   it as a panic, and a panicking connection worker wedges the pool.
+//!   Request parsing inside handlers therefore propagates `ServeError`
+//!   instead of unwrapping (the unwrap-expect rule covers the serve
+//!   crate automatically; this rule pins the signature that makes
+//!   propagation possible).
 //! * **\[deprecated-use\]** — workspace code must not call its own
 //!   `#[deprecated]` items: deprecation markers exist for *downstream*
 //!   migration windows, and internal call sites would keep the old path
@@ -50,15 +59,20 @@ use std::path::Path;
 use crate::lexer::{lex, LexedFile, TokKind, Token};
 
 /// Rule identifiers, as used in waivers and findings.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "safety-comment",
     "unwrap-expect",
     "lossy-cast",
     "panics-doc",
     "float-eq",
     "catch-unwind",
+    "serve-handler-error",
     "deprecated-use",
 ];
+
+/// Path prefix whose `fn handle_*` items the `serve-handler-error`
+/// rule screens.
+pub const SERVE_HANDLER_PREFIX: &str = "crates/serve/src/";
 
 /// Modules where numeric `as` casts are banned outright: the hot-path
 /// index and energy arithmetic the accelerator model's correctness
@@ -243,6 +257,7 @@ pub fn lint_file_with_deprecated(
     check_panics_docs(&ctx, &mut findings);
     check_float_eq(&ctx, &mut findings);
     check_catch_unwind(&ctx, &mut findings);
+    check_serve_handler_errors(&ctx, &mut findings);
     check_deprecated_use(&ctx, deprecated, &mut findings);
     findings.sort_by_key(|f| f.line);
     findings
@@ -849,6 +864,109 @@ fn check_catch_unwind(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
     }
 }
 
+/// `serve-handler-error`: every `fn handle_*` under the serve crate
+/// must declare a return type that names `ServeError` or a
+/// `ServeResult` alias. The scan is purely syntactic: skip the
+/// parameter list's balanced parens, find `->`, and screen the tokens
+/// up to the body brace / `;` / `where` clause.
+fn check_serve_handler_errors(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    if !ctx.rel_path.starts_with(SERVE_HANDLER_PREFIX) {
+        return;
+    }
+    let toks = &ctx.file.tokens;
+    for i in 0..toks.len().saturating_sub(1) {
+        if toks[i].kind != TokKind::Ident || toks[i].text != "fn" {
+            continue;
+        }
+        let name = &toks[i + 1];
+        if name.kind != TokKind::Ident || !name.text.starts_with("handle_") {
+            continue;
+        }
+        let line = toks[i].line;
+        if ctx.in_test_region(line) || ctx.is_waived(line, "serve-handler-error") {
+            continue;
+        }
+        let Some(after_params) = skip_param_list(toks, i + 2) else {
+            continue;
+        };
+        let mut j = after_params;
+        let mut arrow = None;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "->" => {
+                    arrow = Some(j);
+                    break;
+                }
+                "{" | ";" | "where" => break,
+                _ => j += 1,
+            }
+        }
+        let Some(arrow) = arrow else {
+            findings.push(ctx.finding(
+                line,
+                "serve-handler-error",
+                format!(
+                    "handler `{}` returns nothing; handlers must return a typed \
+                     `ServeError` so failures reach the client instead of the pool",
+                    name.text
+                ),
+            ));
+            continue;
+        };
+        let mut k = arrow + 1;
+        let mut names_error = false;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "{" | ";" | "where" => break,
+                "ServeError" | "ServeResult" => {
+                    names_error = true;
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        if !names_error {
+            findings.push(ctx.finding(
+                line,
+                "serve-handler-error",
+                format!(
+                    "handler `{}` does not return a `ServeError`-carrying type \
+                     (use `Result<_, ServeError>` or waive with reason)",
+                    name.text
+                ),
+            ));
+        }
+    }
+}
+
+/// From `start`, skips to the first `(` and past its balanced close,
+/// returning the index just after. `None` if no param list opens before
+/// the signature ends.
+fn skip_param_list(toks: &[Token], start: usize) -> Option<usize> {
+    let mut i = start;
+    while i < toks.len() && toks[i].text != "(" {
+        if toks[i].text == "{" || toks[i].text == ";" {
+            return None;
+        }
+        i += 1;
+    }
+    let mut depth = 0usize;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
 fn check_float_eq(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
     if !FLOAT_EQ_CRATES
         .iter()
@@ -1008,6 +1126,43 @@ mod tests {
         assert!(rules_fired("crates/x/src/a.rs", in_test).is_empty());
         // Binaries are out of scope, like the other library-code rules.
         assert!(rules_fired("crates/x/src/main.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn serve_handlers_must_return_serve_error() {
+        let bad = "impl Router {\n    fn handle_submit(&self, request: &Request) -> Response {\n        todo()\n    }\n}";
+        assert_eq!(
+            rules_fired("crates/serve/src/router.rs", bad),
+            vec!["serve-handler-error"]
+        );
+        let good = "impl Router {\n    fn handle_submit(&self, request: &Request) -> Result<Response, ServeError> {\n        todo()\n    }\n}";
+        assert!(rules_fired("crates/serve/src/router.rs", good).is_empty());
+        let alias = "fn handle_metrics(&self) -> ServeResult<Response> { todo() }";
+        assert!(rules_fired("crates/serve/src/router.rs", alias).is_empty());
+        // Only the serve crate is in scope; other crates may name their
+        // fns however they like.
+        assert!(rules_fired("crates/engine/src/worker.rs", bad).is_empty());
+        // The dispatcher `handle` (no underscore suffix) is the one fn
+        // allowed to return a bare Response: it converts errors itself.
+        let dispatcher = "pub fn handle(&self, request: &Request) -> Response { todo() }";
+        assert!(rules_fired("crates/serve/src/router.rs", dispatcher).is_empty());
+    }
+
+    #[test]
+    fn serve_handler_without_return_type_is_flagged() {
+        let none = "fn handle_ping(&self) { respond() }";
+        let fired = lint_file("crates/serve/src/router.rs", none);
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].message.contains("returns nothing"), "{fired:?}");
+    }
+
+    #[test]
+    fn serve_handler_rule_is_waivable_and_skips_tests() {
+        let waived = "// audit:allow(serve-handler-error) — sync bridge, errors impossible\nfn handle_static(&self) -> Response { todo() }";
+        assert!(rules_fired("crates/serve/src/router.rs", waived).is_empty());
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn handle_fake(&self) -> Response { todo() }\n}";
+        assert!(rules_fired("crates/serve/src/router.rs", in_test).is_empty());
     }
 
     fn index_of(sources: &[&str]) -> DeprecatedIndex {

@@ -34,16 +34,17 @@
 //! | `diag-overhead` | A11: sink overhead (bare vs NullSink vs full diagnostics) |
 //! | `audit` | schedule-interference audit of every vision workload |
 //! | `faults` | A12: fault injection, quarantine, and failover on every vision workload |
+//! | `serve-bench` | A13: HTTP serving front-end under closed-loop multi-tenant load (writes `BENCH_serve.json`) |
 
 use mogs_bench::experiments::{
     ablation, anneal, audit, convergence, diag, energy, engine_bench, faults, fig7, paper_tables,
-    proto_ratio, quality, restore, table1, wearout,
+    proto_ratio, quality, restore, serve_bench, table1, wearout,
 };
 use mogs_bench::report::render_table;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const EXPERIMENTS: [&str; 22] = [
+const EXPERIMENTS: [&str; 23] = [
     "table1",
     "table2",
     "table3",
@@ -66,6 +67,7 @@ const EXPERIMENTS: [&str; 22] = [
     "diag-overhead",
     "audit",
     "faults",
+    "serve-bench",
 ];
 
 fn main() -> ExitCode {
@@ -273,6 +275,35 @@ fn run(experiment: &str, quick: bool, out_dir: Option<&Path>) -> Result<(), Stri
                 return Err("an empty fault plane perturbed the labeling".to_owned());
             }
             println!("zero-fault bit-identity: ok");
+        }
+        "serve-bench" => {
+            // Quick mode is the CI smoke: a shorter load phase at the
+            // acceptance floor of 64 clients, no snapshot written.
+            let result = if quick {
+                serve_bench::run(64, std::time::Duration::from_secs(2), 2016)
+            } else {
+                serve_bench::run(96, std::time::Duration::from_secs(5), 2016)
+            };
+            emit(serve_bench::render(&result))?;
+            if !result.bit_identical {
+                return Err("served label map diverged from the direct engine path".to_owned());
+            }
+            if result.transport_errors > 0 {
+                return Err(format!(
+                    "{} transport error(s) — a wedged connection worker or lost job",
+                    result.transport_errors
+                ));
+            }
+            if result.jobs_completed == 0 {
+                return Err("no jobs completed during the load phase".to_owned());
+            }
+            if quick {
+                println!("quick mode: perf snapshot not written");
+            } else {
+                std::fs::write("BENCH_serve.json", serve_bench::to_snapshot_json(&result))
+                    .map_err(|e| e.to_string())?;
+                println!("perf snapshot written to BENCH_serve.json");
+            }
         }
         other => return Err(format!("unknown experiment '{other}'")),
     }

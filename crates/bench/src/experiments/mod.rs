@@ -14,5 +14,6 @@ pub mod paper_tables;
 pub mod proto_ratio;
 pub mod quality;
 pub mod restore;
+pub mod serve_bench;
 pub mod table1;
 pub mod wearout;

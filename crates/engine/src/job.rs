@@ -398,7 +398,33 @@ impl JobHandle {
         self.status() == JobStatus::Finished
     }
 
+    /// Non-blocking counterpart of [`JobHandle::wait_result`]: checks
+    /// for a terminal state and takes the output if one is there,
+    /// returning immediately either way.
+    ///
+    /// Returns `None` while the job is still queued or running (check
+    /// [`JobHandle::status`] for which). Once the job reaches a terminal
+    /// state, the **first** call returns `Some` with the output moved
+    /// out — exactly what `wait_result` would have returned — and every
+    /// later call returns `None` again (the handle is drained;
+    /// [`JobHandle::is_finished`] still reports `true`). Callers that
+    /// poll from a loop — the `mogs-serve` job store polls on every
+    /// client request so no connection worker ever parks on a job —
+    /// should treat `Some` as the single ownership hand-off point.
+    ///
+    /// Never blocks beyond the handle's internal state lock, which is
+    /// held only for the duration of a field read by any party.
+    pub fn poll(&self) -> Option<Result<JobOutput, crate::EngineError>> {
+        self.shared.state.lock().output.take()
+    }
+
     /// Blocks until the job finishes and returns its output.
+    ///
+    /// This is the *blocking* half of the retrieval API: the calling
+    /// thread parks on the job's condition variable until the scheduler
+    /// publishes a terminal state. Services multiplexing many jobs over
+    /// few threads should use the non-blocking [`JobHandle::poll`]
+    /// instead.
     ///
     /// Consumes the handle: the output is moved out, not cloned.
     ///
@@ -419,6 +445,12 @@ impl JobHandle {
     /// state: `Ok` for completed / cancelled / early-stopped / degraded
     /// outputs, `Err` when the job itself failed (the engine stays
     /// serviceable either way).
+    ///
+    /// This is the *blocking* half of the retrieval API (see
+    /// [`JobHandle::poll`] for the non-blocking half). Do not mix the
+    /// two on one handle: a `poll` that already returned `Some` has
+    /// moved the output out, and a later `wait_result` would park
+    /// forever waiting for state that will never be republished.
     ///
     /// Consumes the handle: the output is moved out, not cloned.
     pub fn wait_result(self) -> Result<JobOutput, crate::EngineError> {
@@ -478,6 +510,44 @@ mod tests {
         assert!(handle.is_finished());
         let err = handle.wait_result().unwrap_err();
         assert_eq!(err.variant(), "watchdog-timeout");
+    }
+
+    #[test]
+    fn poll_is_none_until_done_then_takes_output_once() {
+        let shared = HandleShared::new();
+        let handle = JobHandle {
+            id: JobId(3),
+            shared: Arc::clone(&shared),
+        };
+        assert!(handle.poll().is_none(), "queued job has no output");
+        shared.set_running();
+        assert!(handle.poll().is_none(), "running job has no output");
+        let out = JobOutput {
+            labels: vec![Label::new(2)],
+            map_estimate: None,
+            energy_trace: vec![1.0],
+            iterations_run: 1,
+            cancelled: false,
+            early_stopped: false,
+            degraded: None,
+        };
+        shared.finish(out.clone());
+        let taken = handle.poll().expect("output available").expect("job ok");
+        assert_eq!(taken, out);
+        assert!(handle.poll().is_none(), "output moves out exactly once");
+        assert!(handle.is_finished(), "drained handle still reads Finished");
+    }
+
+    #[test]
+    fn poll_surfaces_terminal_failures() {
+        let shared = HandleShared::new();
+        let handle = JobHandle {
+            id: JobId(4),
+            shared: Arc::clone(&shared),
+        };
+        shared.finish_err(crate::EngineError::ShutDown);
+        let err = handle.poll().expect("terminal state").unwrap_err();
+        assert_eq!(err.variant(), "shut-down");
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! A minimal blocking HTTP/1.1 client: one request per connection.
+//!
+//! This is the test-and-bench counterpart of the server — just enough
+//! protocol to drive [`Server`](crate::Server) over loopback from the
+//! lifecycle integration test and the `repro serve-bench` closed-loop
+//! clients. One request per connection (`Connection: close`) keeps the
+//! client trivially wedge-free: no keep-alive state, no pipelining, a
+//! closed-loop driver is N of these in a loop.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of a header, by lowercase name.
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as text (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// Propagates socket errors; malformed responses surface as
+/// `InvalidData`.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<ClientResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+    let mut write_half = stream.try_clone()?;
+    let payload = body.unwrap_or("");
+    write!(
+        write_half,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{payload}",
+        payload.len()
+    )?;
+    write_half.flush()?;
+    read_response(BufReader::new(stream))
+}
+
+fn invalid(what: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string())
+}
+
+fn read_response<R: BufRead>(mut reader: R) -> std::io::Result<ClientResponse> {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| invalid("malformed status line"))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| invalid("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let body = match headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+    {
+        Some(Ok(len)) => {
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        Some(Err(_)) => return Err(invalid("unparseable Content-Length")),
+        None => {
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            body
+        }
+    };
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_framed_response() {
+        let wire = "HTTP/1.1 429 Too Many Requests\r\nContent-Type: application/json\r\n\
+                    Retry-After: 2\r\nContent-Length: 4\r\n\r\nbody";
+        let response = read_response(Cursor::new(wire.as_bytes())).expect("well-formed");
+        assert_eq!(response.status, 429);
+        assert_eq!(response.header_value("retry-after"), Some("2"));
+        assert_eq!(response.body_text(), "body");
+    }
+
+    #[test]
+    fn malformed_status_lines_are_invalid_data() {
+        let err = read_response(Cursor::new(b"garbage\r\n\r\n".as_slice())).expect_err("bad");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

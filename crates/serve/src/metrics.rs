@@ -1,0 +1,94 @@
+//! Serve-layer counters: what the HTTP front-end adds on top of the
+//! engine's own [`MetricsSnapshot`](mogs_engine::MetricsSnapshot).
+//!
+//! The request-latency histogram reuses the engine's lock-free
+//! [`LatencyHistogram`] (log₂ µs buckets) so both layers share one
+//! bucket layout and one Prometheus encoding path. Per-tenant counters
+//! live in [`TenantRegistry`](crate::TenantRegistry), job-retention
+//! counters in [`JobStore`](crate::JobStore); this module holds only
+//! the connection-level aggregates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use mogs_engine::{HistogramSnapshot, LatencyHistogram};
+
+/// Shared connection-level counters, recorded by the connection
+/// workers.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// TCP connections accepted.
+    pub connections_accepted: AtomicU64,
+    /// HTTP requests parsed and routed (any outcome).
+    pub requests_total: AtomicU64,
+    /// Responses with a 4xx status.
+    pub responses_4xx: AtomicU64,
+    /// Responses with a 5xx status.
+    pub responses_5xx: AtomicU64,
+    /// Wall time from request parse to response write.
+    pub request_latency: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        ServeMetrics::default()
+    }
+
+    /// Records one completed request: its latency and its response
+    /// status class.
+    pub fn record_request(&self, status: u16, latency: Duration) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        if (400..500).contains(&status) {
+            self.responses_4xx.fetch_add(1, Ordering::Relaxed);
+        } else if status >= 500 {
+            self.responses_5xx.fetch_add(1, Ordering::Relaxed);
+        }
+        self.request_latency.record(latency);
+    }
+
+    /// Point-in-time copy for the `/metrics` encoder.
+    pub fn snapshot(&self) -> ServeMetricsSnapshot {
+        ServeMetricsSnapshot {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
+            responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+            request_latency: self.request_latency.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time copy of [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMetricsSnapshot {
+    /// TCP connections accepted.
+    pub connections_accepted: u64,
+    /// HTTP requests parsed and routed.
+    pub requests_total: u64,
+    /// Responses with a 4xx status.
+    pub responses_4xx: u64,
+    /// Responses with a 5xx status.
+    pub responses_5xx: u64,
+    /// Request wall-time histogram.
+    pub request_latency: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_split_by_status_class() {
+        let metrics = ServeMetrics::new();
+        metrics.record_request(200, Duration::from_micros(10));
+        metrics.record_request(429, Duration::from_micros(20));
+        metrics.record_request(503, Duration::from_micros(30));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.requests_total, 3);
+        assert_eq!(snap.responses_4xx, 1);
+        assert_eq!(snap.responses_5xx, 1);
+        assert_eq!(snap.request_latency.count, 3);
+        assert_eq!(snap.request_latency.total_us, 60);
+    }
+}

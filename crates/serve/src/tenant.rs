@@ -1,0 +1,303 @@
+//! Multi-tenant admission: registered tenants, per-tenant quotas, and
+//! two priority classes.
+//!
+//! The registry is the first of the two admission gates a job passes
+//! (the second is the engine's own bounded queue). Its decisions are
+//! *per tenant*: a tenant at its in-flight cap gets
+//! [`ServeError::Quota`] (429) while every other tenant keeps
+//! submitting. Engine backpressure is the opposite — global — and is
+//! deliberately NOT decided here; the router maps
+//! [`TrySubmitError::Full`](mogs_engine::TrySubmitError) onto
+//! [`ServeError::Backpressure`] (503) so the two failure modes stay
+//! distinguishable all the way to the client's status code.
+//!
+//! Priority is a two-class scheme over the engine's single queue:
+//! [`Priority::Interactive`] jobs may use the whole queue, while
+//! [`Priority::Batch`] jobs are refused (as backpressure, 503) once the
+//! queue depth reaches the configured batch ceiling — a reserve of
+//! headroom for interactive tenants rather than true preemption, which
+//! the engine's FIFO scheduler does not offer.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::error::ServeError;
+
+/// Admission priority class for a tenant's jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// May fill the engine queue to capacity.
+    Interactive,
+    /// Refused once the queue depth reaches the batch ceiling, keeping
+    /// headroom free for interactive tenants.
+    Batch,
+}
+
+impl Priority {
+    /// Stable lowercase name, used as a Prometheus label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// Per-tenant admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Jobs this tenant may have queued or running at once.
+    pub max_in_flight: usize,
+    /// Largest field (in sites) one job may request.
+    pub max_sites_per_job: usize,
+    /// The tenant's priority class.
+    pub priority: Priority,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            max_in_flight: 4,
+            max_sites_per_job: 1 << 20,
+            priority: Priority::Interactive,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TenantState {
+    quota: TenantQuota,
+    in_flight: usize,
+    requests_total: u64,
+    rejected_quota: u64,
+    rejected_backpressure: u64,
+}
+
+/// Point-in-time copy of one tenant's counters, for `/metrics`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// The tenant id.
+    pub name: String,
+    /// The tenant's priority class.
+    pub priority: Priority,
+    /// Jobs currently queued or running.
+    pub in_flight: usize,
+    /// HTTP requests attributed to this tenant.
+    pub requests_total: u64,
+    /// Submissions refused by this tenant's own quota (429s).
+    pub rejected_quota: u64,
+    /// Submissions refused by engine backpressure or the batch reserve
+    /// while attributed to this tenant (503s).
+    pub rejected_backpressure: u64,
+}
+
+/// The set of tenants allowed to submit, with their quotas and
+/// counters.
+///
+/// All state sits behind one mutex: admission is a handful of integer
+/// comparisons, never I/O, so contention is irrelevant next to the
+/// per-job MRF construction it gates.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    tenants: Mutex<HashMap<String, TenantState>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TenantRegistry::default()
+    }
+
+    /// Registers (or reconfigures) a tenant. Counters survive a
+    /// reconfigure; only the quota is replaced.
+    pub fn register(&self, name: &str, quota: TenantQuota) {
+        let mut tenants = self.tenants.lock();
+        tenants
+            .entry(name.to_string())
+            .and_modify(|state| state.quota = quota)
+            .or_insert(TenantState {
+                quota,
+                in_flight: 0,
+                requests_total: 0,
+                rejected_quota: 0,
+                rejected_backpressure: 0,
+            });
+    }
+
+    /// The tenant's priority class, if registered.
+    pub fn priority(&self, tenant: &str) -> Option<Priority> {
+        self.tenants
+            .lock()
+            .get(tenant)
+            .map(|state| state.quota.priority)
+    }
+
+    /// Counts one HTTP request against a tenant. Unknown tenants are
+    /// ignored (the request is about to 403 anyway).
+    pub fn record_request(&self, tenant: &str) {
+        if let Some(state) = self.tenants.lock().get_mut(tenant) {
+            state.requests_total += 1;
+        }
+    }
+
+    /// Runs the per-tenant admission checks and, on success, charges
+    /// one in-flight slot.
+    ///
+    /// The slot must be returned exactly once: via [`release`] when the
+    /// job reaches a terminal state, or via [`record_backpressure`] /
+    /// [`release`] when the engine refuses the submission after this
+    /// gate passed.
+    ///
+    /// [`release`]: TenantRegistry::release
+    /// [`record_backpressure`]: TenantRegistry::record_backpressure
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] for unregistered tenants,
+    /// [`ServeError::Quota`] when the in-flight cap or per-job site cap
+    /// rejects the job.
+    pub fn admit(&self, tenant: &str, sites: usize, retry_after_s: u64) -> Result<(), ServeError> {
+        let mut tenants = self.tenants.lock();
+        let Some(state) = tenants.get_mut(tenant) else {
+            return Err(ServeError::UnknownTenant {
+                tenant: tenant.to_string(),
+            });
+        };
+        if sites > state.quota.max_sites_per_job {
+            state.rejected_quota += 1;
+            return Err(ServeError::Quota {
+                tenant: tenant.to_string(),
+                reason: format!(
+                    "job of {sites} sites exceeds the per-job cap of {}",
+                    state.quota.max_sites_per_job
+                ),
+                retry_after_s,
+            });
+        }
+        if state.in_flight >= state.quota.max_in_flight {
+            state.rejected_quota += 1;
+            return Err(ServeError::Quota {
+                tenant: tenant.to_string(),
+                reason: format!(
+                    "{} in-flight jobs at the cap of {}",
+                    state.in_flight, state.quota.max_in_flight
+                ),
+                retry_after_s,
+            });
+        }
+        state.in_flight += 1;
+        Ok(())
+    }
+
+    /// Returns an in-flight slot (job reached a terminal state, or the
+    /// engine refused it after admission).
+    pub fn release(&self, tenant: &str) {
+        if let Some(state) = self.tenants.lock().get_mut(tenant) {
+            state.in_flight = state.in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Counts one engine-backpressure refusal against a tenant (the
+    /// 503 path; the quota counter is charged inside [`admit`]).
+    ///
+    /// [`admit`]: TenantRegistry::admit
+    pub fn record_backpressure(&self, tenant: &str) {
+        if let Some(state) = self.tenants.lock().get_mut(tenant) {
+            state.rejected_backpressure += 1;
+        }
+    }
+
+    /// Copies every tenant's counters, sorted by name so `/metrics`
+    /// output is stable.
+    pub fn snapshot(&self) -> Vec<TenantSnapshot> {
+        let tenants = self.tenants.lock();
+        let mut out: Vec<TenantSnapshot> = tenants
+            .iter()
+            .map(|(name, state)| TenantSnapshot {
+                name: name.clone(),
+                priority: state.quota.priority,
+                in_flight: state.in_flight,
+                requests_total: state.requests_total,
+                rejected_quota: state.rejected_quota,
+                rejected_backpressure: state.rejected_backpressure,
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> TenantRegistry {
+        let reg = TenantRegistry::new();
+        reg.register(
+            "acme",
+            TenantQuota {
+                max_in_flight: 2,
+                max_sites_per_job: 100,
+                priority: Priority::Interactive,
+            },
+        );
+        reg
+    }
+
+    #[test]
+    fn unknown_tenants_are_403_not_quota() {
+        let err = registry().admit("ghost", 1, 1).expect_err("unregistered");
+        assert_eq!(err.status(), 403);
+    }
+
+    #[test]
+    fn in_flight_cap_rejects_with_429_and_release_reopens() {
+        let reg = registry();
+        reg.admit("acme", 10, 1).expect("slot 1");
+        reg.admit("acme", 10, 1).expect("slot 2");
+        let err = reg.admit("acme", 10, 1).expect_err("at the cap");
+        assert_eq!(err.status(), 429);
+        reg.release("acme");
+        reg.admit("acme", 10, 1).expect("slot reopened");
+        let snap = &reg.snapshot()[0];
+        assert_eq!(snap.in_flight, 2);
+        assert_eq!(snap.rejected_quota, 1);
+    }
+
+    #[test]
+    fn oversized_jobs_reject_without_charging_a_slot() {
+        let reg = registry();
+        let err = reg.admit("acme", 101, 3).expect_err("too many sites");
+        assert_eq!(err.status(), 429);
+        assert_eq!(err.retry_after_s(), Some(3));
+        assert_eq!(reg.snapshot()[0].in_flight, 0);
+    }
+
+    #[test]
+    fn quotas_are_isolated_between_tenants() {
+        let reg = registry();
+        reg.register("beta", TenantQuota::default());
+        reg.admit("acme", 1, 1).expect("acme 1");
+        reg.admit("acme", 1, 1).expect("acme 2");
+        assert_eq!(
+            reg.admit("acme", 1, 1).expect_err("acme full").status(),
+            429
+        );
+        reg.admit("beta", 1, 1).expect("beta unaffected");
+    }
+
+    #[test]
+    fn snapshots_are_name_sorted_and_count_requests() {
+        let reg = registry();
+        reg.register("beta", TenantQuota::default());
+        reg.record_request("beta");
+        reg.record_request("beta");
+        reg.record_request("ghost"); // ignored
+        let snaps = reg.snapshot();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].name, "acme");
+        assert_eq!(snaps[1].name, "beta");
+        assert_eq!(snaps[1].requests_total, 2);
+    }
+}
