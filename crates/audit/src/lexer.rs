@@ -148,11 +148,12 @@ pub fn lex(source: &str) -> LexedFile {
                 });
             }
             b'"' => {
+                let start_line = line;
                 i = skip_string(bytes, i, &mut line);
                 out.tokens.push(Token {
                     kind: TokKind::Literal,
                     text: String::new(),
-                    line,
+                    line: start_line,
                 });
             }
             b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
@@ -314,7 +315,15 @@ fn skip_string(bytes: &[u8], mut i: usize, line: &mut usize) -> usize {
     i += 1;
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            // An escape consumes the next byte — which may itself be a
+            // newline (the `\`-at-end-of-line continuation), and that
+            // newline still ends a source line.
+            b'\\' => {
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             b'"' => return i + 1,
             b'\n' => {
                 *line += 1;
@@ -481,6 +490,75 @@ let c = 'u';
             .find(|t| t.text == "unsafe")
             .expect("unsafe token");
         assert_eq!(unsafe_tok.line, 3);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_quotes_and_comment_introducers() {
+        // The `"#` inside must not close the `r##"…"##` early, and the
+        // `//` / `/*` inside must not become comments.
+        let src = "let a = r##\"quote\"# // not a comment /* nor this\nline two\"##;\nunsafe {}";
+        let file = lex(src);
+        assert!(file.comments.is_empty());
+        let lit = file
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Literal)
+            .expect("raw string literal");
+        // The literal is reported on the line it *starts*.
+        assert_eq!(lit.line, 1);
+        let unsafe_tok = file
+            .tokens
+            .iter()
+            .find(|t| t.text == "unsafe")
+            .expect("unsafe token");
+        assert_eq!(unsafe_tok.line, 3);
+    }
+
+    #[test]
+    fn plain_multiline_string_literal_carries_its_start_line() {
+        // The Literal token once recorded the line the string *ended*
+        // on, which mis-anchored waiver lookups for the opening line.
+        let file = lex("let a = \"one\ntwo\nthree\";");
+        let lit = file
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Literal)
+            .expect("string literal");
+        assert_eq!(lit.line, 1);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_the_line() {
+        // `\` at end of line is a string continuation: the backslash
+        // escape consumes the newline byte, which once skipped the line
+        // counter and shifted every later token up a line.
+        let src = "let a = \"one \\\ntwo\";\nunsafe {}";
+        let file = lex(src);
+        let unsafe_tok = file
+            .tokens
+            .iter()
+            .find(|t| t.text == "unsafe")
+            .expect("unsafe token");
+        assert_eq!(unsafe_tok.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_lex_as_one_comment() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;\nlet y = 2;";
+        let file = lex(src);
+        assert_eq!(file.comments.len(), 1);
+        assert_eq!(file.comments[0].end_line, 1);
+        assert!(idents(&file).contains(&"x"));
+        // Nothing inside the nested comment leaked out as code.
+        assert!(!idents(&file).contains(&"outer"));
+        assert!(!idents(&file).contains(&"inner"));
+
+        let src = "/* a\n/* b\n*/\nc */ after";
+        let file = lex(src);
+        assert_eq!(file.comments.len(), 1);
+        assert_eq!(file.comments[0].line, 1);
+        assert_eq!(file.comments[0].end_line, 4);
+        assert!(idents(&file).contains(&"after"));
     }
 
     #[test]

@@ -3,13 +3,20 @@
 //! Two analyzers, one purpose: turn the prose arguments that justify the
 //! engine's `unsafe` label-plane path into machine-checked facts.
 //!
-//! * [`schedule`] — the **schedule interference checker**. From a grid
-//!   topology and a sweep schedule it builds the site interference graph
-//!   and verifies the three invariants the in-place plane update
-//!   requires (no neighbouring sites in one phase, chunks partition each
-//!   group exactly, every site covered once per sweep), returning a
-//!   typed [`AuditReport`]. `mogs-engine` runs it at job admission;
+//! * [`schedule`] — the **schedule interference checker**. From an
+//!   interference graph (a grid topology or any sparse
+//!   [`Topology`](mogs_mrf::Topology)) and a sweep schedule it verifies
+//!   the three invariants the in-place plane update requires (no
+//!   neighbouring sites in one phase, chunks partition each group
+//!   exactly, every site covered once per sweep), returning a typed
+//!   [`AuditReport`]. `mogs-engine` runs it at job admission;
 //!   `repro audit` runs it over the seed vision workloads.
+//! * [`certificate`] — the **general-graph schedule prover**. A greedy
+//!   graph-coloring scheduler ([`color_schedule`]) emits a serializable,
+//!   versioned [`ScheduleCertificate`]; an independent
+//!   [`verify_certificate`] pass re-proves every obligation against the
+//!   raw adjacency without trusting the colorer. Grid schedules are the
+//!   degenerate 2-color (first order) / 4-color (second order) case.
 //! * [`lint`] — the **workspace source linter** (`cargo run -p
 //!   mogs-audit -- lint`). A dependency-light lexer-based pass enforcing
 //!   project rules rustc and clippy cannot: `// SAFETY:` comments on
@@ -19,9 +26,10 @@
 //!   crates.
 //!
 //! The optional `shadow` feature adds [`shadow::ShadowPlane`], a dynamic
-//! read/write-set recorder tests use to cross-check the static verdict
+//! happens-before checker tests use to cross-check the static verdict
 //! against the access pattern a sweep actually performs.
 
+pub mod certificate;
 pub mod lexer;
 pub mod lint;
 pub mod report;
@@ -29,5 +37,8 @@ pub mod schedule;
 #[cfg(feature = "shadow")]
 pub mod shadow;
 
+pub use certificate::{
+    color_schedule, verify_certificate, Obligation, ScheduleCertificate, CERTIFICATE_VERSION,
+};
 pub use report::{AuditError, AuditReport, AuditStats, SiteCoord, Violation};
-pub use schedule::{check_schedule, Chunking, GridTopology, SweepSchedule};
+pub use schedule::{check_graph_schedule, check_schedule, Chunking, GridTopology, SweepSchedule};

@@ -134,6 +134,33 @@ pub enum Violation {
         /// Sites in the group.
         group_len: usize,
     },
+    /// A schedule certificate was produced under a format version this
+    /// verifier does not understand; nothing in it can be trusted.
+    CertificateVersionMismatch {
+        /// The version recorded in the certificate.
+        found: u32,
+        /// The version this verifier checks.
+        supported: u32,
+    },
+    /// A schedule certificate was proved against a different interference
+    /// graph than the one it is being admitted for.
+    CertificateTopologyMismatch {
+        /// Sites recorded in the certificate.
+        cert_sites: usize,
+        /// Sites in the topology being admitted.
+        topo_sites: usize,
+        /// Adjacency fingerprint recorded in the certificate.
+        cert_fingerprint: u64,
+        /// Adjacency fingerprint of the topology being admitted.
+        topo_fingerprint: u64,
+    },
+    /// A schedule certificate does not claim one of the proof obligations
+    /// the unsafe plane path requires, so a clean verdict would not cover
+    /// that invariant.
+    CertificateObligationMissing {
+        /// The missing obligation, by name.
+        obligation: &'static str,
+    },
 }
 
 impl Violation {
@@ -234,6 +261,25 @@ impl fmt::Display for Violation {
                 f,
                 "group {group} chunk {chunk} ends at {end}, past the group's \
                  {group_len} sites"
+            ),
+            Violation::CertificateVersionMismatch { found, supported } => write!(
+                f,
+                "certificate version {found} is not the supported version {supported}"
+            ),
+            Violation::CertificateTopologyMismatch {
+                cert_sites,
+                topo_sites,
+                cert_fingerprint,
+                topo_fingerprint,
+            } => write!(
+                f,
+                "certificate was proved for a {cert_sites}-site graph \
+                 (fingerprint {cert_fingerprint:016x}), not this {topo_sites}-site \
+                 graph (fingerprint {topo_fingerprint:016x})"
+            ),
+            Violation::CertificateObligationMissing { obligation } => write!(
+                f,
+                "certificate does not claim the {obligation} proof obligation"
             ),
         }
     }

@@ -15,7 +15,7 @@
 //! written — and returns a typed [`AuditReport`] naming the offending
 //! sites instead of leaving the invariants as prose.
 
-use mogs_mrf::{Grid2D, Neighborhood, Parity};
+use mogs_mrf::{Grid2D, Neighborhood, Parity, Topology};
 
 use crate::report::{AuditReport, AuditStats, SiteCoord, Violation};
 
@@ -88,6 +88,13 @@ impl GridTopology {
         let (x, y) = self.grid.coords(site);
         SiteCoord { site, x, y }
     }
+
+    /// The same interference graph as a CSR sparse [`Topology`] — the
+    /// form the general-graph prover and certificate verifier work over.
+    #[must_use]
+    pub fn sparse(&self) -> Topology {
+        Topology::from_grid(self.grid, self.neighborhood)
+    }
 }
 
 /// How each phase group is split into worker chunks.
@@ -134,6 +141,14 @@ impl SweepSchedule {
             groups,
             chunking: Chunking::Explicit { ranges },
         }
+    }
+
+    /// A schedule over explicit groups with an already-built [`Chunking`]
+    /// — the shape the certificate verifier reconstructs from a
+    /// [`ScheduleCertificate`](crate::ScheduleCertificate).
+    #[must_use]
+    pub fn with_chunking(groups: Vec<Vec<usize>>, chunking: Chunking) -> Self {
+        SweepSchedule { groups, chunking }
     }
 
     /// The colored-sweep schedule for `topology`: checkerboard parities
@@ -195,11 +210,32 @@ impl SweepSchedule {
     }
 }
 
-/// Verifies the three unsafe-plane invariants of `schedule` against
-/// `topology`, returning every violation found (never panicking).
+/// Verifies the three unsafe-plane invariants of `schedule` against a
+/// grid `topology`, returning every violation found (never panicking).
+///
+/// This is the grid-shaped entry point the engine has used since PR 2;
+/// it is now a thin wrapper over [`check_graph_schedule`] on the grid's
+/// sparse interference graph.
 #[must_use]
 pub fn check_schedule(topology: &GridTopology, schedule: &SweepSchedule) -> AuditReport {
+    check_graph_schedule(&topology.sparse(), schedule)
+}
+
+/// Verifies the three unsafe-plane invariants of `schedule` against an
+/// arbitrary sparse interference graph, returning every violation found
+/// (never panicking).
+///
+/// The invariants are exactly the grid checker's, restated for a general
+/// graph: no two sites adjacent in `topology` may update in the same
+/// phase group; the chunks of each group must partition it exactly; and
+/// every site must be covered exactly once per sweep.
+#[must_use]
+pub fn check_graph_schedule(topology: &Topology, schedule: &SweepSchedule) -> AuditReport {
     let n = topology.len();
+    let coord = |site: usize| {
+        let (x, y) = topology.coords(site);
+        SiteCoord { site, x, y }
+    };
     let mut violations = Vec::new();
     let mut edges_checked = 0usize;
     // Coverage: which group first claimed each site. Doubles as the
@@ -219,7 +255,7 @@ pub fn check_schedule(topology: &GridTopology, schedule: &SweepSchedule) -> Audi
             match owner[site] {
                 None => owner[site] = Some(g),
                 Some(first) => violations.push(Violation::SiteRepeated {
-                    site: topology.coord(site),
+                    site: coord(site),
                     first_group: first,
                     second_group: g,
                 }),
@@ -228,16 +264,14 @@ pub fn check_schedule(topology: &GridTopology, schedule: &SweepSchedule) -> Audi
     }
     for (site, claimed) in owner.iter().enumerate() {
         if claimed.is_none() {
-            violations.push(Violation::SiteUncovered {
-                site: topology.coord(site),
-            });
+            violations.push(Violation::SiteUncovered { site: coord(site) });
         }
     }
     // Interference: every neighbour pair must straddle two phase groups.
     // Each undirected edge is examined once (from its lower endpoint).
     for site in 0..n {
         let Some(g) = owner[site] else { continue };
-        for neighbor in topology.neighbors(site) {
+        for &neighbor in topology.neighbors(site) {
             if neighbor <= site {
                 continue;
             }
@@ -245,8 +279,8 @@ pub fn check_schedule(topology: &GridTopology, schedule: &SweepSchedule) -> Audi
             if owner[neighbor] == Some(g) {
                 violations.push(Violation::NeighborsSharePhase {
                     group: g,
-                    a: topology.coord(site),
-                    b: topology.coord(neighbor),
+                    a: coord(site),
+                    b: coord(neighbor),
                 });
             }
         }

@@ -185,6 +185,250 @@ proptest! {
     }
 }
 
+mod certificate_props {
+    use super::*;
+    use mogs_audit::{
+        color_schedule, verify_certificate, Chunking, Obligation, ScheduleCertificate,
+    };
+    use mogs_mrf::Topology;
+
+    /// A random self-loop-free sparse graph (possibly disconnected): raw
+    /// endpoint picks are folded into `0..sites`, and would-be loops are
+    /// bent to the next site.
+    fn sparse_graph(sites: usize, raw_edges: &[(usize, usize)]) -> Topology {
+        let edges: Vec<(usize, usize)> = raw_edges
+            .iter()
+            .filter(|_| sites >= 2)
+            .map(|&(a, b)| {
+                let a = a % sites;
+                let b = b % sites;
+                if a == b {
+                    (a, (b + 1) % sites)
+                } else {
+                    (a, b)
+                }
+            })
+            .collect();
+        Topology::from_edges(sites, &edges).expect("folded edges are valid")
+    }
+
+    /// The greedy classes with one endpoint of `edge` moved into the
+    /// other endpoint's class.
+    fn classes_with_moved_endpoint(
+        cert: &ScheduleCertificate,
+        a: usize,
+        b: usize,
+    ) -> Vec<Vec<usize>> {
+        let mut classes = cert.classes().to_vec();
+        let from = classes
+            .iter()
+            .position(|c| c.contains(&a))
+            .expect("certificates cover every site");
+        let to = classes
+            .iter()
+            .position(|c| c.contains(&b))
+            .expect("certificates cover every site");
+        classes[from].retain(|&s| s != a);
+        classes[to].push(a);
+        classes
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Greedy coloring of any sparse graph — disconnected pieces,
+        /// isolated sites, whatever the edge fold produces — always
+        /// yields a certificate the independent verifier accepts, using
+        /// at most max-degree + 1 colors. At higher thread counts the
+        /// only admissible complaint is chunk underflow on small classes.
+        #[test]
+        fn greedy_certificates_always_verify(
+            sites in 1usize..48,
+            raw_edges in proptest::collection::vec((0usize..1000, 0usize..1000), 0..160),
+            threads in 1usize..4,
+        ) {
+            let topology = sparse_graph(sites, &raw_edges);
+            let cert = color_schedule(&topology, threads);
+            prop_assert!(cert.color_count() <= topology.max_degree() + 1);
+            let report = verify_certificate(&topology, &cert);
+            prop_assert!(
+                report
+                    .violations
+                    .iter()
+                    .all(|v| matches!(v, Violation::ChunkUnderflow { .. })),
+                "{report}"
+            );
+            if threads == 1 {
+                prop_assert!(report.is_clean(), "{report}");
+            }
+        }
+
+        /// Star and clique corners at every size: the star's hub sits
+        /// alone in one class, the clique needs one class per site, and
+        /// both verify clean.
+        #[test]
+        fn star_and_clique_corners_verify(n in 2usize..24) {
+            let star_edges: Vec<(usize, usize)> = (1..n).map(|leaf| (0, leaf)).collect();
+            let star = Topology::from_edges(n, &star_edges).expect("star");
+            let cert = color_schedule(&star, 1);
+            prop_assert_eq!(cert.color_count(), 2);
+            prop_assert_eq!(&cert.classes()[0], &vec![0]);
+            prop_assert!(verify_certificate(&star, &cert).is_clean());
+
+            let mut clique_edges = Vec::new();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    clique_edges.push((a, b));
+                }
+            }
+            let clique = Topology::from_edges(n, &clique_edges).expect("clique");
+            let cert = color_schedule(&clique, 1);
+            prop_assert_eq!(cert.color_count(), n);
+            prop_assert!(verify_certificate(&clique, &cert).is_clean());
+        }
+
+        /// Moving one endpoint of any edge into the other endpoint's
+        /// class is rejected as interference naming one of the endpoints.
+        #[test]
+        fn moved_site_certificate_is_rejected(
+            sites in 2usize..40,
+            raw_edges in proptest::collection::vec((0usize..1000, 0usize..1000), 1..120),
+            edge_pick in 0usize..1024,
+        ) {
+            let topology = sparse_graph(sites, &raw_edges);
+            let a = (0..topology.len())
+                .find(|&s| topology.degree(s) > 0)
+                .expect("at least one folded edge survives");
+            let b = topology.neighbors(a)[edge_pick % topology.degree(a)];
+            let cert = color_schedule(&topology, 1);
+            let mutated = ScheduleCertificate::from_classes(
+                &topology,
+                classes_with_moved_endpoint(&cert, a, b),
+                Chunking::Uniform { threads: 1 },
+            );
+            let report = verify_certificate(&topology, &mutated);
+            prop_assert!(report.violations.iter().any(|v| matches!(
+                v,
+                Violation::NeighborsSharePhase { a: x, b: y, .. }
+                    if x.site == a || y.site == a
+            )), "moved {a} next to {b}: {report}");
+        }
+
+        /// Dropping a site from its class leaves it uncovered; listing it
+        /// in a second class is a repeat. Both are always rejected.
+        #[test]
+        fn dropped_and_duplicated_site_certificates_are_rejected(
+            sites in 1usize..40,
+            raw_edges in proptest::collection::vec((0usize..1000, 0usize..1000), 0..120),
+            site_pick in 0usize..1024,
+        ) {
+            let topology = sparse_graph(sites, &raw_edges);
+            let cert = color_schedule(&topology, 1);
+            let site = site_pick % topology.len();
+
+            let mut dropped = cert.classes().to_vec();
+            for class in &mut dropped {
+                class.retain(|&s| s != site);
+            }
+            let report = verify_certificate(
+                &topology,
+                &ScheduleCertificate::from_classes(
+                    &topology,
+                    dropped,
+                    Chunking::Uniform { threads: 1 },
+                ),
+            );
+            prop_assert!(report.violations.iter().any(
+                |v| matches!(v, Violation::SiteUncovered { site: c } if c.site == site)
+            ));
+
+            let mut duplicated = cert.classes().to_vec();
+            duplicated.push(vec![site]);
+            let report = verify_certificate(
+                &topology,
+                &ScheduleCertificate::from_classes(
+                    &topology,
+                    duplicated,
+                    Chunking::Uniform { threads: 1 },
+                ),
+            );
+            prop_assert!(report.violations.iter().any(
+                |v| matches!(v, Violation::SiteRepeated { site: c, .. } if c.site == site)
+            ));
+        }
+
+        /// Merging the first two color classes always creates
+        /// interference: every site greedy put in class 1 is there
+        /// precisely because it neighbours something in class 0.
+        #[test]
+        fn merged_color_certificates_are_rejected(
+            sites in 2usize..40,
+            raw_edges in proptest::collection::vec((0usize..1000, 0usize..1000), 1..120),
+        ) {
+            let topology = sparse_graph(sites, &raw_edges);
+            let cert = color_schedule(&topology, 1);
+            // sites ≥ 2 and ≥ 1 raw edge mean the fold always keeps an
+            // edge, so greedy always needs a second class.
+            prop_assert!(cert.color_count() >= 2);
+            let mut classes = cert.classes().to_vec();
+            let second = classes.remove(1);
+            classes[0].extend(second);
+            let report = verify_certificate(
+                &topology,
+                &ScheduleCertificate::from_classes(
+                    &topology,
+                    classes,
+                    Chunking::Uniform { threads: 1 },
+                ),
+            );
+            prop_assert!(report.violations.iter().any(
+                |v| matches!(v, Violation::NeighborsSharePhase { group: 0, .. })
+            ), "{report}");
+        }
+
+        /// Certificates survive the JSON round trip exactly, and a
+        /// certificate stripped of an obligation is rejected by name.
+        #[test]
+        fn json_round_trip_and_obligation_stripping(
+            sites in 1usize..32,
+            raw_edges in proptest::collection::vec((0usize..1000, 0usize..1000), 0..80),
+            keep in 0usize..3,
+        ) {
+            let topology = sparse_graph(sites, &raw_edges);
+            let cert = color_schedule(&topology, 1);
+            let back = ScheduleCertificate::from_json(&cert.to_json()).expect("round trip");
+            prop_assert_eq!(&back, &cert);
+
+            let stripped = cert.with_obligations(vec![Obligation::ALL[keep]]);
+            let report = verify_certificate(&topology, &stripped);
+            prop_assert_eq!(
+                report
+                    .violations
+                    .iter()
+                    .filter(|v| matches!(v, Violation::CertificateObligationMissing { .. }))
+                    .count(),
+                2
+            );
+        }
+
+        /// The grid degeneracy argument, as a property: on any ≥2×2
+        /// grid, greedy coloring of the sparse topology reproduces the
+        /// engine's historical parity / block-color schedule exactly —
+        /// same classes, same order, same sites in the same order.
+        #[test]
+        fn greedy_coloring_degenerates_to_grid_schedule(
+            w in 2usize..12,
+            h in 2usize..12,
+            second_order in proptest::bool::ANY,
+        ) {
+            let grid_topology = topology(w, h, second_order);
+            let cert = color_schedule(&grid_topology.sparse(), 1);
+            let reference = SweepSchedule::colored(&grid_topology, 1);
+            prop_assert_eq!(cert.classes(), reference.groups());
+        }
+    }
+}
+
 #[cfg(feature = "shadow")]
 mod shadow_agreement {
     use super::*;
@@ -208,7 +452,7 @@ mod shadow_agreement {
             let topology = topology(w, h, second_order);
             let schedule = SweepSchedule::colored(&topology, threads);
             prop_assert!(check_schedule(&topology, &schedule).is_clean());
-            let replay = replay_schedule(&topology, &schedule);
+            let replay = replay_schedule(&topology.sparse(), &schedule);
             prop_assert!(replay.is_clean(), "{:?}", replay.findings);
         }
 
@@ -226,7 +470,7 @@ mod shadow_agreement {
             let (groups, _site) = move_one_site(&topology, site_pick);
             let schedule = SweepSchedule::uniform(groups, 1);
             let static_report = check_schedule(&topology, &schedule);
-            let replay = replay_schedule(&topology, &schedule);
+            let replay = replay_schedule(&topology.sparse(), &schedule);
             prop_assert!(!static_report.is_clean());
             prop_assert!(replay
                 .findings
@@ -251,7 +495,7 @@ mod shadow_agreement {
             }
             let schedule = SweepSchedule::uniform(groups, 1);
             prop_assert!(!check_schedule(&topology, &schedule).is_clean());
-            let replay = replay_schedule(&topology, &schedule);
+            let replay = replay_schedule(&topology.sparse(), &schedule);
             prop_assert!(replay
                 .findings
                 .contains(&ShadowFinding::NeverWritten { site }));

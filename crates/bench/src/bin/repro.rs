@@ -1,12 +1,18 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
-//! Usage: `repro <experiment> [--quick] [out_dir]`, or
-//! `repro all [--quick] [out_dir]`.
+//! Usage: `repro <experiment> [--quick] [--graph] [out_dir]`, or
+//! `repro all [--quick] [--graph] [out_dir]`.
 //!
 //! `--quick` shrinks the problem sizes where an experiment supports it
 //! (currently `engine-bench`) so correctness gates — the engine's
 //! bit-identity contract for both backends — run in CI time. Quick runs
 //! never overwrite the committed perf snapshots.
+//!
+//! `--graph` extends `audit` with the general-graph certificate corpus
+//! (random sparse, disconnected, star, clique, grids-as-2-coloring):
+//! each topology is greedy-colored, the resulting `ScheduleCertificate`
+//! is re-verified by the independent checker, and the certificate must
+//! survive a JSON round-trip.
 //!
 //! Experiments (see DESIGN.md §5 for the index):
 //!
@@ -77,8 +83,13 @@ fn main() -> ExitCode {
         args.retain(|a| a != "--quick");
         args.len() != before
     };
+    let graph = {
+        let before = args.len();
+        args.retain(|a| a != "--graph");
+        args.len() != before
+    };
     let Some(experiment) = args.first() else {
-        eprintln!("usage: repro <experiment|all> [--quick] [out_dir]");
+        eprintln!("usage: repro <experiment|all> [--quick] [--graph] [out_dir]");
         eprintln!("experiments: {}", EXPERIMENTS.join(", "));
         return ExitCode::FAILURE;
     };
@@ -86,7 +97,7 @@ fn main() -> ExitCode {
     if experiment == "all" {
         for id in EXPERIMENTS {
             println!("==================== {id} ====================");
-            if let Err(e) = run(id, quick, out_dir.as_deref()) {
+            if let Err(e) = run(id, quick, graph, out_dir.as_deref()) {
                 eprintln!("{id} failed: {e}");
                 return ExitCode::FAILURE;
             }
@@ -97,7 +108,7 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    match run(experiment, quick, out_dir.as_deref()) {
+    match run(experiment, quick, graph, out_dir.as_deref()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("{experiment} failed: {e}");
@@ -107,7 +118,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(experiment: &str, quick: bool, out_dir: Option<&Path>) -> Result<(), String> {
+fn run(experiment: &str, quick: bool, graph: bool, out_dir: Option<&Path>) -> Result<(), String> {
     let emit = |text: String| -> Result<(), String> {
         println!("{text}");
         if let Some(dir) = out_dir {
@@ -250,10 +261,23 @@ fn run(experiment: &str, quick: bool, out_dir: Option<&Path>) -> Result<(), Stri
         }
         "audit" => {
             let rows = audit::run(7);
-            emit(audit::render(&rows))?;
+            let mut text = audit::render(&rows);
             let dirty = rows.iter().filter(|r| !r.clean()).count();
+            let mut graph_dirty = 0usize;
+            if graph {
+                let graph_rows = audit::run_graph(7);
+                graph_dirty = graph_rows.iter().filter(|r| !r.clean()).count();
+                text.push_str("\n\n");
+                text.push_str(&audit::render_graph(&graph_rows));
+            }
+            emit(text)?;
             if dirty > 0 {
                 return Err(format!("{dirty} workload schedule(s) failed the audit"));
+            }
+            if graph_dirty > 0 {
+                return Err(format!(
+                    "{graph_dirty} general-graph certificate(s) failed verification"
+                ));
             }
         }
         "faults" => {

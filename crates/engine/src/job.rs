@@ -7,9 +7,10 @@
 //! cancellation and result retrieval; completion yields a [`JobOutput`]
 //! convertible to the reference path's [`ChainResult`].
 //!
-//! New code should describe jobs through the validated
-//! [`JobSpec`](crate::JobSpec) builder; the `with_*` setters here are
-//! deprecated forwarders kept for one release.
+//! Jobs are described through the validated [`JobSpec`](crate::JobSpec)
+//! builder (the deprecated `with_*` setters were removed after their one
+//! grace release); [`InferenceJob::from_chain_config`] remains for
+//! reproducing a reference chain bit for bit.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -143,104 +144,6 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
             fault_plan: None,
             health: None,
         }
-    }
-
-    /// Sets the annealing schedule.
-    #[deprecated(
-        note = "validated at submit only; use `JobSpec::builder(..).schedule(..)` and validate at build()"
-    )]
-    pub fn with_schedule(mut self, schedule: TemperatureSchedule) -> Self {
-        self.schedule = schedule;
-        self
-    }
-
-    /// Sets the iteration budget.
-    #[deprecated(
-        note = "validated at submit only; use `JobSpec::builder(..).iterations(..)` and validate at build()"
-    )]
-    pub fn with_iterations(mut self, iterations: usize) -> Self {
-        self.iterations = iterations;
-        self
-    }
-
-    /// Sets the deterministic chunk count.
-    #[deprecated(
-        note = "validated at submit only; use `JobSpec::builder(..).threads(..)` and validate at build()"
-    )]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
-        self
-    }
-
-    /// Sets the base seed.
-    #[deprecated(
-        note = "validated at submit only; use `JobSpec::builder(..).seed(..)` and validate at build()"
-    )]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Sets the burn-in prefix.
-    #[deprecated(
-        note = "validated at submit only; use `JobSpec::builder(..).burn_in(..)` and validate at build()"
-    )]
-    pub fn with_burn_in(mut self, burn_in: usize) -> Self {
-        self.burn_in = burn_in;
-        self
-    }
-
-    /// Enables or disables marginal-mode tracking.
-    #[deprecated(
-        note = "validated at submit only; use `JobSpec::builder(..).track_modes(..)` and validate at build()"
-    )]
-    pub fn tracking_modes(mut self, on: bool) -> Self {
-        self.track_modes = on;
-        self
-    }
-
-    /// Enables or disables the per-iteration energy trace (off saves one
-    /// `total_energy` pass per sweep in throughput runs).
-    #[deprecated(
-        note = "validated at submit only; use `JobSpec::builder(..).record_energy(..)` and validate at build()"
-    )]
-    pub fn recording_energy(mut self, on: bool) -> Self {
-        self.record_energy = on;
-        self
-    }
-
-    /// Sets an explicit starting labeling.
-    #[deprecated(
-        note = "validated at submit only; use `JobSpec::builder(..).initial(..)` and validate at build()"
-    )]
-    pub fn with_initial(mut self, labels: Vec<Label>) -> Self {
-        self.initial = Some(labels);
-        self
-    }
-
-    /// Overrides the sweep phase groups. The override is audited at
-    /// admission exactly like a derived schedule: it must be a family of
-    /// interference-free phases covering every site once, or submission
-    /// fails with [`EngineError::Schedule`](crate::EngineError).
-    #[deprecated(
-        note = "validated at submit only; use `JobSpec::builder(..).groups(..)` and validate at build()"
-    )]
-    pub fn with_groups(mut self, groups: Vec<Vec<usize>>) -> Self {
-        self.groups = Some(groups);
-        self
-    }
-
-    /// Attaches a streaming diagnostics sink, observed at every sweep
-    /// boundary. The sink can end the job early by returning
-    /// [`SweepDecision::Stop`](crate::SweepDecision) — the scheduler
-    /// raises the job's cancellation flag and the output reports
-    /// [`early_stopped`](JobOutput::early_stopped).
-    #[deprecated(
-        note = "validated at submit only; use `JobSpec::builder(..).sink(..)` and validate at build()"
-    )]
-    pub fn with_sink(mut self, sink: std::sync::Arc<dyn DiagSink>) -> Self {
-        self.sink = Some(sink);
-        self
     }
 }
 

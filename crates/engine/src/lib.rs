@@ -16,8 +16,9 @@
 //! - [`JobSpec`] describes one inference — field, sampler kernel,
 //!   annealing schedule, iteration budget, seed — through a builder that
 //!   validates at [`build()`](JobSpecBuilder::build). (The older
-//!   [`InferenceJob`] setter API still works, deprecated, for one
-//!   release.) Submission is a bounded queue with backpressure
+//!   [`InferenceJob`] mutating-setter API has been removed; construct
+//!   specs through the builder.) Submission is a bounded queue with
+//!   backpressure
 //!   ([`Engine::submit`] blocks, [`Engine::try_submit`] hands the job
 //!   back); [`JobHandle`] supports cancellation at phase boundaries and
 //!   blocking retrieval.
@@ -43,14 +44,19 @@
 //!
 //! # Admission audit
 //!
-//! Every job passes the `mogs-audit` schedule interference checker at
-//! submission, before any label plane is allocated: the sweep's phase
-//! groups (derived from the field, or an explicit
-//! [`JobSpecBuilder::groups`] override) must be independent sets of
-//! the site interference graph, chunked exactly, covering every site
-//! once. A malformed schedule yields [`EngineError::Schedule`] naming
-//! the offending sites. The `shadow-audit` feature adds a dynamic
-//! read/write-set recorder that cross-checks the static verdict in
+//! Every job is admitted through a `mogs-audit` *schedule certificate*
+//! before any label plane is allocated. The field's sparse interference
+//! topology is colored (greedily, or by an explicit
+//! [`JobSpecBuilder::groups`] override turned into a claimed
+//! certificate), and the independent `verify_certificate` checker
+//! re-proves the coloring against the raw adjacency: no two neighbours
+//! share a phase, chunks partition each class exactly, and every site
+//! is covered exactly once. On grids the greedy coloring degenerates to
+//! the checkerboard/block schedule, so admitted grid jobs remain
+//! bit-identical to the reference sweep. A certificate that fails
+//! verification yields [`EngineError::Schedule`] naming the offending
+//! sites. The `shadow-audit` feature adds a dynamic happens-before
+//! (vector-clock) recorder that cross-checks the static verdict in
 //! tests.
 //!
 //! # Streaming diagnostics
@@ -103,15 +109,6 @@ pub use metrics::{EngineMetrics, HistogramSnapshot, LatencyHistogram, MetricsSna
 pub use multichain::run_chains_on_engine;
 pub use sink::{DiagSink, JobStartInfo, NullSink, SinkNeeds, SweepDecision, SweepObservation};
 pub use spec::{JobSpec, JobSpecBuilder};
-
-/// Admission failures are ordinary [`EngineError`]s now.
-#[deprecated(note = "unified into `EngineError`")]
-pub type AdmissionError = EngineError;
-
-/// Submission failures are ordinary [`EngineError`]s now (the old
-/// `Rejected` wrapper is gone — admission variants surface directly).
-#[deprecated(note = "unified into `EngineError`")]
-pub type SubmitError = EngineError;
 
 /// The engine's public surface in one import.
 ///

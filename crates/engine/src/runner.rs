@@ -35,7 +35,9 @@
 //! and updates go straight into the shared [`LabelPlane`] instead of
 //! per-thread update lists merged after a snapshot copy.
 
-use mogs_audit::{check_schedule, AuditError, GridTopology, SweepSchedule};
+use mogs_audit::{
+    color_schedule, verify_certificate, AuditError, Chunking, GridTopology, ScheduleCertificate,
+};
 use mogs_gibbs::kernel::{KernelArena, SweepKernel};
 use mogs_gibbs::{LabelSampler, TemperatureSchedule};
 use mogs_mrf::energy::SingletonPotential;
@@ -201,13 +203,26 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
                 max: usize::from(MAX_LABELS),
             });
         }
-        let topology = GridTopology::new(*job.mrf.grid(), job.mrf.neighborhood());
-        let groups = job
-            .groups
-            .take()
-            .unwrap_or_else(|| job.mrf.independent_groups());
-        let schedule = SweepSchedule::uniform(groups, job.threads);
-        let report = check_schedule(&topology, &schedule);
+        // Admission is certificate-based: the field's interference graph
+        // (grid or, in time, any sparse topology) is colored by the
+        // untrusted greedy scheduler — which on a ≥2×2 grid reproduces
+        // the historical checkerboard / block-color phases exactly — or
+        // wrapped from the job's explicit `groups` override, and the
+        // independent `verify_certificate` pass re-proves every unsafe-
+        // plane invariant against the raw adjacency before any plane is
+        // allocated.
+        let topology = GridTopology::new(*job.mrf.grid(), job.mrf.neighborhood()).sparse();
+        let certificate = match job.groups.take() {
+            Some(groups) => ScheduleCertificate::from_classes(
+                &topology,
+                groups,
+                Chunking::Uniform {
+                    threads: job.threads,
+                },
+            ),
+            None => color_schedule(&topology, job.threads),
+        };
+        let report = verify_certificate(&topology, &certificate);
         if !report.is_clean() {
             return Err(EngineError::Schedule(AuditError { report }));
         }
@@ -220,7 +235,7 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
             }
             None => job.mrf.uniform_labeling(),
         };
-        Ok(TypedJob::build(job, schedule.into_groups(), labels))
+        Ok(TypedJob::build(job, certificate.into_classes(), labels))
     }
 
     /// [`TypedJob::try_new`] for callers that know the job is well-formed
@@ -376,6 +391,16 @@ where
         let start = chunk * size;
         let chunk_sites = &sites[start..(start + size).min(sites.len())];
         let count = chunk_sites.len();
+        #[cfg(feature = "shadow-audit")]
+        // audit:allow(lossy-cast) — usize -> u64 is value-preserving; the
+        // epoch is the barrier-ordered phase counter the happens-before
+        // checker keys every access on.
+        let (epoch64, task64) = ((iteration * self.groups.len() + group) as u64, chunk as u64);
+        #[cfg(feature = "shadow-audit")]
+        let clock = mogs_audit::shadow::TaskClock {
+            epoch: epoch64,
+            task: task64,
+        };
         let sweep = sweep_seed(self.seed, iteration);
         // audit:allow(lossy-cast) — usize -> u64 is value-preserving; this
         // must reproduce the reference chunk-seed formula bit for bit.
@@ -419,7 +444,7 @@ where
             for &n in &self.axis[site] {
                 if n != NO_NEIGHBOR {
                     #[cfg(feature = "shadow-audit")]
-                    self.shadow.record_neighbor_read(n);
+                    self.shadow.record_neighbor_read(n, clock);
                     // SAFETY: `n` neighbours `site`, so it lies in another
                     // independent group and no thread writes it this phase.
                     axis_idx[axis_n] = usize::from(unsafe { self.plane.read(n) }.value()) & 63;
@@ -432,7 +457,7 @@ where
                 for &n in &diag[site] {
                     if n != NO_NEIGHBOR {
                         #[cfg(feature = "shadow-audit")]
-                        self.shadow.record_neighbor_read(n);
+                        self.shadow.record_neighbor_read(n, clock);
                         // SAFETY: as for the axis neighbours — diagonal
                         // neighbours of a second-order group live in other
                         // groups, unwritten this phase.
@@ -470,7 +495,7 @@ where
                 }
             }
             #[cfg(feature = "shadow-audit")]
-            self.shadow.record_own_read(site);
+            self.shadow.record_own_read(site, clock);
             // SAFETY: `site` belongs to this chunk alone and has not been
             // written yet in this phase, so the read cannot race.
             arena.current[j] = unsafe { self.plane.read(site) };
@@ -485,7 +510,7 @@ where
         // Pass 3: publish the drawn labels.
         for (&site, &next) in chunk_sites.iter().zip(&arena.out) {
             #[cfg(feature = "shadow-audit")]
-            self.shadow.record_write(site);
+            self.shadow.record_write(site, clock);
             // SAFETY: `site` is owned exclusively by this chunk; neighbours
             // read it only in other phases, after the barrier.
             unsafe { self.plane.write(site, next) };
@@ -717,9 +742,10 @@ mod tests {
             .any(|v| matches!(v, mogs_audit::Violation::NeighborsSharePhase { .. })));
     }
 
-    /// Runs every phase of iteration 0 serially, bracketing each group
-    /// with the shadow recorder's phase barriers — exactly what the
-    /// scheduler's fan-out does, minus the threads.
+    /// Runs every phase of iteration 0 serially. Each chunk execution
+    /// already stamps its plane accesses with the phase epoch and chunk
+    /// task — exactly what the scheduler's fan-out does, minus the
+    /// threads — so no per-phase bracketing is needed.
     #[cfg(feature = "shadow-audit")]
     fn replay_first_iteration<S, L>(typed: &TypedJob<S, L>) -> mogs_audit::shadow::ShadowReport
     where
@@ -728,27 +754,31 @@ mod tests {
     {
         let mut arena = KernelArena::new();
         for group in 0..typed.group_count() {
-            typed.shadow().begin_phase(group);
             for chunk in 0..typed.chunks_in_group(group) {
                 typed.run_chunk(0, group, chunk, &mut arena);
             }
-            typed.shadow().end_phase();
         }
         typed.shadow().finish()
     }
 
+    /// The acceptance-criteria pair for the certificate path: the same
+    /// adjacent-sites-share-a-phase violation that
+    /// `try_new_rejects_adjacent_sites_sharing_a_phase` shows the static
+    /// verifier rejecting is forced past admission here (through the
+    /// private constructor) and caught by the happens-before checker.
     #[cfg(feature = "shadow-audit")]
     #[test]
     fn shadow_recorder_agrees_with_the_static_verdict() {
-        // A statically clean job records clean read/write sets.
+        // A statically clean job replays with a clean happens-before
+        // history.
         let clean = TypedJob::new(job(6, 4));
         let report = replay_first_iteration(&clean);
         assert!(report.is_clean(), "clean schedule flagged: {report:?}");
 
         // A corrupted job — two adjacent sites in one phase — is forced
         // through the private constructor the audit normally guards; the
-        // dynamic recorder catches the very conflict the static checker
-        // rejects above.
+        // dynamic checker observes the very conflict the static verifier
+        // rejects above, attributed to the phase it happened in.
         let mrf = field(6, 4);
         let mut corrupted = mrf.independent_groups();
         let from = corrupted
@@ -765,8 +795,12 @@ mod tests {
         let bad = TypedJob::build(job(6, 4), corrupted, labels);
         let report = replay_first_iteration(&bad);
         assert!(
-            !report.is_clean(),
-            "shadow recorder missed the same-phase neighbour conflict"
+            report.findings.iter().any(|f| matches!(
+                f,
+                mogs_audit::shadow::ShadowFinding::PhaseConflict { site, .. }
+                    if *site == 0 || *site == 1
+            )),
+            "shadow checker missed the same-phase neighbour conflict: {report:?}"
         );
     }
 }

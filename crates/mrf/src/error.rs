@@ -32,6 +32,20 @@ pub enum MrfError {
     },
     /// Grid dimensions were zero.
     EmptyGrid,
+    /// A topology edge list contained a self-loop `(s, s)`.
+    SelfLoopEdge {
+        /// The site that referenced itself.
+        site: usize,
+    },
+    /// A topology edge referenced a site outside `0..sites`.
+    EdgeOutOfRange {
+        /// First endpoint.
+        a: usize,
+        /// Second endpoint.
+        b: usize,
+        /// Number of sites in the topology.
+        sites: usize,
+    },
 }
 
 impl fmt::Display for MrfError {
@@ -56,6 +70,12 @@ impl fmt::Display for MrfError {
                 )
             }
             MrfError::EmptyGrid => write!(f, "grid dimensions must be non-zero"),
+            MrfError::SelfLoopEdge { site } => {
+                write!(f, "edge ({site}, {site}) is a self-loop")
+            }
+            MrfError::EdgeOutOfRange { a, b, sites } => {
+                write!(f, "edge ({a}, {b}) references a site outside 0..{sites}")
+            }
         }
     }
 }
@@ -80,6 +100,12 @@ mod tests {
                 actual: 5,
             },
             MrfError::EmptyGrid,
+            MrfError::SelfLoopEdge { site: 3 },
+            MrfError::EdgeOutOfRange {
+                a: 0,
+                b: 9,
+                sites: 4,
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

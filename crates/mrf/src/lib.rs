@@ -54,6 +54,7 @@ pub mod grid;
 pub mod label;
 pub mod labeling;
 pub mod precision;
+pub mod topology;
 
 pub use energy::{DoubletonKind, SingletonPotential, SmoothnessPrior};
 pub use error::MrfError;
@@ -62,3 +63,4 @@ pub use grid::{Grid2D, Parity};
 pub use label::{Label, LabelKind, LabelSpace};
 pub use labeling::Labeling;
 pub use precision::EnergyQuantizer;
+pub use topology::Topology;

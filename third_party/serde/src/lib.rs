@@ -165,6 +165,17 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     }
 }
 
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_json(parser: &mut de::Parser<'_>) -> Result<Self, de::Error> {
+        parser.expect_char('[')?;
+        let a = A::deserialize_json(parser)?;
+        parser.expect_char(',')?;
+        let b = B::deserialize_json(parser)?;
+        parser.expect_char(']')?;
+        Ok((a, b))
+    }
+}
+
 macro_rules! impl_de_int {
     ($($t:ty),*) => {$(
         impl Deserialize for $t {
