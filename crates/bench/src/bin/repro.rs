@@ -41,16 +41,17 @@
 //! | `audit` | schedule-interference audit of every vision workload |
 //! | `faults` | A12: fault injection, quarantine, and failover on every vision workload |
 //! | `serve-bench` | A13: HTTP serving front-end under closed-loop multi-tenant load (writes `BENCH_serve.json`) |
+//! | `ckpt` | A14: durable checkpoint ladder — bit-identical resume, corruption rejection, retention |
 
 use mogs_bench::experiments::{
-    ablation, anneal, audit, convergence, diag, energy, engine_bench, faults, fig7, paper_tables,
-    proto_ratio, quality, restore, serve_bench, table1, wearout,
+    ablation, anneal, audit, ckpt, convergence, diag, energy, engine_bench, faults, fig7,
+    paper_tables, proto_ratio, quality, restore, serve_bench, table1, wearout,
 };
 use mogs_bench::report::render_table;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const EXPERIMENTS: [&str; 23] = [
+const EXPERIMENTS: [&str; 24] = [
     "table1",
     "table2",
     "table3",
@@ -74,6 +75,7 @@ const EXPERIMENTS: [&str; 23] = [
     "audit",
     "faults",
     "serve-bench",
+    "ckpt",
 ];
 
 fn main() -> ExitCode {
@@ -327,6 +329,18 @@ fn run(experiment: &str, quick: bool, graph: bool, out_dir: Option<&Path>) -> Re
                 std::fs::write("BENCH_serve.json", serve_bench::to_snapshot_json(&result))
                     .map_err(|e| e.to_string())?;
                 println!("perf snapshot written to BENCH_serve.json");
+            }
+        }
+        "ckpt" => {
+            let rows = ckpt::run(quick);
+            emit(ckpt::render(&rows))?;
+            let failed: Vec<String> = rows
+                .iter()
+                .filter(|r| !r.pass)
+                .map(|r| format!("{} ({})", r.scenario, r.detail))
+                .collect();
+            if !failed.is_empty() {
+                return Err(format!("checkpoint ladder failed: {}", failed.join(", ")));
             }
         }
         other => return Err(format!("unknown experiment '{other}'")),

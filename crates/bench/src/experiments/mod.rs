@@ -4,6 +4,7 @@
 pub mod ablation;
 pub mod anneal;
 pub mod audit;
+pub mod ckpt;
 pub mod convergence;
 pub mod diag;
 pub mod energy;

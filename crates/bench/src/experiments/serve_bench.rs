@@ -5,8 +5,16 @@
 //! with `clients` closed-loop client threads: each submits a small
 //! segmentation job, polls it to a terminal state, fetches the result,
 //! thinks briefly, and repeats until the wall-clock budget runs out.
-//! Every request is a fresh connection (`Connection: close`), so the
-//! run also exercises the accept path at full rate.
+//!
+//! The load runs in **two phases of equal duration**, differing only in
+//! transport: first every request opens a fresh connection
+//! (`Connection: close` — the accept path at full rate), then the same
+//! closed loop again over per-client keep-alive connections
+//! ([`HttpClient`]), counting how often the server's idle timeout or
+//! per-connection request cap forced a reconnect. The report shows the
+//! two side by side — the connect-per-request tax is protocol overhead
+//! a real client would not pay — and the gates apply to the combined
+//! run, so both transports must stay wedge-free.
 //!
 //! What the run reports and what `repro serve-bench` gates on:
 //!
@@ -34,7 +42,8 @@ use crate::report::render_table;
 use mogs_engine::{Engine, EngineConfig};
 use mogs_gibbs::SoftmaxGibbs;
 use mogs_serve::{
-    http_request, JobRequest, Priority, ServeConfig, Server, TenantQuota, TenantRegistry,
+    http_request, ClientResponse, HttpClient, JobRequest, Priority, ServeConfig, Server,
+    TenantQuota, TenantRegistry,
 };
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +88,22 @@ pub struct ServeBenchResult {
     pub jobs_per_sec: f64,
     /// Served label map equals the direct engine path, byte for byte.
     pub bit_identical: bool,
+    /// Connect-per-request phase: completed jobs per second.
+    pub cpr_jobs_per_sec: f64,
+    /// Connect-per-request phase: median job latency, milliseconds.
+    pub cpr_job_p50_ms: f64,
+    /// Connect-per-request phase: TCP connections opened (one per
+    /// request, by construction).
+    pub cpr_connections: u64,
+    /// Keep-alive phase: completed jobs per second.
+    pub keepalive_jobs_per_sec: f64,
+    /// Keep-alive phase: median job latency, milliseconds.
+    pub keepalive_job_p50_ms: f64,
+    /// Keep-alive phase: TCP connections opened across all clients.
+    pub keepalive_connections: u64,
+    /// Keep-alive phase: reconnects beyond each client's first
+    /// connection (server idle timeout or request cap).
+    pub keepalive_reconnects: u64,
 }
 
 /// Shared counters the client threads bump.
@@ -115,22 +140,43 @@ fn terminal_state(body: &str) -> Option<&'static str> {
         .find(|s| body.contains(&format!("\"state\":\"{s}\"")))
 }
 
+/// Issues one request on the phase's transport: the pooled keep-alive
+/// client when one is given, a fresh `Connection: close` socket
+/// otherwise.
+fn send(
+    client: &mut Option<HttpClient>,
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<ClientResponse> {
+    match client.as_mut() {
+        Some(pooled) => pooled.request(method, path, body),
+        None => http_request(addr, method, path, body),
+    }
+}
+
 /// One client's closed loop. Returns the latencies (µs) of its
-/// completed jobs.
+/// completed jobs and the TCP connections it opened.
 fn client_loop(
     addr: SocketAddr,
     tenant: String,
     deadline: Instant,
     base_seed: u64,
+    keep_alive: bool,
     counters: &Counters,
-) -> Vec<u64> {
+) -> (Vec<u64>, u64) {
+    let mut client = keep_alive.then(|| HttpClient::new(addr));
+    let mut sent = 0u64;
     let mut latencies = Vec::new();
     let mut n = 0u64;
     while Instant::now() < deadline {
         n += 1;
         let started = Instant::now();
         counters.requests.fetch_add(1, Ordering::Relaxed);
-        let submit = match http_request(
+        sent += 1;
+        let submit = match send(
+            &mut client,
             addr,
             "POST",
             "/v1/jobs",
@@ -168,7 +214,8 @@ fn client_loop(
         let mut poll_ms = 2u64;
         let outcome = loop {
             counters.requests.fetch_add(1, Ordering::Relaxed);
-            match http_request(addr, "GET", &format!("/v1/jobs/{id}"), None) {
+            sent += 1;
+            match send(&mut client, addr, "GET", &format!("/v1/jobs/{id}"), None) {
                 Ok(poll) if poll.status == 200 => {
                     if let Some(state) = terminal_state(&poll.body_text()) {
                         break Some(state);
@@ -182,7 +229,14 @@ fn client_loop(
         match outcome {
             Some("done") => {
                 counters.requests.fetch_add(1, Ordering::Relaxed);
-                match http_request(addr, "GET", &format!("/v1/jobs/{id}/result"), None) {
+                sent += 1;
+                match send(
+                    &mut client,
+                    addr,
+                    "GET",
+                    &format!("/v1/jobs/{id}/result"),
+                    None,
+                ) {
                     Ok(result) if result.status == 200 => {
                         counters.completed.fetch_add(1, Ordering::Relaxed);
                         let elapsed = started.elapsed().as_micros().min(u128::from(u64::MAX));
@@ -206,7 +260,8 @@ fn client_loop(
         // port exhaustion).
         std::thread::sleep(Duration::from_millis(20));
     }
-    latencies
+    let connections = client.map_or(sent, |c| c.connections_opened());
+    (latencies, connections)
 }
 
 /// Serves one job and compares its label map against the direct engine
@@ -292,8 +347,68 @@ fn percentile(sorted_us: &[u64], p: f64) -> f64 {
     sorted_us[idx.min(sorted_us.len() - 1)] as f64 / 1_000.0
 }
 
+/// One load phase's tally.
+struct LoadPhase {
+    latencies: Vec<u64>,
+    completed: u64,
+    quota_429: u64,
+    backpressure_503: u64,
+    requests: u64,
+    errors: u64,
+    connections: u64,
+    elapsed_s: f64,
+}
+
+/// Drives `clients` closed-loop threads against `addr` for `duration`
+/// on one transport.
+///
+/// # Panics
+///
+/// Panics when a client thread panics.
+fn load_phase(
+    addr: SocketAddr,
+    clients: usize,
+    duration: Duration,
+    seed: u64,
+    keep_alive: bool,
+) -> LoadPhase {
+    let counters = Arc::new(Counters::default());
+    let deadline = Instant::now() + duration;
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let tenant = TENANTS[c % TENANTS.len()].to_string();
+            let counters = Arc::clone(&counters);
+            let base_seed = seed + 10_000 * (c as u64 + 1);
+            std::thread::spawn(move || {
+                client_loop(addr, tenant, deadline, base_seed, keep_alive, &counters)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut connections = 0u64;
+    for handle in handles {
+        let (client_latencies, client_connections) = handle.join().expect("client thread panicked");
+        latencies.extend(client_latencies);
+        connections += client_connections;
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    LoadPhase {
+        latencies,
+        completed: counters.completed.load(Ordering::Relaxed),
+        quota_429: counters.quota_429.load(Ordering::Relaxed),
+        backpressure_503: counters.backpressure_503.load(Ordering::Relaxed),
+        requests: counters.requests.load(Ordering::Relaxed),
+        errors: counters.errors.load(Ordering::Relaxed),
+        connections,
+        elapsed_s,
+    }
+}
+
 /// Runs the closed-loop load for `duration` with `clients` client
-/// threads spread over [`TENANTS`].
+/// threads spread over [`TENANTS`]: half the budget on fresh
+/// connections, half on keep-alive.
 ///
 /// # Panics
 ///
@@ -338,44 +453,48 @@ pub fn run(clients: usize, duration: Duration, seed: u64) -> ServeBenchResult {
 
     let bit_identical = check_bit_identity(addr, seed);
 
-    let counters = Arc::new(Counters::default());
-    let deadline = Instant::now() + duration;
-    let started = Instant::now();
-    let handles: Vec<_> = (0..clients)
-        .map(|c| {
-            let tenant = TENANTS[c % TENANTS.len()].to_string();
-            let counters = Arc::clone(&counters);
-            let base_seed = seed + 10_000 * (c as u64 + 1);
-            std::thread::spawn(move || client_loop(addr, tenant, deadline, base_seed, &counters))
-        })
-        .collect();
-    let mut latencies: Vec<u64> = Vec::new();
-    for handle in handles {
-        latencies.extend(handle.join().expect("client thread panicked"));
-    }
-    let elapsed = started.elapsed().as_secs_f64();
-    latencies.sort_unstable();
+    // Same client population, same per-phase wall budget; only the
+    // transport differs. Disjoint seed ranges keep the job streams
+    // independent.
+    let half = duration / 2;
+    let cpr = load_phase(addr, clients, half, seed, false);
+    let keepalive = load_phase(addr, clients, half, seed + 5_000_000, true);
 
     server.shutdown();
     Arc::try_unwrap(engine)
         .map(Engine::shutdown)
         .unwrap_or_default();
 
-    let completed = counters.completed.load(Ordering::Relaxed);
+    let mut latencies: Vec<u64> =
+        Vec::with_capacity(cpr.latencies.len() + keepalive.latencies.len());
+    latencies.extend_from_slice(&cpr.latencies);
+    latencies.extend_from_slice(&keepalive.latencies);
+    latencies.sort_unstable();
+    let elapsed = cpr.elapsed_s + keepalive.elapsed_s;
+    let completed = cpr.completed + keepalive.completed;
+    let per_sec =
+        |phase: &LoadPhase| phase.completed as f64 / phase.elapsed_s.max(f64::MIN_POSITIVE);
     ServeBenchResult {
         clients,
         tenants: TENANTS.len(),
         duration_s: elapsed,
         jobs_completed: completed,
-        rejected_quota: counters.quota_429.load(Ordering::Relaxed),
-        rejected_backpressure: counters.backpressure_503.load(Ordering::Relaxed),
-        http_requests: counters.requests.load(Ordering::Relaxed),
-        transport_errors: counters.errors.load(Ordering::Relaxed),
+        rejected_quota: cpr.quota_429 + keepalive.quota_429,
+        rejected_backpressure: cpr.backpressure_503 + keepalive.backpressure_503,
+        http_requests: cpr.requests + keepalive.requests,
+        transport_errors: cpr.errors + keepalive.errors,
         job_p50_ms: percentile(&latencies, 50.0),
         job_p95_ms: percentile(&latencies, 95.0),
         job_p99_ms: percentile(&latencies, 99.0),
         jobs_per_sec: completed as f64 / elapsed.max(f64::MIN_POSITIVE),
         bit_identical,
+        cpr_jobs_per_sec: per_sec(&cpr),
+        cpr_job_p50_ms: percentile(&cpr.latencies, 50.0),
+        cpr_connections: cpr.connections,
+        keepalive_jobs_per_sec: per_sec(&keepalive),
+        keepalive_job_p50_ms: percentile(&keepalive.latencies, 50.0),
+        keepalive_connections: keepalive.connections,
+        keepalive_reconnects: keepalive.connections.saturating_sub(clients as u64),
     }
 }
 
@@ -420,8 +539,25 @@ pub fn render(result: &ServeBenchResult) -> String {
             format!("{}", result.bit_identical),
         ],
     ];
+    let transport = vec![
+        vec![
+            "connect-per-request".to_owned(),
+            format!("{:.1}", result.cpr_jobs_per_sec),
+            format!("{:.1}", result.cpr_job_p50_ms),
+            format!("{}", result.cpr_connections),
+            "-".to_owned(),
+        ],
+        vec![
+            "keep-alive".to_owned(),
+            format!("{:.1}", result.keepalive_jobs_per_sec),
+            format!("{:.1}", result.keepalive_job_p50_ms),
+            format!("{}", result.keepalive_connections),
+            format!("{}", result.keepalive_reconnects),
+        ],
+    ];
     format!(
         "Serving front-end: {} closed-loop clients, {} tenants, {}×{} segmentation @ {} sweeps/job\n\n{}\n\n\
+         transport comparison (equal wall budget per phase):\n\n{}\n\n\
          note: per-job cost is dominated by request-time table construction (the synthetic\n\
          scene and unary energy table are rebuilt in the connection worker on every POST,\n\
          O(sites × labels)), not by sampling — throughput amortizes it only as jobs carry\n\
@@ -431,7 +567,11 @@ pub fn render(result: &ServeBenchResult) -> String {
         SIDE,
         SIDE,
         ITERATIONS,
-        render_table(&["metric", "value"], &table)
+        render_table(&["metric", "value"], &table),
+        render_table(
+            &["transport", "jobs/s", "p50 ms", "connections", "reconnects"],
+            &transport
+        )
     )
 }
 
@@ -455,8 +595,18 @@ mod tests {
         assert_eq!(result.transport_errors, 0, "{result:?}");
         assert!(result.jobs_completed > 0, "{result:?}");
         assert!(result.job_p50_ms > 0.0);
+        // Both transport phases must carry load, and keep-alive must
+        // actually reuse connections (fewer connections than requests
+        // would need one each).
+        assert!(result.cpr_connections > 0, "{result:?}");
+        assert!(result.keepalive_connections > 0, "{result:?}");
+        assert!(
+            result.keepalive_connections < result.http_requests,
+            "keep-alive opened one connection per request: {result:?}"
+        );
         let text = render(&result);
         assert!(text.contains("saturation throughput"));
+        assert!(text.contains("transport comparison"));
         assert!(text.contains("table construction"));
         let json = to_snapshot_json(&result);
         assert!(json.contains("\"jobs_per_sec\""));

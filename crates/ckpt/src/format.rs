@@ -1,0 +1,848 @@
+//! The on-disk checkpoint format: envelope, checksum, and state codec.
+//!
+//! A checkpoint file is a single-line JSON *envelope* with a fixed,
+//! canonical layout:
+//!
+//! ```json
+//! {"version":1,"payload":"<escaped JSON>","checksum":"<16 hex digits>"}
+//! ```
+//!
+//! The payload is itself JSON — `{"meta":…,"state":…}` — carried as an
+//! escaped string so the checksum has an exact byte sequence to cover:
+//! FNV-1a-64 over the unescaped payload bytes. Reads verify in trust
+//! order: the version is checked before anything else (a future format
+//! is rejected as [`CkptError::VersionMismatch`], never misparsed), the
+//! checksum before the payload is decoded (bit rot is
+//! [`CkptError::ChecksumMismatch`], never a confusing shape error), and
+//! only then is the state parsed. A file that ends early is
+//! [`CkptError::Truncated`]; any other deviation from the canonical
+//! layout is [`CkptError::Malformed`] with the byte offset.
+//!
+//! Two value classes get special wire treatment because the vendored
+//! serde routes every number through `f64` (see
+//! `third_party/serde/src/lib.rs`): `u64` seeds and fingerprints travel
+//! as 16-digit hex strings (an `f64` corrupts integers above 2⁵³), and
+//! every `f64` travels as the hex of its IEEE-754 bit pattern — the
+//! whole point of a checkpoint is *bit*-identical resume, so energies
+//! round-trip exactly, including negative zero, infinities, and NaN
+//! payloads that a decimal rendering would lose.
+
+use mogs_engine::{FaultState, JobState, StateBinding};
+use mogs_gibbs::kernel::UnitFault;
+use mogs_mrf::Label;
+use serde::de::{self, Parser};
+use serde::Serialize;
+
+use crate::error::CkptError;
+
+/// The one envelope version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// One durable checkpoint: the engine's captured [`JobState`] plus an
+/// opaque caller blob (`mogs-serve` stores the original request JSON so
+/// a recovery scan can rebuild the spec without a database).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Caller-owned context, stored and returned verbatim.
+    pub meta: String,
+    /// The engine's resumable state.
+    pub state: JobState,
+}
+
+/// FNV-1a 64-bit hash — the same digest the schedule certificates use
+/// for topology fingerprints, applied here to the payload bytes.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Encodes a checkpoint into its complete envelope text.
+#[must_use]
+pub fn encode(checkpoint: &Checkpoint) -> String {
+    let mut payload = String::with_capacity(256);
+    payload.push_str("{\"meta\":");
+    checkpoint.meta.serialize_json(&mut payload);
+    payload.push_str(",\"state\":");
+    write_state(&checkpoint.state, &mut payload);
+    payload.push('}');
+    seal(&payload)
+}
+
+/// Wraps arbitrary payload text in a versioned, checksummed envelope.
+///
+/// This is the envelope half of [`encode`], exposed so tests (and
+/// tools) can seal payloads that are *not* valid checkpoints and prove
+/// the decoder rejects them as [`CkptError::State`] rather than
+/// blaming the envelope.
+#[must_use]
+pub fn seal(payload: &str) -> String {
+    let mut out = String::with_capacity(payload.len() + 64);
+    out.push_str("{\"version\":");
+    out.push_str(&FORMAT_VERSION.to_string());
+    out.push_str(",\"payload\":");
+    payload.serialize_json(&mut out);
+    out.push_str(",\"checksum\":\"");
+    out.push_str(&format!("{:016x}", fnv1a(payload.as_bytes())));
+    out.push_str("\"}");
+    out
+}
+
+/// Decodes a complete envelope back into a checkpoint.
+///
+/// # Errors
+///
+/// [`CkptError::Truncated`], [`CkptError::Malformed`],
+/// [`CkptError::VersionMismatch`], [`CkptError::ChecksumMismatch`], or
+/// [`CkptError::State`] — see the module docs for the verification
+/// order.
+pub fn decode(input: &str) -> Result<Checkpoint, CkptError> {
+    let payload = open_envelope(input)?;
+    parse_payload(&payload)
+}
+
+/// Verifies the envelope (version, layout, checksum) and returns the
+/// payload text without decoding it.
+///
+/// # Errors
+///
+/// [`CkptError::Truncated`], [`CkptError::Malformed`],
+/// [`CkptError::VersionMismatch`], or [`CkptError::ChecksumMismatch`].
+pub fn open_envelope(input: &str) -> Result<String, CkptError> {
+    let mut scan = Scan { s: input, pos: 0 };
+    scan.lit("{\"version\":")?;
+    let found = scan.digits_u32()?;
+    if found != FORMAT_VERSION {
+        return Err(CkptError::VersionMismatch {
+            found,
+            supported: FORMAT_VERSION,
+        });
+    }
+    scan.lit(",\"payload\":")?;
+    let payload = scan.string()?;
+    scan.lit(",\"checksum\":\"")?;
+    let stored = scan.hex16()?;
+    scan.lit("\"}")?;
+    if !input[scan.pos..].chars().all(char::is_whitespace) {
+        return Err(CkptError::Malformed { offset: scan.pos });
+    }
+    let computed = fnv1a(payload.as_bytes());
+    let stored_value =
+        u64::from_str_radix(&stored, 16).map_err(|_| CkptError::Malformed { offset: scan.pos })?;
+    if computed != stored_value {
+        return Err(CkptError::ChecksumMismatch {
+            stored,
+            computed: format!("{computed:016x}"),
+        });
+    }
+    Ok(payload)
+}
+
+/// Checks that a decoded state belongs under `expected`'s spec facts.
+///
+/// The engine re-validates at [`Engine::resume`](mogs_engine::Engine),
+/// but callers that want to *select* among checkpoints (the serve
+/// recovery scan, the repro ladder) use this to get the typed
+/// [`CkptError::BindingMismatch`] without constructing a job.
+///
+/// # Errors
+///
+/// [`CkptError::BindingMismatch`] naming the first differing field.
+pub fn verify_binding(state: &JobState, expected: &StateBinding) -> Result<(), CkptError> {
+    state
+        .binding
+        .matches(expected)
+        .map_err(|reason| CkptError::BindingMismatch { reason })
+}
+
+// ---------------------------------------------------------------------
+// Envelope scanner: strict canonical layout, byte-accurate errors.
+// ---------------------------------------------------------------------
+
+struct Scan<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl Scan<'_> {
+    /// Consumes `lit` exactly. A proper prefix at end-of-input is
+    /// `Truncated`; any diverging byte is `Malformed` at its offset.
+    fn lit(&mut self, lit: &str) -> Result<(), CkptError> {
+        let rest = &self.s[self.pos..];
+        if rest.starts_with(lit) {
+            self.pos += lit.len();
+            return Ok(());
+        }
+        for (i, (a, b)) in rest.bytes().zip(lit.bytes()).enumerate() {
+            if a != b {
+                return Err(CkptError::Malformed {
+                    offset: self.pos + i,
+                });
+            }
+        }
+        Err(CkptError::Truncated)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.s[self.pos..].chars().next()
+    }
+
+    fn digits_u32(&mut self) -> Result<u32, CkptError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return if self.pos == self.s.len() {
+                Err(CkptError::Truncated)
+            } else {
+                Err(CkptError::Malformed { offset: self.pos })
+            };
+        }
+        self.s[start..self.pos]
+            .parse()
+            .map_err(|_| CkptError::Malformed { offset: start })
+    }
+
+    /// A JSON string with the escapes the serializer emits (plus `\/`
+    /// for tolerance). The opening quote has not been consumed yet.
+    fn string(&mut self) -> Result<String, CkptError> {
+        self.lit("\"")?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(CkptError::Truncated);
+            };
+            match c {
+                '"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    let escape_at = self.pos;
+                    self.pos += 1;
+                    let Some(escaped) = self.peek() else {
+                        return Err(CkptError::Truncated);
+                    };
+                    self.pos += escaped.len_utf8();
+                    match escaped {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            if self.s.len() < self.pos + 4 {
+                                return Err(CkptError::Truncated);
+                            }
+                            let code = self
+                                .s
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|hex| u32::from_str_radix(hex, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or(CkptError::Malformed { offset: self.pos })?;
+                            out.push(code);
+                            self.pos += 4;
+                        }
+                        _ => return Err(CkptError::Malformed { offset: escape_at }),
+                    }
+                }
+                c if (c as u32) < 0x20 => return Err(CkptError::Malformed { offset: self.pos }),
+                c => {
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Exactly 16 hex digits.
+    fn hex16(&mut self) -> Result<String, CkptError> {
+        for _ in 0..16 {
+            match self.peek() {
+                None => return Err(CkptError::Truncated),
+                Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                Some(_) => return Err(CkptError::Malformed { offset: self.pos }),
+            }
+        }
+        Ok(self.s[self.pos - 16..self.pos].to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload codec: vendored-serde Parser over the inner JSON.
+// ---------------------------------------------------------------------
+
+fn parse_payload(payload: &str) -> Result<Checkpoint, CkptError> {
+    let mut parser = Parser::new(payload);
+    let checkpoint = parse_checkpoint(&mut parser).map_err(state_error)?;
+    parser.expect_end().map_err(state_error)?;
+    Ok(checkpoint)
+}
+
+fn state_error(err: de::Error) -> CkptError {
+    CkptError::State {
+        reason: err.to_string(),
+    }
+}
+
+fn push_hex_u64(out: &mut String, value: u64) {
+    out.push('"');
+    out.push_str(&format!("{value:016x}"));
+    out.push('"');
+}
+
+fn parse_hex_u64(parser: &mut Parser<'_>) -> Result<u64, de::Error> {
+    let hex = parser.parse_string()?;
+    if hex.len() != 16 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(parser.error("expected a 16-digit hex string"));
+    }
+    u64::from_str_radix(&hex, 16).map_err(|_| parser.error("expected a 16-digit hex string"))
+}
+
+fn push_hex_f64(out: &mut String, value: f64) {
+    push_hex_u64(out, value.to_bits());
+}
+
+fn parse_hex_f64(parser: &mut Parser<'_>) -> Result<f64, de::Error> {
+    parse_hex_u64(parser).map(f64::from_bits)
+}
+
+fn write_array<T>(out: &mut String, items: &[T], mut write: impl FnMut(&mut String, &T)) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write(out, item);
+    }
+    out.push(']');
+}
+
+fn parse_array<T>(
+    parser: &mut Parser<'_>,
+    mut parse: impl FnMut(&mut Parser<'_>) -> Result<T, de::Error>,
+) -> Result<Vec<T>, de::Error> {
+    parser.expect_char('[')?;
+    let mut out = Vec::new();
+    if parser.consume_char(']') {
+        return Ok(out);
+    }
+    loop {
+        out.push(parse(parser)?);
+        if parser.consume_char(',') {
+            continue;
+        }
+        parser.expect_char(']')?;
+        return Ok(out);
+    }
+}
+
+fn parse_checkpoint(parser: &mut Parser<'_>) -> Result<Checkpoint, de::Error> {
+    parser.expect_char('{')?;
+    let mut meta: Option<String> = None;
+    let mut state: Option<JobState> = None;
+    if !parser.consume_char('}') {
+        loop {
+            let key = parser.parse_string()?;
+            parser.expect_char(':')?;
+            match key.as_str() {
+                "meta" => meta = Some(parser.parse_string()?),
+                "state" => state = Some(parse_state(parser)?),
+                _ => parser.skip_value()?,
+            }
+            if parser.consume_char(',') {
+                continue;
+            }
+            parser.expect_char('}')?;
+            break;
+        }
+    }
+    Ok(Checkpoint {
+        meta: meta.ok_or_else(|| parser.error("checkpoint: meta"))?,
+        state: state.ok_or_else(|| parser.error("checkpoint: state"))?,
+    })
+}
+
+fn write_state(state: &JobState, out: &mut String) {
+    out.push_str("{\"binding\":");
+    write_binding(&state.binding, out);
+    out.push_str(",\"next_sweep\":");
+    state.next_sweep.serialize_json(out);
+    out.push_str(",\"labels\":");
+    state.labels.serialize_json(out);
+    out.push_str(",\"energy_trace\":");
+    write_array(out, &state.energy_trace, |o, &e| push_hex_f64(o, e));
+    out.push_str(",\"histograms\":");
+    state.histograms.serialize_json(out);
+    out.push_str(",\"kernel_faults\":");
+    write_array(out, &state.kernel_faults, |o, f| write_fault(o, f.as_ref()));
+    out.push_str(",\"fault\":");
+    match &state.fault {
+        None => out.push_str("null"),
+        Some(fault) => write_fault_state(fault, out),
+    }
+    out.push_str(",\"sink_state\":");
+    state.sink_state.serialize_json(out);
+    out.push('}');
+}
+
+fn parse_state(parser: &mut Parser<'_>) -> Result<JobState, de::Error> {
+    use serde::Deserialize;
+    parser.expect_char('{')?;
+    let mut binding: Option<StateBinding> = None;
+    let mut next_sweep: Option<usize> = None;
+    let mut labels: Option<Vec<u8>> = None;
+    let mut energy_trace: Option<Vec<f64>> = None;
+    let mut histograms: Option<Option<Vec<u32>>> = None;
+    let mut kernel_faults: Option<Vec<Option<UnitFault>>> = None;
+    let mut fault: Option<Option<FaultState>> = None;
+    let mut sink_state: Option<Option<String>> = None;
+    if !parser.consume_char('}') {
+        loop {
+            let key = parser.parse_string()?;
+            parser.expect_char(':')?;
+            match key.as_str() {
+                "binding" => binding = Some(parse_binding(parser)?),
+                "next_sweep" => next_sweep = Some(usize::deserialize_json(parser)?),
+                "labels" => labels = Some(Vec::deserialize_json(parser)?),
+                "energy_trace" => energy_trace = Some(parse_array(parser, parse_hex_f64)?),
+                "histograms" => histograms = Some(Option::deserialize_json(parser)?),
+                "kernel_faults" => kernel_faults = Some(parse_array(parser, parse_fault)?),
+                "fault" => {
+                    fault = Some(if parser.consume_literal("null") {
+                        None
+                    } else {
+                        Some(parse_fault_state(parser)?)
+                    });
+                }
+                "sink_state" => sink_state = Some(Option::deserialize_json(parser)?),
+                _ => parser.skip_value()?,
+            }
+            if parser.consume_char(',') {
+                continue;
+            }
+            parser.expect_char('}')?;
+            break;
+        }
+    }
+    Ok(JobState {
+        binding: binding.ok_or_else(|| parser.error("state: binding"))?,
+        next_sweep: next_sweep.ok_or_else(|| parser.error("state: next_sweep"))?,
+        labels: labels.ok_or_else(|| parser.error("state: labels"))?,
+        energy_trace: energy_trace.ok_or_else(|| parser.error("state: energy_trace"))?,
+        histograms: histograms.ok_or_else(|| parser.error("state: histograms"))?,
+        kernel_faults: kernel_faults.ok_or_else(|| parser.error("state: kernel_faults"))?,
+        fault: fault.ok_or_else(|| parser.error("state: fault"))?,
+        sink_state: sink_state.ok_or_else(|| parser.error("state: sink_state"))?,
+    })
+}
+
+fn write_binding(binding: &StateBinding, out: &mut String) {
+    out.push_str("{\"sites\":");
+    binding.sites.serialize_json(out);
+    out.push_str(",\"width\":");
+    binding.width.serialize_json(out);
+    out.push_str(",\"height\":");
+    binding.height.serialize_json(out);
+    out.push_str(",\"labels\":");
+    binding.labels.serialize_json(out);
+    out.push_str(",\"iterations\":");
+    binding.iterations.serialize_json(out);
+    out.push_str(",\"burn_in\":");
+    binding.burn_in.serialize_json(out);
+    out.push_str(",\"threads\":");
+    binding.threads.serialize_json(out);
+    out.push_str(",\"seed\":");
+    push_hex_u64(out, binding.seed);
+    out.push_str(",\"fingerprint\":");
+    push_hex_u64(out, binding.fingerprint);
+    out.push_str(",\"kernel\":");
+    binding.kernel.serialize_json(out);
+    out.push_str(",\"track_modes\":");
+    binding.track_modes.serialize_json(out);
+    out.push_str(",\"record_energy\":");
+    binding.record_energy.serialize_json(out);
+    out.push('}');
+}
+
+fn parse_binding(parser: &mut Parser<'_>) -> Result<StateBinding, de::Error> {
+    use serde::Deserialize;
+    parser.expect_char('{')?;
+    let mut sites: Option<usize> = None;
+    let mut width: Option<usize> = None;
+    let mut height: Option<usize> = None;
+    let mut labels: Option<usize> = None;
+    let mut iterations: Option<usize> = None;
+    let mut burn_in: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut fingerprint: Option<u64> = None;
+    let mut kernel: Option<String> = None;
+    let mut track_modes: Option<bool> = None;
+    let mut record_energy: Option<bool> = None;
+    if !parser.consume_char('}') {
+        loop {
+            let key = parser.parse_string()?;
+            parser.expect_char(':')?;
+            match key.as_str() {
+                "sites" => sites = Some(usize::deserialize_json(parser)?),
+                "width" => width = Some(usize::deserialize_json(parser)?),
+                "height" => height = Some(usize::deserialize_json(parser)?),
+                "labels" => labels = Some(usize::deserialize_json(parser)?),
+                "iterations" => iterations = Some(usize::deserialize_json(parser)?),
+                "burn_in" => burn_in = Some(usize::deserialize_json(parser)?),
+                "threads" => threads = Some(usize::deserialize_json(parser)?),
+                "seed" => seed = Some(parse_hex_u64(parser)?),
+                "fingerprint" => fingerprint = Some(parse_hex_u64(parser)?),
+                "kernel" => kernel = Some(String::deserialize_json(parser)?),
+                "track_modes" => track_modes = Some(bool::deserialize_json(parser)?),
+                "record_energy" => record_energy = Some(bool::deserialize_json(parser)?),
+                _ => parser.skip_value()?,
+            }
+            if parser.consume_char(',') {
+                continue;
+            }
+            parser.expect_char('}')?;
+            break;
+        }
+    }
+    Ok(StateBinding {
+        sites: sites.ok_or_else(|| parser.error("binding: sites"))?,
+        width: width.ok_or_else(|| parser.error("binding: width"))?,
+        height: height.ok_or_else(|| parser.error("binding: height"))?,
+        labels: labels.ok_or_else(|| parser.error("binding: labels"))?,
+        iterations: iterations.ok_or_else(|| parser.error("binding: iterations"))?,
+        burn_in: burn_in.ok_or_else(|| parser.error("binding: burn_in"))?,
+        threads: threads.ok_or_else(|| parser.error("binding: threads"))?,
+        seed: seed.ok_or_else(|| parser.error("binding: seed"))?,
+        fingerprint: fingerprint.ok_or_else(|| parser.error("binding: fingerprint"))?,
+        kernel: kernel.ok_or_else(|| parser.error("binding: kernel"))?,
+        track_modes: track_modes.ok_or_else(|| parser.error("binding: track_modes"))?,
+        record_energy: record_energy.ok_or_else(|| parser.error("binding: record_energy"))?,
+    })
+}
+
+fn write_fault(out: &mut String, fault: Option<&UnitFault>) {
+    match fault {
+        None => out.push_str("null"),
+        Some(UnitFault::Dead) => out.push_str("{\"kind\":\"dead\"}"),
+        Some(UnitFault::Stuck(label)) => {
+            out.push_str("{\"kind\":\"stuck\",\"label\":");
+            label.value().serialize_json(out);
+            out.push('}');
+        }
+        Some(UnitFault::DarkCount { rate_per_ns }) => {
+            out.push_str("{\"kind\":\"dark\",\"rate\":");
+            push_hex_f64(out, *rate_per_ns);
+            out.push('}');
+        }
+    }
+}
+
+fn parse_fault(parser: &mut Parser<'_>) -> Result<Option<UnitFault>, de::Error> {
+    use serde::Deserialize;
+    if parser.consume_literal("null") {
+        return Ok(None);
+    }
+    parser.expect_char('{')?;
+    let mut kind: Option<String> = None;
+    let mut label: Option<u8> = None;
+    let mut rate: Option<f64> = None;
+    if !parser.consume_char('}') {
+        loop {
+            let key = parser.parse_string()?;
+            parser.expect_char(':')?;
+            match key.as_str() {
+                "kind" => kind = Some(String::deserialize_json(parser)?),
+                "label" => label = Some(u8::deserialize_json(parser)?),
+                "rate" => rate = Some(parse_hex_f64(parser)?),
+                _ => parser.skip_value()?,
+            }
+            if parser.consume_char(',') {
+                continue;
+            }
+            parser.expect_char('}')?;
+            break;
+        }
+    }
+    match kind.as_deref() {
+        Some("dead") => Ok(Some(UnitFault::Dead)),
+        Some("stuck") => {
+            let value = label.ok_or_else(|| parser.error("stuck fault: label"))?;
+            let label = Label::try_new(value)
+                .map_err(|_| parser.error("stuck fault: label does not fit in 6 bits"))?;
+            Ok(Some(UnitFault::Stuck(label)))
+        }
+        Some("dark") => {
+            let rate_per_ns = rate.ok_or_else(|| parser.error("dark fault: rate"))?;
+            Ok(Some(UnitFault::DarkCount { rate_per_ns }))
+        }
+        _ => Err(parser.error("fault kind must be 'dead', 'stuck', or 'dark'")),
+    }
+}
+
+fn write_fault_state(fault: &FaultState, out: &mut String) {
+    out.push_str("{\"cursor\":");
+    fault.cursor.serialize_json(out);
+    out.push_str(",\"quarantined\":");
+    fault.quarantined.serialize_json(out);
+    out.push_str(",\"degraded\":");
+    match &fault.degraded {
+        None => out.push_str("null"),
+        Some(degraded) => {
+            out.push_str("{\"failed_over_at\":");
+            degraded.failed_over_at.serialize_json(out);
+            out.push_str(",\"units_lost\":");
+            degraded.units_lost.serialize_json(out);
+            out.push('}');
+        }
+    }
+    out.push_str(",\"poisoned\":");
+    fault.poisoned.serialize_json(out);
+    out.push('}');
+}
+
+fn parse_fault_state(parser: &mut Parser<'_>) -> Result<FaultState, de::Error> {
+    use serde::Deserialize;
+    parser.expect_char('{')?;
+    let mut cursor: Option<usize> = None;
+    let mut quarantined: Option<Vec<bool>> = None;
+    let mut degraded: Option<Option<mogs_engine::Degraded>> = None;
+    let mut poisoned: Option<bool> = None;
+    if !parser.consume_char('}') {
+        loop {
+            let key = parser.parse_string()?;
+            parser.expect_char(':')?;
+            match key.as_str() {
+                "cursor" => cursor = Some(usize::deserialize_json(parser)?),
+                "quarantined" => quarantined = Some(Vec::deserialize_json(parser)?),
+                "degraded" => {
+                    degraded = Some(if parser.consume_literal("null") {
+                        None
+                    } else {
+                        Some(parse_degraded(parser)?)
+                    });
+                }
+                "poisoned" => poisoned = Some(bool::deserialize_json(parser)?),
+                _ => parser.skip_value()?,
+            }
+            if parser.consume_char(',') {
+                continue;
+            }
+            parser.expect_char('}')?;
+            break;
+        }
+    }
+    Ok(FaultState {
+        cursor: cursor.ok_or_else(|| parser.error("fault state: cursor"))?,
+        quarantined: quarantined.ok_or_else(|| parser.error("fault state: quarantined"))?,
+        degraded: degraded.ok_or_else(|| parser.error("fault state: degraded"))?,
+        poisoned: poisoned.ok_or_else(|| parser.error("fault state: poisoned"))?,
+    })
+}
+
+fn parse_degraded(parser: &mut Parser<'_>) -> Result<mogs_engine::Degraded, de::Error> {
+    use serde::Deserialize;
+    parser.expect_char('{')?;
+    let mut failed_over_at: Option<usize> = None;
+    let mut units_lost: Option<usize> = None;
+    if !parser.consume_char('}') {
+        loop {
+            let key = parser.parse_string()?;
+            parser.expect_char(':')?;
+            match key.as_str() {
+                "failed_over_at" => failed_over_at = Some(usize::deserialize_json(parser)?),
+                "units_lost" => units_lost = Some(usize::deserialize_json(parser)?),
+                _ => parser.skip_value()?,
+            }
+            if parser.consume_char(',') {
+                continue;
+            }
+            parser.expect_char('}')?;
+            break;
+        }
+    }
+    Ok(mogs_engine::Degraded {
+        failed_over_at: failed_over_at.ok_or_else(|| parser.error("degraded: failed_over_at"))?,
+        units_lost: units_lost.ok_or_else(|| parser.error("degraded: units_lost"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogs_engine::Degraded;
+
+    fn demo_state() -> JobState {
+        JobState {
+            binding: StateBinding {
+                sites: 12,
+                width: 4,
+                height: 3,
+                labels: 3,
+                iterations: 10,
+                burn_in: 2,
+                threads: 2,
+                seed: 0xDEAD_BEEF_CAFE_F00D,
+                fingerprint: u64::MAX - 5,
+                kernel: "rsu-pool\"escaped\"".to_string(),
+                track_modes: true,
+                record_energy: true,
+            },
+            next_sweep: 4,
+            labels: vec![0, 1, 2, 1, 0, 2, 2, 1, 0, 0, 1, 2],
+            energy_trace: vec![-14.25, 3.5e-300, 0.0],
+            histograms: Some(vec![7; 36]),
+            kernel_faults: vec![
+                None,
+                Some(UnitFault::Dead),
+                Some(UnitFault::Stuck(Label::new(2))),
+                Some(UnitFault::DarkCount { rate_per_ns: 0.125 }),
+            ],
+            fault: Some(FaultState {
+                cursor: 3,
+                quarantined: vec![false, true, false, false],
+                degraded: Some(Degraded {
+                    failed_over_at: 3,
+                    units_lost: 2,
+                }),
+                poisoned: false,
+            }),
+            sink_state: Some("v=1;ring=\n3ff0000000000000".to_string()),
+        }
+    }
+
+    #[test]
+    fn round_trips_a_fully_populated_checkpoint() {
+        let original = Checkpoint {
+            meta: "{\"tenant\":\"acme\"}".to_string(),
+            state: demo_state(),
+        };
+        let encoded = encode(&original);
+        let decoded = decode(&encoded).expect("canonical envelope decodes");
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn non_finite_energies_round_trip_bitwise() {
+        let mut state = demo_state();
+        state.energy_trace = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0];
+        let original = Checkpoint {
+            meta: String::new(),
+            state,
+        };
+        let decoded = decode(&encode(&original)).expect("decodes");
+        let bits: Vec<u64> = decoded
+            .state
+            .energy_trace
+            .iter()
+            .map(|e| e.to_bits())
+            .collect();
+        let want: Vec<u64> = original
+            .state
+            .energy_trace
+            .iter()
+            .map(|e| e.to_bits())
+            .collect();
+        assert_eq!(bits, want, "hex-bits wire preserves every f64 payload");
+    }
+
+    #[test]
+    fn version_is_checked_before_anything_else() {
+        let encoded = encode(&Checkpoint {
+            meta: String::new(),
+            state: demo_state(),
+        });
+        // Bump the version digit; the checksum is now also stale, but
+        // the reader must report the version, not the checksum.
+        let bumped = encoded.replacen("{\"version\":1", "{\"version\":2", 1);
+        let err = decode(&bumped).expect_err("future version is rejected");
+        assert_eq!(
+            err,
+            CkptError::VersionMismatch {
+                found: 2,
+                supported: 1
+            }
+        );
+    }
+
+    #[test]
+    fn every_proper_prefix_is_truncated() {
+        let encoded = encode(&Checkpoint {
+            meta: "m".to_string(),
+            state: demo_state(),
+        });
+        for end in (0..encoded.len()).filter(|&i| encoded.is_char_boundary(i)) {
+            let err = decode(&encoded[..end]).expect_err("prefix cannot decode");
+            assert_eq!(
+                err,
+                CkptError::Truncated,
+                "prefix of {end} bytes misdiagnosed"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_is_malformed_at_the_right_offset() {
+        let err = decode("not a checkpoint").expect_err("garbage rejected");
+        assert_eq!(err, CkptError::Malformed { offset: 0 });
+        let err = decode("{\"version\":x}").expect_err("non-digit version");
+        assert_eq!(err, CkptError::Malformed { offset: 11 });
+    }
+
+    #[test]
+    fn payload_corruption_is_a_checksum_mismatch() {
+        let encoded = encode(&Checkpoint {
+            meta: "abcdef".to_string(),
+            state: demo_state(),
+        });
+        let corrupted = encoded.replacen("abcdef", "abcdeg", 1);
+        let err = decode(&corrupted).expect_err("corrupted payload rejected");
+        assert_eq!(err.variant(), "checksum-mismatch");
+    }
+
+    #[test]
+    fn sealed_garbage_payload_is_a_state_error() {
+        // A valid envelope around a payload that is not a checkpoint:
+        // the envelope layer must pass and the payload layer must name
+        // the problem.
+        let err = decode(&seal("{\"meta\":\"x\"}")).expect_err("incomplete payload");
+        assert_eq!(err.variant(), "state");
+        let CkptError::State { reason } = err else {
+            unreachable!()
+        };
+        assert!(reason.contains("state"), "reason names the field: {reason}");
+    }
+
+    #[test]
+    fn binding_verification_names_the_field() {
+        let state = demo_state();
+        let mut expected = state.binding.clone();
+        expected.fingerprint ^= 1;
+        let err = verify_binding(&state, &expected).expect_err("fingerprints differ");
+        assert_eq!(err.variant(), "binding-mismatch");
+        assert!(err.to_string().contains("fingerprint"), "err: {err}");
+        assert!(verify_binding(&state, &state.binding).is_ok());
+    }
+
+    #[test]
+    fn stuck_fault_label_out_of_range_is_rejected_not_panicked() {
+        let payload = seal(
+            "{\"meta\":\"\",\"state\":{\"binding\":{\"sites\":1,\"width\":1,\"height\":1,\
+             \"labels\":1,\"iterations\":1,\"burn_in\":0,\"threads\":1,\
+             \"seed\":\"0000000000000000\",\"fingerprint\":\"0000000000000000\",\
+             \"kernel\":\"k\",\"track_modes\":false,\"record_energy\":false},\
+             \"next_sweep\":0,\"labels\":[0],\"energy_trace\":[],\"histograms\":null,\
+             \"kernel_faults\":[{\"kind\":\"stuck\",\"label\":200}],\"fault\":null,\
+             \"sink_state\":null}}",
+        );
+        let err = decode(&payload).expect_err("label 200 does not fit in 6 bits");
+        assert_eq!(err.variant(), "state");
+    }
+}

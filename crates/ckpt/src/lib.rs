@@ -1,0 +1,62 @@
+//! mogs-ckpt: durable sweep-boundary checkpoints with bit-identical
+//! resume.
+//!
+//! The engine can capture a job's complete resumable state at quiescent
+//! sweep boundaries (see `mogs_engine::ckpt`); this crate makes those
+//! captures *durable* and *trustworthy*:
+//!
+//! - [`encode`]/[`decode`] define the on-disk format: a versioned JSON
+//!   envelope whose payload is covered by an FNV-1a checksum, with every
+//!   `f64` carried as its exact IEEE-754 bit pattern and every `u64` as
+//!   hex — nothing is allowed to round, because the contract is that a
+//!   job interrupted at sweep *k* and resumed produces **bit-identical**
+//!   output to one that never stopped.
+//! - [`CheckpointStore`] files envelopes in a directory with atomic
+//!   temp-file-then-rename writes, per-key retention bounds, and a
+//!   [`scan`](CheckpointStore::scan) that a restarting service uses to
+//!   find every resumable job (and every corrupt file, with a typed
+//!   reason).
+//! - [`CkptError`] keeps the failure modes distinct: torn file vs bit
+//!   rot vs future format vs wrong problem vs invalid state. Loading
+//!   never panics and never partially restores.
+//!
+//! The trust model is deliberately narrow: the checksum detects
+//! *accidental* corruption, not tampering — a checkpoint directory is
+//! operator-trusted input, same as the binary itself. What the format
+//! *does* guarantee is that nothing short of a matching
+//! [`StateBinding`](mogs_engine::StateBinding) (dimensions, seed,
+//! budget, chunking, topology fingerprint, kernel) will seat, so a
+//! stale or foreign checkpoint is refused instead of silently
+//! diverging.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use mogs_ckpt::CheckpointStore;
+//! use mogs_engine::CheckpointPolicy;
+//!
+//! let store = CheckpointStore::open("/var/lib/mogs/ckpt", 3)?;
+//! let writer = store.writer("job-42", "request context".to_string());
+//! // … attach to a spec:
+//! //   JobSpec::builder(field, kernel)
+//! //       .checkpoint(CheckpointPolicy::every(50), writer)
+//! // … and after a restart:
+//! let report = store.scan()?;
+//! for entry in &report.resumable {
+//!     // rebuild the spec from entry.checkpoint.meta, then
+//!     // engine.resume(spec, &entry.checkpoint.state)
+//! }
+//! # Ok::<(), mogs_ckpt::CkptError>(())
+//! ```
+
+mod error;
+mod format;
+mod store;
+
+#[doc(hidden)]
+pub mod harness;
+
+pub use error::CkptError;
+pub use format::{
+    decode, encode, fnv1a, open_envelope, seal, verify_binding, Checkpoint, FORMAT_VERSION,
+};
+pub use store::{sanitize_key, CheckpointStore, ScanEntry, ScanReport};

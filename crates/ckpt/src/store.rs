@@ -1,0 +1,502 @@
+//! The durable checkpoint store: atomic writes, bounded retention, and
+//! the recovery scan.
+//!
+//! One store owns one directory. Each job is filed under a caller-chosen
+//! *key*; a capture at sweep cursor `k` lands in
+//! `<key>-<k padded to 8 digits>.ckpt`, so lexicographic filename order
+//! *is* progress order and "the latest checkpoint" needs no index file.
+//! Writes are crash-safe by construction: the envelope is written to a
+//! `.tmp` sibling and atomically renamed into place, so a reader (or a
+//! recovery scan after a crash) only ever sees complete files — the
+//! worst a mid-write kill leaves behind is a `.tmp` orphan, which every
+//! scan ignores and the next successful save of that key sweeps up.
+//!
+//! Retention is bounded per key: after each save the oldest checkpoints
+//! beyond `retain` are deleted, so a long job costs O(retain) disk, not
+//! O(sweeps / cadence).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use mogs_engine::{CheckpointWriter, JobState};
+
+use crate::error::CkptError;
+use crate::format::{decode, encode, Checkpoint};
+
+/// Filename suffix of a completed checkpoint.
+const CKPT_EXT: &str = ".ckpt";
+/// Suffix of an in-flight write; never read by scans.
+const TMP_EXT: &str = ".ckpt.tmp";
+
+/// A directory of checkpoints with per-key retention.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    retain: usize,
+}
+
+/// One resumable job found by [`CheckpointStore::scan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanEntry {
+    /// The key the checkpoint was saved under (sanitized form).
+    pub key: String,
+    /// Path of the newest loadable checkpoint for the key.
+    pub path: PathBuf,
+    /// Its decoded contents.
+    pub checkpoint: Checkpoint,
+}
+
+/// Everything a [`CheckpointStore::scan`] found.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    /// Newest loadable checkpoint per key, sorted by key.
+    pub resumable: Vec<ScanEntry>,
+    /// Files that exist but cannot be trusted, with the typed reason.
+    /// A key appears in `resumable` as long as *any* of its files
+    /// loads; its newer, corrupt siblings still show up here.
+    pub rejected: Vec<(PathBuf, CkptError)>,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory. `retain`
+    /// bounds how many checkpoints each key keeps; zero is treated as
+    /// one, since a store that keeps nothing cannot resume anything.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, retain: usize) -> Result<Self, CkptError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|err| CkptError::Io {
+            op: "create-dir",
+            message: err.to_string(),
+        })?;
+        Ok(CheckpointStore {
+            dir,
+            retain: retain.max(1),
+        })
+    }
+
+    /// The directory this store owns.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The per-key retention bound.
+    #[must_use]
+    pub fn retain(&self) -> usize {
+        self.retain
+    }
+
+    /// Persists one checkpoint under `key`, atomically, then prunes the
+    /// key's history past the retention bound. Returns the final path.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] when the write or rename fails. Retention
+    /// pruning is best-effort: a failed delete never fails the save.
+    pub fn save(&self, key: &str, checkpoint: &Checkpoint) -> Result<PathBuf, CkptError> {
+        let key = sanitize_key(key);
+        let name = format!("{key}-{:08}{CKPT_EXT}", checkpoint.state.next_sweep);
+        let path = self.dir.join(&name);
+        let tmp = self
+            .dir
+            .join(format!("{key}-{:08}{TMP_EXT}", checkpoint.state.next_sweep));
+        std::fs::write(&tmp, encode(checkpoint)).map_err(|err| CkptError::Io {
+            op: "write",
+            message: err.to_string(),
+        })?;
+        std::fs::rename(&tmp, &path).map_err(|err| CkptError::Io {
+            op: "rename",
+            message: err.to_string(),
+        })?;
+        self.prune(&key);
+        Ok(path)
+    }
+
+    /// Loads and verifies one checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] when the file cannot be read, or any decode
+    /// error from [`decode`](crate::decode).
+    pub fn load(&self, path: &Path) -> Result<Checkpoint, CkptError> {
+        let text = std::fs::read_to_string(path).map_err(|err| CkptError::Io {
+            op: "read",
+            message: err.to_string(),
+        })?;
+        decode(&text)
+    }
+
+    /// The newest loadable checkpoint for `key`, or `None` when the key
+    /// has no files at all.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] when the directory cannot be listed, or the
+    /// newest file's decode error when the key has files but none
+    /// loads.
+    pub fn latest(&self, key: &str) -> Result<Option<(PathBuf, Checkpoint)>, CkptError> {
+        let key = sanitize_key(key);
+        let mut files = self.files_for(&key)?;
+        if files.is_empty() {
+            return Ok(None);
+        }
+        // Newest first; fall back through older checkpoints so one
+        // corrupted file does not strand a resumable job.
+        files.reverse();
+        let mut first_err = None;
+        for path in files {
+            match self.load(&path) {
+                Ok(checkpoint) => return Ok(Some((path, checkpoint))),
+                Err(err) => first_err = first_err.or(Some(err)),
+            }
+        }
+        match first_err {
+            Some(err) => Err(err),
+            // Unreachable: `files` was checked non-empty above, so the
+            // loop either returned a checkpoint or recorded an error.
+            None => Ok(None),
+        }
+    }
+
+    /// Walks the whole directory and reports, per key, the newest
+    /// checkpoint that actually loads, plus every file that had to be
+    /// rejected. This is the serve front-end's restart-recovery entry
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] when the directory cannot be listed. Unreadable
+    /// or corrupt *files* are reported in the result, not as an error.
+    pub fn scan(&self) -> Result<ScanReport, CkptError> {
+        let mut names: Vec<String> = Vec::new();
+        let entries = std::fs::read_dir(&self.dir).map_err(|err| CkptError::Io {
+            op: "read-dir",
+            message: err.to_string(),
+        })?;
+        for entry in entries {
+            let entry = entry.map_err(|err| CkptError::Io {
+                op: "read-dir",
+                message: err.to_string(),
+            })?;
+            if let Some(name) = entry.file_name().to_str() {
+                if name.ends_with(CKPT_EXT) && !name.ends_with(TMP_EXT) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        let mut report = ScanReport::default();
+        let mut index = 0;
+        while index < names.len() {
+            let key = key_of(&names[index]).to_string();
+            let mut group_end = index + 1;
+            while group_end < names.len() && key_of(&names[group_end]) == key {
+                group_end += 1;
+            }
+            // Newest first within the key's (sorted) group.
+            let mut found = None;
+            for name in names[index..group_end].iter().rev() {
+                let path = self.dir.join(name);
+                if found.is_some() {
+                    break;
+                }
+                match self.load(&path) {
+                    Ok(checkpoint) => {
+                        found = Some(ScanEntry {
+                            key: key.clone(),
+                            path,
+                            checkpoint,
+                        });
+                    }
+                    Err(err) => report.rejected.push((path, err)),
+                }
+            }
+            report.resumable.extend(found);
+            index = group_end;
+        }
+        Ok(report)
+    }
+
+    /// Deletes every checkpoint filed under `key` (e.g. once its job
+    /// completes and durability is no longer owed). Returns how many
+    /// files were removed.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] when the directory cannot be listed or a
+    /// delete fails.
+    pub fn remove(&self, key: &str) -> Result<usize, CkptError> {
+        let key = sanitize_key(key);
+        let files = self.files_for(&key)?;
+        let count = files.len();
+        for path in files {
+            std::fs::remove_file(&path).map_err(|err| CkptError::Io {
+                op: "remove",
+                message: err.to_string(),
+            })?;
+        }
+        Ok(count)
+    }
+
+    /// An engine-facing [`CheckpointWriter`] that files every captured
+    /// state under `key` with `meta` attached, through this store's
+    /// atomic-save-then-prune path.
+    #[must_use]
+    pub fn writer(&self, key: &str, meta: String) -> Arc<dyn CheckpointWriter> {
+        Arc::new(StoreWriter {
+            store: self.clone(),
+            key: sanitize_key(key),
+            meta,
+        })
+    }
+
+    /// The key's completed checkpoint files in ascending (oldest-first)
+    /// sweep order.
+    fn files_for(&self, sanitized_key: &str) -> Result<Vec<PathBuf>, CkptError> {
+        let entries = std::fs::read_dir(&self.dir).map_err(|err| CkptError::Io {
+            op: "read-dir",
+            message: err.to_string(),
+        })?;
+        let mut names: Vec<String> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|err| CkptError::Io {
+                op: "read-dir",
+                message: err.to_string(),
+            })?;
+            if let Some(name) = entry.file_name().to_str() {
+                if name.ends_with(CKPT_EXT)
+                    && !name.ends_with(TMP_EXT)
+                    && key_of(name) == sanitized_key
+                {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names.into_iter().map(|n| self.dir.join(n)).collect())
+    }
+
+    /// Best-effort deletion of the key's oldest files beyond the
+    /// retention bound.
+    fn prune(&self, sanitized_key: &str) {
+        let Ok(files) = self.files_for(sanitized_key) else {
+            return;
+        };
+        if files.len() > self.retain {
+            for path in &files[..files.len() - self.retain] {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+}
+
+/// Maps a caller key to filename-safe form: anything outside
+/// `[A-Za-z0-9._-]` becomes `_`. Distinct keys can collide after
+/// sanitization; callers that mint keys (the serve job store uses
+/// `job-<id>`) already stay inside the safe set.
+#[must_use]
+pub fn sanitize_key(key: &str) -> String {
+    let safe: String = key
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if safe.is_empty() {
+        "_".to_string()
+    } else {
+        safe
+    }
+}
+
+/// The key part of a checkpoint filename: the stem minus the trailing
+/// `-<8 digits>` sweep cursor (kept whole when the suffix is absent,
+/// e.g. for files created out-of-band).
+fn key_of(name: &str) -> &str {
+    let stem = name.strip_suffix(CKPT_EXT).unwrap_or(name);
+    match stem.char_indices().rev().nth(8) {
+        Some((cut, '-')) if stem[cut + 1..].bytes().all(|b| b.is_ascii_digit()) => &stem[..cut],
+        _ => stem,
+    }
+}
+
+/// [`CheckpointWriter`] adapter handed to the engine.
+struct StoreWriter {
+    store: CheckpointStore,
+    key: String,
+    meta: String,
+}
+
+impl CheckpointWriter for StoreWriter {
+    fn write(&self, state: &JobState) -> Result<(), String> {
+        let checkpoint = Checkpoint {
+            meta: self.meta.clone(),
+            state: state.clone(),
+        };
+        self.store
+            .save(&self.key, &checkpoint)
+            .map(|_| ())
+            .map_err(|err| err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogs_engine::StateBinding;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mogs-ckpt-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn state_at(next_sweep: usize) -> JobState {
+        JobState {
+            binding: StateBinding {
+                sites: 4,
+                width: 2,
+                height: 2,
+                labels: 2,
+                iterations: 16,
+                burn_in: 0,
+                threads: 1,
+                seed: 11,
+                fingerprint: 0x1234_5678_9ABC_DEF0,
+                kernel: "softmax-gibbs".to_string(),
+                track_modes: false,
+                record_energy: true,
+            },
+            next_sweep,
+            labels: vec![0, 1, 1, 0],
+            energy_trace: vec![1.5; next_sweep],
+            histograms: None,
+            kernel_faults: Vec::new(),
+            fault: None,
+            sink_state: None,
+        }
+    }
+
+    fn ckpt_at(next_sweep: usize) -> Checkpoint {
+        Checkpoint {
+            meta: format!("meta-{next_sweep}"),
+            state: state_at(next_sweep),
+        }
+    }
+
+    #[test]
+    fn save_load_latest_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let store = CheckpointStore::open(&dir, 4).expect("open");
+        let path = store.save("job-1", &ckpt_at(3)).expect("save");
+        assert!(path.ends_with("job-1-00000003.ckpt"));
+        assert_eq!(store.load(&path).expect("load"), ckpt_at(3));
+        store.save("job-1", &ckpt_at(6)).expect("save");
+        let (latest_path, latest) = store
+            .latest("job-1")
+            .expect("listable")
+            .expect("has checkpoints");
+        assert!(latest_path.ends_with("job-1-00000006.ckpt"));
+        assert_eq!(latest, ckpt_at(6));
+        assert!(store.latest("job-2").expect("listable").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_evicts_oldest_checkpoints() {
+        let dir = temp_dir("retention");
+        let store = CheckpointStore::open(&dir, 2).expect("open");
+        for sweep in [1, 2, 3, 4, 5] {
+            store.save("job-7", &ckpt_at(sweep)).expect("save");
+        }
+        let names: Vec<String> = {
+            let mut v: Vec<String> = std::fs::read_dir(&dir)
+                .expect("dir")
+                .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            names,
+            vec![
+                "job-7-00000004.ckpt".to_string(),
+                "job-7-00000005.ckpt".to_string()
+            ],
+            "only the two newest survive"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_reports_latest_per_key_and_rejects_corruption() {
+        let dir = temp_dir("scan");
+        let store = CheckpointStore::open(&dir, 8).expect("open");
+        store.save("job-a", &ckpt_at(2)).expect("save");
+        store.save("job-a", &ckpt_at(5)).expect("save");
+        store.save("job-b", &ckpt_at(1)).expect("save");
+        // Corrupt job-b's newest: a newer-but-corrupt file must land in
+        // `rejected` while the older good one keeps the key resumable.
+        let newer = dir.join("job-b-00000009.ckpt");
+        std::fs::write(&newer, "garbage").expect("write corrupt");
+        // Leftover tmp files from a crash mid-write are invisible.
+        std::fs::write(dir.join("job-c-00000001.ckpt.tmp"), "torn").expect("write tmp");
+        let report = store.scan().expect("scan");
+        let keys: Vec<(&str, usize)> = report
+            .resumable
+            .iter()
+            .map(|e| (e.key.as_str(), e.checkpoint.state.next_sweep))
+            .collect();
+        assert_eq!(keys, vec![("job-a", 5), ("job-b", 1)]);
+        assert_eq!(report.rejected.len(), 1);
+        assert_eq!(report.rejected[0].0, newer);
+        assert_eq!(report.rejected[0].1.variant(), "malformed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_deletes_only_the_keys_files() {
+        let dir = temp_dir("remove");
+        let store = CheckpointStore::open(&dir, 8).expect("open");
+        store.save("job-x", &ckpt_at(1)).expect("save");
+        store.save("job-x", &ckpt_at(2)).expect("save");
+        store.save("job-y", &ckpt_at(1)).expect("save");
+        assert_eq!(store.remove("job-x").expect("remove"), 2);
+        assert!(store.latest("job-x").expect("listable").is_none());
+        assert!(store.latest("job-y").expect("listable").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writer_files_states_under_its_key() {
+        let dir = temp_dir("writer");
+        let store = CheckpointStore::open(&dir, 8).expect("open");
+        let writer = store.writer("job/9", "request-body".to_string());
+        writer.write(&state_at(4)).expect("write");
+        let (_, checkpoint) = store
+            .latest("job/9") // sanitized to job_9 on both sides
+            .expect("listable")
+            .expect("written");
+        assert_eq!(checkpoint.meta, "request-body");
+        assert_eq!(checkpoint.state, state_at(4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_sanitize_and_filenames_parse_back() {
+        assert_eq!(sanitize_key("job-1"), "job-1");
+        assert_eq!(sanitize_key("a/b c"), "a_b_c");
+        assert_eq!(sanitize_key(""), "_");
+        assert_eq!(key_of("job-1-00000003.ckpt"), "job-1");
+        assert_eq!(key_of("weird.ckpt"), "weird");
+        assert_eq!(key_of("no-digits-here.ckpt"), "no-digits-here");
+    }
+}

@@ -122,6 +122,41 @@ impl MarginalAccumulator {
         self.samples
     }
 
+    /// The raw per-site counts, `counts[site * labels + index]`, for
+    /// checkpoint export.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Rebuilds an accumulator from exported parts.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero dimensions or a `counts` length that is not
+    /// `sites × labels`.
+    pub fn restore(
+        sites: usize,
+        labels: usize,
+        counts: Vec<u32>,
+        samples: u64,
+    ) -> Result<Self, String> {
+        if sites == 0 || labels == 0 {
+            return Err("accumulator dimensions must be positive".to_string());
+        }
+        if counts.len() != sites * labels {
+            return Err(format!(
+                "accumulator has {} counts for {sites}x{labels} sites-by-labels",
+                counts.len()
+            ));
+        }
+        Ok(MarginalAccumulator {
+            sites,
+            labels,
+            counts,
+            samples,
+        })
+    }
+
     /// Adds another accumulator's counts (e.g. pooling chains).
     ///
     /// # Panics

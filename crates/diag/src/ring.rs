@@ -61,6 +61,48 @@ impl RingBuffer {
         self.pushed
     }
 
+    /// The retained samples in oldest→newest order, for checkpoint
+    /// export.
+    pub fn samples(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len);
+        self.copy_last_into(self.len, &mut out);
+        out
+    }
+
+    /// Rebuilds a ring from exported parts: the retained samples in
+    /// oldest→newest order plus the lifetime push count. The rebuilt
+    /// ring is behaviourally identical to the exported one — every
+    /// future `push`/`copy_last_into` sequence produces the same values
+    /// (the internal head offset may differ; it is unobservable).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero capacity, more samples than the capacity holds,
+    /// or a push count smaller than the sample count.
+    pub fn restore(capacity: usize, samples: &[f64], total_pushed: u64) -> Result<Self, String> {
+        if capacity == 0 {
+            return Err("ring capacity must be positive".to_string());
+        }
+        if samples.len() > capacity {
+            return Err(format!(
+                "ring holds {} samples but its capacity is {capacity}",
+                samples.len()
+            ));
+        }
+        if total_pushed < samples.len() as u64 {
+            return Err(format!(
+                "ring push count {total_pushed} is below its {} retained samples",
+                samples.len()
+            ));
+        }
+        let mut ring = RingBuffer::with_capacity(capacity);
+        for &x in samples {
+            ring.push(x);
+        }
+        ring.pushed = total_pushed;
+        Ok(ring)
+    }
+
     /// Copies the most recent `n` samples into `out` in oldest→newest
     /// order, reusing `out`'s allocation.
     ///

@@ -400,6 +400,213 @@ impl DiagSink for ChainDiagSink {
     fn on_sweep(&self, observation: &SweepObservation<'_>) -> SweepDecision {
         self.shared.observe(self.chain, observation)
     }
+
+    fn export_state(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        let st = self.shared.states[self.chain].lock();
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "v=1;sweeps={};burn_in={};width={};height={};labels={}",
+            st.sweeps, st.burn_in, st.width, st.height, st.labels
+        );
+        let _ = write!(
+            out,
+            ";ring_cap={};ring_pushed={};ring=",
+            st.ring.capacity(),
+            st.ring.total_pushed()
+        );
+        for (i, x) in st.ring.samples().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{:016x}", x.to_bits());
+        }
+        let (count, mean, m2) = st.stats.state();
+        let _ = write!(
+            out,
+            ";w_count={count};w_mean={:016x};w_m2={:016x}",
+            mean.to_bits(),
+            m2.to_bits()
+        );
+        if let Some(m) = st.marginals.as_ref() {
+            let _ = write!(
+                out,
+                ";marg_sites={};marg_labels={};marg_samples={};marg=",
+                m.sites(),
+                m.labels(),
+                m.samples()
+            );
+            for (i, c) in m.counts().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c:x}");
+            }
+        }
+        Some(out)
+    }
+
+    fn restore_state(&self, state: &str) -> Result<(), String> {
+        let blob = ChainStateBlob::parse(state)?;
+        let mut st = self.shared.states[self.chain].lock();
+        // `on_start` has already seated the resumed job's geometry; the
+        // blob must describe the same chain or the statistics would be
+        // silently mismatched.
+        if (blob.burn_in, blob.width, blob.height, blob.labels)
+            != (st.burn_in, st.width, st.height, st.labels)
+        {
+            return Err(format!(
+                "chain geometry mismatch: state is {}x{} with {} labels (burn-in {}), job is \
+                 {}x{} with {} labels (burn-in {})",
+                blob.width,
+                blob.height,
+                blob.labels,
+                blob.burn_in,
+                st.width,
+                st.height,
+                st.labels,
+                st.burn_in
+            ));
+        }
+        if blob.ring_cap != st.ring.capacity() {
+            return Err(format!(
+                "energy window mismatch: state holds {}, config asks {}",
+                blob.ring_cap,
+                st.ring.capacity()
+            ));
+        }
+        let marginals = match (st.marginals.as_ref(), blob.marginals) {
+            (Some(current), Some((sites, labels, samples, counts))) => {
+                if (sites, labels) != (current.sites(), current.labels()) {
+                    return Err(format!(
+                        "marginal shape mismatch: state is {sites}x{labels}, job is {}x{}",
+                        current.sites(),
+                        current.labels()
+                    ));
+                }
+                Some(MarginalAccumulator::restore(
+                    sites, labels, counts, samples,
+                )?)
+            }
+            (None, None) => None,
+            (Some(_), None) => {
+                return Err("job collects label marginals but the state has none".to_string())
+            }
+            (None, Some(_)) => {
+                return Err(
+                    "state carries label marginals but the job does not collect them".to_string(),
+                )
+            }
+        };
+        st.ring = RingBuffer::restore(blob.ring_cap, &blob.ring, blob.ring_pushed)?;
+        st.stats = Welford::restore(blob.w_count, blob.w_mean, blob.w_m2);
+        st.marginals = marginals;
+        st.sweeps = blob.sweeps;
+        Ok(())
+    }
+}
+
+/// Parsed form of one chain's exported state blob: `key=value` pairs
+/// separated by `;`, f64s as 16-hex-digit IEEE-754 bit patterns so the
+/// round trip is bit-exact, counts as hex lists.
+struct ChainStateBlob {
+    sweeps: usize,
+    burn_in: usize,
+    width: usize,
+    height: usize,
+    labels: usize,
+    ring_cap: usize,
+    ring_pushed: u64,
+    ring: Vec<f64>,
+    w_count: u64,
+    w_mean: f64,
+    w_m2: f64,
+    marginals: Option<(usize, usize, u64, Vec<u32>)>,
+}
+
+impl ChainStateBlob {
+    fn parse(s: &str) -> Result<Self, String> {
+        let mut map = std::collections::HashMap::new();
+        for pair in s.split(';') {
+            let (k, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("malformed chain-state field {pair:?}"))?;
+            map.insert(k, v);
+        }
+        let get = |k: &str| -> Result<&str, String> {
+            map.get(k)
+                .copied()
+                .ok_or_else(|| format!("chain state is missing field {k:?}"))
+        };
+        let num = |k: &str| -> Result<usize, String> {
+            get(k)?
+                .parse()
+                .map_err(|e| format!("chain-state field {k:?}: {e}"))
+        };
+        let num64 = |k: &str| -> Result<u64, String> {
+            get(k)?
+                .parse()
+                .map_err(|e| format!("chain-state field {k:?}: {e}"))
+        };
+        let f64bits = |k: &str| -> Result<f64, String> {
+            u64::from_str_radix(get(k)?, 16)
+                .map(f64::from_bits)
+                .map_err(|e| format!("chain-state field {k:?}: {e}"))
+        };
+        let version = get("v")?;
+        if version != "1" {
+            return Err(format!("unsupported chain-state version {version:?}"));
+        }
+        let ring = {
+            let raw = get("ring")?;
+            if raw.is_empty() {
+                Vec::new()
+            } else {
+                raw.split(',')
+                    .map(|t| {
+                        u64::from_str_radix(t, 16)
+                            .map(f64::from_bits)
+                            .map_err(|e| format!("ring sample {t:?}: {e}"))
+                    })
+                    .collect::<Result<Vec<f64>, String>>()?
+            }
+        };
+        let marginals = if map.contains_key("marg_sites") {
+            let raw = get("marg")?;
+            let counts = if raw.is_empty() {
+                Vec::new()
+            } else {
+                raw.split(',')
+                    .map(|t| {
+                        u32::from_str_radix(t, 16).map_err(|e| format!("marginal count {t:?}: {e}"))
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?
+            };
+            Some((
+                num("marg_sites")?,
+                num("marg_labels")?,
+                num64("marg_samples")?,
+                counts,
+            ))
+        } else {
+            None
+        };
+        Ok(ChainStateBlob {
+            sweeps: num("sweeps")?,
+            burn_in: num("burn_in")?,
+            width: num("width")?,
+            height: num("height")?,
+            labels: num("labels")?,
+            ring_cap: num("ring_cap")?,
+            ring_pushed: num64("ring_pushed")?,
+            ring,
+            w_count: num64("w_count")?,
+            w_mean: f64bits("w_mean")?,
+            w_m2: f64bits("w_m2")?,
+            marginals,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -563,6 +770,80 @@ mod tests {
         let entropy_bytes = std::fs::read(&ep).expect("entropy pgm");
         assert_eq!(&entropy_bytes[entropy_bytes.len() - 4..], &[0, 0, 255, 255]);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exported_chain_state_restores_bit_exactly() {
+        let diag = MultiChainDiag::new(1, LabelIndexer::identity(2), fast_config());
+        diag.sink(0).on_start(&info(4, 2));
+        let a = [Label::new(0), Label::new(1), Label::new(0), Label::new(1)];
+        for it in 0..7 {
+            drive(&diag, 0, it, 90.0 + f64::from(it as u8) * 0.125, Some(&a));
+        }
+        let blob = diag.sink(0).export_state().expect("chain sinks export");
+
+        // A fresh coordinator restored from the blob reports the same
+        // statistics and continues the trace identically.
+        let restored = MultiChainDiag::new(1, LabelIndexer::identity(2), fast_config());
+        restored.sink(0).on_start(&info(4, 2));
+        restored
+            .sink(0)
+            .restore_state(&blob)
+            .expect("same geometry");
+        let (a_report, b_report) = (diag.report(), restored.report());
+        assert_eq!(a_report.chains[0].sweeps, b_report.chains[0].sweeps);
+        assert_eq!(
+            a_report.chains[0].post_burn_in_samples,
+            b_report.chains[0].post_burn_in_samples
+        );
+        assert_eq!(
+            a_report.chains[0].energy_mean.to_bits(),
+            b_report.chains[0].energy_mean.to_bits()
+        );
+        assert_eq!(
+            a_report.chains[0].energy_variance.to_bits(),
+            b_report.chains[0].energy_variance.to_bits()
+        );
+        assert_eq!(a_report.marginal_samples, b_report.marginal_samples);
+        for it in 7..12 {
+            let e = 90.0 + f64::from(it as u8) * 0.125;
+            assert_eq!(
+                drive(&diag, 0, it, e, Some(&a)),
+                drive(&restored, 0, it, e, Some(&a))
+            );
+        }
+        assert_eq!(
+            diag.report().chains[0].energy_mean.to_bits(),
+            restored.report().chains[0].energy_mean.to_bits()
+        );
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_geometry_or_garbage() {
+        let diag = MultiChainDiag::new(1, LabelIndexer::identity(2), fast_config());
+        diag.sink(0).on_start(&info(4, 0));
+        for it in 0..3 {
+            drive(&diag, 0, it, 50.0, None);
+        }
+        let blob = diag.sink(0).export_state().expect("exports");
+
+        // Different grid geometry is refused.
+        let other = MultiChainDiag::new(1, LabelIndexer::identity(2), fast_config());
+        other.sink(0).on_start(&info(8, 0));
+        assert!(other.sink(0).restore_state(&blob).is_err());
+
+        // Garbage and truncated blobs are refused, never panic.
+        let fresh = MultiChainDiag::new(1, LabelIndexer::identity(2), fast_config());
+        fresh.sink(0).on_start(&info(4, 0));
+        assert!(fresh.sink(0).restore_state("not a blob").is_err());
+        assert!(fresh
+            .sink(0)
+            .restore_state(&blob[..blob.len() / 2])
+            .is_err());
+        let bumped = blob.replacen("v=1", "v=9", 1);
+        assert!(fresh.sink(0).restore_state(&bumped).is_err());
+        // The untampered blob still restores.
+        assert!(fresh.sink(0).restore_state(&blob).is_ok());
     }
 
     #[test]

@@ -34,6 +34,19 @@ impl Welford {
         self.count
     }
 
+    /// The raw accumulator state `(count, mean, m2)` for checkpoint
+    /// export.
+    pub fn state(&self) -> (u64, f64, f64) {
+        (self.count, self.mean, self.m2)
+    }
+
+    /// Rebuilds the accumulator from exported state, bit-exactly: every
+    /// future `push` produces the same mean/variance sequence as the
+    /// exported accumulator would have.
+    pub fn restore(count: u64, mean: f64, m2: f64) -> Self {
+        Welford { count, mean, m2 }
+    }
+
     /// Running mean; NaN before the first sample.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {

@@ -171,6 +171,10 @@ impl SweepKernel for RsuPool<RsuGSampler> {
             .get(unit)
             .map(|u| u.probe_distribution(energies, draws, seed))
     }
+
+    fn unit_faults(&self) -> Vec<Option<UnitFault>> {
+        self.units.iter().map(RsuGSampler::fault).collect()
+    }
 }
 
 /// Which sampler family a job should run on.
@@ -302,6 +306,13 @@ impl SweepKernel for BackendSampler {
         match self {
             BackendSampler::Softmax(s) => s.probe_unit(unit, energies, draws, seed),
             BackendSampler::RsuPool(s) => s.probe_unit(unit, energies, draws, seed),
+        }
+    }
+
+    fn unit_faults(&self) -> Vec<Option<UnitFault>> {
+        match self {
+            BackendSampler::Softmax(s) => s.unit_faults(),
+            BackendSampler::RsuPool(s) => s.unit_faults(),
         }
     }
 

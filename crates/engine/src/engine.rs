@@ -31,6 +31,7 @@ use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError,
 use mogs_gibbs::kernel::{KernelArena, SweepKernel};
 use mogs_mrf::energy::SingletonPotential;
 
+use crate::ckpt::JobState;
 use crate::error::EngineError;
 use crate::job::{HandleShared, JobHandle, JobId, JobOutput};
 use crate::metrics::{EngineMetrics, MetricsSnapshot};
@@ -286,6 +287,64 @@ impl Engine {
         L: SweepKernel + Clone + Send + Sync + 'static,
     {
         let typed = TypedJob::try_new(spec.into_job())?;
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        Ok(Pending {
+            id,
+            job: Arc::new(typed),
+            shared: HandleShared::new(),
+        })
+    }
+
+    /// Submits a job that continues from a checkpointed [`JobState`]
+    /// instead of an initial labeling, blocking while the queue is full.
+    /// The spec is audited from scratch exactly as [`Engine::submit`]
+    /// does; the state is then validated against the rebuilt job — its
+    /// binding must match the spec, its label plane must validate, and
+    /// its fault/diagnostics records must be re-seatable — before the
+    /// scheduler picks up at the checkpoint's sweep cursor. A resumed
+    /// run is bit-identical to the uninterrupted one from that cursor
+    /// on (chunk RNG streams are derived from `(seed, sweep)`, never
+    /// stored).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Engine::submit`] reports, plus
+    /// [`EngineError::InvalidSpec`] (field `"checkpoint"`) when the
+    /// state does not belong to this spec or cannot be re-seated.
+    pub fn resume<S, L>(
+        &self,
+        job: impl Into<JobSpec<S, L>>,
+        state: &JobState,
+    ) -> Result<JobHandle, EngineError>
+    where
+        S: SingletonPotential + 'static,
+        L: SweepKernel + Clone + Send + Sync + 'static,
+    {
+        let pending = self.prepare_resumed(job.into(), state).inspect_err(|_| {
+            self.metrics.jobs_denied.fetch_add(1, Ordering::Relaxed);
+        })?;
+        let handle = Engine::handle_for(&pending);
+        let sender = self.submissions.as_ref().ok_or(EngineError::ShutDown)?;
+        sender.send(pending).map_err(|_| EngineError::ShutDown)?;
+        self.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .checkpoints_restored
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(handle)
+    }
+
+    /// [`Engine::prepare`] for a resumed job: same admission audit, then
+    /// the checkpoint state is validated and seated.
+    fn prepare_resumed<S, L>(
+        &self,
+        spec: JobSpec<S, L>,
+        state: &JobState,
+    ) -> Result<Pending, EngineError>
+    where
+        S: SingletonPotential + 'static,
+        L: SweepKernel + Clone + Send + Sync + 'static,
+    {
+        let typed = TypedJob::try_resume(spec.into_job(), state)?;
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         Ok(Pending {
             id,
@@ -634,11 +693,14 @@ fn admit(
     shared.set_running();
     metrics.active_jobs.fetch_add(1, Ordering::Relaxed);
     let now = Instant::now();
+    // A fresh job starts at sweep 0; a resumed one at its checkpoint's
+    // cursor.
+    let start_iteration = job.start_iteration();
     let mut entry = ActiveJob {
         id,
         job,
         shared,
-        iteration: 0,
+        iteration: start_iteration,
         group: 0,
         outstanding: 0,
         early_stopped: false,
@@ -704,6 +766,10 @@ fn advance(entry: &mut ActiveJob, task_tx: &Sender<Task>, metrics: &EngineMetric
                 .fetch_add(report.quarantined_now, Ordering::Relaxed);
             if report.failed_over {
                 metrics.jobs_failed_over.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(wrote) = report.ckpt_write {
+                metrics.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                metrics.checkpoint_write_us.record(wrote);
             }
             entry.iteration += 1;
             entry.group = 0;

@@ -102,6 +102,134 @@ impl FaultRuntime {
         self.degraded
     }
 
+    /// Exports the runtime's checkpointable record: what
+    /// [`FaultRuntime::restore`] cannot recompute from the plan and
+    /// policy alone.
+    pub(crate) fn persist(&self) -> crate::ckpt::FaultState {
+        crate::ckpt::FaultState {
+            cursor: self.cursor,
+            quarantined: self.quarantined.clone(),
+            degraded: self.degraded,
+            poisoned: self.poisoned,
+        }
+    }
+
+    /// Rebuilds the runtime — and the kernel's device state — from a
+    /// checkpointed [`FaultState`](crate::ckpt::FaultState).
+    ///
+    /// Mirrors [`FaultRuntime::new`] step for step so the resumed job's
+    /// boundary protocol is bit-identical to the uninterrupted run:
+    /// baselines are probed from the *pristine* kernel first (exactly
+    /// what `new` captured before any sweep-0 event landed), then the
+    /// checkpointed per-unit faults are re-injected, then the rotation is
+    /// rebalanced over the persisted quarantine mask (or failed over, if
+    /// the checkpoint was already degraded). The event cursor is seated
+    /// as persisted instead of replaying `apply_due_events`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidSpec`] when the persisted record does not
+    /// fit the spec (cursor past the plan, mask sized for a different
+    /// pool, a poisoned record); [`EngineError::Backend`] when the
+    /// checkpoint is degraded but this kernel has no exact fallback, or
+    /// the persisted quarantine mask leaves no live unit.
+    pub(crate) fn restore<L: SweepKernel>(
+        plan: Option<FaultPlan>,
+        policy: Option<HealthPolicy>,
+        sampler: &mut L,
+        kernel_faults: &[Option<mogs_gibbs::kernel::UnitFault>],
+        state: &crate::ckpt::FaultState,
+    ) -> Result<Self, EngineError> {
+        let events = plan.map(|p| p.events().to_vec()).unwrap_or_default();
+        if state.cursor > events.len() {
+            return Err(EngineError::InvalidSpec {
+                field: "checkpoint",
+                reason: format!(
+                    "fault cursor {} past the spec's {}-event plan",
+                    state.cursor,
+                    events.len()
+                ),
+            });
+        }
+        if state.poisoned {
+            return Err(EngineError::InvalidSpec {
+                field: "checkpoint",
+                reason: "checkpoint was cut while the job was failing (poisoned pool)".to_string(),
+            });
+        }
+        let units = sampler.unit_count();
+        if state.quarantined.len() != units {
+            return Err(EngineError::InvalidSpec {
+                field: "checkpoint",
+                reason: format!(
+                    "quarantine mask covers {} unit(s) but the kernel has {units}",
+                    state.quarantined.len()
+                ),
+            });
+        }
+        if !kernel_faults.is_empty() && kernel_faults.len() != units {
+            return Err(EngineError::InvalidSpec {
+                field: "checkpoint",
+                reason: format!(
+                    "kernel fault record covers {} unit(s) but the kernel has {units}",
+                    kernel_faults.len()
+                ),
+            });
+        }
+        let resolved = policy.unwrap_or_default();
+        let baseline = if policy.is_some() {
+            let probes: Vec<_> = (0..units)
+                .map(|u| {
+                    sampler.probe_unit(
+                        u,
+                        &HEALTH_PROBE_ENERGIES,
+                        resolved.probe_draws,
+                        resolved.probe_seed,
+                    )
+                })
+                .collect();
+            if probes.iter().all(Option::is_some) {
+                probes.into_iter().flatten().collect()
+            } else {
+                Vec::new()
+            }
+        } else {
+            Vec::new()
+        };
+        for (unit, fault) in kernel_faults.iter().enumerate() {
+            if let Some(fault) = fault {
+                sampler.inject_unit_fault(unit, *fault);
+            }
+        }
+        if state.degraded.is_some() {
+            if !sampler.fail_over_to_exact() {
+                return Err(EngineError::Backend {
+                    reason: "checkpoint is degraded (failed over) but the spec's kernel has no \
+                             exact fallback"
+                        .to_string(),
+                });
+            }
+        } else if state.quarantined.iter().any(|&q| q) {
+            let live: Vec<bool> = state.quarantined.iter().map(|&q| !q).collect();
+            if sampler.set_live_units(&live) == 0 {
+                return Err(EngineError::Backend {
+                    reason: "checkpoint's quarantine mask leaves no live unit and the job was \
+                             not degraded"
+                        .to_string(),
+                });
+            }
+        }
+        Ok(FaultRuntime {
+            events,
+            cursor: state.cursor,
+            policy: resolved,
+            baseline,
+            quarantined: state.quarantined.clone(),
+            degraded: state.degraded,
+            poisoned: false,
+        })
+    }
+
     /// Injects every event scheduled at or before `boundary`.
     fn apply_due_events<L: SweepKernel>(&mut self, boundary: usize, sampler: &mut L) {
         while let Some(event) = self.events.get(self.cursor) {
@@ -247,5 +375,89 @@ mod tests {
         // Post-failover boundaries are inert.
         let report = rt.on_boundary(2, &mut sampler);
         assert_eq!(report.quarantined_now, 0);
+    }
+
+    /// A mid-flight quarantine state survives persist → restore: the
+    /// restored runtime sees the same cursor, mask, and baselines, and a
+    /// restored kernel carries the same injected faults — so the next
+    /// boundary behaves exactly as it would have uninterrupted.
+    #[test]
+    fn persist_restore_reproduces_the_boundary_protocol() {
+        use crate::backend::{Backend, BackendSampler};
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                sweep: 1,
+                unit: 0,
+                fault: UnitFault::Dead,
+            },
+            FaultEvent {
+                sweep: 5,
+                unit: 2,
+                fault: UnitFault::Stuck(Label::new(1)),
+            },
+        ]);
+        let policy = Some(HealthPolicy::default());
+        let mut original = BackendSampler::try_new(Backend::RsuG { replicas: 4 }, 4.0)
+            .expect("valid backend spec");
+        let mut rt = FaultRuntime::new(Some(plan.clone()), policy, &mut original);
+        // Boundary after sweep 0: the dead-unit event lands and is
+        // quarantined.
+        let report = rt.on_boundary(0, &mut original);
+        assert_eq!(report.quarantined_now, 1);
+        let state = rt.persist();
+        assert_eq!(state.cursor, 1);
+        assert_eq!(state.quarantined, vec![true, false, false, false]);
+        assert!(state.degraded.is_none());
+
+        let mut resumed = BackendSampler::try_new(Backend::RsuG { replicas: 4 }, 4.0)
+            .expect("valid backend spec");
+        let faults = original.unit_faults();
+        let mut rt2 = FaultRuntime::restore(Some(plan), policy, &mut resumed, &faults, &state)
+            .expect("restore must succeed");
+        assert_eq!(rt2.persist(), state, "restored record must round-trip");
+        assert_eq!(resumed.unit_faults(), faults);
+        // Both runtimes agree on every later boundary.
+        for sweep in 1..8 {
+            let a = rt.on_boundary(sweep, &mut original);
+            let b = rt2.on_boundary(sweep, &mut resumed);
+            assert_eq!(a.quarantined_now, b.quarantined_now, "sweep {sweep}");
+            assert_eq!(a.failed_over, b.failed_over, "sweep {sweep}");
+        }
+        assert_eq!(rt.persist(), rt2.persist());
+    }
+
+    /// Restore refuses records that do not fit the spec's pool.
+    #[test]
+    fn restore_rejects_misshapen_records() {
+        use crate::backend::{Backend, BackendSampler};
+        let mut sampler = BackendSampler::try_new(Backend::RsuG { replicas: 2 }, 4.0)
+            .expect("valid backend spec");
+        let bad_mask = crate::ckpt::FaultState {
+            cursor: 0,
+            quarantined: vec![false; 5],
+            degraded: None,
+            poisoned: false,
+        };
+        let err = FaultRuntime::restore(None, None, &mut sampler, &[], &bad_mask)
+            .expect_err("mask for a different pool must be rejected");
+        assert_eq!(err.variant(), "invalid-spec");
+        let poisoned = crate::ckpt::FaultState {
+            cursor: 0,
+            quarantined: vec![false; 2],
+            degraded: None,
+            poisoned: true,
+        };
+        let err = FaultRuntime::restore(None, None, &mut sampler, &[], &poisoned)
+            .expect_err("poisoned record must be rejected");
+        assert_eq!(err.variant(), "invalid-spec");
+        let past_plan = crate::ckpt::FaultState {
+            cursor: 3,
+            quarantined: vec![false; 2],
+            degraded: None,
+            poisoned: false,
+        };
+        let err = FaultRuntime::restore(None, None, &mut sampler, &[], &past_plan)
+            .expect_err("cursor past the plan must be rejected");
+        assert_eq!(err.variant(), "invalid-spec");
     }
 }

@@ -78,6 +78,11 @@ pub struct InferenceJob<S: SingletonPotential, L: LabelSampler> {
     /// quarantine, rotation rebalancing, and backend failover. `None`
     /// disables monitoring; scheduled faults then land unobserved.
     pub health: Option<crate::HealthPolicy>,
+    /// Durable checkpointing: a policy saying when to capture the job's
+    /// sweep-boundary state plus a writer to hand captures to (see
+    /// [`CheckpointSpec`](crate::CheckpointSpec)). `None` — the default —
+    /// costs nothing on the sweep path.
+    pub checkpoint: Option<crate::CheckpointSpec>,
 }
 
 impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
@@ -101,6 +106,7 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
             sink: None,
             fault_plan: None,
             health: None,
+            checkpoint: None,
         }
     }
 
@@ -143,6 +149,7 @@ impl<S: SingletonPotential, L: LabelSampler> InferenceJob<S, L> {
             sink: None,
             fault_plan: None,
             health: None,
+            checkpoint: None,
         }
     }
 }

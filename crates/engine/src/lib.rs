@@ -88,6 +88,7 @@
 //! the [`SweepKernel`](mogs_gibbs::SweepKernel) batched kernels.
 
 mod backend;
+pub mod ckpt;
 mod engine;
 mod error;
 pub mod fault;
@@ -101,6 +102,9 @@ pub mod sink;
 mod spec;
 
 pub use backend::{Backend, BackendSampler, RsuPool};
+pub use ckpt::{
+    CheckpointPolicy, CheckpointSpec, CheckpointWriter, FaultState, JobState, StateBinding,
+};
 pub use engine::{Engine, EngineConfig, PreparedJob, TrySubmitError};
 pub use error::EngineError;
 pub use fault::{Degraded, FaultEvent, FaultPlan, HealthPolicy};
@@ -121,6 +125,9 @@ pub use spec::{JobSpec, JobSpecBuilder};
 /// ```
 pub mod prelude {
     pub use crate::backend::{Backend, BackendSampler, RsuPool};
+    pub use crate::ckpt::{
+        CheckpointPolicy, CheckpointSpec, CheckpointWriter, FaultState, JobState, StateBinding,
+    };
     pub use crate::engine::{Engine, EngineConfig, PreparedJob, TrySubmitError};
     pub use crate::error::EngineError;
     pub use crate::fault::{Degraded, FaultEvent, FaultPlan, HealthPolicy};

@@ -143,6 +143,10 @@ pub struct EngineMetrics {
     pub phase_retries: AtomicU64,
     /// RSU units quarantined by the between-sweep health monitor.
     pub units_quarantined: AtomicU64,
+    /// Checkpoints durably written at sweep boundaries.
+    pub checkpoints_written: AtomicU64,
+    /// Jobs admitted from a checkpointed state through `Engine::resume`.
+    pub checkpoints_restored: AtomicU64,
     /// Full sweeps (every site updated once) across all jobs.
     pub sweeps_completed: AtomicU64,
     /// Individual site updates across all jobs.
@@ -161,6 +165,9 @@ pub struct EngineMetrics {
     /// Wall time per phase (one independent group's fan-out, dispatch to
     /// drain — the engine's barrier granularity).
     pub phase_latency: LatencyHistogram,
+    /// Wall time per successful checkpoint write (serialize + durable
+    /// store), recorded on the scheduler thread at the sweep boundary.
+    pub checkpoint_write_us: LatencyHistogram,
 }
 
 impl EngineMetrics {
@@ -179,6 +186,8 @@ impl EngineMetrics {
             jobs_failed_over: AtomicU64::new(0),
             phase_retries: AtomicU64::new(0),
             units_quarantined: AtomicU64::new(0),
+            checkpoints_written: AtomicU64::new(0),
+            checkpoints_restored: AtomicU64::new(0),
             sweeps_completed: AtomicU64::new(0),
             site_updates: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
@@ -187,6 +196,7 @@ impl EngineMetrics {
             job_wall_time: LatencyHistogram::new(),
             sweep_latency: LatencyHistogram::new(),
             phase_latency: LatencyHistogram::new(),
+            checkpoint_write_us: LatencyHistogram::new(),
         }
     }
 
@@ -209,6 +219,8 @@ impl EngineMetrics {
             jobs_failed_over: self.jobs_failed_over.load(Ordering::Relaxed),
             phase_retries: self.phase_retries.load(Ordering::Relaxed),
             units_quarantined: self.units_quarantined.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            checkpoints_restored: self.checkpoints_restored.load(Ordering::Relaxed),
             sweeps_completed: sweeps,
             site_updates: updates,
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
@@ -219,6 +231,7 @@ impl EngineMetrics {
             job_wall_time: self.job_wall_time.snapshot(),
             sweep_latency: self.sweep_latency.snapshot(),
             phase_latency: self.phase_latency.snapshot(),
+            checkpoint_write_us: self.checkpoint_write_us.snapshot(),
         }
     }
 }
@@ -256,6 +269,10 @@ pub struct MetricsSnapshot {
     pub phase_retries: u64,
     /// RSU units quarantined by the health monitor.
     pub units_quarantined: u64,
+    /// Checkpoints durably written at sweep boundaries.
+    pub checkpoints_written: u64,
+    /// Jobs admitted from a checkpointed state.
+    pub checkpoints_restored: u64,
     /// Full sweeps across all jobs.
     pub sweeps_completed: u64,
     /// Site updates across all jobs.
@@ -276,6 +293,8 @@ pub struct MetricsSnapshot {
     pub sweep_latency: HistogramSnapshot,
     /// Per-phase (group fan-out dispatch→drain) wall-time distribution.
     pub phase_latency: HistogramSnapshot,
+    /// Per-checkpoint-write wall-time distribution.
+    pub checkpoint_write_us: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -360,5 +379,21 @@ mod tests {
         let back: MetricsSnapshot = serde::json::from_str(&json).expect("round trip");
         assert_eq!(back.units_quarantined, 7);
         assert_eq!(back.jobs_failed_over, 2);
+    }
+
+    #[test]
+    fn snapshot_exports_checkpoint_counters() {
+        let m = EngineMetrics::new();
+        m.checkpoints_written.fetch_add(5, Ordering::Relaxed);
+        m.checkpoints_restored.fetch_add(2, Ordering::Relaxed);
+        m.checkpoint_write_us.record(Duration::from_micros(250));
+        let json = m.snapshot().to_json();
+        assert!(json.contains("\"checkpoints_written\":5"), "json: {json}");
+        assert!(json.contains("\"checkpoints_restored\":2"), "json: {json}");
+        let back: MetricsSnapshot = serde::json::from_str(&json).expect("round trip");
+        assert_eq!(back.checkpoints_written, 5);
+        assert_eq!(back.checkpoints_restored, 2);
+        assert_eq!(back.checkpoint_write_us.count, 1);
+        assert!(back.checkpoint_write_us.p99_us >= 250);
     }
 }

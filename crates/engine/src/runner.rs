@@ -49,7 +49,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use crate::ckpt::{CheckpointSpec, JobState, StateBinding};
 use crate::error::EngineError;
 use crate::health::FaultRuntime;
 use crate::job::{InferenceJob, JobOutput};
@@ -86,6 +88,9 @@ pub(crate) struct SweepReport {
     /// The pool collapsed below the floor with no fallback: the job must
     /// fail with this error.
     pub(crate) fatal: Option<EngineError>,
+    /// Time spent durably writing a checkpoint at this boundary, when the
+    /// job's policy asked for one and the write succeeded.
+    pub(crate) ckpt_write: Option<Duration>,
 }
 
 /// The scheduler/worker view of a job: pure phase arithmetic plus three
@@ -112,6 +117,11 @@ pub(crate) trait ErasedJob: Send + Sync {
     fn end_iteration(&self, iteration: usize) -> SweepReport;
     /// Packages the output after `iterations_run` completed sweeps.
     fn finalize(&self, cancelled: bool, early_stopped: bool, iterations_run: usize) -> JobOutput;
+    /// The sweep the scheduler should start from: 0 for a fresh job, the
+    /// checkpoint's cursor for a resumed one.
+    fn start_iteration(&self) -> usize {
+        0
+    }
 }
 
 /// Scheduler-side accumulators, touched only between phases.
@@ -168,6 +178,14 @@ pub(crate) struct TypedJob<S: SingletonPotential, L: LabelSampler> {
     /// the sweep boundary never re-queries the trait object.
     sink: Option<Arc<dyn DiagSink>>,
     sink_needs: SinkNeeds,
+    /// Checkpoint policy and writer, when the job asked for durability.
+    ckpt: Option<CheckpointSpec>,
+    /// The identity every checkpoint of this job is bound to; restore
+    /// refuses a state captured under a different binding.
+    binding: StateBinding,
+    /// First sweep the scheduler runs: 0 fresh, the checkpoint cursor on
+    /// resume.
+    start_sweep: usize,
 }
 
 impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
@@ -190,6 +208,70 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
     /// [`EngineError::InvalidSpec`] if an attached health policy has an
     /// out-of-range field.
     pub(crate) fn try_new(mut job: InferenceJob<S, L>) -> Result<Self, EngineError>
+    where
+        L: SweepKernel,
+    {
+        let (groups, fingerprint) = Self::admit(&mut job)?;
+        let labels = match job.initial.take() {
+            Some(labels) => {
+                job.mrf
+                    .validate_labeling(&labels)
+                    .map_err(EngineError::Labeling)?;
+                labels
+            }
+            None => job.mrf.uniform_labeling(),
+        };
+        TypedJob::build(job, groups, labels, fingerprint, None)
+    }
+
+    /// Prepares a job seeded from a checkpoint instead of an initial
+    /// labeling. Admission is identical to [`TypedJob::try_new`] — the
+    /// spec is audited from scratch; nothing in the checkpoint is
+    /// trusted until the spec it claims to continue has re-proved its
+    /// schedule — then the state is validated against the rebuilt job
+    /// (binding match, label validity, accumulator shapes) before any
+    /// of it is seated.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`TypedJob::try_new`] reports, plus
+    /// [`EngineError::InvalidSpec`] (field `"checkpoint"`) when the
+    /// state does not belong to this spec or is internally misshapen.
+    pub(crate) fn try_resume(
+        mut job: InferenceJob<S, L>,
+        state: &JobState,
+    ) -> Result<Self, EngineError>
+    where
+        L: SweepKernel,
+    {
+        let (groups, fingerprint) = Self::admit(&mut job)?;
+        // A resumed job's labeling comes from the checkpoint; any initial
+        // labeling on the spec was consumed by the original run.
+        job.initial.take();
+        let m = job.mrf.space().count();
+        let mut labels = Vec::with_capacity(state.labels.len());
+        for &value in &state.labels {
+            if usize::from(value) >= m {
+                return Err(EngineError::InvalidSpec {
+                    field: "checkpoint",
+                    reason: format!(
+                        "checkpointed label {value} is outside the job's {m}-label space"
+                    ),
+                });
+            }
+            labels.push(Label::new(value));
+        }
+        job.mrf
+            .validate_labeling(&labels)
+            .map_err(EngineError::Labeling)?;
+        TypedJob::build(job, groups, labels, fingerprint, Some(state))
+    }
+
+    /// The shared admission pass: validates the health policy and label
+    /// space, then colors and independently re-verifies the sweep
+    /// schedule. Returns the proved color classes and the adjacency
+    /// fingerprint of the topology they were proved against.
+    fn admit(job: &mut InferenceJob<S, L>) -> Result<(Vec<Vec<usize>>, u64), EngineError>
     where
         L: SweepKernel,
     {
@@ -226,16 +308,8 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
         if !report.is_clean() {
             return Err(EngineError::Schedule(AuditError { report }));
         }
-        let labels = match job.initial.take() {
-            Some(labels) => {
-                job.mrf
-                    .validate_labeling(&labels)
-                    .map_err(EngineError::Labeling)?;
-                labels
-            }
-            None => job.mrf.uniform_labeling(),
-        };
-        Ok(TypedJob::build(job, certificate.into_classes(), labels))
+        let fingerprint = certificate.fingerprint();
+        Ok((certificate.into_classes(), fingerprint))
     }
 
     /// [`TypedJob::try_new`] for callers that know the job is well-formed
@@ -258,13 +332,36 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
     /// so no plane is ever seated under an unaudited schedule. (The
     /// shadow cross-check test constructs a corrupted job through this
     /// door deliberately, then runs it serially.)
-    fn build(mut job: InferenceJob<S, L>, groups: Vec<Vec<usize>>, labels: Vec<Label>) -> Self
+    fn build(
+        mut job: InferenceJob<S, L>,
+        groups: Vec<Vec<usize>>,
+        labels: Vec<Label>,
+        fingerprint: u64,
+        resume: Option<&JobState>,
+    ) -> Result<Self, EngineError>
     where
         L: SweepKernel,
     {
         let m = job.mrf.space().count();
         let grid = job.mrf.grid();
+        let binding = StateBinding {
+            sites: labels.len(),
+            width: grid.width(),
+            height: grid.height(),
+            labels: m,
+            iterations: job.iterations,
+            burn_in: job.burn_in,
+            threads: job.threads,
+            seed: job.seed,
+            fingerprint,
+            kernel: job.sampler.name().to_string(),
+            track_modes: job.track_modes,
+            record_energy: job.record_energy,
+        };
         let sink = job.sink.take();
+        if let Some(state) = resume {
+            Self::validate_resume(&job, state, &binding, sink.is_some())?;
+        }
         let sink_needs = sink.as_deref().map_or(SinkNeeds::none(), DiagSink::needs);
         if let Some(sink) = &sink {
             sink.on_start(&JobStartInfo {
@@ -275,6 +372,13 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
                 iterations: job.iterations,
                 burn_in: job.burn_in,
             });
+        }
+        if let (Some(sink), Some(blob)) = (&sink, resume.and_then(|s| s.sink_state.as_ref())) {
+            sink.restore_state(blob)
+                .map_err(|reason| EngineError::InvalidSpec {
+                    field: "checkpoint",
+                    reason: format!("diagnostics sink rejected its checkpointed state: {reason}"),
+                })?;
         }
         let pack = |slots: [Option<usize>; 4]| {
             let mut out = [NO_NEIGHBOR; 4];
@@ -312,18 +416,38 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
             }
             table
         });
-        let histograms = job.track_modes.then(|| vec![0u32; labels.len() * m]);
+        let (energy_trace, histograms) = match resume {
+            Some(state) => (state.energy_trace.clone(), state.histograms.clone()),
+            None => (
+                Vec::new(),
+                job.track_modes.then(|| vec![0u32; labels.len() * m]),
+            ),
+        };
         let snapshot = Vec::with_capacity(labels.len());
         // Seat the fault plane against the pristine sampler: baselines
         // are captured before any sweep-0 event lands, then those events
         // are injected so the first sweep already sees them. Jobs with
-        // neither a plan nor a policy carry no runtime at all.
+        // neither a plan nor a policy carry no runtime at all. A resumed
+        // job replays its persisted fault record instead — re-injecting
+        // the checkpointed device faults and re-applying quarantine or
+        // failover — so the restored sampler is device-state-identical
+        // to the one the checkpoint saw.
         let fault_plan = job.fault_plan.take();
         let health = job.health.take();
+        let ckpt = job.checkpoint.take();
         let mut sampler = job.sampler;
-        let fault = (fault_plan.is_some() || health.is_some())
-            .then(|| Mutex::new(FaultRuntime::new(fault_plan, health, &mut sampler)));
-        TypedJob {
+        let fault = match resume.map(|state| (state, state.fault.as_ref())) {
+            Some((state, Some(fs))) => Some(Mutex::new(FaultRuntime::restore(
+                fault_plan,
+                health,
+                &mut sampler,
+                &state.kernel_faults,
+                fs,
+            )?)),
+            _ => (fault_plan.is_some() || health.is_some())
+                .then(|| Mutex::new(FaultRuntime::new(fault_plan, health, &mut sampler))),
+        };
+        Ok(TypedJob {
             prior_table,
             singleton_table,
             groups,
@@ -333,7 +457,7 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
             shadow: mogs_audit::shadow::ShadowPlane::new(labels.len()),
             plane: LabelPlane::new(labels),
             book: Mutex::new(Bookkeeping {
-                energy_trace: Vec::new(),
+                energy_trace,
                 histograms,
                 snapshot,
             }),
@@ -348,6 +472,125 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
             seed: job.seed,
             burn_in: job.burn_in,
             record_energy: job.record_energy,
+            ckpt,
+            binding,
+            start_sweep: resume.map_or(0, |state| state.next_sweep),
+        })
+    }
+
+    /// State-vs-spec checks that must pass before a resumed job fires
+    /// `on_start` or touches the sampler: the binding must match, the
+    /// cursor must point inside the sweep budget, and every optional
+    /// record must be present exactly when the spec implies it.
+    fn validate_resume(
+        job: &InferenceJob<S, L>,
+        state: &JobState,
+        binding: &StateBinding,
+        has_sink: bool,
+    ) -> Result<(), EngineError> {
+        let invalid = |reason: String| EngineError::InvalidSpec {
+            field: "checkpoint",
+            reason,
+        };
+        state.binding.matches(binding).map_err(invalid)?;
+        if state.next_sweep == 0 || state.next_sweep >= job.iterations {
+            return Err(invalid(format!(
+                "resume cursor {} is outside 1..{}",
+                state.next_sweep, job.iterations
+            )));
+        }
+        let want_energy = if job.record_energy {
+            state.next_sweep
+        } else {
+            0
+        };
+        if state.energy_trace.len() != want_energy {
+            return Err(invalid(format!(
+                "energy trace has {} entries, expected {want_energy}",
+                state.energy_trace.len()
+            )));
+        }
+        match (&state.histograms, job.track_modes) {
+            (Some(hist), true) => {
+                if hist.len() != binding.sites * binding.labels {
+                    return Err(invalid(format!(
+                        "mode histograms have {} entries, expected {}",
+                        hist.len(),
+                        binding.sites * binding.labels
+                    )));
+                }
+            }
+            (None, false) => {}
+            (Some(_), false) => {
+                return Err(invalid(
+                    "state carries mode histograms but the spec does not track modes".to_string(),
+                ))
+            }
+            (None, true) => {
+                return Err(invalid(
+                    "spec tracks modes but the state has no histograms".to_string(),
+                ))
+            }
+        }
+        let wants_fault = job.fault_plan.is_some() || job.health.is_some();
+        if wants_fault != state.fault.is_some() {
+            return Err(invalid(if wants_fault {
+                "spec carries a fault plan or health policy but the state has no fault record"
+                    .to_string()
+            } else {
+                "state carries a fault record but the spec has no fault plan or health policy"
+                    .to_string()
+            }));
+        }
+        if !wants_fault && state.kernel_faults.iter().any(Option::is_some) {
+            return Err(invalid(
+                "state carries injected device faults but the spec has no fault runtime to own them"
+                    .to_string(),
+            ));
+        }
+        if state.sink_state.is_some() && !has_sink {
+            return Err(invalid(
+                "state carries diagnostics-sink state but the spec has no sink to restore it into"
+                    .to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Snapshots the job's complete resumable state at a quiescent sweep
+    /// boundary, with `next_sweep` as the cursor a restore continues
+    /// from. Everything a sweep can read is captured: the label plane,
+    /// the bookkeeping accumulators, the pristine sampler's device
+    /// faults, the fault runtime's record, and the diagnostics sink's
+    /// exported blob. The RNG needs no record — chunk streams are
+    /// derived fresh from `(seed, iteration)` every phase (see the
+    /// module docs of [`crate::ckpt`]).
+    fn capture(&self, next_sweep: usize) -> JobState
+    where
+        L: SweepKernel,
+    {
+        // SAFETY: the scheduler calls this only at the quiescent sweep
+        // boundary, with no outstanding chunks for this job.
+        let labels = unsafe { self.plane.snapshot() }
+            .iter()
+            .map(|label| label.value())
+            .collect();
+        let book = self.book.lock();
+        let energy_trace = book.energy_trace.clone();
+        let histograms = book.histograms.clone();
+        drop(book);
+        let kernel_faults = self.sampler.lock().unit_faults();
+        let fault = self.fault.as_ref().map(|f| f.lock().persist());
+        let sink_state = self.sink.as_deref().and_then(DiagSink::export_state);
+        JobState {
+            binding: self.binding.clone(),
+            next_sweep,
+            labels,
+            energy_trace,
+            histograms,
+            kernel_faults,
+            fault,
+            sink_state,
         }
     }
 
@@ -566,6 +809,7 @@ where
             quarantined_now: 0,
             failed_over: false,
             fatal: None,
+            ckpt_write: None,
         };
         if let Some(fault) = &self.fault {
             // Quiescent boundary: no chunks outstanding, so mutating the
@@ -579,6 +823,26 @@ where
             report.quarantined_now = tick.quarantined_now;
             report.failed_over = tick.failed_over;
             report.fatal = tick.fatal;
+        }
+        // Checkpoint *after* the fault boundary protocol: the captured
+        // record then includes any faults injected or quarantines taken
+        // for the upcoming sweep, so a restore re-enters exactly the
+        // state the next sweep would have read. A fatal boundary is
+        // never captured, and neither is the final boundary — there is
+        // nothing left to resume. Write failures are best-effort: the
+        // job keeps sweeping and the boundary simply reports no write.
+        if let Some(ckpt) = &self.ckpt {
+            let next_sweep = iteration + 1;
+            let periodic =
+                ckpt.policy.every_sweeps > 0 && next_sweep.is_multiple_of(ckpt.policy.every_sweeps);
+            let on_stop = ckpt.policy.on_early_stop && report.decision == SweepDecision::Stop;
+            if report.fatal.is_none() && (periodic || on_stop) && next_sweep < self.iterations {
+                let state = self.capture(next_sweep);
+                let start = Instant::now();
+                if ckpt.writer.write(&state).is_ok() {
+                    report.ckpt_write = Some(start.elapsed());
+                }
+            }
         }
         report
     }
@@ -625,6 +889,10 @@ where
             sink.on_finish(&output);
         }
         output
+    }
+
+    fn start_iteration(&self) -> usize {
+        self.start_sweep
     }
 }
 
@@ -716,6 +984,94 @@ mod tests {
         assert!((out.energy_trace[3] - mrf.total_energy(&reference)).abs() == 0.0);
     }
 
+    /// Drives `from..to` sweeps of a typed job serially, like the
+    /// scheduler would.
+    fn run_sweeps<S, L>(typed: &TypedJob<S, L>, from: usize, to: usize)
+    where
+        S: SingletonPotential + 'static,
+        L: SweepKernel + Clone + Send + Sync + 'static,
+    {
+        let mut arena = KernelArena::new();
+        for iteration in from..to {
+            for group in 0..typed.group_count() {
+                for chunk in 0..typed.chunks_in_group(group) {
+                    typed.run_chunk(iteration, group, chunk, &mut arena);
+                }
+            }
+            typed.end_iteration(iteration);
+        }
+    }
+
+    #[test]
+    fn capture_then_resume_is_bit_identical_to_uninterrupted() {
+        let spec = || {
+            let mut spec = job(9, 6);
+            spec.iterations = 8;
+            spec.track_modes = true;
+            spec
+        };
+        let uninterrupted = TypedJob::new(spec());
+        run_sweeps(&uninterrupted, 0, 8);
+        let reference = uninterrupted.finalize(false, false, 8);
+
+        let interrupted = TypedJob::new(spec());
+        run_sweeps(&interrupted, 0, 3);
+        let state = interrupted.capture(3);
+        assert_eq!(state.next_sweep, 3);
+        assert_eq!(state.energy_trace.len(), 3);
+
+        let resumed = TypedJob::try_resume(spec(), &state).expect("state belongs to this spec");
+        assert_eq!(resumed.start_iteration(), 3);
+        run_sweeps(&resumed, 3, 8);
+        let out = resumed.finalize(false, false, 8);
+        assert_eq!(out.labels, reference.labels, "labels must be bit-identical");
+        assert_eq!(out.energy_trace, reference.energy_trace);
+        assert_eq!(out.map_estimate, reference.map_estimate);
+        assert_eq!(out.iterations_run, reference.iterations_run);
+    }
+
+    #[test]
+    fn try_resume_rejects_foreign_or_misshapen_state() {
+        let spec = |seed: u64| {
+            let mut spec = job(6, 4);
+            spec.iterations = 6;
+            spec.seed = seed;
+            spec
+        };
+        let first = TypedJob::new(spec(11));
+        run_sweeps(&first, 0, 2);
+        let state = first.capture(2);
+
+        // A spec with a different seed is a different job.
+        let err = TypedJob::try_resume(spec(99), &state).expect_err("foreign binding");
+        assert_eq!(err.variant(), "invalid-spec");
+
+        // A cursor outside the sweep budget cannot be resumed.
+        let mut zeroed = state.clone();
+        zeroed.next_sweep = 0;
+        let err = TypedJob::try_resume(spec(11), &zeroed).expect_err("cursor 0");
+        assert_eq!(err.variant(), "invalid-spec");
+        let mut done = state.clone();
+        done.next_sweep = 6;
+        let err = TypedJob::try_resume(spec(11), &done).expect_err("nothing left to run");
+        assert_eq!(err.variant(), "invalid-spec");
+
+        // A label outside the job's space is rejected before seating.
+        let mut torn = state.clone();
+        torn.labels[0] = 63;
+        let err = TypedJob::try_resume(spec(11), &torn).expect_err("label out of space");
+        assert_eq!(err.variant(), "invalid-spec");
+
+        // A misshapen energy trace is rejected.
+        let mut trace = state.clone();
+        trace.energy_trace.pop();
+        let err = TypedJob::try_resume(spec(11), &trace).expect_err("short trace");
+        assert_eq!(err.variant(), "invalid-spec");
+
+        // The untampered state still resumes.
+        assert!(TypedJob::try_resume(spec(11), &state).is_ok());
+    }
+
     #[test]
     fn try_new_rejects_adjacent_sites_sharing_a_phase() {
         let mut corrupted = field(7, 5).independent_groups();
@@ -792,7 +1148,8 @@ mod tests {
             .expect("site 0 is scheduled");
         corrupted[to].push(1);
         let labels = mrf.uniform_labeling();
-        let bad = TypedJob::build(job(6, 4), corrupted, labels);
+        let bad =
+            TypedJob::build(job(6, 4), corrupted, labels, 0, None).expect("forced build is clean");
         let report = replay_first_iteration(&bad);
         assert!(
             report.findings.iter().any(|f| matches!(

@@ -129,6 +129,31 @@ pub trait DiagSink: Send + Sync {
     fn on_finish(&self, output: &crate::JobOutput) {
         let _ = output;
     }
+
+    /// Exports the sink's accumulated state for a checkpoint, as an
+    /// opaque blob the engine stores verbatim. Called at the same
+    /// quiescent sweep boundary as `on_sweep`. The default — for sinks
+    /// with no state worth persisting — returns `None`, and restore
+    /// never calls `restore_state` for such checkpoints.
+    fn export_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Re-seats state previously returned by
+    /// [`export_state`](DiagSink::export_state), called once at resume
+    /// right after `on_start`. The default rejects: a checkpoint that
+    /// carries sink state must not silently lose it under a sink that
+    /// cannot take it back.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when the blob cannot be re-seated; the
+    /// engine fails the resume with it rather than continuing with
+    /// diverged diagnostics.
+    fn restore_state(&self, state: &str) -> Result<(), String> {
+        let _ = state;
+        Err("this sink does not support checkpoint restore".to_string())
+    }
 }
 
 /// The do-nothing sink: every hook is a default no-op and

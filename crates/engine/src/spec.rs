@@ -178,6 +178,21 @@ impl<S: SingletonPotential, L: LabelSampler> JobSpecBuilder<S, L> {
         self
     }
 
+    /// Enables durable checkpointing: captured sweep-boundary states go
+    /// to `writer` on `policy`'s cadence. See
+    /// [`CheckpointPolicy`](crate::CheckpointPolicy) for when captures
+    /// happen and [`Engine::resume`](crate::Engine::resume) for seating
+    /// a captured state back into a fresh engine.
+    #[must_use]
+    pub fn checkpoint(
+        mut self,
+        policy: crate::CheckpointPolicy,
+        writer: Arc<dyn crate::CheckpointWriter>,
+    ) -> Self {
+        self.job.checkpoint = Some(crate::CheckpointSpec { policy, writer });
+        self
+    }
+
     /// Validates the collected settings and seals them into a
     /// [`JobSpec`].
     ///

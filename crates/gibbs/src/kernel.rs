@@ -218,6 +218,17 @@ pub trait SweepKernel: LabelSampler {
     fn fail_over_to_exact(&mut self) -> bool {
         false
     }
+
+    /// Exports the per-unit device-fault state, indexed by unit, for
+    /// checkpointing. Kernels without addressable fault state (the exact
+    /// software samplers) return an empty vector; a pool returns one
+    /// entry per unit, `None` for healthy units. Re-injecting the
+    /// returned faults through [`SweepKernel::inject_unit_fault`] into a
+    /// pristine kernel must reproduce the exported device state exactly
+    /// — that is what bit-identical restore relies on.
+    fn unit_faults(&self) -> Vec<Option<UnitFault>> {
+        Vec::new()
+    }
 }
 
 /// Exact softmax Gibbs, batched: one fused pass per site row computes the

@@ -1,11 +1,19 @@
-//! A minimal blocking HTTP/1.1 client: one request per connection.
+//! A minimal blocking HTTP/1.1 client, in two flavors.
 //!
 //! This is the test-and-bench counterpart of the server — just enough
 //! protocol to drive [`Server`](crate::Server) over loopback from the
 //! lifecycle integration test and the `repro serve-bench` closed-loop
-//! clients. One request per connection (`Connection: close`) keeps the
-//! client trivially wedge-free: no keep-alive state, no pipelining, a
-//! closed-loop driver is N of these in a loop.
+//! clients:
+//!
+//! * [`http_request`] opens a fresh connection per request
+//!   (`Connection: close`) — trivially wedge-free, no state, and the
+//!   historical baseline `serve-bench` still measures;
+//! * [`HttpClient`] keeps one connection alive across requests,
+//!   reconnecting transparently when the server closes it (idle
+//!   timeout, per-connection request cap) and counting how often it
+//!   had to — `serve-bench` reports the two side by side, since the
+//!   connect-per-request tax (socket setup, slow-start, TIME_WAIT
+//!   churn) is pure protocol overhead a real client would not pay.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -62,6 +70,139 @@ pub fn http_request(
     )?;
     write_half.flush()?;
     read_response(BufReader::new(stream))
+}
+
+/// A keep-alive HTTP/1.1 client: one connection reused across
+/// requests.
+///
+/// The connection is opened lazily on the first request and dropped
+/// whenever the server signals close (`Connection: close`, or a
+/// response the framing cannot keep the stream alive through). A
+/// request that fails on a *pooled* connection — the server closed it
+/// between requests, which keep-alive makes routine — is retried once
+/// on a fresh connection before the error surfaces.
+/// [`connections_opened`](HttpClient::connections_opened) /
+/// [`requests_sent`](HttpClient::requests_sent) expose the reuse ratio
+/// the bench reports.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    read_timeout: Duration,
+    conn: Option<Conn>,
+    connects: u64,
+    requests: u64,
+}
+
+#[derive(Debug)]
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// A client for `addr`; no connection is opened until the first
+    /// request.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        HttpClient {
+            addr,
+            read_timeout: Duration::from_secs(30),
+            conn: None,
+            connects: 0,
+            requests: 0,
+        }
+    }
+
+    /// Connections opened so far (1 for a fully reused session; one
+    /// per request degenerates to the `http_request` baseline).
+    #[must_use]
+    pub fn connections_opened(&self) -> u64 {
+        self.connects
+    }
+
+    /// Requests issued through [`request`](HttpClient::request).
+    #[must_use]
+    pub fn requests_sent(&self) -> u64 {
+        self.requests
+    }
+
+    /// Sends one request on the pooled connection and reads the full
+    /// response, reconnecting (and retrying once) if the pooled
+    /// connection had gone stale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; malformed responses surface as
+    /// `InvalidData`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        self.requests += 1;
+        let pooled = self.conn.is_some();
+        match self.try_request(method, path, body) {
+            // A pooled connection can die legitimately between requests
+            // (server request cap, idle timeout); one fresh retry
+            // distinguishes that from a down server.
+            Err(_) if pooled => {
+                self.conn = None;
+                self.try_request(method, path, body)
+            }
+            outcome => outcome,
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            stream.set_nodelay(true)?;
+            let reader = BufReader::new(stream.try_clone()?);
+            self.conn = Some(Conn {
+                reader,
+                writer: stream,
+            });
+            self.connects += 1;
+        }
+        let addr = self.addr;
+        let Some(conn) = self.conn.as_mut() else {
+            // Unreachable: the block above just ensured a connection.
+            return Err(std::io::Error::other("connection pool empty after connect"));
+        };
+        let payload = body.unwrap_or("");
+        let outcome = write!(
+            conn.writer,
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len()
+        )
+        .and_then(|()| conn.writer.flush())
+        .and_then(|()| read_response(&mut conn.reader));
+        match outcome {
+            Ok(response) => {
+                // Drop the connection when the server said close, or
+                // when the response had no Content-Length (the stream
+                // position is only known through end-of-stream).
+                let server_closed = response
+                    .header_value("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                if server_closed || response.header_value("content-length").is_none() {
+                    self.conn = None;
+                }
+                Ok(response)
+            }
+            Err(err) => {
+                self.conn = None;
+                Err(err)
+            }
+        }
+    }
 }
 
 fn invalid(what: &str) -> std::io::Error {

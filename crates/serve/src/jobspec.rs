@@ -22,7 +22,10 @@
 use std::sync::Arc;
 
 use mogs_diag::{DiagConfig, MultiChainDiag};
-use mogs_engine::{Engine, InferenceJob, JobHandle, JobSpec, TrySubmitError};
+use mogs_engine::{
+    CheckpointPolicy, CheckpointWriter, Engine, InferenceJob, JobHandle, JobSpec,
+    JobState as CheckpointState, TrySubmitError,
+};
 use mogs_gibbs::{LabelSampler, SoftmaxGibbs, SweepKernel};
 use mogs_mrf::energy::SingletonPotential;
 use mogs_mrf::{Grid2D, Label, LabelSpace, MarkovRandomField, SmoothnessPrior};
@@ -281,11 +284,59 @@ impl JobRequest {
         engine: &Engine,
         retry_after_s: u64,
     ) -> Result<(JobHandle, Option<Arc<MultiChainDiag>>), ServeError> {
+        self.dispatch(engine, retry_after_s, None, None)
+    }
+
+    /// [`submit`](JobRequest::submit) with a durable checkpoint writer
+    /// attached — the path every submission takes when the server runs
+    /// with a [`CheckpointSetup`](crate::CheckpointSetup).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`submit`](JobRequest::submit).
+    pub fn submit_with_checkpoint(
+        &self,
+        engine: &Engine,
+        retry_after_s: u64,
+        checkpoint: Option<(CheckpointPolicy, Arc<dyn CheckpointWriter>)>,
+    ) -> Result<(JobHandle, Option<Arc<MultiChainDiag>>), ServeError> {
+        self.dispatch(engine, retry_after_s, checkpoint, None)
+    }
+
+    /// Seats a checkpointed state under the spec this request rebuilds,
+    /// via [`Engine::resume`]. Recovery-path counterpart of
+    /// [`submit`](JobRequest::submit): because the request body fully
+    /// determines the job (scene, tables, seed), re-parsing it
+    /// reconstructs the exact spec the state was captured under, and the
+    /// engine's binding check refuses anything that drifted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] when the state does not belong to this
+    /// spec (binding mismatch, invalid plane), plus everything
+    /// [`submit`](JobRequest::submit) reports.
+    pub fn resume(
+        &self,
+        engine: &Engine,
+        retry_after_s: u64,
+        state: &CheckpointState,
+        checkpoint: Option<(CheckpointPolicy, Arc<dyn CheckpointWriter>)>,
+    ) -> Result<(JobHandle, Option<Arc<MultiChainDiag>>), ServeError> {
+        self.dispatch(engine, retry_after_s, checkpoint, Some(state))
+    }
+
+    fn dispatch(
+        &self,
+        engine: &Engine,
+        retry_after_s: u64,
+        checkpoint: Option<(CheckpointPolicy, Arc<dyn CheckpointWriter>)>,
+        resume: Option<&CheckpointState>,
+    ) -> Result<(JobHandle, Option<Arc<MultiChainDiag>>), ServeError> {
         match self.workload {
             Workload::Segmentation => {
                 let app = self.segmentation();
                 let job = app.engine_job(SoftmaxGibbs::new(), self.iterations, self.seed);
-                admit(engine, job, self.diag, retry_after_s)
+                admit(engine, job, self.diag, retry_after_s, checkpoint, resume)
             }
             Workload::Motion => {
                 let scene = synthetic::translated_pair(
@@ -305,7 +356,7 @@ impl JobRequest {
                 }
                 let app = MotionEstimation::new(&scene.frame1, &scene.frame2, config);
                 let job = app.engine_job(SoftmaxGibbs::new(), self.iterations, self.seed);
-                admit(engine, job, self.diag, retry_after_s)
+                admit(engine, job, self.diag, retry_after_s, checkpoint, resume)
             }
             Workload::Stereo => {
                 let scene = synthetic::stereo_pair(
@@ -325,7 +376,7 @@ impl JobRequest {
                 }
                 let app = StereoMatching::new(&scene.left, &scene.right, config);
                 let job = app.engine_job(SoftmaxGibbs::new(), self.iterations, self.seed);
-                admit(engine, job, self.diag, retry_after_s)
+                admit(engine, job, self.diag, retry_after_s, checkpoint, resume)
             }
             Workload::Raw => {
                 let unaries = self.unaries.clone().unwrap_or_default();
@@ -346,7 +397,7 @@ impl JobRequest {
                 job.seed = self.seed;
                 job.track_modes = true;
                 job.burn_in = self.iterations / 4;
-                admit(engine, job, self.diag, retry_after_s)
+                admit(engine, job, self.diag, retry_after_s, checkpoint, resume)
             }
         }
     }
@@ -369,13 +420,17 @@ impl SingletonPotential for TableSingleton {
 
 /// Revalidates an assembled job through [`JobSpec::builder`] (the
 /// engine's structural checks), optionally attaches a fresh diagnostics
-/// coordinator, and admits it via `try_submit`, mapping both failure
-/// modes onto the serve taxonomy.
+/// coordinator and a checkpoint writer, and admits it via `try_submit`
+/// — or, on the recovery path, seats the checkpointed state via
+/// [`Engine::resume`] — mapping the failure modes onto the serve
+/// taxonomy.
 fn admit<S, L>(
     engine: &Engine,
     job: InferenceJob<S, L>,
     diag: bool,
     retry_after_s: u64,
+    checkpoint: Option<(CheckpointPolicy, Arc<dyn CheckpointWriter>)>,
+    resume: Option<&CheckpointState>,
 ) -> Result<(JobHandle, Option<Arc<MultiChainDiag>>), ServeError>
 where
     S: SingletonPotential + Clone + 'static,
@@ -409,11 +464,22 @@ where
     if let Some(coordinator) = &coordinator {
         builder = builder.sink(coordinator.sink(0));
     }
+    if let Some((policy, writer)) = checkpoint {
+        builder = builder.checkpoint(policy, writer);
+    }
     let spec = builder.build().map_err(ServeError::from_admission)?;
-    match engine.try_submit(spec) {
-        Ok(handle) => Ok((handle, coordinator)),
-        Err(TrySubmitError::Full(_)) => Err(ServeError::Backpressure { retry_after_s }),
-        Err(TrySubmitError::Engine(err)) => Err(ServeError::from_admission(err)),
+    match resume {
+        None => match engine.try_submit(spec) {
+            Ok(handle) => Ok((handle, coordinator)),
+            Err(TrySubmitError::Full(_)) => Err(ServeError::Backpressure { retry_after_s }),
+            Err(TrySubmitError::Engine(err)) => Err(ServeError::from_admission(err)),
+        },
+        // Recovery runs before the listener serves traffic, so the
+        // blocking `resume` cannot be starved by request load.
+        Some(state) => engine
+            .resume(spec, state)
+            .map(|handle| (handle, coordinator))
+            .map_err(ServeError::from_admission),
     }
 }
 

@@ -40,6 +40,14 @@
 //! [`poll`](mogs_engine::JobHandle::poll) — submit, drop the
 //! connection, come back and poll later.
 //!
+//! With a [`CheckpointSetup`] in the config, jobs also survive the
+//! *process*: every submission writes durable sweep-boundary
+//! checkpoints (`mogs-ckpt`) keyed by its serve id, with the raw
+//! request body as recovery metadata, and [`Server::bind`] re-admits
+//! every resumable job it finds on disk — same id, same tenant
+//! accounting, bit-identical continuation — before serving the first
+//! request. See the [`ckpt`] module docs for the recovery gates.
+//!
 //! Served results are **bit-identical** to the direct engine path for
 //! the same spec: dispatch reconstructs exactly the job the workload's
 //! own `engine_job` constructor produces (same seed, same deterministic
@@ -50,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod client;
 pub mod error;
 pub mod http;
@@ -61,7 +70,8 @@ pub mod server;
 pub mod store;
 pub mod tenant;
 
-pub use client::{http_request, ClientResponse};
+pub use ckpt::{job_key, CheckpointSetup, RecoveryReport};
+pub use client::{http_request, ClientResponse, HttpClient};
 pub use error::ServeError;
 pub use http::{Limits, Request, Response};
 pub use jobspec::{JobRequest, Workload};

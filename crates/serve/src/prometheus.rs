@@ -169,6 +169,24 @@ fn encode_engine(out: &mut String, m: &MetricsSnapshot) {
         "Wall time per sweep phase (one colored group).",
         &m.phase_latency,
     );
+    counter(
+        out,
+        "mogs_engine_checkpoints_written_total",
+        "Durable sweep-boundary checkpoints handed to a writer.",
+        m.checkpoints_written,
+    );
+    counter(
+        out,
+        "mogs_engine_checkpoints_restored_total",
+        "Jobs admitted through resume from a captured state.",
+        m.checkpoints_restored,
+    );
+    histogram(
+        out,
+        "mogs_engine_checkpoint_write_seconds",
+        "Wall time per checkpoint capture-and-write, on the sweep path.",
+        &m.checkpoint_write_us,
+    );
 }
 
 fn encode_serve(
@@ -518,6 +536,37 @@ mogs_engine_phase_latency_seconds_count 4
     }
 
     #[test]
+    fn checkpoint_histogram_text_is_pinned() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_micros(120)); // bucket 7 (bit length of 120)
+        h.record(Duration::from_micros(2)); // bucket 2
+        let mut out = String::new();
+        histogram(
+            &mut out,
+            "mogs_engine_checkpoint_write_seconds",
+            "Wall time per checkpoint capture-and-write, on the sweep path.",
+            &h.snapshot(),
+        );
+        let expected = "\
+# HELP mogs_engine_checkpoint_write_seconds Wall time per checkpoint capture-and-write, on the sweep path.
+# TYPE mogs_engine_checkpoint_write_seconds histogram
+mogs_engine_checkpoint_write_seconds_bucket{le=\"0\"} 0
+mogs_engine_checkpoint_write_seconds_bucket{le=\"0.000001\"} 0
+mogs_engine_checkpoint_write_seconds_bucket{le=\"0.000003\"} 1
+mogs_engine_checkpoint_write_seconds_bucket{le=\"0.000007\"} 1
+mogs_engine_checkpoint_write_seconds_bucket{le=\"0.000015\"} 1
+mogs_engine_checkpoint_write_seconds_bucket{le=\"0.000031\"} 1
+mogs_engine_checkpoint_write_seconds_bucket{le=\"0.000063\"} 1
+mogs_engine_checkpoint_write_seconds_bucket{le=\"0.000127\"} 2
+mogs_engine_checkpoint_write_seconds_bucket{le=\"+Inf\"} 2
+mogs_engine_checkpoint_write_seconds_sum 0.000122
+mogs_engine_checkpoint_write_seconds_count 2
+";
+        assert_eq!(out, expected);
+        validate_exposition(&out).expect("pinned output must validate");
+    }
+
+    #[test]
     fn empty_histogram_still_closes_with_inf_sum_count() {
         let mut out = String::new();
         histogram(
@@ -566,6 +615,13 @@ mogs_engine_phase_latency_seconds_count 4
             "{text}"
         );
         assert!(text.contains("mogs_engine_queue_depth_hwm 0\n"));
+        // The checkpoint families ride the same engine snapshot.
+        assert!(text.contains("mogs_engine_checkpoints_written_total 0\n"));
+        assert!(text.contains("mogs_engine_checkpoints_restored_total 0\n"));
+        assert!(
+            text.contains("# TYPE mogs_engine_checkpoint_write_seconds histogram"),
+            "{text}"
+        );
         // Serve-layer per-tenant series, with escaped label values.
         assert!(text.contains("mogs_serve_requests_total{tenant=\"acme\"} 1\n"));
         assert!(text.contains("tenant=\"beta\\\"co\""));

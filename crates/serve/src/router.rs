@@ -23,8 +23,10 @@
 
 use std::sync::Arc;
 
-use mogs_engine::Engine;
+use mogs_ckpt::CheckpointStore;
+use mogs_engine::{CheckpointPolicy, Engine};
 
+use crate::ckpt::job_key;
 use crate::error::ServeError;
 use crate::http::{json_string, Request, Response};
 use crate::jobspec::JobRequest;
@@ -44,6 +46,9 @@ pub struct Router {
     /// Batch-priority jobs are refused once the engine queue is this
     /// deep, reserving the remaining capacity for interactive tenants.
     batch_queue_ceiling: u64,
+    /// When set, every submission checkpoints under `job-<id>` and
+    /// terminal jobs get their checkpoints deleted.
+    ckpt: Option<(CheckpointStore, CheckpointPolicy)>,
 }
 
 impl Router {
@@ -63,6 +68,29 @@ impl Router {
             metrics,
             retry_after_s,
             batch_queue_ceiling,
+            ckpt: None,
+        }
+    }
+
+    /// Enables durable checkpointing: every submission gets a
+    /// sweep-boundary writer keyed `job-<id>` with the raw request body
+    /// as meta, and checkpoints of terminal jobs are deleted on the
+    /// refresh that observes them finish.
+    #[must_use]
+    pub fn with_checkpoints(mut self, store: CheckpointStore, policy: CheckpointPolicy) -> Self {
+        self.ckpt = Some((store, policy));
+        self
+    }
+
+    /// [`JobStore::refresh`] plus checkpoint hygiene: jobs that just
+    /// reached a terminal state have their checkpoints removed, so a
+    /// restart never resurrects finished work.
+    pub fn refresh_store(&self) {
+        let finished = self.store.refresh(&self.tenants);
+        if let Some((ckpt_store, _)) = &self.ckpt {
+            for id in finished {
+                let _ = ckpt_store.remove(&job_key(id));
+            }
         }
     }
 
@@ -104,11 +132,12 @@ impl Router {
 
     /// `POST /v1/jobs`: parse, admit, submit, store.
     fn handle_submit(&self, request: &Request) -> Result<Response, ServeError> {
-        let spec = JobRequest::parse(request.body_utf8()?)?;
+        let raw_body = request.body_utf8()?;
+        let spec = JobRequest::parse(raw_body)?;
         self.tenants.record_request(&spec.tenant);
         // Free slots held by jobs that finished since the last request,
         // so quota decisions see current in-flight counts.
-        self.store.refresh(&self.tenants);
+        self.refresh_store();
         self.tenants
             .admit(&spec.tenant, spec.sites(), self.retry_after_s)?;
         if self.tenants.priority(&spec.tenant) == Some(Priority::Batch)
@@ -120,16 +149,49 @@ impl Router {
                 retry_after_s: self.retry_after_s,
             });
         }
-        match spec.submit(&self.engine, self.retry_after_s) {
+        // The writer needs the serve id before the engine sees the job,
+        // so checkpointed submissions reserve theirs up front. The meta
+        // is the raw request body: recovery re-parses it to rebuild the
+        // exact spec this state was captured under. A reserved id whose
+        // submission fails below is simply never inserted.
+        let (reserved_id, checkpoint) = match self.ckpt.as_ref() {
+            Some((ckpt_store, policy)) => {
+                let id = self.store.reserve();
+                let writer = ckpt_store.writer(&job_key(id), raw_body.to_string());
+                (Some(id), Some((*policy, writer)))
+            }
+            None => (None, None),
+        };
+        let submitted = match checkpoint {
+            Some(checkpoint) => {
+                spec.submit_with_checkpoint(&self.engine, self.retry_after_s, Some(checkpoint))
+            }
+            None => spec.submit(&self.engine, self.retry_after_s),
+        };
+        match submitted {
             Ok((handle, diag)) => {
-                let id = self.store.insert(
-                    &spec.tenant,
-                    spec.workload.name(),
-                    spec.width,
-                    spec.height,
-                    handle,
-                    diag,
-                );
+                let id = match reserved_id {
+                    Some(id) => {
+                        self.store.insert_reserved(
+                            id,
+                            &spec.tenant,
+                            spec.workload.name(),
+                            spec.width,
+                            spec.height,
+                            handle,
+                            diag,
+                        );
+                        id
+                    }
+                    None => self.store.insert(
+                        &spec.tenant,
+                        spec.workload.name(),
+                        spec.width,
+                        spec.height,
+                        handle,
+                        diag,
+                    ),
+                };
                 Ok(Response::json(
                     201,
                     format!(
@@ -151,7 +213,7 @@ impl Router {
     /// `GET /v1/jobs/{id}`: current lifecycle state.
     fn handle_status(&self, id: &str) -> Result<Response, ServeError> {
         let id = parse_id(id)?;
-        self.store.refresh(&self.tenants);
+        self.refresh_store();
         let view = self.store.status(id).ok_or_else(|| ServeError::NotFound {
             what: format!("job {id}"),
         })?;
@@ -172,7 +234,7 @@ impl Router {
     /// maps for a terminal job.
     fn handle_result(&self, id: &str) -> Result<Response, ServeError> {
         let id = parse_id(id)?;
-        self.store.refresh(&self.tenants);
+        self.refresh_store();
         if let Some(view) = self.store.status(id) {
             self.tenants.record_request(&view.tenant);
         }
@@ -183,7 +245,7 @@ impl Router {
     /// `DELETE /v1/jobs/{id}`: request cancellation of a live job.
     fn handle_cancel(&self, id: &str) -> Result<Response, ServeError> {
         let id = parse_id(id)?;
-        self.store.refresh(&self.tenants);
+        self.refresh_store();
         if let Some(view) = self.store.status(id) {
             self.tenants.record_request(&view.tenant);
         }
@@ -197,7 +259,7 @@ impl Router {
     /// `GET /metrics`: engine + serve families in Prometheus text
     /// format.
     fn handle_metrics(&self) -> Result<Response, ServeError> {
-        self.store.refresh(&self.tenants);
+        self.refresh_store();
         let text = encode_metrics(
             &self.engine.metrics(),
             &self.metrics.snapshot(),

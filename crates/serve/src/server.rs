@@ -28,8 +28,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use mogs_ckpt::CheckpointStore;
 use mogs_engine::Engine;
 
+use crate::ckpt::{recover, CheckpointSetup, RecoveryReport};
 use crate::http::{read_request, Limits, Response};
 use crate::metrics::ServeMetrics;
 use crate::router::Router;
@@ -60,6 +62,11 @@ pub struct ServeConfig {
     /// Requests served on one connection before it is closed, bounding
     /// how long any single client can occupy a worker.
     pub keep_alive_max_requests: usize,
+    /// Durable sweep-boundary checkpoints: every submission checkpoints
+    /// under its serve id, and [`Server::bind`] re-admits resumable jobs
+    /// found in the directory before serving traffic. `None` disables
+    /// checkpointing (the default).
+    pub checkpoint: Option<CheckpointSetup>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +80,7 @@ impl Default for ServeConfig {
             max_terminal_retained: 256,
             read_timeout: Duration::from_secs(2),
             keep_alive_max_requests: 256,
+            checkpoint: None,
         }
     }
 }
@@ -84,6 +92,8 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// What startup recovery did; `None` when checkpointing is off.
+    recovery: Option<RecoveryReport>,
 }
 
 impl Server {
@@ -92,7 +102,8 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates socket errors from bind/configure.
+    /// Propagates socket errors from bind/configure, and checkpoint
+    /// directory errors when `config.checkpoint` is set.
     ///
     /// # Panics
     ///
@@ -111,14 +122,34 @@ impl Server {
         let local_addr = listener.local_addr()?;
         // Non-blocking accept so the thread can observe the stop flag.
         listener.set_nonblocking(true)?;
-        let router = Arc::new(Router::new(
-            engine,
+        let mut router = Router::new(
+            Arc::clone(&engine),
             tenants,
             Arc::new(JobStore::new(config.max_terminal_retained)),
             Arc::new(ServeMetrics::new()),
             config.retry_after_s,
             config.batch_queue_ceiling,
-        ));
+        );
+        // Recovery runs before the first connection worker spawns, so
+        // every resumed job is re-admitted (and its serve id reclaimed)
+        // before any request can race it. Accepted connections simply
+        // wait in the OS listen backlog meanwhile.
+        let mut recovery = None;
+        if let Some(setup) = &config.checkpoint {
+            let ckpt_store = CheckpointStore::open(&setup.dir, setup.retain)
+                .map_err(|e| std::io::Error::other(format!("checkpoint dir: {e}")))?;
+            let policy = setup.policy();
+            recovery = Some(recover(
+                &ckpt_store,
+                policy,
+                &engine,
+                router.tenants(),
+                router.store(),
+                config.retry_after_s,
+            ));
+            router = router.with_checkpoints(ckpt_store, policy);
+        }
+        let router = Arc::new(router);
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(config.conn_workers * 2);
         let workers = (0..config.conn_workers)
@@ -172,7 +203,14 @@ impl Server {
             stop,
             accept_thread: Some(accept_thread),
             workers,
+            recovery,
         })
+    }
+
+    /// What startup recovery did (resumed ids, discarded checkpoints).
+    /// `None` when the config has no [`CheckpointSetup`].
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// The bound address (useful with port 0).

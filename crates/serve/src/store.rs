@@ -170,9 +170,41 @@ impl JobStore {
         handle: JobHandle,
         diag: Option<Arc<MultiChainDiag>>,
     ) -> u64 {
+        let id = self.reserve();
+        self.insert_reserved(id, tenant, workload, width, height, handle, diag);
+        id
+    }
+
+    /// Allocates the next serve-level id *before* the job is admitted —
+    /// the checkpointing path needs the id on the submission itself (the
+    /// checkpoint store key is derived from it), so the id must exist
+    /// before `try_submit`. A reserved id whose submission then fails is
+    /// simply never inserted; ids are not reused.
+    pub fn reserve(&self) -> u64 {
         let mut inner = self.inner.lock();
         let id = inner.next_id;
         inner.next_id += 1;
+        id
+    }
+
+    /// Registers an admitted job under an id from [`reserve`].
+    ///
+    /// [`reserve`]: JobStore::reserve
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_reserved(
+        &self,
+        id: u64,
+        tenant: &str,
+        workload: &str,
+        width: usize,
+        height: usize,
+        handle: JobHandle,
+        diag: Option<Arc<MultiChainDiag>>,
+    ) {
+        let mut inner = self.inner.lock();
+        // Recovery inserts ids minted by a previous process; keep the
+        // counter ahead of them so fresh submissions never collide.
+        inner.next_id = inner.next_id.max(id + 1);
         inner.jobs.insert(
             id,
             StoredJob {
@@ -186,7 +218,22 @@ impl JobStore {
                 outcome: None,
             },
         );
-        id
+    }
+
+    /// Registers a job re-admitted from a checkpoint under its original
+    /// serve id, bumping the id counter past it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_recovered(
+        &self,
+        id: u64,
+        tenant: &str,
+        workload: &str,
+        width: usize,
+        height: usize,
+        handle: JobHandle,
+        diag: Option<Arc<MultiChainDiag>>,
+    ) {
+        self.insert_reserved(id, tenant, workload, width, height, handle, diag);
     }
 
     /// Polls every live job's handle and advances its state, releasing
@@ -194,7 +241,10 @@ impl JobStore {
     /// each terminal transition. Called from request handlers (and the
     /// metrics endpoint) rather than a dedicated thread — cheap enough
     /// that the extra thread would buy nothing.
-    pub fn refresh(&self, tenants: &TenantRegistry) {
+    ///
+    /// Returns the ids that reached a terminal state on *this* call, so
+    /// the router can delete their now-obsolete checkpoints.
+    pub fn refresh(&self, tenants: &TenantRegistry) -> Vec<u64> {
         let mut inner = self.inner.lock();
         let ids: Vec<u64> = inner
             .jobs
@@ -234,13 +284,14 @@ impl JobStore {
                 }
             }
         }
-        inner.terminal_order.extend(newly_terminal);
+        inner.terminal_order.extend(newly_terminal.iter().copied());
         while inner.terminal_order.len() > self.max_terminal {
             if let Some(oldest) = inner.terminal_order.pop_front() {
                 inner.jobs.remove(&oldest);
                 inner.evicted += 1;
             }
         }
+        newly_terminal
     }
 
     /// The job's current status, if it is still known.

@@ -194,6 +194,7 @@ impl MotionEstimation {
             sink: None,
             fault_plan: None,
             health: None,
+            checkpoint: None,
         }
     }
 

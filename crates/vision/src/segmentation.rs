@@ -201,6 +201,7 @@ impl Segmentation {
             sink: None,
             fault_plan: None,
             health: None,
+            checkpoint: None,
         }
     }
 

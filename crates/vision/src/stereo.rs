@@ -153,6 +153,7 @@ impl StereoMatching {
             sink: None,
             fault_plan: None,
             health: None,
+            checkpoint: None,
         }
     }
 
