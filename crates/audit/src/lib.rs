@@ -17,6 +17,11 @@
 //!   [`verify_certificate`] pass re-proves every obligation against the
 //!   raw adjacency without trusting the colorer. Grid schedules are the
 //!   degenerate 2-color (first order) / 4-color (second order) case.
+//! * [`sharding`] — the **fleet partition verifier**. For a plane split
+//!   across worker processes (`mogs-fleet`) it proves the partition is
+//!   exact, aligned to the certificate's deterministic RNG cells, and
+//!   haloed with precisely the cross-shard adjacency — the three facts
+//!   the fleet's bit-identity argument stands on.
 //! * [`lint`] — the **workspace source linter** (`cargo run -p
 //!   mogs-audit -- lint`). A dependency-light lexer-based pass enforcing
 //!   project rules rustc and clippy cannot: `// SAFETY:` comments on
@@ -36,9 +41,11 @@ pub mod report;
 pub mod schedule;
 #[cfg(feature = "shadow")]
 pub mod shadow;
+pub mod sharding;
 
 pub use certificate::{
     color_schedule, verify_certificate, Obligation, ScheduleCertificate, CERTIFICATE_VERSION,
 };
 pub use report::{AuditError, AuditReport, AuditStats, SiteCoord, Violation};
 pub use schedule::{check_graph_schedule, check_schedule, Chunking, GridTopology, SweepSchedule};
+pub use sharding::{verify_sharding, ShardingReport, ShardingStats, ShardingViolation};

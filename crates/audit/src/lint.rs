@@ -34,6 +34,12 @@
 //!   instead of unwrapping (the unwrap-expect rule covers the serve
 //!   crate automatically; this rule pins the signature that makes
 //!   propagation possible).
+//! * **\[fleet-wire-error\]** — wire/RPC functions in the fleet crate
+//!   (any `fn send_*` / `fn recv_*` / `fn rpc_*` under
+//!   `crates/fleet/src/`) must return a type naming `FleetError`
+//!   (directly or via `FleetResult`): a dead socket is the fleet's
+//!   routine trigger for shard migration, so the wire path has to
+//!   deliver it as a typed value, not a panic.
 //! * **\[deprecated-use\]** — workspace code must not call its own
 //!   `#[deprecated]` items: deprecation markers exist for *downstream*
 //!   migration windows, and internal call sites would keep the old path
@@ -59,7 +65,7 @@ use std::path::Path;
 use crate::lexer::{lex, LexedFile, TokKind, Token};
 
 /// Rule identifiers, as used in waivers and findings.
-pub const RULES: [&str; 8] = [
+pub const RULES: [&str; 9] = [
     "safety-comment",
     "unwrap-expect",
     "lossy-cast",
@@ -67,12 +73,17 @@ pub const RULES: [&str; 8] = [
     "float-eq",
     "catch-unwind",
     "serve-handler-error",
+    "fleet-wire-error",
     "deprecated-use",
 ];
 
 /// Path prefix whose `fn handle_*` items the `serve-handler-error`
 /// rule screens.
 pub const SERVE_HANDLER_PREFIX: &str = "crates/serve/src/";
+
+/// Path prefix whose wire functions (`fn send_*` / `recv_*` / `rpc_*`)
+/// the `fleet-wire-error` rule screens.
+pub const FLEET_WIRE_PREFIX: &str = "crates/fleet/src/";
 
 /// Modules where numeric `as` casts are banned outright: the hot-path
 /// index and energy arithmetic the accelerator model's correctness
@@ -258,6 +269,7 @@ pub fn lint_file_with_deprecated(
     check_float_eq(&ctx, &mut findings);
     check_catch_unwind(&ctx, &mut findings);
     check_serve_handler_errors(&ctx, &mut findings);
+    check_fleet_wire_errors(&ctx, &mut findings);
     check_deprecated_use(&ctx, deprecated, &mut findings);
     findings.sort_by_key(|f| f.line);
     findings
@@ -939,6 +951,87 @@ fn check_serve_handler_errors(ctx: &FileContext<'_>, findings: &mut Vec<Finding>
     }
 }
 
+/// `fleet-wire-error`: every wire/RPC function in the fleet crate
+/// (`fn send_*` / `fn recv_*` / `fn rpc_*` under `crates/fleet/src/`)
+/// must declare a return type naming `FleetError` or a `FleetResult`
+/// alias. A socket that dies mid-frame is the fleet's *normal* failure
+/// mode — the trigger for shard migration — so the wire path must
+/// surface it as a typed value the coordinator can act on, never as a
+/// panic in a worker loop. Same syntactic scan as
+/// [`check_serve_handler_errors`].
+fn check_fleet_wire_errors(ctx: &FileContext<'_>, findings: &mut Vec<Finding>) {
+    if !ctx.rel_path.starts_with(FLEET_WIRE_PREFIX) {
+        return;
+    }
+    let is_wire_name = |name: &str| {
+        name.starts_with("send_") || name.starts_with("recv_") || name.starts_with("rpc_")
+    };
+    let toks = &ctx.file.tokens;
+    for i in 0..toks.len().saturating_sub(1) {
+        if toks[i].kind != TokKind::Ident || toks[i].text != "fn" {
+            continue;
+        }
+        let name = &toks[i + 1];
+        if name.kind != TokKind::Ident || !is_wire_name(&name.text) {
+            continue;
+        }
+        let line = toks[i].line;
+        if ctx.in_test_region(line) || ctx.is_waived(line, "fleet-wire-error") {
+            continue;
+        }
+        let Some(after_params) = skip_param_list(toks, i + 2) else {
+            continue;
+        };
+        let mut j = after_params;
+        let mut arrow = None;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "->" => {
+                    arrow = Some(j);
+                    break;
+                }
+                "{" | ";" | "where" => break,
+                _ => j += 1,
+            }
+        }
+        let Some(arrow) = arrow else {
+            findings.push(ctx.finding(
+                line,
+                "fleet-wire-error",
+                format!(
+                    "wire function `{}` returns nothing; the wire path must surface \
+                     socket failure as a typed `FleetError` the coordinator can act on",
+                    name.text
+                ),
+            ));
+            continue;
+        };
+        let mut k = arrow + 1;
+        let mut names_error = false;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "{" | ";" | "where" => break,
+                "FleetError" | "FleetResult" => {
+                    names_error = true;
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        if !names_error {
+            findings.push(ctx.finding(
+                line,
+                "fleet-wire-error",
+                format!(
+                    "wire function `{}` does not return a `FleetError`-carrying type \
+                     (use `FleetResult<_>` or waive with reason)",
+                    name.text
+                ),
+            ));
+        }
+    }
+}
+
 /// From `start`, skips to the first `(` and past its balanced close,
 /// returning the index just after. `None` if no param list opens before
 /// the signature ends.
@@ -1163,6 +1256,37 @@ mod tests {
         let in_test =
             "#[cfg(test)]\nmod tests {\n    fn handle_fake(&self) -> Response { todo() }\n}";
         assert!(rules_fired("crates/serve/src/router.rs", in_test).is_empty());
+    }
+
+    #[test]
+    fn fleet_wire_functions_must_return_fleet_error() {
+        let bad = "impl Link {\n    fn send_frame(&mut self, frame: &[u8]) -> usize {\n        todo()\n    }\n}";
+        assert_eq!(
+            rules_fired("crates/fleet/src/wire.rs", bad),
+            vec!["fleet-wire-error"]
+        );
+        let good = "fn send_frame(&mut self, frame: &[u8]) -> Result<(), FleetError> { todo() }";
+        assert!(rules_fired("crates/fleet/src/wire.rs", good).is_empty());
+        let alias = "fn recv_message(&mut self) -> FleetResult<Message> { todo() }";
+        assert!(rules_fired("crates/fleet/src/coordinator.rs", alias).is_empty());
+        let rpc = "fn rpc_ping(&mut self) { fire_and_forget() }";
+        let fired = lint_file("crates/fleet/src/coordinator.rs", rpc);
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].message.contains("returns nothing"), "{fired:?}");
+        // Only the fleet crate is in scope.
+        assert!(rules_fired("crates/engine/src/runner.rs", bad).is_empty());
+        // Non-wire names are free.
+        let plain = "fn sender_name(&self) -> String { todo() }";
+        assert!(rules_fired("crates/fleet/src/wire.rs", plain).is_empty());
+    }
+
+    #[test]
+    fn fleet_wire_rule_is_waivable_and_skips_tests() {
+        let waived = "// audit:allow(fleet-wire-error) — test-only shim, no real socket\nfn send_raw(&mut self) -> usize { todo() }";
+        assert!(rules_fired("crates/fleet/src/wire.rs", waived).is_empty());
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn send_junk(link: &mut Link) -> usize { todo() }\n}";
+        assert!(rules_fired("crates/fleet/src/wire.rs", in_test).is_empty());
     }
 
     fn index_of(sources: &[&str]) -> DeprecatedIndex {

@@ -42,16 +42,17 @@
 //! | `faults` | A12: fault injection, quarantine, and failover on every vision workload |
 //! | `serve-bench` | A13: HTTP serving front-end under closed-loop multi-tenant load (writes `BENCH_serve.json`) |
 //! | `ckpt` | A14: durable checkpoint ladder — bit-identical resume, corruption rejection, retention |
+//! | `fleet` | A15: multi-process fleet kill-ladder — migration survival + bit-identity (writes `BENCH_fleet.json`) |
 
 use mogs_bench::experiments::{
-    ablation, anneal, audit, ckpt, convergence, diag, energy, engine_bench, faults, fig7,
+    ablation, anneal, audit, ckpt, convergence, diag, energy, engine_bench, faults, fig7, fleet,
     paper_tables, proto_ratio, quality, restore, serve_bench, table1, wearout,
 };
 use mogs_bench::report::render_table;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const EXPERIMENTS: [&str; 24] = [
+const EXPERIMENTS: [&str; 25] = [
     "table1",
     "table2",
     "table3",
@@ -76,9 +77,18 @@ const EXPERIMENTS: [&str; 24] = [
     "faults",
     "serve-bench",
     "ckpt",
+    "fleet",
 ];
 
 fn main() -> ExitCode {
+    // The fleet experiment launches workers by re-executing this binary
+    // (`Launcher::SelfExec`): when the worker env var is set, this
+    // process is one of those workers, not a repro run.
+    match mogs_fleet::maybe_run_worker() {
+        Ok(false) => {}
+        Ok(true) => return ExitCode::SUCCESS,
+        Err(_) => return ExitCode::FAILURE,
+    }
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = {
         let before = args.len();
@@ -341,6 +351,32 @@ fn run(experiment: &str, quick: bool, graph: bool, out_dir: Option<&Path>) -> Re
                 .collect();
             if !failed.is_empty() {
                 return Err(format!("checkpoint ladder failed: {}", failed.join(", ")));
+            }
+        }
+        "fleet" => {
+            let result = fleet::run(quick);
+            emit(fleet::render(&result))?;
+            let failed: Vec<String> = result
+                .rows
+                .iter()
+                .filter(|r| !r.pass)
+                .map(|r| format!("{} ({})", r.scenario, r.detail))
+                .collect();
+            if !failed.is_empty() {
+                return Err(format!("fleet ladder failed: {}", failed.join(", ")));
+            }
+            if let Some(p) = result.scaling.iter().find(|p| !p.bit_identical) {
+                return Err(format!(
+                    "{}-worker stereo scaling run diverged from the engine",
+                    p.workers
+                ));
+            }
+            if quick {
+                println!("quick mode: perf snapshot not written");
+            } else {
+                std::fs::write("BENCH_fleet.json", fleet::to_snapshot_json(&result))
+                    .map_err(|e| e.to_string())?;
+                println!("perf snapshot written to BENCH_fleet.json");
             }
         }
         other => return Err(format!("unknown experiment '{other}'")),

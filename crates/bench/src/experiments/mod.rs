@@ -11,6 +11,7 @@ pub mod energy;
 pub mod engine_bench;
 pub mod faults;
 pub mod fig7;
+pub mod fleet;
 pub mod paper_tables;
 pub mod proto_ratio;
 pub mod quality;

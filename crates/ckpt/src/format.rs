@@ -27,7 +27,7 @@
 //! round-trip exactly, including negative zero, infinities, and NaN
 //! payloads that a decimal rendering would lose.
 
-use mogs_engine::{FaultState, JobState, StateBinding};
+use mogs_engine::{FaultState, JobState, ShardBinding, StateBinding};
 use mogs_gibbs::kernel::UnitFault;
 use mogs_mrf::Label;
 use serde::de::{self, Parser};
@@ -468,7 +468,53 @@ fn write_binding(binding: &StateBinding, out: &mut String) {
     binding.track_modes.serialize_json(out);
     out.push_str(",\"record_energy\":");
     binding.record_energy.serialize_json(out);
+    if let Some(shard) = &binding.shard {
+        // Emitted only for shard-granular fleet states, so whole-plane
+        // checkpoints round-trip byte-identically to the PR-8 format.
+        out.push_str(",\"shard\":{\"shard\":");
+        shard.shard.serialize_json(out);
+        out.push_str(",\"of\":");
+        shard.of.serialize_json(out);
+        out.push_str(",\"owned\":");
+        shard.owned.serialize_json(out);
+        out.push_str(",\"sites_digest\":");
+        push_hex_u64(out, shard.sites_digest);
+        out.push('}');
+    }
     out.push('}');
+}
+
+fn parse_shard_binding(parser: &mut Parser<'_>) -> Result<ShardBinding, de::Error> {
+    use serde::Deserialize;
+    parser.expect_char('{')?;
+    let mut shard: Option<usize> = None;
+    let mut of: Option<usize> = None;
+    let mut owned: Option<usize> = None;
+    let mut sites_digest: Option<u64> = None;
+    if !parser.consume_char('}') {
+        loop {
+            let key = parser.parse_string()?;
+            parser.expect_char(':')?;
+            match key.as_str() {
+                "shard" => shard = Some(usize::deserialize_json(parser)?),
+                "of" => of = Some(usize::deserialize_json(parser)?),
+                "owned" => owned = Some(usize::deserialize_json(parser)?),
+                "sites_digest" => sites_digest = Some(parse_hex_u64(parser)?),
+                _ => parser.skip_value()?,
+            }
+            if parser.consume_char(',') {
+                continue;
+            }
+            parser.expect_char('}')?;
+            break;
+        }
+    }
+    Ok(ShardBinding {
+        shard: shard.ok_or_else(|| parser.error("shard binding: shard"))?,
+        of: of.ok_or_else(|| parser.error("shard binding: of"))?,
+        owned: owned.ok_or_else(|| parser.error("shard binding: owned"))?,
+        sites_digest: sites_digest.ok_or_else(|| parser.error("shard binding: sites_digest"))?,
+    })
 }
 
 fn parse_binding(parser: &mut Parser<'_>) -> Result<StateBinding, de::Error> {
@@ -486,6 +532,7 @@ fn parse_binding(parser: &mut Parser<'_>) -> Result<StateBinding, de::Error> {
     let mut kernel: Option<String> = None;
     let mut track_modes: Option<bool> = None;
     let mut record_energy: Option<bool> = None;
+    let mut shard: Option<ShardBinding> = None;
     if !parser.consume_char('}') {
         loop {
             let key = parser.parse_string()?;
@@ -503,6 +550,7 @@ fn parse_binding(parser: &mut Parser<'_>) -> Result<StateBinding, de::Error> {
                 "kernel" => kernel = Some(String::deserialize_json(parser)?),
                 "track_modes" => track_modes = Some(bool::deserialize_json(parser)?),
                 "record_energy" => record_energy = Some(bool::deserialize_json(parser)?),
+                "shard" => shard = Some(parse_shard_binding(parser)?),
                 _ => parser.skip_value()?,
             }
             if parser.consume_char(',') {
@@ -525,6 +573,8 @@ fn parse_binding(parser: &mut Parser<'_>) -> Result<StateBinding, de::Error> {
         kernel: kernel.ok_or_else(|| parser.error("binding: kernel"))?,
         track_modes: track_modes.ok_or_else(|| parser.error("binding: track_modes"))?,
         record_energy: record_energy.ok_or_else(|| parser.error("binding: record_energy"))?,
+        // Absent in every pre-fleet checkpoint: default, not required.
+        shard,
     })
 }
 
@@ -694,6 +744,12 @@ mod tests {
                 kernel: "rsu-pool\"escaped\"".to_string(),
                 track_modes: true,
                 record_energy: true,
+                shard: Some(ShardBinding {
+                    shard: 1,
+                    of: 3,
+                    owned: 4,
+                    sites_digest: 0xFEED_FACE_0123_4567,
+                }),
             },
             next_sweep: 4,
             labels: vec![0, 1, 2, 1, 0, 2, 2, 1, 0, 0, 1, 2],

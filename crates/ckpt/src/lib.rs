@@ -59,4 +59,4 @@ pub use error::CkptError;
 pub use format::{
     decode, encode, fnv1a, open_envelope, seal, verify_binding, Checkpoint, FORMAT_VERSION,
 };
-pub use store::{sanitize_key, CheckpointStore, ScanEntry, ScanReport};
+pub use store::{sanitize_key, CheckpointStore, GcReason, GcReport, ScanEntry, ScanReport};

@@ -57,6 +57,54 @@ pub struct ScanReport {
     pub rejected: Vec<(PathBuf, CkptError)>,
 }
 
+/// Why [`CheckpointStore::gc`] discarded a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcReason {
+    /// A `.ckpt.tmp` write that never reached its atomic rename (the
+    /// writer crashed mid-save) and has sat past the age bound.
+    Orphan,
+    /// A completed `.ckpt` file the decoder rejects — the same files
+    /// [`CheckpointStore::scan`] reports in `rejected`. Corruption does
+    /// not heal with time, so age is not consulted.
+    Corrupt,
+    /// A loadable checkpoint nobody resumed or pruned within the age
+    /// bound (e.g. its job finished without [`CheckpointStore::remove`]).
+    Stale,
+}
+
+impl GcReason {
+    /// Stable label, as exported on the serve metrics endpoint.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GcReason::Orphan => "orphan",
+            GcReason::Corrupt => "corrupt",
+            GcReason::Stale => "stale",
+        }
+    }
+}
+
+/// What one [`CheckpointStore::gc`] sweep discarded.
+#[derive(Debug, Clone, Default)]
+pub struct GcReport {
+    /// Every deleted file with the reason it was deleted.
+    pub discarded: Vec<(PathBuf, GcReason)>,
+}
+
+impl GcReport {
+    /// Deleted files with the given reason.
+    #[must_use]
+    pub fn count(&self, reason: GcReason) -> usize {
+        self.discarded.iter().filter(|(_, r)| *r == reason).count()
+    }
+
+    /// Deleted files, all reasons.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.discarded.len()
+    }
+}
+
 impl CheckpointStore {
     /// Opens (creating if needed) a checkpoint directory. `retain`
     /// bounds how many checkpoints each key keeps; zero is treated as
@@ -241,6 +289,60 @@ impl CheckpointStore {
         Ok(count)
     }
 
+    /// Garbage-collects the directory: deletes `.ckpt.tmp` orphans and
+    /// loadable-but-never-collected checkpoints older than `max_age`
+    /// (by filesystem mtime), plus undecodable `.ckpt` files at any age.
+    /// Deletion is best-effort — a file that cannot be removed is simply
+    /// not counted — so a concurrent save or resume never turns into an
+    /// error here.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Io`] when the directory itself cannot be listed.
+    pub fn gc(&self, max_age: std::time::Duration) -> Result<GcReport, CkptError> {
+        let now = std::time::SystemTime::now();
+        let entries = std::fs::read_dir(&self.dir).map_err(|err| CkptError::Io {
+            op: "read-dir",
+            message: err.to_string(),
+        })?;
+        let mut report = GcReport::default();
+        let discard = |path: PathBuf, reason: GcReason, report: &mut GcReport| {
+            if std::fs::remove_file(&path).is_ok() {
+                report.discarded.push((path, reason));
+            }
+        };
+        for entry in entries {
+            let entry = entry.map_err(|err| CkptError::Io {
+                op: "read-dir",
+                message: err.to_string(),
+            })?;
+            let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+                continue;
+            };
+            let path = entry.path();
+            // mtime age; an unreadable mtime means "not provably old".
+            let expired = entry
+                .metadata()
+                .and_then(|meta| meta.modified())
+                .ok()
+                .and_then(|mtime| now.duration_since(mtime).ok())
+                .is_some_and(|age| age >= max_age);
+            if name.ends_with(TMP_EXT) {
+                if expired {
+                    discard(path, GcReason::Orphan, &mut report);
+                }
+            } else if name.ends_with(CKPT_EXT) {
+                if self.load(&path).is_err() {
+                    discard(path, GcReason::Corrupt, &mut report);
+                } else if expired {
+                    discard(path, GcReason::Stale, &mut report);
+                }
+            }
+        }
+        report.discarded.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(report)
+    }
+
     /// An engine-facing [`CheckpointWriter`] that files every captured
     /// state under `key` with `meta` attached, through this store's
     /// atomic-save-then-prune path.
@@ -374,6 +476,7 @@ mod tests {
                 kernel: "softmax-gibbs".to_string(),
                 track_modes: false,
                 record_energy: true,
+                shard: None,
             },
             next_sweep,
             labels: vec![0, 1, 1, 0],
@@ -487,6 +590,40 @@ mod tests {
             .expect("written");
         assert_eq!(checkpoint.meta, "request-body");
         assert_eq!(checkpoint.state, state_at(4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_sweeps_orphans_corruption_and_stale_checkpoints() {
+        use std::time::Duration;
+        let dir = temp_dir("gc");
+        let store = CheckpointStore::open(&dir, 8).expect("open");
+        store.save("job-a", &ckpt_at(2)).expect("save");
+        store.save("job-b", &ckpt_at(1)).expect("save");
+        std::fs::write(dir.join("job-c-00000009.ckpt"), "garbage").expect("write corrupt");
+        std::fs::write(dir.join("job-d-00000001.ckpt.tmp"), "torn").expect("write tmp");
+        std::fs::write(dir.join("README"), "not a checkpoint").expect("write other");
+
+        // A generous age bound: only the corrupt file goes — fresh
+        // checkpoints and a possibly in-flight tmp write survive, and
+        // non-checkpoint files are never touched.
+        let report = store.gc(Duration::from_secs(3600)).expect("gc");
+        assert_eq!(report.total(), 1);
+        assert_eq!(report.count(GcReason::Corrupt), 1);
+        assert_eq!(report.discarded[0].0, dir.join("job-c-00000009.ckpt"));
+        assert!(store.latest("job-a").expect("listable").is_some());
+
+        // Zero age: everything checkpoint-shaped is provably old, so the
+        // stale checkpoints and the tmp orphan go too.
+        let report = store.gc(Duration::ZERO).expect("gc");
+        assert_eq!(report.count(GcReason::Stale), 2);
+        assert_eq!(report.count(GcReason::Orphan), 1);
+        assert_eq!(report.count(GcReason::Corrupt), 0);
+        assert!(store.latest("job-a").expect("listable").is_none());
+        assert!(dir.join("README").exists(), "foreign files are not gc'd");
+        assert_eq!(GcReason::Stale.as_str(), "stale");
+        assert_eq!(GcReason::Orphan.as_str(), "orphan");
+        assert_eq!(GcReason::Corrupt.as_str(), "corrupt");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

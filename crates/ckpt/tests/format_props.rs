@@ -18,7 +18,7 @@
 
 use mogs_ckpt::{decode, encode, verify_binding, Checkpoint, CkptError};
 use mogs_engine::prelude::UnitFault;
-use mogs_engine::{FaultState, JobState, StateBinding};
+use mogs_engine::{FaultState, JobState, ShardBinding, StateBinding};
 use mogs_mrf::Label;
 use proptest::prelude::*;
 
@@ -29,7 +29,13 @@ fn arb_binding() -> impl Strategy<Value = StateBinding> {
         (0u64..=u64::MAX, 0u64..=u64::MAX),
         (0usize..3),
         prop::bool::ANY,
-        prop::bool::ANY,
+        (
+            prop::bool::ANY,
+            (0usize..9),
+            (1usize..9),
+            (0usize..200),
+            0u64..=u64::MAX,
+        ),
     )
         .prop_map(
             |(
@@ -38,11 +44,19 @@ fn arb_binding() -> impl Strategy<Value = StateBinding> {
                 (seed, fingerprint),
                 kernel_pick,
                 track_modes,
-                record_energy,
+                (record_energy, shard_pick, of, owned, sites_digest),
             )| {
                 let kernel = ["softmax-gibbs", "rsu-pool", "odd \"name\"\twith\nescapes"]
                     [kernel_pick]
                     .to_string();
+                // shard_pick 0 keeps the common whole-plane case well
+                // represented; otherwise derive a valid shard index.
+                let shard = (shard_pick > 0).then(|| ShardBinding {
+                    shard: (shard_pick - 1) % of,
+                    of,
+                    owned,
+                    sites_digest,
+                });
                 StateBinding {
                     sites,
                     width,
@@ -56,6 +70,7 @@ fn arb_binding() -> impl Strategy<Value = StateBinding> {
                     kernel,
                     track_modes,
                     record_energy,
+                    shard,
                 }
             },
         )

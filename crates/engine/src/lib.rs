@@ -98,12 +98,14 @@ pub mod metrics;
 mod multichain;
 mod plane;
 mod runner;
+pub mod shard;
 pub mod sink;
 mod spec;
 
 pub use backend::{Backend, BackendSampler, RsuPool};
 pub use ckpt::{
-    CheckpointPolicy, CheckpointSpec, CheckpointWriter, FaultState, JobState, StateBinding,
+    CheckpointPolicy, CheckpointSpec, CheckpointWriter, FaultState, JobState, ShardBinding,
+    StateBinding,
 };
 pub use engine::{Engine, EngineConfig, PreparedJob, TrySubmitError};
 pub use error::EngineError;
@@ -111,6 +113,7 @@ pub use fault::{Degraded, FaultEvent, FaultPlan, HealthPolicy};
 pub use job::{InferenceJob, JobHandle, JobId, JobOutput, JobStatus};
 pub use metrics::{EngineMetrics, HistogramSnapshot, LatencyHistogram, MetricsSnapshot};
 pub use multichain::run_chains_on_engine;
+pub use shard::ShardRunner;
 pub use sink::{DiagSink, JobStartInfo, NullSink, SinkNeeds, SweepDecision, SweepObservation};
 pub use spec::{JobSpec, JobSpecBuilder};
 
@@ -126,7 +129,8 @@ pub use spec::{JobSpec, JobSpecBuilder};
 pub mod prelude {
     pub use crate::backend::{Backend, BackendSampler, RsuPool};
     pub use crate::ckpt::{
-        CheckpointPolicy, CheckpointSpec, CheckpointWriter, FaultState, JobState, StateBinding,
+        CheckpointPolicy, CheckpointSpec, CheckpointWriter, FaultState, JobState, ShardBinding,
+        StateBinding,
     };
     pub use crate::engine::{Engine, EngineConfig, PreparedJob, TrySubmitError};
     pub use crate::error::EngineError;
@@ -134,6 +138,7 @@ pub mod prelude {
     pub use crate::job::{InferenceJob, JobHandle, JobId, JobOutput, JobStatus};
     pub use crate::metrics::{EngineMetrics, MetricsSnapshot};
     pub use crate::multichain::run_chains_on_engine;
+    pub use crate::shard::ShardRunner;
     pub use crate::sink::{
         DiagSink, JobStartInfo, NullSink, SinkNeeds, SweepDecision, SweepObservation,
     };

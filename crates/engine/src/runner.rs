@@ -357,6 +357,7 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
             kernel: job.sampler.name().to_string(),
             track_modes: job.track_modes,
             record_energy: job.record_energy,
+            shard: None,
         };
         let sink = job.sink.take();
         if let Some(state) = resume {
@@ -597,6 +598,35 @@ impl<S: SingletonPotential, L: LabelSampler> TypedJob<S, L> {
     /// The reference chunk width for one group.
     fn chunk_size(&self, group: usize) -> usize {
         self.groups[group].len().div_ceil(self.threads).max(1)
+    }
+
+    /// The sites of one chunk of one group, in the reference split.
+    /// Shared with [`ShardRunner`](crate::shard::ShardRunner), whose
+    /// per-shard phases must walk exactly the chunks the full engine
+    /// would.
+    pub(crate) fn chunk_sites(&self, group: usize, chunk: usize) -> &[usize] {
+        let sites = &self.groups[group];
+        let size = self.chunk_size(group);
+        let start = chunk * size;
+        &sites[start..(start + size).min(sites.len())]
+    }
+
+    /// The shared label plane (shard-runner access; the runner upholds
+    /// the plane's phase discipline through `&mut` exclusivity).
+    pub(crate) fn plane(&self) -> &LabelPlane {
+        &self.plane
+    }
+
+    /// Label-space size.
+    pub(crate) fn label_count(&self) -> usize {
+        self.mrf.space().count()
+    }
+
+    /// Total field energy of `labels` under this job's MRF (shard-runner
+    /// access; the fleet coordinator records the engine's energy trace
+    /// without holding the generic field type itself).
+    pub(crate) fn field_energy(&self, labels: &[Label]) -> f64 {
+        self.mrf.total_energy(labels)
     }
 
     /// The dynamic read/write-set recorder, for tests that drive phases

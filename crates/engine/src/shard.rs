@@ -1,0 +1,462 @@
+//! Shard-scoped job execution for the `mogs-fleet` multi-process
+//! runtime.
+//!
+//! A fleet worker process owns a *shard* of one job: a subset of the
+//! job's deterministic `(group, chunk)` cells, with their original
+//! global indices. [`ShardRunner`] wraps the same [`TypedJob`] the
+//! engine's scheduler drives — same admission (certificate-verified
+//! schedule), same neighbour tables, same hot chunk loop — but exposes
+//! phase execution one group at a time, restricted to the owned chunks,
+//! plus label import/export at color-phase boundaries for the halo
+//! exchange.
+//!
+//! # Why chunks, not sites
+//!
+//! The engine's chunk RNG stream is seeded per `(seed, sweep, group,
+//! chunk)` and consumed in the chunk's site order. A partition that cut
+//! groups at arbitrary site boundaries would renumber chunks and change
+//! every draw. Shards are therefore unions of whole chunks under the
+//! reference split (`len.div_ceil(threads).max(1)` sites per chunk);
+//! a worker running chunk `(g, c)` reproduces, bit for bit, what any
+//! engine worker would have produced for that cell — provided its plane
+//! holds the right neighbour labels, which is exactly what the halo
+//! protocol maintains between phases.
+//!
+//! # Safety
+//!
+//! The runner is single-owner: all plane access goes through `&mut self`
+//! (or `&self` methods that only read), so the `unsafe` plane operations
+//! cannot race — there is no second thread. The cross-*process* phase
+//! discipline (no two neighbouring sites sampled in one phase anywhere
+//! in the fleet) is the coordinator's obligation, proved by the same
+//! schedule certificate that admits the job here plus the sharding
+//! obligations of `mogs_audit::sharding`.
+
+use mogs_gibbs::kernel::{KernelArena, SweepKernel};
+use mogs_mrf::energy::SingletonPotential;
+use mogs_mrf::Label;
+
+use crate::error::EngineError;
+use crate::runner::{ErasedJob, TypedJob};
+use crate::spec::JobSpec;
+
+/// The number of chunks the engine splits a group of `group_len` sites
+/// into for a job with `threads` deterministic chunks. Exposed so the
+/// fleet partitioner computes cell indices with the exact reference
+/// arithmetic (an off-by-one here would silently reseed every stream).
+#[must_use]
+pub fn chunk_count(group_len: usize, threads: usize) -> usize {
+    if group_len == 0 {
+        return 0;
+    }
+    let size = group_len.div_ceil(threads).max(1);
+    group_len.div_ceil(size)
+}
+
+/// One job shard, executable phase by phase in a worker process.
+///
+/// Construction re-runs full engine admission (label-space check,
+/// certificate coloring, independent verification), then pins the owned
+/// `(group, chunk)` cells. The spec must be *plain*: sinks, fault
+/// plans, health policies, and checkpoint writers are sweep-boundary
+/// machinery owned by the fleet coordinator, not by shards, and are
+/// rejected at construction.
+pub struct ShardRunner<S: SingletonPotential, L: SweepKernel> {
+    job: TypedJob<S, L>,
+    /// Owned chunk ids per group, sorted ascending.
+    owned: Vec<Vec<usize>>,
+    arena: KernelArena,
+}
+
+impl<S, L> ShardRunner<S, L>
+where
+    S: SingletonPotential + 'static,
+    L: SweepKernel + Clone + Send + Sync + 'static,
+{
+    /// Admits `spec` and pins the shard to `chunks` (global
+    /// `(group, chunk)` cells; order and duplicates are normalized).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Engine::submit`](crate::Engine::submit) admission
+    /// reports, plus [`EngineError::InvalidSpec`]:
+    /// - field `"shard"` for an out-of-range or empty cell list,
+    /// - field `"spec"` when the spec carries a sink, fault plan,
+    ///   health policy, or checkpoint writer.
+    pub fn try_new(spec: JobSpec<S, L>, chunks: &[(usize, usize)]) -> Result<Self, EngineError> {
+        let job = spec.into_job();
+        if job.sink.is_some()
+            || job.fault_plan.is_some()
+            || job.health.is_some()
+            || job.checkpoint.is_some()
+        {
+            return Err(EngineError::InvalidSpec {
+                field: "spec",
+                reason: "shard specs must be plain: sinks, fault plans, health policies, and \
+                         checkpoints belong to the fleet coordinator"
+                    .to_string(),
+            });
+        }
+        let typed = TypedJob::try_new(job)?;
+        let mut owned = vec![Vec::new(); typed.group_count()];
+        for &(group, chunk) in chunks {
+            if group >= typed.group_count() || chunk >= typed.chunks_in_group(group) {
+                return Err(EngineError::InvalidSpec {
+                    field: "shard",
+                    reason: format!(
+                        "cell ({group}, {chunk}) is outside the job's phase decomposition"
+                    ),
+                });
+            }
+            owned[group].push(chunk);
+        }
+        for list in &mut owned {
+            list.sort_unstable();
+            list.dedup();
+        }
+        if owned.iter().all(Vec::is_empty) {
+            return Err(EngineError::InvalidSpec {
+                field: "shard",
+                reason: "a shard must own at least one chunk".to_string(),
+            });
+        }
+        Ok(ShardRunner {
+            job: typed,
+            owned,
+            arena: KernelArena::new(),
+        })
+    }
+
+    /// Number of color groups per sweep.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.job.group_count()
+    }
+
+    /// Number of chunks in one group under the reference split.
+    #[must_use]
+    pub fn chunks_in_group(&self, group: usize) -> usize {
+        self.job.chunks_in_group(group)
+    }
+
+    /// Total sites in the job's plane (not just this shard).
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.job.site_count()
+    }
+
+    /// Labels in the job's label space.
+    #[must_use]
+    pub fn label_count(&self) -> usize {
+        self.job.label_count()
+    }
+
+    /// The owned sites of one group, in chunk order (the order their
+    /// draws consume the chunk RNG streams). This is the shard's export
+    /// set for phase `group`: after [`run_phase`](Self::run_phase) these
+    /// are exactly the sites whose labels changed hands.
+    #[must_use]
+    pub fn owned_sites(&self, group: usize) -> Vec<usize> {
+        self.owned[group]
+            .iter()
+            .flat_map(|&chunk| self.job.chunk_sites(group, chunk).iter().copied())
+            .collect()
+    }
+
+    /// The sites of one `(group, chunk)` cell under the reference split
+    /// — owned or not. The fleet partitioner weighs and assigns cells
+    /// through this exact arithmetic, so its shards can never disagree
+    /// with the chunks [`run_phase`](Self::run_phase) walks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` or `chunk` is outside the decomposition.
+    #[must_use]
+    pub fn cell_sites(&self, group: usize, chunk: usize) -> &[usize] {
+        assert!(
+            group < self.group_count() && chunk < self.chunks_in_group(group),
+            "cell ({group}, {chunk}) outside the decomposition"
+        );
+        self.job.chunk_sites(group, chunk)
+    }
+
+    /// Total field energy of the current plane — what the engine appends
+    /// to the energy trace at each sweep boundary. The fleet coordinator
+    /// calls this on its mirror runner after seating the merged plane.
+    #[must_use]
+    pub fn plane_energy(&self) -> f64 {
+        // SAFETY: `&self` with single ownership — quiescent by
+        // construction.
+        let snapshot = unsafe { self.job.plane().snapshot() };
+        self.job.field_energy(&snapshot)
+    }
+
+    /// Runs the owned chunks of `group` for sweep `iteration`, in
+    /// ascending chunk order, through the engine's hot chunk loop.
+    /// Draws are bit-identical to the full engine's for the same cells.
+    pub fn run_phase(&mut self, iteration: usize, group: usize) {
+        // Split borrows: the arena is scratch, the job is the phase.
+        let arena = &mut self.arena;
+        for &chunk in &self.owned[group] {
+            self.job.run_chunk(iteration, group, chunk, arena);
+        }
+    }
+
+    /// Seats a full plane (one raw label per site) — the boundary state
+    /// a migrated or restarted shard resumes from.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidSpec`] (field `"plane"`) on a length or
+    /// label-range mismatch; the plane is untouched on error.
+    pub fn seat(&mut self, labels: &[u8]) -> Result<(), EngineError> {
+        let invalid = |reason: String| EngineError::InvalidSpec {
+            field: "plane",
+            reason,
+        };
+        if labels.len() != self.site_count() {
+            return Err(invalid(format!(
+                "plane has {} labels, the job has {} sites",
+                labels.len(),
+                self.site_count()
+            )));
+        }
+        let m = self.label_count();
+        if let Some(&bad) = labels.iter().find(|&&v| usize::from(v) >= m) {
+            return Err(invalid(format!(
+                "label {bad} is outside the job's {m}-label space"
+            )));
+        }
+        for (site, &value) in labels.iter().enumerate() {
+            // SAFETY: `&mut self` — no other thread can touch the plane.
+            unsafe { self.job.plane().write(site, Label::new(value)) };
+        }
+        Ok(())
+    }
+
+    /// Applies halo (or replay) updates: labels sampled by *other*
+    /// shards this sweep, imported so the next phase's gathers read
+    /// them. Sites this shard owns may appear (replay streams include
+    /// them harmlessly); values are validated, positions trusted to the
+    /// coordinator's audited partition.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidSpec`] (field `"halo"`) for a site outside
+    /// the plane or a label outside the space. Updates before the
+    /// offending entry are already applied.
+    pub fn apply_updates(&mut self, updates: &[(usize, u8)]) -> Result<(), EngineError> {
+        let sites = self.site_count();
+        let m = self.label_count();
+        for &(site, value) in updates {
+            if site >= sites || usize::from(value) >= m {
+                return Err(EngineError::InvalidSpec {
+                    field: "halo",
+                    reason: format!(
+                        "update ({site}, {value}) is outside the plane ({sites} sites, {m} labels)"
+                    ),
+                });
+            }
+            // SAFETY: `&mut self` — no other thread can touch the plane.
+            unsafe { self.job.plane().write(site, Label::new(value)) };
+        }
+        Ok(())
+    }
+
+    /// Reads the current labels of `sites` (the phase export path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a site is outside the plane — export sets come from
+    /// [`owned_sites`](Self::owned_sites), so this is a runner bug, not
+    /// an input error.
+    #[must_use]
+    pub fn read_labels(&self, sites: &[usize]) -> Vec<u8> {
+        sites
+            .iter()
+            .map(|&site| {
+                assert!(site < self.site_count(), "site {site} outside the plane");
+                // SAFETY: `&self` with single ownership — reads cannot
+                // race; the one writer path takes `&mut self`.
+                unsafe { self.job.plane().read(site) }.value()
+            })
+            .collect()
+    }
+
+    /// Copies the whole plane out as raw labels.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        // SAFETY: `&self` with single ownership — quiescent by
+        // construction.
+        unsafe { self.job.plane().snapshot() }
+            .iter()
+            .map(|label| label.value())
+            .collect()
+    }
+}
+
+impl<S: SingletonPotential, L: SweepKernel> std::fmt::Debug for ShardRunner<S, L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardRunner")
+            .field("owned", &self.owned)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mogs_gibbs::SoftmaxGibbs;
+    use mogs_mrf::{Grid2D, LabelSpace, MarkovRandomField, SmoothnessPrior};
+
+    fn spec(threads: usize) -> JobSpec<impl SingletonPotential + 'static, SoftmaxGibbs> {
+        let mrf = MarkovRandomField::builder(Grid2D::new(6, 4), LabelSpace::scalar(3))
+            .prior(SmoothnessPrior::potts(0.7))
+            .singleton(|site: usize, label: Label| {
+                ((site * 5 + usize::from(label.value())) % 7) as f64 * 0.21
+            })
+            .build();
+        JobSpec::builder(mrf, SoftmaxGibbs::new())
+            .iterations(6)
+            .threads(threads)
+            .seed(0xF1EE7)
+            .build()
+            .expect("spec is well-formed")
+    }
+
+    fn all_cells<S, L>(runner: &ShardRunner<S, L>) -> Vec<(usize, usize)>
+    where
+        S: SingletonPotential + 'static,
+        L: SweepKernel + Clone + Send + Sync + 'static,
+    {
+        (0..runner.group_count())
+            .flat_map(|g| (0..runner.chunks_in_group(g)).map(move |c| (g, c)))
+            .collect()
+    }
+
+    #[test]
+    fn chunk_count_matches_typed_job_arithmetic() {
+        let probe = ShardRunner::try_new(spec(3), &[(0, 0)]).expect("admits");
+        for g in 0..probe.group_count() {
+            // Reconstruct the group length from the runner's own split and
+            // cross-check the free helper against the trait arithmetic.
+            let group_len: usize = (0..probe.chunks_in_group(g))
+                .map(|c| probe.job.chunk_sites(g, c).len())
+                .sum();
+            assert_eq!(chunk_count(group_len, 3), probe.chunks_in_group(g));
+        }
+        assert_eq!(chunk_count(0, 3), 0);
+        assert_eq!(chunk_count(7, 3), 3);
+        assert_eq!(chunk_count(7, 100), 7);
+    }
+
+    #[test]
+    fn single_shard_run_matches_engine_output() {
+        let reference = {
+            let engine = crate::Engine::with_default_config();
+            let out = engine.submit(spec(3)).expect("admits").wait();
+            engine.shutdown();
+            out
+        };
+        let probe = ShardRunner::try_new(spec(3), &[(0, 0)]).expect("admits");
+        let cells = all_cells(&probe);
+        let mut runner = ShardRunner::try_new(spec(3), &cells).expect("admits");
+        for sweep in 0..6 {
+            for group in 0..runner.group_count() {
+                runner.run_phase(sweep, group);
+            }
+        }
+        let labels: Vec<u8> = reference.labels.iter().map(|l| l.value()).collect();
+        assert_eq!(
+            runner.snapshot(),
+            labels,
+            "single shard must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn two_shards_with_halo_exchange_match_engine_output() {
+        let reference = {
+            let engine = crate::Engine::with_default_config();
+            let out = engine.submit(spec(3)).expect("admits").wait();
+            engine.shutdown();
+            out
+        };
+        let probe = ShardRunner::try_new(spec(3), &[(0, 0)]).expect("admits");
+        let cells = all_cells(&probe);
+        // Alternate cells between two shards — deliberately unbalanced
+        // against grid geometry to stress the halo path.
+        let (a_cells, b_cells): (Vec<_>, Vec<_>) =
+            cells.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+        let a_cells: Vec<_> = a_cells.into_iter().map(|(_, &c)| c).collect();
+        let b_cells: Vec<_> = b_cells.into_iter().map(|(_, &c)| c).collect();
+        let mut a = ShardRunner::try_new(spec(3), &a_cells).expect("admits");
+        let mut b = ShardRunner::try_new(spec(3), &b_cells).expect("admits");
+        for sweep in 0..6 {
+            for group in 0..a.group_count() {
+                a.run_phase(sweep, group);
+                b.run_phase(sweep, group);
+                // Full halo exchange: each shard imports the other's
+                // exports for this phase.
+                let a_sites = a.owned_sites(group);
+                let a_updates: Vec<(usize, u8)> = a_sites
+                    .iter()
+                    .copied()
+                    .zip(a.read_labels(&a_sites))
+                    .collect();
+                let b_sites = b.owned_sites(group);
+                let b_updates: Vec<(usize, u8)> = b_sites
+                    .iter()
+                    .copied()
+                    .zip(b.read_labels(&b_sites))
+                    .collect();
+                a.apply_updates(&b_updates).expect("valid updates");
+                b.apply_updates(&a_updates).expect("valid updates");
+            }
+        }
+        let labels: Vec<u8> = reference.labels.iter().map(|l| l.value()).collect();
+        assert_eq!(
+            a.snapshot(),
+            labels,
+            "shard A plane must converge to reference"
+        );
+        assert_eq!(
+            b.snapshot(),
+            labels,
+            "shard B plane must converge to reference"
+        );
+    }
+
+    #[test]
+    fn decorated_specs_are_rejected() {
+        let mrf = MarkovRandomField::builder(Grid2D::new(4, 4), LabelSpace::scalar(2))
+            .prior(SmoothnessPrior::potts(0.5))
+            .singleton(|_s: usize, _l: Label| 0.0)
+            .build();
+        let decorated = JobSpec::builder(mrf, SoftmaxGibbs::new())
+            .sink(std::sync::Arc::new(crate::sink::NullSink))
+            .build()
+            .expect("builds");
+        let err = ShardRunner::try_new(decorated, &[(0, 0)]).expect_err("must reject");
+        let EngineError::InvalidSpec { field, .. } = err else {
+            panic!("wrong variant: {err}");
+        };
+        assert_eq!(field, "spec");
+    }
+
+    #[test]
+    fn out_of_range_cells_and_inputs_are_rejected() {
+        let err = ShardRunner::try_new(spec(3), &[(99, 0)]).expect_err("bad group");
+        assert_eq!(err.variant(), "invalid-spec");
+        let err = ShardRunner::try_new(spec(3), &[]).expect_err("empty shard");
+        assert_eq!(err.variant(), "invalid-spec");
+        let mut runner = ShardRunner::try_new(spec(3), &[(0, 0)]).expect("admits");
+        assert!(runner.seat(&[0u8; 3]).is_err(), "short plane");
+        assert!(runner.seat(&[9u8; 24]).is_err(), "label outside space");
+        assert!(runner.apply_updates(&[(999, 0)]).is_err(), "site outside");
+        assert!(runner.apply_updates(&[(0, 9)]).is_err(), "label outside");
+        let plane = vec![1u8; 24];
+        runner.seat(&plane).expect("valid plane");
+        assert_eq!(runner.snapshot(), plane);
+    }
+}

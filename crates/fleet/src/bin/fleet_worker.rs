@@ -1,0 +1,25 @@
+//! The fleet worker binary: `fleet-worker <addr>` connects to a
+//! coordinator (`tcp:host:port` or `unix:/path`) and speaks the shard
+//! protocol until told to finish. Spawned by the coordinator's
+//! `Launcher::Program` path; exits nonzero on any protocol or shard
+//! failure so process supervisors see the death.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(addr) = std::env::args().nth(1) else {
+        let _ = writeln!(
+            std::io::stderr(),
+            "usage: fleet-worker <tcp:host:port | unix:/path>"
+        );
+        return ExitCode::from(2);
+    };
+    match mogs_fleet::worker_main(&addr) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            let _ = writeln!(std::io::stderr(), "fleet worker failed: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

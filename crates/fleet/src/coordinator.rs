@@ -1,0 +1,1166 @@
+//! The fleet coordinator: phase-barriered multi-process sweeps with
+//! checkpoint-backed shard migration.
+//!
+//! # Execution model
+//!
+//! The coordinator drives all workers through one color phase at a
+//! time: `Phase` out, `PhaseDone` (every owned site of the group) back,
+//! merged into the coordinator's **mirror plane**, then re-broadcast as
+//! `Halo` so every shard's plane holds the labels the next phase's
+//! gathers read. Phases are barriers; sweeps are sequences of phases;
+//! the mirror after phase `g` equals, bit for bit, the engine's plane
+//! at the same point.
+//!
+//! # The bit-identity argument
+//!
+//! Three facts compose:
+//! 1. shards are unions of whole `(group, chunk)` cells, so every chunk
+//!    RNG stream `(seed, sweep, group, chunk)` is consumed by exactly
+//!    one worker with the reference arithmetic (`mogs_engine::shard`);
+//! 2. the sharding audit proves halos carry *exactly* the cross-shard
+//!    adjacency, so a shard's plane holds the same neighbour labels the
+//!    engine's plane would at every phase boundary;
+//! 3. migration re-admits a shard as a pure function of (boundary
+//!    plane, phase replay log) — both already bit-exact — and re-runs
+//!    the interrupted phase from its own streams.
+//!
+//! Draws depend on nothing else, so kill-and-migrate cannot change a
+//! single label. The A15 repro ladder checks this end to end.
+//!
+//! # Failure handling
+//!
+//! Liveness is observed three ways: a failed send, a missed `PhaseDone`
+//! deadline, and a missed sweep-boundary heartbeat. Any of them condemns
+//! the worker: its stream is never resynchronized, its shard is
+//! migrated — to a respawned process ([`FleetConfig::respawn`]) or,
+//! with no spare capacity, *adopted* by the least-loaded survivor and
+//! the job finishes [`Degraded`]. Each migration spends one unit of
+//! [`FleetConfig::max_migrations`]; exhaustion is a typed
+//! [`FleetError::FleetCollapse`], never a hang.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mogs_ckpt::{verify_binding, Checkpoint, CheckpointStore};
+use mogs_engine::ckpt::{JobState, StateBinding};
+use mogs_engine::Degraded;
+
+use crate::error::{FleetError, FleetResult};
+use crate::exec::{build_shard, kernel_name, FleetStructure, ShardExec};
+use crate::partition::{partition, Partition};
+use crate::spec::FleetSpec;
+use crate::wire::{recv_to_coordinator, rpc_ping, send_to_worker, Conn, ToCoordinator, ToWorker};
+use crate::worker::{worker_main, WORKER_ENV};
+
+/// What a successful spawn attempt yields: the established connection
+/// plus whichever process/thread handle the launcher produced.
+type SpawnedWorker = (Conn, Option<Child>, Option<JoinHandle<FleetResult<()>>>);
+
+/// Checkpoint key of the coordinator's whole-plane state.
+pub const COORD_KEY: &str = "fleet-coord";
+
+/// Checkpoint key of one shard's state.
+#[must_use]
+pub fn shard_key(shard: usize) -> String {
+    format!("fleet-shard-{shard}")
+}
+
+/// How worker processes are brought up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Launcher {
+    /// Spawn this binary with the coordinator address as `argv[1]`
+    /// (the `fleet-worker` helper, or anything speaking the protocol).
+    Program(PathBuf),
+    /// Re-exec the current executable with [`WORKER_ENV`] set; the
+    /// binary must call [`crate::maybe_run_worker`] first thing.
+    SelfExec,
+    /// A thread in this process speaking the same protocol over a real
+    /// socket. No process isolation — chaos kills are unsupported.
+    InProcess,
+}
+
+/// Which socket family carries the control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Loopback TCP.
+    Tcp,
+    /// Unix-domain socket in the system temp directory.
+    Unix,
+}
+
+/// One scripted worker kill, executed by the coordinator immediately
+/// after dispatching `Phase{sweep, group}` — deterministic mid-phase
+/// death for the repro ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillAt {
+    /// Sweep index of the kill.
+    pub sweep: usize,
+    /// Color group whose dispatch triggers it.
+    pub group: usize,
+    /// Slot index to SIGKILL.
+    pub worker: usize,
+}
+
+/// Deterministic fault schedule for robustness tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Scripted kills.
+    pub kills: Vec<KillAt>,
+}
+
+/// Durable checkpointing of the coordinator's sweep boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetCheckpoint {
+    /// Store directory.
+    pub dir: PathBuf,
+    /// Cut every `n` completed sweeps (0 disables periodic cuts).
+    pub every_sweeps: usize,
+    /// Per-key retention bound.
+    pub retain: usize,
+}
+
+/// Coordinator configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Worker processes at launch (and shards in the partition).
+    pub workers: usize,
+    /// Socket family.
+    pub transport: TransportKind,
+    /// How workers come up.
+    pub launcher: Launcher,
+    /// Migration budget; exceeding it is [`FleetError::FleetCollapse`].
+    pub max_migrations: usize,
+    /// Replace dead workers with fresh processes; `false` means
+    /// survivors adopt the orphaned shard and the job completes
+    /// [`Degraded`].
+    pub respawn: bool,
+    /// Deadline of the sweep-boundary liveness probe.
+    pub heartbeat: Duration,
+    /// Per-RPC deadline (`AssignOk`, `PhaseDone`).
+    pub rpc_deadline: Duration,
+    /// Base of the exponential connect/spawn backoff.
+    pub backoff_base: Duration,
+    /// Spawn/accept attempts before giving up.
+    pub max_retries: u32,
+    /// Durable sweep-boundary checkpoints.
+    pub checkpoint: Option<FleetCheckpoint>,
+    /// Scripted failures.
+    pub chaos: ChaosPlan,
+    /// Pause after this many completed sweeps (requires checkpointing;
+    /// the run returns `finished: false` and can be resumed).
+    pub stop_after_sweep: Option<usize>,
+    /// Resume from the newest coordinator checkpoint instead of sweep 0.
+    pub resume: bool,
+}
+
+impl FleetConfig {
+    /// A sane default configuration for `workers` in-process workers.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        FleetConfig {
+            workers,
+            transport: TransportKind::Tcp,
+            launcher: Launcher::InProcess,
+            max_migrations: 4,
+            respawn: true,
+            heartbeat: Duration::from_secs(2),
+            rpc_deadline: Duration::from_secs(20),
+            backoff_base: Duration::from_millis(50),
+            max_retries: 5,
+            checkpoint: None,
+            chaos: ChaosPlan::default(),
+            stop_after_sweep: None,
+            resume: false,
+        }
+    }
+}
+
+/// The fleet's result: the same observables as the engine's
+/// [`JobOutput`](mogs_engine::JobOutput), plus fleet provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutput {
+    /// Final label plane, one raw label per site.
+    pub labels: Vec<u8>,
+    /// Marginal MAP estimate, when the run passed burn-in.
+    pub map_estimate: Option<Vec<u8>>,
+    /// Total energy after each completed sweep.
+    pub energy_trace: Vec<f64>,
+    /// Sweeps completed.
+    pub iterations_run: usize,
+    /// `false` when [`FleetConfig::stop_after_sweep`] paused the run.
+    pub finished: bool,
+    /// Set when a shard was adopted without replacement capacity.
+    pub degraded: Option<Degraded>,
+    /// Shard migrations performed.
+    pub migrations: usize,
+    /// Worker processes (or threads) launched over the run.
+    pub workers_spawned: usize,
+}
+
+impl FleetOutput {
+    /// Bit-exact comparison against an engine run of the same spec:
+    /// labels, MAP estimate, and every energy-trace entry compared as
+    /// IEEE-754 bit patterns.
+    #[must_use]
+    pub fn bit_identical_to(&self, reference: &mogs_engine::JobOutput) -> bool {
+        let ref_labels: Vec<u8> = reference.labels.iter().map(|l| l.value()).collect();
+        let ref_map: Option<Vec<u8>> = reference
+            .map_estimate
+            .as_ref()
+            .map(|m| m.iter().map(|l| l.value()).collect());
+        self.labels == ref_labels
+            && self.map_estimate == ref_map
+            && self.energy_trace.len() == reference.energy_trace.len()
+            && self
+                .energy_trace
+                .iter()
+                .zip(&reference.energy_trace)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+/// Runs `spec` across a fleet of worker processes.
+///
+/// # Errors
+///
+/// Typed [`FleetError`]s: `Spec`/`Partition` before anything launches,
+/// `Spawn` when workers cannot come up, `FleetCollapse` when the
+/// migration budget runs out, `Checkpoint` on store or binding
+/// failures, `Unsupported` for structurally impossible configurations.
+pub fn run_fleet(spec: &FleetSpec, config: &FleetConfig) -> FleetResult<FleetOutput> {
+    let mut coordinator = Coordinator::launch(spec, config)?;
+    let result = coordinator.run();
+    coordinator.teardown(result.is_err());
+    result
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    fn bind(kind: TransportKind) -> FleetResult<(Self, String)> {
+        match kind {
+            TransportKind::Tcp => {
+                let listener = TcpListener::bind("127.0.0.1:0")
+                    .map_err(|e| FleetError::io("binding loopback listener", e))?;
+                let addr = listener
+                    .local_addr()
+                    .map_err(|e| FleetError::io("reading listener address", e))?;
+                Ok((Listener::Tcp(listener), format!("tcp:{addr}")))
+            }
+            TransportKind::Unix => {
+                static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+                let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let path = std::env::temp_dir()
+                    .join(format!("mogs-fleet-{}-{n}.sock", std::process::id()));
+                let _ = std::fs::remove_file(&path);
+                let listener = UnixListener::bind(&path)
+                    .map_err(|e| FleetError::io("binding unix listener", e))?;
+                let addr = format!("unix:{}", path.display());
+                Ok((Listener::Unix(listener, path), addr))
+            }
+        }
+    }
+
+    /// Accepts one connection within `deadline`, polling non-blocking.
+    fn accept(&self, deadline: Duration) -> FleetResult<Conn> {
+        let start = std::time::Instant::now();
+        let set_nonblocking = |on: bool| -> std::io::Result<()> {
+            match self {
+                Listener::Tcp(l) => l.set_nonblocking(on),
+                Listener::Unix(l, _) => l.set_nonblocking(on),
+            }
+        };
+        set_nonblocking(true).map_err(|e| FleetError::io("configuring listener", e))?;
+        loop {
+            let accepted: std::io::Result<Conn> = match self {
+                Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                    let _ = TcpStream::set_nodelay(&s, true);
+                    Conn::Tcp(s)
+                }),
+                Listener::Unix(l, _) => l.accept().map(|(s, _): (UnixStream, _)| Conn::Unix(s)),
+            };
+            match accepted {
+                Ok(conn) => {
+                    let _ = set_nonblocking(false);
+                    return Ok(conn);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if start.elapsed() > deadline {
+                        let _ = set_nonblocking(false);
+                        return Err(FleetError::Spawn {
+                            reason: format!(
+                                "worker did not connect within {} ms",
+                                deadline.as_millis()
+                            ),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    let _ = set_nonblocking(false);
+                    return Err(FleetError::io("accepting worker connection", e));
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+struct Slot {
+    conn: Option<Conn>,
+    child: Option<Child>,
+    thread: Option<JoinHandle<FleetResult<()>>>,
+    shards: Vec<usize>,
+    alive: bool,
+}
+
+struct Coordinator {
+    spec: FleetSpec,
+    config: FleetConfig,
+    structure: FleetStructure,
+    partition: Partition,
+    /// Full-plane mirror runner: never phases, only seats the merged
+    /// plane to compute the engine's exact per-sweep energy.
+    reference: Box<dyn ShardExec>,
+    mirror: Vec<u8>,
+    energy_trace: Vec<f64>,
+    hist: Vec<u32>,
+    slots: Vec<Slot>,
+    /// Owning slot per site (site → slot index), kept in sync with
+    /// every (re)assignment for halo filtering.
+    owner_slot: Vec<usize>,
+    listener: Listener,
+    addr: String,
+    store: Option<CheckpointStore>,
+    migrations: usize,
+    workers_spawned: usize,
+    degraded: Option<Degraded>,
+    nonce: u64,
+    start_sweep: usize,
+}
+
+impl Coordinator {
+    fn launch(spec: &FleetSpec, config: &FleetConfig) -> FleetResult<Self> {
+        spec.validate()?;
+        if config.workers == 0 {
+            return Err(FleetError::Spec {
+                reason: "a fleet needs at least one worker".to_string(),
+            });
+        }
+        if config.launcher == Launcher::InProcess && !config.chaos.kills.is_empty() {
+            return Err(FleetError::Unsupported {
+                reason: "chaos kills need worker processes; the in-process launcher has none"
+                    .to_string(),
+            });
+        }
+        if (config.stop_after_sweep.is_some() || config.resume) && config.checkpoint.is_none() {
+            return Err(FleetError::Unsupported {
+                reason: "stop/resume requires a checkpoint store".to_string(),
+            });
+        }
+        let structure = FleetStructure::of(spec)?;
+        let partition = partition(&structure, config.workers)?;
+        let all_cells: Vec<(usize, usize)> = (0..structure.group_count())
+            .flat_map(|g| (0..structure.cells[g].len()).map(move |c| (g, c)))
+            .collect();
+        let reference = build_shard(spec, &all_cells)?;
+        let mirror = reference.snapshot();
+        let store = match &config.checkpoint {
+            Some(ck) => Some(CheckpointStore::open(&ck.dir, ck.retain)?),
+            None => None,
+        };
+        let (listener, addr) = Listener::bind(config.transport)?;
+        let sites = structure.sites;
+        let labels = structure.labels;
+        let mut coordinator = Coordinator {
+            spec: spec.clone(),
+            config: config.clone(),
+            structure,
+            partition,
+            reference,
+            mirror,
+            energy_trace: Vec::new(),
+            hist: vec![0u32; sites * labels],
+            slots: Vec::new(),
+            owner_slot: vec![0; sites],
+            listener,
+            addr,
+            store,
+            migrations: 0,
+            workers_spawned: 0,
+            degraded: None,
+            nonce: 0,
+            start_sweep: 0,
+        };
+        if config.resume {
+            coordinator.load_resume()?;
+        }
+        for shard in 0..config.workers {
+            let slot = coordinator.spawn_slot(vec![shard])?;
+            coordinator.slots.push(slot);
+        }
+        coordinator.rebuild_owner_map();
+        let (start, mirror) = (coordinator.start_sweep, coordinator.mirror.clone());
+        for idx in 0..coordinator.slots.len() {
+            coordinator.assign_slot(idx, &mirror, start, &[])?;
+        }
+        Ok(coordinator)
+    }
+
+    /// The coordinator-level checkpoint binding (whole plane,
+    /// `shard: None`).
+    fn binding(&self) -> FleetResult<StateBinding> {
+        let (width, height) = self.spec.workload.dims();
+        Ok(StateBinding {
+            sites: self.structure.sites,
+            width,
+            height,
+            labels: self.structure.labels,
+            iterations: self.spec.iterations,
+            burn_in: self.spec.burn_in,
+            threads: self.spec.threads,
+            seed: self.spec.seed,
+            fingerprint: self.structure.topology.fingerprint(),
+            kernel: kernel_name(&self.spec)?,
+            track_modes: true,
+            record_energy: true,
+            shard: None,
+        })
+    }
+
+    fn rebuild_owner_map(&mut self) {
+        for (idx, slot) in self.slots.iter().enumerate() {
+            for &shard in &slot.shards {
+                for &site in &self.partition.shards[shard].owned {
+                    self.owner_slot[site] = idx;
+                }
+            }
+        }
+    }
+
+    fn live_slots(&self) -> Vec<usize> {
+        (0..self.slots.len())
+            .filter(|&i| self.slots[i].alive)
+            .collect()
+    }
+
+    /// Launches one worker and waits for its connection, retrying with
+    /// exponential backoff.
+    fn spawn_slot(&mut self, shards: Vec<usize>) -> FleetResult<Slot> {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_spawn() {
+                Ok((conn, child, thread)) => {
+                    self.workers_spawned += 1;
+                    return Ok(Slot {
+                        conn: Some(conn),
+                        child,
+                        thread,
+                        shards,
+                        alive: true,
+                    });
+                }
+                Err(err) if attempt < self.config.max_retries => {
+                    let backoff = self
+                        .config
+                        .backoff_base
+                        .saturating_mul(1 << attempt.min(16));
+                    std::thread::sleep(backoff);
+                    attempt += 1;
+                    let _ = err;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    fn try_spawn(&self) -> FleetResult<SpawnedWorker> {
+        match &self.config.launcher {
+            Launcher::Program(path) => {
+                let child = Command::new(path)
+                    .arg(&self.addr)
+                    .stdin(Stdio::null())
+                    .spawn()
+                    .map_err(|e| FleetError::Spawn {
+                        reason: format!("launching {}: {e}", path.display()),
+                    })?;
+                let conn = self.listener.accept(self.config.rpc_deadline)?;
+                Ok((conn, Some(child), None))
+            }
+            Launcher::SelfExec => {
+                let exe = std::env::current_exe().map_err(|e| FleetError::Spawn {
+                    reason: format!("resolving current executable: {e}"),
+                })?;
+                let child = Command::new(exe)
+                    .env(WORKER_ENV, &self.addr)
+                    .stdin(Stdio::null())
+                    .spawn()
+                    .map_err(|e| FleetError::Spawn {
+                        reason: format!("self-exec: {e}"),
+                    })?;
+                let conn = self.listener.accept(self.config.rpc_deadline)?;
+                Ok((conn, Some(child), None))
+            }
+            Launcher::InProcess => {
+                let addr = self.addr.clone();
+                let thread = std::thread::spawn(move || worker_main(&addr));
+                let conn = self.listener.accept(self.config.rpc_deadline)?;
+                Ok((conn, None, Some(thread)))
+            }
+        }
+    }
+
+    /// Sends a fresh `Assign` for everything `slot` owns and waits for
+    /// `AssignOk`, discarding stale replies from a superseded exchange.
+    fn assign_slot(
+        &mut self,
+        idx: usize,
+        plane: &[u8],
+        resume_sweep: usize,
+        replay: &[Vec<(usize, u8)>],
+    ) -> FleetResult<()> {
+        let cells: Vec<(usize, usize)> = self.slots[idx]
+            .shards
+            .iter()
+            .flat_map(|&s| self.partition.shards[s].cells.iter().copied())
+            .collect();
+        let expected_owned: usize = self.slots[idx]
+            .shards
+            .iter()
+            .map(|&s| self.partition.shards[s].owned.len())
+            .sum();
+        let msg = ToWorker::Assign {
+            spec: self.spec.clone(),
+            cells,
+            plane: Some(plane.to_vec()),
+            resume_sweep,
+            replay: replay.to_vec(),
+        };
+        self.send_slot(idx, &msg)?;
+        loop {
+            match self.recv_slot(idx, "assign")? {
+                ToCoordinator::AssignOk { owned } => {
+                    if owned != expected_owned {
+                        return Err(FleetError::Protocol {
+                            reason: format!(
+                                "slot {idx} admitted {owned} sites, expected {expected_owned}"
+                            ),
+                        });
+                    }
+                    return Ok(());
+                }
+                // Stale from a superseded phase exchange: the worker
+                // sent these before it processed the Assign.
+                ToCoordinator::PhaseDone { .. } | ToCoordinator::Pong { .. } => continue,
+                ToCoordinator::Fault { reason } => {
+                    return Err(FleetError::WorkerLost { slot: idx, reason })
+                }
+                other => {
+                    return Err(FleetError::Protocol {
+                        reason: format!("expected assign_ok, got {other:?}"),
+                    })
+                }
+            }
+        }
+    }
+
+    fn send_slot(&mut self, idx: usize, msg: &ToWorker) -> FleetResult<()> {
+        let conn = self.slots[idx]
+            .conn
+            .as_mut()
+            .ok_or(FleetError::WorkerLost {
+                slot: idx,
+                reason: "connection already torn down".to_string(),
+            })?;
+        send_to_worker(conn, msg).map_err(|e| match e {
+            FleetError::Io { context, source } => FleetError::WorkerLost {
+                slot: idx,
+                reason: format!("send failed while {context}: {source}"),
+            },
+            other => other,
+        })
+    }
+
+    fn recv_slot(&mut self, idx: usize, rpc: &'static str) -> FleetResult<ToCoordinator> {
+        let deadline = self.config.rpc_deadline;
+        let conn = self.slots[idx]
+            .conn
+            .as_mut()
+            .ok_or(FleetError::WorkerLost {
+                slot: idx,
+                reason: "connection already torn down".to_string(),
+            })?;
+        recv_to_coordinator(conn, Some(deadline), rpc)
+    }
+
+    /// Reaps a condemned slot: closes the stream, kills and waits the
+    /// child, detaches the thread.
+    fn reap(&mut self, idx: usize) -> Vec<usize> {
+        let slot = &mut self.slots[idx];
+        slot.alive = false;
+        slot.conn = None;
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        if let Some(thread) = slot.thread.take() {
+            // The worker errors out promptly once its stream is gone.
+            let _ = thread.join();
+        }
+        std::mem::take(&mut slot.shards)
+    }
+
+    fn collapse(&mut self, reason: String) -> FleetError {
+        for idx in 0..self.slots.len() {
+            self.reap(idx);
+        }
+        FleetError::FleetCollapse {
+            migrations: self.migrations,
+            max_migrations: self.config.max_migrations,
+            reason,
+        }
+    }
+
+    /// Cross-checks the migrated shards' durable checkpoints (when one
+    /// exists at exactly the boundary sweep) against the coordinator's
+    /// boundary mirror — the store and the mirror must agree bit for
+    /// bit, or the job refuses to continue on either.
+    fn cross_check_boundary(
+        &self,
+        shards: &[usize],
+        boundary: &[u8],
+        resume_sweep: usize,
+    ) -> FleetResult<()> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        for &shard in shards {
+            let Some((path, checkpoint)) = store.latest(&shard_key(shard))? else {
+                continue;
+            };
+            if checkpoint.state.next_sweep != resume_sweep {
+                continue; // stale cadence; the mirror is the fresher truth
+            }
+            let expected: Vec<u8> = self.partition.shards[shard]
+                .owned
+                .iter()
+                .map(|&site| boundary[site])
+                .collect();
+            if checkpoint.state.labels != expected {
+                return Err(FleetError::Checkpoint {
+                    reason: format!(
+                        "shard {shard} checkpoint {} disagrees with the coordinator's \
+                         sweep-{resume_sweep} boundary",
+                        path.display()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Migrates everything `failed` owned to a respawned worker or an
+    /// adopting survivor, catching the target up to `resume_sweep` with
+    /// `replay` (the completed phases of that sweep). Returns the
+    /// target slot, ready for the next `Phase`.
+    fn recover(
+        &mut self,
+        mut failed: usize,
+        sweep: usize,
+        boundary: &[u8],
+        replay: &[Vec<(usize, u8)>],
+    ) -> FleetResult<usize> {
+        loop {
+            self.migrations += 1;
+            if self.migrations > self.config.max_migrations {
+                return Err(self.collapse(format!(
+                    "slot {failed} died at sweep {sweep} with the budget spent"
+                )));
+            }
+            let shards = self.reap(failed);
+            self.cross_check_boundary(&shards, boundary, sweep)?;
+            let target = if self.config.respawn {
+                let slot = self.spawn_slot(shards)?;
+                self.slots[failed] = slot;
+                failed
+            } else {
+                let Some(target) = self.live_slots().into_iter().min_by_key(|&i| {
+                    let owned: usize = self.slots[i]
+                        .shards
+                        .iter()
+                        .map(|&s| self.partition.shards[s].owned.len())
+                        .sum();
+                    (owned, i)
+                }) else {
+                    return Err(self.collapse(format!(
+                        "slot {failed} died at sweep {sweep} with no survivors to adopt its shard"
+                    )));
+                };
+                self.slots[target].shards.extend(shards);
+                self.degraded = Some(Degraded {
+                    failed_over_at: sweep,
+                    units_lost: self.degraded.map_or(1, |d| d.units_lost + 1),
+                });
+                target
+            };
+            self.rebuild_owner_map();
+            match self.assign_slot(target, boundary, sweep, replay) {
+                Ok(()) => return Ok(target),
+                Err(e) if e.is_migratable() => {
+                    failed = target;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Dispatches and collects one color phase across the fleet,
+    /// surviving worker deaths mid-phase. Returns the merged updates
+    /// (every site of the group, exactly once).
+    fn run_group(
+        &mut self,
+        sweep: usize,
+        group: usize,
+        boundary: &[u8],
+        phase_log: &[Vec<(usize, u8)>],
+    ) -> FleetResult<Vec<(usize, u8)>> {
+        // Scripted chaos: SIGKILL right after dispatch, so death lands
+        // mid-phase deterministically.
+        let kills: Vec<usize> = self
+            .config
+            .chaos
+            .kills
+            .iter()
+            .filter(|k| k.sweep == sweep && k.group == group)
+            .map(|k| k.worker)
+            .collect();
+        let phase = ToWorker::Phase { sweep, group };
+        let mut pending: VecDeque<usize> = VecDeque::new();
+        let mut dead_on_send: Vec<usize> = Vec::new();
+        for idx in self.live_slots() {
+            match self.send_slot(idx, &phase) {
+                Ok(()) => pending.push_back(idx),
+                Err(e) if e.is_migratable() => dead_on_send.push(idx),
+                Err(e) => return Err(e),
+            }
+        }
+        for idx in kills {
+            if let Some(child) = self.slots[idx].child.as_mut() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        for idx in dead_on_send {
+            if !self.slots[idx].alive {
+                continue; // already migrated as collateral of another recovery
+            }
+            let target = self.recover(idx, sweep, boundary, phase_log)?;
+            self.send_slot(target, &phase)?;
+            pending.retain(|&x| x != target);
+            pending.push_back(target);
+        }
+        let mut collected: BTreeMap<usize, Vec<(usize, u8)>> = BTreeMap::new();
+        while let Some(idx) = pending.pop_front() {
+            if !self.slots[idx].alive {
+                continue;
+            }
+            match self.recv_phase_done(idx, sweep, group) {
+                Ok(updates) => {
+                    collected.insert(idx, updates);
+                }
+                Err(e) if e.is_migratable() => {
+                    let target = self.recover(idx, sweep, boundary, phase_log)?;
+                    self.send_slot(target, &phase)?;
+                    // The fresh reply covers the union of the target's
+                    // shards; any earlier collection of it is subsumed.
+                    collected.remove(&target);
+                    pending.retain(|&x| x != target);
+                    pending.push_back(target);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(collected.into_values().flatten().collect())
+    }
+
+    fn recv_phase_done(
+        &mut self,
+        idx: usize,
+        sweep: usize,
+        group: usize,
+    ) -> FleetResult<Vec<(usize, u8)>> {
+        loop {
+            match self.recv_slot(idx, "phase")? {
+                ToCoordinator::PhaseDone {
+                    sweep: s,
+                    group: g,
+                    updates,
+                } if (s, g) == (sweep, group) => return Ok(updates),
+                // Replies from a superseded exchange; drop them.
+                ToCoordinator::PhaseDone { .. } | ToCoordinator::Pong { .. } => continue,
+                ToCoordinator::Fault { reason } => {
+                    return Err(FleetError::WorkerLost { slot: idx, reason })
+                }
+                other => {
+                    return Err(FleetError::Protocol {
+                        reason: format!("expected phase_done, got {other:?}"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Broadcasts the merged phase updates to every slot that does not
+    /// own them. A failed send condemns the slot like any other death —
+    /// its replacement is rebuilt from the boundary with the full log
+    /// (including this phase), so nothing is lost.
+    fn broadcast_halo(
+        &mut self,
+        sweep: usize,
+        updates: &[(usize, u8)],
+        boundary: &[u8],
+        phase_log: &[Vec<(usize, u8)>],
+    ) -> FleetResult<()> {
+        for idx in self.live_slots() {
+            let filtered: Vec<(usize, u8)> = updates
+                .iter()
+                .filter(|&&(site, _)| self.owner_slot[site] != idx)
+                .copied()
+                .collect();
+            if filtered.is_empty() {
+                continue;
+            }
+            match self.send_slot(idx, &ToWorker::Halo { updates: filtered }) {
+                Ok(()) => {}
+                Err(e) if e.is_migratable() => {
+                    self.recover(idx, sweep, boundary, phase_log)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Sweep-boundary heartbeat: one ping round; a missed pong condemns
+    /// the slot and migrates its shard from the (post-sweep) boundary.
+    fn heartbeat_round(&mut self, next_sweep: usize) -> FleetResult<()> {
+        let boundary = self.mirror.clone();
+        for idx in self.live_slots() {
+            self.nonce += 1;
+            let nonce = self.nonce;
+            let deadline = self.config.heartbeat;
+            let result = match self.slots[idx].conn.as_mut() {
+                Some(conn) => rpc_ping(conn, nonce, deadline),
+                None => Err(FleetError::WorkerLost {
+                    slot: idx,
+                    reason: "connection already torn down".to_string(),
+                }),
+            };
+            match result {
+                Ok(()) => {}
+                Err(e) if e.is_migratable() => {
+                    self.recover(idx, next_sweep, &boundary, &[])?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Cuts the durable sweep-boundary checkpoints: one shard-granular
+    /// state per partition shard plus the coordinator's whole-plane
+    /// state (energy trace, histograms) under [`COORD_KEY`].
+    fn cut_checkpoints(&self, next_sweep: usize) -> FleetResult<()> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        let base = self.binding()?;
+        let meta = self.spec.encode();
+        let of = self.partition.len();
+        for (i, shard) in self.partition.shards.iter().enumerate() {
+            let mut binding = base.clone();
+            binding.shard = Some(shard.binding(i, of));
+            let labels: Vec<u8> = shard.owned.iter().map(|&site| self.mirror[site]).collect();
+            let state = JobState {
+                binding,
+                next_sweep,
+                labels,
+                energy_trace: Vec::new(),
+                histograms: None,
+                kernel_faults: Vec::new(),
+                fault: None,
+                sink_state: None,
+            };
+            store.save(
+                &shard_key(i),
+                &Checkpoint {
+                    meta: meta.clone(),
+                    state,
+                },
+            )?;
+        }
+        let state = JobState {
+            binding: base,
+            next_sweep,
+            labels: self.mirror.clone(),
+            energy_trace: self.energy_trace.clone(),
+            histograms: Some(self.hist.clone()),
+            kernel_faults: Vec::new(),
+            fault: None,
+            sink_state: None,
+        };
+        store.save(COORD_KEY, &Checkpoint { meta, state })?;
+        Ok(())
+    }
+
+    /// Loads the newest coordinator checkpoint, re-verifies every shard
+    /// state against it (binding and bit-exact plane agreement), and
+    /// seeds the mirror, traces, and start sweep from it.
+    fn load_resume(&mut self) -> FleetResult<()> {
+        let Some(store) = &self.store else {
+            return Err(FleetError::Unsupported {
+                reason: "resume requires a checkpoint store".to_string(),
+            });
+        };
+        let Some((_, coord)) = store.latest(COORD_KEY)? else {
+            return Err(FleetError::Checkpoint {
+                reason: "no coordinator checkpoint to resume from".to_string(),
+            });
+        };
+        verify_binding(&coord.state, &self.binding()?)?;
+        let of = self.partition.len();
+        for (i, shard) in self.partition.shards.iter().enumerate() {
+            let key = shard_key(i);
+            let Some((path, ck)) = store.latest(&key)? else {
+                return Err(FleetError::Checkpoint {
+                    reason: format!("shard checkpoint {key} is missing"),
+                });
+            };
+            let mut expected = self.binding()?;
+            expected.shard = Some(shard.binding(i, of));
+            verify_binding(&ck.state, &expected)?;
+            if ck.state.next_sweep != coord.state.next_sweep {
+                return Err(FleetError::Checkpoint {
+                    reason: format!(
+                        "shard checkpoint {} is at sweep {}, coordinator at {}",
+                        path.display(),
+                        ck.state.next_sweep,
+                        coord.state.next_sweep
+                    ),
+                });
+            }
+            let expected_labels: Vec<u8> = shard
+                .owned
+                .iter()
+                .map(|&site| coord.state.labels[site])
+                .collect();
+            if ck.state.labels != expected_labels {
+                return Err(FleetError::Checkpoint {
+                    reason: format!(
+                        "shard checkpoint {} disagrees with the coordinator plane",
+                        path.display()
+                    ),
+                });
+            }
+        }
+        self.start_sweep = coord.state.next_sweep;
+        self.mirror = coord.state.labels;
+        self.energy_trace = coord.state.energy_trace;
+        if let Some(hist) = coord.state.histograms {
+            self.hist = hist;
+        }
+        self.reference.seat(&self.mirror)?;
+        Ok(())
+    }
+
+    fn run(&mut self) -> FleetResult<FleetOutput> {
+        let iterations = self.spec.iterations;
+        let groups = self.structure.group_count();
+        let mut finished = true;
+        let mut completed = self.start_sweep;
+        for sweep in self.start_sweep..iterations {
+            let boundary = self.mirror.clone();
+            let mut phase_log: Vec<Vec<(usize, u8)>> = Vec::with_capacity(groups);
+            for group in 0..groups {
+                let updates = self.run_group(sweep, group, &boundary, &phase_log)?;
+                for &(site, label) in &updates {
+                    self.mirror[site] = label;
+                }
+                phase_log.push(updates.clone());
+                self.broadcast_halo(sweep, &updates, &boundary, &phase_log)?;
+            }
+            completed = sweep + 1;
+            // The engine's sweep-boundary bookkeeping, replicated on the
+            // merged mirror: energy trace, then mode histograms.
+            self.reference.seat(&self.mirror)?;
+            self.energy_trace.push(self.reference.plane_energy());
+            if completed > self.spec.burn_in {
+                let m = self.structure.labels;
+                for (site, &label) in self.mirror.iter().enumerate() {
+                    self.hist[site * m + usize::from(label)] += 1;
+                }
+            }
+            self.heartbeat_round(completed)?;
+            let due = match &self.config.checkpoint {
+                Some(ck) => {
+                    ck.every_sweeps > 0
+                        && completed.is_multiple_of(ck.every_sweeps)
+                        && completed < iterations
+                }
+                None => false,
+            } || self.config.stop_after_sweep == Some(completed);
+            if due {
+                self.cut_checkpoints(completed)?;
+            }
+            if self.config.stop_after_sweep == Some(completed) {
+                finished = false;
+                break;
+            }
+        }
+        self.finish_workers();
+        let map_estimate = (finished && completed > self.spec.burn_in).then(|| {
+            let m = self.structure.labels;
+            (0..self.structure.sites)
+                .map(|site| {
+                    self.hist[site * m..(site + 1) * m]
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, count)| **count)
+                        .map_or(0, |(label, _)| label as u8)
+                })
+                .collect()
+        });
+        Ok(FleetOutput {
+            labels: self.mirror.clone(),
+            map_estimate,
+            energy_trace: self.energy_trace.clone(),
+            iterations_run: completed,
+            finished,
+            degraded: self.degraded,
+            migrations: self.migrations,
+            workers_spawned: self.workers_spawned,
+        })
+    }
+
+    /// Orderly shutdown: `Finish`/`Bye` with every live worker, then
+    /// reap. Failures here are ignored — the job's results are already
+    /// on the coordinator.
+    fn finish_workers(&mut self) {
+        for idx in self.live_slots() {
+            if self.send_slot(idx, &ToWorker::Finish).is_ok() {
+                loop {
+                    match self.recv_slot(idx, "finish") {
+                        Ok(ToCoordinator::Bye) => break,
+                        Ok(_) => continue,
+                        Err(_) => break,
+                    }
+                }
+            }
+            self.reap(idx);
+        }
+    }
+
+    fn teardown(&mut self, failed: bool) {
+        if failed {
+            for idx in 0..self.slots.len() {
+                self.reap(idx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BackendKind, Workload};
+
+    fn spec() -> FleetSpec {
+        FleetSpec {
+            workload: Workload::Demo {
+                width: 8,
+                height: 6,
+                labels: 3,
+            },
+            backend: BackendKind::Softmax,
+            iterations: 6,
+            threads: 3,
+            seed: 0xC0FFEE,
+            burn_in: 2,
+        }
+    }
+
+    #[test]
+    fn single_worker_fleet_matches_engine() {
+        let output = run_fleet(&spec(), &FleetConfig::new(1)).expect("fleet runs");
+        let reference = crate::exec::run_in_process(&spec()).expect("engine runs");
+        assert!(output.finished);
+        assert_eq!(output.iterations_run, 6);
+        assert_eq!(output.migrations, 0);
+        assert!(
+            output.bit_identical_to(&reference),
+            "single-worker fleet must be bit-identical to the engine"
+        );
+    }
+
+    #[test]
+    fn three_worker_fleet_matches_engine_over_tcp_and_unix() {
+        let reference = crate::exec::run_in_process(&spec()).expect("engine runs");
+        for transport in [TransportKind::Tcp, TransportKind::Unix] {
+            let mut config = FleetConfig::new(3);
+            config.transport = transport;
+            let output = run_fleet(&spec(), &config).expect("fleet runs");
+            assert_eq!(output.workers_spawned, 3);
+            assert!(
+                output.bit_identical_to(&reference),
+                "3-worker fleet must be bit-identical over {transport:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_workers_and_chaos_in_process_are_refused() {
+        assert_eq!(
+            run_fleet(&spec(), &FleetConfig::new(0))
+                .expect_err("zero workers")
+                .variant(),
+            "spec"
+        );
+        let mut config = FleetConfig::new(2);
+        config.chaos.kills.push(KillAt {
+            sweep: 0,
+            group: 0,
+            worker: 0,
+        });
+        assert_eq!(
+            run_fleet(&spec(), &config)
+                .expect_err("chaos in-process")
+                .variant(),
+            "unsupported"
+        );
+    }
+
+    #[test]
+    fn stop_without_store_is_refused() {
+        let mut config = FleetConfig::new(1);
+        config.stop_after_sweep = Some(2);
+        assert_eq!(
+            run_fleet(&spec(), &config).expect_err("no store").variant(),
+            "unsupported"
+        );
+    }
+}

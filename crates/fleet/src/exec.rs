@@ -1,0 +1,406 @@
+//! Shard execution behind a type-erased surface.
+//!
+//! The engine's job pipeline is generic over the singleton potential and
+//! the sweep kernel; the fleet's wire protocol is not. This module is
+//! the seam: [`build_shard`] turns a parsed [`FleetSpec`] plus a cell
+//! list into a `Box<dyn ShardExec>` — one concrete object per workload
+//! and backend, all driven identically by the worker loop and the
+//! coordinator's mirror — and [`FleetStructure`] captures the job's
+//! phase decomposition (groups, chunks, topology, certificate) so the
+//! partitioner and the sharding audit agree with the engine about every
+//! cell boundary.
+
+use mogs_audit::{verify_certificate, Chunking, ScheduleCertificate};
+use mogs_ckpt::harness::DEMO_MAX_ENERGY;
+use mogs_engine::{BackendSampler, Engine, JobOutput, JobSpec, ShardRunner};
+use mogs_gibbs::kernel::SweepKernel;
+use mogs_mrf::energy::SingletonPotential;
+use mogs_mrf::{
+    Grid2D, Label, LabelSpace, MarkovRandomField, Neighborhood, SmoothnessPrior, Topology,
+};
+use mogs_vision::stereo::{StereoConfig, StereoMatching};
+use mogs_vision::synthetic;
+
+use crate::error::{FleetError, FleetResult};
+use crate::spec::{FleetSpec, Workload};
+
+/// A shard of one job, type-erased for the worker loop and the
+/// coordinator's mirror. Implemented by
+/// [`ShardRunner`](mogs_engine::ShardRunner) for every
+/// workload/backend combination.
+pub trait ShardExec {
+    /// Number of color groups per sweep.
+    fn group_count(&self) -> usize;
+    /// Number of chunks in one group under the reference split.
+    fn chunks_in_group(&self, group: usize) -> usize;
+    /// The sites of one `(group, chunk)` cell.
+    fn cell_sites(&self, group: usize, chunk: usize) -> Vec<usize>;
+    /// Total sites in the plane.
+    fn site_count(&self) -> usize;
+    /// Labels in the label space.
+    fn label_count(&self) -> usize;
+    /// The owned sites of one group, in chunk order.
+    fn owned_sites(&self, group: usize) -> Vec<usize>;
+    /// Runs the owned chunks of `group` for sweep `iteration`.
+    fn run_phase(&mut self, iteration: usize, group: usize);
+    /// Seats a full plane of raw labels.
+    fn seat(&mut self, labels: &[u8]) -> FleetResult<()>;
+    /// Imports halo or replay updates.
+    fn apply_updates(&mut self, updates: &[(usize, u8)]) -> FleetResult<()>;
+    /// Reads the current labels of `sites`.
+    fn read_labels(&self, sites: &[usize]) -> Vec<u8>;
+    /// Copies the whole plane out.
+    fn snapshot(&self) -> Vec<u8>;
+    /// Total field energy of the current plane.
+    fn plane_energy(&self) -> f64;
+}
+
+impl<S, L> ShardExec for ShardRunner<S, L>
+where
+    S: SingletonPotential + 'static,
+    L: SweepKernel + Clone + Send + Sync + 'static,
+{
+    fn group_count(&self) -> usize {
+        ShardRunner::group_count(self)
+    }
+    fn chunks_in_group(&self, group: usize) -> usize {
+        ShardRunner::chunks_in_group(self, group)
+    }
+    fn cell_sites(&self, group: usize, chunk: usize) -> Vec<usize> {
+        ShardRunner::cell_sites(self, group, chunk).to_vec()
+    }
+    fn site_count(&self) -> usize {
+        ShardRunner::site_count(self)
+    }
+    fn label_count(&self) -> usize {
+        ShardRunner::label_count(self)
+    }
+    fn owned_sites(&self, group: usize) -> Vec<usize> {
+        ShardRunner::owned_sites(self, group)
+    }
+    fn run_phase(&mut self, iteration: usize, group: usize) {
+        ShardRunner::run_phase(self, iteration, group);
+    }
+    fn seat(&mut self, labels: &[u8]) -> FleetResult<()> {
+        ShardRunner::seat(self, labels).map_err(FleetError::from)
+    }
+    fn apply_updates(&mut self, updates: &[(usize, u8)]) -> FleetResult<()> {
+        ShardRunner::apply_updates(self, updates).map_err(FleetError::from)
+    }
+    fn read_labels(&self, sites: &[usize]) -> Vec<u8> {
+        ShardRunner::read_labels(self, sites)
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        ShardRunner::snapshot(self)
+    }
+    fn plane_energy(&self) -> f64 {
+        ShardRunner::plane_energy(self)
+    }
+}
+
+/// The demo singleton term, shared verbatim with the `mogs-ckpt` crash
+/// harness: a fixed pseudo-random preference per `(site, label)`,
+/// identical in every process that builds it.
+fn demo_singleton(site: usize, label: Label) -> f64 {
+    let mix = site
+        .wrapping_mul(7)
+        .wrapping_add(usize::from(label.value()).wrapping_mul(13));
+    (mix % 11) as f64 * 0.17
+}
+
+/// The sampler kernel `spec` describes.
+pub(crate) fn sampler_for(spec: &FleetSpec) -> FleetResult<BackendSampler> {
+    // The unit-model temperature matches each workload's established
+    // setup: the crash harness hands the RSU pool its energy bound, the
+    // stereo experiments the paper's sampling temperature.
+    let temperature = match spec.workload {
+        Workload::Demo { .. } => DEMO_MAX_ENERGY,
+        Workload::Stereo { .. } => StereoConfig::default().temperature,
+    };
+    BackendSampler::try_new(spec.backend.to_engine(), temperature).map_err(FleetError::from)
+}
+
+/// The kernel name a checkpoint binding records for `spec`.
+pub(crate) fn kernel_name(spec: &FleetSpec) -> FleetResult<String> {
+    use mogs_gibbs::sampler::LabelSampler;
+    Ok(sampler_for(spec)?.name().to_string())
+}
+
+fn demo_job_spec(
+    spec: &FleetSpec,
+    width: usize,
+    height: usize,
+    labels: u16,
+) -> FleetResult<JobSpec<impl SingletonPotential + 'static, BackendSampler>> {
+    let mrf = MarkovRandomField::builder(Grid2D::new(width, height), LabelSpace::scalar(labels))
+        .prior(SmoothnessPrior::potts(0.6))
+        .singleton(demo_singleton)
+        .build();
+    JobSpec::builder(mrf, sampler_for(spec)?)
+        .iterations(spec.iterations)
+        .threads(spec.threads)
+        .seed(spec.seed)
+        .burn_in(spec.burn_in)
+        .track_modes(true)
+        .record_energy(true)
+        .build()
+        .map_err(FleetError::from)
+}
+
+fn stereo_job_spec(
+    spec: &FleetSpec,
+    width: usize,
+    height: usize,
+    disparity: u8,
+    noise_sigma: f64,
+    scene_seed: u64,
+) -> FleetResult<JobSpec<mogs_vision::stereo::DisparitySingleton, BackendSampler>> {
+    let scene = synthetic::stereo_pair(width, height, disparity, noise_sigma, scene_seed);
+    let app = StereoMatching::new(&scene.left, &scene.right, StereoConfig::default());
+    let mut job = app.engine_job(sampler_for(spec)?, spec.iterations, spec.seed);
+    // The fleet spec owns the chunking and burn-in; the stereo config's
+    // defaults cover the field itself (weights, temperature, 5 labels).
+    job.threads = spec.threads;
+    job.burn_in = spec.burn_in;
+    Ok(JobSpec::from(job))
+}
+
+/// Builds the shard of `spec` pinned to `cells` — the worker-side (and
+/// coordinator-mirror) entry point.
+///
+/// # Errors
+///
+/// [`FleetError::Spec`] when the spec is invalid or engine admission
+/// rejects it (which covers out-of-range cells too).
+pub fn build_shard(spec: &FleetSpec, cells: &[(usize, usize)]) -> FleetResult<Box<dyn ShardExec>> {
+    spec.validate()?;
+    match spec.workload {
+        Workload::Demo {
+            width,
+            height,
+            labels,
+        } => {
+            let job = demo_job_spec(spec, width, height, labels)?;
+            Ok(Box::new(ShardRunner::try_new(job, cells)?))
+        }
+        Workload::Stereo {
+            width,
+            height,
+            disparity,
+            noise_sigma,
+            scene_seed,
+        } => {
+            let job = stereo_job_spec(spec, width, height, disparity, noise_sigma, scene_seed)?;
+            Ok(Box::new(ShardRunner::try_new(job, cells)?))
+        }
+    }
+}
+
+/// Runs `spec` to completion on an in-process engine — the reference a
+/// fleet run must be bit-identical to.
+///
+/// # Errors
+///
+/// [`FleetError::Spec`] on admission failure or an engine-side error.
+pub fn run_in_process(spec: &FleetSpec) -> FleetResult<JobOutput> {
+    spec.validate()?;
+    let engine = Engine::with_default_config();
+    let handle = match spec.workload {
+        Workload::Demo {
+            width,
+            height,
+            labels,
+        } => engine.submit(demo_job_spec(spec, width, height, labels)?),
+        Workload::Stereo {
+            width,
+            height,
+            disparity,
+            noise_sigma,
+            scene_seed,
+        } => engine.submit(stereo_job_spec(
+            spec,
+            width,
+            height,
+            disparity,
+            noise_sigma,
+            scene_seed,
+        )?),
+    };
+    let output = handle
+        .map_err(FleetError::from)?
+        .wait_result()
+        .map_err(FleetError::from)?;
+    engine.shutdown();
+    Ok(output)
+}
+
+/// The job's phase decomposition, as both the engine and the audit see
+/// it: the sparse interference topology, the schedule certificate the
+/// engine admits the job under, and every `(group, chunk)` cell with
+/// its sites in reference order.
+pub struct FleetStructure {
+    /// Sparse interference topology of the workload's grid.
+    pub topology: Topology,
+    /// The certificate shards are verified against.
+    pub certificate: ScheduleCertificate,
+    /// `cells[group][chunk]` — the sites of one cell, in the order their
+    /// draws consume the chunk RNG stream.
+    pub cells: Vec<Vec<Vec<usize>>>,
+    /// Total sites in the plane.
+    pub sites: usize,
+    /// Labels in the label space.
+    pub labels: usize,
+    /// The spec's deterministic chunk count.
+    pub threads: usize,
+}
+
+impl FleetStructure {
+    /// Derives the structure of `spec` and proves the certificate clean
+    /// with the independent verifier.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Spec`] on admission failure;
+    /// [`FleetError::Partition`] if the certificate fails independent
+    /// verification (a workspace bug, not a caller error — surfaced as
+    /// a typed refusal rather than trusted).
+    pub fn of(spec: &FleetSpec) -> FleetResult<Self> {
+        // Any single valid cell admits the job; (0, 0) always exists.
+        let probe = build_shard(spec, &[(0, 0)])?;
+        let groups = probe.group_count();
+        let mut cells = Vec::with_capacity(groups);
+        let mut classes = Vec::with_capacity(groups);
+        for g in 0..groups {
+            let chunk_lists: Vec<Vec<usize>> = (0..probe.chunks_in_group(g))
+                .map(|c| probe.cell_sites(g, c))
+                .collect();
+            classes.push(chunk_lists.concat());
+            cells.push(chunk_lists);
+        }
+        let (width, height) = spec.workload.dims();
+        let topology = Topology::from_grid(Grid2D::new(width, height), Neighborhood::FirstOrder);
+        let certificate = ScheduleCertificate::from_classes(
+            &topology,
+            classes,
+            Chunking::Uniform {
+                threads: spec.threads,
+            },
+        );
+        let report = verify_certificate(&topology, &certificate);
+        if !report.is_clean() {
+            return Err(FleetError::Partition {
+                reason: format!(
+                    "schedule certificate failed verification: {}",
+                    report.summary()
+                ),
+            });
+        }
+        Ok(FleetStructure {
+            topology,
+            certificate,
+            cells,
+            sites: probe.site_count(),
+            labels: probe.label_count(),
+            threads: spec.threads,
+        })
+    }
+
+    /// Number of color groups.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Cells across all groups.
+    #[must_use]
+    pub fn total_cells(&self) -> usize {
+        self.cells.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BackendKind;
+
+    fn demo_spec() -> FleetSpec {
+        FleetSpec {
+            workload: Workload::Demo {
+                width: 8,
+                height: 6,
+                labels: 3,
+            },
+            backend: BackendKind::Softmax,
+            iterations: 4,
+            threads: 3,
+            seed: 0xABCD,
+            burn_in: 1,
+        }
+    }
+
+    #[test]
+    fn structure_matches_engine_decomposition() {
+        let spec = demo_spec();
+        let structure = FleetStructure::of(&spec).expect("structure derives");
+        assert_eq!(structure.sites, 48);
+        assert_eq!(structure.labels, 3);
+        // First-order grid: 2-color checkerboard.
+        assert_eq!(structure.group_count(), 2);
+        let covered: usize = structure
+            .cells
+            .iter()
+            .flat_map(|g| g.iter().map(Vec::len))
+            .sum();
+        assert_eq!(covered, 48, "cells must cover the plane exactly");
+        assert_eq!(structure.certificate.sites(), 48);
+    }
+
+    #[test]
+    fn erased_shard_matches_reference_engine() {
+        let spec = demo_spec();
+        let structure = FleetStructure::of(&spec).expect("structure derives");
+        let all_cells: Vec<(usize, usize)> = (0..structure.group_count())
+            .flat_map(|g| (0..structure.cells[g].len()).map(move |c| (g, c)))
+            .collect();
+        let mut exec = build_shard(&spec, &all_cells).expect("shard admits");
+        for sweep in 0..spec.iterations {
+            for group in 0..exec.group_count() {
+                exec.run_phase(sweep, group);
+            }
+        }
+        let reference = run_in_process(&spec).expect("engine runs");
+        let reference_labels: Vec<u8> = reference.labels.iter().map(|l| l.value()).collect();
+        assert_eq!(
+            exec.snapshot(),
+            reference_labels,
+            "erased path must stay bit-identical"
+        );
+        // The erased energy hook reproduces the engine's final trace entry.
+        let last = reference.energy_trace.last().expect("trace recorded");
+        assert!((exec.plane_energy() - last).abs() == 0.0);
+    }
+
+    #[test]
+    fn stereo_workload_builds_and_runs() {
+        let spec = FleetSpec {
+            workload: Workload::Stereo {
+                width: 12,
+                height: 10,
+                disparity: 2,
+                noise_sigma: 2.0,
+                scene_seed: 17,
+            },
+            backend: BackendKind::Rsu { replicas: 2 },
+            iterations: 3,
+            threads: 2,
+            seed: 7,
+            burn_in: 1,
+        };
+        let structure = FleetStructure::of(&spec).expect("structure derives");
+        assert_eq!(structure.sites, 120);
+        assert_eq!(structure.labels, 5);
+        let out = run_in_process(&spec).expect("engine runs stereo");
+        assert_eq!(out.iterations_run, 3);
+        assert_eq!(out.energy_trace.len(), 3);
+    }
+}

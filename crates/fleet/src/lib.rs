@@ -1,0 +1,65 @@
+//! `mogs-fleet`: an elastic multi-process shard coordinator for MOGS
+//! Gibbs-sampling jobs that survives worker death via checkpoint
+//! migration.
+//!
+//! The engine (`mogs-engine`) runs one job inside one process. This
+//! crate scales the same job across *processes*: a coordinator
+//! partitions the plane into chunk-aligned shards (audited by
+//! `mogs-audit`), drives N spawned workers over length-prefixed
+//! TCP/Unix-socket framing, and — the point of the crate — keeps the
+//! job's output **bit-identical** to a single-process engine run no
+//! matter how many workers die along the way.
+//!
+//! # Layers
+//!
+//! - [`spec`]: the process-portable job description ([`FleetSpec`]) —
+//!   everything a worker needs to rebuild its shard from a single
+//!   message.
+//! - [`exec`]: shard construction ([`build_shard`]) on top of
+//!   `mogs_engine::ShardRunner`, plus the in-process reference path
+//!   ([`run_in_process`]) the repro harness compares against.
+//! - [`partition`]: chunk-aligned greedy partitioning with halo sets,
+//!   independently re-proved by `mogs_audit::verify_sharding`.
+//! - [`wire`]: the framed message protocol (hex-encoded integers and
+//!   f64 bit patterns — exact through the vendored JSON layer).
+//! - [`worker`] / [`coordinator`]: the two protocol ends. Workers are
+//!   deliberately stateless-on-failure; all recovery decisions live in
+//!   the coordinator ([`run_fleet`]).
+//! - [`error`]: the typed [`FleetError`] taxonomy; nothing on the wire
+//!   path unwraps.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mogs_fleet::{run_fleet, FleetConfig, FleetSpec, Workload, BackendKind};
+//!
+//! let spec = FleetSpec {
+//!     workload: Workload::Demo { width: 6, height: 4, labels: 3 },
+//!     backend: BackendKind::Softmax,
+//!     iterations: 4,
+//!     threads: 2,
+//!     seed: 0xF1EE7,
+//!     burn_in: 1,
+//! };
+//! let output = run_fleet(&spec, &FleetConfig::new(2)).unwrap();
+//! let reference = mogs_fleet::run_in_process(&spec).unwrap();
+//! assert!(output.bit_identical_to(&reference));
+//! ```
+
+pub mod coordinator;
+pub mod error;
+pub mod exec;
+pub mod partition;
+pub mod spec;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{
+    run_fleet, shard_key, ChaosPlan, FleetCheckpoint, FleetConfig, FleetOutput, KillAt, Launcher,
+    TransportKind, COORD_KEY,
+};
+pub use error::{FleetError, FleetResult};
+pub use exec::{build_shard, run_in_process, FleetStructure, ShardExec};
+pub use partition::{partition, Partition, ShardAssignment};
+pub use spec::{BackendKind, FleetSpec, Workload};
+pub use worker::{maybe_run_worker, worker_main, WORKER_ENV};

@@ -1,0 +1,775 @@
+//! Length-prefixed message framing over TCP or Unix-domain sockets.
+//!
+//! Every frame is an 8-digit ASCII-hex byte length followed by exactly
+//! that many bytes of UTF-8 JSON. The prefix is human-greppable in a
+//! packet capture, has no endianness, and makes truncation detectable:
+//! a reader that times out mid-frame knows the stream is torn and the
+//! peer condemned — frames are never resynchronized, because a worker
+//! whose stream desynced is indistinguishable from a dead one and is
+//! migrated the same way.
+//!
+//! Payloads follow the workspace envelope discipline (see
+//! [`crate::spec`]): hex strings for `u64`, IEEE-754 bit patterns for
+//! `f64`, plain numbers only for provably-small integers. Label planes
+//! travel as hex strings, two digits per site, so a 10⁴-site plane is a
+//! 20 kB frame rather than a 50 kB JSON array.
+//!
+//! Every function on the wire path returns [`FleetResult`] — enforced
+//! by the `fleet-wire-error` audit lint rule over `send_*`/`recv_*`/
+//! `rpc_*` names.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use serde::de::Parser;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{FleetError, FleetResult};
+use crate::spec::{parse_hex_u64, protocol, FleetSpec};
+
+/// Upper bound on one frame's payload, far above any plane this
+/// workspace samples; anything larger is a corrupt prefix.
+pub const FRAME_LIMIT: usize = 64 << 20;
+
+/// One established coordinator↔worker stream.
+#[derive(Debug)]
+pub enum Conn {
+    /// Loopback TCP.
+    Tcp(TcpStream),
+    /// Unix-domain socket.
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Applies a read timeout to the underlying socket (`None` blocks
+    /// forever).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Io`] if the socket rejects the option.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> FleetResult<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(timeout),
+            Conn::Unix(s) => s.set_read_timeout(timeout),
+        }
+        .map_err(|e| FleetError::io("setting read timeout", e))
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Coordinator → worker messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToWorker {
+    /// (Re)admits a shard: build the job, pin the cells, seat the plane,
+    /// replay the completed phases of the resume sweep.
+    Assign {
+        /// The full job description.
+        spec: FleetSpec,
+        /// Owned `(group, chunk)` cells.
+        cells: Vec<(usize, usize)>,
+        /// Sweep-boundary plane to seat; `None` keeps the admission
+        /// plane (fresh start only).
+        plane: Option<Vec<u8>>,
+        /// First sweep the shard runs after (re)admission.
+        resume_sweep: usize,
+        /// Per-group update logs of the resume sweep's completed phases:
+        /// the shard runs its own chunks of group `i`, then applies
+        /// `replay[i]`, for each `i` in order.
+        replay: Vec<Vec<(usize, u8)>>,
+    },
+    /// Run one color phase of one sweep.
+    Phase {
+        /// Sweep index.
+        sweep: usize,
+        /// Color group index.
+        group: usize,
+    },
+    /// Labels sampled by other shards this phase; no acknowledgement
+    /// (stream ordering sequences it before the next `Phase`).
+    Halo {
+        /// `(site, label)` updates.
+        updates: Vec<(usize, u8)>,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Echoed verbatim in the `Pong`.
+        nonce: u64,
+    },
+    /// Orderly shutdown; the worker replies `Bye` and exits.
+    Finish,
+}
+
+/// Worker → coordinator messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ToCoordinator {
+    /// The `Assign` was admitted and caught up.
+    AssignOk {
+        /// Sites the shard owns (sanity echo).
+        owned: usize,
+    },
+    /// One phase completed; `updates` covers every owned site of the
+    /// group.
+    PhaseDone {
+        /// Sweep index, echoed.
+        sweep: usize,
+        /// Group index, echoed.
+        group: usize,
+        /// `(site, label)` for each owned site of the group.
+        updates: Vec<(usize, u8)>,
+    },
+    /// Liveness reply.
+    Pong {
+        /// The probe's nonce.
+        nonce: u64,
+    },
+    /// The worker hit a fatal error and is about to exit (best-effort
+    /// courtesy; the coordinator treats the death itself as truth).
+    Fault {
+        /// The worker-side failure, verbatim.
+        reason: String,
+    },
+    /// Orderly shutdown acknowledgement.
+    Bye,
+}
+
+/// Encodes a label plane as hex, two digits per site.
+#[must_use]
+pub fn encode_plane(labels: &[u8]) -> String {
+    let mut out = String::with_capacity(labels.len() * 2);
+    for &l in labels {
+        out.push_str(&format!("{l:02x}"));
+    }
+    out
+}
+
+/// Decodes a hex label plane.
+///
+/// # Errors
+///
+/// [`FleetError::Protocol`] on odd length or a non-hex digit.
+pub fn decode_plane(text: &str) -> FleetResult<Vec<u8>> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(FleetError::Protocol {
+            reason: format!("plane hex has odd length {}", bytes.len()),
+        });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in text.as_bytes().chunks_exact(2) {
+        let hex = std::str::from_utf8(pair).map_err(|_| FleetError::Protocol {
+            reason: "plane hex is not ASCII".to_string(),
+        })?;
+        let value = u8::from_str_radix(hex, 16).map_err(|_| FleetError::Protocol {
+            reason: format!("plane hex contains non-hex pair {hex:?}"),
+        })?;
+        out.push(value);
+    }
+    Ok(out)
+}
+
+/// Writes one frame: 8-hex-digit length prefix plus payload.
+///
+/// # Errors
+///
+/// [`FleetError::Frame`] when the payload exceeds [`FRAME_LIMIT`],
+/// [`FleetError::Io`] on a socket failure.
+pub fn send_frame(conn: &mut Conn, payload: &str) -> FleetResult<()> {
+    if payload.len() > FRAME_LIMIT {
+        return Err(FleetError::Frame {
+            reason: format!("payload of {} bytes exceeds the frame limit", payload.len()),
+        });
+    }
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(format!("{:08x}", payload.len()).as_bytes());
+    frame.extend_from_slice(payload.as_bytes());
+    conn.write_all(&frame)
+        .and_then(|()| conn.flush())
+        .map_err(|e| FleetError::io("sending frame", e))
+}
+
+/// Reads one frame, honouring an optional deadline. A timeout — even
+/// mid-frame — returns [`FleetError::Deadline`]; the stream must then
+/// be condemned, never reused.
+///
+/// # Errors
+///
+/// [`FleetError::Deadline`] past the deadline, [`FleetError::Frame`]
+/// for a torn or malformed frame, [`FleetError::Io`] otherwise.
+pub fn recv_frame(
+    conn: &mut Conn,
+    deadline: Option<Duration>,
+    rpc: &'static str,
+) -> FleetResult<String> {
+    conn.set_read_timeout(deadline)?;
+    let after_ms = deadline.map_or(0, |d| d.as_millis().min(u128::from(u64::MAX)) as u64);
+    let classify = move |e: std::io::Error| match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            FleetError::Deadline { rpc, after_ms }
+        }
+        std::io::ErrorKind::UnexpectedEof => FleetError::Frame {
+            reason: format!("stream closed mid-frame during {rpc}"),
+        },
+        _ => FleetError::io("receiving frame", e),
+    };
+    let mut prefix = [0u8; 8];
+    conn.read_exact(&mut prefix).map_err(classify)?;
+    let prefix = std::str::from_utf8(&prefix).map_err(|_| FleetError::Frame {
+        reason: "length prefix is not ASCII hex".to_string(),
+    })?;
+    let len = usize::from_str_radix(prefix, 16).map_err(|_| FleetError::Frame {
+        reason: format!("length prefix {prefix:?} is not hex"),
+    })?;
+    if len > FRAME_LIMIT {
+        return Err(FleetError::Frame {
+            reason: format!("declared payload of {len} bytes exceeds the frame limit"),
+        });
+    }
+    let mut payload = vec![0u8; len];
+    conn.read_exact(&mut payload).map_err(classify)?;
+    String::from_utf8(payload).map_err(|_| FleetError::Frame {
+        reason: "payload is not UTF-8".to_string(),
+    })
+}
+
+fn write_updates(updates: &[(usize, u8)], out: &mut String) {
+    updates.serialize_json(out);
+}
+
+/// Serializes a coordinator → worker message.
+#[must_use]
+pub fn encode_to_worker(msg: &ToWorker) -> String {
+    let mut out = String::with_capacity(64);
+    match msg {
+        ToWorker::Assign {
+            spec,
+            cells,
+            plane,
+            resume_sweep,
+            replay,
+        } => {
+            out.push_str("{\"t\":\"assign\",\"spec\":");
+            spec.write_json(&mut out);
+            out.push_str(",\"cells\":");
+            cells.serialize_json(&mut out);
+            out.push_str(",\"plane\":");
+            match plane {
+                Some(p) => encode_plane(p).serialize_json(&mut out),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"resume_sweep\":");
+            resume_sweep.serialize_json(&mut out);
+            out.push_str(",\"replay\":");
+            replay.serialize_json(&mut out);
+            out.push('}');
+        }
+        ToWorker::Phase { sweep, group } => {
+            out.push_str("{\"t\":\"phase\",\"sweep\":");
+            sweep.serialize_json(&mut out);
+            out.push_str(",\"group\":");
+            group.serialize_json(&mut out);
+            out.push('}');
+        }
+        ToWorker::Halo { updates } => {
+            out.push_str("{\"t\":\"halo\",\"updates\":");
+            write_updates(updates, &mut out);
+            out.push('}');
+        }
+        ToWorker::Ping { nonce } => {
+            out.push_str(&format!("{{\"t\":\"ping\",\"nonce\":\"{nonce:x}\"}}"));
+        }
+        ToWorker::Finish => out.push_str("{\"t\":\"finish\"}"),
+    }
+    out
+}
+
+/// Serializes a worker → coordinator message.
+#[must_use]
+pub fn encode_to_coordinator(msg: &ToCoordinator) -> String {
+    let mut out = String::with_capacity(64);
+    match msg {
+        ToCoordinator::AssignOk { owned } => {
+            out.push_str("{\"t\":\"assign_ok\",\"owned\":");
+            owned.serialize_json(&mut out);
+            out.push('}');
+        }
+        ToCoordinator::PhaseDone {
+            sweep,
+            group,
+            updates,
+        } => {
+            out.push_str("{\"t\":\"phase_done\",\"sweep\":");
+            sweep.serialize_json(&mut out);
+            out.push_str(",\"group\":");
+            group.serialize_json(&mut out);
+            out.push_str(",\"updates\":");
+            write_updates(updates, &mut out);
+            out.push('}');
+        }
+        ToCoordinator::Pong { nonce } => {
+            out.push_str(&format!("{{\"t\":\"pong\",\"nonce\":\"{nonce:x}\"}}"));
+        }
+        ToCoordinator::Fault { reason } => {
+            out.push_str("{\"t\":\"fault\",\"reason\":");
+            reason.serialize_json(&mut out);
+            out.push('}');
+        }
+        ToCoordinator::Bye => out.push_str("{\"t\":\"bye\"}"),
+    }
+    out
+}
+
+/// Reads the `{"t":"..."` head every message starts with, returning the
+/// tag. Encoders always emit the tag first; a frame that does not lead
+/// with it is a protocol violation, not something to resynchronize.
+fn parse_tag(parser: &mut Parser<'_>) -> Result<String, serde::de::Error> {
+    parser.expect_char('{')?;
+    let key = parser.parse_string()?;
+    if key != "t" {
+        return Err(parser.error(&format!(
+            "message must lead with its tag, found key {key:?}"
+        )));
+    }
+    parser.expect_char(':')?;
+    parser.parse_string()
+}
+
+/// Parses a coordinator → worker message.
+///
+/// # Errors
+///
+/// [`FleetError::Protocol`] on malformed or unknown messages.
+pub fn parse_to_worker(payload: &str) -> FleetResult<ToWorker> {
+    let mut parser = Parser::new(payload);
+    let msg = parse_to_worker_value(&mut parser).map_err(protocol)?;
+    parser.expect_end().map_err(protocol)?;
+    Ok(msg)
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_to_worker_value(parser: &mut Parser<'_>) -> Result<ToWorker, serde::de::Error> {
+    let tag = parse_tag(parser)?;
+    match tag.as_str() {
+        "finish" => {
+            parser.expect_char('}')?;
+            Ok(ToWorker::Finish)
+        }
+        "ping" => {
+            let mut nonce = None;
+            while parser.consume_char(',') {
+                let key = parser.parse_string()?;
+                parser.expect_char(':')?;
+                match key.as_str() {
+                    "nonce" => nonce = Some(parse_hex_u64(parser, "nonce")?),
+                    _ => parser.skip_value()?,
+                }
+            }
+            parser.expect_char('}')?;
+            Ok(ToWorker::Ping {
+                nonce: nonce.ok_or_else(|| parser.error("ping is missing 'nonce'"))?,
+            })
+        }
+        "phase" => {
+            let mut sweep = None;
+            let mut group = None;
+            while parser.consume_char(',') {
+                let key = parser.parse_string()?;
+                parser.expect_char(':')?;
+                match key.as_str() {
+                    "sweep" => sweep = Some(usize::deserialize_json(parser)?),
+                    "group" => group = Some(usize::deserialize_json(parser)?),
+                    _ => parser.skip_value()?,
+                }
+            }
+            parser.expect_char('}')?;
+            Ok(ToWorker::Phase {
+                sweep: sweep.ok_or_else(|| parser.error("phase is missing 'sweep'"))?,
+                group: group.ok_or_else(|| parser.error("phase is missing 'group'"))?,
+            })
+        }
+        "halo" => {
+            let mut updates = None;
+            while parser.consume_char(',') {
+                let key = parser.parse_string()?;
+                parser.expect_char(':')?;
+                match key.as_str() {
+                    "updates" => updates = Some(Vec::<(usize, u8)>::deserialize_json(parser)?),
+                    _ => parser.skip_value()?,
+                }
+            }
+            parser.expect_char('}')?;
+            Ok(ToWorker::Halo {
+                updates: updates.ok_or_else(|| parser.error("halo is missing 'updates'"))?,
+            })
+        }
+        "assign" => {
+            let mut spec = None;
+            let mut cells = None;
+            let mut plane = None;
+            let mut resume_sweep = None;
+            let mut replay = None;
+            while parser.consume_char(',') {
+                let key = parser.parse_string()?;
+                parser.expect_char(':')?;
+                match key.as_str() {
+                    "spec" => spec = Some(FleetSpec::parse_value(parser)?),
+                    "cells" => cells = Some(Vec::<(usize, usize)>::deserialize_json(parser)?),
+                    "plane" => {
+                        plane = if parser.consume_literal("null") {
+                            Some(None)
+                        } else {
+                            let text = parser.parse_string()?;
+                            let decoded = crate::wire::decode_plane(&text)
+                                .map_err(|e| parser.error(&e.to_string()))?;
+                            Some(Some(decoded))
+                        };
+                    }
+                    "resume_sweep" => resume_sweep = Some(usize::deserialize_json(parser)?),
+                    "replay" => {
+                        replay = Some(Vec::<Vec<(usize, u8)>>::deserialize_json(parser)?);
+                    }
+                    _ => parser.skip_value()?,
+                }
+            }
+            parser.expect_char('}')?;
+            Ok(ToWorker::Assign {
+                spec: spec.ok_or_else(|| parser.error("assign is missing 'spec'"))?,
+                cells: cells.ok_or_else(|| parser.error("assign is missing 'cells'"))?,
+                plane: plane.ok_or_else(|| parser.error("assign is missing 'plane'"))?,
+                resume_sweep: resume_sweep
+                    .ok_or_else(|| parser.error("assign is missing 'resume_sweep'"))?,
+                replay: replay.ok_or_else(|| parser.error("assign is missing 'replay'"))?,
+            })
+        }
+        other => Err(parser.error(&format!("unknown coordinator message {other:?}"))),
+    }
+}
+
+/// Parses a worker → coordinator message.
+///
+/// # Errors
+///
+/// [`FleetError::Protocol`] on malformed or unknown messages.
+pub fn parse_to_coordinator(payload: &str) -> FleetResult<ToCoordinator> {
+    let mut parser = Parser::new(payload);
+    let msg = parse_to_coordinator_value(&mut parser).map_err(protocol)?;
+    parser.expect_end().map_err(protocol)?;
+    Ok(msg)
+}
+
+fn parse_to_coordinator_value(parser: &mut Parser<'_>) -> Result<ToCoordinator, serde::de::Error> {
+    let tag = parse_tag(parser)?;
+    match tag.as_str() {
+        "bye" => {
+            parser.expect_char('}')?;
+            Ok(ToCoordinator::Bye)
+        }
+        "pong" => {
+            let mut nonce = None;
+            while parser.consume_char(',') {
+                let key = parser.parse_string()?;
+                parser.expect_char(':')?;
+                match key.as_str() {
+                    "nonce" => nonce = Some(parse_hex_u64(parser, "nonce")?),
+                    _ => parser.skip_value()?,
+                }
+            }
+            parser.expect_char('}')?;
+            Ok(ToCoordinator::Pong {
+                nonce: nonce.ok_or_else(|| parser.error("pong is missing 'nonce'"))?,
+            })
+        }
+        "assign_ok" => {
+            let mut owned = None;
+            while parser.consume_char(',') {
+                let key = parser.parse_string()?;
+                parser.expect_char(':')?;
+                match key.as_str() {
+                    "owned" => owned = Some(usize::deserialize_json(parser)?),
+                    _ => parser.skip_value()?,
+                }
+            }
+            parser.expect_char('}')?;
+            Ok(ToCoordinator::AssignOk {
+                owned: owned.ok_or_else(|| parser.error("assign_ok is missing 'owned'"))?,
+            })
+        }
+        "phase_done" => {
+            let mut sweep = None;
+            let mut group = None;
+            let mut updates = None;
+            while parser.consume_char(',') {
+                let key = parser.parse_string()?;
+                parser.expect_char(':')?;
+                match key.as_str() {
+                    "sweep" => sweep = Some(usize::deserialize_json(parser)?),
+                    "group" => group = Some(usize::deserialize_json(parser)?),
+                    "updates" => updates = Some(Vec::<(usize, u8)>::deserialize_json(parser)?),
+                    _ => parser.skip_value()?,
+                }
+            }
+            parser.expect_char('}')?;
+            Ok(ToCoordinator::PhaseDone {
+                sweep: sweep.ok_or_else(|| parser.error("phase_done is missing 'sweep'"))?,
+                group: group.ok_or_else(|| parser.error("phase_done is missing 'group'"))?,
+                updates: updates.ok_or_else(|| parser.error("phase_done is missing 'updates'"))?,
+            })
+        }
+        "fault" => {
+            let mut reason = None;
+            while parser.consume_char(',') {
+                let key = parser.parse_string()?;
+                parser.expect_char(':')?;
+                match key.as_str() {
+                    "reason" => reason = Some(parser.parse_string()?),
+                    _ => parser.skip_value()?,
+                }
+            }
+            parser.expect_char('}')?;
+            Ok(ToCoordinator::Fault {
+                reason: reason.ok_or_else(|| parser.error("fault is missing 'reason'"))?,
+            })
+        }
+        other => Err(parser.error(&format!("unknown worker message {other:?}"))),
+    }
+}
+
+/// Sends a coordinator → worker message.
+///
+/// # Errors
+///
+/// See [`send_frame`].
+pub fn send_to_worker(conn: &mut Conn, msg: &ToWorker) -> FleetResult<()> {
+    send_frame(conn, &encode_to_worker(msg))
+}
+
+/// Receives a coordinator → worker message.
+///
+/// # Errors
+///
+/// See [`recv_frame`] and [`parse_to_worker`].
+pub fn recv_to_worker(conn: &mut Conn, deadline: Option<Duration>) -> FleetResult<ToWorker> {
+    parse_to_worker(&recv_frame(conn, deadline, "worker-recv")?)
+}
+
+/// Sends a worker → coordinator message.
+///
+/// # Errors
+///
+/// See [`send_frame`].
+pub fn send_to_coordinator(conn: &mut Conn, msg: &ToCoordinator) -> FleetResult<()> {
+    send_frame(conn, &encode_to_coordinator(msg))
+}
+
+/// Receives a worker → coordinator message.
+///
+/// # Errors
+///
+/// See [`recv_frame`] and [`parse_to_coordinator`].
+pub fn recv_to_coordinator(
+    conn: &mut Conn,
+    deadline: Option<Duration>,
+    rpc: &'static str,
+) -> FleetResult<ToCoordinator> {
+    parse_to_coordinator(&recv_frame(conn, deadline, rpc)?)
+}
+
+/// Round-trip liveness probe: sends `Ping` and waits for the matching
+/// `Pong`, discarding any stale `PhaseDone` still queued from a
+/// superseded phase exchange.
+///
+/// # Errors
+///
+/// [`FleetError::Deadline`] when the pong misses the deadline,
+/// [`FleetError::Protocol`] on a mismatched nonce or unexpected reply.
+pub fn rpc_ping(conn: &mut Conn, nonce: u64, deadline: Duration) -> FleetResult<()> {
+    send_to_worker(conn, &ToWorker::Ping { nonce })?;
+    loop {
+        match recv_to_coordinator(conn, Some(deadline), "ping")? {
+            ToCoordinator::Pong { nonce: echoed } if echoed == nonce => return Ok(()),
+            ToCoordinator::Pong { nonce: echoed } => {
+                return Err(FleetError::Protocol {
+                    reason: format!("pong nonce {echoed:#x} does not match ping {nonce:#x}"),
+                })
+            }
+            ToCoordinator::PhaseDone { .. } => continue,
+            other => {
+                return Err(FleetError::Protocol {
+                    reason: format!("expected pong, got {other:?}"),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BackendKind, Workload};
+    use std::net::TcpListener;
+
+    fn pair() -> (Conn, Conn) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (Conn::Tcp(client), Conn::Tcp(server))
+    }
+
+    fn sample_spec() -> FleetSpec {
+        FleetSpec {
+            workload: Workload::Demo {
+                width: 12,
+                height: 9,
+                labels: 5,
+            },
+            backend: BackendKind::Softmax,
+            iterations: 8,
+            threads: 3,
+            seed: u64::MAX,
+            burn_in: 2,
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_tcp() {
+        let (mut a, mut b) = pair();
+        send_frame(&mut a, "hello fleet").expect("send");
+        let got = recv_frame(&mut b, Some(Duration::from_secs(2)), "test").expect("recv");
+        assert_eq!(got, "hello fleet");
+    }
+
+    #[test]
+    fn recv_deadline_is_typed() {
+        let (_a, mut b) = pair();
+        let err = recv_frame(&mut b, Some(Duration::from_millis(50)), "probe")
+            .expect_err("nothing was sent");
+        assert_eq!(err.variant(), "deadline");
+        assert!(err.is_migratable());
+    }
+
+    #[test]
+    fn closed_stream_is_a_frame_error() {
+        let (a, mut b) = pair();
+        drop(a);
+        let err =
+            recv_frame(&mut b, Some(Duration::from_secs(2)), "probe").expect_err("peer closed");
+        assert_eq!(err.variant(), "frame");
+    }
+
+    #[test]
+    fn every_worker_message_round_trips() {
+        let msgs = vec![
+            ToWorker::Assign {
+                spec: sample_spec(),
+                cells: vec![(0, 0), (1, 2)],
+                plane: Some(vec![0, 1, 4, 255]),
+                resume_sweep: 3,
+                replay: vec![vec![(0, 1), (9, 4)], vec![]],
+            },
+            ToWorker::Assign {
+                spec: sample_spec(),
+                cells: vec![(0, 1)],
+                plane: None,
+                resume_sweep: 0,
+                replay: vec![],
+            },
+            ToWorker::Phase { sweep: 7, group: 1 },
+            ToWorker::Halo {
+                updates: vec![(3, 2), (4, 0)],
+            },
+            ToWorker::Ping { nonce: u64::MAX },
+            ToWorker::Finish,
+        ];
+        for msg in msgs {
+            let text = encode_to_worker(&msg);
+            let back = parse_to_worker(&text).expect("parses");
+            assert_eq!(back, msg, "round trip: {text}");
+        }
+    }
+
+    #[test]
+    fn every_coordinator_message_round_trips() {
+        let msgs = vec![
+            ToCoordinator::AssignOk { owned: 54 },
+            ToCoordinator::PhaseDone {
+                sweep: 2,
+                group: 0,
+                updates: vec![(0, 0), (2, 3)],
+            },
+            ToCoordinator::Pong { nonce: 1 },
+            ToCoordinator::Fault {
+                reason: "unit \"q\" died".to_string(),
+            },
+            ToCoordinator::Bye,
+        ];
+        for msg in msgs {
+            let text = encode_to_coordinator(&msg);
+            let back = parse_to_coordinator(&text).expect("parses");
+            assert_eq!(back, msg, "round trip: {text}");
+        }
+    }
+
+    #[test]
+    fn plane_hex_round_trips_and_rejects_garbage() {
+        let plane: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode_plane(&encode_plane(&plane)).expect("decodes"), plane);
+        assert!(decode_plane("abc").is_err(), "odd length");
+        assert!(decode_plane("zz").is_err(), "non-hex");
+    }
+
+    #[test]
+    fn ping_discards_stale_phase_done() {
+        let (mut coord, mut worker) = pair();
+        // A stale PhaseDone sits in the queue ahead of the pong.
+        send_to_coordinator(
+            &mut worker,
+            &ToCoordinator::PhaseDone {
+                sweep: 0,
+                group: 0,
+                updates: vec![],
+            },
+        )
+        .expect("stale send");
+        send_to_coordinator(&mut worker, &ToCoordinator::Pong { nonce: 42 }).expect("pong send");
+        // rpc_ping's own Ping will be ignored by this fake worker; the
+        // queued replies satisfy it.
+        rpc_ping(&mut coord, 42, Duration::from_secs(2)).expect("ping survives stale traffic");
+    }
+
+    #[test]
+    fn oversized_and_malformed_frames_are_rejected() {
+        let (mut a, mut b) = pair();
+        // A corrupt prefix claiming a huge frame.
+        a.write_all(b"ffffffff").expect("raw write");
+        a.flush().expect("flush");
+        let err = recv_frame(&mut b, Some(Duration::from_secs(2)), "probe")
+            .expect_err("oversized declaration");
+        assert_eq!(err.variant(), "frame");
+    }
+}

@@ -1,0 +1,264 @@
+//! The fleet kill-ladder, end to end over real worker *processes*.
+//!
+//! Every rung spawns genuine `fleet-worker` binaries (the
+//! `Launcher::Program` path — the same one production uses), runs a
+//! full job, and holds the coordinator to the crate's core promise:
+//! the output is **bit-identical** to a single-process engine run of
+//! the same spec, no matter what dies along the way.
+//!
+//! Rungs, in escalating order of violence:
+//!
+//! 1. clean N-process run — the baseline bit-identity claim;
+//! 2. one worker SIGKILLed mid-sweep, respawned — migration replays
+//!    the boundary + phase log and nothing diverges;
+//! 3. the same kill with respawn disabled — a survivor adopts the
+//!    orphaned shard and the job completes `Degraded`, still
+//!    bit-identical;
+//! 4. rolling kills across several sweeps — repeated migration within
+//!    budget;
+//! 5. a kill with the migration budget at zero — the typed
+//!    `FleetCollapse`, never a hang or a wrong answer;
+//! 6. coordinator stop at a sweep boundary, then a *fresh* coordinator
+//!    resuming from the durable checkpoints — the stitched run equals
+//!    the uninterrupted one bit for bit.
+
+use std::path::PathBuf;
+
+use mogs_fleet::{
+    run_fleet, run_in_process, BackendKind, ChaosPlan, FleetCheckpoint, FleetConfig, FleetError,
+    FleetSpec, KillAt, Launcher, TransportKind, Workload,
+};
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_fleet-worker"))
+}
+
+fn demo_spec() -> FleetSpec {
+    FleetSpec {
+        workload: Workload::Demo {
+            width: 10,
+            height: 8,
+            labels: 4,
+        },
+        backend: BackendKind::Softmax,
+        iterations: 8,
+        threads: 2,
+        seed: 0xFEE7_F1EE,
+        burn_in: 3,
+    }
+}
+
+fn rsu_spec() -> FleetSpec {
+    FleetSpec {
+        backend: BackendKind::Rsu { replicas: 4 },
+        ..demo_spec()
+    }
+}
+
+fn config(workers: usize) -> FleetConfig {
+    let mut config = FleetConfig::new(workers);
+    config.launcher = Launcher::Program(worker_bin());
+    config
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mogs-fleet-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn clean_three_process_run_is_bit_identical() {
+    for (spec, transport) in [
+        (demo_spec(), TransportKind::Tcp),
+        (rsu_spec(), TransportKind::Unix),
+    ] {
+        let mut config = config(3);
+        config.transport = transport;
+        let output = run_fleet(&spec, &config).expect("fleet runs");
+        let reference = run_in_process(&spec).expect("engine runs");
+        assert_eq!(output.workers_spawned, 3);
+        assert_eq!(output.migrations, 0);
+        assert!(output.degraded.is_none());
+        assert!(
+            output.bit_identical_to(&reference),
+            "clean 3-process run diverged from the engine over {transport:?}"
+        );
+    }
+}
+
+#[test]
+fn kill_one_mid_sweep_migrates_and_stays_bit_identical() {
+    // Both backends: the softmax reference path and the RSU pool.
+    for spec in [demo_spec(), rsu_spec()] {
+        let mut config = config(3);
+        config.chaos = ChaosPlan {
+            kills: vec![KillAt {
+                sweep: 2,
+                group: 1,
+                worker: 1,
+            }],
+        };
+        let output = run_fleet(&spec, &config).expect("fleet survives the kill");
+        let reference = run_in_process(&spec).expect("engine runs");
+        assert_eq!(output.migrations, 1, "exactly one migration");
+        assert_eq!(output.workers_spawned, 4, "the dead worker was replaced");
+        assert!(
+            output.degraded.is_none(),
+            "respawn capacity means no degradation"
+        );
+        assert!(
+            output.bit_identical_to(&reference),
+            "kill-one-mid-sweep diverged from the engine"
+        );
+    }
+}
+
+#[test]
+fn kill_without_respawn_degrades_but_stays_bit_identical() {
+    let spec = demo_spec();
+    let mut config = config(3);
+    config.respawn = false;
+    config.chaos = ChaosPlan {
+        kills: vec![KillAt {
+            sweep: 3,
+            group: 0,
+            worker: 2,
+        }],
+    };
+    let output = run_fleet(&spec, &config).expect("fleet degrades instead of dying");
+    let reference = run_in_process(&spec).expect("engine runs");
+    assert_eq!(output.migrations, 1);
+    assert_eq!(output.workers_spawned, 3, "no replacement was launched");
+    let degraded = output.degraded.expect("the job must report degradation");
+    assert_eq!(degraded.failed_over_at, 3);
+    assert_eq!(degraded.units_lost, 1);
+    assert!(
+        output.bit_identical_to(&reference),
+        "adoption onto a survivor diverged from the engine"
+    );
+}
+
+#[test]
+fn rolling_kills_across_sweeps_stay_bit_identical() {
+    let spec = demo_spec();
+    let mut config = config(3);
+    config.max_migrations = 4;
+    config.chaos = ChaosPlan {
+        kills: vec![
+            KillAt {
+                sweep: 1,
+                group: 0,
+                worker: 0,
+            },
+            KillAt {
+                sweep: 3,
+                group: 1,
+                worker: 2,
+            },
+            KillAt {
+                sweep: 5,
+                group: 0,
+                worker: 1,
+            },
+        ],
+    };
+    let output = run_fleet(&spec, &config).expect("fleet survives rolling kills");
+    let reference = run_in_process(&spec).expect("engine runs");
+    assert_eq!(output.migrations, 3);
+    assert_eq!(output.workers_spawned, 6);
+    assert!(
+        output.bit_identical_to(&reference),
+        "rolling kills diverged from the engine"
+    );
+}
+
+#[test]
+fn exhausted_migration_budget_is_a_typed_collapse() {
+    let spec = demo_spec();
+    let mut config = config(2);
+    config.max_migrations = 0;
+    config.chaos = ChaosPlan {
+        kills: vec![KillAt {
+            sweep: 1,
+            group: 0,
+            worker: 0,
+        }],
+    };
+    let err = run_fleet(&spec, &config).expect_err("no budget means collapse");
+    match err {
+        FleetError::FleetCollapse {
+            migrations,
+            max_migrations,
+            ..
+        } => {
+            assert_eq!(max_migrations, 0);
+            assert!(migrations > max_migrations);
+        }
+        other => panic!("expected FleetCollapse, got {other:?}"),
+    }
+}
+
+#[test]
+fn coordinator_restart_resumes_from_checkpoints_bit_identically() {
+    let spec = demo_spec();
+    let dir = temp_dir("restart");
+    let checkpoint = FleetCheckpoint {
+        dir: dir.clone(),
+        every_sweeps: 2,
+        retain: 8,
+    };
+
+    // First coordinator: run to the sweep-4 boundary and stop.
+    let mut first = config(3);
+    first.checkpoint = Some(checkpoint.clone());
+    first.stop_after_sweep = Some(4);
+    let paused = run_fleet(&spec, &first).expect("first coordinator runs");
+    assert!(!paused.finished, "the run must pause, not finish");
+    assert_eq!(paused.iterations_run, 4);
+
+    // Second coordinator: a fresh process image in production; here a
+    // fresh config resuming from the durable store.
+    let mut second = config(3);
+    second.checkpoint = Some(checkpoint);
+    second.resume = true;
+    let resumed = run_fleet(&spec, &second).expect("second coordinator resumes");
+    let reference = run_in_process(&spec).expect("engine runs");
+    assert!(resumed.finished);
+    assert_eq!(resumed.iterations_run, spec.iterations);
+    assert!(
+        resumed.bit_identical_to(&reference),
+        "stop + resume across coordinators diverged from the uninterrupted engine"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_during_checkpointed_run_cross_checks_the_store() {
+    // Checkpoints on AND a mid-sweep kill: recovery must cross-check the
+    // boundary against the durable shard checkpoint (they agree here, so
+    // the run proceeds bit-identically).
+    let spec = demo_spec();
+    let dir = temp_dir("crosscheck");
+    let mut config = config(2);
+    config.checkpoint = Some(FleetCheckpoint {
+        dir: dir.clone(),
+        every_sweeps: 2,
+        retain: 4,
+    });
+    config.chaos = ChaosPlan {
+        kills: vec![KillAt {
+            sweep: 2,
+            group: 0,
+            worker: 0,
+        }],
+    };
+    let output = run_fleet(&spec, &config).expect("fleet survives with store cross-check");
+    let reference = run_in_process(&spec).expect("engine runs");
+    assert_eq!(output.migrations, 1);
+    assert!(
+        output.bit_identical_to(&reference),
+        "checkpoint-cross-checked migration diverged from the engine"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -44,6 +44,13 @@ pub struct CheckpointSetup {
     pub every_sweeps: usize,
     /// Checkpoints retained per job (older ones are pruned).
     pub retain: usize,
+    /// When set, startup recovery first runs
+    /// [`CheckpointStore::gc`] with this age bound: orphaned temp
+    /// files, corrupt envelopes, and never-resumed checkpoints older
+    /// than the bound are deleted (and counted per reason on the
+    /// `/metrics` endpoint) instead of accumulating silently across
+    /// restarts. `None` leaves every file on disk for the operator.
+    pub gc_max_age: Option<std::time::Duration>,
 }
 
 impl CheckpointSetup {

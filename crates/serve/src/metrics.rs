@@ -11,6 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use mogs_ckpt::{GcReason, GcReport};
 use mogs_engine::{HistogramSnapshot, LatencyHistogram};
 
 /// Shared connection-level counters, recorded by the connection
@@ -25,6 +26,13 @@ pub struct ServeMetrics {
     pub responses_4xx: AtomicU64,
     /// Responses with a 5xx status.
     pub responses_5xx: AtomicU64,
+    /// Checkpoint files deleted by GC because they belong to no
+    /// resumable job (unparseable key or payload with no valid sibling).
+    pub checkpoints_discarded_orphan: AtomicU64,
+    /// Checkpoint files deleted by GC because they failed decoding.
+    pub checkpoints_discarded_corrupt: AtomicU64,
+    /// Checkpoint files deleted by GC because they aged out.
+    pub checkpoints_discarded_stale: AtomicU64,
     /// Wall time from request parse to response write.
     pub request_latency: LatencyHistogram,
 }
@@ -47,6 +55,17 @@ impl ServeMetrics {
         self.request_latency.record(latency);
     }
 
+    /// Folds one checkpoint-GC sweep into the per-reason discard
+    /// counters.
+    pub fn record_gc(&self, report: &GcReport) {
+        let add = |counter: &AtomicU64, reason: GcReason| {
+            counter.fetch_add(report.count(reason) as u64, Ordering::Relaxed);
+        };
+        add(&self.checkpoints_discarded_orphan, GcReason::Orphan);
+        add(&self.checkpoints_discarded_corrupt, GcReason::Corrupt);
+        add(&self.checkpoints_discarded_stale, GcReason::Stale);
+    }
+
     /// Point-in-time copy for the `/metrics` encoder.
     pub fn snapshot(&self) -> ServeMetricsSnapshot {
         ServeMetricsSnapshot {
@@ -54,6 +73,20 @@ impl ServeMetrics {
             requests_total: self.requests_total.load(Ordering::Relaxed),
             responses_4xx: self.responses_4xx.load(Ordering::Relaxed),
             responses_5xx: self.responses_5xx.load(Ordering::Relaxed),
+            checkpoints_discarded: [
+                (
+                    GcReason::Orphan,
+                    self.checkpoints_discarded_orphan.load(Ordering::Relaxed),
+                ),
+                (
+                    GcReason::Corrupt,
+                    self.checkpoints_discarded_corrupt.load(Ordering::Relaxed),
+                ),
+                (
+                    GcReason::Stale,
+                    self.checkpoints_discarded_stale.load(Ordering::Relaxed),
+                ),
+            ],
             request_latency: self.request_latency.snapshot(),
         }
     }
@@ -70,6 +103,9 @@ pub struct ServeMetricsSnapshot {
     pub responses_4xx: u64,
     /// Responses with a 5xx status.
     pub responses_5xx: u64,
+    /// Checkpoint files deleted by GC, per reason, in the fixed
+    /// encoder order (orphan, corrupt, stale).
+    pub checkpoints_discarded: [(GcReason, u64); 3],
     /// Request wall-time histogram.
     pub request_latency: HistogramSnapshot,
 }
@@ -90,5 +126,29 @@ mod tests {
         assert_eq!(snap.responses_5xx, 1);
         assert_eq!(snap.request_latency.count, 3);
         assert_eq!(snap.request_latency.total_us, 60);
+    }
+
+    #[test]
+    fn gc_sweeps_accumulate_per_reason() {
+        let metrics = ServeMetrics::new();
+        let report = GcReport {
+            discarded: vec![
+                ("a.ckpt.tmp".into(), GcReason::Orphan),
+                ("b.ckpt".into(), GcReason::Corrupt),
+                ("c.ckpt".into(), GcReason::Stale),
+                ("d.ckpt".into(), GcReason::Stale),
+            ],
+        };
+        metrics.record_gc(&report);
+        metrics.record_gc(&report);
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.checkpoints_discarded,
+            [
+                (GcReason::Orphan, 2),
+                (GcReason::Corrupt, 2),
+                (GcReason::Stale, 4),
+            ]
+        );
     }
 }

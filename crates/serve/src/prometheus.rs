@@ -243,6 +243,20 @@ fn encode_serve(
         "Terminal jobs evicted by the retention cap.",
         store.evicted,
     );
+    family(
+        out,
+        "mogs_serve_checkpoints_discarded_total",
+        "Checkpoint files deleted by the startup GC sweep, by reason.",
+        "counter",
+    );
+    for (reason, count) in &serve.checkpoints_discarded {
+        series(
+            out,
+            "mogs_serve_checkpoints_discarded_total",
+            &[("reason", reason.as_str())],
+            *count as f64,
+        );
+    }
 
     family(
         out,
@@ -627,6 +641,46 @@ mogs_engine_checkpoint_write_seconds_count 2
         assert!(text.contains("tenant=\"beta\\\"co\""));
         assert!(text.contains("mogs_serve_jobs_rejected_quota_total{tenant=\"acme\"} 0\n"));
         assert!(text.contains("mogs_serve_jobs_evicted_total 3\n"));
+    }
+
+    #[test]
+    fn checkpoint_gc_labels_are_pinned() {
+        use crate::metrics::ServeMetrics;
+        use crate::store::StoreSnapshot;
+        use mogs_ckpt::{GcReason, GcReport};
+
+        let metrics = ServeMetrics::new();
+        metrics.record_gc(&GcReport {
+            discarded: vec![
+                ("a.ckpt.tmp".into(), GcReason::Orphan),
+                ("b.ckpt".into(), GcReason::Stale),
+                ("c.ckpt".into(), GcReason::Stale),
+            ],
+        });
+        let text = encode_metrics(
+            &mogs_engine::EngineMetrics::new().snapshot(),
+            &metrics.snapshot(),
+            &[],
+            StoreSnapshot {
+                live: 0,
+                terminal: 0,
+                evicted: 0,
+            },
+        );
+        validate_exposition(&text).expect("exposition must validate");
+        // The per-reason label set is pinned: exactly these three series,
+        // in this order, with these label strings.
+        let expected = "\
+# HELP mogs_serve_checkpoints_discarded_total Checkpoint files deleted by the startup GC sweep, by reason.
+# TYPE mogs_serve_checkpoints_discarded_total counter
+mogs_serve_checkpoints_discarded_total{reason=\"orphan\"} 1
+mogs_serve_checkpoints_discarded_total{reason=\"corrupt\"} 0
+mogs_serve_checkpoints_discarded_total{reason=\"stale\"} 2
+";
+        assert!(
+            text.contains(expected),
+            "missing pinned GC family in:\n{text}"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ use mogs_engine::{CheckpointPolicy, Engine};
 
 use crate::ckpt::job_key;
 use crate::error::ServeError;
+use crate::fleet::FleetRunner;
 use crate::http::{json_string, Request, Response};
 use crate::jobspec::JobRequest;
 use crate::metrics::ServeMetrics;
@@ -49,6 +50,11 @@ pub struct Router {
     /// When set, every submission checkpoints under `job-<id>` and
     /// terminal jobs get their checkpoints deleted.
     ckpt: Option<(CheckpointStore, CheckpointPolicy)>,
+    /// Bounded random jitter added to every rendered `Retry-After`
+    /// header, seconds (0 disables).
+    retry_jitter_s: u64,
+    /// The optional fleet backend behind `/v1/fleet/jobs`.
+    fleet: Option<FleetRunner>,
 }
 
 impl Router {
@@ -69,7 +75,25 @@ impl Router {
             retry_after_s,
             batch_queue_ceiling,
             ckpt: None,
+            retry_jitter_s: 0,
+            fleet: None,
         }
+    }
+
+    /// Adds bounded random jitter to every `Retry-After` header this
+    /// router renders: the hint becomes `base + U(0..=jitter)` seconds.
+    #[must_use]
+    pub fn with_retry_jitter(mut self, jitter_s: u64) -> Self {
+        self.retry_jitter_s = jitter_s;
+        self
+    }
+
+    /// Enables the fleet backend: `POST /v1/fleet/jobs` and
+    /// `GET /v1/fleet/jobs/{id}` route to `runner`.
+    #[must_use]
+    pub fn with_fleet(mut self, runner: FleetRunner) -> Self {
+        self.fleet = Some(runner);
+        self
     }
 
     /// Enables durable checkpointing: every submission gets a
@@ -117,17 +141,44 @@ impl Router {
             ("GET", ["v1", "jobs", id]) => self.handle_status(id),
             ("GET", ["v1", "jobs", id, "result"]) => self.handle_result(id),
             ("DELETE", ["v1", "jobs", id]) => self.handle_cancel(id),
+            ("POST", ["v1", "fleet", "jobs"]) => self.handle_fleet_submit(request),
+            ("GET", ["v1", "fleet", "jobs", id]) => self.handle_fleet_status(id),
             ("GET", ["metrics"]) => self.handle_metrics(),
-            (_, ["v1", "jobs"] | ["v1", "jobs", _] | ["v1", "jobs", _, "result"] | ["metrics"]) => {
-                Err(ServeError::MethodNotAllowed {
-                    method: request.method.clone(),
-                })
-            }
+            (
+                _,
+                ["v1", "jobs"]
+                | ["v1", "jobs", _]
+                | ["v1", "jobs", _, "result"]
+                | ["v1", "fleet", "jobs"]
+                | ["v1", "fleet", "jobs", _]
+                | ["metrics"],
+            ) => Err(ServeError::MethodNotAllowed {
+                method: request.method.clone(),
+            }),
             _ => Err(ServeError::NotFound {
                 what: request.path.clone(),
             }),
         };
-        result.unwrap_or_else(ServeError::into_response)
+        result.unwrap_or_else(|err| err.into_response_with_jitter(self.retry_jitter_s))
+    }
+
+    /// The fleet runner, or 404 when the backend is not enabled.
+    fn fleet(&self) -> Result<&FleetRunner, ServeError> {
+        self.fleet.as_ref().ok_or_else(|| ServeError::NotFound {
+            what: "fleet backend (not enabled on this server)".to_string(),
+        })
+    }
+
+    /// `POST /v1/fleet/jobs`: hand the body to the fleet backend.
+    fn handle_fleet_submit(&self, request: &Request) -> Result<Response, ServeError> {
+        let body = request.body_utf8()?;
+        self.fleet()?.submit(body, self.retry_after_s)
+    }
+
+    /// `GET /v1/fleet/jobs/{id}`: fleet job state.
+    fn handle_fleet_status(&self, id: &str) -> Result<Response, ServeError> {
+        let id = parse_id(id)?;
+        self.fleet()?.status(id)
     }
 
     /// `POST /v1/jobs`: parse, admit, submit, store.
@@ -428,6 +479,60 @@ mod tests {
         assert_eq!(router.handle(&request("GET", "/nope", "")).status, 404);
         assert_eq!(router.handle(&request("PUT", "/v1/jobs", "")).status, 405);
         assert_eq!(router.handle(&request("POST", "/metrics", "")).status, 405);
+    }
+
+    #[test]
+    fn fleet_routes_404_when_disabled_and_work_when_enabled() {
+        let router = test_router(8);
+        // Backend off: typed 404, and the method gate still answers 405.
+        assert_eq!(
+            router
+                .handle(&request("POST", "/v1/fleet/jobs", "{}"))
+                .status,
+            404
+        );
+        assert_eq!(
+            router
+                .handle(&request("DELETE", "/v1/fleet/jobs", ""))
+                .status,
+            405
+        );
+        // Backend on: submit, poll to terminal, read the labels back.
+        let router = test_router(8).with_fleet(crate::fleet::FleetRunner::new(
+            crate::fleet::FleetSetup::default(),
+        ));
+        let spec = mogs_fleet::FleetSpec {
+            workload: mogs_fleet::Workload::Demo {
+                width: 6,
+                height: 4,
+                labels: 3,
+            },
+            backend: mogs_fleet::BackendKind::Softmax,
+            iterations: 3,
+            threads: 2,
+            seed: 17,
+            burn_in: 1,
+        };
+        let accepted = router.handle(&request("POST", "/v1/fleet/jobs", &spec.encode()));
+        assert_eq!(accepted.status, 202, "{}", body_text(&accepted));
+        let mut done = String::new();
+        for _ in 0..1000 {
+            let poll = router.handle(&request("GET", "/v1/fleet/jobs/1", ""));
+            assert_eq!(poll.status, 200, "{}", body_text(&poll));
+            done = body_text(&poll);
+            if !done.contains("\"running\"") {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(done.contains("\"state\":\"done\""), "{done}");
+        assert!(done.contains("\"labels\":["), "{done}");
+        assert_eq!(
+            router
+                .handle(&request("GET", "/v1/fleet/jobs/99", ""))
+                .status,
+            404
+        );
     }
 
     #[test]

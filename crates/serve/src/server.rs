@@ -32,6 +32,7 @@ use mogs_ckpt::CheckpointStore;
 use mogs_engine::Engine;
 
 use crate::ckpt::{recover, CheckpointSetup, RecoveryReport};
+use crate::fleet::{FleetRunner, FleetSetup};
 use crate::http::{read_request, Limits, Response};
 use crate::metrics::ServeMetrics;
 use crate::router::Router;
@@ -51,6 +52,11 @@ pub struct ServeConfig {
     pub max_header_bytes: usize,
     /// `Retry-After` hint on 429/503 responses, seconds.
     pub retry_after_s: u64,
+    /// Bounded random jitter added on top of `retry_after_s` in the
+    /// rendered header — each 429/503 carries
+    /// `retry_after_s + U(0..=retry_jitter_s)` so synchronized clients
+    /// decorrelate their retries. Zero (the default) disables jitter.
+    pub retry_jitter_s: u64,
     /// Batch-priority jobs are refused once the engine queue depth
     /// reaches this, reserving headroom for interactive tenants.
     pub batch_queue_ceiling: u64,
@@ -67,6 +73,10 @@ pub struct ServeConfig {
     /// found in the directory before serving traffic. `None` disables
     /// checkpointing (the default).
     pub checkpoint: Option<CheckpointSetup>,
+    /// Optional multi-process fleet backend: when set, `/v1/fleet/jobs`
+    /// routes submissions through the `mogs-fleet` coordinator. `None`
+    /// (the default) leaves the fleet routes answering 404.
+    pub fleet: Option<FleetSetup>,
 }
 
 impl Default for ServeConfig {
@@ -76,11 +86,13 @@ impl Default for ServeConfig {
             max_body_bytes: 1024 * 1024,
             max_header_bytes: 16 * 1024,
             retry_after_s: 1,
+            retry_jitter_s: 0,
             batch_queue_ceiling: 8,
             max_terminal_retained: 256,
             read_timeout: Duration::from_secs(2),
             keep_alive_max_requests: 256,
             checkpoint: None,
+            fleet: None,
         }
     }
 }
@@ -122,14 +134,19 @@ impl Server {
         let local_addr = listener.local_addr()?;
         // Non-blocking accept so the thread can observe the stop flag.
         listener.set_nonblocking(true)?;
+        let metrics = Arc::new(ServeMetrics::new());
         let mut router = Router::new(
             Arc::clone(&engine),
             tenants,
             Arc::new(JobStore::new(config.max_terminal_retained)),
-            Arc::new(ServeMetrics::new()),
+            Arc::clone(&metrics),
             config.retry_after_s,
             config.batch_queue_ceiling,
-        );
+        )
+        .with_retry_jitter(config.retry_jitter_s);
+        if let Some(setup) = &config.fleet {
+            router = router.with_fleet(FleetRunner::new(setup.clone()));
+        }
         // Recovery runs before the first connection worker spawns, so
         // every resumed job is re-admitted (and its serve id reclaimed)
         // before any request can race it. Accepted connections simply
@@ -147,6 +164,13 @@ impl Server {
                 router.store(),
                 config.retry_after_s,
             ));
+            // GC after recovery: anything resumable was just resumed, so
+            // the age bound only ever deletes leftovers.
+            if let Some(age) = setup.gc_max_age {
+                if let Ok(report) = ckpt_store.gc(age) {
+                    metrics.record_gc(&report);
+                }
+            }
             router = router.with_checkpoints(ckpt_store, policy);
         }
         let router = Arc::new(router);

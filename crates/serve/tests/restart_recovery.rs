@@ -70,6 +70,7 @@ fn config(dir: &std::path::Path) -> ServeConfig {
             dir: dir.to_path_buf(),
             every_sweeps: 1,
             retain: RETAIN,
+            gc_max_age: None,
         }),
         ..ServeConfig::default()
     }
